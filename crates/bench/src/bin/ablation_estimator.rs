@@ -1,0 +1,75 @@
+//! Ablation: maximum-likelihood (paper) vs probability-weighted-moments
+//! GPD estimation, on data with a known optimum and on measured pools.
+//!
+//! Run: `cargo run --release -p optassign-bench --bin ablation_estimator [--scale f]`
+
+use optassign_bench::{fmt_pps, measured_pool, print_table, Scale};
+use optassign_evt::fit::FitMethod;
+use optassign_evt::gpd::Gpd;
+use optassign_evt::pot::{PotAnalysis, PotConfig};
+use optassign_netapps::Benchmark;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_args();
+
+    // Part 1: ground truth known — synthetic bounded tails.
+    println!("Estimator ablation, part 1: synthetic data (true optimum known)\n");
+    let mut rows = Vec::new();
+    for (shape, scale_p, loc) in [(-0.5, 1.0, 100.0), (-0.3, 2.0, 50.0), (-0.15, 1.0, 10.0)] {
+        let truth = loc + scale_p / -shape / 1.0_f64 * -1.0; // loc + scale/|shape|
+        let g = Gpd::new(shape, scale_p).expect("valid");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let sample: Vec<f64> = (0..4000).map(|_| loc + g.sample(&mut rng)).collect();
+        for method in [FitMethod::MaximumLikelihood, FitMethod::ProbabilityWeightedMoments] {
+            let cfg = PotConfig {
+                estimator: method,
+                ..PotConfig::default()
+            };
+            let a = PotAnalysis::run(&sample, &cfg).expect("bounded tail");
+            rows.push(vec![
+                format!("ξ={shape}, σ={scale_p}"),
+                format!("{method:?}"),
+                format!("{truth:.3}"),
+                format!("{:.3}", a.upb.point),
+                format!("{:+.2}%", (a.upb.point / truth - 1.0) * 100.0),
+            ]);
+        }
+    }
+    print_table(&["tail", "estimator", "truth", "UPB", "error"], &rows);
+
+    // Part 2: measured pools — do the estimators agree in the field?
+    println!("\nEstimator ablation, part 2: measured pools\n");
+    let mut rows = Vec::new();
+    for bench in [Benchmark::IpFwdL1, Benchmark::Stateful] {
+        let pool = measured_pool(bench, scale.sample(2000));
+        let mut upbs = Vec::new();
+        for method in [FitMethod::MaximumLikelihood, FitMethod::ProbabilityWeightedMoments] {
+            let cfg = PotConfig {
+                estimator: method,
+                ..PotConfig::default()
+            };
+            let a = PotAnalysis::run(pool.performances(), &cfg).expect("bounded tail");
+            upbs.push(a.upb.point);
+            rows.push(vec![
+                bench.name().to_string(),
+                format!("{method:?}"),
+                fmt_pps(a.upb.point),
+                format!("{:.3}", a.fit.gpd.shape()),
+                format!("{:.3}", a.ks_distance),
+            ]);
+        }
+        rows.push(vec![
+            bench.name().to_string(),
+            "disagreement".into(),
+            format!("{:.2}%", (upbs[0] / upbs[1] - 1.0).abs() * 100.0),
+            String::new(),
+            String::new(),
+        ]);
+    }
+    print_table(&["benchmark", "estimator", "UPB", "shape", "KS"], &rows);
+    println!(
+        "\nExpected: both estimators recover synthetic truths within ~1-2% and agree\n\
+         on measured data; MLE (the paper's choice) attains the higher likelihood."
+    );
+}

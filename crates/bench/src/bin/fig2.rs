@@ -1,0 +1,53 @@
+//! Figure 2: probability that a sample captures a top-P% assignment.
+//!
+//! Pure mathematics: `P(A) = 1 − ((100 − P)/100)ⁿ`, plotted for
+//! P ∈ {1, 2, 5, 10, 25} over sample sizes up to 1000.
+//!
+//! Run: `cargo run --release -p optassign-bench --bin fig2`
+
+use optassign::probability::{capture_probability, required_sample_size};
+use optassign_bench::print_table;
+
+fn main() {
+    println!("Figure 2: P(sample contains one of the top-P% assignments)\n");
+    let fractions = [0.01, 0.02, 0.05, 0.10, 0.25];
+    let sizes = [1usize, 5, 10, 25, 50, 100, 200, 300, 500, 700, 1000, 2000];
+    let mut rows = Vec::new();
+    for &n in &sizes {
+        let mut row = vec![n.to_string()];
+        for &f in &fractions {
+            row.push(format!(
+                "{:.4}",
+                capture_probability(n, f).expect("valid fraction")
+            ));
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["n", "P=1%", "P=2%", "P=5%", "P=10%", "P=25%"],
+        &rows,
+    );
+
+    println!("\nSample sizes needed to reach target capture probabilities:");
+    let mut rows = Vec::new();
+    for &target in &[0.95, 0.99, 0.999] {
+        let mut row = vec![format!("{:.1}%", target * 100.0)];
+        for &f in &fractions {
+            row.push(
+                required_sample_size(target, f)
+                    .expect("valid inputs")
+                    .to_string(),
+            );
+        }
+        rows.push(row);
+    }
+    print_table(
+        &["target", "P=1%", "P=2%", "P=5%", "P=10%", "P=25%"],
+        &rows,
+    );
+    println!(
+        "\nPaper anchors: samples under 10 rarely capture the top 1-2-5%; several\n\
+         hundred samples capture the top 1-2% with very high probability; the\n\
+         probability asymptotically approaches 1 beyond n = 1000."
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 3: cumulative distribution function of all task assignments for
+//! a 6-thread workload.
+//!
+//! The paper plots the CDF of all ~1500 assignments of a 6-thread network
+//! workload, spanning 0.715–1.7 MPPS (a 58% spread), and reads off that
+//! the top 1% of assignments sit within 0.6% of the optimum.
+//!
+//! Run: `cargo run --release -p optassign-bench --bin fig3`
+
+use optassign::model::PerformanceModel;
+use optassign::space::enumerate_assignments;
+use optassign_bench::{case_study_model_small, fmt_pps, print_table};
+use optassign_netapps::Benchmark;
+use optassign_stats::ecdf::Ecdf;
+
+fn main() {
+    let model = case_study_model_small(Benchmark::IpFwdIntAdd, 2);
+    eprintln!("[fig3] evaluating every assignment class of the 6-thread workload…");
+    let all = enumerate_assignments(model.tasks(), model.topology(), 10_000)
+        .expect("6-task space is small");
+    let perfs: Vec<f64> = all.iter().map(|a| model.evaluate(a)).collect();
+    let ecdf = Ecdf::new(&perfs).expect("non-empty");
+
+    println!(
+        "Figure 3: CDF over all {} assignment classes (IPFwd, 2 instances / 6 threads)\n",
+        perfs.len()
+    );
+    let mut rows = Vec::new();
+    for &q in &[0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+        let x = if q == 0.0 {
+            ecdf.sorted_sample()[0]
+        } else {
+            ecdf.quantile(q).expect("valid level")
+        };
+        rows.push(vec![format!("{:.0}%", q * 100.0), fmt_pps(x)]);
+    }
+    print_table(&["CDF level", "performance"], &rows);
+
+    println!();
+    println!(
+        "{}",
+        optassign_bench::ascii::line_chart(&ecdf.points(), 70, 16, "CDF (x: PPS, y: fraction of assignments)")
+    );
+
+    let best = *ecdf.sorted_sample().last().expect("non-empty");
+    let worst = ecdf.sorted_sample()[0];
+    let p99 = ecdf.quantile(0.99).expect("valid");
+    println!("\nWorst assignment:  {}", fmt_pps(worst));
+    println!("Best assignment:   {}", fmt_pps(best));
+    println!(
+        "Full spread:       {:.1}% of the optimum",
+        ecdf.relative_spread() * 100.0
+    );
+    println!(
+        "Top-1% band width: {:.2}% of the optimum",
+        (best - p99) / best * 100.0
+    );
+    println!(
+        "\nPaper anchors: spread 0.715–1.7 MPPS (58% loss for the worst assignment);\n\
+         the top 1% of assignments differ by only ~0.6% of the optimal performance."
+    );
+}

@@ -1,0 +1,61 @@
+//! Figures 4 & 5: the Peaks-Over-Threshold construction, illustrated.
+//!
+//! Figure 4 marks the observations exceeding a threshold `u`; Figure 5
+//! contrasts the parent CDF `F(x)` with the conditional excess distribution
+//! `F_u(y)`. This binary reproduces both on a synthetic bounded sample and
+//! verifies the Pickands–Balkema–de Haan approximation numerically: the
+//! empirical excess distribution is compared against the fitted GPD.
+//!
+//! Run: `cargo run --release -p optassign-bench --bin fig4_5`
+
+use optassign_evt::fit::fit_mle;
+use optassign_evt::gpd::Gpd;
+use optassign_bench::print_table;
+use optassign_stats::ecdf::{ks_statistic, Ecdf};
+use rand::SeedableRng;
+
+fn main() {
+    // A bounded "performance-like" population: location + GPD(ξ<0) tail.
+    let truth = Gpd::new(-0.35, 1.2).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let sample: Vec<f64> = (0..4000).map(|_| 5.0 + truth.sample(&mut rng)).collect();
+    let sorted = optassign_stats::descriptive::sorted(&sample);
+
+    // Threshold at the 95th percentile (the paper's 5% exceedance cap).
+    let u = sorted[(sorted.len() as f64 * 0.95) as usize];
+    let exceedances: Vec<f64> = sorted.iter().filter(|&&x| x > u).map(|x| x - u).collect();
+
+    println!("Figure 4: exceedances over the threshold u\n");
+    println!("sample size          : {}", sample.len());
+    println!("threshold u          : {u:.4}");
+    println!("exceedances (peaks)  : {}", exceedances.len());
+    println!(
+        "largest observation  : {:.4}",
+        sorted.last().expect("non-empty")
+    );
+
+    println!("\nFigure 5: F(x) vs the conditional excess distribution F_u(y)\n");
+    let parent = Ecdf::new(&sample).expect("non-empty");
+    let excess = Ecdf::new(&exceedances).expect("non-empty");
+    let fit = fit_mle(&exceedances).expect("enough exceedances");
+    let mut rows = Vec::new();
+    for i in 0..=10 {
+        let y = i as f64 / 10.0 * exceedances.iter().copied().fold(0.0f64, f64::max);
+        rows.push(vec![
+            format!("{y:.3}"),
+            format!("{:.4}", parent.eval(u + y)),
+            format!("{:.4}", excess.eval(y)),
+            format!("{:.4}", fit.gpd.cdf(y)),
+        ]);
+    }
+    print_table(&["y = x - u", "F(u + y)", "empirical F_u(y)", "fitted GPD"], &rows);
+
+    let ks = ks_statistic(&exceedances, |y| fit.gpd.cdf(y)).expect("non-empty");
+    println!("\nFitted GPD: shape = {:.3}, scale = {:.3}", fit.gpd.shape(), fit.gpd.scale());
+    println!("KS distance between excesses and fitted GPD: {ks:.4}");
+    println!(
+        "\nPaper anchor (Theorem 1): for large u, F_u(y) is well approximated by a\n\
+         Generalized Pareto Distribution — the fitted column should track the\n\
+         empirical column closely (KS distance near zero)."
+    );
+}

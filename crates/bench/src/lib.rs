@@ -1,0 +1,222 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` for the index); this library holds the pieces they
+//! share: command-line scaling, the measured-pool construction for the
+//! five-benchmark case study, and plain-text rendering helpers.
+//!
+//! All experiments are deterministic: a fixed base seed flows through the
+//! assignment sampler, the simulator's address streams, and the traffic
+//! configuration.
+
+pub mod ascii;
+
+use optassign::model::SimModel;
+use optassign::study::SampleStudy;
+use optassign_netapps::Benchmark;
+use optassign_sim::MachineConfig;
+
+/// Base RNG seed for every experiment.
+pub const BASE_SEED: u64 = 0x0A5F_2012;
+
+/// Number of pipeline instances in the paper's case study (24 threads).
+pub const PAPER_INSTANCES: usize = 8;
+
+/// The paper's sample sizes for Figures 10–12.
+pub const PAPER_SAMPLE_SIZES: [usize; 3] = [1000, 2000, 5000];
+
+/// Simulation windows used by the experiments (cycles).
+pub const WARMUP_CYCLES: u64 = 20_000;
+/// Measurement window (cycles).
+pub const MEASURE_CYCLES: u64 = 80_000;
+
+/// Experiment scale parsed from the command line.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Multiplier on sample sizes (1.0 = the paper's sizes).
+    pub factor: f64,
+}
+
+impl Scale {
+    /// Parses `--scale <f>` from the process arguments; defaults to 1.0.
+    /// Also honours a bare positional float for convenience.
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        let mut factor = 1.0f64;
+        let mut i = 1;
+        while i < args.len() {
+            if args[i] == "--scale" && i + 1 < args.len() {
+                factor = args[i + 1].parse().unwrap_or(1.0);
+                i += 2;
+                continue;
+            }
+            if let Ok(v) = args[i].parse::<f64>() {
+                factor = v;
+            }
+            i += 1;
+        }
+        Scale {
+            factor: factor.clamp(0.01, 10.0),
+        }
+    }
+
+    /// Scales a paper sample size, keeping it statistically usable
+    /// (at least 300 so the 5% tail keeps ≥ 15 exceedances).
+    pub fn sample(&self, paper_n: usize) -> usize {
+        ((paper_n as f64 * self.factor) as usize).max(300)
+    }
+
+    /// The three Figure-10/11/12 sample sizes at this scale.
+    pub fn sample_sizes(&self) -> [usize; 3] {
+        PAPER_SAMPLE_SIZES.map(|n| self.sample(n))
+    }
+}
+
+/// Builds the simulator-backed model for one benchmark of the case study
+/// (8 instances, 24 threads).
+pub fn case_study_model(bench: Benchmark) -> SimModel {
+    let machine = MachineConfig::ultrasparc_t2();
+    let workload = bench.build_workload(PAPER_INSTANCES, BASE_SEED);
+    SimModel::new(machine, workload).with_windows(WARMUP_CYCLES, MEASURE_CYCLES)
+}
+
+/// Builds a simulator-backed model for a smaller study (e.g. Figure 1's
+/// two-instance, 6-thread workload), with a longer measurement window:
+/// fewer tasks transmit fewer packets per cycle, so stability needs more
+/// cycles.
+pub fn case_study_model_small(bench: Benchmark, instances: usize) -> SimModel {
+    let machine = MachineConfig::ultrasparc_t2();
+    let workload = bench.build_workload(instances, BASE_SEED);
+    SimModel::new(machine, workload).with_windows(WARMUP_CYCLES, 3 * MEASURE_CYCLES)
+}
+
+/// Measures a pool of `n` random assignments for one benchmark, printing
+/// progress to stderr (the big pools take minutes on one CPU).
+pub fn measured_pool(bench: Benchmark, n: usize) -> SampleStudy {
+    let model = case_study_model(bench);
+    eprintln!("[pool] {}: measuring {} random assignments…", bench.name(), n);
+    let t0 = std::time::Instant::now();
+    let study = SampleStudy::run(&model, n, BASE_SEED ^ seed_tag(bench))
+        .expect("case-study workloads fit the machine");
+    eprintln!(
+        "[pool] {}: done in {:.1}s",
+        bench.name(),
+        t0.elapsed().as_secs_f64()
+    );
+    study
+}
+
+/// One benchmark's Figure-10/11/12 numbers at one sample size.
+#[derive(Debug, Clone)]
+pub struct SizePoint {
+    /// Sample size `n`.
+    pub n: usize,
+    /// Best measured performance among the first `n` draws.
+    pub best: f64,
+    /// POT analysis over the first `n` draws; `None` when the sample's
+    /// tail did not (yet) support a bounded fit — the iterative
+    /// algorithm's signal to keep sampling.
+    pub analysis: Option<optassign_evt::pot::PotAnalysis>,
+}
+
+/// Measures one 24-thread pool per benchmark and analyzes its prefixes at
+/// the given sample sizes (iid prefixes of one pool are statistically
+/// equivalent to the paper's independent draws; see DESIGN.md §7).
+pub fn sample_size_analysis(bench: Benchmark, sizes: &[usize]) -> Vec<SizePoint> {
+    use optassign_evt::pot::{PotAnalysis, PotConfig};
+    let max = *sizes.iter().max().expect("non-empty sizes");
+    let pool = measured_pool(bench, max);
+    sizes
+        .iter()
+        .map(|&n| {
+            let study = pool.prefix(n);
+            let analysis =
+                PotAnalysis::run(study.performances(), &PotConfig::default()).ok();
+            SizePoint {
+                n,
+                best: study.best_performance(),
+                analysis,
+            }
+        })
+        .collect()
+}
+
+/// Distinct per-benchmark seed component.
+pub fn seed_tag(bench: Benchmark) -> u64 {
+    match bench {
+        Benchmark::IpFwdL1 => 0x11,
+        Benchmark::IpFwdMem => 0x22,
+        Benchmark::PacketAnalyzer => 0x33,
+        Benchmark::AhoCorasick => 0x44,
+        Benchmark::Stateful => 0x55,
+        Benchmark::IpFwdIntAdd => 0x66,
+        Benchmark::IpFwdIntMul => 0x77,
+    }
+}
+
+/// Formats a PPS value the way the paper's figures label them.
+pub fn fmt_pps(pps: f64) -> String {
+    if pps >= 1.0e6 {
+        format!("{:.3} MPPS", pps / 1.0e6)
+    } else {
+        format!("{:.0} PPS", pps)
+    }
+}
+
+/// Renders a simple aligned table to stdout.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_floors_small_samples() {
+        let s = Scale { factor: 0.01 };
+        assert_eq!(s.sample(1000), 300);
+        let s = Scale { factor: 1.0 };
+        assert_eq!(s.sample_sizes(), [1000, 2000, 5000]);
+    }
+
+    #[test]
+    fn fmt_pps_units() {
+        assert_eq!(fmt_pps(1_500_000.0), "1.500 MPPS");
+        assert_eq!(fmt_pps(900.0), "900 PPS");
+    }
+
+    #[test]
+    fn seed_tags_are_distinct() {
+        let all = [
+            Benchmark::IpFwdL1,
+            Benchmark::IpFwdMem,
+            Benchmark::PacketAnalyzer,
+            Benchmark::AhoCorasick,
+            Benchmark::Stateful,
+            Benchmark::IpFwdIntAdd,
+            Benchmark::IpFwdIntMul,
+        ];
+        let set: std::collections::HashSet<u64> = all.iter().map(|b| seed_tag(*b)).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

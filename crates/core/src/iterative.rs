@@ -1,0 +1,289 @@
+//! The iterative task-assignment algorithm (paper §5.3, Figure 13).
+//!
+//! The customer specifies an acceptable performance loss `X%`. The
+//! algorithm measures `N_init` random assignments, estimates the optimal
+//! system performance with the POT method, and — while the best observed
+//! assignment is more than `X%` below the estimate — keeps measuring
+//! `N_delta` more random assignments, re-estimating on the growing sample.
+//! Its output is the best observed assignment together with the estimated
+//! gap to the optimum.
+
+use crate::model::PerformanceModel;
+use crate::sampling::sample_assignments;
+use crate::study::SampleStudy;
+use crate::{Assignment, CoreError};
+use optassign_evt::pot::{PotAnalysis, PotConfig};
+use rand::SeedableRng;
+
+/// Configuration of the iterative algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterativeConfig {
+    /// Initial sample size `N_init` (the paper uses 1000).
+    pub n_init: usize,
+    /// Assignments added per iteration `N_delta` (the paper uses 100).
+    pub n_delta: usize,
+    /// Acceptable performance loss w.r.t. the estimated optimum, as a
+    /// fraction (the paper studies 0.025, 0.05 and 0.10).
+    pub acceptable_loss: f64,
+    /// Confidence level of the POT estimation (the paper uses 0.95).
+    pub confidence: f64,
+    /// Hard cap on the total number of measured assignments, so a
+    /// mis-specified target cannot loop forever.
+    pub max_samples: usize,
+}
+
+impl Default for IterativeConfig {
+    fn default() -> Self {
+        IterativeConfig {
+            n_init: 1000,
+            n_delta: 100,
+            acceptable_loss: 0.025,
+            confidence: 0.95,
+            max_samples: 50_000,
+        }
+    }
+}
+
+/// One iteration's bookkeeping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationTrace {
+    /// Sample size when the estimate was made.
+    pub samples: usize,
+    /// Best performance observed so far.
+    pub best_observed: f64,
+    /// Estimated optimal system performance (UPB point estimate).
+    pub estimated_optimal: f64,
+    /// Gap `(UPB − best)/UPB` at this iteration.
+    pub gap: f64,
+}
+
+/// Result of the iterative algorithm.
+#[derive(Debug, Clone)]
+pub struct IterativeResult {
+    /// The best assignment observed when the loop stopped.
+    pub best_assignment: Assignment,
+    /// Its measured performance.
+    pub best_performance: f64,
+    /// The final POT analysis.
+    pub final_estimate: PotAnalysis,
+    /// Total assignments measured.
+    pub samples_used: usize,
+    /// Whether the gap target was met (vs. hitting `max_samples`).
+    pub converged: bool,
+    /// Per-iteration history (for the paper's Figure 14 analysis).
+    pub trace: Vec<IterationTrace>,
+}
+
+/// Runs the iterative algorithm against a performance model.
+///
+/// # Errors
+///
+/// * [`CoreError::Infeasible`] — the workload does not fit the machine.
+/// * [`CoreError::Domain`] — nonsensical configuration.
+/// * Estimation errors from the POT pipeline (e.g. not enough data for the
+///   configured `n_init`).
+///
+/// # Examples
+///
+/// ```
+/// use optassign::iterative::{run_iterative, IterativeConfig};
+/// use optassign::model::SyntheticModel;
+/// use optassign::Topology;
+///
+/// let model = SyntheticModel::new(Topology::ultrasparc_t2(), 6, 1.0e6);
+/// let cfg = IterativeConfig { n_init: 400, acceptable_loss: 0.10, ..IterativeConfig::default() };
+/// let result = run_iterative(&model, &cfg, 5).unwrap();
+/// assert!(result.converged);
+/// // The returned assignment is within 10% of the estimated optimum.
+/// let gap = (result.final_estimate.upb.point - result.best_performance)
+///     / result.final_estimate.upb.point;
+/// assert!(gap <= 0.10);
+/// ```
+pub fn run_iterative<M: PerformanceModel>(
+    model: &M,
+    config: &IterativeConfig,
+    seed: u64,
+) -> Result<IterativeResult, CoreError> {
+    if !(config.acceptable_loss > 0.0 && config.acceptable_loss < 1.0) {
+        return Err(CoreError::Domain(format!(
+            "acceptable_loss must be in (0, 1), got {}",
+            config.acceptable_loss
+        )));
+    }
+    if config.n_init < 100 || config.n_delta == 0 {
+        return Err(CoreError::Domain(
+            "n_init must be >= 100 and n_delta >= 1".into(),
+        ));
+    }
+    let pot = PotConfig {
+        confidence: config.confidence,
+        ..PotConfig::default()
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // Step 1: initial sample.
+    let initial = sample_assignments(config.n_init, model.tasks(), model.topology(), &mut rng)?;
+    let perfs: Vec<f64> = initial.iter().map(|a| model.evaluate(a)).collect();
+    let mut study = SampleStudy::from_measurements(initial, perfs)?;
+
+    let mut trace = Vec::new();
+    loop {
+        // Step 2: estimate the optimal system performance. A sample whose
+        // upper tail does not (yet) support a bounded fit is not a
+        // failure of the algorithm — it is the signal to keep sampling,
+        // so `UnboundedTail` feeds back into Step 4 like an unmet target.
+        let analysis = match study.estimate_optimal(&pot) {
+            Ok(a) => Some(a),
+            Err(CoreError::Evt(optassign_evt::EvtError::UnboundedTail { .. })) => None,
+            Err(e) => return Err(e),
+        };
+        let gap = analysis
+            .as_ref()
+            .map(|a| a.improvement_headroom())
+            .unwrap_or(f64::INFINITY);
+        if let Some(a) = &analysis {
+            trace.push(IterationTrace {
+                samples: study.len(),
+                best_observed: a.best_observed,
+                estimated_optimal: a.upb.point,
+                gap,
+            });
+        }
+
+        // Step 3: accept or iterate.
+        let converged = gap <= config.acceptable_loss;
+        if converged || study.len() + config.n_delta > config.max_samples {
+            let analysis = match analysis {
+                Some(a) => a,
+                // Terminated at the cap with an unresolved tail: surface
+                // the estimation failure to the caller.
+                None => study.estimate_optimal(&pot)?,
+            };
+            let best_assignment = study.best_assignment().clone();
+            let best_performance = study.best_performance();
+            return Ok(IterativeResult {
+                best_assignment,
+                best_performance,
+                final_estimate: analysis,
+                samples_used: study.len(),
+                converged,
+                trace,
+            });
+        }
+
+        // Step 4: extend the sample by N_delta and re-analyze.
+        let extra =
+            sample_assignments(config.n_delta, model.tasks(), model.topology(), &mut rng)?;
+        let extra_perfs: Vec<f64> = extra.iter().map(|a| model.evaluate(a)).collect();
+        study.extend_measured(extra, extra_perfs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SyntheticModel;
+    use optassign_sim::Topology;
+
+    fn model() -> SyntheticModel {
+        SyntheticModel::new(Topology::ultrasparc_t2(), 8, 2.0e6)
+    }
+
+    #[test]
+    fn converges_and_meets_target() {
+        let cfg = IterativeConfig {
+            n_init: 500,
+            n_delta: 100,
+            acceptable_loss: 0.05,
+            ..IterativeConfig::default()
+        };
+        let r = run_iterative(&model(), &cfg, 1).unwrap();
+        assert!(r.converged);
+        let gap =
+            (r.final_estimate.upb.point - r.best_performance) / r.final_estimate.upb.point;
+        assert!(gap <= 0.05 + 1e-9, "gap = {gap}");
+        assert!(r.samples_used >= 500);
+        assert_eq!(r.trace.last().unwrap().samples, r.samples_used);
+    }
+
+    #[test]
+    fn looser_targets_need_no_more_samples() {
+        let mk = |loss: f64| IterativeConfig {
+            n_init: 500,
+            n_delta: 100,
+            acceptable_loss: loss,
+            ..IterativeConfig::default()
+        };
+        let tight = run_iterative(&model(), &mk(0.02), 2).unwrap();
+        let loose = run_iterative(&model(), &mk(0.20), 2).unwrap();
+        assert!(loose.samples_used <= tight.samples_used);
+    }
+
+    #[test]
+    fn trace_is_monotone_in_samples_and_best() {
+        let cfg = IterativeConfig {
+            n_init: 400,
+            n_delta: 50,
+            acceptable_loss: 0.01,
+            max_samples: 1500,
+            ..IterativeConfig::default()
+        };
+        let r = run_iterative(&model(), &cfg, 3).unwrap();
+        for w in r.trace.windows(2) {
+            assert!(w[1].samples > w[0].samples);
+            assert!(w[1].best_observed >= w[0].best_observed);
+        }
+    }
+
+    #[test]
+    fn respects_max_samples_cap() {
+        // An unreachable target (0.01% loss on a jittery model) must stop
+        // at the cap rather than loop forever.
+        let cfg = IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 0.0001,
+            max_samples: 800,
+            ..IterativeConfig::default()
+        };
+        let r = run_iterative(&model(), &cfg, 4);
+        match r {
+            Ok(res) => {
+                assert!(res.samples_used <= 800);
+                if !res.converged {
+                    assert!(res.samples_used + cfg.n_delta > 800);
+                }
+            }
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let m = model();
+        let bad_loss = IterativeConfig {
+            acceptable_loss: 0.0,
+            ..IterativeConfig::default()
+        };
+        assert!(run_iterative(&m, &bad_loss, 0).is_err());
+        let bad_init = IterativeConfig {
+            n_init: 10,
+            ..IterativeConfig::default()
+        };
+        assert!(run_iterative(&m, &bad_init, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = IterativeConfig {
+            n_init: 400,
+            acceptable_loss: 0.05,
+            ..IterativeConfig::default()
+        };
+        let a = run_iterative(&model(), &cfg, 9).unwrap();
+        let b = run_iterative(&model(), &cfg, 9).unwrap();
+        assert_eq!(a.samples_used, b.samples_used);
+        assert_eq!(a.best_performance, b.best_performance);
+    }
+}

@@ -1,0 +1,143 @@
+//! Capture probability of random sampling (paper §3.1, Figure 2).
+//!
+//! For a sample of `n` iid random assignments drawn with replacement from a
+//! large population, the probability that at least one falls within the top
+//! `P%` of all assignments is `P(A) = 1 − ((100 − P)/100)ⁿ` — independent
+//! of the population size.
+
+use crate::CoreError;
+
+/// Probability that a sample of `n` random assignments contains at least
+/// one of the best `top_fraction` of the population (`top_fraction` in
+/// `(0, 1)`, e.g. `0.01` for the paper's "1% best-performing").
+///
+/// # Errors
+///
+/// Returns [`CoreError::Domain`] when `top_fraction` is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use optassign::probability::capture_probability;
+///
+/// // A few hundred random assignments almost surely capture a top-1%
+/// // assignment (the paper's headline observation).
+/// let p = capture_probability(459, 0.01).unwrap();
+/// assert!(p > 0.99);
+/// ```
+pub fn capture_probability(n: usize, top_fraction: f64) -> Result<f64, CoreError> {
+    validate_fraction(top_fraction)?;
+    Ok(1.0 - (1.0 - top_fraction).powi(n as i32))
+}
+
+/// Smallest sample size whose capture probability reaches `target`
+/// (`n = ⌈ln(1−target)/ln(1−top_fraction)⌉`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Domain`] when either fraction is outside `(0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use optassign::probability::{capture_probability, required_sample_size};
+///
+/// let n = required_sample_size(0.99, 0.01).unwrap();
+/// assert_eq!(n, 459);
+/// assert!(capture_probability(n, 0.01).unwrap() >= 0.99);
+/// assert!(capture_probability(n - 1, 0.01).unwrap() < 0.99);
+/// ```
+pub fn required_sample_size(target: f64, top_fraction: f64) -> Result<usize, CoreError> {
+    validate_fraction(top_fraction)?;
+    if !(target > 0.0 && target < 1.0) {
+        return Err(CoreError::Domain(format!(
+            "target probability must be in (0, 1), got {target}"
+        )));
+    }
+    let n = ((1.0 - target).ln() / (1.0 - top_fraction).ln()).ceil();
+    Ok(n as usize)
+}
+
+/// Expected number of top-`top_fraction` assignments captured in a sample
+/// of `n` (binomial mean `n·p`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Domain`] when `top_fraction` is outside `(0, 1)`.
+pub fn expected_captures(n: usize, top_fraction: f64) -> Result<f64, CoreError> {
+    validate_fraction(top_fraction)?;
+    Ok(n as f64 * top_fraction)
+}
+
+fn validate_fraction(top_fraction: f64) -> Result<(), CoreError> {
+    if !(top_fraction > 0.0 && top_fraction < 1.0) {
+        return Err(CoreError::Domain(format!(
+            "top_fraction must be in (0, 1), got {top_fraction}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_hand_computation() {
+        // n = 1: probability is exactly the top fraction.
+        assert!((capture_probability(1, 0.25).unwrap() - 0.25).abs() < 1e-12);
+        // n = 2, P = 50%: 1 - 0.5^2 = 0.75.
+        assert!((capture_probability(2, 0.5).unwrap() - 0.75).abs() < 1e-12);
+        // n = 0: empty sample captures nothing.
+        assert_eq!(capture_probability(0, 0.1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn paper_figure2_shape() {
+        // Small samples (< 10) are unlikely to capture the top 1%.
+        assert!(capture_probability(10, 0.01).unwrap() < 0.1);
+        // Several hundred samples capture the top 1-2% with high
+        // probability; the probability approaches 1 beyond 1000.
+        assert!(capture_probability(300, 0.02).unwrap() > 0.99);
+        assert!(capture_probability(1000, 0.01).unwrap() > 0.9999);
+        // Larger top fractions converge faster.
+        let p1 = capture_probability(100, 0.01).unwrap();
+        let p5 = capture_probability(100, 0.05).unwrap();
+        let p25 = capture_probability(100, 0.25).unwrap();
+        assert!(p1 < p5 && p5 < p25);
+    }
+
+    #[test]
+    fn monotone_in_n() {
+        let mut last = 0.0;
+        for n in 0..2000 {
+            let p = capture_probability(n, 0.01).unwrap();
+            assert!(p >= last);
+            assert!((0.0..=1.0).contains(&p));
+            last = p;
+        }
+    }
+
+    #[test]
+    fn required_sizes_match_known_values() {
+        // Classic values: 95% for top-1% needs 299, 99% needs 459.
+        assert_eq!(required_sample_size(0.95, 0.01).unwrap(), 299);
+        assert_eq!(required_sample_size(0.99, 0.01).unwrap(), 459);
+        assert_eq!(required_sample_size(0.99, 0.05).unwrap(), 90);
+    }
+
+    #[test]
+    fn expected_captures_scales() {
+        assert_eq!(expected_captures(5000, 0.05).unwrap(), 250.0);
+        assert_eq!(expected_captures(1000, 0.05).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn domain_errors() {
+        assert!(capture_probability(10, 0.0).is_err());
+        assert!(capture_probability(10, 1.0).is_err());
+        assert!(required_sample_size(1.0, 0.01).is_err());
+        assert!(required_sample_size(0.5, -0.1).is_err());
+        assert!(expected_captures(10, 2.0).is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Random task-assignment generation (paper §3.3.2, Step 1).
+//!
+//! The paper's recipe for iid samples: "enumerate the hardware contexts of
+//! the processor with integers from 1 to V and for each task in the
+//! workload … randomly select an integer from this interval. … If two or
+//! more tasks are mapped to the same hardware context … discard the invalid
+//! assignment and repeat the whole process." This samples uniformly over
+//! *labeled* placements (with replacement across draws), which is exactly
+//! what the EVT analysis requires. The implementation realizes the same
+//! distribution with a partial Fisher–Yates shuffle (see
+//! [`random_assignment`]), avoiding the rejection loop's collapse on dense
+//! workloads.
+
+use crate::assignment::Assignment;
+use crate::CoreError;
+use optassign_sim::Topology;
+use rand::Rng;
+
+/// Draws one random valid assignment of `tasks` tasks, uniformly over all
+/// placements onto distinct contexts — the distribution of the paper's
+/// rejection method, computed by partial Fisher–Yates.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `tasks` exceeds the number of
+/// hardware contexts (no valid assignment exists).
+///
+/// # Examples
+///
+/// ```
+/// use optassign::sampling::random_assignment;
+/// use optassign::Topology;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let a = random_assignment(24, Topology::ultrasparc_t2(), &mut rng).unwrap();
+/// assert_eq!(a.tasks(), 24);
+/// ```
+pub fn random_assignment<R: Rng + ?Sized>(
+    tasks: usize,
+    topology: Topology,
+    rng: &mut R,
+) -> Result<Assignment, CoreError> {
+    let v = topology.contexts();
+    if tasks > v {
+        return Err(CoreError::Infeasible(format!(
+            "{tasks} tasks exceed {v} contexts"
+        )));
+    }
+    // The paper's recipe is rejection sampling: draw a context per task,
+    // discard on collision. Conditioned on validity that is exactly the
+    // uniform distribution over ordered tuples of *distinct* contexts —
+    // the same law a partial Fisher–Yates shuffle produces directly. We
+    // use the shuffle: identical distribution, and O(T) even for dense
+    // workloads where rejection's acceptance probability collapses
+    // (64 tasks on 64 contexts accept with probability 64!/64⁶⁴ ≈ 10⁻²⁷).
+    let mut pool: Vec<usize> = (0..v).collect();
+    for i in 0..tasks {
+        let j = rng.gen_range(i..v);
+        pool.swap(i, j);
+    }
+    pool.truncate(tasks);
+    Assignment::new(pool, topology)
+}
+
+/// Draws `n` iid random assignments (sampling with replacement: duplicates
+/// across the sample are possible and statistically intended).
+///
+/// # Errors
+///
+/// Same conditions as [`random_assignment`].
+pub fn sample_assignments<R: Rng + ?Sized>(
+    n: usize,
+    tasks: usize,
+    topology: Topology,
+    rng: &mut R,
+) -> Result<Vec<Assignment>, CoreError> {
+    (0..n)
+        .map(|_| random_assignment(tasks, topology, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t2() -> Topology {
+        Topology::ultrasparc_t2()
+    }
+
+    #[test]
+    fn assignments_are_valid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let a = random_assignment(24, t2(), &mut rng).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for &c in a.contexts() {
+                assert!(c < 64);
+                assert!(seen.insert(c), "duplicate context");
+            }
+        }
+    }
+
+    #[test]
+    fn full_machine_is_a_permutation() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = random_assignment(64, t2(), &mut rng).unwrap();
+        let mut contexts: Vec<usize> = a.contexts().to_vec();
+        contexts.sort_unstable();
+        assert_eq!(contexts, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn infeasible_when_too_many_tasks() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        assert!(random_assignment(65, t2(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let mut a = rand::rngs::StdRng::seed_from_u64(5);
+        let mut b = rand::rngs::StdRng::seed_from_u64(5);
+        let s1 = sample_assignments(10, 12, t2(), &mut a).unwrap();
+        let s2 = sample_assignments(10, 12, t2(), &mut b).unwrap();
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn marginal_distribution_is_uniform() {
+        // Each task's context should be uniform over 0..V. Check task 0
+        // over many draws with a chi-square-style bound.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut counts = vec![0usize; 64];
+        const N: usize = 64_000;
+        for _ in 0..N {
+            let a = random_assignment(3, t2(), &mut rng).unwrap();
+            counts[a.contexts()[0]] += 1;
+        }
+        let expected = (N / 64) as f64;
+        for (c, &cnt) in counts.iter().enumerate() {
+            assert!(
+                (cnt as f64 - expected).abs() < expected * 0.25,
+                "context {c}: {cnt} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn pairs_land_on_same_pipe_at_expected_rate() {
+        // For 2 tasks on the T2, P(same pipe) = 3/63 (3 other contexts in
+        // the first task's pipe out of 63 remaining).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut same_pipe = 0usize;
+        const N: usize = 40_000;
+        let topo = t2();
+        for _ in 0..N {
+            let a = random_assignment(2, topo, &mut rng).unwrap();
+            if topo.pipe_of(a.contexts()[0]) == topo.pipe_of(a.contexts()[1]) {
+                same_pipe += 1;
+            }
+        }
+        let rate = same_pipe as f64 / N as f64;
+        let expect = 3.0 / 63.0;
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "same-pipe rate {rate} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn duplicates_possible_with_replacement() {
+        // With only 3 equivalence classes for 2 tasks, a modest sample must
+        // contain repeated canonical keys (sampling with replacement).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let sample = sample_assignments(50, 2, t2(), &mut rng).unwrap();
+        let keys: std::collections::HashSet<_> =
+            sample.iter().map(|a| a.canonical_key()).collect();
+        assert!(keys.len() <= 3);
+        assert!(sample.len() > keys.len());
+    }
+}

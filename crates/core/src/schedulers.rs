@@ -1,0 +1,300 @@
+//! Baseline task-assignment strategies (paper §2, Figure 1).
+//!
+//! The paper motivates its method by comparing a *naive* scheduler (random
+//! assignment), a *Linux-like* scheduler ("the number of tasks per core or
+//! scheduling domain is balanced"), and the true optimum. This module
+//! implements those baselines plus best-of-sample, the strategy the
+//! statistical analysis justifies.
+
+use crate::assignment::Assignment;
+use crate::model::PerformanceModel;
+use crate::sampling::random_assignment;
+use crate::CoreError;
+use optassign_sim::Topology;
+use rand::Rng;
+
+/// Naive scheduler: one uniformly random valid assignment.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `tasks` exceeds the context
+/// count.
+pub fn naive<R: Rng + ?Sized>(
+    tasks: usize,
+    topology: Topology,
+    rng: &mut R,
+) -> Result<Assignment, CoreError> {
+    random_assignment(tasks, topology, rng)
+}
+
+/// Linux-like scheduler: balances the task count across scheduling domains
+/// — cores first, then pipes within a core, then strand slots — the way a
+/// load-balancing OS scheduler spreads runnable tasks.
+///
+/// Task `i` lands on core `i mod cores`, pipe `(i / cores) mod pipes`,
+/// strand `i / (cores × pipes)`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `tasks` exceeds the context
+/// count.
+///
+/// # Examples
+///
+/// ```
+/// use optassign::schedulers::linux_like;
+/// use optassign::Topology;
+///
+/// let topo = Topology::ultrasparc_t2();
+/// let a = linux_like(24, topo).unwrap();
+/// // 24 tasks on 8 cores: exactly 3 per core.
+/// let groups = a.pipe_groups();
+/// assert!(groups.iter().all(|core| core.iter().map(Vec::len).sum::<usize>() == 3));
+/// ```
+pub fn linux_like(tasks: usize, topology: Topology) -> Result<Assignment, CoreError> {
+    let v = topology.contexts();
+    if tasks > v {
+        return Err(CoreError::Infeasible(format!(
+            "{tasks} tasks exceed {v} contexts"
+        )));
+    }
+    let contexts = (0..tasks)
+        .map(|i| {
+            let core = i % topology.cores;
+            let pipe = (i / topology.cores) % topology.pipes_per_core;
+            let strand = i / (topology.cores * topology.pipes_per_core);
+            topology.context_at(core, pipe, strand)
+        })
+        .collect();
+    Assignment::new(contexts, topology)
+}
+
+/// Best-of-sample scheduler: measures `n` random assignments and returns
+/// the best one with its performance — the strategy §3.1 of the paper
+/// shows captures a top-1% assignment with probability `1 − 0.99ⁿ`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Domain`] for `n == 0` and propagates sampling
+/// errors.
+pub fn best_of_sample<M: PerformanceModel, R: Rng + ?Sized>(
+    model: &M,
+    n: usize,
+    rng: &mut R,
+) -> Result<(Assignment, f64), CoreError> {
+    if n == 0 {
+        return Err(CoreError::Domain("sample size must be non-zero".into()));
+    }
+    let mut best: Option<(Assignment, f64)> = None;
+    for _ in 0..n {
+        let a = random_assignment(model.tasks(), model.topology(), rng)?;
+        let p = model.evaluate(&a);
+        if best.as_ref().map(|(_, bp)| p > *bp).unwrap_or(true) {
+            best = Some((a, p));
+        }
+    }
+    Ok(best.expect("n >= 1"))
+}
+
+/// Local-search scheduler: hill climbing over single-task moves.
+///
+/// Starts from a random assignment and repeatedly tries moving one task to
+/// a free context (or swapping two tasks), keeping improvements, within a
+/// budget of `max_evaluations` model evaluations. This is the style of
+/// heuristic scheduler the paper's §2 argues must be judged against the
+/// *optimal* performance — the `ext_scheduler_eval` experiment does exactly
+/// that using the EVT bound.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Domain`] for a zero budget and propagates sampling
+/// errors.
+pub fn local_search<M: PerformanceModel, R: Rng + ?Sized>(
+    model: &M,
+    max_evaluations: usize,
+    rng: &mut R,
+) -> Result<(Assignment, f64), CoreError> {
+    if max_evaluations == 0 {
+        return Err(CoreError::Domain("evaluation budget must be non-zero".into()));
+    }
+    let topo = model.topology();
+    let v = topo.contexts();
+    let mut current = random_assignment(model.tasks(), topo, rng)?;
+    let mut current_perf = model.evaluate(&current);
+    let mut evaluations = 1usize;
+
+    // On degenerate geometries every move is a no-op; bound the attempts so
+    // the loop always terminates.
+    let mut attempts = 0usize;
+    let max_attempts = max_evaluations.saturating_mul(50).max(1000);
+    while evaluations < max_evaluations && attempts < max_attempts {
+        attempts += 1;
+        let contexts = current.contexts().to_vec();
+        let t = rng.gen_range(0..contexts.len());
+        let mut candidate = contexts.clone();
+        if rng.gen_bool(0.5) {
+            // Move task t to a random context; if occupied, swap.
+            let dest = rng.gen_range(0..v);
+            if let Some(other) = contexts.iter().position(|&c| c == dest) {
+                candidate.swap(t, other);
+            } else {
+                candidate[t] = dest;
+            }
+        } else {
+            // Swap two tasks.
+            let u = rng.gen_range(0..contexts.len());
+            candidate.swap(t, u);
+        }
+        if candidate == contexts {
+            continue;
+        }
+        let candidate = Assignment::new(candidate, topo)?;
+        let perf = model.evaluate(&candidate);
+        evaluations += 1;
+        if perf > current_perf {
+            current = candidate;
+            current_perf = perf;
+        }
+    }
+    Ok((current, current_perf))
+}
+
+/// Exhaustive scheduler: evaluates every equivalence class and returns the
+/// true optimum. Only feasible for small workloads (Figure 1's 6-task
+/// study); `limit` guards against accidental explosion.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when the class count exceeds `limit`.
+pub fn exhaustive_optimal<M: PerformanceModel>(
+    model: &M,
+    limit: usize,
+) -> Result<(Assignment, f64), CoreError> {
+    let all = crate::space::enumerate_assignments(model.tasks(), model.topology(), limit)?;
+    let mut best: Option<(Assignment, f64)> = None;
+    for a in all {
+        let p = model.evaluate(&a);
+        if best.as_ref().map(|(_, bp)| p > *bp).unwrap_or(true) {
+            best = Some((a, p));
+        }
+    }
+    best.ok_or_else(|| CoreError::Infeasible("empty assignment space".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SyntheticModel;
+    use rand::SeedableRng;
+
+    fn t2() -> Topology {
+        Topology::ultrasparc_t2()
+    }
+
+    #[test]
+    fn linux_like_balances_cores_before_pipes() {
+        let topo = t2();
+        // 8 tasks: exactly one per core, all on pipe 0.
+        let a = linux_like(8, topo).unwrap();
+        let groups = a.pipe_groups();
+        for core in &groups {
+            assert_eq!(core[0].len(), 1);
+            assert!(core[1].is_empty());
+        }
+        // 16 tasks: one per pipe.
+        let a = linux_like(16, topo).unwrap();
+        for core in a.pipe_groups() {
+            assert_eq!(core[0].len(), 1);
+            assert_eq!(core[1].len(), 1);
+        }
+        // 17 tasks: one pipe gets a second strand.
+        let a = linux_like(17, topo).unwrap();
+        let counts: Vec<usize> = a
+            .pipe_groups()
+            .iter()
+            .flat_map(|c| c.iter().map(Vec::len))
+            .collect();
+        assert_eq!(counts.iter().sum::<usize>(), 17);
+        assert_eq!(*counts.iter().max().unwrap(), 2);
+    }
+
+    #[test]
+    fn linux_like_full_machine() {
+        let a = linux_like(64, t2()).unwrap();
+        let mut ctx: Vec<usize> = a.contexts().to_vec();
+        ctx.sort_unstable();
+        assert_eq!(ctx, (0..64).collect::<Vec<_>>());
+        assert!(linux_like(65, t2()).is_err());
+    }
+
+    #[test]
+    fn best_of_sample_beats_naive_on_average() {
+        let m = SyntheticModel::new(t2(), 8, 1.0e6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut naive_sum = 0.0;
+        let mut best_sum = 0.0;
+        for _ in 0..10 {
+            let na = naive(8, t2(), &mut rng).unwrap();
+            naive_sum += m.evaluate(&na);
+            let (_, bp) = best_of_sample(&m, 50, &mut rng).unwrap();
+            best_sum += bp;
+        }
+        assert!(best_sum > naive_sum, "best {best_sum} vs naive {naive_sum}");
+    }
+
+    #[test]
+    fn exhaustive_finds_synthetic_optimum() {
+        // 3 tasks: 11 classes; the optimum is full spread (the 1% jitter is
+        // smaller than the 2% same-core loss, so spreading still wins).
+        let m = SyntheticModel::new(t2(), 3, 5.0e5);
+        let (a, p) = exhaustive_optimal(&m, 100).unwrap();
+        assert!(p <= m.true_optimum());
+        assert!(p >= m.true_optimum() * (1.0 - m.jitter));
+        // No two tasks share a core in the optimal assignment.
+        let topo = t2();
+        let c = a.contexts();
+        for i in 0..3 {
+            for j in i + 1..3 {
+                assert!(!topo.same_core(c[i], c[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_respects_limit() {
+        let m = SyntheticModel::new(t2(), 12, 1.0);
+        assert!(exhaustive_optimal(&m, 100).is_err());
+    }
+
+    #[test]
+    fn local_search_improves_over_its_start_and_beats_naive() {
+        let m = SyntheticModel::new(t2(), 8, 1.0e6);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let (a, p) = local_search(&m, 300, &mut rng).unwrap();
+        assert_eq!(a.tasks(), 8);
+        // On the synthetic model, 300 greedy evaluations should land very
+        // close to the zero-sharing optimum.
+        assert!(
+            p > 0.96 * m.true_optimum(),
+            "local search reached only {p}"
+        );
+        assert!(local_search(&m, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn best_of_sample_rejects_zero() {
+        let m = SyntheticModel::new(t2(), 3, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        assert!(best_of_sample(&m, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn linux_like_beats_worst_case_on_synthetic() {
+        // The balanced assignment never stacks tasks on one pipe while
+        // pipes remain free, so it should beat the all-in-one-pipe packing.
+        let m = SyntheticModel::new(t2(), 4, 1.0e6);
+        let balanced = linux_like(4, t2()).unwrap();
+        let packed = Assignment::new(vec![0, 1, 2, 3], t2()).unwrap();
+        assert!(m.evaluate(&balanced) > m.evaluate(&packed));
+    }
+}

@@ -1,0 +1,334 @@
+//! Workload selection via the same statistical method (paper §5.4/§6).
+//!
+//! On processors with a *single* level of resource sharing, scheduling is
+//! one step — workload selection: out of all ready-to-run tasks, choose the
+//! set that will run concurrently. The paper notes its methodology "can be
+//! directly applied" there: sample random workloads, measure each, and
+//! estimate the optimal workload performance with the same POT machinery.
+//! This module implements that application (the combined
+//! selection-plus-assignment problem remains the paper's future work).
+
+use crate::CoreError;
+use optassign_evt::pot::{PotAnalysis, PotConfig};
+use optassign_sim::program::{AccessPattern, ProgramBuilder, WorkloadSpec};
+use optassign_sim::{MachineConfig, Simulator, Topology};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Scores a *selection* — a set of candidate-task indices that will run
+/// concurrently on a machine with one level of resource sharing.
+pub trait SelectionModel {
+    /// Number of ready-to-run candidate tasks.
+    fn candidates(&self) -> usize;
+
+    /// Number of tasks that run concurrently (hardware thread count).
+    fn slots(&self) -> usize;
+
+    /// Performance of running exactly the given candidate set (sorted,
+    /// distinct indices).
+    fn evaluate(&self, selection: &[usize]) -> f64;
+}
+
+/// Draws a uniformly random `slots`-subset of the candidates (sorted).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when there are fewer candidates than
+/// slots.
+pub fn random_selection<R: Rng + ?Sized>(
+    candidates: usize,
+    slots: usize,
+    rng: &mut R,
+) -> Result<Vec<usize>, CoreError> {
+    if slots > candidates {
+        return Err(CoreError::Infeasible(format!(
+            "{slots} slots exceed {candidates} candidates"
+        )));
+    }
+    // Floyd's algorithm for a uniform k-subset.
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in candidates - slots..candidates {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    Ok(chosen.into_iter().collect())
+}
+
+/// A measured study over random workload selections.
+#[derive(Debug, Clone)]
+pub struct SelectionStudy {
+    selections: Vec<Vec<usize>>,
+    performances: Vec<f64>,
+}
+
+impl SelectionStudy {
+    /// Samples `n` random selections and measures each one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates infeasibility from [`random_selection`].
+    pub fn run<M: SelectionModel>(model: &M, n: usize, seed: u64) -> Result<Self, CoreError> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut selections = Vec::with_capacity(n);
+        let mut performances = Vec::with_capacity(n);
+        for _ in 0..n {
+            let s = random_selection(model.candidates(), model.slots(), &mut rng)?;
+            performances.push(model.evaluate(&s));
+            selections.push(s);
+        }
+        Ok(SelectionStudy {
+            selections,
+            performances,
+        })
+    }
+
+    /// The measured performances, in draw order.
+    pub fn performances(&self) -> &[f64] {
+        &self.performances
+    }
+
+    /// The drawn selections, in draw order.
+    pub fn selections(&self) -> &[Vec<usize>] {
+        &self.selections
+    }
+
+    /// The best observed selection and its performance.
+    pub fn best(&self) -> (&[usize], f64) {
+        let (idx, &p) = self
+            .performances
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+            .expect("non-empty study");
+        (&self.selections[idx], p)
+    }
+
+    /// POT estimate of the optimal workload performance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures.
+    pub fn estimate_optimal(&self, config: &PotConfig) -> Result<PotAnalysis, CoreError> {
+        PotAnalysis::run(&self.performances, config).map_err(CoreError::from)
+    }
+}
+
+/// Kind of candidate task in the built-in SMT mix model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CandidateKind {
+    /// Single-cycle integer arithmetic, saturates the issue slot.
+    IntHeavy,
+    /// Long-latency multiplies, issue-slot friendly.
+    MulHeavy,
+    /// Small-table lookups, L1-resident.
+    CacheFriendly,
+    /// Large-footprint lookups, memory-bound.
+    MemoryBound,
+    /// Floating-point kernel through the shared FPU.
+    FpHeavy,
+}
+
+/// A simulator-backed [`SelectionModel`]: one SMT core (a single level of
+/// resource sharing) and a heterogeneous pool of candidate tasks whose
+/// symbiosis determines throughput — the setting of the SOS-scheduler line
+/// of work the paper cites.
+#[derive(Debug, Clone)]
+pub struct SmtMixModel {
+    machine: MachineConfig,
+    kinds: Vec<CandidateKind>,
+    slots: usize,
+    seed: u64,
+    warmup: u64,
+    measure: u64,
+}
+
+impl SmtMixModel {
+    /// Creates a model with the given candidate mix on one `slots`-wide
+    /// SMT core.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slots` is zero or exceeds the candidate count.
+    pub fn new(kinds: Vec<CandidateKind>, slots: usize, seed: u64) -> Self {
+        assert!(slots > 0 && slots <= kinds.len());
+        let mut machine = MachineConfig::ultrasparc_t2();
+        // One core, one pipe, `slots` strands: exactly one sharing level.
+        machine.topology = Topology::new(1, 1, slots);
+        SmtMixModel {
+            machine,
+            kinds,
+            slots,
+            seed,
+            warmup: 5_000,
+            measure: 40_000,
+        }
+    }
+
+    /// A default 16-candidate heterogeneous pool.
+    pub fn default_pool(slots: usize, seed: u64) -> Self {
+        use CandidateKind::*;
+        let kinds = vec![
+            IntHeavy,
+            IntHeavy,
+            IntHeavy,
+            IntHeavy,
+            MulHeavy,
+            MulHeavy,
+            MulHeavy,
+            CacheFriendly,
+            CacheFriendly,
+            CacheFriendly,
+            MemoryBound,
+            MemoryBound,
+            MemoryBound,
+            FpHeavy,
+            FpHeavy,
+            FpHeavy,
+        ];
+        SmtMixModel::new(kinds, slots, seed)
+    }
+
+    /// The candidate kinds, by index.
+    pub fn kinds(&self) -> &[CandidateKind] {
+        &self.kinds
+    }
+
+    fn build_workload(&self, selection: &[usize]) -> WorkloadSpec {
+        let mut w = WorkloadSpec::new(self.seed);
+        for &c in selection {
+            let kind = self.kinds[c];
+            let name = format!("cand{c}");
+            let program = match kind {
+                CandidateKind::IntHeavy => {
+                    ProgramBuilder::new().niu_rx().int(120).transmit().build()
+                }
+                CandidateKind::MulHeavy => {
+                    ProgramBuilder::new().niu_rx().mul(26).transmit().build()
+                }
+                CandidateKind::CacheFriendly => {
+                    let r = w.add_region(format!("{name}.tbl"), 2 * 1024, AccessPattern::Uniform);
+                    ProgramBuilder::new()
+                        .niu_rx()
+                        .int(30)
+                        .loads(r, 10)
+                        .int(30)
+                        .transmit()
+                        .build()
+                }
+                CandidateKind::MemoryBound => {
+                    let r = w.add_region(
+                        format!("{name}.tbl"),
+                        32 * 1024 * 1024,
+                        AccessPattern::Uniform,
+                    );
+                    ProgramBuilder::new()
+                        .niu_rx()
+                        .int(20)
+                        .loads(r, 3)
+                        .int(20)
+                        .transmit()
+                        .build()
+                }
+                CandidateKind::FpHeavy => {
+                    ProgramBuilder::new().niu_rx().int(15).fp(18).transmit().build()
+                }
+            };
+            w.add_task(name, program, 3 * 1024);
+        }
+        w
+    }
+}
+
+impl SelectionModel for SmtMixModel {
+    fn candidates(&self) -> usize {
+        self.kinds.len()
+    }
+
+    fn slots(&self) -> usize {
+        self.slots
+    }
+
+    fn evaluate(&self, selection: &[usize]) -> f64 {
+        let w = self.build_workload(selection);
+        let assignment: Vec<usize> = (0..selection.len()).collect();
+        let sim = Simulator::new(&self.machine, &w, &assignment)
+            .expect("selection workloads are valid");
+        sim.run(self.warmup, self.measure).pps()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_selection_is_a_sorted_subset() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = random_selection(16, 8, &mut rng).unwrap();
+            assert_eq!(s.len(), 8);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 16));
+        }
+        assert!(random_selection(4, 5, &mut rng).is_err());
+    }
+
+    #[test]
+    fn random_selection_is_roughly_uniform_per_candidate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 10];
+        const N: usize = 20_000;
+        for _ in 0..N {
+            for i in random_selection(10, 4, &mut rng).unwrap() {
+                counts[i] += 1;
+            }
+        }
+        let expected = (N * 4 / 10) as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expected).abs() < expected * 0.1,
+                "candidate {i}: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn smt_mix_model_evaluates_and_is_deterministic() {
+        let m = SmtMixModel::default_pool(4, 3);
+        assert_eq!(m.candidates(), 16);
+        assert_eq!(m.slots(), 4);
+        let sel = vec![0, 5, 8, 11];
+        let a = m.evaluate(&sel);
+        let b = m.evaluate(&sel);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn symbiosis_matters_int_vs_mul() {
+        // Four int-heavy tasks fight for the single issue slot; four
+        // mul-heavy tasks interleave. A mixed selection beats all-int.
+        let m = SmtMixModel::default_pool(4, 4);
+        let all_int = m.evaluate(&[0, 1, 2, 3]);
+        let all_mul = m.evaluate(&[4, 5, 6, 7]);
+        assert!(
+            all_mul > all_int,
+            "mul mix {all_mul} should beat int mix {all_int}"
+        );
+    }
+
+    #[test]
+    fn selection_study_estimates_an_optimum() {
+        let m = SmtMixModel::default_pool(4, 5);
+        let study = SelectionStudy::run(&m, 250, 7).unwrap();
+        assert_eq!(study.performances().len(), 250);
+        let (best_sel, best_pps) = study.best();
+        assert_eq!(best_sel.len(), 4);
+        let analysis = study.estimate_optimal(&PotConfig::default()).unwrap();
+        assert!(analysis.upb.point >= best_pps);
+        assert!(analysis.improvement_headroom() < 0.5);
+    }
+
+}

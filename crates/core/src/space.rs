@@ -1,0 +1,491 @@
+//! The assignment space: counting and enumeration (paper §2, Table 1).
+//!
+//! The number of distinct task assignments — distinct up to the hardware's
+//! core/pipe/strand symmetry — grows so fast that exhaustive search is
+//! unusable beyond a handful of tasks (the paper quotes ~10⁵⁰ for realistic
+//! workloads). [`count_assignments`] computes the exact count with
+//! arbitrary-precision arithmetic; [`enumerate_assignments`] walks every
+//! equivalence class for the small workloads where that is feasible (the
+//! ~1500-assignment study of Figures 1 and 3).
+
+use crate::assignment::Assignment;
+use crate::CoreError;
+use optassign_sim::Topology;
+use optassign_stats::ubig::UBig;
+
+/// Exact number of distinct assignments of `tasks` distinguishable tasks
+/// onto the topology, counted up to core/pipe/strand symmetry.
+///
+/// The recurrence anchors the lowest-numbered remaining task in a fresh
+/// core: `f(n, c) = Σₖ C(n−1, k−1) · ways(k) · f(n−k, c−1)`, where
+/// `ways(k)` is the number of set partitions of `k` tasks into at most
+/// `pipes_per_core` blocks of size at most `strands_per_pipe`.
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when `tasks` exceeds the machine's
+/// context count.
+///
+/// # Examples
+///
+/// ```
+/// use optassign::space::count_assignments;
+/// use optassign::Topology;
+///
+/// // The paper's example: 3 tasks on the UltraSPARC T2 -> 11 assignments.
+/// let n = count_assignments(3, Topology::ultrasparc_t2()).unwrap();
+/// assert_eq!(n.to_string(), "11");
+/// ```
+pub fn count_assignments(tasks: usize, topology: Topology) -> Result<UBig, CoreError> {
+    if tasks > topology.contexts() {
+        return Err(CoreError::Infeasible(format!(
+            "{tasks} tasks exceed {} contexts",
+            topology.contexts()
+        )));
+    }
+    if tasks == 0 {
+        return Ok(UBig::one());
+    }
+    let per_core = topology.strands_per_core();
+    let ways: Vec<UBig> = (0..=per_core)
+        .map(|k| {
+            UBig::from(core_partitions(
+                k,
+                topology.pipes_per_core,
+                topology.strands_per_pipe,
+            ))
+        })
+        .collect();
+    // Binomials up to C(63, 31) fit u64.
+    let choose = binomial_table(tasks);
+
+    // memo[n][c]
+    let mut memo: Vec<Vec<Option<UBig>>> = vec![vec![None; topology.cores + 1]; tasks + 1];
+    fn rec(
+        n: usize,
+        c: usize,
+        per_core: usize,
+        ways: &[UBig],
+        choose: &[Vec<u64>],
+        memo: &mut Vec<Vec<Option<UBig>>>,
+    ) -> UBig {
+        if n == 0 {
+            return UBig::one();
+        }
+        if c == 0 {
+            return UBig::zero();
+        }
+        if let Some(v) = &memo[n][c] {
+            return v.clone();
+        }
+        let mut total = UBig::zero();
+        for k in 1..=per_core.min(n) {
+            if ways[k].is_zero() {
+                continue;
+            }
+            let mut term = UBig::from(choose[n - 1][k - 1]);
+            term *= &ways[k];
+            term *= &rec(n - k, c - 1, per_core, ways, choose, memo);
+            total += &term;
+        }
+        memo[n][c] = Some(total.clone());
+        total
+    }
+    Ok(rec(tasks, topology.cores, per_core, &ways, &choose, &mut memo))
+}
+
+/// Number of set partitions of `k` labeled tasks into at most `pipes`
+/// blocks, each of size at most `strands` (the ways one core's tasks can be
+/// arranged across its unordered pipes).
+fn core_partitions(k: usize, pipes: usize, strands: usize) -> u64 {
+    if k == 0 {
+        return 1;
+    }
+    if k > pipes * strands {
+        return 0;
+    }
+    // Recursive enumeration over block contents, anchoring the smallest
+    // element of each block. Blocks are built as (size vector); count via
+    // DFS with membership assignment of the smallest remaining element.
+    fn rec(remaining: usize, blocks_left: usize, strands: usize) -> u64 {
+        if remaining == 0 {
+            return 1;
+        }
+        if blocks_left == 0 {
+            return 0;
+        }
+        // The smallest remaining element starts a new block; choose its
+        // companions (j more elements from remaining - 1).
+        let mut total = 0;
+        for j in 0..strands.min(remaining) {
+            total += choose_u64(remaining - 1, j) * rec(remaining - 1 - j, blocks_left - 1, strands);
+        }
+        total
+    }
+    rec(k, pipes, strands)
+}
+
+fn choose_u64(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1u64;
+    for i in 0..k {
+        result = result * (n - i) as u64 / (i + 1) as u64;
+    }
+    result
+}
+
+/// Table of binomial coefficients `C(n, k)` for `n < rows` (fits `u64` for
+/// the 64-context machines considered here).
+fn binomial_table(rows: usize) -> Vec<Vec<u64>> {
+    let mut table = vec![vec![0u64; rows + 1]; rows + 1];
+    for n in 0..=rows {
+        table[n][0] = 1;
+        for k in 1..=n {
+            table[n][k] = table[n - 1][k - 1] + if k <= n - 1 { table[n - 1][k] } else { 0 };
+        }
+    }
+    table
+}
+
+/// Enumerates one concrete representative of every assignment equivalence
+/// class for `tasks` tasks.
+///
+/// Feasible only for small workloads (the count grows super-exponentially);
+/// used for the paper's exhaustive 6-task study (Figures 1 and 3).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when the workload does not fit the
+/// machine or the class count exceeds `limit`.
+///
+/// # Examples
+///
+/// ```
+/// use optassign::space::{count_assignments, enumerate_assignments};
+/// use optassign::Topology;
+///
+/// let topo = Topology::ultrasparc_t2();
+/// let all = enumerate_assignments(3, topo, 1_000_000).unwrap();
+/// assert_eq!(all.len() as u64, count_assignments(3, topo).unwrap().to_u64().unwrap());
+/// ```
+pub fn enumerate_assignments(
+    tasks: usize,
+    topology: Topology,
+    limit: usize,
+) -> Result<Vec<Assignment>, CoreError> {
+    if tasks > topology.contexts() {
+        return Err(CoreError::Infeasible(format!(
+            "{tasks} tasks exceed {} contexts",
+            topology.contexts()
+        )));
+    }
+    let count = count_assignments(tasks, topology)?;
+    if count > UBig::from(limit as u64) {
+        return Err(CoreError::Infeasible(format!(
+            "assignment space has {count} classes, limit is {limit}"
+        )));
+    }
+
+    // Step 1: all set partitions of {0..tasks} into blocks of size <=
+    // strands_per_pipe (blocks ordered by smallest element — canonical).
+    let mut partitions: Vec<Vec<Vec<usize>>> = Vec::new();
+    let mut current: Vec<Vec<usize>> = Vec::new();
+    partition_rec(0, tasks, topology.strands_per_pipe, &mut current, &mut partitions);
+
+    // Step 2: group blocks (pipes) into cores: at most pipes_per_core
+    // blocks per core, at most `cores` cores, cores unordered. Anchor the
+    // lowest-indexed remaining block in a fresh core and choose companions
+    // from the higher-indexed remaining blocks.
+    let mut out = Vec::new();
+    for blocks in &partitions {
+        let mut grouping: Vec<Vec<usize>> = Vec::new(); // core -> block ids
+        group_rec(
+            &mut (0..blocks.len()).collect::<Vec<_>>(),
+            topology.pipes_per_core,
+            topology.cores,
+            &mut grouping,
+            &mut |grouping| {
+                // Materialize a concrete assignment: cores in grouping
+                // order, blocks to pipes in order, tasks to strand slots in
+                // order.
+                let mut contexts = vec![0usize; tasks];
+                for (core_idx, block_ids) in grouping.iter().enumerate() {
+                    for (pipe_idx, &b) in block_ids.iter().enumerate() {
+                        for (slot, &task) in blocks[b].iter().enumerate() {
+                            contexts[task] =
+                                topology.context_at(core_idx, pipe_idx, slot);
+                        }
+                    }
+                }
+                out.push(
+                    Assignment::new(contexts, topology)
+                        .expect("enumeration produces valid assignments"),
+                );
+            },
+        );
+    }
+    Ok(out)
+}
+
+/// Recursively builds set partitions with bounded block size. Blocks are
+/// kept in order of their smallest element, and elements are only appended
+/// in increasing order, so each partition is generated exactly once.
+fn partition_rec(
+    next: usize,
+    total: usize,
+    max_block: usize,
+    current: &mut Vec<Vec<usize>>,
+    out: &mut Vec<Vec<Vec<usize>>>,
+) {
+    if next == total {
+        out.push(current.clone());
+        return;
+    }
+    for i in 0..current.len() {
+        if current[i].len() < max_block {
+            current[i].push(next);
+            partition_rec(next + 1, total, max_block, current, out);
+            current[i].pop();
+        }
+    }
+    current.push(vec![next]);
+    partition_rec(next + 1, total, max_block, current, out);
+    current.pop();
+}
+
+/// Recursively groups blocks into unordered cores of bounded size. The
+/// lowest remaining block anchors a new core; companions are chosen as
+/// increasing subsets of the higher-indexed remaining blocks.
+fn group_rec(
+    remaining: &mut Vec<usize>,
+    pipes_per_core: usize,
+    cores_left: usize,
+    grouping: &mut Vec<Vec<usize>>,
+    emit: &mut impl FnMut(&Vec<Vec<usize>>),
+) {
+    if remaining.is_empty() {
+        emit(grouping);
+        return;
+    }
+    if cores_left == 0 {
+        return;
+    }
+    let anchor = remaining[0];
+    let rest: Vec<usize> = remaining[1..].to_vec();
+    // Choose up to pipes_per_core - 1 companions from `rest`.
+    let max_companions = (pipes_per_core - 1).min(rest.len());
+    for companion_count in 0..=max_companions {
+        combinations(&rest, companion_count, &mut |combo| {
+            let mut core = vec![anchor];
+            core.extend_from_slice(combo);
+            let mut next_remaining: Vec<usize> = rest
+                .iter()
+                .copied()
+                .filter(|b| !combo.contains(b))
+                .collect();
+            grouping.push(core);
+            group_rec(
+                &mut next_remaining,
+                pipes_per_core,
+                cores_left - 1,
+                grouping,
+                emit,
+            );
+            grouping.pop();
+        });
+    }
+}
+
+/// Visits all `k`-element combinations of `items` (in order).
+fn combinations(items: &[usize], k: usize, visit: &mut impl FnMut(&[usize])) {
+    fn rec(
+        items: &[usize],
+        k: usize,
+        start: usize,
+        current: &mut Vec<usize>,
+        visit: &mut impl FnMut(&[usize]),
+    ) {
+        if current.len() == k {
+            visit(current);
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, k, i + 1, current, visit);
+            current.pop();
+        }
+    }
+    rec(items, k, 0, &mut Vec::new(), visit);
+}
+
+/// One row of the paper's Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Number of tasks in the workload.
+    pub tasks: usize,
+    /// Number of distinct task assignments.
+    pub assignments: UBig,
+    /// Time to execute every assignment at 1 second each, in years.
+    pub execute_all_years: f64,
+    /// Time to predict every assignment at 1 µs each, in years.
+    pub predict_all_years: f64,
+}
+
+/// Seconds per (Julian) year.
+pub const SECONDS_PER_YEAR: f64 = 31_557_600.0;
+
+/// Computes a row of Table 1 for the given workload size.
+///
+/// # Errors
+///
+/// Propagates [`count_assignments`] errors.
+pub fn table1_row(tasks: usize, topology: Topology) -> Result<Table1Row, CoreError> {
+    let assignments = count_assignments(tasks, topology)?;
+    let count = assignments.to_f64();
+    Ok(Table1Row {
+        tasks,
+        assignments,
+        execute_all_years: count / SECONDS_PER_YEAR,
+        predict_all_years: count * 1e-6 / SECONDS_PER_YEAR,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn t2() -> Topology {
+        Topology::ultrasparc_t2()
+    }
+
+    #[test]
+    fn paper_example_three_tasks_is_eleven() {
+        assert_eq!(count_assignments(3, t2()).unwrap().to_u64(), Some(11));
+    }
+
+    #[test]
+    fn trivial_counts() {
+        assert_eq!(count_assignments(0, t2()).unwrap().to_u64(), Some(1));
+        assert_eq!(count_assignments(1, t2()).unwrap().to_u64(), Some(1));
+        // Two tasks: same pipe, same core different pipes, different cores.
+        assert_eq!(count_assignments(2, t2()).unwrap().to_u64(), Some(3));
+    }
+
+    #[test]
+    fn too_many_tasks_is_infeasible() {
+        assert!(count_assignments(65, t2()).is_err());
+    }
+
+    #[test]
+    fn sixty_task_count_is_astronomical() {
+        // Table 1: executing all assignments of a 60-task workload takes
+        // ~1.75e51 years at one second each.
+        let row = table1_row(60, t2()).unwrap();
+        assert!(
+            (row.execute_all_years.log10() - 51.24).abs() < 1.0,
+            "execute-all years = {:e}",
+            row.execute_all_years
+        );
+        assert!(row.assignments.to_u64().is_none(), "must exceed u64");
+    }
+
+    #[test]
+    fn enumeration_matches_count_small() {
+        for tasks in 1..=5 {
+            let count = count_assignments(tasks, t2()).unwrap().to_u64().unwrap();
+            let all = enumerate_assignments(tasks, t2(), 1_000_000).unwrap();
+            assert_eq!(all.len() as u64, count, "tasks = {tasks}");
+        }
+    }
+
+    #[test]
+    fn enumeration_yields_distinct_classes() {
+        let all = enumerate_assignments(5, t2(), 1_000_000).unwrap();
+        let keys: HashSet<_> = all.iter().map(|a| a.canonical_key()).collect();
+        assert_eq!(keys.len(), all.len(), "every class exactly once");
+    }
+
+    #[test]
+    fn six_task_space_is_around_1500() {
+        // The paper reports "around 1500" possible assignments for its
+        // 6-thread (2x3) workloads on the T2.
+        let count = count_assignments(6, t2()).unwrap().to_u64().unwrap();
+        assert!(
+            (1000..2600).contains(&count),
+            "6-task count = {count}, expected the paper's ~1500 regime"
+        );
+    }
+
+    #[test]
+    fn enumeration_respects_limit() {
+        assert!(enumerate_assignments(6, t2(), 10).is_err());
+    }
+
+    #[test]
+    fn small_machine_exhaustive_cross_check() {
+        // 2 cores x 2 pipes x 2 strands: brute-force over all labeled
+        // placements and count equivalence classes directly.
+        let topo = Topology::new(2, 2, 2);
+        for tasks in 1..=4usize {
+            let mut classes = HashSet::new();
+            let contexts = topo.contexts();
+            // All ordered placements of `tasks` tasks on distinct contexts.
+            let mut placement = vec![0usize; tasks];
+            fn rec(
+                t: usize,
+                tasks: usize,
+                contexts: usize,
+                topo: Topology,
+                placement: &mut Vec<usize>,
+                used: &mut Vec<bool>,
+                classes: &mut HashSet<Vec<Vec<Vec<usize>>>>,
+            ) {
+                if t == tasks {
+                    let a = Assignment::new(placement.clone(), topo).unwrap();
+                    classes.insert(a.canonical_key());
+                    return;
+                }
+                for c in 0..contexts {
+                    if !used[c] {
+                        used[c] = true;
+                        placement[t] = c;
+                        rec(t + 1, tasks, contexts, topo, placement, used, classes);
+                        used[c] = false;
+                    }
+                }
+            }
+            let mut used = vec![false; contexts];
+            rec(
+                0,
+                tasks,
+                contexts,
+                topo,
+                &mut placement,
+                &mut used,
+                &mut classes,
+            );
+            let counted = count_assignments(tasks, topo).unwrap().to_u64().unwrap();
+            assert_eq!(
+                classes.len() as u64,
+                counted,
+                "tasks = {tasks} on small machine"
+            );
+            let enumerated = enumerate_assignments(tasks, topo, 100_000).unwrap();
+            assert_eq!(enumerated.len(), classes.len());
+        }
+    }
+
+    #[test]
+    fn table1_row_time_conversions() {
+        let row = table1_row(3, t2()).unwrap();
+        assert_eq!(row.tasks, 3);
+        assert!((row.execute_all_years - 11.0 / SECONDS_PER_YEAR).abs() < 1e-12);
+        assert!(
+            (row.predict_all_years - 11.0e-6 / SECONDS_PER_YEAR).abs() < 1e-18
+        );
+    }
+}

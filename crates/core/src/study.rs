@@ -1,0 +1,254 @@
+//! Sample studies: measure random assignments and estimate the optimum.
+//!
+//! A [`SampleStudy`] is the paper's Step 1 + Step 2 bundle: draw `n` iid
+//! random assignments, measure each through a [`PerformanceModel`], and
+//! feed the performances to the Peaks-Over-Threshold estimator of the
+//! optimal system performance. The prefix views support the paper's
+//! 1000/2000/5000 sample-size comparison (Figures 10–12) without
+//! re-measuring.
+
+use crate::assignment::Assignment;
+use crate::model::PerformanceModel;
+use crate::sampling::sample_assignments;
+use crate::CoreError;
+use optassign_evt::pot::{PotAnalysis, PotConfig};
+use rand::SeedableRng;
+
+/// A measured sample of random task assignments.
+#[derive(Debug, Clone)]
+pub struct SampleStudy {
+    assignments: Vec<Assignment>,
+    performances: Vec<f64>,
+}
+
+impl SampleStudy {
+    /// Draws `n` iid random assignments (seeded) and measures each one.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] when the model's workload does not
+    /// fit its machine.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optassign::model::SyntheticModel;
+    /// use optassign::study::SampleStudy;
+    /// use optassign::Topology;
+    ///
+    /// let model = SyntheticModel::new(Topology::ultrasparc_t2(), 6, 1.0e6);
+    /// let study = SampleStudy::run(&model, 200, 1).unwrap();
+    /// assert!(study.best_performance() <= 1.0e6);
+    /// ```
+    pub fn run<M: PerformanceModel>(model: &M, n: usize, seed: u64) -> Result<Self, CoreError> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let assignments = sample_assignments(n, model.tasks(), model.topology(), &mut rng)?;
+        let performances = assignments.iter().map(|a| model.evaluate(a)).collect();
+        Ok(SampleStudy {
+            assignments,
+            performances,
+        })
+    }
+
+    /// Wraps externally measured data (e.g. measurements reused across
+    /// studies, or real-hardware numbers).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Domain`] when the vectors disagree in length or
+    /// are empty.
+    pub fn from_measurements(
+        assignments: Vec<Assignment>,
+        performances: Vec<f64>,
+    ) -> Result<Self, CoreError> {
+        if assignments.len() != performances.len() || assignments.is_empty() {
+            return Err(CoreError::Domain(format!(
+                "mismatched or empty study: {} assignments, {} performances",
+                assignments.len(),
+                performances.len()
+            )));
+        }
+        Ok(SampleStudy {
+            assignments,
+            performances,
+        })
+    }
+
+    /// The measured performances, in draw order.
+    pub fn performances(&self) -> &[f64] {
+        &self.performances
+    }
+
+    /// The drawn assignments, in draw order.
+    pub fn assignments(&self) -> &[Assignment] {
+        &self.assignments
+    }
+
+    /// Number of measured assignments.
+    pub fn len(&self) -> usize {
+        self.performances.len()
+    }
+
+    /// Whether the study is empty (never true for a constructed study).
+    pub fn is_empty(&self) -> bool {
+        self.performances.is_empty()
+    }
+
+    /// Best measured performance.
+    pub fn best_performance(&self) -> f64 {
+        self.performances
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// The best-performing assignment in the sample.
+    pub fn best_assignment(&self) -> &Assignment {
+        let (idx, _) = self
+            .performances
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite performances"))
+            .expect("study is non-empty");
+        &self.assignments[idx]
+    }
+
+    /// A study over the first `n` draws — an iid subsample, used for the
+    /// paper's sample-size comparisons.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `n` is zero or exceeds the study size.
+    pub fn prefix(&self, n: usize) -> SampleStudy {
+        assert!(n > 0 && n <= self.len(), "prefix size {n} out of range");
+        SampleStudy {
+            assignments: self.assignments[..n].to_vec(),
+            performances: self.performances[..n].to_vec(),
+        }
+    }
+
+    /// Extends the study with additional measured draws (the iterative
+    /// algorithm's N_delta step).
+    pub fn extend_measured(&mut self, assignments: Vec<Assignment>, performances: Vec<f64>) {
+        debug_assert_eq!(assignments.len(), performances.len());
+        self.assignments.extend(assignments);
+        self.performances.extend(performances);
+    }
+
+    /// Runs the POT estimation of the optimal system performance over this
+    /// study's measurements.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures (too little data, unbounded tail).
+    pub fn estimate_optimal(&self, config: &PotConfig) -> Result<PotAnalysis, CoreError> {
+        PotAnalysis::run(&self.performances, config).map_err(CoreError::from)
+    }
+
+    /// The paper's Figure 12 metric for this study: estimated headroom
+    /// `(UPB − best observed) / UPB`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates estimation failures.
+    pub fn improvement_headroom(&self, config: &PotConfig) -> Result<f64, CoreError> {
+        Ok(self.estimate_optimal(config)?.improvement_headroom())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SyntheticModel;
+    use optassign_sim::Topology;
+
+    fn model() -> SyntheticModel {
+        SyntheticModel::new(Topology::ultrasparc_t2(), 6, 1.0e6)
+    }
+
+    #[test]
+    fn study_is_reproducible() {
+        let m = model();
+        let a = SampleStudy::run(&m, 100, 7).unwrap();
+        let b = SampleStudy::run(&m, 100, 7).unwrap();
+        assert_eq!(a.performances(), b.performances());
+        let c = SampleStudy::run(&m, 100, 8).unwrap();
+        assert_ne!(a.performances(), c.performances());
+    }
+
+    #[test]
+    fn best_tracks_maximum() {
+        let m = model();
+        let s = SampleStudy::run(&m, 500, 1).unwrap();
+        let max = s
+            .performances()
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(s.best_performance(), max);
+        assert_eq!(m.evaluate(s.best_assignment()), max);
+        assert!(max <= m.true_optimum() + 1e-9);
+    }
+
+    #[test]
+    fn prefix_is_a_true_prefix() {
+        let m = model();
+        let s = SampleStudy::run(&m, 300, 2).unwrap();
+        let p = s.prefix(100);
+        assert_eq!(p.len(), 100);
+        assert_eq!(p.performances(), &s.performances()[..100]);
+        assert!(p.best_performance() <= s.best_performance());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn prefix_bounds_checked() {
+        let m = model();
+        let s = SampleStudy::run(&m, 10, 3).unwrap();
+        let _ = s.prefix(11);
+    }
+
+    #[test]
+    fn estimation_brackets_synthetic_optimum() {
+        // 6 tasks on 64 contexts: random sharing losses give a bounded
+        // distribution whose upper endpoint is the zero-sharing optimum.
+        let m = model();
+        let s = SampleStudy::run(&m, 4000, 4).unwrap();
+        let est = s.estimate_optimal(&PotConfig::default()).unwrap();
+        let truth = m.true_optimum();
+        assert!(
+            est.upb.point >= s.best_performance(),
+            "UPB below best observation"
+        );
+        assert!(
+            (est.upb.point - truth).abs() / truth < 0.05,
+            "UPB {} vs truth {truth}",
+            est.upb.point
+        );
+        let headroom = s.improvement_headroom(&PotConfig::default()).unwrap();
+        assert!((0.0..0.2).contains(&headroom), "headroom = {headroom}");
+    }
+
+    #[test]
+    fn from_measurements_validates() {
+        let m = model();
+        let s = SampleStudy::run(&m, 10, 5).unwrap();
+        let ok = SampleStudy::from_measurements(
+            s.assignments().to_vec(),
+            s.performances().to_vec(),
+        );
+        assert!(ok.is_ok());
+        assert!(SampleStudy::from_measurements(s.assignments().to_vec(), vec![1.0]).is_err());
+        assert!(SampleStudy::from_measurements(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn extend_grows_the_study() {
+        let m = model();
+        let mut s = SampleStudy::run(&m, 50, 6).unwrap();
+        let extra = SampleStudy::run(&m, 25, 7).unwrap();
+        s.extend_measured(extra.assignments().to_vec(), extra.performances().to_vec());
+        assert_eq!(s.len(), 75);
+        assert!(!s.is_empty());
+    }
+}

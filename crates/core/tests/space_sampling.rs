@@ -1,0 +1,89 @@
+//! Cross-validation of the assignment space: counting vs enumeration vs
+//! sampling, on multiple topologies.
+
+use optassign::sampling::sample_assignments;
+use optassign::space::{count_assignments, enumerate_assignments};
+use optassign::Topology;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+/// Counting and enumeration agree on several non-T2 topologies.
+#[test]
+fn count_matches_enumeration_on_other_machines() {
+    let topologies = [
+        Topology::new(2, 2, 2),
+        Topology::new(4, 1, 4), // no pipe level (CMP of SMT4 cores)
+        Topology::new(1, 2, 4), // single core, two pipes
+        Topology::new(3, 3, 2), // three pipes per core
+    ];
+    for topo in topologies {
+        for tasks in 1..=4usize {
+            if tasks > topo.contexts() {
+                continue;
+            }
+            let counted = count_assignments(tasks, topo)
+                .unwrap()
+                .to_u64()
+                .expect("small spaces fit u64");
+            let enumerated = enumerate_assignments(tasks, topo, 1_000_000)
+                .unwrap()
+                .len() as u64;
+            assert_eq!(counted, enumerated, "{topo:?} tasks={tasks}");
+        }
+    }
+}
+
+/// Sampling visits equivalence classes with the frequencies implied by
+/// their labeled-placement multiplicity: with 2 tasks on the T2, the three
+/// classes (same pipe / same core / different cores) have known exact
+/// probabilities.
+#[test]
+fn class_frequencies_match_combinatorics() {
+    let topo = Topology::ultrasparc_t2();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut counts: HashMap<&'static str, usize> = HashMap::new();
+    const N: usize = 30_000;
+    for a in sample_assignments(N, 2, topo, &mut rng).unwrap() {
+        let c = a.contexts();
+        let key = if topo.pipe_of(c[0]) == topo.pipe_of(c[1]) {
+            "pipe"
+        } else if topo.core_of(c[0]) == topo.core_of(c[1]) {
+            "core"
+        } else {
+            "chip"
+        };
+        *counts.entry(key).or_default() += 1;
+    }
+    // Exact probabilities: second task falls among the 63 remaining
+    // contexts: 3 share the pipe, 4 share the core only, 56 elsewhere.
+    let expect = [("pipe", 3.0 / 63.0), ("core", 4.0 / 63.0), ("chip", 56.0 / 63.0)];
+    for (key, p) in expect {
+        let observed = *counts.get(key).unwrap_or(&0) as f64 / N as f64;
+        assert!(
+            (observed - p).abs() < 0.01,
+            "{key}: observed {observed}, expected {p}"
+        );
+    }
+}
+
+/// The 6-task space (Figure 1/3 study) has exactly 1526 classes and
+/// enumeration covers the classes reached by sampling.
+#[test]
+fn six_task_space_exact() {
+    let topo = Topology::ultrasparc_t2();
+    assert_eq!(
+        count_assignments(6, topo).unwrap().to_u64(),
+        Some(1526),
+        "the paper's 'around 1500' count"
+    );
+    let classes = enumerate_assignments(6, topo, 10_000).unwrap();
+    assert_eq!(classes.len(), 1526);
+    let keys: std::collections::HashSet<_> =
+        classes.iter().map(|a| a.canonical_key()).collect();
+    assert_eq!(keys.len(), 1526);
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    for a in sample_assignments(300, 6, topo, &mut rng).unwrap() {
+        assert!(keys.contains(&a.canonical_key()));
+    }
+}

@@ -1,0 +1,271 @@
+//! Block-maxima estimation with the Generalized Extreme Value (GEV)
+//! distribution — the classical alternative to Peaks-Over-Threshold.
+//!
+//! Where POT models all exceedances over a threshold, the block-maxima
+//! method splits the sample into blocks, keeps each block's maximum, and
+//! fits a GEV `H(x) = exp(−(1 + ξ(x−μ)/σ)^(−1/ξ))`. For `ξ < 0`
+//! (reversed-Weibull domain — bounded support, the regime of performance
+//! measurements) the upper endpoint is `μ − σ/ξ`, directly comparable to
+//! the POT Upper Performance Bound. POT typically uses the data more
+//! efficiently (every tail point instead of one per block); the
+//! `ablation_blockmax` experiment quantifies that on this workspace's
+//! data.
+
+use crate::EvtError;
+use optassign_stats::neldermead::{self, Options};
+
+/// A fitted GEV distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gev {
+    /// Location `μ`.
+    pub location: f64,
+    /// Scale `σ > 0`.
+    pub scale: f64,
+    /// Shape `ξ` (negative ⇒ bounded upper tail).
+    pub shape: f64,
+}
+
+impl Gev {
+    /// Upper endpoint `μ − σ/ξ` for `ξ < 0`; `None` otherwise.
+    pub fn upper_bound(&self) -> Option<f64> {
+        if self.shape < 0.0 {
+            Some(self.location - self.scale / self.shape)
+        } else {
+            None
+        }
+    }
+
+    /// GEV cumulative distribution function.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.location) / self.scale;
+        if self.shape == 0.0 {
+            return (-(-z).exp()).exp();
+        }
+        let t = 1.0 + self.shape * z;
+        if t <= 0.0 {
+            return if self.shape < 0.0 { 1.0 } else { 0.0 };
+        }
+        (-t.powf(-1.0 / self.shape)).exp()
+    }
+
+    /// Log-likelihood of iid block maxima under this GEV.
+    pub fn log_likelihood(&self, maxima: &[f64]) -> f64 {
+        let mut ll = 0.0;
+        for &x in maxima {
+            let z = (x - self.location) / self.scale;
+            if self.shape == 0.0 {
+                ll += -self.scale.ln() - z - (-z).exp();
+                continue;
+            }
+            let t = 1.0 + self.shape * z;
+            if t <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            ll += -self.scale.ln() - (1.0 + 1.0 / self.shape) * t.ln() - t.powf(-1.0 / self.shape);
+        }
+        ll
+    }
+}
+
+/// Result of a block-maxima analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockMaximaFit {
+    /// Fitted GEV.
+    pub gev: Gev,
+    /// Block size used (observations per block).
+    pub block_size: usize,
+    /// Number of blocks (= number of maxima fitted).
+    pub blocks: usize,
+    /// Maximized log-likelihood.
+    pub log_likelihood: f64,
+    /// Estimated upper bound `μ − σ/ξ` (requires `ξ < 0`).
+    pub upper_bound: f64,
+}
+
+/// Fits a GEV to the block maxima of `sample` with the given `block_size`
+/// and returns the implied upper performance bound.
+///
+/// # Errors
+///
+/// * [`EvtError::NotEnoughData`] — fewer than 20 blocks.
+/// * [`EvtError::Domain`] — non-finite observations or a degenerate block
+///   size.
+/// * [`EvtError::UnboundedTail`] — the fitted shape is non-negative.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_evt::block_maxima::fit_block_maxima;
+/// use optassign_evt::gpd::Gpd;
+/// use rand::SeedableRng;
+///
+/// // Bounded data: true upper endpoint 10 + 1/0.4 = 12.5.
+/// let g = Gpd::new(-0.4, 1.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let sample: Vec<f64> = (0..4000).map(|_| 10.0 + g.sample(&mut rng)).collect();
+/// let fit = fit_block_maxima(&sample, 50).unwrap();
+/// assert!((fit.upper_bound - 12.5).abs() < 0.5);
+/// ```
+pub fn fit_block_maxima(sample: &[f64], block_size: usize) -> Result<BlockMaximaFit, EvtError> {
+    if block_size < 2 {
+        return Err(EvtError::Domain("block_size must be at least 2"));
+    }
+    if sample.iter().any(|x| !x.is_finite()) {
+        return Err(EvtError::Domain("sample values must be finite"));
+    }
+    let blocks = sample.len() / block_size;
+    if blocks < 20 {
+        return Err(EvtError::NotEnoughData {
+            what: "block maxima",
+            needed: 20 * block_size,
+            got: sample.len(),
+        });
+    }
+    let maxima: Vec<f64> = (0..blocks)
+        .map(|b| {
+            sample[b * block_size..(b + 1) * block_size]
+                .iter()
+                .copied()
+                .fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+
+    // Moment-based starting point (Gumbel approximations).
+    let mean = maxima.iter().sum::<f64>() / maxima.len() as f64;
+    let var = maxima
+        .iter()
+        .map(|&x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / (maxima.len() - 1) as f64;
+    let sigma0 = (var.max(1e-300) * 6.0).sqrt() / std::f64::consts::PI;
+    let mu0 = mean - 0.5772 * sigma0;
+
+    let neg_ll = |p: &[f64]| -> f64 {
+        let gev = Gev {
+            location: p[0],
+            scale: p[1],
+            shape: p[2],
+        };
+        if gev.scale <= 0.0 {
+            return f64::INFINITY;
+        }
+        let ll = gev.log_likelihood(&maxima);
+        if ll.is_finite() {
+            -ll
+        } else {
+            f64::INFINITY
+        }
+    };
+    let opts = Options {
+        max_iter: 8_000,
+        ..Options::default()
+    };
+    let mut best: Option<neldermead::Minimum> = None;
+    for start in [
+        [mu0, sigma0, -0.2],
+        [mu0, sigma0, -0.05],
+        [mu0, sigma0 * 1.5, -0.5],
+    ] {
+        if !neg_ll(&start).is_finite() {
+            continue;
+        }
+        if let Ok(m) = neldermead::minimize(neg_ll, &start, &opts) {
+            if m.value.is_finite() && best.as_ref().map(|b| m.value < b.value).unwrap_or(true) {
+                best = Some(m);
+            }
+        }
+    }
+    let best = best
+        .ok_or_else(|| EvtError::Numerical("no finite GEV likelihood from any start".into()))?;
+    let gev = Gev {
+        location: best.x[0],
+        scale: best.x[1],
+        shape: best.x[2],
+    };
+    let upper = gev.upper_bound().ok_or(EvtError::UnboundedTail {
+        shape: gev.shape,
+    })?;
+    Ok(BlockMaximaFit {
+        gev,
+        block_size,
+        blocks,
+        log_likelihood: -best.value,
+        upper_bound: upper,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpd::Gpd;
+    use rand::SeedableRng;
+
+    fn bounded(n: usize, seed: u64) -> Vec<f64> {
+        let g = Gpd::new(-0.35, 1.5).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n).map(|_| 20.0 + g.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn recovers_upper_bound() {
+        // Truth: 20 + 1.5/0.35 ≈ 24.2857.
+        let sample = bounded(6000, 1);
+        let fit = fit_block_maxima(&sample, 60).unwrap();
+        assert!(
+            (fit.upper_bound - 24.2857).abs() < 0.6,
+            "bound = {}",
+            fit.upper_bound
+        );
+        assert!(fit.gev.shape < 0.0);
+        assert_eq!(fit.blocks, 100);
+    }
+
+    #[test]
+    fn gev_cdf_is_monotone_and_bounded() {
+        let gev = Gev {
+            location: 1.0,
+            scale: 0.5,
+            shape: -0.3,
+        };
+        let mut last = -1.0;
+        for i in 0..100 {
+            let x = -1.0 + i as f64 * 0.05;
+            let p = gev.cdf(x);
+            assert!((0.0..=1.0).contains(&p));
+            assert!(p >= last - 1e-12);
+            last = p;
+        }
+        // Above the endpoint the CDF is 1.
+        let ub = gev.upper_bound().unwrap();
+        assert!((gev.cdf(ub + 1.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper_bound_requires_negative_shape() {
+        let gumbel = Gev {
+            location: 0.0,
+            scale: 1.0,
+            shape: 0.1,
+        };
+        assert_eq!(gumbel.upper_bound(), None);
+    }
+
+    #[test]
+    fn agrees_with_pot_estimate() {
+        let sample = bounded(5000, 2);
+        let bm = fit_block_maxima(&sample, 50).unwrap();
+        let pot = crate::pot::PotAnalysis::run(&sample, &crate::pot::PotConfig::default())
+            .unwrap();
+        let rel = (bm.upper_bound - pot.upb.point).abs() / pot.upb.point;
+        assert!(rel < 0.03, "block-maxima {} vs POT {}", bm.upper_bound, pot.upb.point);
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let sample = bounded(100, 3);
+        assert!(fit_block_maxima(&sample, 1).is_err());
+        assert!(fit_block_maxima(&sample, 50).is_err()); // only 2 blocks
+        let bad = vec![f64::NAN; 2000];
+        assert!(fit_block_maxima(&bad, 50).is_err());
+    }
+}

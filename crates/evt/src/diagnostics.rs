@@ -1,0 +1,205 @@
+//! Goodness-of-fit diagnostics: quantile plots and KS distance.
+//!
+//! The paper (§3.3.2, Step 2) checks GPD applicability with two graphical
+//! tools: the sample mean-excess plot (see [`crate::mean_excess`]) and the
+//! quantile plot — sample quantiles against fitted-GPD quantiles, which
+//! should be close to a straight line when the model fits.
+
+use crate::gpd::Gpd;
+use crate::EvtError;
+use optassign_stats::{ecdf, linreg};
+
+/// Quantile–quantile comparison of a sample against a fitted GPD.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantilePlot {
+    points: Vec<(f64, f64)>,
+    fit: linreg::LinearFit,
+}
+
+impl QuantilePlot {
+    /// Builds the Q–Q plot: `(G⁻¹(qᵢ), y₍ᵢ₎)` with plotting positions
+    /// `qᵢ = (i − 0.5)/m`, plus a least-squares line through the points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::NotEnoughData`] for fewer than three
+    /// observations, or an error from the GPD quantile function.
+    pub fn new(sample: &[f64], gpd: &Gpd) -> Result<Self, EvtError> {
+        if sample.len() < 3 {
+            return Err(EvtError::NotEnoughData {
+                what: "quantile plot",
+                needed: 3,
+                got: sample.len(),
+            });
+        }
+        let sorted = optassign_stats::descriptive::sorted(sample);
+        let m = sorted.len();
+        let mut points = Vec::with_capacity(m);
+        for (i, &y) in sorted.iter().enumerate() {
+            let q = (i as f64 + 0.5) / m as f64;
+            points.push((gpd.quantile(q)?, y));
+        }
+        let fit = linreg::fit(&points)?;
+        Ok(QuantilePlot { points, fit })
+    }
+
+    /// The `(theoretical, empirical)` quantile pairs.
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+
+    /// R² of the straight-line fit through the Q–Q points; values near 1
+    /// "strongly suggest" (paper's wording) the sample follows a GPD.
+    pub fn r_squared(&self) -> f64 {
+        self.fit.r_squared
+    }
+
+    /// Slope of the Q–Q line; near 1 for a well-calibrated fit.
+    pub fn slope(&self) -> f64 {
+        self.fit.slope
+    }
+}
+
+/// Kolmogorov–Smirnov distance between the sample and a fitted GPD.
+///
+/// # Errors
+///
+/// Propagates emptiness errors from the underlying ECDF computation.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_evt::gpd::Gpd;
+/// use optassign_evt::diagnostics::ks_distance;
+/// use rand::SeedableRng;
+///
+/// let g = Gpd::new(-0.3, 1.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let ys = g.sample_n(&mut rng, 2000);
+/// let d = ks_distance(&ys, &g).unwrap();
+/// assert!(d < 0.05, "self-sample should fit well, d = {d}");
+/// ```
+pub fn ks_distance(sample: &[f64], gpd: &Gpd) -> Result<f64, EvtError> {
+    ecdf::ks_statistic(sample, |y| gpd.cdf(y)).map_err(EvtError::from)
+}
+
+/// Anderson–Darling statistic `A²` between the sample and a fitted GPD.
+///
+/// Unlike the KS distance, `A²` weights the tails heavily — exactly where
+/// the POT estimator extrapolates, so it is the sharper goodness-of-fit
+/// check for upper-bound estimation. Values ≲ 1–2 indicate a good fit;
+/// values ≫ 3 indicate tail misfit.
+///
+/// # Errors
+///
+/// Returns [`EvtError::NotEnoughData`] for empty samples and
+/// [`EvtError::Domain`] when an observation gets probability 0 or 1 under
+/// the model (out of support — `A²` would be infinite).
+///
+/// # Examples
+///
+/// ```
+/// use optassign_evt::gpd::Gpd;
+/// use optassign_evt::diagnostics::anderson_darling;
+/// use rand::SeedableRng;
+///
+/// let g = Gpd::new(-0.3, 1.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+/// let ys = g.sample_n(&mut rng, 1000);
+/// let a2 = anderson_darling(&ys, &g).unwrap();
+/// assert!(a2 < 2.5, "self-sample should fit, A^2 = {a2}");
+/// ```
+pub fn anderson_darling(sample: &[f64], gpd: &Gpd) -> Result<f64, EvtError> {
+    if sample.is_empty() {
+        return Err(EvtError::NotEnoughData {
+            what: "anderson-darling",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let sorted = optassign_stats::descriptive::sorted(sample);
+    let n = sorted.len();
+    let nf = n as f64;
+    let mut acc = 0.0;
+    for (i, &y) in sorted.iter().enumerate() {
+        let z = gpd.cdf(y).clamp(0.0, 1.0);
+        let z_rev = gpd.cdf(sorted[n - 1 - i]).clamp(0.0, 1.0);
+        if z <= 0.0 || z_rev >= 1.0 {
+            return Err(EvtError::Domain(
+                "observation outside the model's support",
+            ));
+        }
+        let weight = (2 * (i + 1) - 1) as f64;
+        acc += weight * (z.ln() + (1.0 - z_rev).ln());
+    }
+    Ok(-nf - acc / nf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
+        let g = Gpd::new(shape, scale).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        g.sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn qq_plot_of_true_model_is_straight() {
+        let g = Gpd::new(-0.4, 1.0).unwrap();
+        let ys = sample(-0.4, 1.0, 3000, 21);
+        let qq = QuantilePlot::new(&ys, &g).unwrap();
+        assert!(qq.r_squared() > 0.995, "r2 = {}", qq.r_squared());
+        assert!((qq.slope() - 1.0).abs() < 0.1, "slope = {}", qq.slope());
+        assert_eq!(qq.points().len(), 3000);
+    }
+
+    #[test]
+    fn qq_plot_of_wrong_model_bends() {
+        // Uniform-like data (ξ=−1) against a heavy-ish model (ξ=+0.5):
+        // the Q–Q line degrades noticeably relative to the true model.
+        let ys = sample(-1.0, 1.0, 3000, 22);
+        let wrong = Gpd::new(0.5, 1.0).unwrap();
+        let right = Gpd::new(-1.0, 1.0).unwrap();
+        let qq_wrong = QuantilePlot::new(&ys, &wrong).unwrap();
+        let qq_right = QuantilePlot::new(&ys, &right).unwrap();
+        assert!(qq_right.r_squared() > qq_wrong.r_squared());
+        assert!(qq_wrong.r_squared() < 0.9, "r2 = {}", qq_wrong.r_squared());
+    }
+
+    #[test]
+    fn ks_detects_scale_mismatch() {
+        let ys = sample(-0.3, 1.0, 2000, 23);
+        let wrong = Gpd::new(-0.3, 3.0).unwrap();
+        let d = ks_distance(&ys, &wrong).unwrap();
+        assert!(d > 0.2, "d = {d}");
+    }
+
+    #[test]
+    fn anderson_darling_separates_good_and_bad_fits() {
+        let ys = sample(-0.3, 1.0, 2000, 24);
+        let right = Gpd::new(-0.3, 1.0).unwrap();
+        let wrong = Gpd::new(-0.3, 2.0).unwrap();
+        let a_right = anderson_darling(&ys, &right).unwrap();
+        let a_wrong = anderson_darling(&ys, &wrong).unwrap();
+        assert!(a_right < 2.5, "A^2 = {a_right}");
+        assert!(a_wrong > a_right * 5.0, "right {a_right} vs wrong {a_wrong}");
+    }
+
+    #[test]
+    fn anderson_darling_rejects_out_of_support() {
+        // Observations above the model's endpoint give cdf = 1.
+        let tight = Gpd::new(-1.0, 1.0).unwrap(); // support [0, 1]
+        let ys = vec![0.5, 0.9, 1.5];
+        assert!(anderson_darling(&ys, &tight).is_err());
+        assert!(anderson_darling(&[], &tight).is_err());
+    }
+
+    #[test]
+    fn qq_needs_three_points() {
+        let g = Gpd::new(-0.3, 1.0).unwrap();
+        assert!(QuantilePlot::new(&[0.1, 0.2], &g).is_err());
+    }
+}

@@ -1,0 +1,305 @@
+//! GPD parameter estimation (paper §3.3.2, Step 3).
+//!
+//! The paper estimates `(ξ, σ)` by maximizing the GPD log-likelihood with
+//! Matlab's `fminsearch`; [`fit_mle`] does the same with the hand-rolled
+//! Nelder–Mead minimizer. [`fit_pwm`] provides the Hosking–Wallis
+//! probability-weighted-moments estimator, used both as a robust starting
+//! point for the MLE search and as an alternative estimator for the
+//! estimator-choice ablation.
+
+use crate::gpd::Gpd;
+use crate::EvtError;
+use optassign_stats::neldermead::{self, Options};
+
+/// A fitted GPD together with fit metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpdFit {
+    /// The fitted distribution.
+    pub gpd: Gpd,
+    /// Maximized log-likelihood of the exceedances under [`GpdFit::gpd`].
+    pub log_likelihood: f64,
+    /// Number of exceedances used.
+    pub n: usize,
+    /// Which estimator produced the fit.
+    pub method: FitMethod,
+}
+
+/// Estimator used to produce a [`GpdFit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitMethod {
+    /// Maximum likelihood via Nelder–Mead (the paper's choice).
+    MaximumLikelihood,
+    /// Hosking–Wallis probability-weighted moments.
+    ProbabilityWeightedMoments,
+}
+
+/// Minimum number of exceedances accepted by the fitting routines.
+///
+/// Below this, tail estimates are meaningless; the paper works with 50–250
+/// exceedances (5% of 1000–5000 samples).
+pub const MIN_EXCEEDANCES: usize = 10;
+
+/// Fits a GPD to non-negative exceedances by maximum likelihood.
+///
+/// The log-likelihood for `ξ ≠ 0` is
+/// `L(ξ,σ) = −m·ln σ − (1/ξ + 1)·Σ ln(1 + ξ·yᵢ/σ)`,
+/// maximized over the region where all observations lie inside the support
+/// (`σ > 0`, and `σ > −ξ·max(y)` when `ξ < 0`). Points outside the region
+/// are given `−∞` likelihood, which the simplex search avoids naturally.
+///
+/// # Errors
+///
+/// * [`EvtError::NotEnoughData`] — fewer than [`MIN_EXCEEDANCES`] values.
+/// * [`EvtError::Domain`] — negative or non-finite exceedances.
+/// * [`EvtError::Numerical`] — the optimizer failed to find any finite
+///   likelihood (does not occur for well-formed data).
+///
+/// # Examples
+///
+/// ```
+/// use optassign_evt::gpd::Gpd;
+/// use optassign_evt::fit::fit_mle;
+/// use rand::SeedableRng;
+///
+/// let truth = Gpd::new(-0.35, 2.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let ys = truth.sample_n(&mut rng, 4000);
+/// let fit = fit_mle(&ys).unwrap();
+/// assert!((fit.gpd.shape() - -0.35).abs() < 0.05);
+/// assert!((fit.gpd.scale() - 2.0).abs() < 0.1);
+/// ```
+pub fn fit_mle(exceedances: &[f64]) -> Result<GpdFit, EvtError> {
+    validate(exceedances)?;
+    let m = exceedances.len();
+    let y_max = exceedances.iter().copied().fold(0.0f64, f64::max);
+
+    // PWM starting point, with a safe fallback.
+    let start = match fit_pwm(exceedances) {
+        Ok(f) => {
+            let (xi, sigma) = (f.gpd.shape(), f.gpd.scale());
+            // Nudge inside the feasible region if PWM landed on its edge.
+            if xi < 0.0 && sigma <= -xi * y_max {
+                (xi, -xi * y_max * 1.05)
+            } else {
+                (xi, sigma)
+            }
+        }
+        Err(_) => (-0.1, y_max / 2.0),
+    };
+
+    let neg_ll = |p: &[f64]| -> f64 {
+        let (xi, sigma) = (p[0], p[1]);
+        if sigma <= 0.0 {
+            return f64::INFINITY;
+        }
+        if xi < 0.0 && sigma <= -xi * y_max {
+            return f64::INFINITY;
+        }
+        match Gpd::new(xi, sigma) {
+            Ok(g) => {
+                let ll = g.log_likelihood(exceedances);
+                if ll.is_finite() {
+                    -ll
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Err(_) => f64::INFINITY,
+        }
+    };
+
+    let opts = Options {
+        max_iter: 5_000,
+        x_tol: 1e-9,
+        f_tol: 1e-10,
+        ..Options::default()
+    };
+    let mut best: Option<neldermead::Minimum> = None;
+    // Multi-start: the PWM point plus a couple of conservative alternatives;
+    // the likelihood surface can have a boundary ridge for ξ near −1.
+    let starts = [
+        start,
+        (-0.05, y_max * 0.5),
+        (-0.5, y_max * 0.75),
+    ];
+    for s in starts {
+        if !neg_ll(&[s.0, s.1]).is_finite() {
+            continue;
+        }
+        if let Ok(m) = neldermead::minimize(neg_ll, &[s.0, s.1], &opts) {
+            if m.value.is_finite()
+                && best.as_ref().map(|b| m.value < b.value).unwrap_or(true)
+            {
+                best = Some(m);
+            }
+        }
+    }
+    let best = best.ok_or_else(|| {
+        EvtError::Numerical("no finite GPD likelihood found from any starting point".into())
+    })?;
+    let gpd = Gpd::new(best.x[0], best.x[1])
+        .map_err(|_| EvtError::Numerical("optimizer returned invalid parameters".into()))?;
+    Ok(GpdFit {
+        gpd,
+        log_likelihood: -best.value,
+        n: m,
+        method: FitMethod::MaximumLikelihood,
+    })
+}
+
+/// Fits a GPD by the Hosking–Wallis probability-weighted-moments method.
+///
+/// With ascending order statistics `y₍₁₎ ≤ … ≤ y₍ₘ₎`:
+///
+/// ```text
+/// b₀ = mean(y)
+/// b₁ = (1/m) Σ y₍ᵢ₎ · (m − i)/(m − 1)
+/// ξ̂ = 2 − b₀ / (b₀ − 2·b₁)
+/// σ̂ = 2·b₀·b₁ / (b₀ − 2·b₁)
+/// ```
+///
+/// # Errors
+///
+/// Same data-validity conditions as [`fit_mle`], plus
+/// [`EvtError::Numerical`] if the moment system is degenerate
+/// (`b₀ ≈ 2·b₁`, an essentially unbounded tail).
+pub fn fit_pwm(exceedances: &[f64]) -> Result<GpdFit, EvtError> {
+    validate(exceedances)?;
+    let m = exceedances.len();
+    let sorted = optassign_stats::descriptive::sorted(exceedances);
+    let b0 = sorted.iter().sum::<f64>() / m as f64;
+    let mut b1 = 0.0;
+    for (i, &y) in sorted.iter().enumerate() {
+        // Weight (m − (i+1)) / (m − 1): the plotting-position estimate of
+        // P(Y > y₍ᵢ₎).
+        b1 += y * (m - (i + 1)) as f64 / (m - 1) as f64;
+    }
+    b1 /= m as f64;
+
+    let denom = b0 - 2.0 * b1;
+    if denom.abs() < 1e-12 * b0.max(1.0) {
+        return Err(EvtError::Numerical(
+            "degenerate PWM system: b0 ≈ 2·b1".into(),
+        ));
+    }
+    let xi = 2.0 - b0 / denom;
+    let sigma = 2.0 * b0 * b1 / denom;
+    let gpd = Gpd::new(xi, sigma)
+        .map_err(|_| EvtError::Numerical("PWM produced invalid parameters".into()))?;
+    let ll = gpd.log_likelihood(exceedances);
+    Ok(GpdFit {
+        gpd,
+        log_likelihood: ll,
+        n: m,
+        method: FitMethod::ProbabilityWeightedMoments,
+    })
+}
+
+fn validate(exceedances: &[f64]) -> Result<(), EvtError> {
+    if exceedances.len() < MIN_EXCEEDANCES {
+        return Err(EvtError::NotEnoughData {
+            what: "gpd fit",
+            needed: MIN_EXCEEDANCES,
+            got: exceedances.len(),
+        });
+    }
+    if exceedances.iter().any(|y| !y.is_finite() || *y < 0.0) {
+        return Err(EvtError::Domain(
+            "exceedances must be finite and non-negative",
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
+        let g = Gpd::new(shape, scale).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        g.sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn mle_recovers_negative_shape() {
+        let ys = sample(-0.4, 1.0, 5000, 1);
+        let fit = fit_mle(&ys).unwrap();
+        assert!((fit.gpd.shape() + 0.4).abs() < 0.05, "{:?}", fit.gpd);
+        assert!((fit.gpd.scale() - 1.0).abs() < 0.06, "{:?}", fit.gpd);
+        assert_eq!(fit.method, FitMethod::MaximumLikelihood);
+        assert_eq!(fit.n, 5000);
+    }
+
+    #[test]
+    fn mle_recovers_mildly_negative_shape() {
+        let ys = sample(-0.15, 3.0, 5000, 2);
+        let fit = fit_mle(&ys).unwrap();
+        assert!((fit.gpd.shape() + 0.15).abs() < 0.06, "{:?}", fit.gpd);
+        assert!((fit.gpd.scale() - 3.0).abs() < 0.25, "{:?}", fit.gpd);
+    }
+
+    #[test]
+    fn mle_handles_positive_shape() {
+        let ys = sample(0.3, 1.0, 5000, 3);
+        let fit = fit_mle(&ys).unwrap();
+        assert!((fit.gpd.shape() - 0.3).abs() < 0.08, "{:?}", fit.gpd);
+    }
+
+    #[test]
+    fn pwm_recovers_parameters() {
+        let ys = sample(-0.3, 2.0, 5000, 4);
+        let fit = fit_pwm(&ys).unwrap();
+        assert!((fit.gpd.shape() + 0.3).abs() < 0.06, "{:?}", fit.gpd);
+        assert!((fit.gpd.scale() - 2.0).abs() < 0.15, "{:?}", fit.gpd);
+        assert_eq!(fit.method, FitMethod::ProbabilityWeightedMoments);
+    }
+
+    #[test]
+    fn mle_likelihood_at_least_pwm() {
+        let ys = sample(-0.25, 1.5, 2000, 5);
+        let mle = fit_mle(&ys).unwrap();
+        let pwm = fit_pwm(&ys).unwrap();
+        assert!(
+            mle.log_likelihood >= pwm.log_likelihood - 1e-6,
+            "mle {} < pwm {}",
+            mle.log_likelihood,
+            pwm.log_likelihood
+        );
+    }
+
+    #[test]
+    fn uniform_data_fits_shape_near_minus_one() {
+        // Uniform(0, s) is GPD(ξ=−1, σ=s).
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let ys: Vec<f64> = (0..4000)
+            .map(|_| rand::Rng::gen_range(&mut rng, 0.0..5.0))
+            .collect();
+        let fit = fit_mle(&ys).unwrap();
+        assert!(
+            fit.gpd.shape() < -0.7,
+            "uniform data should fit strongly negative shape, got {}",
+            fit.gpd.shape()
+        );
+    }
+
+    #[test]
+    fn rejects_small_and_invalid_samples() {
+        assert!(fit_mle(&[1.0; 5]).is_err());
+        assert!(fit_mle(&[1.0, -1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).is_err());
+        assert!(fit_pwm(&[f64::NAN; 20]).is_err());
+    }
+
+    #[test]
+    fn estimated_upper_bound_is_close_to_truth() {
+        // Truth: upper bound σ/|ξ| = 1.0/0.5 = 2.0.
+        let ys = sample(-0.5, 1.0, 5000, 7);
+        let fit = fit_mle(&ys).unwrap();
+        let ub = fit.gpd.upper_bound().expect("negative shape");
+        assert!((ub - 2.0).abs() < 0.1, "ub = {ub}");
+        // The bound must sit above every observation.
+        let y_max = ys.iter().copied().fold(0.0f64, f64::max);
+        assert!(ub >= y_max);
+    }
+}

@@ -1,0 +1,307 @@
+//! The Generalized Pareto Distribution (GPD).
+//!
+//! The Pickands–Balkema–de Haan theorem (the paper's Theorem 1) states that
+//! for a large class of distributions, the conditional excess distribution
+//! over a high threshold is well approximated by a GPD
+//!
+//! ```text
+//! G_{ξ,σ}(y) = 1 − (1 + ξ·y/σ)^(−1/ξ)   (ξ ≠ 0)
+//!            = 1 − exp(−y/σ)            (ξ = 0)
+//! ```
+//!
+//! For `ξ < 0` the support is bounded: `y ∈ [0, −σ/ξ]`, which is what lets
+//! the paper compute a finite Upper Performance Bound `u − σ/ξ`.
+
+use crate::EvtError;
+use rand::Rng;
+
+/// A Generalized Pareto Distribution with shape `ξ` and scale `σ`.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_evt::Gpd;
+///
+/// let g = Gpd::new(-0.5, 2.0).unwrap();
+/// // Bounded support: upper endpoint −σ/ξ = 4.
+/// assert_eq!(g.upper_bound(), Some(4.0));
+/// assert!((g.cdf(4.0) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gpd {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gpd {
+    /// Creates a GPD with shape `ξ` (`shape`) and scale `σ > 0` (`scale`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::Domain`] when `scale <= 0` or either parameter is
+    /// non-finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, EvtError> {
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(EvtError::Domain("scale must be finite and > 0"));
+        }
+        if !shape.is_finite() {
+            return Err(EvtError::Domain("shape must be finite"));
+        }
+        Ok(Gpd { shape, scale })
+    }
+
+    /// The shape parameter `ξ`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// The scale parameter `σ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Upper endpoint of the support: `Some(−σ/ξ)` for `ξ < 0`, `None`
+    /// (infinite) otherwise.
+    pub fn upper_bound(&self) -> Option<f64> {
+        if self.shape < 0.0 {
+            Some(-self.scale / self.shape)
+        } else {
+            None
+        }
+    }
+
+    /// Cumulative distribution function `G(y)`, clamped to `[0, 1]` outside
+    /// the support.
+    pub fn cdf(&self, y: f64) -> f64 {
+        if y <= 0.0 {
+            return 0.0;
+        }
+        if self.shape == 0.0 {
+            return 1.0 - (-y / self.scale).exp();
+        }
+        let t = 1.0 + self.shape * y / self.scale;
+        if t <= 0.0 {
+            // Above the upper endpoint when ξ < 0.
+            return 1.0;
+        }
+        1.0 - t.powf(-1.0 / self.shape)
+    }
+
+    /// Probability density function `g(y)`; zero outside the support.
+    pub fn pdf(&self, y: f64) -> f64 {
+        if y < 0.0 {
+            return 0.0;
+        }
+        if self.shape == 0.0 {
+            return (-y / self.scale).exp() / self.scale;
+        }
+        let t = 1.0 + self.shape * y / self.scale;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        t.powf(-1.0 / self.shape - 1.0) / self.scale
+    }
+
+    /// Quantile function (inverse CDF) at probability `q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvtError::Domain`] when `q` is outside `[0, 1)` (for
+    /// `ξ >= 0`, `q = 1` maps to infinity; for `ξ < 0` it is allowed and
+    /// returns the upper endpoint).
+    pub fn quantile(&self, q: f64) -> Result<f64, EvtError> {
+        if !(0.0..=1.0).contains(&q) {
+            return Err(EvtError::Domain("quantile level must be in [0, 1]"));
+        }
+        if q == 1.0 {
+            return self
+                .upper_bound()
+                .ok_or(EvtError::Domain("q = 1 is infinite for shape >= 0"));
+        }
+        if self.shape == 0.0 {
+            return Ok(-self.scale * (1.0 - q).ln());
+        }
+        Ok(self.scale / self.shape * ((1.0 - q).powf(-self.shape) - 1.0))
+    }
+
+    /// Mean of the distribution, finite only for `ξ < 1`.
+    pub fn mean(&self) -> Option<f64> {
+        if self.shape < 1.0 {
+            Some(self.scale / (1.0 - self.shape))
+        } else {
+            None
+        }
+    }
+
+    /// Theoretical mean excess function `e(u) = E[Y − u | Y > u]`.
+    ///
+    /// For the GPD this is **linear** in `u`: `e(u) = (σ + ξu) / (1 − ξ)` —
+    /// the property behind the paper's mean-excess-plot threshold selection.
+    /// Finite only for `ξ < 1` and `u` inside the support.
+    pub fn mean_excess(&self, u: f64) -> Option<f64> {
+        if self.shape >= 1.0 || u < 0.0 {
+            return None;
+        }
+        if let Some(ub) = self.upper_bound() {
+            if u >= ub {
+                return None;
+            }
+        }
+        Some((self.scale + self.shape * u) / (1.0 - self.shape))
+    }
+
+    /// Log-likelihood of an iid sample of exceedances under this GPD.
+    ///
+    /// Returns `f64::NEG_INFINITY` when any observation falls outside the
+    /// support — convenient for feeding optimizers directly.
+    pub fn log_likelihood(&self, sample: &[f64]) -> f64 {
+        let mut ll = 0.0;
+        for &y in sample {
+            let d = self.pdf(y);
+            if d <= 0.0 {
+                return f64::NEG_INFINITY;
+            }
+            ll += d.ln();
+        }
+        ll
+    }
+
+    /// Draws one observation via inverse-transform sampling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optassign_evt::Gpd;
+    /// use rand::SeedableRng;
+    ///
+    /// let g = Gpd::new(-0.3, 1.0).unwrap();
+    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let y = g.sample(&mut rng);
+    /// assert!(y >= 0.0 && y <= g.upper_bound().unwrap());
+    /// ```
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.quantile(u)
+            .expect("q in [0,1) is always in the quantile domain")
+    }
+
+    /// Draws `n` observations.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gpd::new(-0.5, 0.0).is_err());
+        assert!(Gpd::new(-0.5, -1.0).is_err());
+        assert!(Gpd::new(f64::NAN, 1.0).is_err());
+        assert!(Gpd::new(0.5, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn exponential_special_case() {
+        let g = Gpd::new(0.0, 2.0).unwrap();
+        assert_eq!(g.upper_bound(), None);
+        for &y in &[0.1, 1.0, 5.0] {
+            assert!((g.cdf(y) - (1.0 - (-y / 2.0f64).exp())).abs() < 1e-12);
+            assert!((g.pdf(y) - (-y / 2.0f64).exp() / 2.0).abs() < 1e-12);
+        }
+        assert_eq!(g.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn bounded_support_for_negative_shape() {
+        let g = Gpd::new(-0.25, 1.0).unwrap();
+        let ub = g.upper_bound().unwrap();
+        assert_eq!(ub, 4.0);
+        assert_eq!(g.cdf(ub + 1.0), 1.0);
+        assert_eq!(g.pdf(ub + 1.0), 0.0);
+        assert_eq!(g.quantile(1.0).unwrap(), ub);
+    }
+
+    #[test]
+    fn uniform_is_gpd_with_shape_minus_one() {
+        // ξ = −1, σ = s gives the Uniform(0, s) distribution.
+        let g = Gpd::new(-1.0, 3.0).unwrap();
+        for &y in &[0.0, 0.6, 1.5, 2.9] {
+            assert!((g.cdf(y) - y / 3.0).abs() < 1e-12, "y={y}");
+            assert!((g.pdf(y) - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_excess_is_linear() {
+        let g = Gpd::new(-0.3, 2.0).unwrap();
+        let e0 = g.mean_excess(0.0).unwrap();
+        let e1 = g.mean_excess(1.0).unwrap();
+        let e2 = g.mean_excess(2.0).unwrap();
+        assert!((2.0 * e1 - e0 - e2).abs() < 1e-12, "linearity");
+        assert!((e0 - 2.0 / 1.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_likelihood_rejects_out_of_support() {
+        let g = Gpd::new(-0.5, 1.0).unwrap();
+        // Upper endpoint is 2; 3.0 is outside.
+        assert_eq!(g.log_likelihood(&[0.5, 3.0]), f64::NEG_INFINITY);
+        assert!(g.log_likelihood(&[0.5, 1.5]).is_finite());
+    }
+
+    #[test]
+    fn sample_respects_support() {
+        let g = Gpd::new(-0.4, 1.5).unwrap();
+        let ub = g.upper_bound().unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let y = g.sample(&mut rng);
+            assert!((0.0..=ub).contains(&y));
+        }
+    }
+
+    #[test]
+    fn sample_mean_converges_to_theory() {
+        let g = Gpd::new(-0.3, 1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let xs = g.sample_n(&mut rng, 20_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - g.mean().unwrap()).abs() < 0.02, "mean = {mean}");
+    }
+
+    proptest! {
+        #[test]
+        fn cdf_quantile_roundtrip(
+            shape in -1.5f64..1.5,
+            scale in 0.1f64..10.0,
+            q in 0.001f64..0.999,
+        ) {
+            let g = Gpd::new(shape, scale).unwrap();
+            let y = g.quantile(q).unwrap();
+            prop_assert!((g.cdf(y) - q).abs() < 1e-9);
+        }
+
+        #[test]
+        fn cdf_is_monotone(
+            shape in -1.5f64..1.5,
+            scale in 0.1f64..10.0,
+            a in 0.0f64..20.0,
+            b in 0.0f64..20.0,
+        ) {
+            let g = Gpd::new(shape, scale).unwrap();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(g.cdf(lo) <= g.cdf(hi) + 1e-12);
+        }
+
+        #[test]
+        fn pdf_nonnegative(shape in -1.5f64..1.5, scale in 0.1f64..10.0, y in -5.0f64..25.0) {
+            let g = Gpd::new(shape, scale).unwrap();
+            prop_assert!(g.pdf(y) >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Extreme Value Theory for optimal-performance estimation.
+//!
+//! This crate implements the statistical machinery of §3.3 of
+//! *"Optimal Task Assignment in Multithreaded Processors: A Statistical
+//! Approach"* (ASPLOS 2012): the Peaks-Over-Threshold (POT) method.
+//!
+//! Given a sample of measured performances of random task assignments, the
+//! POT method:
+//!
+//! 1. selects a (high) threshold `u` — see [`pot::ThresholdRule`] and the
+//!    sample mean-excess diagnostics in [`mean_excess`];
+//! 2. fits a Generalized Pareto Distribution ([`gpd::Gpd`]) to the
+//!    exceedances `y = x − u` by maximum likelihood ([`fit`]), mirroring the
+//!    paper's Matlab `fminsearch` workflow (with a probability-weighted
+//!    moments estimator as an alternative / starting point);
+//! 3. for a fitted shape `ξ̂ < 0`, estimates the **Upper Performance Bound**
+//!    `UPB = u − σ̂/ξ̂` — the performance of the optimal task assignment —
+//!    and a profile-likelihood confidence interval via Wilks' theorem
+//!    ([`profile`]), the paper's Equation (1).
+//!
+//! The [`pot::PotAnalysis`] type packages the full pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use optassign_evt::gpd::Gpd;
+//! use optassign_evt::pot::{PotAnalysis, PotConfig};
+//! use rand::SeedableRng;
+//!
+//! // Synthetic "measurements": a bounded GPD tail with a known upper bound.
+//! let gpd = Gpd::new(-0.4, 1.0).unwrap();
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let sample: Vec<f64> = (0..3000).map(|_| 10.0 + gpd.sample(&mut rng)).collect();
+//!
+//! let analysis = PotAnalysis::run(&sample, &PotConfig::default()).unwrap();
+//! // True upper bound of the data is 10 + σ/|ξ| = 12.5.
+//! assert!((analysis.upb.point - 12.5).abs() < 0.5);
+//! ```
+
+pub mod block_maxima;
+pub mod bootstrap;
+pub mod diagnostics;
+pub mod fit;
+pub mod gpd;
+pub mod mean_excess;
+pub mod pot;
+pub mod profile;
+
+pub use gpd::Gpd;
+pub use pot::{PotAnalysis, PotConfig};
+
+/// Errors produced by the EVT routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvtError {
+    /// A parameter or observation was outside the mathematical domain.
+    Domain(&'static str),
+    /// Too few observations for the requested analysis.
+    NotEnoughData {
+        /// What needed more data.
+        what: &'static str,
+        /// Minimum required.
+        needed: usize,
+        /// Actually provided.
+        got: usize,
+    },
+    /// The fitted shape parameter was non-negative, so no finite upper bound
+    /// exists under the fitted model (the paper's method requires `ξ̂ < 0`).
+    UnboundedTail {
+        /// The offending shape estimate.
+        shape: f64,
+    },
+    /// An underlying numerical routine failed.
+    Numerical(String),
+}
+
+impl std::fmt::Display for EvtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvtError::Domain(msg) => write!(f, "domain error: {msg}"),
+            EvtError::NotEnoughData { what, needed, got } => {
+                write!(f, "{what} needs at least {needed} observations, got {got}")
+            }
+            EvtError::UnboundedTail { shape } => write!(
+                f,
+                "fitted GPD shape {shape} is non-negative: the tail has no finite upper bound"
+            ),
+            EvtError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvtError {}
+
+impl From<optassign_stats::StatsError> for EvtError {
+    fn from(e: optassign_stats::StatsError) -> Self {
+        EvtError::Numerical(e.to_string())
+    }
+}

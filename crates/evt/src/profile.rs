@@ -1,0 +1,455 @@
+//! Upper Performance Bound estimation via profile likelihood
+//! (paper §3.3.2, Step 4, Figure 7, Equation (1)).
+//!
+//! Following the paper, the GPD is reparameterized from `(ξ, σ)` to
+//! `(ξ, UPB)` with `σ = −ξ·(UPB − u)`. Writing `D = UPB − u` and
+//! `S(D) = Σ ln(1 − yᵢ/D)`, the log-likelihood is
+//!
+//! ```text
+//! L(ξ, D) = −m·ln(−ξ·D) − (1 + 1/ξ)·S(D)
+//! ```
+//!
+//! For a fixed `D`, the maximizing shape has the **closed form**
+//! `ξ̂(D) = S(D)/m` (set `∂L/∂ξ = 0`), so the profile log-likelihood
+//! `L*(D) = max_ξ L(ξ, D)` needs no inner numerical optimization. The MLE
+//! is the `D` maximizing `L*`, and Wilks' theorem gives the `(1−α)`
+//! confidence set `{ D : L*(D) > L*(D̂) − ½·χ²₍₁₋α₎,₁ }` — the paper's
+//! Equation (1).
+//!
+//! The shape is restricted to `ξ ≥ −1`: below that the GPD likelihood is
+//! unbounded at the endpoint (a classical pathology) and the estimator is
+//! meaningless; on the boundary the profile uses `L(−1, D) = −m·ln D`.
+
+use crate::EvtError;
+use optassign_stats::chi2;
+
+/// Point estimate and confidence interval for the Upper Performance Bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpbEstimate {
+    /// Point estimate of the optimal system performance, `u + D̂`.
+    pub point: f64,
+    /// Lower end of the confidence interval (never below the largest
+    /// observation).
+    pub ci_low: f64,
+    /// Upper end of the confidence interval; `None` when the profile
+    /// likelihood stays above the Wilks cut as `UPB → ∞` (the data cannot
+    /// rule out an unbounded tail at this confidence level).
+    pub ci_high: Option<f64>,
+    /// Confidence level used (e.g. `0.95`).
+    pub confidence: f64,
+    /// Profile-maximizing shape `ξ̂(D̂)`; always in `[−1, 0)`.
+    pub shape: f64,
+    /// The threshold the exceedances were taken over.
+    pub threshold: f64,
+    /// Number of exceedances.
+    pub n_exceedances: usize,
+    /// Maximized profile log-likelihood `L*(D̂)`.
+    pub max_log_likelihood: f64,
+}
+
+impl UpbEstimate {
+    /// Width of the confidence interval, `None` when unbounded above.
+    pub fn ci_width(&self) -> Option<f64> {
+        self.ci_high.map(|hi| hi - self.ci_low)
+    }
+}
+
+/// The profile log-likelihood of the exceedances as a function of
+/// `D = UPB − u`.
+///
+/// Exposed for diagnostics (the paper's Figure 7 plots exactly this curve).
+#[derive(Debug, Clone)]
+pub struct ProfileLikelihood<'a> {
+    exceedances: &'a [f64],
+    y_max: f64,
+    mean: f64,
+}
+
+impl<'a> ProfileLikelihood<'a> {
+    /// Builds the profile over strictly validated exceedances.
+    ///
+    /// # Errors
+    ///
+    /// [`EvtError::NotEnoughData`] for fewer than 10 exceedances;
+    /// [`EvtError::Domain`] for negative/non-finite values or an all-zero
+    /// sample.
+    pub fn new(exceedances: &'a [f64]) -> Result<Self, EvtError> {
+        if exceedances.len() < crate::fit::MIN_EXCEEDANCES {
+            return Err(EvtError::NotEnoughData {
+                what: "profile likelihood",
+                needed: crate::fit::MIN_EXCEEDANCES,
+                got: exceedances.len(),
+            });
+        }
+        if exceedances.iter().any(|y| !y.is_finite() || *y < 0.0) {
+            return Err(EvtError::Domain(
+                "exceedances must be finite and non-negative",
+            ));
+        }
+        let y_max = exceedances.iter().copied().fold(0.0f64, f64::max);
+        if y_max <= 0.0 {
+            return Err(EvtError::Domain(
+                "all exceedances are zero; the tail is degenerate",
+            ));
+        }
+        let mean = exceedances.iter().sum::<f64>() / exceedances.len() as f64;
+        Ok(ProfileLikelihood {
+            exceedances,
+            y_max,
+            mean,
+        })
+    }
+
+    /// Largest exceedance; the profile is only defined for `d > y_max`.
+    pub fn y_max(&self) -> f64 {
+        self.y_max
+    }
+
+    /// Evaluates `L*(d)`; `−∞` for `d <= y_max`.
+    pub fn eval(&self, d: f64) -> f64 {
+        let m = self.exceedances.len() as f64;
+        if d <= self.y_max {
+            return f64::NEG_INFINITY;
+        }
+        let s: f64 = self.exceedances.iter().map(|&y| (1.0 - y / d).ln()).sum();
+        let xi = (s / m).max(-1.0);
+        if xi == -1.0 {
+            // Boundary: L(−1, d) = −m·ln d (the (1 + 1/ξ) term vanishes).
+            -m * d.ln()
+        } else {
+            -m * (-xi * d).ln() - (1.0 + 1.0 / xi) * s
+        }
+    }
+
+    /// The profile-maximizing shape at `d`, clamped to `[−1, 0)`.
+    pub fn shape_at(&self, d: f64) -> f64 {
+        let m = self.exceedances.len() as f64;
+        let s: f64 = self.exceedances.iter().map(|&y| (1.0 - y / d).ln()).sum();
+        (s / m).max(-1.0)
+    }
+
+    /// `lim_{d→∞} L*(d)` — the exponential-model log-likelihood
+    /// `−m·(ln ȳ + 1)`. If this limit clears the Wilks cut the upper
+    /// confidence bound is infinite.
+    pub fn limit_at_infinity(&self) -> f64 {
+        let m = self.exceedances.len() as f64;
+        -m * (self.mean.ln() + 1.0)
+    }
+
+    /// Samples `(UPB, L*(UPB))` points for plotting (Figure 7). The grid is
+    /// geometric over `d ∈ (y_max, d_hi]` shifted by `u`.
+    pub fn curve(&self, u: f64, d_hi: f64, points: usize) -> Vec<(f64, f64)> {
+        let d_lo = self.y_max * 1.000_001;
+        let d_hi = d_hi.max(d_lo * 1.01);
+        (0..points)
+            .map(|i| {
+                let t = i as f64 / (points - 1).max(1) as f64;
+                let d = d_lo * (d_hi / d_lo).powf(t);
+                (u + d, self.eval(d))
+            })
+            .collect()
+    }
+}
+
+/// Estimates the Upper Performance Bound from exceedances over threshold
+/// `u`, with a Wilks profile-likelihood confidence interval at level
+/// `confidence`.
+///
+/// # Errors
+///
+/// * Data-validity errors from [`ProfileLikelihood::new`].
+/// * [`EvtError::Domain`] if `confidence` is not in `(0, 1)`.
+/// * [`EvtError::UnboundedTail`] when the profile likelihood increases all
+///   the way to `D → ∞`, i.e. the MLE shape is non-negative and no finite
+///   upper bound exists under the model.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_evt::gpd::Gpd;
+/// use optassign_evt::profile::estimate_upb;
+/// use rand::SeedableRng;
+///
+/// // Exceedances from a GPD with true upper bound σ/|ξ| = 2.0.
+/// let g = Gpd::new(-0.5, 1.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let ys = g.sample_n(&mut rng, 2000);
+/// let est = estimate_upb(100.0, &ys, 0.95).unwrap();
+/// // True UPB is 102; the point estimate and CI should surround it.
+/// assert!((est.point - 102.0).abs() < 0.1);
+/// assert!(est.ci_low <= 102.0 + 0.05);
+/// ```
+pub fn estimate_upb(u: f64, exceedances: &[f64], confidence: f64) -> Result<UpbEstimate, EvtError> {
+    if !(confidence > 0.0 && confidence < 1.0) {
+        return Err(EvtError::Domain("confidence must be in (0, 1)"));
+    }
+    let profile = ProfileLikelihood::new(exceedances)?;
+    let y_max = profile.y_max();
+
+    // ---- locate the maximum of L*(d) ------------------------------------
+    // Expand a bracket geometrically until the function starts decreasing,
+    // then golden-section within it.
+    let d_lo = y_max * (1.0 + 1e-9);
+    let mut d_hi = y_max * 2.0;
+    let mut best_d = d_lo;
+    let mut best_v = profile.eval(d_lo);
+    let limit = profile.limit_at_infinity();
+    const EXPANSIONS: usize = 200;
+    let mut grid_of_interest = Vec::with_capacity(64);
+    for i in 0..EXPANSIONS {
+        // Scan a geometric grid; remember the best point seen.
+        let d = d_lo * 1.15f64.powi(i as i32);
+        let v = profile.eval(d);
+        grid_of_interest.push((d, v));
+        if v > best_v {
+            best_v = v;
+            best_d = d;
+        }
+        d_hi = d;
+        // Stop once the curve has flattened toward its asymptote well past
+        // the best point.
+        if d > best_d * 1e3 && (v - limit).abs() < 1e-6 * (1.0 + limit.abs()) {
+            break;
+        }
+    }
+    // The supremum is attained at (or indistinguishably near) infinity when
+    // the asymptote matches the best value or the maximizing shape collapses
+    // to zero: the MLE shape is >= 0 and no finite bound exists.
+    if limit >= best_v - 1e-9 * (1.0 + best_v.abs())
+        || profile.shape_at(best_d) > -1e-7
+        || best_d > y_max * 1e9
+    {
+        return Err(EvtError::UnboundedTail {
+            shape: profile.shape_at(d_hi).max(0.0),
+        });
+    }
+
+    // Golden-section refine around best_d (bracket one grid step each way).
+    let (mut a, mut b) = (best_d / 1.15, best_d * 1.15);
+    a = a.max(d_lo);
+    const GOLDEN: f64 = 0.618_033_988_749_894_8;
+    for _ in 0..200 {
+        let c = b - GOLDEN * (b - a);
+        let d = a + GOLDEN * (b - a);
+        if profile.eval(c) >= profile.eval(d) {
+            b = d;
+        } else {
+            a = c;
+        }
+        if (b - a) < 1e-12 * (1.0 + b) {
+            break;
+        }
+    }
+    let d_hat = 0.5 * (a + b);
+    let l_max = profile.eval(d_hat);
+
+    // ---- Wilks confidence set -------------------------------------------
+    let cut = l_max - 0.5 * chi2::quantile(confidence, 1.0)?;
+
+    // Lower end: L*(d) may stay above the cut all the way down to y_max
+    // (the CI then clips at the best observation).
+    let near_lo = y_max * (1.0 + 1e-9);
+    let ci_low_d = if profile.eval(near_lo) >= cut {
+        y_max
+    } else {
+        bisect_root(|d| profile.eval(d) - cut, near_lo, d_hat)
+    };
+
+    // Upper end: if even the d→∞ asymptote is above the cut, the interval
+    // is unbounded.
+    let ci_high_d = if limit >= cut {
+        None
+    } else {
+        // Find a d with L*(d) < cut beyond d_hat, then bisect.
+        let mut hi = d_hat * 2.0;
+        let mut expansions = 0;
+        while profile.eval(hi) >= cut {
+            hi *= 2.0;
+            expansions += 1;
+            if expansions > 200 {
+                break;
+            }
+        }
+        if profile.eval(hi) >= cut {
+            None
+        } else {
+            Some(bisect_root(|d| profile.eval(d) - cut, d_hat, hi))
+        }
+    };
+
+    Ok(UpbEstimate {
+        point: u + d_hat,
+        ci_low: u + ci_low_d,
+        ci_high: ci_high_d.map(|d| u + d),
+        confidence,
+        shape: profile.shape_at(d_hat),
+        threshold: u,
+        n_exceedances: exceedances.len(),
+        max_log_likelihood: l_max,
+    })
+}
+
+/// Bisection for a root of `f` in `[lo, hi]`, assuming `f(lo)` and `f(hi)`
+/// have opposite signs; returns the midpoint after convergence.
+fn bisect_root<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64) -> f64 {
+    let f_lo = f(lo);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        let v = f(mid);
+        if (v < 0.0) == (f_lo < 0.0) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if (hi - lo) < 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpd::Gpd;
+    use rand::SeedableRng;
+
+    fn gpd_sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
+        let g = Gpd::new(shape, scale).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        g.sample_n(&mut rng, n)
+    }
+
+    #[test]
+    fn point_estimate_matches_truth() {
+        // True upper bound of exceedances: σ/|ξ| = 1/0.4 = 2.5.
+        let ys = gpd_sample(-0.4, 1.0, 5000, 10);
+        let est = estimate_upb(50.0, &ys, 0.95).unwrap();
+        assert!((est.point - 52.5).abs() < 0.15, "point = {}", est.point);
+        assert!(est.shape < 0.0 && est.shape >= -1.0);
+        assert_eq!(est.threshold, 50.0);
+        assert_eq!(est.n_exceedances, 5000);
+    }
+
+    #[test]
+    fn ci_brackets_truth_and_point() {
+        let ys = gpd_sample(-0.3, 2.0, 3000, 11);
+        let truth = 100.0 + 2.0 / 0.3;
+        let est = estimate_upb(100.0, &ys, 0.95).unwrap();
+        let hi = est.ci_high.expect("negative shape gives finite CI");
+        assert!(est.ci_low <= est.point && est.point <= hi);
+        assert!(
+            est.ci_low <= truth && truth <= hi,
+            "CI [{}, {}] missed truth {}",
+            est.ci_low,
+            hi,
+            truth
+        );
+    }
+
+    #[test]
+    fn ci_low_never_below_best_observation() {
+        let ys = gpd_sample(-0.5, 1.0, 500, 12);
+        let y_max = ys.iter().copied().fold(0.0f64, f64::max);
+        let est = estimate_upb(0.0, &ys, 0.99).unwrap();
+        assert!(est.ci_low >= y_max - 1e-9);
+    }
+
+    #[test]
+    fn wider_confidence_widens_interval() {
+        let ys = gpd_sample(-0.35, 1.0, 2000, 13);
+        let e90 = estimate_upb(0.0, &ys, 0.90).unwrap();
+        let e99 = estimate_upb(0.0, &ys, 0.99).unwrap();
+        let w90 = e99.ci_low <= e90.ci_low;
+        assert!(w90, "99% CI should extend lower");
+        match (e90.ci_high, e99.ci_high) {
+            (Some(h90), Some(h99)) => assert!(h99 >= h90),
+            (Some(_), None) => {} // 99% unbounded is "wider"
+            (None, Some(_)) => panic!("90% unbounded but 99% bounded"),
+            (None, None) => {}
+        }
+    }
+
+    #[test]
+    fn more_data_narrows_interval() {
+        let small = gpd_sample(-0.4, 1.0, 100, 14);
+        let large = gpd_sample(-0.4, 1.0, 5000, 14);
+        let es = estimate_upb(0.0, &small, 0.95).unwrap();
+        let el = estimate_upb(0.0, &large, 0.95).unwrap();
+        let ws = es.ci_width();
+        let wl = el.ci_width().expect("large sample should bound the tail");
+        if let Some(ws) = ws {
+            assert!(wl < ws, "widths: small {ws}, large {wl}");
+        }
+        // With 5000 points the estimate is tight around 2.5.
+        assert!((el.point - 2.5).abs() < 0.15);
+    }
+
+    #[test]
+    fn heavy_tail_reports_unbounded() {
+        // Positive shape: the likelihood prefers D → ∞.
+        let ys = gpd_sample(0.4, 1.0, 2000, 15);
+        match estimate_upb(0.0, &ys, 0.95) {
+            Err(EvtError::UnboundedTail { .. }) => {}
+            other => panic!("expected UnboundedTail, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exponential_tail_usually_unbounded_or_wide() {
+        // ξ = 0 sits on the boundary: either an UnboundedTail error or a
+        // finite point with an unbounded upper CI is acceptable; a tight
+        // two-sided CI would be wrong.
+        let ys = gpd_sample(0.0, 1.0, 2000, 16);
+        match estimate_upb(0.0, &ys, 0.95) {
+            Err(EvtError::UnboundedTail { .. }) => {}
+            Ok(est) => assert!(
+                est.ci_high.is_none() || est.ci_high.unwrap() > est.point * 1.05,
+                "suspiciously tight CI for exponential data: {est:?}"
+            ),
+            Err(other) => panic!("unexpected error: {other}"),
+        }
+    }
+
+    #[test]
+    fn profile_shape_matches_mle_fit() {
+        let ys = gpd_sample(-0.3, 1.0, 4000, 17);
+        let est = estimate_upb(0.0, &ys, 0.95).unwrap();
+        let fit = crate::fit::fit_mle(&ys).unwrap();
+        assert!(
+            (est.shape - fit.gpd.shape()).abs() < 0.02,
+            "profile shape {} vs MLE {}",
+            est.shape,
+            fit.gpd.shape()
+        );
+        // And the implied upper bounds agree.
+        let mle_upb = fit.gpd.upper_bound().unwrap();
+        assert!((est.point - mle_upb).abs() < 0.05 * mle_upb);
+    }
+
+    #[test]
+    fn curve_is_maximized_at_point() {
+        let ys = gpd_sample(-0.45, 1.5, 2000, 18);
+        let est = estimate_upb(10.0, &ys, 0.95).unwrap();
+        let profile = ProfileLikelihood::new(&ys).unwrap();
+        let pts = profile.curve(10.0, (est.point - 10.0) * 4.0, 300);
+        let best = pts
+            .iter()
+            .copied()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        assert!(
+            (best.0 - est.point).abs() < 0.05 * est.point,
+            "grid max at {} vs estimate {}",
+            best.0,
+            est.point
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(estimate_upb(0.0, &[1.0; 3], 0.95).is_err());
+        assert!(estimate_upb(0.0, &gpd_sample(-0.4, 1.0, 100, 19), 1.5).is_err());
+        assert!(ProfileLikelihood::new(&[0.0; 20]).is_err());
+    }
+}

@@ -1,0 +1,349 @@
+//! Aho–Corasick multi-pattern string matching (Aho & Corasick, 1975).
+//!
+//! The paper's intrusion-detection benchmark searches packet payloads for
+//! the keywords of Snort's Denial-of-Service rule set using a finite state
+//! pattern-matching machine. This is a full implementation: trie
+//! construction, BFS failure links, merged output sets, and a dense
+//! next-state table (the representation whose memory footprint drives the
+//! simulated cache behaviour of the benchmark).
+
+/// A match found by the automaton.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Match {
+    /// Index of the matched pattern in the constructor's list.
+    pub pattern: usize,
+    /// Byte offset one past the last byte of the match.
+    pub end: usize,
+}
+
+/// An Aho–Corasick pattern-matching machine over byte strings.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_netapps::aho_corasick::AhoCorasick;
+///
+/// let ac = AhoCorasick::new(&["he", "she", "his", "hers"]).unwrap();
+/// let matches = ac.find_all(b"ushers");
+/// // "she" ends at 4, "he" ends at 4, "hers" ends at 6.
+/// assert_eq!(matches.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AhoCorasick {
+    /// Dense transition table: `next[state * 256 + byte]`.
+    next: Vec<u32>,
+    /// Failure link per state.
+    fail: Vec<u32>,
+    /// Patterns ending at each state (after output-set merging).
+    outputs: Vec<Vec<u32>>,
+    /// Number of patterns the machine was built from.
+    pattern_count: usize,
+    /// Total bytes across all patterns.
+    pattern_bytes: usize,
+}
+
+/// Error building an [`AhoCorasick`] machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// No patterns were given.
+    NoPatterns,
+    /// A pattern was empty.
+    EmptyPattern {
+        /// Index of the empty pattern.
+        index: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::NoPatterns => write!(f, "no patterns supplied"),
+            BuildError::EmptyPattern { index } => write!(f, "pattern {index} is empty"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl AhoCorasick {
+    /// Builds the machine from string patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when the list is empty or contains an empty
+    /// pattern.
+    pub fn new<S: AsRef<[u8]>>(patterns: &[S]) -> Result<Self, BuildError> {
+        if patterns.is_empty() {
+            return Err(BuildError::NoPatterns);
+        }
+        for (i, p) in patterns.iter().enumerate() {
+            if p.as_ref().is_empty() {
+                return Err(BuildError::EmptyPattern { index: i });
+            }
+        }
+
+        // ---- goto function (trie) -----------------------------------
+        // Sparse trie during construction; state 0 is the root.
+        let mut trie_next: Vec<[u32; 256]> = vec![[u32::MAX; 256]];
+        let mut outputs: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut pattern_bytes = 0usize;
+        for (pi, pat) in patterns.iter().enumerate() {
+            let bytes = pat.as_ref();
+            pattern_bytes += bytes.len();
+            let mut state = 0usize;
+            for &b in bytes {
+                let slot = trie_next[state][b as usize];
+                state = if slot == u32::MAX {
+                    trie_next.push([u32::MAX; 256]);
+                    outputs.push(Vec::new());
+                    let new = (trie_next.len() - 1) as u32;
+                    trie_next[state][b as usize] = new;
+                    new as usize
+                } else {
+                    slot as usize
+                };
+            }
+            outputs[state].push(pi as u32);
+        }
+        let n_states = trie_next.len();
+
+        // ---- failure links (BFS) and dense next-state table ----------
+        let mut fail = vec![0u32; n_states];
+        let mut next = vec![0u32; n_states * 256];
+        let mut queue = std::collections::VecDeque::new();
+        for b in 0..256 {
+            let s = trie_next[0][b];
+            if s != u32::MAX {
+                next[b] = s;
+                fail[s as usize] = 0;
+                queue.push_back(s as usize);
+            } else {
+                next[b] = 0;
+            }
+        }
+        while let Some(r) = queue.pop_front() {
+            for b in 0..256 {
+                let s = trie_next[r][b];
+                if s != u32::MAX {
+                    queue.push_back(s as usize);
+                    let f = next[fail[r] as usize * 256 + b];
+                    fail[s as usize] = f;
+                    // Merge output sets along the failure chain.
+                    let inherited = outputs[f as usize].clone();
+                    outputs[s as usize].extend(inherited);
+                    next[r * 256 + b] = s;
+                } else {
+                    next[r * 256 + b] = next[fail[r] as usize * 256 + b];
+                }
+            }
+        }
+
+        Ok(AhoCorasick {
+            next,
+            fail,
+            outputs,
+            pattern_count: patterns.len(),
+            pattern_bytes,
+        })
+    }
+
+    /// Number of automaton states.
+    pub fn state_count(&self) -> usize {
+        self.fail.len()
+    }
+
+    /// Number of patterns the machine matches.
+    pub fn pattern_count(&self) -> usize {
+        self.pattern_count
+    }
+
+    /// Total bytes across all patterns.
+    pub fn pattern_bytes(&self) -> usize {
+        self.pattern_bytes
+    }
+
+    /// Approximate resident size of the dense machine in bytes — the
+    /// data-structure footprint used by the simulator's cache model.
+    pub fn memory_bytes(&self) -> usize {
+        self.next.len() * std::mem::size_of::<u32>()
+            + self.fail.len() * std::mem::size_of::<u32>()
+            + self
+                .outputs
+                .iter()
+                .map(|o| o.len() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+
+    /// Feeds one byte from `state`, returning the next state.
+    #[inline]
+    pub fn step(&self, state: u32, byte: u8) -> u32 {
+        self.next[state as usize * 256 + byte as usize]
+    }
+
+    /// Finds all pattern occurrences in `haystack` (a packet payload),
+    /// in one pass — "proven linear performance" as the paper notes.
+    pub fn find_all(&self, haystack: &[u8]) -> Vec<Match> {
+        let mut state = 0u32;
+        let mut matches = Vec::new();
+        for (i, &b) in haystack.iter().enumerate() {
+            state = self.step(state, b);
+            for &p in &self.outputs[state as usize] {
+                matches.push(Match {
+                    pattern: p as usize,
+                    end: i + 1,
+                });
+            }
+        }
+        matches
+    }
+
+    /// Whether any pattern occurs in `haystack` (early-exit scan).
+    pub fn is_match(&self, haystack: &[u8]) -> bool {
+        let mut state = 0u32;
+        for &b in haystack {
+            state = self.step(state, b);
+            if !self.outputs[state as usize].is_empty() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// A Snort-style Denial-of-Service keyword set (modelled on the content
+/// strings of the `dos.rules` family the paper used, version 2.9).
+///
+/// These are representative rule contents, not the proprietary rule file:
+/// classic DoS tool markers, flood signatures and malformed-service probes.
+pub fn snort_dos_keywords() -> Vec<&'static [u8]> {
+    const KEYWORDS: &[&[u8]] = &[
+        b"shaft", b"trinoo", b"stacheldraht", b"mstream", b"TFN", b"tfn2k",
+        b"wintrinoo", b"synk4", b"targa3", b"jolt", b"teardrop", b"land",
+        b"naptha", b"bonk", b"boink", b"newtear", b"syndrop", b"smurf",
+        b"fraggle", b"pepsi", b"spank", b"stream.c", b"PONG", b"alive tinso",
+        b"gOrave", b"niggahbitch", b"sicken", b"skillz", b"ficken",
+        b"GET /msadc", b"GET //", b"= aaaaaaaaaaaaaaaa", b"+ +", b"png ly",
+        b"d1ck", b"wh00t", b"blowme", b"\x00\x00\x00\x00\x00\x00\x00\x01",
+        b"msg_oob", b"bewm", b"slice3", b"flood", b"panix", b"rape",
+    ];
+    KEYWORDS.to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn classic_ushers_example() {
+        let ac = AhoCorasick::new(&["he", "she", "his", "hers"]).unwrap();
+        let m = ac.find_all(b"ushers");
+        let set: std::collections::HashSet<(usize, usize)> =
+            m.iter().map(|m| (m.pattern, m.end)).collect();
+        assert!(set.contains(&(1, 4))); // she @4
+        assert!(set.contains(&(0, 4))); // he  @4
+        assert!(set.contains(&(3, 6))); // hers @6
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn overlapping_and_repeated_matches() {
+        let ac = AhoCorasick::new(&["aa"]).unwrap();
+        let m = ac.find_all(b"aaaa");
+        assert_eq!(m.len(), 3);
+        assert_eq!(
+            m.iter().map(|m| m.end).collect::<Vec<_>>(),
+            vec![2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn substring_patterns_all_reported() {
+        let ac = AhoCorasick::new(&["abc", "b", "bc"]).unwrap();
+        let m = ac.find_all(b"xabcx");
+        let set: std::collections::HashSet<(usize, usize)> =
+            m.iter().map(|m| (m.pattern, m.end)).collect();
+        assert!(set.contains(&(0, 4)));
+        assert!(set.contains(&(1, 3)));
+        assert!(set.contains(&(2, 4)));
+    }
+
+    #[test]
+    fn no_match() {
+        let ac = AhoCorasick::new(&["needle"]).unwrap();
+        assert!(ac.find_all(b"plain haystack").is_empty());
+        assert!(!ac.is_match(b"plain haystack"));
+        assert!(ac.is_match(b"a needle here"));
+    }
+
+    #[test]
+    fn binary_patterns() {
+        let ac = AhoCorasick::new(&[&[0u8, 1, 2][..], &[255, 254][..]]).unwrap();
+        assert!(ac.is_match(&[9, 0, 1, 2, 9]));
+        assert!(ac.is_match(&[255, 254]));
+        assert!(!ac.is_match(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn build_errors() {
+        assert_eq!(
+            AhoCorasick::new::<&[u8]>(&[]).unwrap_err(),
+            BuildError::NoPatterns
+        );
+        assert_eq!(
+            AhoCorasick::new(&["ok", ""]).unwrap_err(),
+            BuildError::EmptyPattern { index: 1 }
+        );
+    }
+
+    #[test]
+    fn snort_set_builds_and_matches() {
+        let keywords = snort_dos_keywords();
+        let ac = AhoCorasick::new(&keywords).unwrap();
+        assert_eq!(ac.pattern_count(), keywords.len());
+        assert!(ac.state_count() > keywords.len());
+        // Dense table: states × 256 × 4 bytes dominates.
+        assert!(ac.memory_bytes() >= ac.state_count() * 1024);
+        assert!(ac.is_match(b"GET / HTTP ... stacheldraht handler"));
+        assert!(!ac.is_match(b"completely innocuous payload"));
+    }
+
+    /// Reference implementation for the property test.
+    fn naive_find_all(patterns: &[Vec<u8>], haystack: &[u8]) -> Vec<Match> {
+        let mut out = Vec::new();
+        for (pi, p) in patterns.iter().enumerate() {
+            if p.is_empty() {
+                continue;
+            }
+            for end in p.len()..=haystack.len() {
+                if &haystack[end - p.len()..end] == p.as_slice() {
+                    out.push(Match {
+                        pattern: pi,
+                        end,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    proptest! {
+        #[test]
+        fn matches_agree_with_naive_search(
+            patterns in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 1..5), 1..6),
+            haystack in proptest::collection::vec(0u8..4, 0..64),
+        ) {
+            let ac = AhoCorasick::new(&patterns).unwrap();
+            let mut fast: Vec<(usize, usize)> =
+                ac.find_all(&haystack).iter().map(|m| (m.pattern, m.end)).collect();
+            let mut slow: Vec<(usize, usize)> =
+                naive_find_all(&patterns, &haystack).iter().map(|m| (m.pattern, m.end)).collect();
+            fast.sort_unstable();
+            fast.dedup();
+            slow.sort_unstable();
+            slow.dedup();
+            prop_assert_eq!(fast, slow);
+        }
+    }
+}

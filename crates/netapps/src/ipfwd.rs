@@ -1,0 +1,246 @@
+//! IP forwarding: next-hop lookup (the paper's IPFwd benchmark family).
+//!
+//! "IPFwd application makes the decision to forward a packet to the next
+//! hop based on the destination IP address. Depending on the size of the
+//! lookup table and destination IP addresses of the packets that are to be
+//! processed, the IPFwd application may have significantly different memory
+//! behavior" (paper §4.3). The two variants:
+//!
+//! * **IPFwd-L1** — the lookup table fits in the 8 KB L1 data cache.
+//! * **IPFwd-Mem** — table entries initialized so lookups continuously
+//!   access main memory (no cache locality).
+//!
+//! Figure 1 additionally uses two pipeline variants, IPFwd-intadd and
+//! IPFwd-intmul, whose hash functions are dominated by integer additions
+//! vs. integer multiplications — implemented here as [`HashKind`].
+
+/// A next hop: egress port plus new destination MAC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NextHop {
+    /// Egress port index.
+    pub port: u16,
+    /// MAC address to rewrite the frame with.
+    pub mac: [u8; 6],
+}
+
+/// Hash function family used to index the lookup table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashKind {
+    /// Addition/rotation-based hash (IPFwd-intadd): short-latency ALU ops.
+    IntAdd,
+    /// Multiplication-based hash (IPFwd-intmul): long-latency multiplies.
+    IntMul,
+}
+
+impl HashKind {
+    /// Hashes a destination IP to a table slot in `[0, buckets)`.
+    ///
+    /// Both variants are real integer hash functions; they differ in the
+    /// instruction mix (adds/rotates vs. multiplies), the property the
+    /// paper's Figure 1 exploits to show different IntraPipe contention.
+    #[inline]
+    pub fn bucket(self, dst_ip: u32, buckets: usize) -> usize {
+        debug_assert!(buckets > 0);
+        let h = match self {
+            HashKind::IntAdd => {
+                // Jenkins-style add/rotate mixing.
+                let mut h = dst_ip.wrapping_add(0x9E37_79B9);
+                h = h.rotate_left(7).wrapping_add(h >> 3);
+                h ^= h.rotate_left(13);
+                h = h.wrapping_add(h.rotate_left(21));
+                h ^ (h >> 16)
+            }
+            HashKind::IntMul => {
+                // Multiplicative (Knuth/Fibonacci) mixing.
+                let mut h = dst_ip.wrapping_mul(0x85EB_CA6B);
+                h ^= h >> 13;
+                h = h.wrapping_mul(0xC2B2_AE35);
+                h ^= h >> 16;
+                h
+            }
+        };
+        (h as usize) % buckets
+    }
+}
+
+/// An IP forwarder with a hash-indexed next-hop table.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_netapps::ipfwd::{IpForwarder, HashKind};
+///
+/// // A small table (fits L1) with 16 ports.
+/// let fwd = IpForwarder::new(512, 16, HashKind::IntAdd);
+/// let hop = fwd.lookup(0x0A000001);
+/// assert!(hop.port < 16);
+/// // Lookups are deterministic.
+/// assert_eq!(fwd.lookup(0x0A000001), hop);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IpForwarder {
+    table: Vec<NextHop>,
+    hash: HashKind,
+}
+
+/// Bytes per lookup-table entry as laid out in the network processor's
+/// memory (next-hop record: port, MAC, flags, padding to 16 B).
+pub const ENTRY_BYTES: usize = 16;
+
+impl IpForwarder {
+    /// Builds a forwarder with `entries` table slots spread over `ports`
+    /// egress ports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `ports` is zero.
+    pub fn new(entries: usize, ports: u16, hash: HashKind) -> Self {
+        assert!(entries > 0, "entries must be non-zero");
+        assert!(ports > 0, "ports must be non-zero");
+        let table = (0..entries)
+            .map(|i| {
+                let port = (i % ports as usize) as u16;
+                NextHop {
+                    port,
+                    mac: [
+                        0x02,
+                        0x00,
+                        (port >> 8) as u8,
+                        port as u8,
+                        (i >> 8) as u8,
+                        i as u8,
+                    ],
+                }
+            })
+            .collect();
+        IpForwarder { table, hash }
+    }
+
+    /// Number of table entries.
+    pub fn entries(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Table footprint in bytes — drives the simulated cache behaviour
+    /// (IPFwd-L1 vs IPFwd-Mem).
+    pub fn memory_bytes(&self) -> usize {
+        self.table.len() * ENTRY_BYTES
+    }
+
+    /// The hash family in use.
+    pub fn hash_kind(&self) -> HashKind {
+        self.hash
+    }
+
+    /// Looks up the next hop for a destination IP.
+    pub fn lookup(&self, dst_ip: u32) -> NextHop {
+        self.table[self.hash.bucket(dst_ip, self.table.len())]
+    }
+
+    /// Forwards a packet in place: rewrites the destination MAC and
+    /// decrements the TTL. Returns the egress port, or `None` when the TTL
+    /// expired (packet must be dropped).
+    pub fn forward(&self, packet: &mut crate::packet::Packet) -> Option<u16> {
+        if packet.ttl <= 1 {
+            return None;
+        }
+        let hop = self.lookup(packet.flow.dst_ip);
+        packet.ttl -= 1;
+        packet.dst_mac = hop.mac;
+        Some(hop.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowKey, Packet, Protocol};
+
+    fn packet(dst_ip: u32, ttl: u8) -> Packet {
+        Packet {
+            src_mac: [1; 6],
+            dst_mac: [2; 6],
+            ttl,
+            flow: FlowKey {
+                src_ip: 1,
+                dst_ip,
+                src_port: 1,
+                dst_port: 2,
+                protocol: Protocol::Udp,
+            },
+            payload: vec![],
+        }
+    }
+
+    #[test]
+    fn lookup_is_deterministic_and_in_range() {
+        for kind in [HashKind::IntAdd, HashKind::IntMul] {
+            let fwd = IpForwarder::new(1024, 8, kind);
+            for ip in [0u32, 1, 0xFFFF_FFFF, 0x0A01_0203] {
+                let a = fwd.lookup(ip);
+                assert_eq!(fwd.lookup(ip), a);
+                assert!(a.port < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn hashes_spread_over_buckets() {
+        for kind in [HashKind::IntAdd, HashKind::IntMul] {
+            let mut counts = vec![0usize; 64];
+            for ip in 0..64_000u32 {
+                counts[kind.bucket(ip.wrapping_mul(2654435761), 64)] += 1;
+            }
+            let expected = 1000.0;
+            for (b, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64 - expected).abs() < expected * 0.3,
+                    "{kind:?} bucket {b} has {c}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hash_kinds_differ() {
+        let diff = (0..1000u32)
+            .filter(|&ip| {
+                HashKind::IntAdd.bucket(ip, 4096) != HashKind::IntMul.bucket(ip, 4096)
+            })
+            .count();
+        assert!(diff > 900, "only {diff} of 1000 differ");
+    }
+
+    #[test]
+    fn forwarding_rewrites_and_decrements() {
+        let fwd = IpForwarder::new(256, 4, HashKind::IntAdd);
+        let mut p = packet(0xC0A8_0101, 64);
+        let port = fwd.forward(&mut p).unwrap();
+        assert!(port < 4);
+        assert_eq!(p.ttl, 63);
+        assert_eq!(p.dst_mac, fwd.lookup(0xC0A8_0101).mac);
+    }
+
+    #[test]
+    fn ttl_expiry_drops() {
+        let fwd = IpForwarder::new(256, 4, HashKind::IntAdd);
+        let mut p = packet(5, 1);
+        assert_eq!(fwd.forward(&mut p), None);
+        assert_eq!(p.ttl, 1, "dropped packet is not mutated");
+    }
+
+    #[test]
+    fn footprints_match_paper_variants() {
+        // L1 variant: fits the 8 KB L1D. Mem variant: far larger than L2.
+        let l1 = IpForwarder::new(256, 16, HashKind::IntAdd);
+        assert!(l1.memory_bytes() <= 8 * 1024);
+        let mem = IpForwarder::new(4 * 1024 * 1024, 16, HashKind::IntAdd);
+        assert!(mem.memory_bytes() > 4 * 1024 * 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_empty_table() {
+        IpForwarder::new(0, 4, HashKind::IntAdd);
+    }
+}

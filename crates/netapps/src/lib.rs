@@ -1,0 +1,45 @@
+//! Multithreaded network applications for the task-assignment case study.
+//!
+//! The ASPLOS 2012 paper evaluates its statistical method on five network
+//! benchmarks running under Netra DPS on an UltraSPARC T2 (paper §4.3):
+//!
+//! * **IPFwd-L1 / IPFwd-Mem** — IP forwarding with a lookup table that fits
+//!   the L1 data cache vs. one that always misses to memory ([`ipfwd`]).
+//! * **Packet analyzer** — header decoding and logging ([`analyzer`]).
+//! * **Aho-Corasick** — multi-pattern payload matching against a
+//!   Snort-style Denial-of-Service keyword set ([`aho_corasick`]).
+//! * **Stateful** — flow tracking with a 2¹⁶-entry hash table using the
+//!   nProbe-style hash ([`stateful`]).
+//!
+//! Each benchmark is a three-thread software pipeline (paper Figure 9):
+//! receive (R) → process (P) → transmit (T), connected by memory queues.
+//!
+//! This crate provides **functional implementations** of the packet work
+//! (real parsing, real automata, real hash tables — unit-testable in
+//! isolation) and, in [`suite`], the translation of each benchmark into an
+//! [`optassign_sim::program::WorkloadSpec`] whose per-packet operation mix
+//! and data-structure footprints are derived from those implementations.
+//! Traffic comes from [`ntgen`], a generator modelled on Oracle's NTGen
+//! tool (configurable IPv4 TCP/UDP header fields, saturating the link).
+//!
+//! # Examples
+//!
+//! ```
+//! use optassign_netapps::suite::Benchmark;
+//!
+//! // The paper's 24-thread workload: 8 instances × (R, P, T).
+//! let workload = Benchmark::IpFwdL1.build_workload(8, 42);
+//! assert_eq!(workload.tasks().len(), 24);
+//! ```
+
+pub mod aho_corasick;
+pub mod analyzer;
+pub mod deep;
+pub mod ipfwd;
+pub mod ntgen;
+pub mod packet;
+pub mod pipeline;
+pub mod stateful;
+pub mod suite;
+
+pub use suite::Benchmark;

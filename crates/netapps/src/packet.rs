@@ -1,0 +1,378 @@
+//! IPv4/TCP/UDP packet model: construction, wire encoding, and parsing.
+//!
+//! Packets are real byte buffers with Ethernet, IPv4 and TCP/UDP headers,
+//! so the analyzer and stateful benchmarks exercise genuine header parsing.
+
+/// Transport protocol of a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// TCP (IPv4 protocol number 6).
+    Tcp,
+    /// UDP (IPv4 protocol number 17).
+    Udp,
+}
+
+impl Protocol {
+    /// IPv4 protocol number.
+    pub fn number(self) -> u8 {
+        match self {
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+        }
+    }
+}
+
+/// The 5-tuple identifying a flow (paper §4.3: "flow-keys are typically the
+/// source and destination IP address, the source and destination port, and
+/// protocol used").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FlowKey {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+}
+
+/// A network packet: parsed header fields plus the payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// Source MAC address.
+    pub src_mac: [u8; 6],
+    /// Destination MAC address.
+    pub dst_mac: [u8; 6],
+    /// IPv4 time-to-live.
+    pub ttl: u8,
+    /// Flow 5-tuple.
+    pub flow: FlowKey,
+    /// Transport payload.
+    pub payload: Vec<u8>,
+}
+
+/// Byte sizes of the encoded headers.
+pub const ETH_HEADER_LEN: usize = 14;
+/// IPv4 header length (no options).
+pub const IPV4_HEADER_LEN: usize = 20;
+/// TCP header length (no options).
+pub const TCP_HEADER_LEN: usize = 20;
+/// UDP header length.
+pub const UDP_HEADER_LEN: usize = 8;
+
+impl Packet {
+    /// Total length on the wire.
+    pub fn wire_len(&self) -> usize {
+        let transport = match self.flow.protocol {
+            Protocol::Tcp => TCP_HEADER_LEN,
+            Protocol::Udp => UDP_HEADER_LEN,
+        };
+        ETH_HEADER_LEN + IPV4_HEADER_LEN + transport + self.payload.len()
+    }
+
+    /// Encodes the packet into wire format (Ethernet II / IPv4 / TCP|UDP).
+    ///
+    /// The IPv4 header checksum is computed for real; transport checksums
+    /// are set to zero (valid for UDP, and irrelevant to the benchmarks).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optassign_netapps::packet::{Packet, FlowKey, Protocol};
+    ///
+    /// let p = Packet {
+    ///     src_mac: [1; 6],
+    ///     dst_mac: [2; 6],
+    ///     ttl: 64,
+    ///     flow: FlowKey {
+    ///         src_ip: 0x0A000001,
+    ///         dst_ip: 0x0A000002,
+    ///         src_port: 1234,
+    ///         dst_port: 80,
+    ///         protocol: Protocol::Udp,
+    ///     },
+    ///     payload: b"hello".to_vec(),
+    /// };
+    /// let bytes = p.to_bytes();
+    /// let back = Packet::parse(&bytes).unwrap();
+    /// assert_eq!(back, p);
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(self.wire_len());
+        // Ethernet II.
+        buf.extend_from_slice(&self.dst_mac);
+        buf.extend_from_slice(&self.src_mac);
+        buf.extend_from_slice(&0x0800u16.to_be_bytes()); // EtherType IPv4
+
+        // IPv4 header.
+        let transport_len = match self.flow.protocol {
+            Protocol::Tcp => TCP_HEADER_LEN,
+            Protocol::Udp => UDP_HEADER_LEN,
+        };
+        let total_len = (IPV4_HEADER_LEN + transport_len + self.payload.len()) as u16;
+        let ip_start = buf.len();
+        buf.push(0x45); // version 4, IHL 5
+        buf.push(0); // DSCP/ECN
+        buf.extend_from_slice(&total_len.to_be_bytes());
+        buf.extend_from_slice(&[0, 0]); // identification
+        buf.extend_from_slice(&[0, 0]); // flags/fragment
+        buf.push(self.ttl);
+        buf.push(self.flow.protocol.number());
+        buf.extend_from_slice(&[0, 0]); // checksum placeholder
+        buf.extend_from_slice(&self.flow.src_ip.to_be_bytes());
+        buf.extend_from_slice(&self.flow.dst_ip.to_be_bytes());
+        let checksum = ipv4_checksum(&buf[ip_start..ip_start + IPV4_HEADER_LEN]);
+        buf[ip_start + 10..ip_start + 12].copy_from_slice(&checksum.to_be_bytes());
+
+        // Transport header.
+        match self.flow.protocol {
+            Protocol::Tcp => {
+                buf.extend_from_slice(&self.flow.src_port.to_be_bytes());
+                buf.extend_from_slice(&self.flow.dst_port.to_be_bytes());
+                buf.extend_from_slice(&[0; 8]); // seq + ack
+                buf.push(0x50); // data offset 5
+                buf.push(0x18); // flags PSH|ACK
+                buf.extend_from_slice(&[0xFF, 0xFF]); // window
+                buf.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent
+            }
+            Protocol::Udp => {
+                buf.extend_from_slice(&self.flow.src_port.to_be_bytes());
+                buf.extend_from_slice(&self.flow.dst_port.to_be_bytes());
+                let udp_len = (UDP_HEADER_LEN + self.payload.len()) as u16;
+                buf.extend_from_slice(&udp_len.to_be_bytes());
+                buf.extend_from_slice(&[0, 0]); // checksum (0 = none)
+            }
+        }
+        buf.extend_from_slice(&self.payload);
+        buf
+    }
+
+    /// Parses a wire-format packet produced by [`Packet::to_bytes`] (or any
+    /// Ethernet/IPv4/TCP|UDP frame without IP options).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseError`] describing the first malformed field.
+    pub fn parse(bytes: &[u8]) -> Result<Packet, ParseError> {
+        if bytes.len() < ETH_HEADER_LEN + IPV4_HEADER_LEN {
+            return Err(ParseError::Truncated);
+        }
+        let dst_mac: [u8; 6] = bytes[0..6].try_into().expect("checked length");
+        let src_mac: [u8; 6] = bytes[6..12].try_into().expect("checked length");
+        let ethertype = u16::from_be_bytes([bytes[12], bytes[13]]);
+        if ethertype != 0x0800 {
+            return Err(ParseError::NotIpv4 { ethertype });
+        }
+        let ip = &bytes[ETH_HEADER_LEN..];
+        if ip[0] >> 4 != 4 {
+            return Err(ParseError::BadVersion { version: ip[0] >> 4 });
+        }
+        let ihl = (ip[0] & 0x0F) as usize * 4;
+        if ihl != IPV4_HEADER_LEN {
+            return Err(ParseError::OptionsUnsupported { ihl });
+        }
+        let total_len = u16::from_be_bytes([ip[2], ip[3]]) as usize;
+        if bytes.len() < ETH_HEADER_LEN + total_len {
+            return Err(ParseError::Truncated);
+        }
+        let ttl = ip[8];
+        let proto = ip[9];
+        let src_ip = u32::from_be_bytes([ip[12], ip[13], ip[14], ip[15]]);
+        let dst_ip = u32::from_be_bytes([ip[16], ip[17], ip[18], ip[19]]);
+        let transport = &ip[IPV4_HEADER_LEN..total_len];
+        let (protocol, header_len) = match proto {
+            6 => (Protocol::Tcp, TCP_HEADER_LEN),
+            17 => (Protocol::Udp, UDP_HEADER_LEN),
+            other => return Err(ParseError::UnknownProtocol { protocol: other }),
+        };
+        if transport.len() < header_len {
+            return Err(ParseError::Truncated);
+        }
+        let src_port = u16::from_be_bytes([transport[0], transport[1]]);
+        let dst_port = u16::from_be_bytes([transport[2], transport[3]]);
+        let payload = transport[header_len..].to_vec();
+        Ok(Packet {
+            src_mac,
+            dst_mac,
+            ttl,
+            flow: FlowKey {
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                protocol,
+            },
+            payload,
+        })
+    }
+}
+
+/// Errors from [`Packet::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer ends before the advertised packet does.
+    Truncated,
+    /// Not an IPv4 EtherType.
+    NotIpv4 {
+        /// EtherType found instead of 0x0800.
+        ethertype: u16,
+    },
+    /// IP version field is not 4.
+    BadVersion {
+        /// Version found.
+        version: u8,
+    },
+    /// IPv4 options are not supported by the benchmarks.
+    OptionsUnsupported {
+        /// IHL in bytes.
+        ihl: usize,
+    },
+    /// Transport protocol other than TCP/UDP.
+    UnknownProtocol {
+        /// IPv4 protocol number found.
+        protocol: u8,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated => write!(f, "packet truncated"),
+            ParseError::NotIpv4 { ethertype } => write!(f, "not IPv4 (ethertype {ethertype:#06x})"),
+            ParseError::BadVersion { version } => write!(f, "bad IP version {version}"),
+            ParseError::OptionsUnsupported { ihl } => {
+                write!(f, "IPv4 options unsupported (ihl {ihl})")
+            }
+            ParseError::UnknownProtocol { protocol } => {
+                write!(f, "unknown transport protocol {protocol}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// RFC 1071 Internet checksum over an IPv4 header (checksum field zeroed).
+pub fn ipv4_checksum(header: &[u8]) -> u16 {
+    let mut sum: u32 = 0;
+    let mut i = 0;
+    while i + 1 < header.len() {
+        // Skip the checksum field itself (bytes 10-11).
+        let word = if i == 10 {
+            0
+        } else {
+            u16::from_be_bytes([header[i], header[i + 1]]) as u32
+        };
+        sum += word;
+        i += 2;
+    }
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_packet(protocol: Protocol, payload: Vec<u8>) -> Packet {
+        Packet {
+            src_mac: [0xAA, 0xBB, 0xCC, 0, 0, 1],
+            dst_mac: [0xAA, 0xBB, 0xCC, 0, 0, 2],
+            ttl: 63,
+            flow: FlowKey {
+                src_ip: 0xC0A8_0001,
+                dst_ip: 0x0808_0808,
+                src_port: 5353,
+                dst_port: 443,
+                protocol,
+            },
+            payload,
+        }
+    }
+
+    #[test]
+    fn roundtrip_tcp_and_udp() {
+        for proto in [Protocol::Tcp, Protocol::Udp] {
+            let p = sample_packet(proto, vec![1, 2, 3, 4, 5]);
+            let bytes = p.to_bytes();
+            assert_eq!(bytes.len(), p.wire_len());
+            assert_eq!(Packet::parse(&bytes).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn checksum_verifies() {
+        let p = sample_packet(Protocol::Udp, vec![0; 64]);
+        let bytes = p.to_bytes();
+        let header = &bytes[ETH_HEADER_LEN..ETH_HEADER_LEN + IPV4_HEADER_LEN];
+        // Recomputing over the header with its embedded checksum zeroed
+        // must reproduce the embedded checksum.
+        let embedded = u16::from_be_bytes([header[10], header[11]]);
+        assert_eq!(ipv4_checksum(header), embedded);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(Packet::parse(&[0; 10]), Err(ParseError::Truncated));
+        let p = sample_packet(Protocol::Tcp, vec![9; 16]);
+        let mut bytes = p.to_bytes();
+        bytes[12] = 0x86; // EtherType -> not IPv4
+        bytes[13] = 0xDD;
+        assert!(matches!(
+            Packet::parse(&bytes),
+            Err(ParseError::NotIpv4 { .. })
+        ));
+        let mut bytes = p.to_bytes();
+        bytes[ETH_HEADER_LEN + 9] = 1; // ICMP
+        assert!(matches!(
+            Packet::parse(&bytes),
+            Err(ParseError::UnknownProtocol { protocol: 1 })
+        ));
+        let bytes = p.to_bytes();
+        assert_eq!(
+            Packet::parse(&bytes[..bytes.len() - 20]),
+            Err(ParseError::Truncated)
+        );
+    }
+
+    #[test]
+    fn protocol_numbers() {
+        assert_eq!(Protocol::Tcp.number(), 6);
+        assert_eq!(Protocol::Udp.number(), 17);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_payload(
+            payload in proptest::collection::vec(any::<u8>(), 0..512),
+            src_ip in any::<u32>(),
+            dst_ip in any::<u32>(),
+            src_port in any::<u16>(),
+            dst_port in any::<u16>(),
+            ttl in any::<u8>(),
+            tcp in any::<bool>(),
+        ) {
+            let p = Packet {
+                src_mac: [1, 2, 3, 4, 5, 6],
+                dst_mac: [6, 5, 4, 3, 2, 1],
+                ttl,
+                flow: FlowKey {
+                    src_ip,
+                    dst_ip,
+                    src_port,
+                    dst_port,
+                    protocol: if tcp { Protocol::Tcp } else { Protocol::Udp },
+                },
+                payload,
+            };
+            let parsed = Packet::parse(&p.to_bytes()).unwrap();
+            prop_assert_eq!(parsed, p);
+        }
+    }
+}

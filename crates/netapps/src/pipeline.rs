@@ -1,0 +1,227 @@
+//! Functional execution of the R→P→T software pipeline.
+//!
+//! The simulator models the *timing* of the paper's three-thread pipeline;
+//! this module executes its *semantics* for real: a receive thread pulls
+//! packets from the traffic generator, a processing thread applies one of
+//! the benchmark applications, and a transmit thread collects the output —
+//! connected by bounded queues, exactly like Netra DPS memory queues.
+//! Used by tests and examples to validate that the per-packet work the
+//! simulator charges for is the work the applications actually do.
+
+use crate::aho_corasick::AhoCorasick;
+use crate::analyzer::Analyzer;
+use crate::ipfwd::IpForwarder;
+use crate::ntgen::NtGen;
+use crate::packet::Packet;
+use crate::stateful::FlowTable;
+use std::sync::mpsc;
+use std::thread;
+
+/// The per-packet processing step of a pipeline (the P thread's work).
+#[derive(Debug)]
+pub enum Processor {
+    /// Forward via an IP lookup table; drops TTL-expired packets.
+    Forward(IpForwarder),
+    /// Decode and log header fields.
+    Analyze(Analyzer),
+    /// Scan the payload for keywords; counts matches.
+    Scan(AhoCorasick),
+    /// Track the packet's flow in a hash table.
+    Track(FlowTable),
+}
+
+/// Summary of a pipeline run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PipelineStats {
+    /// Packets injected by the receive thread.
+    pub received: u64,
+    /// Packets that reached the transmit thread.
+    pub transmitted: u64,
+    /// Packets dropped by the processor (e.g. TTL expiry).
+    pub dropped: u64,
+    /// Benchmark-specific event count (log records, keyword matches,
+    /// distinct flows).
+    pub events: u64,
+}
+
+/// Runs `packets` packets from the generator through a three-thread
+/// R→P→T pipeline with bounded queues of `queue_capacity`.
+///
+/// Returns the run's statistics once the transmit thread has drained
+/// everything. The processor is moved into the P thread and returned so
+/// callers can inspect its final state.
+///
+/// # Panics
+///
+/// Panics if a pipeline thread panics (propagated from `join`).
+///
+/// # Examples
+///
+/// ```
+/// use optassign_netapps::ipfwd::{HashKind, IpForwarder};
+/// use optassign_netapps::ntgen::{NtGen, TrafficConfig};
+/// use optassign_netapps::pipeline::{run_pipeline, Processor};
+///
+/// let gen = NtGen::new(TrafficConfig::default(), 1);
+/// let fwd = IpForwarder::new(1024, 8, HashKind::IntAdd);
+/// let (stats, _) = run_pipeline(gen, Processor::Forward(fwd), 200, 32);
+/// assert_eq!(stats.received, 200);
+/// assert_eq!(stats.transmitted + stats.dropped, 200);
+/// ```
+pub fn run_pipeline(
+    mut gen: NtGen,
+    processor: Processor,
+    packets: u64,
+    queue_capacity: usize,
+) -> (PipelineStats, Processor) {
+    let (rp_tx, rp_rx) = mpsc::sync_channel::<Packet>(queue_capacity.max(1));
+    let (pt_tx, pt_rx) = mpsc::sync_channel::<Packet>(queue_capacity.max(1));
+
+    // R: the receive thread.
+    let receiver = thread::spawn(move || {
+        for _ in 0..packets {
+            let p = gen.next_packet();
+            if rp_tx.send(p).is_err() {
+                break;
+            }
+        }
+        packets
+    });
+
+    // P: the processing thread.
+    let processing = thread::spawn(move || {
+        let mut processor = processor;
+        let mut dropped = 0u64;
+        let mut events = 0u64;
+        while let Ok(mut packet) = rp_rx.recv() {
+            let keep = match &mut processor {
+                Processor::Forward(fwd) => match fwd.forward(&mut packet) {
+                    Some(_) => true,
+                    None => false,
+                },
+                Processor::Analyze(analyzer) => {
+                    if analyzer.analyze(&packet).is_some() {
+                        events += 1;
+                    }
+                    true
+                }
+                Processor::Scan(ac) => {
+                    events += ac.find_all(&packet.payload).len() as u64;
+                    true
+                }
+                Processor::Track(table) => {
+                    table.process(&packet);
+                    events = table.flow_count() as u64;
+                    true
+                }
+            };
+            if keep {
+                if pt_tx.send(packet).is_err() {
+                    break;
+                }
+            } else {
+                dropped += 1;
+            }
+        }
+        (processor, dropped, events)
+    });
+
+    // T: the transmit thread (this thread).
+    let mut transmitted = 0u64;
+    while pt_rx.recv().is_ok() {
+        transmitted += 1;
+    }
+
+    let received = receiver.join().expect("receive thread panicked");
+    let (processor, dropped, events) = processing.join().expect("processing thread panicked");
+    (
+        PipelineStats {
+            received,
+            transmitted,
+            dropped,
+            events,
+        },
+        processor,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aho_corasick::snort_dos_keywords;
+    use crate::analyzer::Filter;
+    use crate::ipfwd::HashKind;
+    use crate::ntgen::TrafficConfig;
+
+    fn gen(seed: u64) -> NtGen {
+        NtGen::new(TrafficConfig::default(), seed)
+    }
+
+    #[test]
+    fn forwarding_pipeline_conserves_packets() {
+        let fwd = IpForwarder::new(512, 8, HashKind::IntAdd);
+        let (stats, _) = run_pipeline(gen(1), Processor::Forward(fwd), 500, 16);
+        assert_eq!(stats.received, 500);
+        // Default TTL is 64, so nothing expires.
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.transmitted, 500);
+    }
+
+    #[test]
+    fn expired_ttl_is_dropped_not_transmitted() {
+        let cfg = TrafficConfig::default();
+        let mut source = NtGen::new(cfg, 2);
+        // Build a custom single-packet pipeline by running the forwarder
+        // directly on a TTL-1 packet, then the full pipeline invariant.
+        let mut p = source.next_packet();
+        p.ttl = 1;
+        let fwd = IpForwarder::new(64, 4, HashKind::IntMul);
+        assert!(fwd.forward(&mut p.clone()).is_none());
+        let (stats, _) = run_pipeline(gen(3), Processor::Forward(fwd), 100, 8);
+        assert_eq!(stats.transmitted + stats.dropped, stats.received);
+    }
+
+    #[test]
+    fn analyzer_pipeline_logs_every_packet() {
+        let analyzer = Analyzer::new(Filter::default());
+        let (stats, processor) = run_pipeline(gen(4), Processor::Analyze(analyzer), 300, 16);
+        assert_eq!(stats.events, 300);
+        assert_eq!(stats.transmitted, 300);
+        match processor {
+            Processor::Analyze(a) => assert_eq!(a.stats().logged, 300),
+            other => panic!("unexpected processor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scanner_pipeline_counts_matches() {
+        let ac = AhoCorasick::new(&snort_dos_keywords()).unwrap();
+        let (stats, _) = run_pipeline(gen(5), Processor::Scan(ac), 200, 16);
+        assert_eq!(stats.transmitted, 200);
+        // Random payloads: essentially no matches expected.
+        assert!(stats.events < 5);
+    }
+
+    #[test]
+    fn tracker_pipeline_counts_flows() {
+        let table = FlowTable::new(1 << 10);
+        let (stats, processor) = run_pipeline(gen(6), Processor::Track(table), 400, 16);
+        assert_eq!(stats.transmitted, 400);
+        match processor {
+            Processor::Track(t) => {
+                assert_eq!(t.flow_count() as u64, stats.events);
+                assert!(stats.events > 100, "traffic should spread over flows");
+            }
+            other => panic!("unexpected processor {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_queues_still_complete() {
+        // Capacity-1 queues force constant blocking; the pipeline must
+        // still drain completely (no deadlock).
+        let fwd = IpForwarder::new(64, 2, HashKind::IntAdd);
+        let (stats, _) = run_pipeline(gen(7), Processor::Forward(fwd), 150, 1);
+        assert_eq!(stats.transmitted, 150);
+    }
+}

@@ -1,0 +1,84 @@
+//! A cycle-approximate simulator of an UltraSPARC T2-like massively
+//! multithreaded processor.
+//!
+//! The ASPLOS 2012 paper this workspace reproduces measured task-assignment
+//! performance on real UltraSPARC T2 hardware under the Netra DPS
+//! lightweight runtime. This crate substitutes a software model that
+//! reproduces the *structure* that makes task assignment matter — the
+//! processor's three resource-sharing levels (paper §4.1, Figure 8):
+//!
+//! * **IntraPipe** — each core has two hardware pipelines; the strands of a
+//!   pipeline share one instruction-issue slot per cycle ([`engine`] grants
+//!   it round-robin among ready strands, T2-style fine-grained
+//!   multithreading).
+//! * **IntraCore** — the eight strands of a core share one load/store unit,
+//!   one FPU, one cryptographic unit, the L1 instruction cache and the L1
+//!   data cache ([`cache::Cache`] with real sets/ways/LRU).
+//! * **InterCore** — all strands share the banked L2 cache (bandwidth
+//!   arbitrated per bank), the crossbar, and the memory controllers.
+//!
+//! Workloads are described by [`program::WorkloadSpec`]: each task runs a
+//! [`program::StageProgram`] — a per-packet loop of abstract operations
+//! (integer/multiply bursts, loads/stores against data regions with defined
+//! access patterns, software-pipeline queue pushes/pops, NIU receive and
+//! transmit). Tasks communicate through single-producer single-consumer
+//! descriptor queues whose access cost depends on whether both endpoints
+//! share an L1 domain — the paper's observation (3) in §4.3.1 that the
+//! distribution of *interconnected* threads across cores matters.
+//!
+//! Like Netra DPS, the simulator binds each task to one hardware context
+//! (strand) for the entire run: no context switches, no interrupts, run to
+//! completion.
+//!
+//! # Examples
+//!
+//! ```
+//! use optassign_sim::machine::MachineConfig;
+//! use optassign_sim::program::{ProgramBuilder, WorkloadSpec};
+//! use optassign_sim::engine::Simulator;
+//!
+//! // One task that transmits a packet every ~10 cycles of integer work.
+//! let mut w = WorkloadSpec::new(42);
+//! let prog = ProgramBuilder::new().int(10).transmit().build();
+//! w.add_task("tx", prog, 4096);
+//!
+//! let machine = MachineConfig::ultrasparc_t2();
+//! let sim = Simulator::new(&machine, &w, &[0]).unwrap();
+//! let report = sim.run(1_000, 10_000);
+//! assert!(report.packets_transmitted > 0);
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod machine;
+pub mod program;
+pub mod report;
+pub mod rng;
+pub mod topology;
+
+pub use engine::Simulator;
+pub use machine::MachineConfig;
+pub use program::{ProgramBuilder, StageProgram, WorkloadSpec};
+pub use report::SimReport;
+pub use topology::Topology;
+
+/// Errors produced when constructing or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The assignment vector does not match the workload or topology.
+    BadAssignment(String),
+    /// The workload specification is inconsistent (dangling queue or region
+    /// references, empty programs, …).
+    BadWorkload(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::BadAssignment(msg) => write!(f, "invalid assignment: {msg}"),
+            SimError::BadWorkload(msg) => write!(f, "invalid workload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

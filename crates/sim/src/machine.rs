@@ -1,0 +1,153 @@
+//! Machine configuration: topology, cache geometries, and latencies.
+
+use crate::topology::Topology;
+
+/// Full configuration of the simulated machine.
+///
+/// Defaults ([`MachineConfig::ultrasparc_t2`]) approximate the UltraSPARC T2
+/// at 1.4 GHz: 8 KB 4-way L1D per core, 16 KB L1I per core, 4 MB 16-way
+/// 8-banked shared L2, four memory controllers. Latencies are
+/// cycle-approximate, chosen to land the benchmark suite in the paper's
+/// throughput regime; the statistical method under study is insensitive to
+/// their exact values (it only consumes the performance *distribution*).
+///
+/// # Examples
+///
+/// ```
+/// use optassign_sim::MachineConfig;
+///
+/// let m = MachineConfig::ultrasparc_t2();
+/// assert_eq!(m.topology.contexts(), 64);
+/// assert!(m.lat_mem > m.lat_l2 && m.lat_l2 > m.lat_l1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Chip topology (cores × pipes × strands).
+    pub topology: Topology,
+    /// Clock frequency in Hz, used to convert cycles to seconds/PPS.
+    pub clock_hz: f64,
+    /// L1 data cache size in bytes (per core).
+    pub l1d_bytes: usize,
+    /// L1 data cache associativity.
+    pub l1d_ways: usize,
+    /// L1 data cache line size in bytes.
+    pub l1d_line: usize,
+    /// L1 instruction cache size in bytes (per core, probabilistic model).
+    pub l1i_bytes: usize,
+    /// Shared L2 cache size in bytes.
+    pub l2_bytes: usize,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L2 line size in bytes.
+    pub l2_line: usize,
+    /// Number of independently arbitrated L2 banks.
+    pub l2_banks: usize,
+    /// Number of memory controllers.
+    pub mem_controllers: usize,
+    /// Minimum cycles between requests accepted by one memory controller
+    /// (bandwidth model).
+    pub mem_issue_gap: u64,
+    /// L1 hit latency in cycles.
+    pub lat_l1: u64,
+    /// L2 hit latency in cycles (includes crossbar transit).
+    pub lat_l2: u64,
+    /// Main memory latency in cycles (beyond the L2 access).
+    pub lat_mem: u64,
+    /// Integer multiply latency in cycles.
+    pub lat_mul: u64,
+    /// Floating-point operation latency in cycles.
+    pub lat_fp: u64,
+    /// Cryptographic unit operation latency in cycles.
+    pub lat_crypto: u64,
+    /// Latency of fetching a received packet descriptor from the NIU DMA
+    /// channel.
+    pub lat_niu_rx: u64,
+    /// Latency of handing a packet descriptor to the NIU for transmit.
+    pub lat_niu_tx: u64,
+    /// Latency of a software-queue operation when producer and consumer
+    /// share a core (descriptor line stays in the shared L1).
+    pub queue_same_core_lat: u64,
+    /// Latency of a software-queue operation when the endpoints live on
+    /// different cores (coherence round trip through L2).
+    pub queue_cross_core_lat: u64,
+    /// Back-off before re-polling an empty (or full) software queue.
+    pub queue_retry: u64,
+    /// Baseline probability that an instruction fetch misses the L1I when
+    /// the core's total code footprint fits.
+    pub imiss_base: f64,
+    /// Additional miss probability per unit of code-footprint overflow
+    /// ratio.
+    pub imiss_slope: f64,
+    /// Cap on the modelled L1I miss probability.
+    pub imiss_max: f64,
+}
+
+impl MachineConfig {
+    /// The UltraSPARC T2-like default configuration used throughout the
+    /// reproduction.
+    pub fn ultrasparc_t2() -> Self {
+        MachineConfig {
+            topology: Topology::ultrasparc_t2(),
+            clock_hz: 1.4e9,
+            l1d_bytes: 8 * 1024,
+            l1d_ways: 4,
+            l1d_line: 16,
+            l1i_bytes: 16 * 1024,
+            l2_bytes: 4 * 1024 * 1024,
+            l2_ways: 16,
+            l2_line: 64,
+            l2_banks: 8,
+            mem_controllers: 4,
+            mem_issue_gap: 6,
+            lat_l1: 3,
+            lat_l2: 26,
+            lat_mem: 176,
+            lat_mul: 5,
+            lat_fp: 6,
+            lat_crypto: 16,
+            lat_niu_rx: 24,
+            lat_niu_tx: 16,
+            queue_same_core_lat: 4,
+            queue_cross_core_lat: 32,
+            queue_retry: 12,
+            imiss_base: 0.002,
+            imiss_slope: 0.06,
+            imiss_max: 0.2,
+        }
+    }
+
+    /// A small machine (2 cores × 2 pipes × 2 strands) for fast tests and
+    /// exhaustive enumeration studies.
+    pub fn small_test_machine() -> Self {
+        let mut m = MachineConfig::ultrasparc_t2();
+        m.topology = Topology::new(2, 2, 2);
+        m
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::ultrasparc_t2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_defaults_are_consistent() {
+        let m = MachineConfig::ultrasparc_t2();
+        assert!(m.l2_banks.is_power_of_two());
+        assert!(m.mem_controllers.is_power_of_two());
+        assert!(m.clock_hz > 1e9);
+        assert!(m.imiss_base < m.imiss_max);
+        assert!(m.queue_same_core_lat < m.queue_cross_core_lat);
+    }
+
+    #[test]
+    fn small_machine_shape() {
+        let m = MachineConfig::small_test_machine();
+        assert_eq!(m.topology.contexts(), 8);
+    }
+}

@@ -1,0 +1,172 @@
+//! Processor topology: cores, hardware pipelines, and strand contexts.
+//!
+//! The UltraSPARC T2 comprises 8 cores; each core contains 2 hardware
+//! pipelines; each pipeline supports 4 strands — 64 hardware contexts
+//! (virtual CPUs) in total. Contexts are numbered
+//! `core·(pipes·strands) + pipe·strands + strand`, matching the paper's
+//! enumeration of virtual CPUs `1..V` (we use `0..V`).
+
+/// Shape of a multithreaded processor with three sharing levels.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_sim::Topology;
+///
+/// let t2 = Topology::ultrasparc_t2();
+/// assert_eq!(t2.contexts(), 64);
+/// assert_eq!(t2.core_of(63), 7);
+/// assert_eq!(t2.pipe_of(63), 15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Topology {
+    /// Number of cores on the chip.
+    pub cores: usize,
+    /// Hardware pipelines per core.
+    pub pipes_per_core: usize,
+    /// Strand contexts per pipeline.
+    pub strands_per_pipe: usize,
+}
+
+impl Topology {
+    /// Creates a topology; all dimensions must be non-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(cores: usize, pipes_per_core: usize, strands_per_pipe: usize) -> Self {
+        assert!(
+            cores > 0 && pipes_per_core > 0 && strands_per_pipe > 0,
+            "topology dimensions must be non-zero"
+        );
+        Topology {
+            cores,
+            pipes_per_core,
+            strands_per_pipe,
+        }
+    }
+
+    /// The UltraSPARC T2: 8 cores × 2 pipelines × 4 strands.
+    pub fn ultrasparc_t2() -> Self {
+        Topology::new(8, 2, 4)
+    }
+
+    /// Total number of hardware contexts (virtual CPUs).
+    pub fn contexts(&self) -> usize {
+        self.cores * self.pipes_per_core * self.strands_per_pipe
+    }
+
+    /// Total number of hardware pipelines on the chip.
+    pub fn pipes(&self) -> usize {
+        self.cores * self.pipes_per_core
+    }
+
+    /// Strand contexts per core.
+    pub fn strands_per_core(&self) -> usize {
+        self.pipes_per_core * self.strands_per_pipe
+    }
+
+    /// Core index owning the given context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context >= self.contexts()`.
+    pub fn core_of(&self, context: usize) -> usize {
+        assert!(context < self.contexts(), "context {context} out of range");
+        context / self.strands_per_core()
+    }
+
+    /// Global pipe index (in `0..self.pipes()`) owning the given context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `context >= self.contexts()`.
+    pub fn pipe_of(&self, context: usize) -> usize {
+        assert!(context < self.contexts(), "context {context} out of range");
+        context / self.strands_per_pipe
+    }
+
+    /// Context index from `(core, pipe-in-core, strand-in-pipe)` coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn context_at(&self, core: usize, pipe: usize, strand: usize) -> usize {
+        assert!(core < self.cores, "core {core} out of range");
+        assert!(pipe < self.pipes_per_core, "pipe {pipe} out of range");
+        assert!(strand < self.strands_per_pipe, "strand {strand} out of range");
+        core * self.strands_per_core() + pipe * self.strands_per_pipe + strand
+    }
+
+    /// Whether two contexts share a hardware pipeline (IntraPipe level).
+    pub fn same_pipe(&self, a: usize, b: usize) -> bool {
+        self.pipe_of(a) == self.pipe_of(b)
+    }
+
+    /// Whether two contexts share a core (IntraCore level: L1 caches, LSU,
+    /// FPU, crypto unit).
+    pub fn same_core(&self, a: usize, b: usize) -> bool {
+        self.core_of(a) == self.core_of(b)
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::ultrasparc_t2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2_dimensions() {
+        let t = Topology::ultrasparc_t2();
+        assert_eq!(t.cores, 8);
+        assert_eq!(t.pipes_per_core, 2);
+        assert_eq!(t.strands_per_pipe, 4);
+        assert_eq!(t.contexts(), 64);
+        assert_eq!(t.pipes(), 16);
+        assert_eq!(t.strands_per_core(), 8);
+    }
+
+    #[test]
+    fn context_coordinates_roundtrip() {
+        let t = Topology::new(3, 2, 4);
+        let mut seen = std::collections::HashSet::new();
+        for core in 0..3 {
+            for pipe in 0..2 {
+                for strand in 0..4 {
+                    let ctx = t.context_at(core, pipe, strand);
+                    assert!(seen.insert(ctx), "duplicate context {ctx}");
+                    assert_eq!(t.core_of(ctx), core);
+                    assert_eq!(t.pipe_of(ctx), core * 2 + pipe);
+                }
+            }
+        }
+        assert_eq!(seen.len(), t.contexts());
+    }
+
+    #[test]
+    fn sharing_predicates() {
+        let t = Topology::ultrasparc_t2();
+        // Contexts 0..3 share pipe 0; 4..7 share pipe 1; both share core 0.
+        assert!(t.same_pipe(0, 3));
+        assert!(!t.same_pipe(3, 4));
+        assert!(t.same_core(3, 4));
+        assert!(!t.same_core(7, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn core_of_checks_bounds() {
+        Topology::ultrasparc_t2().core_of(64);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_dimension() {
+        Topology::new(0, 2, 4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: the engine must run any valid workload/assignment pair
+//! without panicking, deterministically, and with sane accounting.
+
+use optassign_sim::machine::MachineConfig;
+use optassign_sim::program::{AccessPattern, ProgramBuilder, WorkloadSpec};
+use optassign_sim::Simulator;
+use proptest::prelude::*;
+
+/// Strategy: a random small workload of 1..=6 independent transmitting
+/// tasks with assorted op mixes and regions.
+fn arb_workload() -> impl Strategy<Value = WorkloadSpec> {
+    let task = (0u16..60, 0u16..8, 0usize..6, 12u64..20);
+    proptest::collection::vec(task, 1..6).prop_map(|tasks| {
+        let mut w = WorkloadSpec::new(99);
+        for (i, (ints, muls, loads, region_pow)) in tasks.into_iter().enumerate() {
+            let region = w.add_region(
+                format!("r{i}"),
+                1u64 << region_pow,
+                AccessPattern::Uniform,
+            );
+            let mut b = ProgramBuilder::new().niu_rx().int(ints).mul(muls);
+            b = b.loads(region, loads);
+            w.add_task(format!("t{i}"), b.transmit().build(), 1024 * (i as u64 + 1));
+        }
+        w
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_valid_workload_runs_and_accounts(
+        w in arb_workload(),
+        spread in 0usize..8,
+    ) {
+        let m = MachineConfig::ultrasparc_t2();
+        let n = w.tasks().len();
+        // A spread-parameterized assignment: contexts i*(spread+1) mod 64,
+        // de-duplicated by construction for n <= 6 and spread <= 7.
+        let assignment: Vec<usize> = (0..n).map(|i| (i * (spread + 1) + i) % 64).collect();
+        let mut uniq = assignment.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assume!(uniq.len() == n);
+
+        let sim = Simulator::new(&m, &w, &assignment).unwrap();
+        let a = sim.run(1_000, 20_000);
+        let b = sim.run(1_000, 20_000);
+        // Determinism.
+        prop_assert_eq!(&a, &b);
+        // Accounting: totals match per-task counts; every task with a
+        // transmit op that iterated also transmitted.
+        prop_assert_eq!(
+            a.packets_transmitted,
+            a.per_task_transmits.iter().sum::<u64>()
+        );
+        for t in 0..n {
+            prop_assert_eq!(a.per_task_transmits[t], a.per_task_iterations[t]);
+        }
+        // Issue accounting is positive whenever something ran.
+        if a.packets_transmitted > 0 {
+            prop_assert!(a.issue_slots_granted > 0);
+        }
+    }
+
+    #[test]
+    fn adding_contention_never_helps_int_tasks(extra in 1usize..4) {
+        // A fixed int-bound task, alone vs sharing its pipe with `extra`
+        // identical tasks: the shared configuration must not be faster.
+        let m = MachineConfig::ultrasparc_t2();
+        let build = |count: usize| {
+            let mut w = WorkloadSpec::new(5);
+            for i in 0..count {
+                w.add_task(
+                    format!("t{i}"),
+                    ProgramBuilder::new().int(30).transmit().build(),
+                    1024,
+                );
+            }
+            w
+        };
+        let solo = build(1);
+        let shared = build(1 + extra);
+        let solo_rep = Simulator::new(&m, &solo, &[0]).unwrap().run(1_000, 30_000);
+        let contexts: Vec<usize> = (0..1 + extra).collect();
+        let shared_rep = Simulator::new(&m, &shared, &contexts)
+            .unwrap()
+            .run(1_000, 30_000);
+        // Task 0's own throughput must not increase under contention
+        // (tolerate tiny boundary effects).
+        prop_assert!(
+            shared_rep.per_task_transmits[0] <= solo_rep.per_task_transmits[0] + 2,
+            "contended {} > solo {}",
+            shared_rep.per_task_transmits[0],
+            solo_rep.per_task_transmits[0]
+        );
+    }
+}

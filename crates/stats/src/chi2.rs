@@ -1,0 +1,176 @@
+//! χ² distribution: CDF and quantile function.
+//!
+//! The paper's Equation (1) bounds the Upper Performance Bound confidence
+//! interval with `½ χ²₍₁₋α₎,₁` — the `(1−α)`-level quantile of the χ²
+//! distribution with one degree of freedom (Wilks' theorem applied to the
+//! profile likelihood of the UPB). This module provides that quantile
+//! without any external dependency.
+
+use crate::special::gamma_p;
+use crate::StatsError;
+
+/// χ² cumulative distribution function with `df` degrees of freedom.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Domain`] if `df <= 0` or `x < 0`.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::chi2;
+///
+/// // Median of χ²(1) is about 0.4549.
+/// let p = chi2::cdf(0.454936, 1.0).unwrap();
+/// assert!((p - 0.5).abs() < 1e-5);
+/// ```
+pub fn cdf(x: f64, df: f64) -> Result<f64, StatsError> {
+    if !(df > 0.0) {
+        return Err(StatsError::Domain {
+            what: "df",
+            constraint: "df > 0",
+            value: df,
+        });
+    }
+    if x < 0.0 {
+        return Err(StatsError::Domain {
+            what: "x",
+            constraint: "x >= 0",
+            value: x,
+        });
+    }
+    gamma_p(df / 2.0, x / 2.0)
+}
+
+/// Quantile (inverse CDF) of the χ² distribution with `df` degrees of freedom.
+///
+/// Solved by bracketing plus bisection/Newton refinement on the monotone CDF;
+/// the result satisfies `|cdf(q, df) − p| < 1e-12`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::Domain`] if `p` is outside `(0, 1)` or `df <= 0`.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::chi2;
+///
+/// // The classic 3.841 critical value used by the paper's Equation (1).
+/// let q = chi2::quantile(0.95, 1.0).unwrap();
+/// assert!((q - 3.841459).abs() < 1e-5);
+/// ```
+pub fn quantile(p: f64, df: f64) -> Result<f64, StatsError> {
+    if !(p > 0.0 && p < 1.0) {
+        return Err(StatsError::Domain {
+            what: "probability",
+            constraint: "0 < p < 1",
+            value: p,
+        });
+    }
+    if !(df > 0.0) {
+        return Err(StatsError::Domain {
+            what: "df",
+            constraint: "df > 0",
+            value: df,
+        });
+    }
+
+    // Bracket the root: the mean of χ²(df) is df, variance 2·df, so the
+    // quantile lives within a few standard deviations of df for moderate p.
+    let mut lo = 0.0;
+    let mut hi = df + 10.0 * (2.0 * df).sqrt() + 10.0;
+    while cdf(hi, df)? < p {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return Err(StatsError::NoConvergence {
+                what: "chi2 quantile bracketing",
+                iterations: 0,
+            });
+        }
+    }
+
+    // Bisection to high precision; 200 halvings are far more than enough for
+    // f64 and the CDF is cheap.
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if cdf(mid, df)? < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-13 * (1.0 + hi) {
+            break;
+        }
+    }
+    Ok(0.5 * (lo + hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Textbook critical values (Abramowitz & Stegun, Table 26.8).
+    #[test]
+    fn quantile_matches_tables() {
+        let cases = [
+            (0.95, 1.0, 3.841_458_8),
+            (0.99, 1.0, 6.634_896_6),
+            (0.90, 1.0, 2.705_543_5),
+            (0.95, 2.0, 5.991_464_5),
+            (0.95, 5.0, 11.070_497_7),
+            (0.99, 10.0, 23.209_251_2),
+            (0.50, 1.0, 0.454_936_4),
+        ];
+        for (p, df, want) in cases {
+            let q = quantile(p, df).unwrap();
+            assert!((q - want).abs() < 1e-4, "quantile({p},{df}) = {q}, want {want}");
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        for &df in &[1.0, 2.0, 4.5, 30.0] {
+            for &p in &[0.01, 0.1, 0.5, 0.9, 0.975, 0.999] {
+                let q = quantile(p, df).unwrap();
+                let back = cdf(q, df).unwrap();
+                assert!((back - p).abs() < 1e-9, "df={df} p={p} back={back}");
+            }
+        }
+    }
+
+    #[test]
+    fn cdf_at_zero_is_zero() {
+        assert_eq!(cdf(0.0, 3.0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let mut last = -1.0;
+        for i in 0..100 {
+            let p = cdf(i as f64 * 0.3, 4.0).unwrap();
+            assert!(p >= last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(quantile(0.0, 1.0).is_err());
+        assert!(quantile(1.0, 1.0).is_err());
+        assert!(quantile(0.5, 0.0).is_err());
+        assert!(cdf(-1.0, 1.0).is_err());
+        assert!(cdf(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn chi2_one_df_equals_squared_normal() {
+        // If Z ~ N(0,1) then Z² ~ χ²(1): CDF_chi2(x) = 2Φ(√x) − 1.
+        use crate::special::normal_cdf;
+        for &x in &[0.3, 1.1, 2.7, 6.0] {
+            let lhs = cdf(x, 1.0).unwrap();
+            let rhs = 2.0 * normal_cdf(x.sqrt()) - 1.0;
+            assert!((lhs - rhs).abs() < 1e-10, "x={x}");
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! Descriptive statistics: means, variances, quantiles and order statistics.
+
+use crate::StatsError;
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] on an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::descriptive::mean;
+///
+/// assert_eq!(mean(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+/// ```
+pub fn mean(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "mean",
+            needed: 1,
+            got: 0,
+        });
+    }
+    Ok(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased (n−1) sample variance.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] if fewer than two observations are
+/// supplied.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::descriptive::variance;
+///
+/// let v = variance(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+/// assert!((v - 4.571428571428571).abs() < 1e-12);
+/// ```
+pub fn variance(data: &[f64]) -> Result<f64, StatsError> {
+    if data.len() < 2 {
+        return Err(StatsError::NotEnoughData {
+            what: "variance",
+            needed: 2,
+            got: data.len(),
+        });
+    }
+    let m = mean(data)?;
+    let ss = data.iter().map(|&x| (x - m) * (x - m)).sum::<f64>();
+    Ok(ss / (data.len() - 1) as f64)
+}
+
+/// Sample standard deviation (square root of the unbiased variance).
+///
+/// # Errors
+///
+/// Same conditions as [`variance`].
+pub fn std_dev(data: &[f64]) -> Result<f64, StatsError> {
+    Ok(variance(data)?.sqrt())
+}
+
+/// Minimum of a slice, ignoring nothing: all values must be comparable.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] on an empty slice.
+pub fn min(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "min",
+            needed: 1,
+            got: 0,
+        });
+    }
+    Ok(data.iter().copied().fold(f64::INFINITY, f64::min))
+}
+
+/// Maximum of a slice.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] on an empty slice.
+pub fn max(data: &[f64]) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "max",
+            needed: 1,
+            got: 0,
+        });
+    }
+    Ok(data.iter().copied().fold(f64::NEG_INFINITY, f64::max))
+}
+
+/// Returns a sorted copy of `data` in non-decreasing order.
+///
+/// NaN values are sorted to the end; the statistical routines in this
+/// workspace never produce NaN observations, so this is a defensive total
+/// order rather than a semantic choice.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::descriptive::sorted;
+///
+/// assert_eq!(sorted(&[3.0, 1.0, 2.0]), vec![1.0, 2.0, 3.0]);
+/// ```
+pub fn sorted(data: &[f64]) -> Vec<f64> {
+    let mut v = data.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    v
+}
+
+/// Empirical quantile with linear interpolation (type-7, the R/NumPy
+/// default): `q ∈ [0, 1]` maps the sorted sample onto `[x₍₁₎, x₍ₙ₎]`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] on an empty slice and
+/// [`StatsError::Domain`] when `q` is outside `[0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::descriptive::quantile;
+///
+/// let data = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+/// assert_eq!(quantile(&data, 1.0).unwrap(), 4.0);
+/// assert_eq!(quantile(&data, 0.5).unwrap(), 2.5);
+/// ```
+pub fn quantile(data: &[f64], q: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "quantile",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(StatsError::Domain {
+            what: "quantile level",
+            constraint: "0 <= q <= 1",
+            value: q,
+        });
+    }
+    let s = sorted(data);
+    let h = q * (s.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        Ok(s[lo])
+    } else {
+        Ok(s[lo] + (h - lo as f64) * (s[hi] - s[lo]))
+    }
+}
+
+/// Median (the 0.5 [`quantile`]).
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] on an empty slice.
+pub fn median(data: &[f64]) -> Result<f64, StatsError> {
+    quantile(data, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&data).unwrap(), 3.0);
+        assert!((variance(&data).unwrap() - 2.5).abs() < 1e-12);
+        assert!((std_dev(&data).unwrap() - 2.5f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert!(mean(&[]).is_err());
+        assert!(variance(&[1.0]).is_err());
+        assert!(min(&[]).is_err());
+        assert!(max(&[]).is_err());
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn min_max() {
+        let data = [3.0, -1.0, 7.5, 0.0];
+        assert_eq!(min(&data).unwrap(), -1.0);
+        assert_eq!(max(&data).unwrap(), 7.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let data = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&data, 0.25).unwrap(), 20.0);
+        assert_eq!(quantile(&data, 0.5).unwrap(), 30.0);
+        assert!((quantile(&data, 0.1).unwrap() - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_rejects_out_of_range() {
+        assert!(quantile(&[1.0], -0.1).is_err());
+        assert!(quantile(&[1.0], 1.1).is_err());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]).unwrap(), 2.0);
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn sorted_is_stable_under_resort() {
+        let s = sorted(&[5.0, 3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(s, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(sorted(&s), s);
+    }
+}

@@ -1,0 +1,215 @@
+//! Empirical cumulative distribution functions (paper §3.2, Figure 3).
+//!
+//! The paper uses the CDF of all ~1500 assignments of a 6-thread workload to
+//! show the spread between the worst and best assignments, and notes that an
+//! ECDF built from a sample estimates the median region well but cannot infer
+//! the extreme tail — which is why Extreme Value Theory is needed.
+
+use crate::StatsError;
+
+/// An empirical cumulative distribution function over a sample.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::ecdf::Ecdf;
+///
+/// let e = Ecdf::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(e.eval(0.5), 0.0);
+/// assert_eq!(e.eval(2.0), 0.5);
+/// assert_eq!(e.eval(10.0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample (any order; a sorted copy is stored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] on an empty sample.
+    pub fn new(sample: &[f64]) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::NotEnoughData {
+                what: "ecdf",
+                needed: 1,
+                got: 0,
+            });
+        }
+        Ok(Ecdf {
+            sorted: crate::descriptive::sorted(sample),
+        })
+    }
+
+    /// Evaluates `F̂(x)` — the fraction of observations `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x because the
+        // predicate holds on the sorted prefix.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Number of observations backing the ECDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF is empty. Always `false` for a constructed value,
+    /// provided for API completeness alongside [`Ecdf::len`].
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// The sorted sample underlying the ECDF.
+    pub fn sorted_sample(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Empirical quantile function: smallest `x` with `F̂(x) >= q`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::Domain`] when `q` is outside `(0, 1]`.
+    pub fn quantile(&self, q: f64) -> Result<f64, StatsError> {
+        if !(q > 0.0 && q <= 1.0) {
+            return Err(StatsError::Domain {
+                what: "quantile level",
+                constraint: "0 < q <= 1",
+                value: q,
+            });
+        }
+        let n = self.sorted.len();
+        let idx = ((q * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Ok(self.sorted[idx])
+    }
+
+    /// Returns the plot points `(x_i, i/n)` for the step function —
+    /// exactly what the paper's Figure 3 plots.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, (i + 1) as f64 / n))
+            .collect()
+    }
+
+    /// Relative spread of the sample: `(max − min) / max`.
+    ///
+    /// The paper reports this as the "performance loss of a non-optimal
+    /// assignment" — 58% for the 6-thread workload of Figure 3.
+    pub fn relative_spread(&self) -> f64 {
+        let lo = self.sorted[0];
+        let hi = self.sorted[self.sorted.len() - 1];
+        if hi == 0.0 {
+            0.0
+        } else {
+            (hi - lo) / hi
+        }
+    }
+}
+
+/// Kolmogorov–Smirnov statistic between a sample and a reference CDF.
+///
+/// Used as a goodness-of-fit measure when checking whether threshold
+/// exceedances follow the fitted Generalized Pareto Distribution.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] on an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::ecdf::ks_statistic;
+///
+/// // A perfectly uniform grid against the uniform CDF has small distance.
+/// let sample: Vec<f64> = (1..=100).map(|i| i as f64 / 101.0).collect();
+/// let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0)).unwrap();
+/// assert!(d < 0.02);
+/// ```
+pub fn ks_statistic<F>(sample: &[f64], cdf: F) -> Result<f64, StatsError>
+where
+    F: Fn(f64) -> f64,
+{
+    if sample.is_empty() {
+        return Err(StatsError::NotEnoughData {
+            what: "ks statistic",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let sorted = crate::descriptive::sorted(sample);
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = cdf(x);
+        let upper = (i + 1) as f64 / n - f;
+        let lower = f - i as f64 / n;
+        d = d.max(upper.abs()).max(lower.abs());
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps_through_sample() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e.eval(0.9), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-12);
+        assert!((e.eval(2.5) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.eval(3.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_matches_order_statistics() {
+        let e = Ecdf::new(&[10.0, 20.0, 30.0, 40.0]).unwrap();
+        assert_eq!(e.quantile(0.25).unwrap(), 10.0);
+        assert_eq!(e.quantile(0.5).unwrap(), 20.0);
+        assert_eq!(e.quantile(1.0).unwrap(), 40.0);
+        assert!(e.quantile(0.0).is_err());
+        assert!(e.quantile(1.5).is_err());
+    }
+
+    #[test]
+    fn points_are_monotone() {
+        let e = Ecdf::new(&[5.0, 1.0, 4.0, 2.0, 3.0]).unwrap();
+        let pts = e.points();
+        assert_eq!(pts.len(), 5);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 < w[1].1);
+        }
+        assert_eq!(pts.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn relative_spread_matches_paper_formula() {
+        // The paper: (1,700,000 - 715,000) / 1,700,000 = 58%.
+        let e = Ecdf::new(&[715_000.0, 1_000_000.0, 1_700_000.0]).unwrap();
+        assert!((e.relative_spread() - 0.579_411_76).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ks_detects_bad_fit() {
+        // Exponential sample vs uniform CDF should have a large distance.
+        let sample: Vec<f64> = (1..=200)
+            .map(|i| -((1.0 - i as f64 / 201.0) as f64).ln() / 3.0)
+            .collect();
+        let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0)).unwrap();
+        assert!(d > 0.2, "d = {d}");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let e = Ecdf::new(&[1.0, 2.0]).unwrap();
+        assert_eq!(e.len(), 2);
+        assert!(!e.is_empty());
+        assert!(Ecdf::new(&[]).is_err());
+    }
+}

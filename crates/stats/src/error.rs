@@ -1,0 +1,104 @@
+//! Error type shared by the statistical routines.
+
+use std::fmt;
+
+/// Errors produced by the numerical routines in this crate.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::chi2;
+///
+/// let err = chi2::quantile(1.5, 1.0).unwrap_err();
+/// assert!(err.to_string().contains("probability"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An argument was outside the mathematical domain of the function.
+    Domain {
+        /// Name of the offending argument.
+        what: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        constraint: &'static str,
+        /// The value that was supplied.
+        value: f64,
+    },
+    /// An input slice was empty or too short for the requested operation.
+    NotEnoughData {
+        /// Name of the operation that needed more data.
+        what: &'static str,
+        /// Number of observations required.
+        needed: usize,
+        /// Number of observations supplied.
+        got: usize,
+    },
+    /// An iterative method failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the method that failed.
+        what: &'static str,
+        /// Number of iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Domain {
+                what,
+                constraint,
+                value,
+            } => write!(f, "{what} must satisfy {constraint}, got {value}"),
+            StatsError::NotEnoughData { what, needed, got } => {
+                write!(f, "{what} needs at least {needed} observations, got {got}")
+            }
+            StatsError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = StatsError::Domain {
+            what: "probability",
+            constraint: "0 < p < 1",
+            value: 2.0,
+        };
+        let s = e.to_string();
+        assert!(s.contains("probability"));
+        assert!(s.contains('2'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn not_enough_data_display() {
+        let e = StatsError::NotEnoughData {
+            what: "gpd fit",
+            needed: 10,
+            got: 3,
+        };
+        assert!(e.to_string().contains("at least 10"));
+    }
+
+    #[test]
+    fn no_convergence_display() {
+        let e = StatsError::NoConvergence {
+            what: "nelder-mead",
+            iterations: 500,
+        };
+        assert!(e.to_string().contains("500"));
+    }
+}

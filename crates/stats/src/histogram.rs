@@ -1,0 +1,150 @@
+//! Equal-width histograms for reporting performance distributions.
+
+use crate::StatsError;
+
+/// An equal-width histogram over a sample.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::histogram::Histogram;
+///
+/// let h = Histogram::new(&[1.0, 2.0, 2.5, 3.0, 9.0], 4).unwrap();
+/// assert_eq!(h.bins().len(), 4);
+/// assert_eq!(h.total(), 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the
+    /// sample's range. A degenerate (constant) sample puts everything in
+    /// one central bin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotEnoughData`] for an empty sample and
+    /// [`StatsError::Domain`] for zero bins or non-finite values.
+    pub fn new(sample: &[f64], bins: usize) -> Result<Self, StatsError> {
+        if sample.is_empty() {
+            return Err(StatsError::NotEnoughData {
+                what: "histogram",
+                needed: 1,
+                got: 0,
+            });
+        }
+        if bins == 0 {
+            return Err(StatsError::Domain {
+                what: "bins",
+                constraint: "bins > 0",
+                value: 0.0,
+            });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for &x in sample {
+            if !x.is_finite() {
+                return Err(StatsError::Domain {
+                    what: "sample value",
+                    constraint: "finite",
+                    value: x,
+                });
+            }
+            lo = lo.min(x);
+            hi = hi.max(x);
+        }
+        let mut counts = vec![0usize; bins];
+        let span = hi - lo;
+        for &x in sample {
+            let idx = if span == 0.0 {
+                bins / 2
+            } else {
+                (((x - lo) / span) * bins as f64).min(bins as f64 - 1.0) as usize
+            };
+            counts[idx] += 1;
+        }
+        Ok(Histogram { lo, hi, counts })
+    }
+
+    /// `(bin_low, bin_high, count)` triples in order.
+    pub fn bins(&self) -> Vec<(f64, f64, usize)> {
+        let n = self.counts.len();
+        let width = if n == 0 { 0.0 } else { (self.hi - self.lo) / n as f64 };
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + width * i as f64, self.lo + width * (i + 1) as f64, c))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Renders the histogram as text bars of at most `bar_width` characters.
+    pub fn render(&self, bar_width: usize) -> String {
+        let max = self.counts.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (lo, hi, c) in self.bins() {
+            let len = c * bar_width.max(1) / max;
+            out.push_str(&format!(
+                "{lo:>14.4e} – {hi:>12.4e} | {:<width$} {c}\n",
+                "#".repeat(len),
+                width = bar_width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_bounds() {
+        let h = Histogram::new(&[0.0, 0.1, 0.9, 1.0, 0.5], 2).unwrap();
+        let bins = h.bins();
+        assert_eq!(bins.len(), 2);
+        assert_eq!(bins[0].2 + bins[1].2, 5);
+        // 0.0, 0.1 left; 0.5 sits exactly on the split and rounds into the
+        // right bin with 0.9 and 1.0.
+        assert_eq!(bins[0].2, 2);
+        assert_eq!(bins[1].2, 3);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let h = Histogram::new(&[0.0, 10.0], 5).unwrap();
+        let bins = h.bins();
+        assert_eq!(bins[0].2, 1);
+        assert_eq!(bins[4].2, 1);
+    }
+
+    #[test]
+    fn constant_sample_is_centered() {
+        let h = Histogram::new(&[3.0; 7], 5).unwrap();
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.bins()[2].2, 7);
+    }
+
+    #[test]
+    fn render_shows_bars() {
+        let h = Histogram::new(&[1.0, 1.0, 1.0, 2.0], 2).unwrap();
+        let text = h.render(10);
+        assert!(text.contains("##########"));
+        assert!(text.lines().count() == 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(Histogram::new(&[], 4).is_err());
+        assert!(Histogram::new(&[1.0], 0).is_err());
+        assert!(Histogram::new(&[f64::NAN], 4).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Ordinary least squares over `(x, y)` points.
+//!
+//! The paper selects the POT threshold so that the sample mean-excess plot is
+//! "roughly linear" above it. This module provides the fit and the R² measure
+//! used to quantify that linearity automatically.
+
+use crate::StatsError;
+
+/// Result of a simple linear regression `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Estimated slope.
+    pub slope: f64,
+    /// Estimated intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]`; `1` is a perfect line.
+    pub r_squared: f64,
+    /// Number of points used in the fit.
+    pub n: usize,
+}
+
+impl LinearFit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Fits `y = a + b·x` by least squares.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] for fewer than two points and
+/// [`StatsError::Domain`] when all `x` are identical (the slope is
+/// undefined).
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::linreg::fit;
+///
+/// let pts = [(0.0, 1.0), (1.0, 3.0), (2.0, 5.0)];
+/// let f = fit(&pts).unwrap();
+/// assert!((f.slope - 2.0).abs() < 1e-12);
+/// assert!((f.intercept - 1.0).abs() < 1e-12);
+/// assert!((f.r_squared - 1.0).abs() < 1e-12);
+/// ```
+pub fn fit(points: &[(f64, f64)]) -> Result<LinearFit, StatsError> {
+    let n = points.len();
+    if n < 2 {
+        return Err(StatsError::NotEnoughData {
+            what: "linear regression",
+            needed: 2,
+            got: n,
+        });
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return Err(StatsError::Domain {
+            what: "x variance",
+            constraint: "not all x equal",
+            value: mean_x,
+        });
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // R² = 1 − SS_res / SS_tot; a constant y (syy == 0) is perfectly
+    // explained by the horizontal line, so report 1.
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy / (sxx * syy)).clamp(0.0, 1.0)
+    };
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovers_parameters() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 4.0 - 0.5 * i as f64)).collect();
+        let f = fit(&pts).unwrap();
+        assert!((f.slope + 0.5).abs() < 1e-12);
+        assert!((f.intercept - 4.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+        assert!((f.predict(10.0) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_has_high_r2() {
+        // Deterministic "noise" via a fixed pattern.
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64;
+                let noise = if i % 2 == 0 { 0.1 } else { -0.1 };
+                (x, 2.0 * x + 1.0 + noise)
+            })
+            .collect();
+        let f = fit(&pts).unwrap();
+        assert!((f.slope - 2.0).abs() < 0.01);
+        assert!(f.r_squared > 0.999);
+    }
+
+    #[test]
+    fn nonlinear_data_has_lower_r2() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 / 5.0;
+                (x, (x * 1.3).sin())
+            })
+            .collect();
+        let f = fit(&pts).unwrap();
+        assert!(f.r_squared < 0.7, "r2 = {}", f.r_squared);
+    }
+
+    #[test]
+    fn degenerate_inputs_error() {
+        assert!(fit(&[(1.0, 1.0)]).is_err());
+        assert!(fit(&[(1.0, 1.0), (1.0, 2.0)]).is_err());
+    }
+
+    #[test]
+    fn constant_y_is_perfect_horizontal_fit() {
+        let f = fit(&[(0.0, 3.0), (1.0, 3.0), (2.0, 3.0)]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 3.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+}

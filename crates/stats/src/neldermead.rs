@@ -1,0 +1,340 @@
+//! Nelder–Mead derivative-free simplex minimization.
+//!
+//! The paper minimizes the negative GPD log-likelihood with Matlab's
+//! `fminsearch`, which implements the Nelder–Mead simplex method. This module
+//! reimplements that method with the standard reflection / expansion /
+//! contraction / shrink coefficients (α=1, γ=2, ρ=0.5, σ=0.5) and
+//! `fminsearch`-style relative tolerances.
+
+use crate::StatsError;
+
+/// Configuration for the Nelder–Mead minimizer.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::neldermead::{minimize, Options};
+///
+/// let opts = Options { max_iter: 2000, ..Options::default() };
+/// let result = minimize(|x| (x[0] - 3.0).powi(2), &[0.0], &opts).unwrap();
+/// assert!((result.x[0] - 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Options {
+    /// Maximum number of iterations (an iteration is one simplex update).
+    pub max_iter: usize,
+    /// Terminate when the simplex diameter falls below this value (absolute,
+    /// per coordinate).
+    pub x_tol: f64,
+    /// Terminate when the spread of function values over the simplex falls
+    /// below this value.
+    pub f_tol: f64,
+    /// Relative size of the initial simplex around the starting point.
+    pub initial_step: f64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            max_iter: 2_000,
+            x_tol: 1e-10,
+            f_tol: 1e-12,
+            initial_step: 0.05,
+        }
+    }
+}
+
+/// Result of a Nelder–Mead minimization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Minimum {
+    /// Coordinates of the best point found.
+    pub x: Vec<f64>,
+    /// Function value at [`Minimum::x`].
+    pub value: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the tolerances were met (as opposed to hitting `max_iter`).
+    pub converged: bool,
+}
+
+/// Minimizes `f` starting from `x0` using the Nelder–Mead simplex method.
+///
+/// The objective may return non-finite values (e.g. `f64::INFINITY` outside a
+/// likelihood's support); such points are treated as arbitrarily bad, which
+/// lets callers encode hard constraints by returning `INFINITY`.
+///
+/// Returns the best vertex even when the iteration budget is exhausted
+/// (`converged == false`), because for profile-likelihood scans an
+/// almost-converged optimum is still useful.
+///
+/// # Errors
+///
+/// Returns [`StatsError::NotEnoughData`] when `x0` is empty, and
+/// [`StatsError::Domain`] when the starting point itself evaluates to a
+/// non-finite value (the simplex would have nowhere to go).
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::neldermead::{minimize, Options};
+///
+/// // Rosenbrock's banana function, minimum at (1, 1).
+/// let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+/// let m = minimize(rosen, &[-1.2, 1.0], &Options { max_iter: 5000, ..Options::default() }).unwrap();
+/// assert!((m.x[0] - 1.0).abs() < 1e-4);
+/// assert!((m.x[1] - 1.0).abs() < 1e-4);
+/// ```
+pub fn minimize<F>(mut f: F, x0: &[f64], opts: &Options) -> Result<Minimum, StatsError>
+where
+    F: FnMut(&[f64]) -> f64,
+{
+    let n = x0.len();
+    if n == 0 {
+        return Err(StatsError::NotEnoughData {
+            what: "nelder-mead starting point",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let f0 = f(x0);
+    if !f0.is_finite() {
+        return Err(StatsError::Domain {
+            what: "f(x0)",
+            constraint: "finite starting value",
+            value: f0,
+        });
+    }
+
+    // Build the initial simplex: x0 plus one perturbed vertex per dimension
+    // (fminsearch's 5% rule, with an absolute fallback for zero coordinates).
+    let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+    let mut values: Vec<f64> = Vec::with_capacity(n + 1);
+    simplex.push(x0.to_vec());
+    values.push(f0);
+    for i in 0..n {
+        let mut v = x0.to_vec();
+        let step = if v[i] != 0.0 {
+            v[i].abs() * opts.initial_step
+        } else {
+            opts.initial_step * 0.5
+        };
+        v[i] += step;
+        let mut fv = f(&v);
+        if !fv.is_finite() {
+            // Try stepping the other way before giving up on a good start.
+            v[i] = x0[i] - step;
+            fv = f(&v);
+        }
+        values.push(sanitize(fv));
+        simplex.push(v);
+    }
+
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < opts.max_iter {
+        iterations += 1;
+
+        // Order vertices by value (best first).
+        let mut order: Vec<usize> = (0..=n).collect();
+        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("sanitized values"));
+        reorder(&mut simplex, &mut values, &order);
+
+        // Convergence: simplex diameter and value spread.
+        let f_spread = values[n] - values[0];
+        let x_diam = (1..=n)
+            .map(|i| max_abs_diff(&simplex[0], &simplex[i]))
+            .fold(0.0f64, f64::max);
+        if f_spread.abs() < opts.f_tol && x_diam < opts.x_tol {
+            converged = true;
+            break;
+        }
+
+        // Centroid of all but the worst vertex.
+        let mut centroid = vec![0.0; n];
+        for vertex in simplex.iter().take(n) {
+            for (c, &x) in centroid.iter_mut().zip(vertex) {
+                *c += x;
+            }
+        }
+        for c in &mut centroid {
+            *c /= n as f64;
+        }
+
+        let worst = simplex[n].clone();
+        let reflected: Vec<f64> = centroid
+            .iter()
+            .zip(&worst)
+            .map(|(&c, &w)| c + ALPHA * (c - w))
+            .collect();
+        let f_reflected = sanitize(f(&reflected));
+
+        if f_reflected < values[0] {
+            // Try expanding further in the same direction.
+            let expanded: Vec<f64> = centroid
+                .iter()
+                .zip(&worst)
+                .map(|(&c, &w)| c + GAMMA * ALPHA * (c - w))
+                .collect();
+            let f_expanded = sanitize(f(&expanded));
+            if f_expanded < f_reflected {
+                simplex[n] = expanded;
+                values[n] = f_expanded;
+            } else {
+                simplex[n] = reflected;
+                values[n] = f_reflected;
+            }
+        } else if f_reflected < values[n - 1] {
+            simplex[n] = reflected;
+            values[n] = f_reflected;
+        } else {
+            // Contract toward the centroid (outside or inside).
+            let (base, f_base) = if f_reflected < values[n] {
+                (&reflected, f_reflected)
+            } else {
+                (&worst, values[n])
+            };
+            let contracted: Vec<f64> = centroid
+                .iter()
+                .zip(base)
+                .map(|(&c, &b)| c + RHO * (b - c))
+                .collect();
+            let f_contracted = sanitize(f(&contracted));
+            if f_contracted < f_base {
+                simplex[n] = contracted;
+                values[n] = f_contracted;
+            } else {
+                // Shrink everything toward the best vertex.
+                let best = simplex[0].clone();
+                for i in 1..=n {
+                    for (x, &b) in simplex[i].iter_mut().zip(&best) {
+                        *x = b + SIGMA * (*x - b);
+                    }
+                    values[i] = sanitize(f(&simplex[i]));
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..=n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("sanitized values"));
+    Ok(Minimum {
+        x: simplex[order[0]].clone(),
+        value: values[order[0]],
+        iterations,
+        converged,
+    })
+}
+
+/// Replaces NaN with +∞ so ordering comparisons stay total.
+fn sanitize(v: f64) -> f64 {
+    if v.is_nan() {
+        f64::INFINITY
+    } else {
+        v
+    }
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0f64, f64::max)
+}
+
+fn reorder(simplex: &mut [Vec<f64>], values: &mut [f64], order: &[usize]) {
+    let new_simplex: Vec<Vec<f64>> = order.iter().map(|&i| simplex[i].clone()).collect();
+    let new_values: Vec<f64> = order.iter().map(|&i| values[i]).collect();
+    for (dst, src) in simplex.iter_mut().zip(new_simplex) {
+        *dst = src;
+    }
+    values.copy_from_slice(&new_values);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimizes_1d_quadratic() {
+        let m = minimize(|x| (x[0] + 7.0).powi(2) + 2.0, &[10.0], &Options::default()).unwrap();
+        assert!((m.x[0] + 7.0).abs() < 1e-6, "got {:?}", m.x);
+        assert!((m.value - 2.0).abs() < 1e-9);
+        assert!(m.converged);
+    }
+
+    #[test]
+    fn minimizes_2d_quadratic_bowl() {
+        let f = |x: &[f64]| (x[0] - 1.0).powi(2) + 3.0 * (x[1] + 2.0).powi(2);
+        let m = minimize(f, &[5.0, 5.0], &Options::default()).unwrap();
+        assert!((m.x[0] - 1.0).abs() < 1e-5);
+        assert!((m.x[1] + 2.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_from_standard_start() {
+        let rosen =
+            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let opts = Options {
+            max_iter: 10_000,
+            ..Options::default()
+        };
+        let m = minimize(rosen, &[-1.2, 1.0], &opts).unwrap();
+        assert!((m.x[0] - 1.0).abs() < 1e-4, "{:?}", m);
+        assert!((m.x[1] - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn respects_infinity_constraints() {
+        // Minimum of x² subject to x > 1 (encoded by returning ∞ below 1):
+        // the optimizer should settle at the boundary, near x = 1.
+        let f = |x: &[f64]| {
+            if x[0] <= 1.0 {
+                f64::INFINITY
+            } else {
+                x[0] * x[0]
+            }
+        };
+        let m = minimize(f, &[3.0], &Options::default()).unwrap();
+        assert!(m.x[0] >= 1.0);
+        assert!(m.x[0] < 1.01, "got {}", m.x[0]);
+    }
+
+    #[test]
+    fn rejects_empty_start() {
+        assert!(minimize(|_| 0.0, &[], &Options::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_nonfinite_start() {
+        assert!(minimize(|_| f64::NAN, &[1.0], &Options::default()).is_err());
+    }
+
+    #[test]
+    fn reports_nonconvergence_but_still_improves() {
+        let opts = Options {
+            max_iter: 3,
+            ..Options::default()
+        };
+        let m = minimize(|x| x[0] * x[0], &[100.0], &opts).unwrap();
+        assert!(!m.converged);
+        assert!(m.value < 100.0 * 100.0);
+    }
+
+    #[test]
+    fn four_dimensional_sphere() {
+        let f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+        let opts = Options {
+            max_iter: 20_000,
+            ..Options::default()
+        };
+        let m = minimize(f, &[1.0, -2.0, 3.0, -4.0], &opts).unwrap();
+        for &c in &m.x {
+            assert!(c.abs() < 1e-4, "{:?}", m.x);
+        }
+    }
+}

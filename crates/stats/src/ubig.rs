@@ -1,0 +1,420 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! Table 1 of the paper counts the number of distinct task assignments on the
+//! UltraSPARC T2 — for 60-task workloads the count is around 10⁵⁸, far beyond
+//! `u128`. No big-integer crate is on the allowed offline dependency list, so
+//! this module provides a small, well-tested implementation with exactly the
+//! operations the counting code needs: addition, multiplication, decimal
+//! formatting and a lossy `f64` view.
+//!
+//! Representation: little-endian `u32` limbs (base 2³²), no leading zero
+//! limbs, `0` represented by an empty limb vector.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign};
+
+/// An arbitrary-precision unsigned integer.
+///
+/// # Examples
+///
+/// ```
+/// use optassign_stats::ubig::UBig;
+///
+/// let a = UBig::from(u64::MAX);
+/// let b = &a * &a;
+/// assert_eq!(b.to_string(), "340282366920938463426481119284349108225");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct UBig {
+    /// Little-endian base-2³² limbs with no trailing zeros.
+    limbs: Vec<u32>,
+}
+
+impl UBig {
+    /// The value zero.
+    pub fn zero() -> Self {
+        UBig { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        UBig { limbs: vec![1] }
+    }
+
+    /// Whether the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// Number of bits in the value (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => 32 * (self.limbs.len() - 1) + (32 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn trim(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Adds a small value in place.
+    pub fn add_small(&mut self, mut carry: u64) {
+        let mut i = 0;
+        while carry > 0 {
+            if i == self.limbs.len() {
+                self.limbs.push(0);
+            }
+            let sum = self.limbs[i] as u64 + (carry & 0xFFFF_FFFF);
+            self.limbs[i] = sum as u32;
+            carry = (carry >> 32) + (sum >> 32);
+            i += 1;
+        }
+    }
+
+    /// Multiplies by a small value in place.
+    pub fn mul_small(&mut self, m: u64) {
+        if m == 0 || self.is_zero() {
+            self.limbs.clear();
+            return;
+        }
+        let (m_lo, m_hi) = (m & 0xFFFF_FFFF, m >> 32);
+        let mut out = vec![0u32; self.limbs.len() + 2];
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            let l = limb as u64;
+            add_at(&mut out, i, l * m_lo);
+            if m_hi != 0 {
+                add_at(&mut out, i + 1, l * m_hi);
+            }
+        }
+        self.limbs = out;
+        self.trim();
+    }
+
+    /// Divides in place by a small non-zero divisor, returning the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn div_rem_small(&mut self, d: u32) -> u32 {
+        assert!(d != 0, "division by zero");
+        let mut rem: u64 = 0;
+        for limb in self.limbs.iter_mut().rev() {
+            let cur = (rem << 32) | *limb as u64;
+            *limb = (cur / d as u64) as u32;
+            rem = cur % d as u64;
+        }
+        self.trim();
+        rem as u32
+    }
+
+    /// Lossy conversion to `f64` (infinite for values above `f64::MAX`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use optassign_stats::ubig::UBig;
+    ///
+    /// let v = UBig::from(1u64 << 60);
+    /// assert_eq!(v.to_f64(), (1u64 << 60) as f64);
+    /// ```
+    pub fn to_f64(&self) -> f64 {
+        let mut acc = 0.0f64;
+        for &limb in self.limbs.iter().rev() {
+            acc = acc * 4_294_967_296.0 + limb as f64;
+        }
+        acc
+    }
+
+    /// Exact conversion to `u64` if the value fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u64),
+            2 => Some(self.limbs[0] as u64 | (self.limbs[1] as u64) << 32),
+            _ => None,
+        }
+    }
+
+    /// Scientific-notation rendering like `5.52e58`, used for the wide
+    /// columns of Table 1.
+    pub fn to_scientific(&self, digits: usize) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let s = self.to_string();
+        let exp = s.len() - 1;
+        if exp < 5 {
+            return s;
+        }
+        let mantissa: String = s.chars().take(digits + 1).collect();
+        let (head, tail) = mantissa.split_at(1);
+        if tail.is_empty() {
+            format!("{head}e{exp}")
+        } else {
+            format!("{head}.{tail}e{exp}")
+        }
+    }
+}
+
+/// Adds `v` (u64) into `limbs` starting at limb index `at`, propagating carry.
+fn add_at(limbs: &mut Vec<u32>, at: usize, v: u64) {
+    let mut carry = v;
+    let mut i = at;
+    while carry > 0 {
+        if i == limbs.len() {
+            limbs.push(0);
+        }
+        let sum = limbs[i] as u64 + (carry & 0xFFFF_FFFF);
+        limbs[i] = sum as u32;
+        carry = (carry >> 32) + (sum >> 32);
+        i += 1;
+    }
+}
+
+impl From<u64> for UBig {
+    fn from(v: u64) -> Self {
+        let mut b = UBig::zero();
+        b.add_small(v);
+        b
+    }
+}
+
+impl From<u32> for UBig {
+    fn from(v: u32) -> Self {
+        UBig::from(v as u64)
+    }
+}
+
+impl PartialOrd for UBig {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for UBig {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => self.limbs.iter().rev().cmp(other.limbs.iter().rev()),
+            ord => ord,
+        }
+    }
+}
+
+impl Add<&UBig> for &UBig {
+    type Output = UBig;
+
+    fn add(self, rhs: &UBig) -> UBig {
+        let (long, short) = if self.limbs.len() >= rhs.limbs.len() {
+            (self, rhs)
+        } else {
+            (rhs, self)
+        };
+        let mut out = long.clone();
+        let mut carry = 0u64;
+        for i in 0..long.limbs.len() {
+            let s = short.limbs.get(i).copied().unwrap_or(0) as u64;
+            let sum = out.limbs[i] as u64 + s + carry;
+            out.limbs[i] = sum as u32;
+            carry = sum >> 32;
+        }
+        if carry > 0 {
+            out.limbs.push(carry as u32);
+        }
+        out
+    }
+}
+
+impl AddAssign<&UBig> for UBig {
+    fn add_assign(&mut self, rhs: &UBig) {
+        *self = &*self + rhs;
+    }
+}
+
+impl Mul<&UBig> for &UBig {
+    type Output = UBig;
+
+    fn mul(self, rhs: &UBig) -> UBig {
+        if self.is_zero() || rhs.is_zero() {
+            return UBig::zero();
+        }
+        let mut out = vec![0u32; self.limbs.len() + rhs.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            for (j, &b) in rhs.limbs.iter().enumerate() {
+                add_at(&mut out, i + j, a as u64 * b as u64);
+            }
+        }
+        let mut v = UBig { limbs: out };
+        v.trim();
+        v
+    }
+}
+
+impl MulAssign<&UBig> for UBig {
+    fn mul_assign(&mut self, rhs: &UBig) {
+        *self = &*self * rhs;
+    }
+}
+
+impl fmt::Display for UBig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Peel off 9 decimal digits at a time.
+        let mut v = self.clone();
+        let mut chunks: Vec<u32> = Vec::new();
+        while !v.is_zero() {
+            chunks.push(v.div_rem_small(1_000_000_000));
+        }
+        let mut s = chunks.last().expect("non-zero has chunks").to_string();
+        for chunk in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{chunk:09}"));
+        }
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(UBig::zero().is_zero());
+        assert_eq!(UBig::zero().to_string(), "0");
+        assert_eq!(UBig::one().to_string(), "1");
+        assert_eq!(UBig::zero().bits(), 0);
+        assert_eq!(UBig::one().bits(), 1);
+    }
+
+    #[test]
+    fn roundtrips_u64() {
+        for &v in &[0u64, 1, 42, u32::MAX as u64, u64::MAX] {
+            assert_eq!(UBig::from(v).to_u64(), Some(v));
+            assert_eq!(UBig::from(v).to_string(), v.to_string());
+        }
+    }
+
+    #[test]
+    fn big_multiplication_known_value() {
+        // 2^128 = 340282366920938463463374607431768211456
+        let two64 = &UBig::from(u64::MAX) + &UBig::one();
+        let two128 = &two64 * &two64;
+        assert_eq!(
+            two128.to_string(),
+            "340282366920938463463374607431768211456"
+        );
+        assert_eq!(two128.bits(), 129);
+    }
+
+    #[test]
+    fn factorial_60_matches_reference() {
+        // 60! has a well-known decimal expansion; check prefix and length.
+        let mut f = UBig::one();
+        for i in 2..=60u64 {
+            f.mul_small(i);
+        }
+        let s = f.to_string();
+        assert_eq!(s.len(), 82);
+        assert!(s.starts_with("832098711274139014427634118322"), "{s}");
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        let mut f = UBig::one();
+        for i in 2..=25u64 {
+            f.mul_small(i);
+        }
+        let exact = (2..=25u64).map(|x| x as f64).product::<f64>();
+        assert!((f.to_f64() - exact).abs() / exact < 1e-12);
+    }
+
+    #[test]
+    fn scientific_rendering() {
+        let mut v = UBig::from(5_520_000u64);
+        assert_eq!(v.to_scientific(2), "5.52e6");
+        for _ in 0..5 {
+            v.mul_small(1000);
+        }
+        assert_eq!(v.to_scientific(2), "5.52e21");
+        assert_eq!(UBig::zero().to_scientific(2), "0");
+        assert_eq!(UBig::from(42u64).to_scientific(2), "42");
+    }
+
+    #[test]
+    fn ordering() {
+        let a = UBig::from(100u64);
+        let b = UBig::from(200u64);
+        let c = &b * &b;
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn div_rem_small_roundtrip() {
+        let mut v = UBig::from(1_000_000_007u64);
+        v.mul_small(998_244_353);
+        let mut q = v.clone();
+        let r = q.div_rem_small(12345);
+        q.mul_small(12345);
+        q.add_small(r as u64);
+        assert_eq!(q, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        UBig::one().div_rem_small(0);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_u128(a in 0u64.., b in 0u64..) {
+            let sum = &UBig::from(a) + &UBig::from(b);
+            let want = a as u128 + b as u128;
+            prop_assert_eq!(sum.to_string(), want.to_string());
+        }
+
+        #[test]
+        fn mul_matches_u128(a in 0u64.., b in 0u64..) {
+            let prod = &UBig::from(a) * &UBig::from(b);
+            let want = a as u128 * b as u128;
+            prop_assert_eq!(prod.to_string(), want.to_string());
+        }
+
+        #[test]
+        fn mul_commutes(a in 0u64.., b in 0u64.., c in 0u64..) {
+            let (ba, bb, bc) = (UBig::from(a), UBig::from(b), UBig::from(c));
+            let left = &(&ba * &bb) * &bc;
+            let right = &ba * &(&bb * &bc);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn add_then_compare(a in 0u64.., b in 1u64..) {
+            let base = UBig::from(a);
+            let bigger = &base + &UBig::from(b);
+            prop_assert!(bigger > base);
+        }
+
+        #[test]
+        fn mul_small_matches_mul(a in 0u64.., m in 0u64..) {
+            let mut left = UBig::from(a);
+            left.mul_small(m);
+            let right = &UBig::from(a) * &UBig::from(m);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn display_roundtrip_via_div(v in 0u64..) {
+            // Display uses div_rem_small; cross-check against u64 formatting.
+            prop_assert_eq!(UBig::from(v).to_string(), v.to_string());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Cross-checks of the numerical routines against independent identities.
+
+use optassign_stats::neldermead::{minimize, Options};
+use optassign_stats::special::{gamma_p, ln_gamma, normal_cdf};
+use optassign_stats::{chi2, ubig::UBig};
+use proptest::prelude::*;
+
+#[test]
+fn chi2_large_df_matches_normal_approximation() {
+    // Wilson–Hilferty: for large df, ((X/df)^(1/3) - (1 - 2/(9 df))) /
+    // sqrt(2/(9 df)) is approximately standard normal.
+    for &df in &[50.0f64, 200.0] {
+        for &p in &[0.1, 0.5, 0.9] {
+            let q = chi2::quantile(p, df).unwrap();
+            let z = ((q / df).powf(1.0 / 3.0) - (1.0 - 2.0 / (9.0 * df)))
+                / (2.0 / (9.0 * df)).sqrt();
+            let approx_p = normal_cdf(z);
+            assert!(
+                (approx_p - p).abs() < 0.01,
+                "df={df} p={p}: WH gives {approx_p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn gamma_p_recurrence() {
+    // P(a+1, x) = P(a, x) − x^a e^(−x) / Γ(a+1).
+    for &a in &[0.7f64, 1.5, 4.0] {
+        for &x in &[0.5f64, 2.0, 7.0] {
+            let lhs = gamma_p(a + 1.0, x).unwrap();
+            let rhs =
+                gamma_p(a, x).unwrap() - (a * x.ln() - x - ln_gamma(a + 1.0)).exp();
+            assert!((lhs - rhs).abs() < 1e-10, "a={a} x={x}: {lhs} vs {rhs}");
+        }
+    }
+}
+
+#[test]
+fn nelder_mead_grid_of_quadratics() {
+    // Minimize (x - c)² for a grid of centers and start points; always
+    // lands on c.
+    for c in -5..=5 {
+        for start in [-20.0f64, 0.5, 13.0] {
+            let c = c as f64 * 2.5;
+            let m = minimize(|x| (x[0] - c).powi(2), &[start], &Options::default()).unwrap();
+            assert!((m.x[0] - c).abs() < 1e-5, "c={c} start={start}");
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn ln_gamma_duplication_formula(x in 0.05f64..30.0) {
+        // Legendre duplication: Γ(2x) = Γ(x)Γ(x+1/2) 2^(2x-1) / sqrt(π).
+        let lhs = ln_gamma(2.0 * x);
+        let rhs = ln_gamma(x) + ln_gamma(x + 0.5) + (2.0 * x - 1.0) * 2f64.ln()
+            - 0.5 * std::f64::consts::PI.ln();
+        prop_assert!((lhs - rhs).abs() < 1e-8 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn ubig_distributive_law(a in 0u64..1_000_000, b in 0u64..1_000_000, c in 0u64..1_000_000) {
+        let (ba, bb, bc) = (UBig::from(a), UBig::from(b), UBig::from(c));
+        let left = &ba * &(&bb + &bc);
+        let right = &(&ba * &bb) + &(&ba * &bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn chi2_cdf_bounds(x in 0.0f64..100.0, df in 0.5f64..50.0) {
+        let p = chi2::cdf(x, df).unwrap();
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,24 @@
+//! Workspace umbrella crate: hosts the runnable examples (`examples/`) and
+//! the cross-crate integration tests (`tests/`).
+//!
+//! The actual functionality lives in the member crates:
+//!
+//! * [`optassign`] — the paper's contribution: assignment spaces, random
+//!   sampling, EVT-based optimal-performance estimation, the iterative
+//!   assignment algorithm, and baseline schedulers.
+//! * [`optassign_evt`] — Extreme Value Theory (GPD, Peaks-Over-Threshold,
+//!   profile-likelihood confidence intervals).
+//! * [`optassign_stats`] — hand-rolled numerics (special functions, χ²,
+//!   Nelder–Mead, ECDF, big integers).
+//! * [`optassign_sim`] — the UltraSPARC T2-like cycle-approximate
+//!   simulator with three resource-sharing levels.
+//! * [`optassign_netapps`] — the network benchmark suite (IPFwd, packet
+//!   analyzer, Aho-Corasick, stateful flow processing, NTGen traffic).
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the experiment index.
+
+pub use optassign as core;
+pub use optassign_evt as evt;
+pub use optassign_netapps as netapps;
+pub use optassign_sim as sim;
+pub use optassign_stats as stats;
