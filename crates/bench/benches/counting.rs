@@ -1,32 +1,24 @@
-//! Criterion micro-benchmarks of assignment-space counting and
-//! enumeration (Table 1 machinery).
+//! Micro-benchmarks of assignment-space counting and enumeration
+//! (Table 1 machinery).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optassign::space::{count_assignments, enumerate_assignments};
 use optassign::Topology;
+use optassign_bench::microbench::{bench, group};
 
-fn bench_counting(c: &mut Criterion) {
+fn main() {
     let topo = Topology::ultrasparc_t2();
-    let mut group = c.benchmark_group("count_assignments");
+
+    group("count_assignments");
     for &tasks in &[12usize, 24, 60] {
-        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &t| {
-            b.iter(|| count_assignments(t, topo).unwrap())
+        bench(&format!("count/{tasks}"), || {
+            count_assignments(tasks, topo).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_enumeration(c: &mut Criterion) {
-    let topo = Topology::ultrasparc_t2();
-    let mut group = c.benchmark_group("enumerate_assignments");
-    group.sample_size(10);
+    group("enumerate_assignments");
     for &tasks in &[4usize, 6] {
-        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &t| {
-            b.iter(|| enumerate_assignments(t, topo, 1_000_000).unwrap().len())
+        bench(&format!("enumerate/{tasks}"), || {
+            enumerate_assignments(tasks, topo, 1_000_000).unwrap().len()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_counting, bench_enumeration);
-criterion_main!(benches);

@@ -1,62 +1,46 @@
-//! Criterion micro-benchmarks of the EVT pipeline: GPD fitting, UPB
-//! estimation, and the full POT analysis at the paper's sample sizes.
+//! Micro-benchmarks of the EVT pipeline: GPD fitting, UPB estimation, and
+//! the full POT analysis at the paper's sample sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use optassign_bench::microbench::{bench, group};
 use optassign_evt::fit::{fit_mle, fit_pwm};
 use optassign_evt::gpd::Gpd;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_evt::profile::estimate_upb;
-use rand::SeedableRng;
 
 fn exceedances(n: usize) -> Vec<f64> {
     let g = Gpd::new(-0.35, 1.0).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(1);
     g.sample_n(&mut rng, n)
 }
 
 fn sample(n: usize) -> Vec<f64> {
     let g = Gpd::new(-0.35, 1.0).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(2);
     (0..n).map(|_| 100.0 + g.sample(&mut rng)).collect()
 }
 
-fn bench_fits(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gpd_fit");
+fn main() {
+    group("gpd_fit");
     // The paper's exceedance counts: 5% of 1000/2000/5000 samples.
     for &m in &[50usize, 100, 250] {
         let ys = exceedances(m);
-        group.bench_with_input(BenchmarkId::new("mle", m), &ys, |b, ys| {
-            b.iter(|| fit_mle(ys).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("pwm", m), &ys, |b, ys| {
-            b.iter(|| fit_pwm(ys).unwrap())
-        });
+        bench(&format!("mle/{m}"), || fit_mle(&ys).unwrap());
+        bench(&format!("pwm/{m}"), || fit_pwm(&ys).unwrap());
     }
-    group.finish();
-}
 
-fn bench_upb(c: &mut Criterion) {
-    let mut group = c.benchmark_group("upb_estimate");
+    group("upb_estimate");
     for &m in &[50usize, 250] {
         let ys = exceedances(m);
-        group.bench_with_input(BenchmarkId::from_parameter(m), &ys, |b, ys| {
-            b.iter(|| estimate_upb(100.0, ys, 0.95).unwrap())
+        bench(&format!("upb/{m}"), || {
+            estimate_upb(100.0, &ys, 0.95).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_full_pot(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pot_analysis");
-    group.sample_size(20);
+    group("pot_analysis");
     for &n in &[1000usize, 5000] {
         let xs = sample(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &xs, |b, xs| {
-            b.iter(|| PotAnalysis::run(xs, &PotConfig::default()).unwrap())
+        bench(&format!("pot/{n}"), || {
+            PotAnalysis::run(&xs, &PotConfig::default()).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_fits, bench_upb, bench_full_pot);
-criterion_main!(benches);

@@ -1,80 +1,55 @@
-//! Criterion micro-benchmarks of the functional network applications.
+//! Micro-benchmarks of the functional network applications.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use optassign_bench::microbench::{bench, bench_throughput, group};
 use optassign_netapps::aho_corasick::{snort_dos_keywords, AhoCorasick};
 use optassign_netapps::analyzer::{Analyzer, Filter};
 use optassign_netapps::ipfwd::{HashKind, IpForwarder};
 use optassign_netapps::ntgen::{NtGen, TrafficConfig};
 use optassign_netapps::stateful::FlowTable;
 
-fn bench_aho_corasick(c: &mut Criterion) {
+fn main() {
+    group("aho_corasick");
     let ac = AhoCorasick::new(&snort_dos_keywords()).unwrap();
     let mut gen = NtGen::new(TrafficConfig::default(), 1);
     let payloads: Vec<Vec<u8>> = gen.batch(64).into_iter().map(|p| p.payload).collect();
     let bytes: usize = payloads.iter().map(Vec::len).sum();
-    let mut group = c.benchmark_group("aho_corasick");
-    group.throughput(Throughput::Bytes(bytes as u64));
-    group.bench_function("scan_64_payloads", |b| {
-        b.iter(|| {
-            payloads
-                .iter()
-                .map(|p| ac.find_all(p).len())
-                .sum::<usize>()
-        })
+    bench_throughput("scan_64_payloads", bytes as u64, || {
+        payloads.iter().map(|p| ac.find_all(p).len()).sum::<usize>()
     });
-    group.finish();
-}
 
-fn bench_ipfwd(c: &mut Criterion) {
+    group("ip_forwarding");
     let fwd = IpForwarder::new(65_536, 16, HashKind::IntAdd);
     let mut gen = NtGen::new(TrafficConfig::default(), 2);
     let ips: Vec<u32> = gen.batch(1024).iter().map(|p| p.flow.dst_ip).collect();
-    c.bench_function("ipfwd_lookup_1024", |b| {
-        b.iter(|| ips.iter().map(|&ip| fwd.lookup(ip).port as u64).sum::<u64>())
+    bench("ipfwd_lookup_1024", || {
+        ips.iter()
+            .map(|&ip| fwd.lookup(ip).port as u64)
+            .sum::<u64>()
     });
-}
 
-fn bench_analyzer(c: &mut Criterion) {
+    group("analyzer");
     let mut gen = NtGen::new(TrafficConfig::default(), 3);
     let frames: Vec<Vec<u8>> = gen.batch(256).iter().map(|p| p.to_bytes()).collect();
-    c.bench_function("analyzer_decode_256", |b| {
-        b.iter(|| {
-            let mut analyzer = Analyzer::new(Filter::default());
-            for f in &frames {
-                let _ = analyzer.analyze_bytes(f);
-            }
-            analyzer.stats().logged
-        })
+    bench("analyzer_decode_256", || {
+        let mut analyzer = Analyzer::new(Filter::default());
+        for f in &frames {
+            let _ = analyzer.analyze_bytes(f);
+        }
+        analyzer.stats().logged
     });
-}
 
-fn bench_stateful(c: &mut Criterion) {
+    group("stateful");
     let mut gen = NtGen::new(TrafficConfig::default(), 4);
     let packets = gen.batch(1024);
-    c.bench_function("flow_table_1024_packets", |b| {
-        b.iter(|| {
-            let mut table = FlowTable::new(1 << 12);
-            for p in &packets {
-                table.process(p);
-            }
-            table.flow_count()
-        })
+    bench("flow_table_1024_packets", || {
+        let mut table = FlowTable::new(1 << 12);
+        for p in &packets {
+            table.process(p);
+        }
+        table.flow_count()
     });
-}
 
-fn bench_ntgen(c: &mut Criterion) {
-    c.bench_function("ntgen_generate_256", |b| {
-        let mut gen = NtGen::new(TrafficConfig::default(), 5);
-        b.iter(|| gen.batch(256).len())
-    });
+    group("traffic_generation");
+    let mut gen = NtGen::new(TrafficConfig::default(), 5);
+    bench("ntgen_generate_256", || gen.batch(256).len());
 }
-
-criterion_group!(
-    benches,
-    bench_aho_corasick,
-    bench_ipfwd,
-    bench_analyzer,
-    bench_stateful,
-    bench_ntgen
-);
-criterion_main!(benches);

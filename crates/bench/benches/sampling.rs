@@ -1,31 +1,24 @@
-//! Criterion micro-benchmarks of assignment generation and
-//! canonicalization.
+//! Micro-benchmarks of assignment generation and canonicalization.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optassign::sampling::random_assignment;
 use optassign::Topology;
-use rand::SeedableRng;
+use optassign_bench::microbench::{bench, group};
 
-fn bench_random_assignment(c: &mut Criterion) {
+fn main() {
     let topo = Topology::ultrasparc_t2();
-    let mut group = c.benchmark_group("random_assignment");
+
+    group("random_assignment");
     // Rejection rate grows with density: 24 tasks ~1% acceptance on 64
     // contexts, 48 tasks far lower.
     for &tasks in &[6usize, 24, 48] {
-        group.bench_with_input(BenchmarkId::from_parameter(tasks), &tasks, |b, &tasks| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-            b.iter(|| random_assignment(tasks, topo, &mut rng).unwrap())
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(1);
+        bench(&format!("random_assignment/{tasks}"), || {
+            random_assignment(tasks, topo, &mut rng).unwrap()
         });
     }
-    group.finish();
-}
 
-fn bench_canonical_key(c: &mut Criterion) {
-    let topo = Topology::ultrasparc_t2();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    group("canonicalization");
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(2);
     let a = random_assignment(24, topo, &mut rng).unwrap();
-    c.bench_function("canonical_key_24_tasks", |b| b.iter(|| a.canonical_key()));
+    bench("canonical_key_24_tasks", || a.canonical_key());
 }
-
-criterion_group!(benches, bench_random_assignment, bench_canonical_key);
-criterion_main!(benches);

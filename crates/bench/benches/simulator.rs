@@ -1,43 +1,32 @@
-//! Criterion micro-benchmarks of the simulator: the cost of one
-//! assignment evaluation — the unit of the paper's "experimental time"
-//! discussion (§5.4: 1000/2000/5000 measurements took 25/50/120 minutes on
-//! the real testbed).
+//! Micro-benchmarks of the simulator: the cost of one assignment
+//! evaluation — the unit of the paper's "experimental time" discussion
+//! (§5.4: 1000/2000/5000 measurements took 25/50/120 minutes on the real
+//! testbed).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use optassign::model::{AnalyticModel, PerformanceModel, SimModel};
 use optassign::sampling::random_assignment;
+use optassign_bench::microbench::{bench, group};
 use optassign_netapps::Benchmark;
 use optassign_sim::MachineConfig;
-use rand::SeedableRng;
 
-fn bench_simulation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("simulate_assignment");
-    group.sample_size(10);
-    for bench in [Benchmark::IpFwdL1, Benchmark::IpFwdMem, Benchmark::Stateful] {
+fn main() {
+    group("simulate_assignment");
+    for bm in [Benchmark::IpFwdL1, Benchmark::IpFwdMem, Benchmark::Stateful] {
         let machine = MachineConfig::ultrasparc_t2();
-        let workload = bench.build_workload(8, 1);
+        let workload = bm.build_workload(8, 1);
         let model = SimModel::new(machine, workload);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(3);
         let a = random_assignment(24, model.topology(), &mut rng).unwrap();
-        group.bench_with_input(BenchmarkId::from_parameter(bench.name()), &a, |b, a| {
-            b.iter(|| model.evaluate(a))
-        });
+        bench(&format!("simulate/{}", bm.name()), || model.evaluate(&a));
     }
-    group.finish();
-}
 
-fn bench_predictor(c: &mut Criterion) {
+    group("predict_assignment");
     // The analytic predictor should be orders of magnitude cheaper than
     // simulation — the trade-off §5.4 discusses.
     let machine = MachineConfig::ultrasparc_t2();
     let workload = Benchmark::IpFwdL1.build_workload(8, 1);
     let model = AnalyticModel::new(machine, workload);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(4);
     let a = random_assignment(24, model.topology(), &mut rng).unwrap();
-    c.bench_function("predict_assignment/IPFwd-L1", |b| {
-        b.iter(|| model.evaluate(&a))
-    });
+    bench("predict/IPFwd-L1", || model.evaluate(&a));
 }
-
-criterion_group!(benches, bench_simulation, bench_predictor);
-criterion_main!(benches);

@@ -12,7 +12,6 @@ use optassign_evt::block_maxima::fit_block_maxima;
 use optassign_evt::gpd::Gpd;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
-use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
@@ -20,7 +19,7 @@ fn main() {
     println!("POT vs block maxima, part 1: known truth\n");
     let truth = 24.0;
     let g = Gpd::new(-0.25, 1.0).expect("valid");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(21);
     let sample: Vec<f64> = (0..5000).map(|_| 20.0 + g.sample(&mut rng)).collect();
 
     let pot = PotAnalysis::run(&sample, &PotConfig::default()).expect("bounded tail");
@@ -62,7 +61,10 @@ fn main() {
                 format!("block maxima (b={block})"),
                 fmt_pps(bm.upper_bound),
             ]),
-            Err(e) => rows.push(vec![format!("block maxima (b={block})"), format!("failed: {e}")]),
+            Err(e) => rows.push(vec![
+                format!("block maxima (b={block})"),
+                format!("failed: {e}"),
+            ]),
         }
     }
     print_table(&["method", "estimated optimum"], &rows);

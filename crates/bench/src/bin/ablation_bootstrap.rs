@@ -13,7 +13,6 @@ use optassign_evt::bootstrap::bootstrap_max;
 use optassign_evt::gpd::Gpd;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
-use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
@@ -21,7 +20,7 @@ fn main() {
     println!("Bootstrap-vs-EVT ablation, part 1: known truth\n");
     let truth = 105.0;
     let g = Gpd::new(-0.3, 1.5).expect("valid");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(9);
     let sample: Vec<f64> = (0..2000).map(|_| 100.0 + g.sample(&mut rng)).collect();
     let observed_best = sample.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
@@ -74,7 +73,10 @@ fn main() {
             "0.00%".into(),
         ],
     ];
-    print_table(&["method (on the small sample)", "estimate", "vs truth proxy"], &rows);
+    print_table(
+        &["method (on the small sample)", "estimate", "vs truth proxy"],
+        &rows,
+    );
     println!(
         "\nExpected: the bootstrap never exceeds the small sample's best observation\n\
          and therefore underestimates the pool optimum; the EVT estimate\n\

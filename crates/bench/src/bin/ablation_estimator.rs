@@ -8,7 +8,6 @@ use optassign_evt::fit::FitMethod;
 use optassign_evt::gpd::Gpd;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
-use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
@@ -17,11 +16,14 @@ fn main() {
     println!("Estimator ablation, part 1: synthetic data (true optimum known)\n");
     let mut rows = Vec::new();
     for (shape, scale_p, loc) in [(-0.5, 1.0, 100.0), (-0.3, 2.0, 50.0), (-0.15, 1.0, 10.0)] {
-        let truth = loc + scale_p / -shape / 1.0_f64 * -1.0; // loc + scale/|shape|
+        let truth = loc + scale_p / -shape; // loc + scale/|shape|
         let g = Gpd::new(shape, scale_p).expect("valid");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(5);
         let sample: Vec<f64> = (0..4000).map(|_| loc + g.sample(&mut rng)).collect();
-        for method in [FitMethod::MaximumLikelihood, FitMethod::ProbabilityWeightedMoments] {
+        for method in [
+            FitMethod::MaximumLikelihood,
+            FitMethod::ProbabilityWeightedMoments,
+        ] {
             let cfg = PotConfig {
                 estimator: method,
                 ..PotConfig::default()
@@ -44,7 +46,10 @@ fn main() {
     for bench in [Benchmark::IpFwdL1, Benchmark::Stateful] {
         let pool = measured_pool(bench, scale.sample(2000));
         let mut upbs = Vec::new();
-        for method in [FitMethod::MaximumLikelihood, FitMethod::ProbabilityWeightedMoments] {
+        for method in [
+            FitMethod::MaximumLikelihood,
+            FitMethod::ProbabilityWeightedMoments,
+        ] {
             let cfg = PotConfig {
                 estimator: method,
                 ..PotConfig::default()

@@ -20,7 +20,11 @@ fn main() {
     let scale = Scale::from_args();
     let n = scale.sample(1500);
     let mut rows = Vec::new();
-    for bench in [Benchmark::IpFwdL1, Benchmark::AhoCorasick, Benchmark::Stateful] {
+    for bench in [
+        Benchmark::IpFwdL1,
+        Benchmark::AhoCorasick,
+        Benchmark::Stateful,
+    ] {
         eprintln!("[predictor] {}…", bench.name());
         let sim_model = case_study_model(bench);
         let ana_model = AnalyticModel::new(
@@ -60,9 +64,7 @@ fn main() {
             format!("{loss_vs_sim_best:+.2}%"),
         ]);
     }
-    println!(
-        "Predictor-integration ablation (n = {n} assignments per study)\n"
-    );
+    println!("Predictor-integration ablation (n = {n} assignments per study)\n");
     print_table(
         &[
             "Benchmark",

@@ -45,11 +45,25 @@ fn main() {
                 format!("{:.3}", a.fit.gpd.shape()),
                 format!("{:.3}", a.quantile_plot_r2),
             ]),
-            Err(e) => rows.push(vec![name, "-".into(), format!("failed: {e}"), String::new(), String::new(), String::new()]),
+            Err(e) => rows.push(vec![
+                name,
+                "-".into(),
+                format!("failed: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
         }
     }
     print_table(
-        &["threshold rule", "exceedances", "UPB", "95% CI", "shape", "qq R^2"],
+        &[
+            "threshold rule",
+            "exceedances",
+            "UPB",
+            "95% CI",
+            "shape",
+            "qq R^2",
+        ],
         &rows,
     );
     println!(

@@ -23,10 +23,9 @@ fn main() {
         eprintln!("[deep] {p_stages} P-stages ({tasks} tasks): {n} samples…");
         let machine = MachineConfig::ultrasparc_t2();
         let workload = build_deep_ipfwd(8, p_stages, BASE_SEED);
-        let model =
-            SimModel::new(machine, workload).with_windows(WARMUP_CYCLES, MEASURE_CYCLES);
-        let study = SampleStudy::run(&model, n, BASE_SEED ^ p_stages as u64)
-            .expect("fits the machine");
+        let model = SimModel::new(machine, workload).with_windows(WARMUP_CYCLES, MEASURE_CYCLES);
+        let study =
+            SampleStudy::run(&model, n, BASE_SEED ^ p_stages as u64).expect("fits the machine");
         let analysis = study
             .estimate_optimal(&PotConfig::default())
             .expect("bounded tail");
@@ -45,9 +44,7 @@ fn main() {
             format!("{:.3}", analysis.fit.gpd.shape()),
         ]);
     }
-    println!(
-        "Deep pipelines: statistical assignment analysis at higher task counts (n = {n})\n"
-    );
+    println!("Deep pipelines: statistical assignment analysis at higher task counts (n = {n})\n");
     print_table(
         &[
             "P stages",

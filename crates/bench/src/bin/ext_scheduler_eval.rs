@@ -13,7 +13,6 @@ use optassign::schedulers::{best_of_sample, linux_like, local_search, naive};
 use optassign_bench::{case_study_model, fmt_pps, measured_pool, print_table, Scale};
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
-use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
@@ -27,7 +26,7 @@ fn main() {
             .upb
             .point;
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(19);
         let naive_pps = {
             let a = naive(model.tasks(), model.topology(), &mut rng).expect("fits");
             model.evaluate(&a)

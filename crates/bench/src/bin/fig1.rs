@@ -13,7 +13,6 @@ use optassign::schedulers::{exhaustive_optimal, linux_like, naive};
 use optassign::space::count_assignments;
 use optassign_bench::{case_study_model_small, fmt_pps, print_table, BASE_SEED};
 use optassign_netapps::Benchmark;
-use rand::SeedableRng;
 
 fn main() {
     let topo = optassign::Topology::ultrasparc_t2();
@@ -30,7 +29,7 @@ fn main() {
 
         // Naive: average performance over random assignments (one draw is
         // noisy; the paper's bar is representative, we report the mean of 25).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(BASE_SEED);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(BASE_SEED);
         let mut naive_sum = 0.0;
         const NAIVE_DRAWS: usize = 25;
         for _ in 0..NAIVE_DRAWS {

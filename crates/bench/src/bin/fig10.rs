@@ -31,10 +31,7 @@ fn main() {
     let h2 = format!("n={}", sizes[0]);
     let h3 = format!("n={}", sizes[1]);
     let h4 = format!("n={}", sizes[2]);
-    print_table(
-        &["Benchmark", &h2, &h3, &h4, "gain small->large"],
-        &rows,
-    );
+    print_table(&["Benchmark", &h2, &h3, &h4, "gain small->large"], &rows);
     println!(
         "\nPaper anchors: increasing the sample from 1000 to 5000 improves the best\n\
          captured assignment by at most 0.6% (IPFwd-Mem); below 0.25% for the rest."

@@ -24,12 +24,13 @@ fn main() {
         for p in &points {
             row.push(match &p.analysis {
                 Some(a) => {
-                    let hi = a
-                        .upb
-                        .ci_high
-                        .map(fmt_pps)
-                        .unwrap_or_else(|| "inf".into());
-                    format!("{} [{} .. {}]", fmt_pps(a.upb.point), fmt_pps(a.upb.ci_low), hi)
+                    let hi = a.upb.ci_high.map(fmt_pps).unwrap_or_else(|| "inf".into());
+                    format!(
+                        "{} [{} .. {}]",
+                        fmt_pps(a.upb.point),
+                        fmt_pps(a.upb.ci_low),
+                        hi
+                    )
                 }
                 None => "tail unresolved".into(),
             });
@@ -49,10 +50,7 @@ fn main() {
     let h2 = format!("n={}", sizes[0]);
     let h3 = format!("n={}", sizes[1]);
     let h4 = format!("n={}", sizes[2]);
-    print_table(
-        &["Benchmark", &h2, &h3, &h4, "CI narrowing"],
-        &rows,
-    );
+    print_table(&["Benchmark", &h2, &h3, &h4, "CI narrowing"], &rows);
     println!(
         "\nPaper anchors: point estimates roughly equal across sample sizes; for four\n\
          of the five benchmarks (all but Aho-Corasick) the 0.95 confidence interval\n\

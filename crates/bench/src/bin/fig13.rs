@@ -20,12 +20,16 @@ fn main() {
         acceptable_loss: 0.05,
         confidence: 0.95,
         max_samples: scale.sample(8000),
+        ..IterativeConfig::default()
     };
     println!(
         "Figure 13: iterative algorithm on IPFwd-L1 (24 threads), target loss {:.1}%\n",
         config.acceptable_loss * 100.0
     );
-    eprintln!("[fig13] running (N_init = {}, N_delta = {})…", config.n_init, config.n_delta);
+    eprintln!(
+        "[fig13] running (N_init = {}, N_delta = {})…",
+        config.n_init, config.n_delta
+    );
     let result = run_iterative(&model, &config, BASE_SEED).expect("feasible case study");
 
     let mut rows = Vec::new();
@@ -43,7 +47,11 @@ fn main() {
     );
     println!(
         "\n{} after {} measured assignments; final assignment contexts: {:?}",
-        if result.converged { "converged" } else { "stopped at cap" },
+        if result.converged {
+            "converged".to_string()
+        } else {
+            format!("stopped early ({:?})", result.stop)
+        },
         result.samples_used,
         result.best_assignment.contexts()
     );

@@ -15,12 +15,7 @@ use optassign_netapps::Benchmark;
 
 /// First sample size (from `n_init` in steps of `n_delta`) at which the
 /// headroom drops below `target`, or `None` if the pool runs out.
-fn required_samples(
-    perfs: &[f64],
-    n_init: usize,
-    n_delta: usize,
-    target: f64,
-) -> Option<usize> {
+fn required_samples(perfs: &[f64], n_init: usize, n_delta: usize, target: f64) -> Option<usize> {
     let mut n = n_init;
     let cfg = PotConfig::default();
     while n <= perfs.len() {
@@ -51,10 +46,12 @@ fn main() {
         let pool = measured_pool(bench, pool_size);
         let mut row = vec![bench.name().to_string()];
         for &t in &targets {
-            row.push(match required_samples(pool.performances(), n_init, n_delta, t) {
-                Some(n) => n.to_string(),
-                None => format!(">{pool_size}"),
-            });
+            row.push(
+                match required_samples(pool.performances(), n_init, n_delta, t) {
+                    Some(n) => n.to_string(),
+                    None => format!(">{pool_size}"),
+                },
+            );
         }
         rows.push(row);
     }

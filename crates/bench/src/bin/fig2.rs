@@ -23,10 +23,7 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(
-        &["n", "P=1%", "P=2%", "P=5%", "P=10%", "P=25%"],
-        &rows,
-    );
+    print_table(&["n", "P=1%", "P=2%", "P=5%", "P=10%", "P=25%"], &rows);
 
     println!("\nSample sizes needed to reach target capture probabilities:");
     let mut rows = Vec::new();
@@ -41,10 +38,7 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(
-        &["target", "P=1%", "P=2%", "P=5%", "P=10%", "P=25%"],
-        &rows,
-    );
+    print_table(&["target", "P=1%", "P=2%", "P=5%", "P=10%", "P=25%"], &rows);
     println!(
         "\nPaper anchors: samples under 10 rarely capture the top 1-2-5%; several\n\
          hundred samples capture the top 1-2% with very high probability; the\n\

@@ -39,7 +39,12 @@ fn main() {
     println!();
     println!(
         "{}",
-        optassign_bench::ascii::line_chart(&ecdf.points(), 70, 16, "CDF (x: PPS, y: fraction of assignments)")
+        optassign_bench::ascii::line_chart(
+            &ecdf.points(),
+            70,
+            16,
+            "CDF (x: PPS, y: fraction of assignments)"
+        )
     );
 
     let best = *ecdf.sorted_sample().last().expect("non-empty");

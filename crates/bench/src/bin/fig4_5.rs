@@ -8,16 +8,15 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin fig4_5`
 
+use optassign_bench::print_table;
 use optassign_evt::fit::fit_mle;
 use optassign_evt::gpd::Gpd;
-use optassign_bench::print_table;
 use optassign_stats::ecdf::{ks_statistic, Ecdf};
-use rand::SeedableRng;
 
 fn main() {
     // A bounded "performance-like" population: location + GPD(ξ<0) tail.
     let truth = Gpd::new(-0.35, 1.2).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(42);
     let sample: Vec<f64> = (0..4000).map(|_| 5.0 + truth.sample(&mut rng)).collect();
     let sorted = optassign_stats::descriptive::sorted(&sample);
 
@@ -48,10 +47,17 @@ fn main() {
             format!("{:.4}", fit.gpd.cdf(y)),
         ]);
     }
-    print_table(&["y = x - u", "F(u + y)", "empirical F_u(y)", "fitted GPD"], &rows);
+    print_table(
+        &["y = x - u", "F(u + y)", "empirical F_u(y)", "fitted GPD"],
+        &rows,
+    );
 
     let ks = ks_statistic(&exceedances, |y| fit.gpd.cdf(y)).expect("non-empty");
-    println!("\nFitted GPD: shape = {:.3}, scale = {:.3}", fit.gpd.shape(), fit.gpd.scale());
+    println!(
+        "\nFitted GPD: shape = {:.3}, scale = {:.3}",
+        fit.gpd.shape(),
+        fit.gpd.scale()
+    );
     println!("KS distance between excesses and fitted GPD: {ks:.4}");
     println!(
         "\nPaper anchor (Theorem 1): for large u, F_u(y) is well approximated by a\n\

@@ -22,8 +22,8 @@ fn main() {
     let u = analysis.threshold;
     let d_hat = analysis.upb.point - u;
     let l_max = analysis.upb.max_log_likelihood;
-    let cut = l_max
-        - 0.5 * optassign_stats::chi2::quantile(analysis.upb.confidence, 1.0).expect("0.95");
+    let cut =
+        l_max - 0.5 * optassign_stats::chi2::quantile(analysis.upb.confidence, 1.0).expect("0.95");
 
     println!("Figure 7: profile log-likelihood of the Upper Performance Bound\n");
     println!("threshold u        : {}", fmt_pps(u));
@@ -49,7 +49,11 @@ fn main() {
         rows.push(vec![
             fmt_pps(u + d),
             format!("{l:.3}"),
-            if l >= cut { "in CI".into() } else { String::new() },
+            if l >= cut {
+                "in CI".into()
+            } else {
+                String::new()
+            },
         ]);
     }
     print_table(&["UPB", "L*(UPB)", ""], &rows);

@@ -19,7 +19,6 @@ use optassign_evt::mean_excess::MeanExcessPlot;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
 use optassign_stats::ecdf::Ecdf;
-use rand::SeedableRng;
 
 fn main() {
     let scale = Scale::from_args();
@@ -92,20 +91,19 @@ fn fig1_and_fig3() -> Vec<f64> {
     for bench in [Benchmark::IpFwdIntAdd, Benchmark::IpFwdIntMul] {
         let model = case_study_model_small(bench, 2);
         eprintln!("[fig1] {}: exhaustive evaluation…", bench.name());
-        let all = enumerate_assignments(model.tasks(), model.topology(), 10_000)
-            .expect("6-task space");
+        let all =
+            enumerate_assignments(model.tasks(), model.topology(), 10_000).expect("6-task space");
         let perfs: Vec<f64> = all.iter().map(|a| model.evaluate(a)).collect();
         let optimal = perfs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(BASE_SEED);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(BASE_SEED);
         let mut naive_sum = 0.0;
         for _ in 0..25 {
             let a = naive(model.tasks(), model.topology(), &mut rng).expect("fits");
             naive_sum += model.evaluate(&a);
         }
         let naive_pps = naive_sum / 25.0;
-        let linux_pps =
-            model.evaluate(&linux_like(model.tasks(), model.topology()).expect("fits"));
+        let linux_pps = model.evaluate(&linux_like(model.tasks(), model.topology()).expect("fits"));
 
         rows.push(vec![
             bench.name().to_string(),
@@ -135,7 +133,10 @@ fn fig1_and_fig3() -> Vec<f64> {
     );
 
     let ecdf = Ecdf::new(&fig3_perfs).expect("non-empty");
-    println!("\nFigure 3 (CDF of all {} classes, IPFwd-intadd):", fig3_perfs.len());
+    println!(
+        "\nFigure 3 (CDF of all {} classes, IPFwd-intadd):",
+        fig3_perfs.len()
+    );
     println!(
         "  worst {}, median {}, best {}  (spread {:.1}%)",
         fmt_pps(ecdf.sorted_sample()[0]),
@@ -214,10 +215,7 @@ fn fig10_11_12(pools: &[(Benchmark, optassign::study::SampleStudy)], sizes: &[us
                         fmt_pps(analysis.upb.ci_low),
                         hi
                     ));
-                    r12.push(format!(
-                        "{:.2}%",
-                        analysis.improvement_headroom() * 100.0
-                    ));
+                    r12.push(format!("{:.2}%", analysis.improvement_headroom() * 100.0));
                 }
                 Err(e) => {
                     r11.push(format!("unresolved ({e})"));
@@ -271,8 +269,5 @@ fn fig14(pools: &[(Benchmark, optassign::study::SampleStudy)], scale: &Scale) {
         }
         rows.push(row);
     }
-    print_table(
-        &["Benchmark", "loss<=2.5%", "loss<=5%", "loss<=10%"],
-        &rows,
-    );
+    print_table(&["Benchmark", "loss<=2.5%", "loss<=5%", "loss<=10%"], &rows);
 }

@@ -10,6 +10,7 @@
 //! configuration.
 
 pub mod ascii;
+pub mod microbench;
 
 use optassign::model::SimModel;
 use optassign::study::SampleStudy;
@@ -94,7 +95,11 @@ pub fn case_study_model_small(bench: Benchmark, instances: usize) -> SimModel {
 /// progress to stderr (the big pools take minutes on one CPU).
 pub fn measured_pool(bench: Benchmark, n: usize) -> SampleStudy {
     let model = case_study_model(bench);
-    eprintln!("[pool] {}: measuring {} random assignments…", bench.name(), n);
+    eprintln!(
+        "[pool] {}: measuring {} random assignments…",
+        bench.name(),
+        n
+    );
     let t0 = std::time::Instant::now();
     let study = SampleStudy::run(&model, n, BASE_SEED ^ seed_tag(bench))
         .expect("case-study workloads fit the machine");
@@ -130,8 +135,7 @@ pub fn sample_size_analysis(bench: Benchmark, sizes: &[usize]) -> Vec<SizePoint>
         .iter()
         .map(|&n| {
             let study = pool.prefix(n);
-            let analysis =
-                PotAnalysis::run(study.performances(), &PotConfig::default()).ok();
+            let analysis = PotAnalysis::run(study.performances(), &PotConfig::default()).ok();
             SizePoint {
                 n,
                 best: study.best_performance(),

@@ -1,0 +1,103 @@
+//! A minimal micro-benchmark harness.
+//!
+//! The workspace builds with no registry access, so the Criterion benches
+//! were ported to this self-contained harness: adaptive calibration to a
+//! target measurement window, a handful of timed batches, and a
+//! median-of-batches report. The bench targets set `harness = false`; run
+//! them with `cargo bench` or `cargo bench --bench <name>`.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Target wall-clock spent measuring each benchmark (after calibration).
+const TARGET_MEASURE_NANOS: u128 = 200_000_000; // 200 ms
+/// Number of timed batches the target window is split into.
+const BATCHES: usize = 10;
+
+/// Runs `f` repeatedly and prints a one-line timing report; returns the
+/// median per-iteration time in nanoseconds.
+///
+/// The harness first calibrates how many iterations fit in one batch, then
+/// times [`BATCHES`] batches and reports the median batch's per-iteration
+/// time, with the min/max batch spread as a dispersion hint.
+pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> f64 {
+    // Calibration: grow the batch size until one batch fills 1/BATCHES of
+    // the target window (or the batch is already enormous).
+    let mut iters_per_batch: u64 = 1;
+    let batch_budget = TARGET_MEASURE_NANOS / BATCHES as u128;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters_per_batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed().as_nanos();
+        if elapsed >= batch_budget || iters_per_batch >= 1 << 30 {
+            break;
+        }
+        let scale = batch_budget
+            .checked_div(elapsed)
+            .map_or(8, |s| s.clamp(2, 8)) as u64;
+        iters_per_batch = iters_per_batch.saturating_mul(scale);
+    }
+
+    let mut per_iter: Vec<f64> = (0..BATCHES)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            start.elapsed().as_nanos() as f64 / iters_per_batch as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[BATCHES / 2];
+    let (lo, hi) = (per_iter[0], per_iter[BATCHES - 1]);
+    println!(
+        "{name:<44} {:>12}/iter  (spread {} .. {}, {iters_per_batch} iters/batch)",
+        fmt_nanos(median),
+        fmt_nanos(lo),
+        fmt_nanos(hi),
+    );
+    median
+}
+
+/// Like [`bench`], but also reports throughput for `bytes` of input
+/// processed per iteration.
+pub fn bench_throughput<R, F: FnMut() -> R>(name: &str, bytes: u64, f: F) {
+    let median_nanos = bench(name, f);
+    if median_nanos > 0.0 {
+        let gb_per_s = bytes as f64 / median_nanos; // bytes/ns == GB/s
+        println!("{:<44} {gb_per_s:>9.3} GB/s", format!("  └ throughput"));
+    }
+}
+
+/// Prints a section header separating benchmark groups.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Renders a nanosecond count with an adaptive unit.
+fn fmt_nanos(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_nanos_units() {
+        assert_eq!(fmt_nanos(12.0), "12.0 ns");
+        assert_eq!(fmt_nanos(4_500.0), "4.50 µs");
+        assert_eq!(fmt_nanos(7_200_000.0), "7.20 ms");
+        assert_eq!(fmt_nanos(1_500_000_000.0), "1.500 s");
+    }
+}

@@ -61,10 +61,7 @@ impl Assignment {
             }
             used[c] = true;
         }
-        Ok(Assignment {
-            contexts,
-            topology,
-        })
+        Ok(Assignment { contexts, topology })
     }
 
     /// The context of each task.
@@ -86,8 +83,7 @@ impl Assignment {
     /// list of task indices on that pipe (empty pipes included).
     pub fn pipe_groups(&self) -> Vec<Vec<Vec<usize>>> {
         let topo = &self.topology;
-        let mut groups =
-            vec![vec![Vec::new(); topo.pipes_per_core]; topo.cores];
+        let mut groups = vec![vec![Vec::new(); topo.pipes_per_core]; topo.cores];
         for (task, &ctx) in self.contexts.iter().enumerate() {
             let core = topo.core_of(ctx);
             let pipe_in_core = (ctx / topo.strands_per_pipe) % topo.pipes_per_core;
@@ -114,8 +110,8 @@ impl Assignment {
             core.sort(); // order pipes within the core canonically
         }
         cores.sort(); // order cores canonically
-        // Drop empty cores: they carry no information and machines with
-        // different spare capacity would otherwise compare differently.
+                      // Drop empty cores: they carry no information and machines with
+                      // different spare capacity would otherwise compare differently.
         cores.retain(|core| core.iter().any(|pipe| !pipe.is_empty()));
         cores
     }
@@ -129,7 +125,6 @@ impl Assignment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     fn t2() -> Topology {
         Topology::ultrasparc_t2()
@@ -195,38 +190,35 @@ mod tests {
         assert!(!a.is_equivalent(&b));
     }
 
-    proptest! {
-        /// Randomly permuting cores, pipes and strand slots never changes
-        /// the canonical key.
-        #[test]
-        fn canonical_key_invariant_under_symmetry(
-            seed in 0u64..1_000,
-            n_tasks in 1usize..12,
-        ) {
-            use rand::seq::SliceRandom;
-            use rand::SeedableRng;
+    /// Randomly permuting cores, pipes and strand slots never changes
+    /// the canonical key.
+    #[test]
+    fn canonical_key_invariant_under_symmetry() {
+        use optassign_stats::rng::{Rng, StdRng};
+        for seed in 0u64..200 {
+            let n_tasks = 1 + (seed as usize % 11);
             let topo = t2();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut rng = StdRng::seed_from_u64(seed);
             // Random valid assignment.
             let mut all: Vec<usize> = (0..topo.contexts()).collect();
-            all.shuffle(&mut rng);
+            rng.shuffle(&mut all);
             let contexts: Vec<usize> = all[..n_tasks].to_vec();
             let a = Assignment::new(contexts.clone(), topo).unwrap();
 
             // Random symmetry: permute cores, pipes per core, strands per pipe.
             let mut core_perm: Vec<usize> = (0..topo.cores).collect();
-            core_perm.shuffle(&mut rng);
-            let mut pipe_perms: Vec<Vec<usize>> = (0..topo.cores)
+            rng.shuffle(&mut core_perm);
+            let pipe_perms: Vec<Vec<usize>> = (0..topo.cores)
                 .map(|_| {
                     let mut p: Vec<usize> = (0..topo.pipes_per_core).collect();
-                    p.shuffle(&mut rng);
+                    rng.shuffle(&mut p);
                     p
                 })
                 .collect();
-            let mut strand_perms: Vec<Vec<usize>> = (0..topo.pipes())
+            let strand_perms: Vec<Vec<usize>> = (0..topo.pipes())
                 .map(|_| {
                     let mut s: Vec<usize> = (0..topo.strands_per_pipe).collect();
-                    s.shuffle(&mut rng);
+                    rng.shuffle(&mut s);
                     s
                 })
                 .collect();
@@ -234,8 +226,7 @@ mod tests {
                 .iter()
                 .map(|&ctx| {
                     let core = topo.core_of(ctx);
-                    let pipe_in_core =
-                        (ctx / topo.strands_per_pipe) % topo.pipes_per_core;
+                    let pipe_in_core = (ctx / topo.strands_per_pipe) % topo.pipes_per_core;
                     let strand = ctx % topo.strands_per_pipe;
                     let new_core = core_perm[core];
                     let new_pipe = pipe_perms[core][pipe_in_core];
@@ -245,10 +236,7 @@ mod tests {
                 })
                 .collect();
             let b = Assignment::new(permuted, topo).unwrap();
-            prop_assert!(a.is_equivalent(&b));
-            // Silence unused-mut lints on the helper vectors.
-            pipe_perms.clear();
-            strand_perms.clear();
+            assert!(a.is_equivalent(&b), "seed {seed}");
         }
     }
 }

@@ -1,4 +1,5 @@
-//! The iterative task-assignment algorithm (paper §5.3, Figure 13).
+//! The iterative task-assignment algorithm (paper §5.3, Figure 13),
+//! hardened for faulty measurement infrastructure.
 //!
 //! The customer specifies an acceptable performance loss `X%`. The
 //! algorithm measures `N_init` random assignments, estimates the optimal
@@ -7,13 +8,31 @@
 //! `N_delta` more random assignments, re-estimating on the growing sample.
 //! Its output is the best observed assignment together with the estimated
 //! gap to the optimum.
+//!
+//! On top of the paper's loop, this implementation survives the failure
+//! modes of real measurement campaigns:
+//!
+//! * failed measurements are retried (bounded per assignment) and, when a
+//!   retry budget is exhausted, the assignment is redrawn;
+//! * a total evaluation budget caps the cost of running against flaky
+//!   infrastructure;
+//! * estimation runs through the resilient fallback ladder
+//!   ([`optassign_evt::resilient`]); degraded estimates (PWM, bootstrap)
+//!   are *recorded* but never certify convergence, because they cannot
+//!   extrapolate a trustworthy optimum;
+//! * when the gap cannot be certified for many consecutive rounds, the
+//!   stopping rule degrades to relative-improvement: stop once the best
+//!   observation has stopped improving;
+//! * every such departure from the clean path is recorded as a
+//!   [`DegradationEvent`] in the result.
 
 use crate::model::PerformanceModel;
-use crate::sampling::sample_assignments;
+use crate::sampling::random_assignment;
 use crate::study::SampleStudy;
 use crate::{Assignment, CoreError};
-use optassign_evt::pot::{PotAnalysis, PotConfig};
-use rand::SeedableRng;
+use optassign_evt::pot::PotConfig;
+use optassign_evt::resilient::{EstimateReport, FallbackPolicy, ResilientConfig};
+use optassign_stats::rng::Rng;
 
 /// Configuration of the iterative algorithm.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,6 +49,24 @@ pub struct IterativeConfig {
     /// Hard cap on the total number of measured assignments, so a
     /// mis-specified target cannot loop forever.
     pub max_samples: usize,
+    /// Retries per assignment when a measurement fails; after that the
+    /// assignment is abandoned and redrawn.
+    pub max_eval_retries: usize,
+    /// Total measurement-attempt budget (successes *and* failures). On
+    /// flaky infrastructure this, not `max_samples`, bounds the cost.
+    pub eval_budget: usize,
+    /// Rounds without a relative best-performance improvement of at least
+    /// [`IterativeConfig::min_rel_improvement`] before the loop stops as
+    /// stalled.
+    pub stall_rounds: usize,
+    /// Smallest relative improvement of the best observation that counts
+    /// as progress for stall detection.
+    pub min_rel_improvement: f64,
+    /// Consecutive rounds of unusable (failed or degraded) UPB estimates
+    /// before the stopping rule degrades to relative-improvement.
+    pub estimate_failure_limit: usize,
+    /// How far down the estimation fallback ladder each round may go.
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for IterativeConfig {
@@ -40,8 +77,77 @@ impl Default for IterativeConfig {
             acceptable_loss: 0.025,
             confidence: 0.95,
             max_samples: 50_000,
+            max_eval_retries: 2,
+            eval_budget: 200_000,
+            stall_rounds: 25,
+            min_rel_improvement: 1e-4,
+            estimate_failure_limit: 5,
+            fallback: FallbackPolicy::Full,
         }
     }
+}
+
+/// Why the loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// A profile-grade estimate certified the gap target.
+    TargetMet,
+    /// The `max_samples` cap was reached with the target unmet.
+    MaxSamples,
+    /// The total evaluation budget was exhausted by failed measurements.
+    EvalBudget,
+    /// The best observation stopped improving while estimates were
+    /// healthy — sampling further is unlikely to pay off.
+    Stalled,
+    /// The degraded stopping rule fired: estimation kept failing, and the
+    /// best observation stopped improving.
+    RelativeImprovement,
+}
+
+/// A departure from the clean measure-estimate-extend path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DegradationEvent {
+    /// Failed measurements were retried during a round.
+    MeasurementRetried {
+        /// Sample size after the round.
+        samples: usize,
+        /// Retry attempts consumed.
+        retries: usize,
+    },
+    /// Assignments were abandoned (retry budget exhausted) and redrawn.
+    AssignmentRedrawn {
+        /// Sample size after the round.
+        samples: usize,
+        /// Draws abandoned.
+        redrawn: usize,
+    },
+    /// The estimator fell back below the profile-MLE rung.
+    EstimateFellBack {
+        /// Sample size at the estimate.
+        samples: usize,
+        /// Winning rung (see
+        /// [`optassign_evt::resilient::EstimateMethod::name`]).
+        method: &'static str,
+    },
+    /// The estimation ladder returned no estimate at all.
+    EstimateUnusable {
+        /// Sample size at the attempt.
+        samples: usize,
+        /// Rendered error.
+        error: String,
+    },
+    /// The stopping rule switched to relative-improvement.
+    StoppingRuleDegraded {
+        /// Sample size at the switch.
+        samples: usize,
+    },
+    /// The evaluation budget ran out mid-measurement.
+    EvalBudgetExhausted {
+        /// Sample size when it happened.
+        samples: usize,
+        /// Attempts consumed in total.
+        attempts: usize,
+    },
 }
 
 /// One iteration's bookkeeping.
@@ -55,6 +161,8 @@ pub struct IterationTrace {
     pub estimated_optimal: f64,
     /// Gap `(UPB − best)/UPB` at this iteration.
     pub gap: f64,
+    /// Which estimator rung produced the estimate.
+    pub method: &'static str,
 }
 
 /// Result of the iterative algorithm.
@@ -64,14 +172,74 @@ pub struct IterativeResult {
     pub best_assignment: Assignment,
     /// Its measured performance.
     pub best_performance: f64,
-    /// The final POT analysis.
-    pub final_estimate: PotAnalysis,
+    /// The final estimate, with provenance (`final_estimate.upb` is the
+    /// paper's UPB).
+    pub final_estimate: EstimateReport,
     /// Total assignments measured.
     pub samples_used: usize,
-    /// Whether the gap target was met (vs. hitting `max_samples`).
+    /// Total measurement attempts, including failures and retries.
+    pub evaluations: usize,
+    /// Whether the gap target was met (`stop == StopReason::TargetMet`).
     pub converged: bool,
+    /// Why the loop stopped.
+    pub stop: StopReason,
     /// Per-iteration history (for the paper's Figure 14 analysis).
     pub trace: Vec<IterationTrace>,
+    /// Departures from the clean path, in order of occurrence.
+    pub events: Vec<DegradationEvent>,
+}
+
+/// Outcome of one measurement batch.
+struct Batch {
+    assignments: Vec<Assignment>,
+    performances: Vec<f64>,
+    attempts: usize,
+    retries: usize,
+    redrawn: usize,
+    budget_exhausted: bool,
+}
+
+/// Measures up to `want` assignments through the fallible path, spending
+/// at most `budget` attempts.
+fn measure_batch<M: PerformanceModel, R: Rng + ?Sized>(
+    model: &M,
+    want: usize,
+    max_retries: usize,
+    budget: usize,
+    rng: &mut R,
+) -> Result<Batch, CoreError> {
+    let mut b = Batch {
+        assignments: Vec::with_capacity(want),
+        performances: Vec::with_capacity(want),
+        attempts: 0,
+        retries: 0,
+        redrawn: 0,
+        budget_exhausted: false,
+    };
+    'draws: while b.assignments.len() < want {
+        let a = random_assignment(model.tasks(), model.topology(), rng)?;
+        let mut measured = None;
+        for attempt in 0..=max_retries {
+            if b.attempts >= budget {
+                b.budget_exhausted = true;
+                break 'draws;
+            }
+            b.attempts += 1;
+            if let Ok(v) = model.try_evaluate(&a) {
+                b.retries += attempt;
+                measured = Some(v);
+                break;
+            }
+        }
+        match measured {
+            Some(v) => {
+                b.assignments.push(a);
+                b.performances.push(v);
+            }
+            None => b.redrawn += 1,
+        }
+    }
+    Ok(b)
 }
 
 /// Runs the iterative algorithm against a performance model.
@@ -80,8 +248,12 @@ pub struct IterativeResult {
 ///
 /// * [`CoreError::Infeasible`] — the workload does not fit the machine.
 /// * [`CoreError::Domain`] — nonsensical configuration.
-/// * Estimation errors from the POT pipeline (e.g. not enough data for the
-///   configured `n_init`).
+/// * [`CoreError::Measurement`] — the evaluation budget was exhausted
+///   before any usable sample existed.
+/// * Estimation errors from the fallback ladder when the loop stops
+///   without any estimate (only possible under a restrictive
+///   [`FallbackPolicy`], or when fewer than ten finite measurements
+///   exist).
 ///
 /// # Examples
 ///
@@ -115,79 +287,226 @@ pub fn run_iterative<M: PerformanceModel>(
             "n_init must be >= 100 and n_delta >= 1".into(),
         ));
     }
-    let pot = PotConfig {
-        confidence: config.confidence,
-        ..PotConfig::default()
+    if config.eval_budget < config.n_init {
+        return Err(CoreError::Domain(format!(
+            "eval_budget {} cannot even cover n_init {}",
+            config.eval_budget, config.n_init
+        )));
+    }
+    if config.stall_rounds == 0 || config.estimate_failure_limit == 0 {
+        return Err(CoreError::Domain(
+            "stall_rounds and estimate_failure_limit must be >= 1".into(),
+        ));
+    }
+    let resilient_cfg = ResilientConfig {
+        base: PotConfig {
+            confidence: config.confidence,
+            ..PotConfig::default()
+        },
+        policy: config.fallback,
+        seed: seed ^ 0xE57,
+        ..ResilientConfig::default()
     };
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
+    let mut events: Vec<DegradationEvent> = Vec::new();
+    let mut trace: Vec<IterationTrace> = Vec::new();
+    let mut attempts_total = 0usize;
+    let mut budget_exhausted = false;
 
     // Step 1: initial sample.
-    let initial = sample_assignments(config.n_init, model.tasks(), model.topology(), &mut rng)?;
-    let perfs: Vec<f64> = initial.iter().map(|a| model.evaluate(a)).collect();
-    let mut study = SampleStudy::from_measurements(initial, perfs)?;
+    let batch = measure_batch(
+        model,
+        config.n_init,
+        config.max_eval_retries,
+        config.eval_budget,
+        &mut rng,
+    )?;
+    attempts_total += batch.attempts;
+    record_batch_events(&mut events, &batch, batch.assignments.len());
+    budget_exhausted |= batch.budget_exhausted;
+    if batch.assignments.is_empty() {
+        return Err(CoreError::Measurement(crate::model::MeasureError::Failed(
+            format!(
+                "evaluation budget of {} attempts produced no successful measurement",
+                config.eval_budget
+            ),
+        )));
+    }
+    let mut study = SampleStudy::from_measurements(batch.assignments, batch.performances)?;
 
-    let mut trace = Vec::new();
+    let mut best_seen = study.best_performance();
+    let mut rounds_without_improvement = 0usize;
+    let mut consecutive_bad_estimates = 0usize;
+    let mut degraded_stopping = false;
+
     loop {
-        // Step 2: estimate the optimal system performance. A sample whose
-        // upper tail does not (yet) support a bounded fit is not a
-        // failure of the algorithm — it is the signal to keep sampling,
-        // so `UnboundedTail` feeds back into Step 4 like an unmet target.
-        let analysis = match study.estimate_optimal(&pot) {
-            Ok(a) => Some(a),
-            Err(CoreError::Evt(optassign_evt::EvtError::UnboundedTail { .. })) => None,
-            Err(e) => return Err(e),
+        // Step 2: estimate the optimal system performance through the
+        // fallback ladder. A sample whose upper tail does not (yet)
+        // support a profile-grade fit is not a failure of the algorithm —
+        // it is the signal to keep sampling, so degraded and failed
+        // estimates feed back into Step 4 like an unmet target.
+        let report = match study.estimate_resilient(&resilient_cfg) {
+            Ok(r) => {
+                if r.is_degraded() {
+                    consecutive_bad_estimates += 1;
+                    events.push(DegradationEvent::EstimateFellBack {
+                        samples: study.len(),
+                        method: r.method.name(),
+                    });
+                } else {
+                    consecutive_bad_estimates = 0;
+                }
+                Some(r)
+            }
+            Err(e) => {
+                consecutive_bad_estimates += 1;
+                events.push(DegradationEvent::EstimateUnusable {
+                    samples: study.len(),
+                    error: e.to_string(),
+                });
+                None
+            }
         };
-        let gap = analysis
+        let certified_gap = report
             .as_ref()
-            .map(|a| a.improvement_headroom())
-            .unwrap_or(f64::INFINITY);
-        if let Some(a) = &analysis {
+            .filter(|r| !r.is_degraded())
+            .map(|r| r.improvement_headroom());
+        if let Some(r) = &report {
             trace.push(IterationTrace {
                 samples: study.len(),
-                best_observed: a.best_observed,
-                estimated_optimal: a.upb.point,
-                gap,
+                best_observed: study.best_performance(),
+                estimated_optimal: r.upb.point,
+                gap: r.improvement_headroom(),
+                method: r.method.name(),
+            });
+        }
+
+        if !degraded_stopping && consecutive_bad_estimates >= config.estimate_failure_limit {
+            degraded_stopping = true;
+            events.push(DegradationEvent::StoppingRuleDegraded {
+                samples: study.len(),
             });
         }
 
         // Step 3: accept or iterate.
-        let converged = gap <= config.acceptable_loss;
-        if converged || study.len() + config.n_delta > config.max_samples {
-            let analysis = match analysis {
-                Some(a) => a,
-                // Terminated at the cap with an unresolved tail: surface
-                // the estimation failure to the caller.
-                None => study.estimate_optimal(&pot)?,
+        let stop = if certified_gap.map(|g| g <= config.acceptable_loss) == Some(true) {
+            Some(StopReason::TargetMet)
+        } else if budget_exhausted {
+            Some(StopReason::EvalBudget)
+        } else if study.len() + config.n_delta > config.max_samples {
+            Some(StopReason::MaxSamples)
+        } else if rounds_without_improvement >= config.stall_rounds {
+            Some(if degraded_stopping {
+                StopReason::RelativeImprovement
+            } else {
+                StopReason::Stalled
+            })
+        } else {
+            None
+        };
+        if let Some(stop) = stop {
+            // Terminating without any estimate this round (a restrictive
+            // policy, or too little finite data): surface the estimation
+            // failure to the caller, like the strict algorithm did.
+            let final_estimate = match report {
+                Some(r) => r,
+                None => study.estimate_resilient(&resilient_cfg)?,
             };
             let best_assignment = study.best_assignment().clone();
             let best_performance = study.best_performance();
             return Ok(IterativeResult {
                 best_assignment,
                 best_performance,
-                final_estimate: analysis,
+                final_estimate,
                 samples_used: study.len(),
-                converged,
+                evaluations: attempts_total,
+                converged: stop == StopReason::TargetMet,
+                stop,
                 trace,
+                events,
             });
         }
 
         // Step 4: extend the sample by N_delta and re-analyze.
-        let extra =
-            sample_assignments(config.n_delta, model.tasks(), model.topology(), &mut rng)?;
-        let extra_perfs: Vec<f64> = extra.iter().map(|a| model.evaluate(a)).collect();
-        study.extend_measured(extra, extra_perfs);
+        let batch = measure_batch(
+            model,
+            config.n_delta,
+            config.max_eval_retries,
+            config.eval_budget - attempts_total,
+            &mut rng,
+        )?;
+        attempts_total += batch.attempts;
+        budget_exhausted |= batch.budget_exhausted;
+        if budget_exhausted {
+            events.push(DegradationEvent::EvalBudgetExhausted {
+                samples: study.len() + batch.assignments.len(),
+                attempts: attempts_total,
+            });
+        }
+        record_batch_events(&mut events, &batch, study.len() + batch.assignments.len());
+        study.extend_measured(batch.assignments, batch.performances);
+
+        let best_now = study.best_performance();
+        if best_now > best_seen * (1.0 + config.min_rel_improvement) {
+            best_seen = best_now;
+            rounds_without_improvement = 0;
+        } else {
+            rounds_without_improvement += 1;
+        }
+    }
+}
+
+fn record_batch_events(events: &mut Vec<DegradationEvent>, batch: &Batch, samples: usize) {
+    if batch.retries > 0 {
+        events.push(DegradationEvent::MeasurementRetried {
+            samples,
+            retries: batch.retries,
+        });
+    }
+    if batch.redrawn > 0 {
+        events.push(DegradationEvent::AssignmentRedrawn {
+            samples,
+            redrawn: batch.redrawn,
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultyModel};
     use crate::model::SyntheticModel;
     use optassign_sim::Topology;
 
     fn model() -> SyntheticModel {
         SyntheticModel::new(Topology::ultrasparc_t2(), 8, 2.0e6)
+    }
+
+    /// Deterministic bounded-tail model with real headroom: performance
+    /// `B·(1 − v^¼)` with `v` a per-assignment hash uniform gives a GPD
+    /// tail of shape −0.25 whose upper bound `B` stays ~20% above any
+    /// feasible sample maximum — so sub-percent gap targets are
+    /// genuinely unreachable (unlike [`SyntheticModel`], whose estimated
+    /// UPB pins to the best observation within 1e-10).
+    struct BoundedTail;
+    impl PerformanceModel for BoundedTail {
+        fn tasks(&self) -> usize {
+            8
+        }
+        fn topology(&self) -> Topology {
+            Topology::ultrasparc_t2()
+        }
+        fn evaluate(&self, assignment: &Assignment) -> f64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for &c in assignment.contexts() {
+                h ^= c as u64 + 1;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h ^= h >> 31;
+            let v = ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+            1.0e6 * (1.0 - v.powf(0.25))
+        }
     }
 
     #[test]
@@ -200,11 +519,15 @@ mod tests {
         };
         let r = run_iterative(&model(), &cfg, 1).unwrap();
         assert!(r.converged);
-        let gap =
-            (r.final_estimate.upb.point - r.best_performance) / r.final_estimate.upb.point;
+        assert_eq!(r.stop, StopReason::TargetMet);
+        let gap = (r.final_estimate.upb.point - r.best_performance) / r.final_estimate.upb.point;
         assert!(gap <= 0.05 + 1e-9, "gap = {gap}");
         assert!(r.samples_used >= 500);
         assert_eq!(r.trace.last().unwrap().samples, r.samples_used);
+        // Clean model: every measurement succeeds on the first try.
+        assert_eq!(r.evaluations, r.samples_used);
+        assert!(r.events.is_empty(), "clean run logged {:?}", r.events);
+        assert!(!r.final_estimate.is_degraded());
     }
 
     #[test]
@@ -252,7 +575,9 @@ mod tests {
             Ok(res) => {
                 assert!(res.samples_used <= 800);
                 if !res.converged {
-                    assert!(res.samples_used + cfg.n_delta > 800);
+                    assert!(
+                        res.samples_used + cfg.n_delta > 800 || res.stop != StopReason::MaxSamples
+                    );
                 }
             }
             Err(e) => panic!("unexpected error: {e}"),
@@ -272,6 +597,16 @@ mod tests {
             ..IterativeConfig::default()
         };
         assert!(run_iterative(&m, &bad_init, 0).is_err());
+        let bad_budget = IterativeConfig {
+            eval_budget: 50,
+            ..IterativeConfig::default()
+        };
+        assert!(run_iterative(&m, &bad_budget, 0).is_err());
+        let bad_stall = IterativeConfig {
+            stall_rounds: 0,
+            ..IterativeConfig::default()
+        };
+        assert!(run_iterative(&m, &bad_stall, 0).is_err());
     }
 
     #[test]
@@ -285,5 +620,159 @@ mod tests {
         let b = run_iterative(&model(), &cfg, 9).unwrap();
         assert_eq!(a.samples_used, b.samples_used);
         assert_eq!(a.best_performance, b.best_performance);
+    }
+
+    #[test]
+    fn survives_light_fault_injection() {
+        let faulty = FaultyModel::new(model(), FaultPlan::light(77));
+        let cfg = IterativeConfig {
+            n_init: 500,
+            n_delta: 100,
+            acceptable_loss: 0.05,
+            ..IterativeConfig::default()
+        };
+        let r = run_iterative(&faulty, &cfg, 10).unwrap();
+        // Failures and retries happened…
+        assert!(r.evaluations > r.samples_used);
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::MeasurementRetried { .. })));
+        // …and the loop still terminated within its budgets.
+        assert!(r.samples_used <= cfg.max_samples);
+        assert!(r.evaluations <= cfg.eval_budget);
+    }
+
+    #[test]
+    fn budget_exhaustion_stops_the_loop_gracefully() {
+        // Half the measurements fail: a tight budget runs out before the
+        // (unreachable) gap target is met.
+        let plan = FaultPlan {
+            fail_rate: 0.5,
+            ..FaultPlan::none(5)
+        };
+        let faulty = FaultyModel::new(BoundedTail, plan);
+        let cfg = IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 1e-9,
+            eval_budget: 1_200,
+            max_samples: 50_000,
+            ..IterativeConfig::default()
+        };
+        let r = run_iterative(&faulty, &cfg, 12).unwrap();
+        assert_eq!(r.stop, StopReason::EvalBudget);
+        assert!(!r.converged);
+        assert!(r.evaluations <= 1_200);
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::EvalBudgetExhausted { .. })));
+    }
+
+    #[test]
+    fn stall_detection_stops_an_unreachable_target() {
+        let cfg = IterativeConfig {
+            n_init: 300,
+            n_delta: 50,
+            acceptable_loss: 1e-9,
+            max_samples: 1_000_000,
+            stall_rounds: 5,
+            min_rel_improvement: 0.05, // 5% per round: unattainable
+            ..IterativeConfig::default()
+        };
+        let r = run_iterative(&BoundedTail, &cfg, 12).unwrap();
+        assert_eq!(r.stop, StopReason::Stalled);
+        assert!(r.samples_used < 10_000, "stall should fire early");
+    }
+
+    #[test]
+    fn degraded_estimates_never_certify_convergence() {
+        // A model with an effectively unbounded upper tail defeats the
+        // profile-grade rungs; the PWM/bootstrap fallbacks report a gap of
+        // ~0 (they cannot see past the data), which must NOT be accepted
+        // as convergence. The loop must instead degrade its stopping rule
+        // and exit via relative improvement.
+        struct HeavyTail;
+        impl PerformanceModel for HeavyTail {
+            fn tasks(&self) -> usize {
+                4
+            }
+            fn topology(&self) -> Topology {
+                Topology::ultrasparc_t2()
+            }
+            fn evaluate(&self, assignment: &Assignment) -> f64 {
+                // Pareto-ish: placement-hashed uniform mapped through a
+                // heavy tail; deterministic per assignment.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                for &c in assignment.contexts() {
+                    h ^= c as u64 + 1;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+                h ^= h >> 31;
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                1.0e3 * (1.0 - u).powf(-0.7)
+            }
+        }
+        let cfg = IterativeConfig {
+            n_init: 400,
+            n_delta: 100,
+            acceptable_loss: 0.05,
+            max_samples: 3_000,
+            stall_rounds: 3,
+            estimate_failure_limit: 2,
+            ..IterativeConfig::default()
+        };
+        let r = run_iterative(&HeavyTail, &cfg, 13).unwrap();
+        assert!(!r.converged, "degraded estimate certified convergence");
+        assert!(matches!(
+            r.stop,
+            StopReason::RelativeImprovement | StopReason::MaxSamples | StopReason::Stalled
+        ));
+        assert!(r
+            .events
+            .iter()
+            .any(|e| matches!(e, DegradationEvent::EstimateFellBack { .. })));
+    }
+
+    #[test]
+    fn strict_policy_reproduces_hard_failure() {
+        // With the ladder disabled, an unresolvable tail is a hard error
+        // at termination, like the pre-ladder algorithm.
+        struct Uniformish;
+        impl PerformanceModel for Uniformish {
+            fn tasks(&self) -> usize {
+                4
+            }
+            fn topology(&self) -> Topology {
+                Topology::ultrasparc_t2()
+            }
+            fn evaluate(&self, assignment: &Assignment) -> f64 {
+                let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+                for &c in assignment.contexts() {
+                    h ^= (c as u64).wrapping_add(0x632B_E59B_D9B4_E019);
+                    h = h.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+                }
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                1.0e3 * (1.0 - u).powf(-0.9) // very heavy tail
+            }
+        }
+        let cfg = IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 0.05,
+            max_samples: 600,
+            fallback: FallbackPolicy::Strict,
+            ..IterativeConfig::default()
+        };
+        match run_iterative(&Uniformish, &cfg, 14) {
+            Err(CoreError::Evt(_)) => {}
+            Ok(r) => {
+                // If strict estimation happened to succeed, it must be the
+                // profile rung.
+                assert!(!r.final_estimate.is_degraded());
+            }
+            Err(e) => panic!("unexpected error kind: {e}"),
+        }
     }
 }

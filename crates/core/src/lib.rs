@@ -47,6 +47,7 @@
 //! ```
 
 pub mod assignment;
+pub mod fault;
 pub mod iterative;
 pub mod model;
 pub mod probability;
@@ -71,6 +72,9 @@ pub enum CoreError {
     Evt(optassign_evt::EvtError),
     /// The underlying simulation failed.
     Sim(optassign_sim::SimError),
+    /// A measurement failed and the configured retry budget could not
+    /// recover it.
+    Measurement(model::MeasureError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -80,6 +84,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Domain(msg) => write!(f, "domain error: {msg}"),
             CoreError::Evt(e) => write!(f, "evt estimation failed: {e}"),
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CoreError::Measurement(e) => write!(f, "measurement failed: {e}"),
         }
     }
 }
@@ -89,8 +94,15 @@ impl std::error::Error for CoreError {
         match self {
             CoreError::Evt(e) => Some(e),
             CoreError::Sim(e) => Some(e),
+            CoreError::Measurement(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<model::MeasureError> for CoreError {
+    fn from(e: model::MeasureError) -> Self {
+        CoreError::Measurement(e)
     }
 }
 

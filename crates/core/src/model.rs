@@ -18,6 +18,35 @@ use crate::assignment::Assignment;
 use optassign_sim::program::Op;
 use optassign_sim::{MachineConfig, Simulator, Topology, WorkloadSpec};
 
+/// Why a single measurement attempt failed.
+///
+/// Real measurement infrastructure drops runs: benchmark processes crash,
+/// timeouts fire, counters wedge. A failed attempt says nothing about the
+/// assignment itself — retrying the same placement may well succeed — so
+/// callers are expected to retry or redraw rather than abort (see
+/// [`crate::iterative::run_iterative`] and
+/// [`crate::study::SampleStudy::run_resilient`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureError {
+    /// The measurement run was lost (crash, timeout, dropped connection).
+    Failed(String),
+    /// The measurement completed but produced a non-finite value.
+    NonFinite(f64),
+}
+
+impl std::fmt::Display for MeasureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MeasureError::Failed(reason) => write!(f, "measurement failed: {reason}"),
+            MeasureError::NonFinite(v) => {
+                write!(f, "measurement produced non-finite value {v}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MeasureError {}
+
 /// Anything that can score a task assignment.
 ///
 /// Implementations must be deterministic: the same assignment always
@@ -41,6 +70,27 @@ pub trait PerformanceModel {
     /// callers are expected to construct assignments through this crate's
     /// validated paths.
     fn evaluate(&self, assignment: &Assignment) -> f64;
+
+    /// Fallible measurement of the assignment.
+    ///
+    /// The default implementation wraps [`PerformanceModel::evaluate`] and
+    /// reports a non-finite result as [`MeasureError::NonFinite`] instead
+    /// of letting it corrupt downstream statistics. Models whose
+    /// measurements can be lost (real hardware, the fault-injecting
+    /// [`crate::fault::FaultyModel`]) override this with a path that can
+    /// return [`MeasureError::Failed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError`] when the measurement is unusable.
+    fn try_evaluate(&self, assignment: &Assignment) -> Result<f64, MeasureError> {
+        let v = self.evaluate(assignment);
+        if v.is_finite() {
+            Ok(v)
+        } else {
+            Err(MeasureError::NonFinite(v))
+        }
+    }
 }
 
 /// Simulator-backed model: every evaluation runs the cycle-approximate
@@ -95,8 +145,12 @@ impl PerformanceModel for SimModel {
     }
 
     fn evaluate(&self, assignment: &Assignment) -> f64 {
-        let sim = Simulator::new(&self.machine, &self.workload, assignment.contexts())
-            .expect("validated assignment and workload");
+        let sim = match Simulator::new(&self.machine, &self.workload, assignment.contexts()) {
+            Ok(sim) => sim,
+            // Assignment validity is enforced at construction; reaching
+            // this means the assignment belongs to a different model.
+            Err(e) => panic!("assignment incompatible with this model: {e}"),
+        };
         sim.run(self.warmup_cycles, self.measure_cycles).pps()
     }
 }
@@ -298,15 +352,10 @@ impl PerformanceModel for AnalyticModel {
             let lsu_factor = lsu_demand[topo.core_of(ctx[t])].max(1.0);
             // L1 pressure: inflate load latency when the core's combined
             // footprint exceeds the L1.
-            let over = (core_footprint[topo.core_of(ctx[t])]
-                / self.machine.l1d_bytes as f64
-                - 1.0)
+            let over = (core_footprint[topo.core_of(ctx[t])] / self.machine.l1d_bytes as f64 - 1.0)
                 .max(0.0);
-            let l1_penalty =
-                s.load_ops * over.min(4.0) * 0.25 * self.machine.lat_l2 as f64;
-            cycles[t] = s.base_cycles * pipe_factor.max(lsu_factor)
-                + l1_penalty
-                + queue_cycles[t];
+            let l1_penalty = s.load_ops * over.min(4.0) * 0.25 * self.machine.lat_l2 as f64;
+            cycles[t] = s.base_cycles * pipe_factor.max(lsu_factor) + l1_penalty + queue_cycles[t];
         }
 
         // Pipeline coupling: instance throughput = slowest stage.
@@ -427,14 +476,13 @@ mod tests {
     use super::*;
     use crate::sampling::random_assignment;
     use optassign_netapps::Benchmark;
-    use rand::SeedableRng;
 
     #[test]
     fn sim_model_is_deterministic() {
         let machine = MachineConfig::ultrasparc_t2();
         let w = Benchmark::IpFwdL1.build_workload(1, 3);
         let model = SimModel::new(machine, w).with_windows(2_000, 10_000);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(1);
         let a = random_assignment(3, model.topology(), &mut rng).unwrap();
         assert_eq!(model.evaluate(&a), model.evaluate(&a));
         assert!(model.evaluate(&a) > 0.0);
@@ -467,7 +515,7 @@ mod tests {
         let w = Benchmark::IpFwdL1.build_workload(4, 5);
         let sim = SimModel::new(machine.clone(), w.clone()).with_windows(5_000, 30_000);
         let ana = AnalyticModel::new(machine, w);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(9);
         let assignments: Vec<Assignment> = (0..12)
             .map(|_| random_assignment(12, sim.topology(), &mut rng).unwrap())
             .collect();

@@ -14,7 +14,7 @@
 use crate::assignment::Assignment;
 use crate::CoreError;
 use optassign_sim::Topology;
-use rand::Rng;
+use optassign_stats::rng::Rng;
 
 /// Draws one random valid assignment of `tasks` tasks, uniformly over all
 /// placements onto distinct contexts — the distribution of the paper's
@@ -30,9 +30,8 @@ use rand::Rng;
 /// ```
 /// use optassign::sampling::random_assignment;
 /// use optassign::Topology;
-/// use rand::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = optassign_stats::rng::StdRng::seed_from_u64(1);
 /// let a = random_assignment(24, Topology::ultrasparc_t2(), &mut rng).unwrap();
 /// assert_eq!(a.tasks(), 24);
 /// ```
@@ -83,7 +82,6 @@ pub fn sample_assignments<R: Rng + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn t2() -> Topology {
         Topology::ultrasparc_t2()
@@ -91,7 +89,7 @@ mod tests {
 
     #[test]
     fn assignments_are_valid() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(2);
         for _ in 0..100 {
             let a = random_assignment(24, t2(), &mut rng).unwrap();
             let mut seen = std::collections::HashSet::new();
@@ -104,7 +102,7 @@ mod tests {
 
     #[test]
     fn full_machine_is_a_permutation() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(3);
         let a = random_assignment(64, t2(), &mut rng).unwrap();
         let mut contexts: Vec<usize> = a.contexts().to_vec();
         contexts.sort_unstable();
@@ -113,14 +111,14 @@ mod tests {
 
     #[test]
     fn infeasible_when_too_many_tasks() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(4);
         assert!(random_assignment(65, t2(), &mut rng).is_err());
     }
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let mut a = rand::rngs::StdRng::seed_from_u64(5);
-        let mut b = rand::rngs::StdRng::seed_from_u64(5);
+        let mut a = optassign_stats::rng::StdRng::seed_from_u64(5);
+        let mut b = optassign_stats::rng::StdRng::seed_from_u64(5);
         let s1 = sample_assignments(10, 12, t2(), &mut a).unwrap();
         let s2 = sample_assignments(10, 12, t2(), &mut b).unwrap();
         assert_eq!(s1, s2);
@@ -130,7 +128,7 @@ mod tests {
     fn marginal_distribution_is_uniform() {
         // Each task's context should be uniform over 0..V. Check task 0
         // over many draws with a chi-square-style bound.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(6);
         let mut counts = vec![0usize; 64];
         const N: usize = 64_000;
         for _ in 0..N {
@@ -150,7 +148,7 @@ mod tests {
     fn pairs_land_on_same_pipe_at_expected_rate() {
         // For 2 tasks on the T2, P(same pipe) = 3/63 (3 other contexts in
         // the first task's pipe out of 63 remaining).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(7);
         let mut same_pipe = 0usize;
         const N: usize = 40_000;
         let topo = t2();
@@ -172,10 +170,9 @@ mod tests {
     fn duplicates_possible_with_replacement() {
         // With only 3 equivalence classes for 2 tasks, a modest sample must
         // contain repeated canonical keys (sampling with replacement).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(8);
         let sample = sample_assignments(50, 2, t2(), &mut rng).unwrap();
-        let keys: std::collections::HashSet<_> =
-            sample.iter().map(|a| a.canonical_key()).collect();
+        let keys: std::collections::HashSet<_> = sample.iter().map(|a| a.canonical_key()).collect();
         assert!(keys.len() <= 3);
         assert!(sample.len() > keys.len());
     }

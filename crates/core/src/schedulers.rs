@@ -11,7 +11,7 @@ use crate::model::PerformanceModel;
 use crate::sampling::random_assignment;
 use crate::CoreError;
 use optassign_sim::Topology;
-use rand::Rng;
+use optassign_stats::rng::Rng;
 
 /// Naive scheduler: one uniformly random valid assignment.
 ///
@@ -93,7 +93,7 @@ pub fn best_of_sample<M: PerformanceModel, R: Rng + ?Sized>(
             best = Some((a, p));
         }
     }
-    Ok(best.expect("n >= 1"))
+    best.ok_or_else(|| CoreError::Domain("sample size must be non-zero".into()))
 }
 
 /// Local-search scheduler: hill climbing over single-task moves.
@@ -115,7 +115,9 @@ pub fn local_search<M: PerformanceModel, R: Rng + ?Sized>(
     rng: &mut R,
 ) -> Result<(Assignment, f64), CoreError> {
     if max_evaluations == 0 {
-        return Err(CoreError::Domain("evaluation budget must be non-zero".into()));
+        return Err(CoreError::Domain(
+            "evaluation budget must be non-zero".into(),
+        ));
     }
     let topo = model.topology();
     let v = topo.contexts();
@@ -185,7 +187,6 @@ pub fn exhaustive_optimal<M: PerformanceModel>(
 mod tests {
     use super::*;
     use crate::model::SyntheticModel;
-    use rand::SeedableRng;
 
     fn t2() -> Topology {
         Topology::ultrasparc_t2()
@@ -230,7 +231,7 @@ mod tests {
     #[test]
     fn best_of_sample_beats_naive_on_average() {
         let m = SyntheticModel::new(t2(), 8, 1.0e6);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(1);
         let mut naive_sum = 0.0;
         let mut best_sum = 0.0;
         for _ in 0..10 {
@@ -269,22 +270,19 @@ mod tests {
     #[test]
     fn local_search_improves_over_its_start_and_beats_naive() {
         let m = SyntheticModel::new(t2(), 8, 1.0e6);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(3);
         let (a, p) = local_search(&m, 300, &mut rng).unwrap();
         assert_eq!(a.tasks(), 8);
         // On the synthetic model, 300 greedy evaluations should land very
         // close to the zero-sharing optimum.
-        assert!(
-            p > 0.96 * m.true_optimum(),
-            "local search reached only {p}"
-        );
+        assert!(p > 0.96 * m.true_optimum(), "local search reached only {p}");
         assert!(local_search(&m, 0, &mut rng).is_err());
     }
 
     #[test]
     fn best_of_sample_rejects_zero() {
         let m = SyntheticModel::new(t2(), 3, 1.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(2);
         assert!(best_of_sample(&m, 0, &mut rng).is_err());
     }
 

@@ -91,7 +91,14 @@ pub fn count_assignments(tasks: usize, topology: Topology) -> Result<UBig, CoreE
         memo[n][c] = Some(total.clone());
         total
     }
-    Ok(rec(tasks, topology.cores, per_core, &ways, &choose, &mut memo))
+    Ok(rec(
+        tasks,
+        topology.cores,
+        per_core,
+        &ways,
+        &choose,
+        &mut memo,
+    ))
 }
 
 /// Number of set partitions of `k` labeled tasks into at most `pipes`
@@ -118,7 +125,8 @@ fn core_partitions(k: usize, pipes: usize, strands: usize) -> u64 {
         // companions (j more elements from remaining - 1).
         let mut total = 0;
         for j in 0..strands.min(remaining) {
-            total += choose_u64(remaining - 1, j) * rec(remaining - 1 - j, blocks_left - 1, strands);
+            total +=
+                choose_u64(remaining - 1, j) * rec(remaining - 1 - j, blocks_left - 1, strands);
         }
         total
     }
@@ -144,7 +152,7 @@ fn binomial_table(rows: usize) -> Vec<Vec<u64>> {
     for n in 0..=rows {
         table[n][0] = 1;
         for k in 1..=n {
-            table[n][k] = table[n - 1][k - 1] + if k <= n - 1 { table[n - 1][k] } else { 0 };
+            table[n][k] = table[n - 1][k - 1] + if k < n { table[n - 1][k] } else { 0 };
         }
     }
     table
@@ -193,7 +201,13 @@ pub fn enumerate_assignments(
     // strands_per_pipe (blocks ordered by smallest element — canonical).
     let mut partitions: Vec<Vec<Vec<usize>>> = Vec::new();
     let mut current: Vec<Vec<usize>> = Vec::new();
-    partition_rec(0, tasks, topology.strands_per_pipe, &mut current, &mut partitions);
+    partition_rec(
+        0,
+        tasks,
+        topology.strands_per_pipe,
+        &mut current,
+        &mut partitions,
+    );
 
     // Step 2: group blocks (pipes) into cores: at most pipes_per_core
     // blocks per core, at most `cores` cores, cores unordered. Anchor the
@@ -203,7 +217,7 @@ pub fn enumerate_assignments(
     for blocks in &partitions {
         let mut grouping: Vec<Vec<usize>> = Vec::new(); // core -> block ids
         group_rec(
-            &mut (0..blocks.len()).collect::<Vec<_>>(),
+            &(0..blocks.len()).collect::<Vec<_>>(),
             topology.pipes_per_core,
             topology.cores,
             &mut grouping,
@@ -215,15 +229,15 @@ pub fn enumerate_assignments(
                 for (core_idx, block_ids) in grouping.iter().enumerate() {
                     for (pipe_idx, &b) in block_ids.iter().enumerate() {
                         for (slot, &task) in blocks[b].iter().enumerate() {
-                            contexts[task] =
-                                topology.context_at(core_idx, pipe_idx, slot);
+                            contexts[task] = topology.context_at(core_idx, pipe_idx, slot);
                         }
                     }
                 }
-                out.push(
-                    Assignment::new(contexts, topology)
-                        .expect("enumeration produces valid assignments"),
-                );
+                match Assignment::new(contexts, topology) {
+                    Ok(a) => out.push(a),
+                    // Contexts are enumerated from the topology itself.
+                    Err(e) => unreachable!("enumeration produces valid assignments: {e}"),
+                }
             },
         );
     }
@@ -260,7 +274,7 @@ fn partition_rec(
 /// lowest remaining block anchors a new core; companions are chosen as
 /// increasing subsets of the higher-indexed remaining blocks.
 fn group_rec(
-    remaining: &mut Vec<usize>,
+    remaining: &[usize],
     pipes_per_core: usize,
     cores_left: usize,
     grouping: &mut Vec<Vec<usize>>,
@@ -281,14 +295,14 @@ fn group_rec(
         combinations(&rest, companion_count, &mut |combo| {
             let mut core = vec![anchor];
             core.extend_from_slice(combo);
-            let mut next_remaining: Vec<usize> = rest
+            let next_remaining: Vec<usize> = rest
                 .iter()
                 .copied()
                 .filter(|b| !combo.contains(b))
                 .collect();
             grouping.push(core);
             group_rec(
-                &mut next_remaining,
+                &next_remaining,
                 pipes_per_core,
                 cores_left - 1,
                 grouping,
@@ -484,8 +498,6 @@ mod tests {
         let row = table1_row(3, t2()).unwrap();
         assert_eq!(row.tasks, 3);
         assert!((row.execute_all_years - 11.0 / SECONDS_PER_YEAR).abs() < 1e-12);
-        assert!(
-            (row.predict_all_years - 11.0e-6 / SECONDS_PER_YEAR).abs() < 1e-18
-        );
+        assert!((row.predict_all_years - 11.0e-6 / SECONDS_PER_YEAR).abs() < 1e-18);
     }
 }

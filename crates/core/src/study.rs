@@ -8,11 +8,33 @@
 //! re-measuring.
 
 use crate::assignment::Assignment;
-use crate::model::PerformanceModel;
-use crate::sampling::sample_assignments;
+use crate::model::{MeasureError, PerformanceModel};
+use crate::sampling::{random_assignment, sample_assignments};
 use crate::CoreError;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
-use rand::SeedableRng;
+use optassign_evt::resilient::{estimate_resilient, EstimateReport, ResilientConfig};
+
+/// Bookkeeping from a fault-tolerant measurement campaign
+/// (see [`SampleStudy::run_resilient`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MeasurementLog {
+    /// Total measurement attempts, including failures.
+    pub attempts: usize,
+    /// Attempts beyond the first for assignments that were eventually
+    /// measured (the retry overhead).
+    pub retries: usize,
+    /// Assignments abandoned after the per-assignment retry budget and
+    /// replaced by a fresh draw.
+    pub redrawn: usize,
+}
+
+impl MeasurementLog {
+    /// Attempts consumed beyond the one-per-sample minimum — the paper's
+    /// "extra samples" cost of running on faulty infrastructure.
+    pub fn extra_attempts(&self, n: usize) -> usize {
+        self.attempts.saturating_sub(n)
+    }
+}
 
 /// A measured sample of random task assignments.
 #[derive(Debug, Clone)]
@@ -41,7 +63,7 @@ impl SampleStudy {
     /// assert!(study.best_performance() <= 1.0e6);
     /// ```
     pub fn run<M: PerformanceModel>(model: &M, n: usize, seed: u64) -> Result<Self, CoreError> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
         let assignments = sample_assignments(n, model.tasks(), model.topology(), &mut rng)?;
         let performances = assignments.iter().map(|a| model.evaluate(a)).collect();
         Ok(SampleStudy {
@@ -50,13 +72,79 @@ impl SampleStudy {
         })
     }
 
+    /// Measures `n` assignments through the fallible
+    /// [`PerformanceModel::try_evaluate`] path, retrying failed
+    /// measurements and redrawing assignments whose retry budget is
+    /// exhausted.
+    ///
+    /// Each drawn assignment gets `1 + max_retries` measurement attempts;
+    /// if all fail, the draw is abandoned and a fresh assignment is drawn
+    /// in its place (a failed attempt says nothing about the placement, so
+    /// redrawing preserves the iid sampling the estimator needs). On a
+    /// model whose measurements never fail, this produces *exactly* the
+    /// same study as [`SampleStudy::run`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::Infeasible`] — the workload does not fit the machine.
+    /// * [`CoreError::Measurement`] — the total attempt budget
+    ///   (`4 × n × (1 + max_retries)`, floored at 64) was exhausted before
+    ///   `n` measurements succeeded; the last failure is attached.
+    pub fn run_resilient<M: PerformanceModel>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        max_retries: usize,
+    ) -> Result<(Self, MeasurementLog), CoreError> {
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
+        let mut assignments = Vec::with_capacity(n);
+        let mut performances = Vec::with_capacity(n);
+        let mut log = MeasurementLog::default();
+        let budget = (4 * n * (1 + max_retries)).max(64);
+        let mut last_err = MeasureError::Failed("no measurement attempted".into());
+        while assignments.len() < n {
+            let a = random_assignment(model.tasks(), model.topology(), &mut rng)?;
+            let mut measured = None;
+            for attempt in 0..=max_retries {
+                if log.attempts >= budget {
+                    return Err(CoreError::Measurement(MeasureError::Failed(format!(
+                        "measurement budget of {budget} attempts exhausted with \
+                         {}/{n} samples collected; last error: {last_err}",
+                        assignments.len()
+                    ))));
+                }
+                log.attempts += 1;
+                match model.try_evaluate(&a) {
+                    Ok(v) => {
+                        log.retries += attempt;
+                        measured = Some(v);
+                        break;
+                    }
+                    Err(e) => last_err = e,
+                }
+            }
+            match measured {
+                Some(v) => {
+                    assignments.push(a);
+                    performances.push(v);
+                }
+                None => log.redrawn += 1,
+            }
+        }
+        let study = SampleStudy::from_measurements(assignments, performances)?;
+        Ok((study, log))
+    }
+
     /// Wraps externally measured data (e.g. measurements reused across
     /// studies, or real-hardware numbers).
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::Domain`] when the vectors disagree in length or
-    /// are empty.
+    /// are empty, and [`CoreError::Measurement`] when a performance value
+    /// is non-finite — a NaN admitted here would surface much later as a
+    /// comparison panic or a corrupted tail fit, so ingestion is where it
+    /// is rejected.
     pub fn from_measurements(
         assignments: Vec<Assignment>,
         performances: Vec<f64>,
@@ -67,6 +155,9 @@ impl SampleStudy {
                 assignments.len(),
                 performances.len()
             )));
+        }
+        if let Some(&bad) = performances.iter().find(|p| !p.is_finite()) {
+            return Err(CoreError::Measurement(MeasureError::NonFinite(bad)));
         }
         Ok(SampleStudy {
             assignments,
@@ -103,13 +194,20 @@ impl SampleStudy {
     }
 
     /// The best-performing assignment in the sample.
+    ///
+    /// Cannot panic: non-finite performances (which ingestion rejects, but
+    /// a custom [`PerformanceModel::evaluate`] could still emit through
+    /// [`SampleStudy::run`]) are skipped rather than compared, matching
+    /// [`SampleStudy::best_performance`]'s NaN-ignoring maximum.
     pub fn best_assignment(&self) -> &Assignment {
-        let (idx, _) = self
-            .performances
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite performances"))
-            .expect("study is non-empty");
+        let mut idx = 0;
+        let mut best = f64::NEG_INFINITY;
+        for (i, &p) in self.performances.iter().enumerate() {
+            if p.is_finite() && p > best {
+                best = p;
+                idx = i;
+            }
+        }
         &self.assignments[idx]
     }
 
@@ -143,6 +241,24 @@ impl SampleStudy {
     /// Propagates estimation failures (too little data, unbounded tail).
     pub fn estimate_optimal(&self, config: &PotConfig) -> Result<PotAnalysis, CoreError> {
         PotAnalysis::run(&self.performances, config).map_err(CoreError::from)
+    }
+
+    /// Runs the resilient estimation ladder
+    /// ([`optassign_evt::resilient::estimate_resilient`]) over this study's
+    /// measurements. On clean data the result is identical to
+    /// [`SampleStudy::estimate_optimal`]; on contaminated or degenerate
+    /// data it degrades through the fallback ladder instead of failing,
+    /// and the returned report says which estimator actually ran.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ladder failures (fewer than ten finite observations, or
+    /// a restrictive [`optassign_evt::resilient::FallbackPolicy`]).
+    pub fn estimate_resilient(
+        &self,
+        config: &ResilientConfig,
+    ) -> Result<EstimateReport, CoreError> {
+        estimate_resilient(&self.performances, config).map_err(CoreError::from)
     }
 
     /// The paper's Figure 12 metric for this study: estimated headroom
@@ -233,13 +349,90 @@ mod tests {
     fn from_measurements_validates() {
         let m = model();
         let s = SampleStudy::run(&m, 10, 5).unwrap();
-        let ok = SampleStudy::from_measurements(
-            s.assignments().to_vec(),
-            s.performances().to_vec(),
-        );
+        let ok =
+            SampleStudy::from_measurements(s.assignments().to_vec(), s.performances().to_vec());
         assert!(ok.is_ok());
         assert!(SampleStudy::from_measurements(s.assignments().to_vec(), vec![1.0]).is_err());
         assert!(SampleStudy::from_measurements(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn from_measurements_rejects_non_finite() {
+        let m = model();
+        let s = SampleStudy::run(&m, 10, 5).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut perfs = s.performances().to_vec();
+            perfs[4] = bad;
+            match SampleStudy::from_measurements(s.assignments().to_vec(), perfs) {
+                Err(CoreError::Measurement(crate::model::MeasureError::NonFinite(_))) => {}
+                other => panic!("expected NonFinite rejection, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn resilient_run_on_clean_model_matches_plain_run() {
+        let m = model();
+        let plain = SampleStudy::run(&m, 120, 11).unwrap();
+        let (resilient, log) = SampleStudy::run_resilient(&m, 120, 11, 3).unwrap();
+        assert_eq!(plain.performances(), resilient.performances());
+        assert_eq!(plain.assignments(), resilient.assignments());
+        assert_eq!(log.attempts, 120);
+        assert_eq!(log.retries, 0);
+        assert_eq!(log.redrawn, 0);
+        assert_eq!(log.extra_attempts(120), 0);
+    }
+
+    #[test]
+    fn resilient_run_recovers_from_injected_faults() {
+        use crate::fault::{FaultPlan, FaultyModel};
+        let m = FaultyModel::new(model(), FaultPlan::light(3));
+        let (study, log) = SampleStudy::run_resilient(&m, 400, 12, 3).unwrap();
+        assert_eq!(study.len(), 400);
+        assert!(study.performances().iter().all(|p| p.is_finite()));
+        // A 1% failure rate over 400 draws virtually guarantees retries.
+        assert!(log.attempts > 400, "attempts = {}", log.attempts);
+        assert!(log.retries > 0);
+    }
+
+    #[test]
+    fn resilient_run_errors_when_budget_exhausted() {
+        use crate::fault::{FaultPlan, FaultyModel};
+        // Every measurement fails: the attempt budget must trip, typed.
+        let plan = FaultPlan {
+            fail_rate: 1.0,
+            ..FaultPlan::none(1)
+        };
+        let m = FaultyModel::new(model(), plan);
+        match SampleStudy::run_resilient(&m, 50, 13, 2) {
+            Err(CoreError::Measurement(_)) => {}
+            other => panic!("expected Measurement error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resilient_estimate_matches_strict_on_clean_study() {
+        let m = model();
+        let s = SampleStudy::run(&m, 2000, 14).unwrap();
+        let strict = s.estimate_optimal(&PotConfig::default()).unwrap();
+        let report = s
+            .estimate_resilient(&optassign_evt::ResilientConfig::default())
+            .unwrap();
+        assert_eq!(report.upb.point, strict.upb.point);
+        assert!(!report.is_degraded());
+    }
+
+    #[test]
+    fn best_assignment_skips_non_finite_without_panicking() {
+        let m = model();
+        let s = SampleStudy::run(&m, 20, 15).unwrap();
+        // Build a study with a NaN smuggled in past ingestion.
+        let mut smuggled = s.clone();
+        smuggled.performances[0] = f64::NAN;
+        let best = smuggled.best_assignment();
+        let best_perf = smuggled.best_performance();
+        assert!(best_perf.is_finite());
+        assert_eq!(m.evaluate(best), best_perf);
     }
 
     #[test]

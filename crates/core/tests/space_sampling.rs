@@ -4,7 +4,6 @@
 use optassign::sampling::sample_assignments;
 use optassign::space::{count_assignments, enumerate_assignments};
 use optassign::Topology;
-use rand::SeedableRng;
 use std::collections::HashMap;
 
 /// Counting and enumeration agree on several non-T2 topologies.
@@ -25,9 +24,7 @@ fn count_matches_enumeration_on_other_machines() {
                 .unwrap()
                 .to_u64()
                 .expect("small spaces fit u64");
-            let enumerated = enumerate_assignments(tasks, topo, 1_000_000)
-                .unwrap()
-                .len() as u64;
+            let enumerated = enumerate_assignments(tasks, topo, 1_000_000).unwrap().len() as u64;
             assert_eq!(counted, enumerated, "{topo:?} tasks={tasks}");
         }
     }
@@ -40,7 +37,7 @@ fn count_matches_enumeration_on_other_machines() {
 #[test]
 fn class_frequencies_match_combinatorics() {
     let topo = Topology::ultrasparc_t2();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(11);
     let mut counts: HashMap<&'static str, usize> = HashMap::new();
     const N: usize = 30_000;
     for a in sample_assignments(N, 2, topo, &mut rng).unwrap() {
@@ -56,7 +53,11 @@ fn class_frequencies_match_combinatorics() {
     }
     // Exact probabilities: second task falls among the 63 remaining
     // contexts: 3 share the pipe, 4 share the core only, 56 elsewhere.
-    let expect = [("pipe", 3.0 / 63.0), ("core", 4.0 / 63.0), ("chip", 56.0 / 63.0)];
+    let expect = [
+        ("pipe", 3.0 / 63.0),
+        ("core", 4.0 / 63.0),
+        ("chip", 56.0 / 63.0),
+    ];
     for (key, p) in expect {
         let observed = *counts.get(key).unwrap_or(&0) as f64 / N as f64;
         assert!(
@@ -78,11 +79,10 @@ fn six_task_space_exact() {
     );
     let classes = enumerate_assignments(6, topo, 10_000).unwrap();
     assert_eq!(classes.len(), 1526);
-    let keys: std::collections::HashSet<_> =
-        classes.iter().map(|a| a.canonical_key()).collect();
+    let keys: std::collections::HashSet<_> = classes.iter().map(|a| a.canonical_key()).collect();
     assert_eq!(keys.len(), 1526);
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(13);
     for a in sample_assignments(300, 6, topo, &mut rng).unwrap() {
         assert!(keys.contains(&a.canonical_key()));
     }

@@ -97,11 +97,10 @@ pub struct BlockMaximaFit {
 /// ```
 /// use optassign_evt::block_maxima::fit_block_maxima;
 /// use optassign_evt::gpd::Gpd;
-/// use rand::SeedableRng;
 ///
 /// // Bounded data: true upper endpoint 10 + 1/0.4 = 12.5.
 /// let g = Gpd::new(-0.4, 1.0).unwrap();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = optassign_stats::rng::StdRng::seed_from_u64(3);
 /// let sample: Vec<f64> = (0..4000).map(|_| 10.0 + g.sample(&mut rng)).collect();
 /// let fit = fit_block_maxima(&sample, 50).unwrap();
 /// assert!((fit.upper_bound - 12.5).abs() < 0.5);
@@ -132,11 +131,8 @@ pub fn fit_block_maxima(sample: &[f64], block_size: usize) -> Result<BlockMaxima
 
     // Moment-based starting point (Gumbel approximations).
     let mean = maxima.iter().sum::<f64>() / maxima.len() as f64;
-    let var = maxima
-        .iter()
-        .map(|&x| (x - mean) * (x - mean))
-        .sum::<f64>()
-        / (maxima.len() - 1) as f64;
+    let var =
+        maxima.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / (maxima.len() - 1) as f64;
     let sigma0 = (var.max(1e-300) * 6.0).sqrt() / std::f64::consts::PI;
     let mu0 = mean - 0.5772 * sigma0;
 
@@ -175,16 +171,16 @@ pub fn fit_block_maxima(sample: &[f64], block_size: usize) -> Result<BlockMaxima
             }
         }
     }
-    let best = best
-        .ok_or_else(|| EvtError::Numerical("no finite GEV likelihood from any start".into()))?;
+    let best =
+        best.ok_or_else(|| EvtError::Numerical("no finite GEV likelihood from any start".into()))?;
     let gev = Gev {
         location: best.x[0],
         scale: best.x[1],
         shape: best.x[2],
     };
-    let upper = gev.upper_bound().ok_or(EvtError::UnboundedTail {
-        shape: gev.shape,
-    })?;
+    let upper = gev
+        .upper_bound()
+        .ok_or(EvtError::UnboundedTail { shape: gev.shape })?;
     Ok(BlockMaximaFit {
         gev,
         block_size,
@@ -198,11 +194,10 @@ pub fn fit_block_maxima(sample: &[f64], block_size: usize) -> Result<BlockMaxima
 mod tests {
     use super::*;
     use crate::gpd::Gpd;
-    use rand::SeedableRng;
 
     fn bounded(n: usize, seed: u64) -> Vec<f64> {
         let g = Gpd::new(-0.35, 1.5).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
         (0..n).map(|_| 20.0 + g.sample(&mut rng)).collect()
     }
 
@@ -254,10 +249,14 @@ mod tests {
     fn agrees_with_pot_estimate() {
         let sample = bounded(5000, 2);
         let bm = fit_block_maxima(&sample, 50).unwrap();
-        let pot = crate::pot::PotAnalysis::run(&sample, &crate::pot::PotConfig::default())
-            .unwrap();
+        let pot = crate::pot::PotAnalysis::run(&sample, &crate::pot::PotConfig::default()).unwrap();
         let rel = (bm.upper_bound - pot.upb.point).abs() / pot.upb.point;
-        assert!(rel < 0.03, "block-maxima {} vs POT {}", bm.upper_bound, pot.upb.point);
+        assert!(
+            rel < 0.03,
+            "block-maxima {} vs POT {}",
+            bm.upper_bound,
+            pot.upb.point
+        );
     }
 
     #[test]

@@ -10,8 +10,7 @@
 //! can demonstrate the gap (see `crates/bench/src/bin/ablation_bootstrap.rs`).
 
 use crate::EvtError;
-use rand::Rng;
-use rand::SeedableRng;
+use optassign_stats::rng::Rng;
 
 /// Result of bootstrapping the sample maximum.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,7 +65,7 @@ pub fn bootstrap_max(
     if replicates == 0 {
         return Err(EvtError::Domain("replicates must be non-zero"));
     }
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
     let n = sample.len();
     let mut maxima = Vec::with_capacity(replicates);
     for _ in 0..replicates {
@@ -79,7 +78,7 @@ pub fn bootstrap_max(
         }
         maxima.push(m);
     }
-    maxima.sort_by(|a, b| a.partial_cmp(b).expect("finite maxima"));
+    maxima.sort_by(f64::total_cmp);
     let alpha = 1.0 - confidence;
     let lo_idx = ((alpha / 2.0) * replicates as f64) as usize;
     let hi_idx = (((1.0 - alpha / 2.0) * replicates as f64) as usize).min(replicates - 1);
@@ -101,7 +100,7 @@ mod tests {
 
     fn bounded_sample(n: usize, seed: u64) -> Vec<f64> {
         let g = Gpd::new(-0.4, 1.0).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
         (0..n).map(|_| 10.0 + g.sample(&mut rng)).collect()
     }
 

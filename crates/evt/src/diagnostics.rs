@@ -71,10 +71,9 @@ impl QuantilePlot {
 /// ```
 /// use optassign_evt::gpd::Gpd;
 /// use optassign_evt::diagnostics::ks_distance;
-/// use rand::SeedableRng;
 ///
 /// let g = Gpd::new(-0.3, 1.0).unwrap();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = optassign_stats::rng::StdRng::seed_from_u64(2);
 /// let ys = g.sample_n(&mut rng, 2000);
 /// let d = ks_distance(&ys, &g).unwrap();
 /// assert!(d < 0.05, "self-sample should fit well, d = {d}");
@@ -101,10 +100,9 @@ pub fn ks_distance(sample: &[f64], gpd: &Gpd) -> Result<f64, EvtError> {
 /// ```
 /// use optassign_evt::gpd::Gpd;
 /// use optassign_evt::diagnostics::anderson_darling;
-/// use rand::SeedableRng;
 ///
 /// let g = Gpd::new(-0.3, 1.0).unwrap();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+/// let mut rng = optassign_stats::rng::StdRng::seed_from_u64(8);
 /// let ys = g.sample_n(&mut rng, 1000);
 /// let a2 = anderson_darling(&ys, &g).unwrap();
 /// assert!(a2 < 2.5, "self-sample should fit, A^2 = {a2}");
@@ -125,9 +123,7 @@ pub fn anderson_darling(sample: &[f64], gpd: &Gpd) -> Result<f64, EvtError> {
         let z = gpd.cdf(y).clamp(0.0, 1.0);
         let z_rev = gpd.cdf(sorted[n - 1 - i]).clamp(0.0, 1.0);
         if z <= 0.0 || z_rev >= 1.0 {
-            return Err(EvtError::Domain(
-                "observation outside the model's support",
-            ));
+            return Err(EvtError::Domain("observation outside the model's support"));
         }
         let weight = (2 * (i + 1) - 1) as f64;
         acc += weight * (z.ln() + (1.0 - z_rev).ln());
@@ -138,11 +134,10 @@ pub fn anderson_darling(sample: &[f64], gpd: &Gpd) -> Result<f64, EvtError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
         let g = Gpd::new(shape, scale).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
         g.sample_n(&mut rng, n)
     }
 
@@ -185,7 +180,10 @@ mod tests {
         let a_right = anderson_darling(&ys, &right).unwrap();
         let a_wrong = anderson_darling(&ys, &wrong).unwrap();
         assert!(a_right < 2.5, "A^2 = {a_right}");
-        assert!(a_wrong > a_right * 5.0, "right {a_right} vs wrong {a_wrong}");
+        assert!(
+            a_wrong > a_right * 5.0,
+            "right {a_right} vs wrong {a_wrong}"
+        );
     }
 
     #[test]

@@ -59,10 +59,9 @@ pub const MIN_EXCEEDANCES: usize = 10;
 /// ```
 /// use optassign_evt::gpd::Gpd;
 /// use optassign_evt::fit::fit_mle;
-/// use rand::SeedableRng;
 ///
 /// let truth = Gpd::new(-0.35, 2.0).unwrap();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = optassign_stats::rng::StdRng::seed_from_u64(3);
 /// let ys = truth.sample_n(&mut rng, 4000);
 /// let fit = fit_mle(&ys).unwrap();
 /// assert!((fit.gpd.shape() - -0.35).abs() < 0.05);
@@ -70,7 +69,6 @@ pub const MIN_EXCEEDANCES: usize = 10;
 /// ```
 pub fn fit_mle(exceedances: &[f64]) -> Result<GpdFit, EvtError> {
     validate(exceedances)?;
-    let m = exceedances.len();
     let y_max = exceedances.iter().copied().fold(0.0f64, f64::max);
 
     // PWM starting point, with a safe fallback.
@@ -87,6 +85,74 @@ pub fn fit_mle(exceedances: &[f64]) -> Result<GpdFit, EvtError> {
         Err(_) => (-0.1, y_max / 2.0),
     };
 
+    // Multi-start: the PWM point plus a couple of conservative alternatives;
+    // the likelihood surface can have a boundary ridge for ξ near −1.
+    let starts = [start, (-0.05, y_max * 0.5), (-0.5, y_max * 0.75)];
+    let opts = search_options();
+    mle_search(exceedances, y_max, &starts, &opts)
+}
+
+/// [`fit_mle`] with additional seeded restarts from perturbed initial
+/// simplices — the resilient pipeline's second rung.
+///
+/// The plain estimator already multi-starts from the PWM point; when that
+/// still fails to find a finite likelihood (heavily tied or contaminated
+/// exceedances can defeat every deterministic start), this estimator keeps
+/// trying from `restarts` randomized starting points, also randomizing the
+/// Nelder–Mead initial simplex size. The search is deterministic given
+/// `seed`. When the plain estimator succeeds, its result is returned
+/// unchanged, so clean inputs are bit-identical to [`fit_mle`].
+///
+/// # Errors
+///
+/// Data-validity errors are returned immediately (restarts cannot fix
+/// them); [`EvtError::Numerical`] only after every restart failed.
+pub fn fit_mle_restarts(
+    exceedances: &[f64],
+    restarts: usize,
+    seed: u64,
+) -> Result<GpdFit, EvtError> {
+    let base_err = match fit_mle(exceedances) {
+        Ok(fit) => return Ok(fit),
+        // Only a numerical search failure is retryable.
+        Err(e @ EvtError::Numerical(_)) => e,
+        Err(e) => return Err(e),
+    };
+    let y_max = exceedances.iter().copied().fold(0.0f64, f64::max);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
+    use optassign_stats::rng::Rng;
+    let mut last_err = base_err;
+    for _ in 0..restarts {
+        let start = (rng.gen_range(-0.95..0.5), y_max * rng.gen_range(0.05..2.0));
+        let opts = Options {
+            initial_step: rng.gen_range(0.02..0.5),
+            ..search_options()
+        };
+        match mle_search(exceedances, y_max, &[start], &opts) {
+            Ok(fit) => return Ok(fit),
+            Err(e) => last_err = e,
+        }
+    }
+    Err(last_err)
+}
+
+fn search_options() -> Options {
+    Options {
+        max_iter: 5_000,
+        x_tol: 1e-9,
+        f_tol: 1e-10,
+        ..Options::default()
+    }
+}
+
+/// Runs the Nelder–Mead likelihood search from each start and keeps the
+/// best finite minimum.
+fn mle_search(
+    exceedances: &[f64],
+    y_max: f64,
+    starts: &[(f64, f64)],
+    opts: &Options,
+) -> Result<GpdFit, EvtError> {
     let neg_ll = |p: &[f64]| -> f64 {
         let (xi, sigma) = (p[0], p[1]);
         if sigma <= 0.0 {
@@ -108,28 +174,13 @@ pub fn fit_mle(exceedances: &[f64]) -> Result<GpdFit, EvtError> {
         }
     };
 
-    let opts = Options {
-        max_iter: 5_000,
-        x_tol: 1e-9,
-        f_tol: 1e-10,
-        ..Options::default()
-    };
     let mut best: Option<neldermead::Minimum> = None;
-    // Multi-start: the PWM point plus a couple of conservative alternatives;
-    // the likelihood surface can have a boundary ridge for ξ near −1.
-    let starts = [
-        start,
-        (-0.05, y_max * 0.5),
-        (-0.5, y_max * 0.75),
-    ];
     for s in starts {
         if !neg_ll(&[s.0, s.1]).is_finite() {
             continue;
         }
-        if let Ok(m) = neldermead::minimize(neg_ll, &[s.0, s.1], &opts) {
-            if m.value.is_finite()
-                && best.as_ref().map(|b| m.value < b.value).unwrap_or(true)
-            {
+        if let Ok(m) = neldermead::minimize(neg_ll, &[s.0, s.1], opts) {
+            if m.value.is_finite() && best.as_ref().map(|b| m.value < b.value).unwrap_or(true) {
                 best = Some(m);
             }
         }
@@ -142,7 +193,7 @@ pub fn fit_mle(exceedances: &[f64]) -> Result<GpdFit, EvtError> {
     Ok(GpdFit {
         gpd,
         log_likelihood: -best.value,
-        n: m,
+        n: exceedances.len(),
         method: FitMethod::MaximumLikelihood,
     })
 }
@@ -214,11 +265,10 @@ fn validate(exceedances: &[f64]) -> Result<(), EvtError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     fn sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
         let g = Gpd::new(shape, scale).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
         g.sample_n(&mut rng, n)
     }
 
@@ -272,9 +322,9 @@ mod tests {
     #[test]
     fn uniform_data_fits_shape_near_minus_one() {
         // Uniform(0, s) is GPD(ξ=−1, σ=s).
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(6);
         let ys: Vec<f64> = (0..4000)
-            .map(|_| rand::Rng::gen_range(&mut rng, 0.0..5.0))
+            .map(|_| optassign_stats::rng::Rng::gen_range(&mut rng, 0.0..5.0))
             .collect();
         let fit = fit_mle(&ys).unwrap();
         assert!(
@@ -289,6 +339,22 @@ mod tests {
         assert!(fit_mle(&[1.0; 5]).is_err());
         assert!(fit_mle(&[1.0, -1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]).is_err());
         assert!(fit_pwm(&[f64::NAN; 20]).is_err());
+    }
+
+    #[test]
+    fn restarts_match_plain_mle_on_clean_data() {
+        let ys = sample(-0.3, 1.5, 3000, 8);
+        let plain = fit_mle(&ys).unwrap();
+        let restarted = fit_mle_restarts(&ys, 4, 99).unwrap();
+        // When the plain search succeeds, the restarted variant must return
+        // its result unchanged (bit-identical clean path).
+        assert_eq!(plain, restarted);
+    }
+
+    #[test]
+    fn restarts_do_not_mask_validation_errors() {
+        assert!(fit_mle_restarts(&[1.0; 5], 8, 0).is_err());
+        assert!(fit_mle_restarts(&[f64::NAN; 20], 8, 0).is_err());
     }
 
     #[test]

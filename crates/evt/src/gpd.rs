@@ -13,7 +13,7 @@
 //! the paper compute a finite Upper Performance Bound `u − σ/ξ`.
 
 use crate::EvtError;
-use rand::Rng;
+use optassign_stats::rng::Rng;
 
 /// A Generalized Pareto Distribution with shape `ξ` and scale `σ`.
 ///
@@ -172,17 +172,18 @@ impl Gpd {
     ///
     /// ```
     /// use optassign_evt::Gpd;
-    /// use rand::SeedableRng;
     ///
     /// let g = Gpd::new(-0.3, 1.0).unwrap();
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    /// let mut rng = optassign_stats::rng::StdRng::seed_from_u64(1);
     /// let y = g.sample(&mut rng);
     /// assert!(y >= 0.0 && y <= g.upper_bound().unwrap());
     /// ```
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
         let u: f64 = rng.gen_range(0.0..1.0);
-        self.quantile(u)
-            .expect("q in [0,1) is always in the quantile domain")
+        // q in [0, 1) is always inside the quantile domain, so the error
+        // branch is unreachable; NaN would be the honest answer if the
+        // invariant ever broke.
+        self.quantile(u).unwrap_or(f64::NAN)
     }
 
     /// Draws `n` observations.
@@ -194,8 +195,7 @@ impl Gpd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
-    use rand::SeedableRng;
+    use optassign_stats::rng::Rng;
 
     #[test]
     fn rejects_bad_parameters() {
@@ -258,7 +258,7 @@ mod tests {
     fn sample_respects_support() {
         let g = Gpd::new(-0.4, 1.5).unwrap();
         let ub = g.upper_bound().unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(42);
         for _ in 0..1000 {
             let y = g.sample(&mut rng);
             assert!((0.0..=ub).contains(&y));
@@ -268,40 +268,54 @@ mod tests {
     #[test]
     fn sample_mean_converges_to_theory() {
         let g = Gpd::new(-0.3, 1.0).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(7);
         let xs = g.sample_n(&mut rng, 20_000);
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((mean - g.mean().unwrap()).abs() < 0.02, "mean = {mean}");
     }
 
-    proptest! {
-        #[test]
-        fn cdf_quantile_roundtrip(
-            shape in -1.5f64..1.5,
-            scale in 0.1f64..10.0,
-            q in 0.001f64..0.999,
-        ) {
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let shape = rng.gen_range(-1.5f64..1.5);
+            let scale = rng.gen_range(0.1f64..10.0);
+            let q = rng.gen_range(0.001f64..0.999);
             let g = Gpd::new(shape, scale).unwrap();
             let y = g.quantile(q).unwrap();
-            prop_assert!((g.cdf(y) - q).abs() < 1e-9);
+            assert!(
+                (g.cdf(y) - q).abs() < 1e-9,
+                "shape={shape} scale={scale} q={q}"
+            );
         }
+    }
 
-        #[test]
-        fn cdf_is_monotone(
-            shape in -1.5f64..1.5,
-            scale in 0.1f64..10.0,
-            a in 0.0f64..20.0,
-            b in 0.0f64..20.0,
-        ) {
+    #[test]
+    fn cdf_is_monotone() {
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(12);
+        for _ in 0..500 {
+            let shape = rng.gen_range(-1.5f64..1.5);
+            let scale = rng.gen_range(0.1f64..10.0);
+            let a = rng.gen_range(0.0f64..20.0);
+            let b = rng.gen_range(0.0f64..20.0);
             let g = Gpd::new(shape, scale).unwrap();
             let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
-            prop_assert!(g.cdf(lo) <= g.cdf(hi) + 1e-12);
+            assert!(
+                g.cdf(lo) <= g.cdf(hi) + 1e-12,
+                "shape={shape} scale={scale} lo={lo} hi={hi}"
+            );
         }
+    }
 
-        #[test]
-        fn pdf_nonnegative(shape in -1.5f64..1.5, scale in 0.1f64..10.0, y in -5.0f64..25.0) {
+    #[test]
+    fn pdf_nonnegative() {
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(13);
+        for _ in 0..500 {
+            let shape = rng.gen_range(-1.5f64..1.5);
+            let scale = rng.gen_range(0.1f64..10.0);
+            let y = rng.gen_range(-5.0f64..25.0);
             let g = Gpd::new(shape, scale).unwrap();
-            prop_assert!(g.pdf(y) >= 0.0);
+            assert!(g.pdf(y) >= 0.0, "shape={shape} scale={scale} y={y}");
         }
     }
 }

@@ -25,11 +25,10 @@
 //! ```
 //! use optassign_evt::gpd::Gpd;
 //! use optassign_evt::pot::{PotAnalysis, PotConfig};
-//! use rand::SeedableRng;
 //!
 //! // Synthetic "measurements": a bounded GPD tail with a known upper bound.
 //! let gpd = Gpd::new(-0.4, 1.0).unwrap();
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = optassign_stats::rng::StdRng::seed_from_u64(7);
 //! let sample: Vec<f64> = (0..3000).map(|_| 10.0 + gpd.sample(&mut rng)).collect();
 //!
 //! let analysis = PotAnalysis::run(&sample, &PotConfig::default()).unwrap();
@@ -45,9 +44,11 @@ pub mod gpd;
 pub mod mean_excess;
 pub mod pot;
 pub mod profile;
+pub mod resilient;
 
 pub use gpd::Gpd;
 pub use pot::{PotAnalysis, PotConfig};
+pub use resilient::{estimate_resilient, EstimateReport, FallbackPolicy, ResilientConfig};
 
 /// Errors produced by the EVT routines.
 #[derive(Debug, Clone, PartialEq)]

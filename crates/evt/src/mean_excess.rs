@@ -128,7 +128,6 @@ impl MeanExcessPlot {
 mod tests {
     use super::*;
     use crate::gpd::Gpd;
-    use rand::SeedableRng;
 
     #[test]
     fn mean_excess_at_matches_hand_computation() {
@@ -178,7 +177,7 @@ mod tests {
         // Mean excess of a GPD is linear, so a large GPD sample should show
         // high linearity above a moderate threshold.
         let g = Gpd::new(-0.4, 1.0).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(11);
         let sample = g.sample_n(&mut rng, 5000);
         let plot = MeanExcessPlot::new(&sample).unwrap();
         let fit = plot.linearity_above(0.2).unwrap();
@@ -196,7 +195,7 @@ mod tests {
     #[test]
     fn exponential_sample_has_flat_tail() {
         let g = Gpd::new(0.0, 2.0).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(5);
         let sample = g.sample_n(&mut rng, 5000);
         let plot = MeanExcessPlot::new(&sample).unwrap();
         let fit = plot.linearity_above(0.5).unwrap();

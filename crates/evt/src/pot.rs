@@ -103,10 +103,9 @@ impl PotAnalysis {
     /// ```
     /// use optassign_evt::pot::{PotAnalysis, PotConfig, ThresholdRule};
     /// use optassign_evt::gpd::Gpd;
-    /// use rand::SeedableRng;
     ///
     /// let g = Gpd::new(-0.5, 1.0).unwrap();
-    /// let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    /// let mut rng = optassign_stats::rng::StdRng::seed_from_u64(4);
     /// let sample: Vec<f64> = (0..2000).map(|_| 5.0 + g.sample(&mut rng)).collect();
     /// let cfg = PotConfig { threshold: ThresholdRule::FractionAbove(0.05), ..PotConfig::default() };
     /// let a = PotAnalysis::run(&sample, &cfg).unwrap();
@@ -249,8 +248,7 @@ fn select_threshold(sorted: &[f64], rule: &ThresholdRule) -> Result<f64, EvtErro
             let mut best: Option<(f64, f64)> = None; // (r2, u)
             let steps = 8;
             for i in 0..=steps {
-                let f = min_fraction
-                    + (max_fraction - min_fraction) * i as f64 / steps as f64;
+                let f = min_fraction + (max_fraction - min_fraction) * i as f64 / steps as f64;
                 let u = threshold_for_fraction(sorted, f);
                 if let Ok(fitline) = me.linearity_above(u) {
                     let r2 = fitline.r_squared;
@@ -282,12 +280,11 @@ fn threshold_for_fraction(sorted: &[f64], fraction: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::gpd::Gpd;
-    use rand::SeedableRng;
 
     fn bounded_sample(n: usize, seed: u64) -> (Vec<f64>, f64) {
         // Location 100, GPD(−0.4, 2.0) tail ⇒ true max 100 + 5 = 105.
         let g = Gpd::new(-0.4, 2.0).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
         let v: Vec<f64> = (0..n).map(|_| 100.0 + g.sample(&mut rng)).collect();
         (v, 105.0)
     }

@@ -168,11 +168,10 @@ impl<'a> ProfileLikelihood<'a> {
 /// ```
 /// use optassign_evt::gpd::Gpd;
 /// use optassign_evt::profile::estimate_upb;
-/// use rand::SeedableRng;
 ///
 /// // Exceedances from a GPD with true upper bound σ/|ξ| = 2.0.
 /// let g = Gpd::new(-0.5, 1.0).unwrap();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let mut rng = optassign_stats::rng::StdRng::seed_from_u64(9);
 /// let ys = g.sample_n(&mut rng, 2000);
 /// let est = estimate_upb(100.0, &ys, 0.95).unwrap();
 /// // True UPB is 102; the point estimate and CI should surround it.
@@ -312,11 +311,10 @@ fn bisect_root<F: Fn(f64) -> f64>(f: F, mut lo: f64, mut hi: f64) -> f64 {
 mod tests {
     use super::*;
     use crate::gpd::Gpd;
-    use rand::SeedableRng;
 
     fn gpd_sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
         let g = Gpd::new(shape, scale).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
         g.sample_n(&mut rng, n)
     }
 

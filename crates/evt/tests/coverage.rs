@@ -8,7 +8,6 @@
 
 use optassign_evt::gpd::Gpd;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
-use rand::SeedableRng;
 
 #[test]
 fn upb_interval_roughly_covers_the_truth() {
@@ -22,7 +21,7 @@ fn upb_interval_roughly_covers_the_truth() {
     let mut covered = 0;
     let mut usable = 0;
     for rep in 0..replicates {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1000 + rep);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(1000 + rep);
         let sample: Vec<f64> = (0..1500).map(|_| loc + g.sample(&mut rng)).collect();
         let Ok(analysis) = PotAnalysis::run(&sample, &PotConfig::default()) else {
             continue; // unresolved tail: excluded from the coverage count
@@ -34,7 +33,10 @@ fn upb_interval_roughly_covers_the_truth() {
             covered += 1;
         }
     }
-    assert!(usable >= replicates * 3 / 4, "only {usable} usable replicates");
+    assert!(
+        usable >= replicates * 3 / 4,
+        "only {usable} usable replicates"
+    );
     let coverage = covered as f64 / usable as f64;
     assert!(
         coverage >= 0.75,
@@ -52,7 +54,7 @@ fn point_estimate_is_approximately_unbiased() {
     let mut sum = 0.0;
     let mut count = 0;
     for rep in 0..25 {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7_000 + rep);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(7_000 + rep);
         let sample: Vec<f64> = (0..2000).map(|_| 100.0 + g.sample(&mut rng)).collect();
         if let Ok(a) = PotAnalysis::run(&sample, &PotConfig::default()) {
             sum += a.upb.point;
@@ -74,7 +76,7 @@ fn headroom_is_consistent_with_capture_mathematics() {
     // UPB), so assert the envelope: small at every size, smallest-or-close
     // at the largest.
     let g = Gpd::new(-0.3, 1.0).unwrap();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(99);
     let sample: Vec<f64> = (0..6000).map(|_| 10.0 + g.sample(&mut rng)).collect();
     let mut first = None;
     let mut last = None;

@@ -215,10 +215,7 @@ mod tests {
         }
         assert_eq!(analyzer.stats().seen, 100);
         assert_eq!(analyzer.stats().logged, 100);
-        assert_eq!(
-            analyzer.stats().tcp + analyzer.stats().udp,
-            100
-        );
+        assert_eq!(analyzer.stats().tcp + analyzer.stats().udp, 100);
     }
 
     #[test]

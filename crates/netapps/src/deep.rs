@@ -106,7 +106,7 @@ pub fn build_deep_ipfwd(instances: usize, p_stages: usize, seed: u64) -> Workloa
                 b.push(queues[pos + 1]).build()
             } else if id == t {
                 ProgramBuilder::new()
-                    .pop(*queues.last().expect("at least one queue"))
+                    .pop(queues[queues.len() - 1])
                     .int(20)
                     .transmit()
                     .build()

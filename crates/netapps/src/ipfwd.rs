@@ -204,9 +204,7 @@ mod tests {
     #[test]
     fn hash_kinds_differ() {
         let diff = (0..1000u32)
-            .filter(|&ip| {
-                HashKind::IntAdd.bucket(ip, 4096) != HashKind::IntMul.bucket(ip, 4096)
-            })
+            .filter(|&ip| HashKind::IntAdd.bucket(ip, 4096) != HashKind::IntMul.bucket(ip, 4096))
             .count();
         assert!(diff > 900, "only {diff} of 1000 differ");
     }

@@ -9,9 +9,8 @@
 //! receive side).
 
 use crate::packet::{FlowKey, Packet, Protocol};
-use rand::distributions::Distribution;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use optassign_stats::rng::Rng;
+use optassign_stats::rng::StdRng;
 
 /// Configuration of the traffic mix.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,8 +40,8 @@ impl Default for TrafficConfig {
         TrafficConfig {
             src_ip_count: 1 << 12,
             dst_ip_count: 1 << 12,
-            src_ip_base: 0x0A00_0000,  // 10.0.0.0
-            dst_ip_base: 0xC0A8_0000,  // 192.168.0.0
+            src_ip_base: 0x0A00_0000, // 10.0.0.0
+            dst_ip_base: 0xC0A8_0000, // 192.168.0.0
             src_port_count: 1024,
             dst_port_count: 16,
             tcp_fraction: 0.7,
@@ -120,11 +119,7 @@ impl NtGen {
         } else {
             Protocol::Udp
         };
-        let payload_len = rand::distributions::Uniform::new_inclusive(
-            c.payload_min,
-            c.payload_max,
-        )
-        .sample(&mut self.rng);
+        let payload_len = self.rng.gen_range(c.payload_min..=c.payload_max);
         let mut payload = vec![0u8; payload_len];
         self.rng.fill(payload.as_mut_slice());
         self.generated += 1;

@@ -95,10 +95,7 @@ pub fn run_pipeline(
         let mut events = 0u64;
         while let Ok(mut packet) = rp_rx.recv() {
             let keep = match &mut processor {
-                Processor::Forward(fwd) => match fwd.forward(&mut packet) {
-                    Some(_) => true,
-                    None => false,
-                },
+                Processor::Forward(fwd) => fwd.forward(&mut packet).is_some(),
                 Processor::Analyze(analyzer) => {
                     if analyzer.analyze(&packet).is_some() {
                         events += 1;
@@ -132,8 +129,14 @@ pub fn run_pipeline(
         transmitted += 1;
     }
 
-    let received = receiver.join().expect("receive thread panicked");
-    let (processor, dropped, events) = processing.join().expect("processing thread panicked");
+    // A panicked worker is unrecoverable for the pipeline: re-raise its
+    // panic on the calling thread instead of masking it.
+    let received = receiver
+        .join()
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
+    let (processor, dropped, events) = processing
+        .join()
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
     (
         PipelineStats {
             received,

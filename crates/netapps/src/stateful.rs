@@ -239,8 +239,7 @@ mod tests {
         for p in &batch {
             t.process(p);
         }
-        let distinct: std::collections::HashSet<_> =
-            batch.iter().map(|p| p.flow).collect();
+        let distinct: std::collections::HashSet<_> = batch.iter().map(|p| p.flow).collect();
         assert_eq!(t.flow_count(), distinct.len());
         assert_eq!(t.max_chain(), distinct.len());
         for key in &distinct {
@@ -291,9 +290,18 @@ mod tests {
         let variants = [
             FlowKey { src_ip: 11, ..base },
             FlowKey { dst_ip: 21, ..base },
-            FlowKey { src_port: 31, ..base },
-            FlowKey { dst_port: 41, ..base },
-            FlowKey { protocol: Protocol::Udp, ..base },
+            FlowKey {
+                src_port: 31,
+                ..base
+            },
+            FlowKey {
+                dst_port: 41,
+                ..base
+            },
+            FlowKey {
+                protocol: Protocol::Udp,
+                ..base
+            },
         ];
         // At least four of the five single-field changes should move the
         // bucket (additive mixing can coincide occasionally).

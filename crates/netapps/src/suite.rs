@@ -90,8 +90,11 @@ impl Benchmark {
         // Benchmark-wide derived footprints.
         let automaton_bytes = match self {
             Benchmark::AhoCorasick => {
-                let ac = AhoCorasick::new(&snort_dos_keywords())
-                    .expect("static keyword set is non-empty");
+                let ac = match AhoCorasick::new(&snort_dos_keywords()) {
+                    Ok(ac) => ac,
+                    // The keyword set is static and non-empty.
+                    Err(e) => unreachable!("static keyword set: {e:?}"),
+                };
                 ac.memory_bytes() as u64
             }
             _ => 0,
@@ -130,10 +133,7 @@ impl Benchmark {
                         (256 * ENTRY_BYTES) as u64,
                         AccessPattern::Uniform,
                     );
-                    let mut b = ProgramBuilder::new()
-                        .load(pktbuf)
-                        .load(pktbuf)
-                        .int(140); // header checks + hash (add-mix)
+                    let mut b = ProgramBuilder::new().load(pktbuf).load(pktbuf).int(140); // header checks + hash (add-mix)
                     for _ in 0..5 {
                         b = b.load(table).int(110);
                     }
@@ -146,10 +146,7 @@ impl Benchmark {
                         (4 * 1024 * 1024 * ENTRY_BYTES) as u64,
                         AccessPattern::Uniform,
                     );
-                    let mut b = ProgramBuilder::new()
-                        .load(pktbuf)
-                        .load(pktbuf)
-                        .int(140);
+                    let mut b = ProgramBuilder::new().load(pktbuf).load(pktbuf).int(140);
                     for _ in 0..5 {
                         b = b.load(table).int(60);
                     }
@@ -255,25 +252,13 @@ impl Benchmark {
             let p = w.add_task(format!("{tag}.P"), ProgramBuilder::new().build(), p_code);
 
             // --- T: transmit ------------------------------------------------
-            let t = w.add_task(
-                format!("{tag}.T"),
-                ProgramBuilder::new().build(),
-                2_560,
-            );
+            let t = w.add_task(format!("{tag}.T"), ProgramBuilder::new().build(), 2_560);
 
             // Queues and final programs (queue ids exist only now).
             let q_rp = w.add_queue(r, p, 128);
             let q_pt = w.add_queue(p, t, 128);
 
-            let tasks_snapshot = rebuild_with_queues(
-                w,
-                r,
-                p,
-                t,
-                q_rp,
-                q_pt,
-                p_builder,
-            );
+            let tasks_snapshot = rebuild_with_queues(w, r, p, t, q_rp, q_pt, p_builder);
             w = tasks_snapshot;
         }
         debug_assert!(w.validate().is_ok(), "suite produced invalid workload");
@@ -376,7 +361,11 @@ mod tests {
         assert!(names[0].ends_with(".R"));
         assert!(names[1].ends_with(".P"));
         assert!(names[2].ends_with(".T"));
-        assert!(names[3].contains(".1."), "second instance tag: {}", names[3]);
+        assert!(
+            names[3].contains(".1."),
+            "second instance tag: {}",
+            names[3]
+        );
     }
 
     #[test]

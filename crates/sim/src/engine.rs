@@ -80,7 +80,7 @@ impl<'a> Simulator<'a> {
         let mut region_bases = Vec::with_capacity(workload.regions().len());
         for r in workload.regions() {
             region_bases.push(next);
-            let padded = (r.bytes + line - 1) / line * line + line;
+            let padded = r.bytes.div_ceil(line) * line + line;
             next += padded;
         }
 
@@ -137,9 +137,7 @@ impl<'a> Simulator<'a> {
                 micro: 0,
                 wake_at: 0,
                 rng: XorShift64::new(
-                    self.workload.seed()
-                        ^ placement_hash
-                        ^ (t as u64).wrapping_mul(0x9E37_79B9),
+                    self.workload.seed() ^ placement_hash ^ (t as u64).wrapping_mul(0x9E37_79B9),
                 ),
                 seq_cursors: vec![0; n_regions],
                 iterations: 0,
@@ -184,8 +182,7 @@ impl<'a> Simulator<'a> {
             .queues()
             .iter()
             .map(|q| {
-                let same_core =
-                    strands[q.producer.0].core == strands[q.consumer.0].core;
+                let same_core = strands[q.producer.0].core == strands[q.consumer.0].core;
                 QState {
                     count: 0,
                     capacity: q.capacity,
@@ -220,7 +217,7 @@ impl<'a> Simulator<'a> {
             while inserted < budget && any {
                 any = false;
                 for (ri, r) in self.workload.regions().iter().enumerate() {
-                    let lines = (r.bytes + line - 1) / line;
+                    let lines = r.bytes.div_ceil(line);
                     if round < lines {
                         l2.access(self.region_bases[ri] + round * line, round);
                         inserted += 1;
@@ -355,8 +352,7 @@ impl<'a> Simulator<'a> {
                         let done = if l1d[core].access(addr, now) {
                             issue + cfg.lat_l1
                         } else {
-                            let bank =
-                                ((addr / cfg.l2_line as u64) % cfg.l2_banks as u64) as usize;
+                            let bank = ((addr / cfg.l2_line as u64) % cfg.l2_banks as u64) as usize;
                             let t_bank = (issue + cfg.lat_l1).max(bank_free[bank]);
                             bank_free[bank] = t_bank + 1;
                             if l2.access(addr, now) {
@@ -601,7 +597,10 @@ mod tests {
         // And the observed L1 hit rate should be visibly higher apart.
         let hr_same = same_core.l1d_hit_rates[0];
         let hr_diff = diff_core.l1d_hit_rates[0];
-        assert!(hr_diff > hr_same, "hit rates: same {hr_same}, diff {hr_diff}");
+        assert!(
+            hr_diff > hr_same,
+            "hit rates: same {hr_same}, diff {hr_diff}"
+        );
     }
 
     #[test]
@@ -728,7 +727,9 @@ mod tests {
         let w = build();
         let one_core: Vec<usize> = (0..8).collect();
         let spread: Vec<usize> = (0..8).map(|i| i * 8).collect();
-        let packed = Simulator::new(&m, &w, &one_core).unwrap().run(2_000, 60_000);
+        let packed = Simulator::new(&m, &w, &one_core)
+            .unwrap()
+            .run(2_000, 60_000);
         let apart = Simulator::new(&m, &w, &spread).unwrap().run(2_000, 60_000);
         let ratio = apart.pps() / packed.pps();
         assert!(ratio > 1.3, "spread/packed = {ratio}");

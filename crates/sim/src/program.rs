@@ -156,6 +156,9 @@ impl ProgramBuilder {
     }
 
     /// Appends `n` long-latency integer multiplies.
+    // Named for the op it appends, like `int`/`fp`/`crypto` — not an
+    // arithmetic operator on the builder.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(mut self, n: u16) -> Self {
         if n > 0 {
             self.ops.push(Op::Mul(n));
@@ -187,7 +190,7 @@ impl ProgramBuilder {
 
     /// Appends `n` loads from `region`.
     pub fn loads(mut self, region: RegionId, n: usize) -> Self {
-        self.ops.extend(std::iter::repeat(Op::Load(region)).take(n));
+        self.ops.extend(std::iter::repeat_n(Op::Load(region), n));
         self
     }
 
@@ -374,13 +377,11 @@ impl WorkloadSpec {
             }
             for op in t.program.ops() {
                 match *op {
-                    Op::Load(r) | Op::Store(r) => {
-                        if r.0 >= self.regions.len() {
-                            return Err(SimError::BadWorkload(format!(
-                                "task {ti} references missing region {}",
-                                r.0
-                            )));
-                        }
+                    Op::Load(r) | Op::Store(r) if r.0 >= self.regions.len() => {
+                        return Err(SimError::BadWorkload(format!(
+                            "task {ti} references missing region {}",
+                            r.0
+                        )));
                     }
                     Op::QueuePush(q) => {
                         let spec = self.queues.get(q.0).ok_or_else(|| {
@@ -438,11 +439,7 @@ mod tests {
         // Patch the producer's program to push to the queue we create now.
         let q = w.add_queue(a, b, 16);
         w.tasks[a.0].program = ProgramBuilder::new().niu_rx().int(4).push(q).build();
-        w.tasks[b.0].program = ProgramBuilder::new()
-            .pop(q)
-            .load(region)
-            .transmit()
-            .build();
+        w.tasks[b.0].program = ProgramBuilder::new().pop(q).load(region).transmit().build();
         w
     }
 
@@ -466,11 +463,7 @@ mod tests {
     #[test]
     fn dangling_region_fails() {
         let mut w = WorkloadSpec::new(0);
-        w.add_task(
-            "loader",
-            ProgramBuilder::new().load(RegionId(3)).build(),
-            0,
-        );
+        w.add_task("loader", ProgramBuilder::new().load(RegionId(3)).build(), 0);
         let err = w.validate().unwrap_err();
         assert!(err.to_string().contains("missing region"));
     }
@@ -502,10 +495,7 @@ mod tests {
             .mul(2)
             .transmit()
             .build();
-        assert_eq!(
-            p.ops(),
-            &[Op::Int(3), Op::Mul(2), Op::Transmit]
-        );
+        assert_eq!(p.ops(), &[Op::Int(3), Op::Mul(2), Op::Transmit]);
     }
 
     #[test]

@@ -67,8 +67,7 @@ impl SimReport {
             return 0.0;
         }
         if self.packets_transmitted >= 8 {
-            if let (Some(first), Some(last)) =
-                (self.first_transmit_cycle, self.last_transmit_cycle)
+            if let (Some(first), Some(last)) = (self.first_transmit_cycle, self.last_transmit_cycle)
             {
                 if last > first {
                     return (self.packets_transmitted - 1) as f64 * self.clock_hz

@@ -130,6 +130,9 @@ mod tests {
         assert!(!r.chance(0.0));
         assert!(r.chance(1.0));
         let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
-        assert!((hits as f64 / 100_000.0 - 0.25).abs() < 0.01, "hits = {hits}");
+        assert!(
+            (hits as f64 / 100_000.0 - 0.25).abs() < 0.01,
+            "hits = {hits}"
+        );
     }
 }

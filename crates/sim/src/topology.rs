@@ -94,7 +94,10 @@ impl Topology {
     pub fn context_at(&self, core: usize, pipe: usize, strand: usize) -> usize {
         assert!(core < self.cores, "core {core} out of range");
         assert!(pipe < self.pipes_per_core, "pipe {pipe} out of range");
-        assert!(strand < self.strands_per_pipe, "strand {strand} out of range");
+        assert!(
+            strand < self.strands_per_pipe,
+            "strand {strand} out of range"
+        );
         core * self.strands_per_core() + pipe * self.strands_per_pipe + strand
     }
 

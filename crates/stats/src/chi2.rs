@@ -25,7 +25,7 @@ use crate::StatsError;
 /// assert!((p - 0.5).abs() < 1e-5);
 /// ```
 pub fn cdf(x: f64, df: f64) -> Result<f64, StatsError> {
-    if !(df > 0.0) {
+    if df.is_nan() || df <= 0.0 {
         return Err(StatsError::Domain {
             what: "df",
             constraint: "df > 0",
@@ -68,7 +68,7 @@ pub fn quantile(p: f64, df: f64) -> Result<f64, StatsError> {
             value: p,
         });
     }
-    if !(df > 0.0) {
+    if df.is_nan() || df <= 0.0 {
         return Err(StatsError::Domain {
             what: "df",
             constraint: "df > 0",
@@ -124,7 +124,10 @@ mod tests {
         ];
         for (p, df, want) in cases {
             let q = quantile(p, df).unwrap();
-            assert!((q - want).abs() < 1e-4, "quantile({p},{df}) = {q}, want {want}");
+            assert!(
+                (q - want).abs() < 1e-4,
+                "quantile({p},{df}) = {q}, want {want}"
+            );
         }
     }
 

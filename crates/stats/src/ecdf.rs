@@ -199,7 +199,7 @@ mod tests {
     fn ks_detects_bad_fit() {
         // Exponential sample vs uniform CDF should have a large distance.
         let sample: Vec<f64> = (1..=200)
-            .map(|i| -((1.0 - i as f64 / 201.0) as f64).ln() / 3.0)
+            .map(|i| -(1.0 - i as f64 / 201.0).ln() / 3.0)
             .collect();
         let d = ks_statistic(&sample, |x| x.clamp(0.0, 1.0)).unwrap();
         assert!(d > 0.2, "d = {d}");

@@ -73,11 +73,21 @@ impl Histogram {
     /// `(bin_low, bin_high, count)` triples in order.
     pub fn bins(&self) -> Vec<(f64, f64, usize)> {
         let n = self.counts.len();
-        let width = if n == 0 { 0.0 } else { (self.hi - self.lo) / n as f64 };
+        let width = if n == 0 {
+            0.0
+        } else {
+            (self.hi - self.lo) / n as f64
+        };
         self.counts
             .iter()
             .enumerate()
-            .map(|(i, &c)| (self.lo + width * i as f64, self.lo + width * (i + 1) as f64, c))
+            .map(|(i, &c)| {
+                (
+                    self.lo + width * i as f64,
+                    self.lo + width * (i + 1) as f64,
+                    c,
+                )
+            })
             .collect()
     }
 

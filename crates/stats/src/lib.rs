@@ -17,6 +17,9 @@
 //!   the linearity of sample mean-excess plots when selecting a threshold.
 //! * [`ubig`] — arbitrary-precision unsigned integers for assignment-space
 //!   counting (Table 1 of the paper needs values around 10⁵⁸).
+//! * [`rng`] — deterministic splitmix64/xoshiro256** pseudo-random
+//!   generators (the workspace builds with no registry access, so the
+//!   `rand` crate is replaced in-repo).
 //!
 //! # Examples
 //!
@@ -36,6 +39,7 @@ pub mod error;
 pub mod histogram;
 pub mod linreg;
 pub mod neldermead;
+pub mod rng;
 pub mod special;
 pub mod ubig;
 

@@ -141,7 +141,7 @@ where
 
         // Order vertices by value (best first).
         let mut order: Vec<usize> = (0..=n).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("sanitized values"));
+        order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
         reorder(&mut simplex, &mut values, &order);
 
         // Convergence: simplex diameter and value spread.
@@ -221,7 +221,7 @@ where
     }
 
     let mut order: Vec<usize> = (0..=n).collect();
-    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("sanitized values"));
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
     Ok(Minimum {
         x: simplex[order[0]].clone(),
         value: values[order[0]],
@@ -277,8 +277,7 @@ mod tests {
 
     #[test]
     fn minimizes_rosenbrock_from_standard_start() {
-        let rosen =
-            |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
+        let rosen = |x: &[f64]| (1.0 - x[0]).powi(2) + 100.0 * (x[1] - x[0] * x[0]).powi(2);
         let opts = Options {
             max_iter: 10_000,
             ..Options::default()

@@ -270,7 +270,7 @@ impl fmt::Display for UBig {
         while !v.is_zero() {
             chunks.push(v.div_rem_small(1_000_000_000));
         }
-        let mut s = chunks.last().expect("non-zero has chunks").to_string();
+        let mut s = chunks.last().copied().unwrap_or(0).to_string();
         for chunk in chunks.iter().rev().skip(1) {
             s.push_str(&format!("{chunk:09}"));
         }
@@ -281,7 +281,6 @@ impl fmt::Display for UBig {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn zero_and_one() {
@@ -373,48 +372,78 @@ mod tests {
         UBig::one().div_rem_small(0);
     }
 
-    proptest! {
-        #[test]
-        fn add_matches_u128(a in 0u64.., b in 0u64..) {
+    /// Random `u64` pairs spanning small, mid and full-range magnitudes.
+    fn random_u64s(seed: u64, n: usize) -> Vec<u64> {
+        let mut rng = crate::rng::StdRng::seed_from_u64(seed);
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let raw = crate::rng::Rng::next_u64(&mut rng);
+            // Vary magnitude so carries and single-limb paths both run.
+            out.push(raw >> (i % 4 * 16));
+        }
+        out
+    }
+
+    #[test]
+    fn add_matches_u128() {
+        for pair in random_u64s(20, 400).chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
             let sum = &UBig::from(a) + &UBig::from(b);
             let want = a as u128 + b as u128;
-            prop_assert_eq!(sum.to_string(), want.to_string());
+            assert_eq!(sum.to_string(), want.to_string());
         }
+    }
 
-        #[test]
-        fn mul_matches_u128(a in 0u64.., b in 0u64..) {
+    #[test]
+    fn mul_matches_u128() {
+        for pair in random_u64s(21, 400).chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1]);
             let prod = &UBig::from(a) * &UBig::from(b);
             let want = a as u128 * b as u128;
-            prop_assert_eq!(prod.to_string(), want.to_string());
+            assert_eq!(prod.to_string(), want.to_string());
         }
+    }
 
-        #[test]
-        fn mul_commutes(a in 0u64.., b in 0u64.., c in 0u64..) {
-            let (ba, bb, bc) = (UBig::from(a), UBig::from(b), UBig::from(c));
+    #[test]
+    fn mul_commutes() {
+        for triple in random_u64s(22, 300).chunks_exact(3) {
+            let (ba, bb, bc) = (
+                UBig::from(triple[0]),
+                UBig::from(triple[1]),
+                UBig::from(triple[2]),
+            );
             let left = &(&ba * &bb) * &bc;
             let right = &ba * &(&bb * &bc);
-            prop_assert_eq!(left, right);
+            assert_eq!(left, right);
         }
+    }
 
-        #[test]
-        fn add_then_compare(a in 0u64.., b in 1u64..) {
+    #[test]
+    fn add_then_compare() {
+        for pair in random_u64s(23, 400).chunks_exact(2) {
+            let (a, b) = (pair[0], pair[1].max(1));
             let base = UBig::from(a);
             let bigger = &base + &UBig::from(b);
-            prop_assert!(bigger > base);
+            assert!(bigger > base);
         }
+    }
 
-        #[test]
-        fn mul_small_matches_mul(a in 0u64.., m in 0u64..) {
+    #[test]
+    fn mul_small_matches_mul() {
+        for pair in random_u64s(24, 400).chunks_exact(2) {
+            let (a, m) = (pair[0], pair[1]);
             let mut left = UBig::from(a);
             left.mul_small(m);
             let right = &UBig::from(a) * &UBig::from(m);
-            prop_assert_eq!(left, right);
+            assert_eq!(left, right);
         }
+    }
 
-        #[test]
-        fn display_roundtrip_via_div(v in 0u64..) {
-            // Display uses div_rem_small; cross-check against u64 formatting.
-            prop_assert_eq!(UBig::from(v).to_string(), v.to_string());
+    #[test]
+    fn display_roundtrip_via_div() {
+        // Display uses div_rem_small; cross-check against u64 formatting.
+        for v in random_u64s(25, 200) {
+            assert_eq!(UBig::from(v).to_string(), v.to_string());
         }
     }
 }

@@ -14,7 +14,6 @@ use optassign::study::SampleStudy;
 use optassign_evt::pot::PotConfig;
 use optassign_sim::program::{AccessPattern, ProgramBuilder, WorkloadSpec};
 use optassign_sim::{MachineConfig, Topology};
-use rand::SeedableRng;
 
 fn build_crypto_gateway(instances: usize, seed: u64) -> WorkloadSpec {
     let mut w = WorkloadSpec::new(seed);
@@ -24,7 +23,11 @@ fn build_crypto_gateway(instances: usize, seed: u64) -> WorkloadSpec {
             256 * 1024,
             AccessPattern::Uniform,
         );
-        let front = w.add_task(format!("gw{i}.decrypt"), ProgramBuilder::new().build(), 6_144);
+        let front = w.add_task(
+            format!("gw{i}.decrypt"),
+            ProgramBuilder::new().build(),
+            6_144,
+        );
         let back = w.add_task(format!("gw{i}.csum"), ProgramBuilder::new().build(), 3_072);
         let q = w.add_queue(front, back, 64);
         // Front stage: receive, look up the session, run the crypto unit.
@@ -37,11 +40,7 @@ fn build_crypto_gateway(instances: usize, seed: u64) -> WorkloadSpec {
             .push(q)
             .build();
         // Back stage: checksum (integer) and transmit.
-        let back_prog = ProgramBuilder::new()
-            .pop(q)
-            .int(180)
-            .transmit()
-            .build();
+        let back_prog = ProgramBuilder::new().pop(q).int(180).transmit().build();
         // Rebuild with the final programs (queue ids now known).
         let mut fresh = WorkloadSpec::new(w.seed());
         for r in w.regions() {
@@ -89,7 +88,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Compare a one-shot best-of-100 strategy.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(8);
     let (assignment, pps) = best_of_sample(&model, 100, &mut rng)?;
     println!(
         "best-of-100 pick: {:.3} MPPS with contexts {:?}",

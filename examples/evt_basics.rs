@@ -11,17 +11,20 @@ use optassign_evt::fit::fit_mle;
 use optassign_evt::gpd::Gpd;
 use optassign_evt::mean_excess::MeanExcessPlot;
 use optassign_evt::profile::estimate_upb;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthetic "measurements": location 100, bounded GPD tail.
     // True upper bound: 100 + σ/|ξ| = 100 + 1.5/0.3 = 105.
     let truth = Gpd::new(-0.3, 1.5)?;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2012);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(2012);
     let sample: Vec<f64> = (0..3000).map(|_| 100.0 + truth.sample(&mut rng)).collect();
     let sorted = optassign_stats::descriptive::sorted(&sample);
     println!("true (hidden) optimum: 105.000");
-    println!("best of {} observations: {:.3}", sample.len(), sorted.last().unwrap());
+    println!(
+        "best of {} observations: {:.3}",
+        sample.len(),
+        sorted.last().unwrap()
+    );
 
     // Step 2: the mean-excess plot; linearity indicates the GPD regime.
     let plot = MeanExcessPlot::new(&sample)?;

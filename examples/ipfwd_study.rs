@@ -12,7 +12,6 @@ use optassign::schedulers::{exhaustive_optimal, linux_like, naive};
 use optassign::space::count_assignments;
 use optassign_netapps::Benchmark;
 use optassign_sim::MachineConfig;
-use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::ultrasparc_t2();
@@ -26,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let workload = bench.build_workload(2, 99);
         let model = SimModel::new(machine.clone(), workload).with_windows(10_000, 120_000);
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(1);
         let naive_assignment = naive(6, topo, &mut rng)?;
         let naive_pps = model.evaluate(&naive_assignment);
 

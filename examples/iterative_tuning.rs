@@ -24,12 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         acceptable_loss: 0.05,
         confidence: 0.95,
         max_samples: 3_000,
+        ..IterativeConfig::default()
     };
     println!(
         "target: best assignment within {:.0}% of the estimated optimum",
         config.acceptable_loss * 100.0
     );
-    println!("running the iterative algorithm (N_init = {}, N_delta = {})…", config.n_init, config.n_delta);
+    println!(
+        "running the iterative algorithm (N_init = {}, N_delta = {})…",
+        config.n_init, config.n_delta
+    );
 
     let result = run_iterative(&model, &config, 11)?;
     println!("\niteration history:");
@@ -45,9 +49,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "\n{} after {} measured assignments.",
         if result.converged {
-            "converged"
+            "converged".to_string()
         } else {
-            "stopped at the sample cap"
+            format!("stopped early ({:?})", result.stop)
         },
         result.samples_used
     );

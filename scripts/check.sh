@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Repo-wide quality gate: formatting, lints, build, tests.
+#
+# Library crates additionally deny `unwrap()`/`expect()` outside tests —
+# measurement and estimation failures must flow through the typed error
+# paths (CoreError / EvtError / MeasureError), never panic.
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the (slow) full test suite; lints and build only.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+# Library crates: panic-free discipline on top of the standard lints.
+LIB_CRATES=(optassign-stats optassign-sim optassign-evt optassign-netapps optassign)
+for crate in "${LIB_CRATES[@]}"; do
+    echo "==> cargo clippy -p ${crate} --lib (deny warnings, unwrap_used, expect_used)"
+    cargo clippy -q -p "${crate}" --lib -- \
+        -D warnings -D clippy::unwrap_used -D clippy::expect_used
+done
+
+echo "==> cargo clippy --workspace --all-targets (deny warnings)"
+cargo clippy -q --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --workspace"
+cargo build -q --workspace
+
+if [[ "${FAST}" == "0" ]]; then
+    echo "==> cargo test --workspace"
+    cargo test -q --workspace
+fi
+
+echo "==> all checks passed"

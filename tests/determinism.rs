@@ -51,8 +51,5 @@ fn iterative_algorithm_replays_exactly() {
     assert_eq!(a.samples_used, b.samples_used);
     assert_eq!(a.best_performance, b.best_performance);
     assert_eq!(a.trace.len(), b.trace.len());
-    assert_eq!(
-        a.best_assignment.contexts(),
-        b.best_assignment.contexts()
-    );
+    assert_eq!(a.best_assignment.contexts(), b.best_assignment.contexts());
 }

@@ -8,7 +8,6 @@ use optassign::space::{count_assignments, enumerate_assignments};
 use optassign::study::SampleStudy;
 use optassign::Topology;
 use optassign_evt::pot::PotConfig;
-use rand::SeedableRng;
 
 /// Paper §2: 3 tasks on the T2 admit exactly 11 assignments, and the count
 /// explodes beyond any enumeration almost immediately.
@@ -44,7 +43,7 @@ fn capture_probability_matches_monte_carlo() {
     // random *labeled* sampling lands in it. Instead of enumerating
     // weights, directly measure: draw k samples, ask whether any lies in
     // the top 10% of a large reference sample.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(3);
     let reference: Vec<f64> = sample_assignments(4000, 5, topo, &mut rng)
         .unwrap()
         .iter()
@@ -123,10 +122,7 @@ fn sample_growth_shrinks_headroom_not_best() {
 
     // Best-in-sample gain from 800 -> 4000 draws is marginal (< 3%).
     let best_gain = large.best_performance() / small.best_performance() - 1.0;
-    assert!(
-        (0.0..0.03).contains(&best_gain),
-        "best gain = {best_gain}"
-    );
+    assert!((0.0..0.03).contains(&best_gain), "best gain = {best_gain}");
     // Headroom shrinks (or at worst stays put).
     assert!(
         a_large.improvement_headroom() <= a_small.improvement_headroom() + 0.01,
@@ -146,9 +142,8 @@ fn sample_growth_shrinks_headroom_not_best() {
 fn enumeration_covers_sampling() {
     let topo = Topology::ultrasparc_t2();
     let classes = enumerate_assignments(4, topo, 100_000).unwrap();
-    let keys: std::collections::HashSet<_> =
-        classes.iter().map(|a| a.canonical_key()).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(61);
+    let keys: std::collections::HashSet<_> = classes.iter().map(|a| a.canonical_key()).collect();
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(61);
     for a in sample_assignments(500, 4, topo, &mut rng).unwrap() {
         assert!(
             keys.contains(&a.canonical_key()),

@@ -1,0 +1,109 @@
+//! Robustness acceptance: the fault-injection harness and the resilient
+//! estimation pipeline, end to end on real simulator output.
+//!
+//! Mirrors the paper's five-benchmark case study at integration-test
+//! scale (two pipeline instances, short simulation windows) with the
+//! light fault profile: ~1% failed measurements, ~0.5% spikes, ~0.1%
+//! noisy readings.
+
+use optassign::fault::{FaultPlan, FaultyModel};
+use optassign::iterative::{run_iterative, IterativeConfig};
+use optassign::model::SimModel;
+use optassign::study::SampleStudy;
+use optassign_evt::pot::PotConfig;
+use optassign_evt::resilient::ResilientConfig;
+use optassign_netapps::Benchmark;
+use optassign_sim::MachineConfig;
+
+fn small_model(bench: Benchmark, seed: u64) -> SimModel {
+    let machine = MachineConfig::ultrasparc_t2();
+    let workload = bench.build_workload(2, seed);
+    SimModel::new(machine, workload).with_windows(1_000, 5_000)
+}
+
+/// Every paper benchmark, light faults, full ladder: the campaign
+/// completes, the estimator returns a report (never panics), and the
+/// estimate respects basic sanity (UPB at or above the best observation
+/// for non-degraded methods).
+#[test]
+fn light_faults_never_break_the_pipeline() {
+    for (i, bench) in Benchmark::paper_suite().into_iter().enumerate() {
+        let seed = 40 + i as u64;
+        let model = FaultyModel::new(small_model(bench, seed), FaultPlan::light(seed));
+        let (study, log) =
+            SampleStudy::run_resilient(&model, 600, seed, 3).expect("campaign completes");
+        assert_eq!(study.len(), 600, "{}", bench.name());
+        assert!(study.performances().iter().all(|p| p.is_finite()));
+        // Light faults cost a few extra attempts, never an order of
+        // magnitude.
+        assert!(log.attempts >= 600);
+        assert!(
+            log.extra_attempts(600) < 120,
+            "{}: {} extra attempts",
+            bench.name(),
+            log.extra_attempts(600)
+        );
+
+        let report = study
+            .estimate_resilient(&ResilientConfig::default())
+            .unwrap_or_else(|e| panic!("{}: ladder exhausted: {e}", bench.name()));
+        assert!(report.upb.point.is_finite(), "{}", bench.name());
+        if !report.is_degraded() {
+            assert!(
+                report.upb.point >= study.best_performance(),
+                "{}: UPB below best observation",
+                bench.name()
+            );
+        }
+    }
+}
+
+/// On clean infrastructure the resilient path is *identical* to the
+/// pre-existing strict pipeline: same study, same UPB to the last bit.
+#[test]
+fn clean_path_parity_with_strict_pipeline() {
+    let model = small_model(Benchmark::IpFwdL1, 7);
+    let strict_study = SampleStudy::run(&model, 500, 7).expect("feasible");
+    let (resilient_study, log) = SampleStudy::run_resilient(&model, 500, 7, 3).expect("feasible");
+    assert_eq!(strict_study.performances(), resilient_study.performances());
+    assert_eq!(log.attempts, 500);
+    assert_eq!(log.retries, 0);
+
+    let strict = strict_study
+        .estimate_optimal(&PotConfig::default())
+        .expect("estimable");
+    let report = resilient_study
+        .estimate_resilient(&ResilientConfig::default())
+        .expect("estimable");
+    assert!(
+        (report.upb.point - strict.upb.point).abs() <= 1e-9,
+        "clean-path UPB diverged: {} vs {}",
+        report.upb.point,
+        strict.upb.point
+    );
+    assert!(!report.is_degraded());
+    assert_eq!(report.retries(), 0);
+}
+
+/// The hardened iterative algorithm terminates within its budgets on a
+/// fault-injected simulator model and still reports a usable assignment.
+#[test]
+fn iterative_terminates_under_light_faults() {
+    let model = FaultyModel::new(
+        small_model(Benchmark::PacketAnalyzer, 9),
+        FaultPlan::light(9),
+    );
+    let cfg = IterativeConfig {
+        n_init: 300,
+        n_delta: 100,
+        acceptable_loss: 0.10,
+        max_samples: 1_500,
+        eval_budget: 6_000,
+        ..IterativeConfig::default()
+    };
+    let result = run_iterative(&model, &cfg, 31).expect("terminates with a report");
+    assert!(result.samples_used <= cfg.max_samples);
+    assert!(result.evaluations <= cfg.eval_budget);
+    assert!(result.best_performance.is_finite() && result.best_performance > 0.0);
+    assert!(!result.trace.is_empty());
+}
