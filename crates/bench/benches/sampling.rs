@@ -1,11 +1,17 @@
-//! Micro-benchmarks of assignment generation and canonicalization.
+//! Micro-benchmarks of assignment generation, canonicalization, and the
+//! parallel sampling engine's throughput.
 
 use optassign::sampling::random_assignment;
-use optassign::Topology;
+use optassign::study::SampleStudy;
+use optassign::{Parallelism, Topology};
 use optassign_bench::microbench::{bench, group};
+use optassign_bench::{case_study_model_small, Scale};
+use optassign_netapps::Benchmark;
 
 fn main() {
     let topo = Topology::ultrasparc_t2();
+    let scale = Scale::from_args();
+    let _ = &scale;
 
     group("random_assignment");
     // Rejection rate grows with density: 24 tasks ~1% acceptance on 64
@@ -21,4 +27,27 @@ fn main() {
     let mut rng = optassign_stats::rng::StdRng::seed_from_u64(2);
     let a = random_assignment(24, topo, &mut rng).unwrap();
     bench("canonical_key_24_tasks", || a.canonical_key());
+
+    group("sampling_parallel");
+    // Throughput of the deterministic parallel engine on a real
+    // simulator-backed study. Output is bit-identical at every worker
+    // count, so the only question is speed; 4 workers should clear a 2x
+    // speedup over serial on any multi-core host.
+    let model = case_study_model_small(Benchmark::IpFwdL1, 2);
+    let n = 48;
+    let mut medians = Vec::new();
+    for &workers in &[1usize, 2, 4] {
+        let par = Parallelism::new(workers);
+        let ns = bench(&format!("sample_study/{n}x{workers}w"), || {
+            SampleStudy::run_with(&model, n, 7, par).unwrap()
+        });
+        medians.push((workers, ns));
+    }
+    let serial = medians[0].1;
+    for &(workers, ns) in &medians[1..] {
+        println!(
+            "  └ speedup at {workers} workers: {:.2}x",
+            serial / ns.max(1.0)
+        );
+    }
 }

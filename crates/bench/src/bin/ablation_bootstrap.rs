@@ -52,7 +52,7 @@ fn main() {
 
     println!("\nBootstrap-vs-EVT ablation, part 2: measured pool (IPFwd-L1)\n");
     let big = measured_pool(Benchmark::IpFwdL1, scale.sample(5000));
-    let small = big.prefix(scale.sample(1000));
+    let small = big.prefix(scale.sample(1000)).expect("within pool");
     let truth_proxy = big.best_performance();
     let pot = PotAnalysis::run(small.performances(), &PotConfig::default()).expect("tail");
     let boot = bootstrap_max(small.performances(), 1000, 0.95, 13).expect("valid");

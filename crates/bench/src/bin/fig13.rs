@@ -20,6 +20,7 @@ fn main() {
         acceptable_loss: 0.05,
         confidence: 0.95,
         max_samples: scale.sample(8000),
+        parallelism: scale.parallelism(),
         ..IterativeConfig::default()
     };
     println!(
@@ -27,8 +28,8 @@ fn main() {
         config.acceptable_loss * 100.0
     );
     eprintln!(
-        "[fig13] running (N_init = {}, N_delta = {})…",
-        config.n_init, config.n_delta
+        "[fig13] running (N_init = {}, N_delta = {}, {} workers)…",
+        config.n_init, config.n_delta, config.parallelism.workers
     );
     let result = run_iterative(&model, &config, BASE_SEED).expect("feasible case study");
 

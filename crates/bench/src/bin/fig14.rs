@@ -9,7 +9,7 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin fig14 [--scale f]`
 
-use optassign_bench::{measured_pool, print_table, Scale};
+use optassign_bench::{measured_pool_with, print_table, Scale};
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
 
@@ -43,7 +43,7 @@ fn main() {
     );
     let mut rows = Vec::new();
     for bench in Benchmark::paper_suite() {
-        let pool = measured_pool(bench, pool_size);
+        let pool = measured_pool_with(bench, pool_size, scale.parallelism());
         let mut row = vec![bench.name().to_string()];
         for &t in &targets {
             row.push(

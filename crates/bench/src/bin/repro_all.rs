@@ -13,7 +13,7 @@ use optassign::schedulers::{linux_like, naive};
 use optassign::space::{enumerate_assignments, table1_row};
 use optassign::Topology;
 use optassign_bench::{
-    case_study_model_small, fmt_pps, measured_pool, print_table, Scale, BASE_SEED,
+    case_study_model_small, fmt_pps, measured_pool_with, print_table, Scale, BASE_SEED,
 };
 use optassign_evt::mean_excess::MeanExcessPlot;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
@@ -24,7 +24,11 @@ fn main() {
     let scale = Scale::from_args();
     let t_start = std::time::Instant::now();
     println!("================================================================");
-    println!("optassign reproduction run (scale {})", scale.factor);
+    println!(
+        "optassign reproduction run (scale {}, {} workers)",
+        scale.factor,
+        scale.parallelism().workers
+    );
     println!("================================================================\n");
 
     table1();
@@ -37,7 +41,10 @@ fn main() {
     let pool_size = scale.sample(8000);
     let mut pools = Vec::new();
     for bench in Benchmark::paper_suite() {
-        pools.push((bench, measured_pool(bench, pool_size)));
+        pools.push((
+            bench,
+            measured_pool_with(bench, pool_size, scale.parallelism()),
+        ));
     }
 
     fig6_and_7(&pools[0].1);
@@ -200,7 +207,7 @@ fn fig10_11_12(pools: &[(Benchmark, optassign::study::SampleStudy)], sizes: &[us
         let mut r11 = vec![bench.name().to_string()];
         let mut r12 = vec![bench.name().to_string()];
         for &n in sizes {
-            let study = pool.prefix(n);
+            let study = pool.prefix(n).expect("sizes fit the pool");
             r10.push(fmt_pps(study.best_performance()));
             match PotAnalysis::run(study.performances(), &cfg) {
                 Ok(analysis) => {

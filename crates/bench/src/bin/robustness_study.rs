@@ -31,6 +31,7 @@ const MAX_RETRIES: usize = 3;
 fn main() {
     let scale = Scale::from_args();
     let n = scale.sample(1000);
+    let par = scale.parallelism();
     let policies = [
         ("strict", FallbackPolicy::Strict),
         ("profile", FallbackPolicy::Profile),
@@ -39,7 +40,8 @@ fn main() {
 
     println!(
         "Robustness study: UPB estimation under injected measurement faults \
-         (n = {n}, retries = {MAX_RETRIES})\n"
+         (n = {n}, retries = {MAX_RETRIES}, {} workers)\n",
+        par.workers
     );
 
     let mut rows = Vec::new();
@@ -47,7 +49,7 @@ fn main() {
         let seed = BASE_SEED ^ seed_tag(bench);
         eprintln!("[robustness] {}: clean reference…", bench.name());
         let model = case_study_model(bench);
-        let clean = SampleStudy::run(&model, n, seed).expect("case-study workloads fit");
+        let clean = SampleStudy::run_with(&model, n, seed, par).expect("case-study workloads fit");
         let clean_upb = clean
             .estimate_optimal(&PotConfig::default())
             .map(|a| a.upb.point)
@@ -60,24 +62,25 @@ fn main() {
         ] {
             eprintln!("[robustness] {}: {fault_name} faults…", bench.name());
             let faulty = FaultyModel::new(case_study_model(bench), plan);
-            let (study, log) = match SampleStudy::run_resilient(&faulty, n, seed, MAX_RETRIES) {
-                Ok(ok) => ok,
-                Err(e) => {
-                    for (policy_name, _) in policies {
-                        rows.push(vec![
-                            bench.name().to_string(),
-                            fault_name.to_string(),
-                            policy_name.to_string(),
-                            format!("campaign failed: {e}"),
-                            "-".into(),
-                            "-".into(),
-                            "-".into(),
-                            "-".into(),
-                        ]);
+            let (study, log) =
+                match SampleStudy::run_resilient_with(&faulty, n, seed, MAX_RETRIES, par) {
+                    Ok(ok) => ok,
+                    Err(e) => {
+                        for (policy_name, _) in policies {
+                            rows.push(vec![
+                                bench.name().to_string(),
+                                fault_name.to_string(),
+                                policy_name.to_string(),
+                                format!("campaign failed: {e}"),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                                "-".into(),
+                            ]);
+                        }
+                        continue;
                     }
-                    continue;
-                }
-            };
+                };
             for (policy_name, policy) in policies {
                 let cfg = ResilientConfig {
                     policy,

@@ -14,6 +14,7 @@ pub mod microbench;
 
 use optassign::model::SimModel;
 use optassign::study::SampleStudy;
+use optassign::Parallelism;
 use optassign_netapps::Benchmark;
 use optassign_sim::MachineConfig;
 
@@ -36,18 +37,28 @@ pub const MEASURE_CYCLES: u64 = 80_000;
 pub struct Scale {
     /// Multiplier on sample sizes (1.0 = the paper's sizes).
     pub factor: f64,
+    /// Explicit worker count from `--workers`; `None` defers to
+    /// `OPTASSIGN_WORKERS` and then to all available cores.
+    pub workers: Option<usize>,
 }
 
 impl Scale {
-    /// Parses `--scale <f>` from the process arguments; defaults to 1.0.
-    /// Also honours a bare positional float for convenience.
+    /// Parses `--scale <f>` and `--workers <n>` from the process
+    /// arguments; scale defaults to 1.0 and also honours a bare
+    /// positional float for convenience.
     pub fn from_args() -> Scale {
         let args: Vec<String> = std::env::args().collect();
         let mut factor = 1.0f64;
+        let mut workers = None;
         let mut i = 1;
         while i < args.len() {
             if args[i] == "--scale" && i + 1 < args.len() {
                 factor = args[i + 1].parse().unwrap_or(1.0);
+                i += 2;
+                continue;
+            }
+            if args[i] == "--workers" && i + 1 < args.len() {
+                workers = args[i + 1].parse::<usize>().ok().filter(|&w| w > 0);
                 i += 2;
                 continue;
             }
@@ -58,7 +69,18 @@ impl Scale {
         }
         Scale {
             factor: factor.clamp(0.01, 10.0),
+            workers,
         }
+    }
+
+    /// The worker policy for this run: `--workers` if given, then
+    /// `OPTASSIGN_WORKERS`, then every available core. Results are
+    /// bit-identical regardless (see `optassign_exec`), so this only
+    /// changes wall-clock time.
+    pub fn parallelism(&self) -> Parallelism {
+        self.workers
+            .map(Parallelism::new)
+            .unwrap_or_else(Parallelism::max_available)
     }
 
     /// Scales a paper sample size, keeping it statistically usable
@@ -92,16 +114,23 @@ pub fn case_study_model_small(bench: Benchmark, instances: usize) -> SimModel {
 }
 
 /// Measures a pool of `n` random assignments for one benchmark, printing
-/// progress to stderr (the big pools take minutes on one CPU).
+/// progress to stderr. Uses every available core (or `OPTASSIGN_WORKERS`)
+/// — the pool is bit-identical to a serial run either way.
 pub fn measured_pool(bench: Benchmark, n: usize) -> SampleStudy {
+    measured_pool_with(bench, n, Parallelism::max_available())
+}
+
+/// [`measured_pool`] with an explicit worker policy.
+pub fn measured_pool_with(bench: Benchmark, n: usize, parallelism: Parallelism) -> SampleStudy {
     let model = case_study_model(bench);
     eprintln!(
-        "[pool] {}: measuring {} random assignments…",
+        "[pool] {}: measuring {} random assignments ({} workers)…",
         bench.name(),
-        n
+        n,
+        parallelism.workers
     );
     let t0 = std::time::Instant::now();
-    let study = SampleStudy::run(&model, n, BASE_SEED ^ seed_tag(bench))
+    let study = SampleStudy::run_with(&model, n, BASE_SEED ^ seed_tag(bench), parallelism)
         .expect("case-study workloads fit the machine");
     eprintln!(
         "[pool] {}: done in {:.1}s",
@@ -134,7 +163,7 @@ pub fn sample_size_analysis(bench: Benchmark, sizes: &[usize]) -> Vec<SizePoint>
     sizes
         .iter()
         .map(|&n| {
-            let study = pool.prefix(n);
+            let study = pool.prefix(n).expect("sizes are within the pool");
             let analysis = PotAnalysis::run(study.performances(), &PotConfig::default()).ok();
             SizePoint {
                 n,
@@ -197,10 +226,30 @@ mod tests {
 
     #[test]
     fn scale_floors_small_samples() {
-        let s = Scale { factor: 0.01 };
+        let s = Scale {
+            factor: 0.01,
+            workers: None,
+        };
         assert_eq!(s.sample(1000), 300);
-        let s = Scale { factor: 1.0 };
+        let s = Scale {
+            factor: 1.0,
+            workers: None,
+        };
         assert_eq!(s.sample_sizes(), [1000, 2000, 5000]);
+    }
+
+    #[test]
+    fn explicit_workers_win_over_defaults() {
+        let s = Scale {
+            factor: 1.0,
+            workers: Some(3),
+        };
+        assert_eq!(s.parallelism(), Parallelism::new(3));
+        let s = Scale {
+            factor: 1.0,
+            workers: None,
+        };
+        assert!(s.parallelism().workers >= 1);
     }
 
     #[test]

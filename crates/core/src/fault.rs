@@ -8,6 +8,13 @@
 //! the sequence of measurement calls, so every degraded experiment is
 //! replayable bit-for-bit.
 //!
+//! Two fallible paths exist. [`PerformanceModel::try_evaluate`] keys its
+//! faults on a global call counter — exact sequential replayability, but
+//! order-dependent. [`PerformanceModel::try_evaluate_at`] keys them on an
+//! explicit `(stream, attempt)` pair instead, so the parallel runners can
+//! measure slots in any interleaving and still produce bit-identical
+//! results for every worker count.
+//!
 //! Faults only flow through the fallible path
 //! ([`PerformanceModel::try_evaluate`]); the infallible
 //! [`PerformanceModel::evaluate`] passes through to the wrapped model
@@ -18,7 +25,9 @@ use crate::assignment::Assignment;
 use crate::model::{MeasureError, PerformanceModel};
 use optassign_sim::Topology;
 use optassign_stats::rng::{Rng, StdRng};
-use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// What faults to inject, and how often.
 ///
@@ -128,6 +137,20 @@ pub struct FaultStats {
     pub quantized: u64,
 }
 
+impl FaultStats {
+    /// Accumulates another counter set into this one (all fields are
+    /// sums, so merging is order-free — safe under any interleaving).
+    fn merge(&mut self, other: &FaultStats) {
+        self.attempts += other.attempts;
+        self.failures += other.failures;
+        self.spikes += other.spikes;
+        self.noisy += other.noisy;
+        self.heavy_tails += other.heavy_tails;
+        self.stuck += other.stuck;
+        self.quantized += other.quantized;
+    }
+}
+
 /// A [`PerformanceModel`] decorator injecting deterministic, seed-driven
 /// measurement faults.
 ///
@@ -154,10 +177,26 @@ pub struct FaultyModel<M> {
     plan: FaultPlan,
     /// Measurement-sequence counter: makes retries of the same assignment
     /// draw fresh faults while keeping the whole sequence replayable.
-    calls: Cell<u64>,
-    /// Previous reading, for stuck-counter repeats.
-    last_value: Cell<Option<f64>>,
-    stats: RefCell<FaultStats>,
+    /// Only the sequential [`PerformanceModel::try_evaluate`] path uses
+    /// it; the keyed [`PerformanceModel::try_evaluate_at`] path is
+    /// addressed by `(stream, attempt)` instead, so its outcomes do not
+    /// depend on cross-slot interleaving.
+    calls: AtomicU64,
+    /// Previous reading, for stuck-counter repeats on the sequential path.
+    last_value: Mutex<Option<f64>>,
+    /// Previous reading per stream, for stuck-counter repeats on the
+    /// keyed path. Calls within one stream are sequential (a slot's
+    /// attempts never run concurrently), so this is deterministic for
+    /// any worker count.
+    stream_last: Mutex<HashMap<u64, f64>>,
+    stats: Mutex<FaultStats>,
+}
+
+/// Mutex poisoning only happens after a panic elsewhere; the fault state
+/// is still internally consistent, so recover the guard rather than
+/// propagate the poison.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 impl<M: PerformanceModel> FaultyModel<M> {
@@ -189,9 +228,10 @@ impl<M: PerformanceModel> FaultyModel<M> {
         FaultyModel {
             inner,
             plan,
-            calls: Cell::new(0),
-            last_value: Cell::new(None),
-            stats: RefCell::new(FaultStats::default()),
+            calls: AtomicU64::new(0),
+            last_value: Mutex::new(None),
+            stream_last: Mutex::new(HashMap::new()),
+            stats: Mutex::new(FaultStats::default()),
         }
     }
 
@@ -207,15 +247,16 @@ impl<M: PerformanceModel> FaultyModel<M> {
 
     /// Injection counts so far.
     pub fn stats(&self) -> FaultStats {
-        *self.stats.borrow()
+        *lock(&self.stats)
     }
 
     /// Resets the measurement-sequence counter, stuck state and stats, so
     /// a fresh experiment replays the same fault sequence.
     pub fn reset(&self) {
-        self.calls.set(0);
-        self.last_value.set(None);
-        *self.stats.borrow_mut() = FaultStats::default();
+        self.calls.store(0, Ordering::Relaxed);
+        *lock(&self.last_value) = None;
+        lock(&self.stream_last).clear();
+        *lock(&self.stats) = FaultStats::default();
     }
 
     /// The fault RNG for one measurement: keyed by plan seed, the
@@ -229,40 +270,36 @@ impl<M: PerformanceModel> FaultyModel<M> {
         h ^= call.wrapping_mul(0xD6E8_FEB8_6659_FD93);
         StdRng::seed_from_u64(h)
     }
-}
 
-impl<M: PerformanceModel> PerformanceModel for FaultyModel<M> {
-    fn tasks(&self) -> usize {
-        self.inner.tasks()
-    }
-
-    fn topology(&self) -> Topology {
-        self.inner.topology()
-    }
-
-    /// Ground truth: delegates to the wrapped model with no injection.
-    fn evaluate(&self, assignment: &Assignment) -> f64 {
-        self.inner.evaluate(assignment)
-    }
-
-    fn try_evaluate(&self, assignment: &Assignment) -> Result<f64, MeasureError> {
-        let call = self.calls.get();
-        self.calls.set(call + 1);
-        let mut rng = self.fault_rng(assignment, call);
-        let mut stats = self.stats.borrow_mut();
-        stats.attempts += 1;
-
-        if rng.gen_bool(self.plan.fail_rate) {
-            stats.failures += 1;
-            return Err(MeasureError::Failed(format!(
-                "injected fault (measurement #{call})"
-            )));
+    /// The fault RNG for one keyed measurement: keyed by plan seed, the
+    /// assignment's contexts, the slot's stream, and the attempt number
+    /// within the slot — no global state, so the draw is identical no
+    /// matter which worker performs it or when.
+    fn fault_rng_at(&self, assignment: &Assignment, stream: u64, attempt: u32) -> StdRng {
+        let mut h: u64 = self.plan.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for &c in assignment.contexts() {
+            h ^= c as u64 + 1;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
+        h ^= stream.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^= u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F);
+        StdRng::seed_from_u64(h)
+    }
 
-        let mut value = self.inner.try_evaluate(assignment)?;
-
+    /// Applies the value-fault chain (stuck → spike → noise → heavy tail
+    /// → quantize → floor → finite check) to one successful reading.
+    /// `stuck_prev` supplies the "previous reading" the stuck-counter
+    /// fault would repeat; the RNG draw order is identical on both
+    /// measurement paths.
+    fn apply_value_faults(
+        &self,
+        rng: &mut StdRng,
+        mut value: f64,
+        stuck_prev: Option<f64>,
+        stats: &mut FaultStats,
+    ) -> Result<f64, MeasureError> {
         if rng.gen_bool(self.plan.stuck_rate) {
-            if let Some(prev) = self.last_value.get() {
+            if let Some(prev) = stuck_prev {
                 stats.stuck += 1;
                 value = prev;
             }
@@ -278,7 +315,7 @@ impl<M: PerformanceModel> PerformanceModel for FaultyModel<M> {
         }
         if rng.gen_bool(self.plan.noise_rate) {
             stats.noisy += 1;
-            value *= 1.0 + self.plan.noise_sd * standard_normal(&mut rng);
+            value *= 1.0 + self.plan.noise_sd * standard_normal(rng);
         }
         if rng.gen_bool(self.plan.heavy_tail_rate) {
             stats.heavy_tails += 1;
@@ -297,8 +334,82 @@ impl<M: PerformanceModel> PerformanceModel for FaultyModel<M> {
         if !value.is_finite() {
             return Err(MeasureError::NonFinite(value));
         }
-        self.last_value.set(Some(value));
         Ok(value)
+    }
+}
+
+impl<M: PerformanceModel> PerformanceModel for FaultyModel<M> {
+    fn tasks(&self) -> usize {
+        self.inner.tasks()
+    }
+
+    fn topology(&self) -> Topology {
+        self.inner.topology()
+    }
+
+    /// Ground truth: delegates to the wrapped model with no injection.
+    fn evaluate(&self, assignment: &Assignment) -> f64 {
+        self.inner.evaluate(assignment)
+    }
+
+    fn try_evaluate(&self, assignment: &Assignment) -> Result<f64, MeasureError> {
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let mut rng = self.fault_rng(assignment, call);
+        let mut stats = FaultStats::default();
+        stats.attempts += 1;
+
+        let outcome = (|| {
+            if rng.gen_bool(self.plan.fail_rate) {
+                stats.failures += 1;
+                return Err(MeasureError::Failed(format!(
+                    "injected fault (measurement #{call})"
+                )));
+            }
+            let value = self.inner.try_evaluate(assignment)?;
+            let stuck_prev = *lock(&self.last_value);
+            let value = self.apply_value_faults(&mut rng, value, stuck_prev, &mut stats)?;
+            *lock(&self.last_value) = Some(value);
+            Ok(value)
+        })();
+        lock(&self.stats).merge(&stats);
+        outcome
+    }
+
+    fn try_evaluate_at(
+        &self,
+        assignment: &Assignment,
+        stream: u64,
+        attempt: u32,
+    ) -> Result<f64, MeasureError> {
+        let mut rng = self.fault_rng_at(assignment, stream, attempt);
+        let mut stats = FaultStats::default();
+        stats.attempts += 1;
+
+        let outcome = (|| {
+            if rng.gen_bool(self.plan.fail_rate) {
+                stats.failures += 1;
+                return Err(MeasureError::Failed(format!(
+                    "injected fault (stream {stream:#x}, attempt {attempt})"
+                )));
+            }
+            let value = self.inner.try_evaluate_at(assignment, stream, attempt)?;
+            // The stuck-counter fault repeats the *stream's* previous
+            // reading: calls within a stream are sequential, so this is
+            // order-free across slots. A stream's first reading has no
+            // predecessor and passes through unchanged.
+            let stuck_prev = if self.plan.stuck_rate > 0.0 {
+                lock(&self.stream_last).get(&stream).copied()
+            } else {
+                None
+            };
+            let value = self.apply_value_faults(&mut rng, value, stuck_prev, &mut stats)?;
+            if self.plan.stuck_rate > 0.0 {
+                lock(&self.stream_last).insert(stream, value);
+            }
+            Ok(value)
+        })();
+        lock(&self.stats).merge(&stats);
+        outcome
     }
 }
 
@@ -440,6 +551,69 @@ mod tests {
         for a in assignments(100) {
             assert_eq!(m.evaluate(&a), clean.evaluate(&a));
         }
+    }
+
+    #[test]
+    fn keyed_faults_do_not_depend_on_cross_stream_order() {
+        // The (stream, attempt)-keyed path must give every stream the
+        // same outcomes no matter how streams interleave — the property
+        // the parallel runners rely on. Attempts within a stream stay
+        // sequential (as a slot's retries are); only the cross-stream
+        // order changes.
+        let xs = assignments(48);
+        let run = |stream_order: Vec<usize>| {
+            let m = FaultyModel::new(inner(), FaultPlan::harsh(21));
+            let mut out = vec![Vec::new(); xs.len()];
+            for &i in &stream_order {
+                let stream = 1_000 + i as u64;
+                for attempt in 0..3u32 {
+                    out[i].push(m.try_evaluate_at(&xs[i], stream, attempt));
+                }
+            }
+            out
+        };
+        let forward = run((0..xs.len()).collect());
+        let backward = run((0..xs.len()).rev().collect());
+        assert_eq!(forward, backward);
+    }
+
+    #[test]
+    fn keyed_path_is_transparent_on_a_clean_plan() {
+        let m = FaultyModel::new(inner(), FaultPlan::none(6));
+        for (i, a) in assignments(30).iter().enumerate() {
+            assert_eq!(m.try_evaluate_at(a, i as u64, 0).unwrap(), m.evaluate(a));
+        }
+    }
+
+    #[test]
+    fn keyed_retries_draw_fresh_faults() {
+        // Different attempt numbers on the same (assignment, stream) key
+        // must produce different fault draws, or retrying would be
+        // pointless.
+        let m = FaultyModel::new(
+            inner(),
+            FaultPlan {
+                fail_rate: 0.5,
+                ..FaultPlan::none(11)
+            },
+        );
+        let a = &assignments(1)[0];
+        let mut saw_failure = false;
+        let mut saw_success = false;
+        for attempt in 0..64u32 {
+            match m.try_evaluate_at(a, 7, attempt) {
+                Ok(_) => saw_success = true,
+                Err(MeasureError::Failed(_)) => saw_failure = true,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert!(saw_failure && saw_success);
+    }
+
+    #[test]
+    fn faulty_model_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<FaultyModel<SyntheticModel>>();
     }
 
     #[test]

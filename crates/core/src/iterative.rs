@@ -26,13 +26,20 @@
 //! * every such departure from the clean path is recorded as a
 //!   [`DegradationEvent`] in the result.
 
-use crate::model::PerformanceModel;
+use crate::model::{MeasureError, PerformanceModel};
 use crate::sampling::random_assignment;
 use crate::study::SampleStudy;
 use crate::{Assignment, CoreError};
 use optassign_evt::pot::PotConfig;
 use optassign_evt::resilient::{EstimateReport, FallbackPolicy, ResilientConfig};
-use optassign_stats::rng::Rng;
+use optassign_exec::{split_seed, try_parallel_map, Parallelism};
+use optassign_stats::rng::{Rng, StdRng};
+
+/// Salt deriving each round's batch stream from the campaign seed.
+const BATCH_SALT: u64 = 0x4954_4552_4241_5443;
+/// Salt separating a slot's replacement-draw stream from its fault
+/// stream within a batch.
+const BATCH_REDRAW_SALT: u64 = 0x4954_5245_4452_4157;
 
 /// Configuration of the iterative algorithm.
 #[derive(Debug, Clone, PartialEq)]
@@ -67,6 +74,11 @@ pub struct IterativeConfig {
     pub estimate_failure_limit: usize,
     /// How far down the estimation fallback ladder each round may go.
     pub fallback: FallbackPolicy,
+    /// Worker count for the per-round measurement batches. The batch
+    /// results are bit-identical for every worker count (see
+    /// [`optassign_exec`]), so this is purely a throughput knob; the
+    /// default honors `OPTASSIGN_WORKERS` and otherwise stays serial.
+    pub parallelism: Parallelism,
 }
 
 impl Default for IterativeConfig {
@@ -83,6 +95,7 @@ impl Default for IterativeConfig {
             min_rel_improvement: 1e-4,
             estimate_failure_limit: 5,
             fallback: FallbackPolicy::Full,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -199,14 +212,77 @@ struct Batch {
     budget_exhausted: bool,
 }
 
-/// Measures up to `want` assignments through the fallible path, spending
-/// at most `budget` attempts.
-fn measure_batch<M: PerformanceModel, R: Rng + ?Sized>(
+/// Outcome of one slot of a measurement batch: either a measured
+/// assignment or an abandoned slot, plus the attempts it consumed.
+struct BatchSlot {
+    measured: Option<(Assignment, f64)>,
+    attempts: usize,
+    retries: usize,
+    redrawn: usize,
+}
+
+/// Measures one batch slot. The slot's primary assignment gets
+/// `1 + max_retries` keyed attempts; an exhausted assignment is replaced
+/// from the slot's private redraw stream, up to `draw_cap` draws. The
+/// whole slot is a pure function of `(batch_salt, slot)` — independent
+/// of every other slot and of scheduling order.
+fn measure_batch_slot<M: PerformanceModel>(
+    model: &M,
+    primary: &Assignment,
+    batch_salt: u64,
+    slot: usize,
+    max_retries: usize,
+    draw_cap: usize,
+) -> Result<BatchSlot, CoreError> {
+    let stream = split_seed(batch_salt, slot as u64);
+    let mut redraw_rng: Option<StdRng> = None;
+    let mut current = primary.clone();
+    let mut out = BatchSlot {
+        measured: None,
+        attempts: 0,
+        retries: 0,
+        redrawn: 0,
+    };
+    for draw in 0..draw_cap {
+        for attempt in 0..=max_retries {
+            out.attempts += 1;
+            let key = (draw * (max_retries + 1) + attempt) as u32;
+            if let Ok(v) = model.try_evaluate_at(&current, stream, key) {
+                out.retries += attempt;
+                out.measured = Some((current, v));
+                return Ok(out);
+            }
+        }
+        out.redrawn += 1;
+        if draw + 1 < draw_cap {
+            let r = redraw_rng.get_or_insert_with(|| {
+                StdRng::seed_from_u64(split_seed(batch_salt ^ BATCH_REDRAW_SALT, slot as u64))
+            });
+            current = random_assignment(model.tasks(), model.topology(), r)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Measures up to `want` assignments through the fallible keyed path,
+/// spending at most `budget` attempts.
+///
+/// The `want` primary assignments are drawn sequentially from the main
+/// campaign stream (so the clean path is identical to the sequential
+/// algorithm); the slots then measure in parallel, each keyed by
+/// `(batch_salt, slot)`. The budget is enforced by an order-fixed
+/// reduction: slots are accepted in index order while their cumulative
+/// attempts fit, and the first slot that would overflow truncates the
+/// batch — for any worker count, the same slots are kept and
+/// `attempts <= budget` holds exactly.
+fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
     model: &M,
     want: usize,
     max_retries: usize,
     budget: usize,
     rng: &mut R,
+    batch_salt: u64,
+    parallelism: Parallelism,
 ) -> Result<Batch, CoreError> {
     let mut b = Batch {
         assignments: Vec::with_capacity(want),
@@ -216,27 +292,36 @@ fn measure_batch<M: PerformanceModel, R: Rng + ?Sized>(
         redrawn: 0,
         budget_exhausted: false,
     };
-    'draws: while b.assignments.len() < want {
-        let a = random_assignment(model.tasks(), model.topology(), rng)?;
-        let mut measured = None;
-        for attempt in 0..=max_retries {
-            if b.attempts >= budget {
-                b.budget_exhausted = true;
-                break 'draws;
-            }
-            b.attempts += 1;
-            if let Ok(v) = model.try_evaluate(&a) {
-                b.retries += attempt;
-                measured = Some(v);
-                break;
-            }
+    if budget == 0 {
+        b.budget_exhausted = true;
+        return Ok(b);
+    }
+    let mut primaries = Vec::with_capacity(want);
+    for _ in 0..want {
+        primaries.push(random_assignment(model.tasks(), model.topology(), rng)?);
+    }
+    // Per-slot share of the batch budget, floored at the resilient
+    // campaign's four draws per slot.
+    let per_slot_attempts = want.max(1) * (1 + max_retries);
+    let draw_cap = 4usize.max(budget.div_ceil(per_slot_attempts));
+    let slots = try_parallel_map(parallelism, want, |i| {
+        measure_batch_slot(model, &primaries[i], batch_salt, i, max_retries, draw_cap)
+    })?;
+    for slot in slots {
+        if b.attempts + slot.attempts > budget {
+            // The budget runs out inside this slot: count the attempts
+            // that fit, drop the slot's measurement (it was not paid
+            // for), and truncate the batch.
+            b.attempts = budget;
+            b.budget_exhausted = true;
+            break;
         }
-        match measured {
-            Some(v) => {
-                b.assignments.push(a);
-                b.performances.push(v);
-            }
-            None => b.redrawn += 1,
+        b.attempts += slot.attempts;
+        b.retries += slot.retries;
+        b.redrawn += slot.redrawn;
+        if let Some((a, v)) = slot.measured {
+            b.assignments.push(a);
+            b.performances.push(v);
         }
     }
     Ok(b)
@@ -271,7 +356,7 @@ fn measure_batch<M: PerformanceModel, R: Rng + ?Sized>(
 ///     / result.final_estimate.upb.point;
 /// assert!(gap <= 0.10);
 /// ```
-pub fn run_iterative<M: PerformanceModel>(
+pub fn run_iterative<M: PerformanceModel + Sync>(
     model: &M,
     config: &IterativeConfig,
     seed: u64,
@@ -321,17 +406,17 @@ pub fn run_iterative<M: PerformanceModel>(
         config.max_eval_retries,
         config.eval_budget,
         &mut rng,
+        split_seed(seed ^ BATCH_SALT, 0),
+        config.parallelism,
     )?;
     attempts_total += batch.attempts;
     record_batch_events(&mut events, &batch, batch.assignments.len());
     budget_exhausted |= batch.budget_exhausted;
     if batch.assignments.is_empty() {
-        return Err(CoreError::Measurement(crate::model::MeasureError::Failed(
-            format!(
-                "evaluation budget of {} attempts produced no successful measurement",
-                config.eval_budget
-            ),
-        )));
+        return Err(CoreError::Measurement(MeasureError::Failed(format!(
+            "evaluation budget of {} attempts produced no successful measurement",
+            config.eval_budget
+        ))));
     }
     let mut study = SampleStudy::from_measurements(batch.assignments, batch.performances)?;
 
@@ -339,6 +424,7 @@ pub fn run_iterative<M: PerformanceModel>(
     let mut rounds_without_improvement = 0usize;
     let mut consecutive_bad_estimates = 0usize;
     let mut degraded_stopping = false;
+    let mut round: u64 = 1;
 
     loop {
         // Step 2: estimate the optimal system performance through the
@@ -435,7 +521,10 @@ pub fn run_iterative<M: PerformanceModel>(
             config.max_eval_retries,
             config.eval_budget - attempts_total,
             &mut rng,
+            split_seed(seed ^ BATCH_SALT, round),
+            config.parallelism,
         )?;
+        round += 1;
         attempts_total += batch.attempts;
         budget_exhausted |= batch.budget_exhausted;
         if budget_exhausted {
@@ -445,7 +534,7 @@ pub fn run_iterative<M: PerformanceModel>(
             });
         }
         record_batch_events(&mut events, &batch, study.len() + batch.assignments.len());
-        study.extend_measured(batch.assignments, batch.performances);
+        study.extend_measured(batch.assignments, batch.performances)?;
 
         let best_now = study.best_performance();
         if best_now > best_seen * (1.0 + config.min_rel_improvement) {
@@ -620,6 +709,34 @@ mod tests {
         let b = run_iterative(&model(), &cfg, 9).unwrap();
         assert_eq!(a.samples_used, b.samples_used);
         assert_eq!(a.best_performance, b.best_performance);
+    }
+
+    #[test]
+    fn parallel_batches_are_bit_identical_to_serial() {
+        let faulty = FaultyModel::new(model(), FaultPlan::light(55));
+        let mk = |workers: usize| IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 0.05,
+            parallelism: Parallelism::new(workers),
+            ..IterativeConfig::default()
+        };
+        let serial = run_iterative(&faulty, &mk(1), 19).unwrap();
+        for workers in [2, 4, 7] {
+            let par = run_iterative(&faulty, &mk(workers), 19).unwrap();
+            assert_eq!(par.samples_used, serial.samples_used, "workers={workers}");
+            assert_eq!(par.evaluations, serial.evaluations, "workers={workers}");
+            assert_eq!(
+                par.best_performance, serial.best_performance,
+                "workers={workers}"
+            );
+            assert_eq!(
+                par.final_estimate.upb.point, serial.final_estimate.upb.point,
+                "workers={workers}"
+            );
+            assert_eq!(par.trace, serial.trace, "workers={workers}");
+            assert_eq!(par.events, serial.events, "workers={workers}");
+        }
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod study;
 
 pub use assignment::Assignment;
 pub use model::PerformanceModel;
+pub use optassign_exec::{split_seed, Parallelism};
 pub use optassign_sim::Topology;
 
 /// Errors produced by the assignment-analysis routines.

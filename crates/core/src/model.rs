@@ -91,6 +91,38 @@ pub trait PerformanceModel {
             Err(MeasureError::NonFinite(v))
         }
     }
+
+    /// Fallible measurement addressed by an explicit `(stream, attempt)`
+    /// key, for deterministic parallel measurement campaigns.
+    ///
+    /// Parallel runners ([`crate::study::SampleStudy::run_resilient`],
+    /// [`crate::iterative::run_iterative`]) give every sample slot its
+    /// own `stream` (derived via [`optassign_exec::split_seed`]) and
+    /// number the attempts within the slot. A model whose stochastic
+    /// behaviour (fault injection, noise) must be reproducible keys it
+    /// on `(stream, attempt)` instead of a global call counter, so the
+    /// outcome of a slot does not depend on how slots interleave across
+    /// worker threads — the foundation of the workspace's bit-identical
+    /// serial/parallel guarantee.
+    ///
+    /// The default implementation ignores the key and delegates to
+    /// [`PerformanceModel::try_evaluate`], which is correct for every
+    /// deterministic model (same assignment → same value, regardless of
+    /// order). Only models with call-order-dependent state need to
+    /// override it (see [`crate::fault::FaultyModel`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MeasureError`] when the measurement is unusable.
+    fn try_evaluate_at(
+        &self,
+        assignment: &Assignment,
+        stream: u64,
+        attempt: u32,
+    ) -> Result<f64, MeasureError> {
+        let _ = (stream, attempt);
+        self.try_evaluate(assignment)
+    }
 }
 
 /// Simulator-backed model: every evaluation runs the cycle-approximate

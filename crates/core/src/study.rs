@@ -13,6 +13,15 @@ use crate::sampling::{random_assignment, sample_assignments};
 use crate::CoreError;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_evt::resilient::{estimate_resilient, EstimateReport, ResilientConfig};
+use optassign_exec::{parallel_map, split_seed, try_parallel_map, Parallelism};
+use optassign_stats::rng::StdRng;
+
+/// Salt separating a slot's measurement stream from every other use of
+/// the campaign seed.
+const MEASURE_SALT: u64 = 0x4D45_4153_5552_4531;
+/// Salt for a slot's replacement-draw stream (used only after the
+/// slot's primary assignment exhausts its retries).
+const REDRAW_SALT: u64 = 0x5245_4452_4157_5331;
 
 /// Bookkeeping from a fault-tolerant measurement campaign
 /// (see [`SampleStudy::run_resilient`]).
@@ -62,10 +71,36 @@ impl SampleStudy {
     /// let study = SampleStudy::run(&model, 200, 1).unwrap();
     /// assert!(study.best_performance() <= 1.0e6);
     /// ```
-    pub fn run<M: PerformanceModel>(model: &M, n: usize, seed: u64) -> Result<Self, CoreError> {
-        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
+    pub fn run<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+    ) -> Result<Self, CoreError> {
+        Self::run_with(model, n, seed, Parallelism::default())
+    }
+
+    /// [`SampleStudy::run`] with an explicit worker count.
+    ///
+    /// The assignments are drawn from the same sequential stream as the
+    /// serial path and each slot's measurement is a pure function of its
+    /// assignment, so the result is **bit-identical for every worker
+    /// count** — parallelism is purely a throughput knob.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Infeasible`] when the model's workload does not
+    /// fit its machine.
+    pub fn run_with<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        parallelism: Parallelism,
+    ) -> Result<Self, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
         let assignments = sample_assignments(n, model.tasks(), model.topology(), &mut rng)?;
-        let performances = assignments.iter().map(|a| model.evaluate(a)).collect();
+        let performances = parallel_map(parallelism, assignments.len(), |i| {
+            model.evaluate(&assignments[i])
+        });
         Ok(SampleStudy {
             assignments,
             performances,
@@ -87,49 +122,63 @@ impl SampleStudy {
     /// # Errors
     ///
     /// * [`CoreError::Infeasible`] — the workload does not fit the machine.
-    /// * [`CoreError::Measurement`] — the total attempt budget
-    ///   (`4 × n × (1 + max_retries)`, floored at 64) was exhausted before
-    ///   `n` measurements succeeded; the last failure is attached.
-    pub fn run_resilient<M: PerformanceModel>(
+    /// * [`CoreError::Measurement`] — some slot exhausted its share of the
+    ///   attempt budget (`4 × (1 + max_retries)` attempts per slot, with
+    ///   the whole campaign floored at 64 attempts) without producing a
+    ///   measurement; the first such slot's last failure is attached.
+    pub fn run_resilient<M: PerformanceModel + Sync>(
         model: &M,
         n: usize,
         seed: u64,
         max_retries: usize,
     ) -> Result<(Self, MeasurementLog), CoreError> {
-        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
+        Self::run_resilient_with(model, n, seed, max_retries, Parallelism::default())
+    }
+
+    /// [`SampleStudy::run_resilient`] with an explicit worker count.
+    ///
+    /// The `n` primary assignments come from the same sequential stream
+    /// as [`SampleStudy::run`] (so on a fault-free model the study is
+    /// *identical* to the plain run, for any worker count). Each slot
+    /// then measures independently: its fault stream is
+    /// `split_seed(seed, slot)`-derived, its attempts are numbered
+    /// within the slot, and replacement draws after an abandoned
+    /// assignment come from a slot-private stream. No parallel state is
+    /// shared, reductions ([`MeasurementLog`] sums, error selection) are
+    /// order-fixed, and the result is **bit-identical for every worker
+    /// count**.
+    ///
+    /// # Errors
+    ///
+    /// As [`SampleStudy::run_resilient`]; when several slots exhaust
+    /// their budgets, the smallest slot index's error is returned
+    /// regardless of worker count.
+    pub fn run_resilient_with<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        max_retries: usize,
+        parallelism: Parallelism,
+    ) -> Result<(Self, MeasurementLog), CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let primaries = sample_assignments(n, model.tasks(), model.topology(), &mut rng)?;
+        // Per-slot share of the legacy campaign budget
+        // 4·n·(1+max_retries) attempts, floored at 64 campaign-wide.
+        let per_slot_attempts = n.max(1) * (1 + max_retries);
+        let draw_cap = 4usize.max(64usize.div_ceil(per_slot_attempts));
+        let slots = try_parallel_map(parallelism, n, |i| {
+            measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap)
+        })?;
+
+        let mut log = MeasurementLog::default();
         let mut assignments = Vec::with_capacity(n);
         let mut performances = Vec::with_capacity(n);
-        let mut log = MeasurementLog::default();
-        let budget = (4 * n * (1 + max_retries)).max(64);
-        let mut last_err = MeasureError::Failed("no measurement attempted".into());
-        while assignments.len() < n {
-            let a = random_assignment(model.tasks(), model.topology(), &mut rng)?;
-            let mut measured = None;
-            for attempt in 0..=max_retries {
-                if log.attempts >= budget {
-                    return Err(CoreError::Measurement(MeasureError::Failed(format!(
-                        "measurement budget of {budget} attempts exhausted with \
-                         {}/{n} samples collected; last error: {last_err}",
-                        assignments.len()
-                    ))));
-                }
-                log.attempts += 1;
-                match model.try_evaluate(&a) {
-                    Ok(v) => {
-                        log.retries += attempt;
-                        measured = Some(v);
-                        break;
-                    }
-                    Err(e) => last_err = e,
-                }
-            }
-            match measured {
-                Some(v) => {
-                    assignments.push(a);
-                    performances.push(v);
-                }
-                None => log.redrawn += 1,
-            }
+        for slot in slots {
+            log.attempts += slot.attempts;
+            log.retries += slot.retries;
+            log.redrawn += slot.redrawn;
+            assignments.push(slot.assignment);
+            performances.push(slot.value);
         }
         let study = SampleStudy::from_measurements(assignments, performances)?;
         Ok((study, log))
@@ -214,23 +263,53 @@ impl SampleStudy {
     /// A study over the first `n` draws — an iid subsample, used for the
     /// paper's sample-size comparisons.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics when `n` is zero or exceeds the study size.
-    pub fn prefix(&self, n: usize) -> SampleStudy {
-        assert!(n > 0 && n <= self.len(), "prefix size {n} out of range");
-        SampleStudy {
+    /// Returns [`CoreError::Domain`] when `n` is zero or exceeds the
+    /// study size — an out-of-range prefix is a caller bug, but one a
+    /// typed error reports far more usefully than a panic deep inside a
+    /// long measurement campaign.
+    pub fn prefix(&self, n: usize) -> Result<SampleStudy, CoreError> {
+        if n == 0 || n > self.len() {
+            return Err(CoreError::Domain(format!(
+                "prefix size {n} out of range 1..={}",
+                self.len()
+            )));
+        }
+        Ok(SampleStudy {
             assignments: self.assignments[..n].to_vec(),
             performances: self.performances[..n].to_vec(),
-        }
+        })
     }
 
     /// Extends the study with additional measured draws (the iterative
     /// algorithm's N_delta step).
-    pub fn extend_measured(&mut self, assignments: Vec<Assignment>, performances: Vec<f64>) {
-        debug_assert_eq!(assignments.len(), performances.len());
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Domain`] when the vectors disagree in
+    /// length, and [`CoreError::Measurement`] when a performance value
+    /// is non-finite — the same ingestion contract as
+    /// [`SampleStudy::from_measurements`]; on error the study is left
+    /// unchanged.
+    pub fn extend_measured(
+        &mut self,
+        assignments: Vec<Assignment>,
+        performances: Vec<f64>,
+    ) -> Result<(), CoreError> {
+        if assignments.len() != performances.len() {
+            return Err(CoreError::Domain(format!(
+                "mismatched extension: {} assignments, {} performances",
+                assignments.len(),
+                performances.len()
+            )));
+        }
+        if let Some(&bad) = performances.iter().find(|p| !p.is_finite()) {
+            return Err(CoreError::Measurement(MeasureError::NonFinite(bad)));
+        }
         self.assignments.extend(assignments);
         self.performances.extend(performances);
+        Ok(())
     }
 
     /// Runs the POT estimation of the optimal system performance over this
@@ -272,6 +351,66 @@ impl SampleStudy {
     }
 }
 
+/// One completed measurement slot of a resilient campaign.
+struct MeasuredSlot {
+    assignment: Assignment,
+    value: f64,
+    attempts: usize,
+    retries: usize,
+    redrawn: usize,
+}
+
+/// Measures one slot of a resilient campaign: the primary assignment
+/// gets `1 + max_retries` attempts; an exhausted assignment is replaced
+/// from the slot's private redraw stream, up to `draw_cap` draws.
+/// Everything the slot does is keyed by `(seed, slot)` — independent of
+/// every other slot and of scheduling order.
+fn measure_slot<M: PerformanceModel>(
+    model: &M,
+    primary: &Assignment,
+    seed: u64,
+    slot: usize,
+    max_retries: usize,
+    draw_cap: usize,
+) -> Result<MeasuredSlot, CoreError> {
+    let stream = split_seed(seed ^ MEASURE_SALT, slot as u64);
+    let mut redraw_rng: Option<StdRng> = None;
+    let mut current = primary.clone();
+    let mut attempts = 0usize;
+    let mut retries = 0usize;
+    let mut last_err = MeasureError::Failed("no measurement attempted".into());
+    for draw in 0..draw_cap {
+        for attempt in 0..=max_retries {
+            attempts += 1;
+            let key = (draw * (max_retries + 1) + attempt) as u32;
+            match model.try_evaluate_at(&current, stream, key) {
+                Ok(v) => {
+                    retries += attempt;
+                    return Ok(MeasuredSlot {
+                        assignment: current,
+                        value: v,
+                        attempts,
+                        retries,
+                        // Every earlier draw was abandoned and redrawn.
+                        redrawn: draw,
+                    });
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        if draw + 1 < draw_cap {
+            let r = redraw_rng.get_or_insert_with(|| {
+                StdRng::seed_from_u64(split_seed(seed ^ REDRAW_SALT, slot as u64))
+            });
+            current = random_assignment(model.tasks(), model.topology(), r)?;
+        }
+    }
+    Err(CoreError::Measurement(MeasureError::Failed(format!(
+        "slot {slot}: budget of {draw_cap} draws × {} attempts exhausted; last error: {last_err}",
+        max_retries + 1
+    ))))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,18 +449,25 @@ mod tests {
     fn prefix_is_a_true_prefix() {
         let m = model();
         let s = SampleStudy::run(&m, 300, 2).unwrap();
-        let p = s.prefix(100);
+        let p = s.prefix(100).unwrap();
         assert_eq!(p.len(), 100);
         assert_eq!(p.performances(), &s.performances()[..100]);
         assert!(p.best_performance() <= s.best_performance());
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
     fn prefix_bounds_checked() {
         let m = model();
         let s = SampleStudy::run(&m, 10, 3).unwrap();
-        let _ = s.prefix(11);
+        for bad in [0, 11, usize::MAX] {
+            match s.prefix(bad) {
+                Err(CoreError::Domain(msg)) => {
+                    assert!(msg.contains("out of range"), "unhelpful message: {msg}")
+                }
+                other => panic!("expected Domain error for prefix({bad}), got {other:?}"),
+            }
+        }
+        assert!(s.prefix(10).is_ok());
     }
 
     #[test]
@@ -440,8 +586,99 @@ mod tests {
         let m = model();
         let mut s = SampleStudy::run(&m, 50, 6).unwrap();
         let extra = SampleStudy::run(&m, 25, 7).unwrap();
-        s.extend_measured(extra.assignments().to_vec(), extra.performances().to_vec());
+        s.extend_measured(extra.assignments().to_vec(), extra.performances().to_vec())
+            .unwrap();
         assert_eq!(s.len(), 75);
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn extend_rejects_mismatched_lengths_without_mutating() {
+        let m = model();
+        let mut s = SampleStudy::run(&m, 20, 6).unwrap();
+        let extra = SampleStudy::run(&m, 5, 7).unwrap();
+        match s.extend_measured(extra.assignments().to_vec(), vec![1.0, 2.0]) {
+            Err(CoreError::Domain(msg)) => {
+                assert!(msg.contains("mismatched"), "unhelpful message: {msg}")
+            }
+            other => panic!("expected Domain error, got {other:?}"),
+        }
+        assert_eq!(s.len(), 20, "failed extension must not mutate the study");
+    }
+
+    #[test]
+    fn extend_rejects_non_finite_without_mutating() {
+        let m = model();
+        let mut s = SampleStudy::run(&m, 20, 6).unwrap();
+        let extra = SampleStudy::run(&m, 3, 7).unwrap();
+        let mut perfs = extra.performances().to_vec();
+        perfs[1] = f64::NAN;
+        match s.extend_measured(extra.assignments().to_vec(), perfs) {
+            Err(CoreError::Measurement(crate::model::MeasureError::NonFinite(_))) => {}
+            other => panic!("expected NonFinite rejection, got {other:?}"),
+        }
+        assert_eq!(s.len(), 20, "failed extension must not mutate the study");
+    }
+
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let m = model();
+        let serial = SampleStudy::run_with(&m, 200, 17, Parallelism::serial()).unwrap();
+        for workers in [2, 4, 7] {
+            let par = SampleStudy::run_with(&m, 200, 17, Parallelism::new(workers)).unwrap();
+            assert_eq!(
+                par.performances(),
+                serial.performances(),
+                "workers={workers}"
+            );
+            assert_eq!(par.assignments(), serial.assignments(), "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_resilient_run_is_bit_identical_to_serial() {
+        use crate::fault::{FaultPlan, FaultyModel};
+        // The harsh plan includes stuck-counter faults, whose per-stream
+        // memory persists across campaigns on a shared model — so each
+        // worker count gets a freshly reset model, as a real experiment
+        // would.
+        let m = FaultyModel::new(model(), FaultPlan::harsh(23));
+        let (serial, serial_log) =
+            SampleStudy::run_resilient_with(&m, 150, 23, 3, Parallelism::serial()).unwrap();
+        for workers in [2, 4, 7] {
+            m.reset();
+            let (par, par_log) =
+                SampleStudy::run_resilient_with(&m, 150, 23, 3, Parallelism::new(workers)).unwrap();
+            assert_eq!(
+                par.performances(),
+                serial.performances(),
+                "workers={workers}"
+            );
+            assert_eq!(par.assignments(), serial.assignments(), "workers={workers}");
+            assert_eq!(par_log, serial_log, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn resilient_budget_error_is_deterministic_across_worker_counts() {
+        use crate::fault::{FaultPlan, FaultyModel};
+        let plan = FaultPlan {
+            fail_rate: 1.0,
+            ..FaultPlan::none(1)
+        };
+        let m = FaultyModel::new(model(), plan);
+        let serial_err = match SampleStudy::run_resilient_with(&m, 30, 13, 2, Parallelism::serial())
+        {
+            Err(CoreError::Measurement(e)) => e,
+            other => panic!("expected Measurement error, got {other:?}"),
+        };
+        for workers in [2, 4, 7] {
+            match SampleStudy::run_resilient_with(&m, 30, 13, 2, Parallelism::new(workers)) {
+                Err(CoreError::Measurement(e)) => {
+                    assert_eq!(e, serial_err, "workers={workers}")
+                }
+                other => panic!("expected Measurement error, got {other:?}"),
+            }
+        }
     }
 }

@@ -10,6 +10,7 @@
 //! can demonstrate the gap (see `crates/bench/src/bin/ablation_bootstrap.rs`).
 
 use crate::EvtError;
+use optassign_exec::{parallel_map, split_seed, Parallelism};
 use optassign_stats::rng::Rng;
 
 /// Result of bootstrapping the sample maximum.
@@ -52,6 +53,26 @@ pub fn bootstrap_max(
     confidence: f64,
     seed: u64,
 ) -> Result<BootstrapMax, EvtError> {
+    bootstrap_max_with(sample, replicates, confidence, seed, Parallelism::default())
+}
+
+/// [`bootstrap_max`] with an explicit worker count.
+///
+/// Each replicate resamples from its own RNG stream (derived with
+/// [`optassign_exec::split_seed`]) and writes its maximum into a
+/// pre-indexed slot, so the result is **bit-identical for every worker
+/// count**, including the serial path.
+///
+/// # Errors
+///
+/// As [`bootstrap_max`].
+pub fn bootstrap_max_with(
+    sample: &[f64],
+    replicates: usize,
+    confidence: f64,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Result<BootstrapMax, EvtError> {
     if sample.len() < 10 {
         return Err(EvtError::NotEnoughData {
             what: "bootstrap",
@@ -65,10 +86,9 @@ pub fn bootstrap_max(
     if replicates == 0 {
         return Err(EvtError::Domain("replicates must be non-zero"));
     }
-    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
     let n = sample.len();
-    let mut maxima = Vec::with_capacity(replicates);
-    for _ in 0..replicates {
+    let mut maxima = parallel_map(parallelism, replicates, |r| {
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(split_seed(seed, r as u64));
         let mut m = f64::NEG_INFINITY;
         for _ in 0..n {
             let v = sample[rng.gen_range(0..n)];
@@ -76,8 +96,8 @@ pub fn bootstrap_max(
                 m = v;
             }
         }
-        maxima.push(m);
-    }
+        m
+    });
     maxima.sort_by(f64::total_cmp);
     let alpha = 1.0 - confidence;
     let lo_idx = ((alpha / 2.0) * replicates as f64) as usize;
@@ -133,6 +153,17 @@ mod tests {
         let a = bootstrap_max(&sample, 100, 0.9, 7).unwrap();
         let b = bootstrap_max(&sample, 100, 0.9, 7).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_resampling_is_bit_identical_to_serial() {
+        let sample = bounded_sample(500, 8);
+        let serial = bootstrap_max_with(&sample, 240, 0.95, 11, Parallelism::serial()).unwrap();
+        for workers in [2, 4, 7] {
+            let par =
+                bootstrap_max_with(&sample, 240, 0.95, 11, Parallelism::new(workers)).unwrap();
+            assert_eq!(par, serial, "workers={workers}");
+        }
     }
 
     #[test]

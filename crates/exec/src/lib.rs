@@ -1,0 +1,367 @@
+//! Deterministic scoped-thread parallel execution.
+//!
+//! The paper's estimation pipeline is embarrassingly parallel: §3 draws
+//! `n` iid random assignments and measures each independently, and the
+//! iterative algorithm of §5.3 adds `N_delta` independent measurements
+//! per round. This crate provides the execution engine those layers
+//! share, with one non-negotiable contract:
+//!
+//! > **Output is bit-identical for every worker count, including 1.**
+//!
+//! Three mechanisms make that hold:
+//!
+//! 1. **Seed-splitting** — randomness is never drawn from a shared
+//!    stream inside a parallel region. Each task index derives its own
+//!    stream with [`split_seed`], so the values a slot sees do not
+//!    depend on scheduling order.
+//! 2. **Pre-indexed slots** — every task writes its result into the
+//!    slot for its index; nothing is appended in completion order.
+//! 3. **Order-fixed reduction** — results (and errors) are folded in
+//!    index order after the parallel region, never as workers finish.
+//!    [`try_parallel_map`] always reports the error of the *smallest*
+//!    failing index.
+//!
+//! The engine is dependency-free (`std::thread::scope` only) and the
+//! `workers == 1` path is a plain sequential loop, so serial callers
+//! pay nothing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Derives an independent, reproducible RNG seed for one task index.
+///
+/// SplitMix64-style finalizer over the pair `(seed, index)`: the golden
+/// ratio increment separates consecutive indices by a full avalanche,
+/// so per-slot streams are statistically independent of each other and
+/// of the parent stream. Pure function — same `(seed, index)` in, same
+/// stream out, on every platform and worker count.
+#[must_use]
+pub const fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Worker-count policy for a parallel region.
+///
+/// `workers == 1` means a plain sequential loop (no threads spawned).
+/// Because every parallel path in the workspace is bit-identical to its
+/// serial path, the choice of worker count is purely a throughput knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    /// Number of worker threads to use (at least 1).
+    pub workers: usize,
+}
+
+impl Parallelism {
+    /// Environment variable consulted by [`Parallelism::default`] and
+    /// [`Parallelism::max_available`].
+    pub const ENV_VAR: &'static str = "OPTASSIGN_WORKERS";
+
+    /// Sequential execution: one worker, no threads spawned.
+    #[must_use]
+    pub const fn serial() -> Self {
+        Self { workers: 1 }
+    }
+
+    /// Exactly `workers` workers (floored at 1).
+    #[must_use]
+    pub const fn new(workers: usize) -> Self {
+        Self {
+            workers: if workers == 0 { 1 } else { workers },
+        }
+    }
+
+    /// All hardware threads the OS reports (at least 1).
+    #[must_use]
+    pub fn available() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self { workers }
+    }
+
+    /// Worker count requested through `OPTASSIGN_WORKERS`, if the
+    /// variable is set to a positive integer.
+    #[must_use]
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var(Self::ENV_VAR).ok()?;
+        let workers: usize = raw.trim().parse().ok()?;
+        (workers > 0).then(|| Self::new(workers))
+    }
+
+    /// Throughput-oriented default for experiment binaries:
+    /// `OPTASSIGN_WORKERS` if set, otherwise every available core.
+    #[must_use]
+    pub fn max_available() -> Self {
+        Self::from_env().unwrap_or_else(Self::available)
+    }
+}
+
+/// Library default: `OPTASSIGN_WORKERS` if set, otherwise serial.
+///
+/// Library entry points stay single-threaded unless the caller (or the
+/// environment) opts in; binaries that want "all cores" use
+/// [`Parallelism::max_available`] explicitly.
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::from_env().unwrap_or_else(Self::serial)
+    }
+}
+
+/// Indices are claimed from a shared counter in chunks; this caps the
+/// chunk size so the tail of a batch still load-balances.
+const MAX_CHUNK: usize = 32;
+
+fn chunk_size(n: usize, workers: usize) -> usize {
+    (n / (workers * 4)).clamp(1, MAX_CHUNK)
+}
+
+/// Maps `f` over `0..n` and returns the results in index order.
+///
+/// With `workers == 1` this is a plain loop. Otherwise `f` runs on
+/// scoped threads; each worker claims chunks of indices from a shared
+/// counter, keeps `(index, value)` pairs locally, and the pairs are
+/// merged into pre-indexed slots after all workers join. `f` must be
+/// a pure function of its index (draw randomness only from a stream
+/// derived via [`split_seed`]) for the bit-identical guarantee to hold.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn parallel_map<T, F>(par: Parallelism, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = par.workers.min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let chunk = chunk_size(n, workers);
+    let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        local.push((i, f(i)));
+                    }
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => collected.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    // Order-fixed reduction: sort by index, independent of which worker
+    // produced what and when.
+    collected.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(collected.len(), n);
+    collected.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Fallible [`parallel_map`]: maps `f` over `0..n`, returning all
+/// results in index order, or the error produced at the **smallest
+/// failing index** — exactly what a sequential early-exit loop would
+/// return, for any worker count.
+///
+/// Once some index has failed, workers skip indices above it (those
+/// results could never be observed), but every index below the current
+/// minimum failure is still evaluated, so the reported error is
+/// deterministic.
+///
+/// # Errors
+///
+/// Returns the error of the smallest index at which `f` failed.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn try_parallel_map<T, E, F>(par: Parallelism, n: usize, f: F) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let workers = par.workers.min(n.max(1));
+    if workers <= 1 {
+        // Sequential early exit: first error wins, which is also the
+        // smallest-index error.
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            out.push(f(i)?);
+        }
+        return Ok(out);
+    }
+
+    let next = AtomicUsize::new(0);
+    // Smallest failing index seen so far; usize::MAX means "none yet".
+    let first_failure = AtomicUsize::new(usize::MAX);
+    let chunk = chunk_size(n, workers);
+    let mut oks: Vec<(usize, T)> = Vec::with_capacity(n);
+    let errs: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            handles.push(scope.spawn(|| {
+                let mut local: Vec<(usize, T)> = Vec::new();
+                loop {
+                    let start = next.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    for i in start..(start + chunk).min(n) {
+                        // An index above the smallest known failure can
+                        // never be observed — skip it. Indices below it
+                        // must still run (one of them may fail at an
+                        // even smaller index).
+                        if i > first_failure.load(Ordering::Relaxed) {
+                            continue;
+                        }
+                        match f(i) {
+                            Ok(value) => local.push((i, value)),
+                            Err(e) => {
+                                first_failure.fetch_min(i, Ordering::Relaxed);
+                                let mut guard = errs
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                                guard.push((i, e));
+                            }
+                        }
+                    }
+                }
+                local
+            }));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(local) => oks.extend(local),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+
+    let mut errors = errs
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(min_idx) = errors.iter().map(|(i, _)| *i).min() {
+        // Order-fixed error reduction: the smallest failing index wins,
+        // matching the sequential path bit for bit.
+        if let Some(pos) = errors.iter().position(|(i, _)| *i == min_idx) {
+            return Err(errors.swap_remove(pos).1);
+        }
+    }
+
+    oks.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(oks.len(), n);
+    Ok(oks.into_iter().map(|(_, v)| v).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_seed_separates_indices() {
+        let seeds: Vec<u64> = (0..64).map(|i| split_seed(42, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(
+            unique.len(),
+            seeds.len(),
+            "adjacent indices must not collide"
+        );
+        // Different parents give different streams for the same index.
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+    }
+
+    #[test]
+    fn split_seed_is_pure() {
+        assert_eq!(split_seed(0xDEAD_BEEF, 17), split_seed(0xDEAD_BEEF, 17));
+    }
+
+    #[test]
+    fn parallelism_constructors() {
+        assert_eq!(Parallelism::serial().workers, 1);
+        assert_eq!(Parallelism::new(0).workers, 1);
+        assert_eq!(Parallelism::new(6).workers, 6);
+        assert!(Parallelism::available().workers >= 1);
+    }
+
+    #[test]
+    fn parallel_map_matches_serial_for_all_worker_counts() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let serial: Vec<u64> = (0..257).map(f).collect();
+        for workers in [1, 2, 3, 4, 7, 16] {
+            let par = parallel_map(Parallelism::new(workers), 257, f);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        for n in [0usize, 1, 2] {
+            let out = parallel_map(Parallelism::new(8), n, |i| i * 2);
+            assert_eq!(out, (0..n).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_returns_smallest_failing_index() {
+        let f = |i: usize| -> Result<usize, String> {
+            if i == 5 || i == 199 {
+                Err(format!("boom at {i}"))
+            } else {
+                Ok(i)
+            }
+        };
+        for workers in [1, 2, 4, 7] {
+            let err = try_parallel_map(Parallelism::new(workers), 256, f).expect_err("must fail");
+            assert_eq!(err, "boom at 5", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn try_parallel_map_succeeds_in_index_order() {
+        let f = |i: usize| -> Result<usize, ()> { Ok(i * 3) };
+        let serial = try_parallel_map(Parallelism::serial(), 100, f);
+        for workers in [2, 4, 7] {
+            assert_eq!(try_parallel_map(Parallelism::new(workers), 100, f), serial);
+        }
+    }
+
+    #[test]
+    fn seed_split_streams_are_schedule_independent() {
+        // Simulate "each slot draws from its own stream": the resulting
+        // table must not depend on worker count.
+        let gen = |i: usize| {
+            let mut s = split_seed(99, i as u64);
+            let mut vals = [0u64; 4];
+            for v in &mut vals {
+                s = split_seed(s, 1);
+                *v = s;
+            }
+            vals
+        };
+        let serial = parallel_map(Parallelism::serial(), 64, gen);
+        for workers in [2, 4, 7] {
+            assert_eq!(parallel_map(Parallelism::new(workers), 64, gen), serial);
+        }
+    }
+}

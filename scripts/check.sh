@@ -18,7 +18,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 # Library crates: panic-free discipline on top of the standard lints.
-LIB_CRATES=(optassign-stats optassign-sim optassign-evt optassign-netapps optassign)
+LIB_CRATES=(optassign-exec optassign-stats optassign-sim optassign-evt optassign-netapps optassign)
 for crate in "${LIB_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} --lib (deny warnings, unwrap_used, expect_used)"
     cargo clippy -q -p "${crate}" --lib -- \
@@ -32,8 +32,13 @@ echo "==> cargo build --workspace"
 cargo build -q --workspace
 
 if [[ "${FAST}" == "0" ]]; then
-    echo "==> cargo test --workspace"
-    cargo test -q --workspace
+    # Run the suite serial and parallel: results must be bit-identical, so
+    # both runs exercise the same assertions — the second one catches any
+    # scheduling-dependent drift in the parallel engine.
+    echo "==> cargo test --workspace (OPTASSIGN_WORKERS=1)"
+    OPTASSIGN_WORKERS=1 cargo test -q --workspace
+    echo "==> cargo test --workspace (OPTASSIGN_WORKERS=4)"
+    OPTASSIGN_WORKERS=4 cargo test -q --workspace
 fi
 
 echo "==> all checks passed"

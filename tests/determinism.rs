@@ -1,12 +1,20 @@
 //! Reproducibility across the whole stack: identical seeds give identical
-//! studies, and independent seeds give independent ones.
+//! studies, independent seeds give independent ones, and the parallel
+//! engine gives bit-identical results at every worker count.
 
+use optassign::fault::{FaultPlan, FaultyModel};
 use optassign::iterative::{run_iterative, IterativeConfig};
 use optassign::model::{SimModel, SyntheticModel};
 use optassign::study::SampleStudy;
-use optassign::Topology;
+use optassign::{Parallelism, Topology};
+use optassign_evt::bootstrap::bootstrap_max_with;
 use optassign_netapps::Benchmark;
 use optassign_sim::MachineConfig;
+use optassign_stats::rng::Rng;
+
+/// Worker counts exercised by every parity test: serial, even splits, and
+/// a count that does not divide typical batch sizes.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 7];
 
 #[test]
 fn simulator_studies_replay_exactly() {
@@ -52,4 +60,98 @@ fn iterative_algorithm_replays_exactly() {
     assert_eq!(a.best_performance, b.best_performance);
     assert_eq!(a.trace.len(), b.trace.len());
     assert_eq!(a.best_assignment.contexts(), b.best_assignment.contexts());
+}
+
+#[test]
+fn plain_study_is_bit_identical_across_worker_counts() {
+    let machine = MachineConfig::ultrasparc_t2();
+    let workload = Benchmark::IpFwdL1.build_workload(2, 9);
+    let model = SimModel::new(machine, workload).with_windows(2_000, 8_000);
+    let serial = SampleStudy::run_with(&model, 60, 31, Parallelism::serial()).unwrap();
+    for workers in WORKER_COUNTS {
+        let par = SampleStudy::run_with(&model, 60, 31, Parallelism::new(workers)).unwrap();
+        assert_eq!(
+            serial.performances(),
+            par.performances(),
+            "{workers} workers"
+        );
+        assert_eq!(serial.assignments(), par.assignments(), "{workers} workers");
+    }
+}
+
+#[test]
+fn resilient_study_is_bit_identical_across_worker_counts() {
+    let build = || {
+        let model = SyntheticModel::new(Topology::ultrasparc_t2(), 8, 1.5e6);
+        // A fresh fault-injected model per run: the stuck fault keeps
+        // per-stream state, which reset() would also clear.
+        FaultyModel::new(model, FaultPlan::harsh(41))
+    };
+    let (s_study, s_log) =
+        SampleStudy::run_resilient_with(&build(), 120, 13, 3, Parallelism::serial()).unwrap();
+    for workers in WORKER_COUNTS {
+        let (study, log) =
+            SampleStudy::run_resilient_with(&build(), 120, 13, 3, Parallelism::new(workers))
+                .unwrap();
+        assert_eq!(
+            s_study.performances(),
+            study.performances(),
+            "{workers} workers"
+        );
+        assert_eq!(
+            s_study.assignments(),
+            study.assignments(),
+            "{workers} workers"
+        );
+        assert_eq!(s_log.attempts, log.attempts, "{workers} workers");
+        assert_eq!(s_log.retries, log.retries, "{workers} workers");
+        assert_eq!(s_log.redrawn, log.redrawn, "{workers} workers");
+    }
+}
+
+#[test]
+fn iterative_algorithm_is_bit_identical_across_worker_counts() {
+    let run = |workers: usize| {
+        let model = FaultyModel::new(
+            SyntheticModel::new(Topology::ultrasparc_t2(), 6, 1.0e6),
+            FaultPlan::light(77),
+        );
+        let cfg = IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 0.08,
+            parallelism: Parallelism::new(workers),
+            ..IterativeConfig::default()
+        };
+        run_iterative(&model, &cfg, 21).unwrap()
+    };
+    let serial = run(1);
+    for workers in WORKER_COUNTS {
+        let par = run(workers);
+        assert_eq!(serial.samples_used, par.samples_used, "{workers} workers");
+        assert_eq!(serial.evaluations, par.evaluations, "{workers} workers");
+        assert_eq!(
+            serial.best_performance, par.best_performance,
+            "{workers} workers"
+        );
+        assert_eq!(serial.trace, par.trace, "{workers} workers");
+        assert_eq!(
+            serial.best_assignment.contexts(),
+            par.best_assignment.contexts(),
+            "{workers} workers"
+        );
+    }
+}
+
+#[test]
+fn bootstrap_is_bit_identical_across_worker_counts() {
+    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(3);
+    let sample: Vec<f64> = (0..500).map(|_| rng.gen_range(0.0..100.0)).collect();
+    let serial = bootstrap_max_with(&sample, 300, 0.95, 5, Parallelism::serial()).unwrap();
+    for workers in WORKER_COUNTS {
+        let par = bootstrap_max_with(&sample, 300, 0.95, 5, Parallelism::new(workers)).unwrap();
+        assert_eq!(serial.point, par.point, "{workers} workers");
+        assert_eq!(serial.ci_low, par.ci_low, "{workers} workers");
+        assert_eq!(serial.ci_high, par.ci_high, "{workers} workers");
+    }
 }

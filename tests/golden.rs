@@ -1,0 +1,93 @@
+//! Golden-value regression tests.
+//!
+//! Two anchors that must never drift silently:
+//!
+//! * Figure 2's capture probabilities have the closed form
+//!   `P(A) = 1 − ((100 − P)/100)^n`; the table below pins a grid of them
+//!   to full double precision.
+//! * A small fixed-seed iterative run pins the end-to-end pipeline
+//!   (sampling → measurement → POT estimate → stopping rule). Any change
+//!   to the RNG streams, the estimator, or the loop shows up here first.
+//!
+//! If an intentional change moves these values, re-derive the goldens and
+//! say so in the commit message — that is the point of the test.
+
+use optassign::iterative::{run_iterative, IterativeConfig};
+use optassign::model::SyntheticModel;
+use optassign::probability::capture_probability;
+use optassign::Topology;
+
+#[test]
+fn fig2_capture_probabilities_match_the_closed_form() {
+    // (n, top fraction, 1 − (1 − f)^n) — values computed independently.
+    let golden = [
+        (10, 0.01, 0.095_617_924_991_195_59),
+        (10, 0.05, 0.401_263_060_761_621_3),
+        (10, 0.25, 0.943_686_485_290_527_3),
+        (100, 0.01, 0.633_967_658_726_770_9),
+        (100, 0.05, 0.994_079_470_779_666),
+        (100, 0.25, 0.999_999_999_999_679_3),
+        (300, 0.01, 0.950_959_105_928_714_2),
+        (300, 0.05, 0.999_999_792_469_665_2),
+        (500, 0.01, 0.993_429_516_957_585_4),
+        (1000, 0.01, 0.999_956_828_752_589_3),
+    ];
+    for (n, f, expected) in golden {
+        let p = capture_probability(n, f).unwrap();
+        assert!(
+            (p - expected).abs() < 1e-12,
+            "P(n={n}, f={f}) = {p}, golden {expected}"
+        );
+    }
+    // The paper's headline anchor: 459 samples capture a top-1%
+    // assignment with ≥ 99% probability.
+    assert!(capture_probability(459, 0.01).unwrap() > 0.99);
+    assert!(capture_probability(458, 0.01).unwrap() < 0.99);
+}
+
+#[test]
+fn fixed_seed_iterative_run_matches_goldens() {
+    let model = SyntheticModel::new(Topology::ultrasparc_t2(), 8, 2.0e6);
+    let cfg = IterativeConfig {
+        n_init: 400,
+        n_delta: 100,
+        acceptable_loss: 0.006,
+        ..IterativeConfig::default()
+    };
+    let r = run_iterative(&model, &cfg, 2024).unwrap();
+
+    // Discrete goldens hold exactly.
+    assert!(r.converged, "stopped with {:?}", r.stop);
+    assert_eq!(r.samples_used, 1000);
+    assert_eq!(r.evaluations, 1000);
+    assert_eq!(r.trace.len(), 7);
+    assert_eq!(
+        r.best_assignment.contexts(),
+        &[56, 12, 28, 51, 46, 3, 37, 22]
+    );
+
+    // Floating-point goldens: the pipeline is deterministic, so equality
+    // should be bit-exact; the tolerance only shields against libm
+    // differences across platforms.
+    let close = |got: f64, want: f64| (got - want).abs() <= want.abs() * 1e-9;
+    assert!(
+        close(r.best_performance, 1_998_369.155_981_07),
+        "best_performance = {:?}",
+        r.best_performance
+    );
+    assert!(
+        close(r.final_estimate.upb.point, 2_008_874.095_561_118_3),
+        "upb = {:?}",
+        r.final_estimate.upb.point
+    );
+    assert!(
+        close(r.trace[0].gap, 0.006_425_516_068_270_274),
+        "first gap = {:?}",
+        r.trace[0].gap
+    );
+    assert!(
+        close(r.trace[6].gap, 0.005_229_267_281_240_04),
+        "last gap = {:?}",
+        r.trace[6].gap
+    );
+}

@@ -114,8 +114,8 @@ fn sample_growth_shrinks_headroom_not_best() {
     let model = SyntheticModel::new(topo, 8, 2.0e6);
     let study = SampleStudy::run(&model, 4_000, 53).unwrap();
 
-    let small = study.prefix(800);
-    let large = study.prefix(4_000);
+    let small = study.prefix(800).expect("within the study");
+    let large = study.prefix(4_000).expect("within the study");
     let cfg = PotConfig::default();
     let a_small = small.estimate_optimal(&cfg).unwrap();
     let a_large = large.estimate_optimal(&cfg).unwrap();
