@@ -5,12 +5,12 @@ use optassign::sampling::random_assignment;
 use optassign::study::SampleStudy;
 use optassign::{Parallelism, Topology};
 use optassign_bench::microbench::{bench, group};
-use optassign_bench::{case_study_model_small, Scale};
+use optassign_bench::{case_study_model_small, BenchArgs};
 use optassign_netapps::Benchmark;
 
 fn main() {
     let topo = Topology::ultrasparc_t2();
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let _ = &scale;
 
     group("random_assignment");

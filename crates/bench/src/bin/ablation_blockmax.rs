@@ -7,14 +7,14 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin ablation_blockmax [--scale f]`
 
-use optassign_bench::{fmt_pps, measured_pool, print_table, Scale};
+use optassign_bench::{fmt_pps, measured_pool, print_table, BenchArgs};
 use optassign_evt::block_maxima::fit_block_maxima;
 use optassign_evt::gpd::Gpd;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
 
     println!("POT vs block maxima, part 1: known truth\n");
     let truth = 24.0;
@@ -49,7 +49,8 @@ fn main() {
     print_table(&["method", "data used", "estimate", "error"], &rows);
 
     println!("\nPOT vs block maxima, part 2: measured pool (Stateful)\n");
-    let pool = measured_pool(Benchmark::Stateful, scale.sample(4000));
+    let pool = measured_pool(Benchmark::Stateful, scale.sample(4000))
+        .expect("case-study workloads fit the machine");
     let pot = PotAnalysis::run(pool.performances(), &PotConfig::default()).expect("tail");
     let mut rows = vec![vec![
         "POT (top 5%, paper)".to_string(),

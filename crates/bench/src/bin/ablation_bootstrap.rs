@@ -8,14 +8,14 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin ablation_bootstrap [--scale f]`
 
-use optassign_bench::{fmt_pps, measured_pool, print_table, Scale};
+use optassign_bench::{fmt_pps, measured_pool, print_table, BenchArgs};
 use optassign_evt::bootstrap::bootstrap_max;
 use optassign_evt::gpd::Gpd;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
 
     println!("Bootstrap-vs-EVT ablation, part 1: known truth\n");
     let truth = 105.0;
@@ -51,7 +51,8 @@ fn main() {
     print_table(&["method", "point", "95% CI", "error vs truth"], &rows);
 
     println!("\nBootstrap-vs-EVT ablation, part 2: measured pool (IPFwd-L1)\n");
-    let big = measured_pool(Benchmark::IpFwdL1, scale.sample(5000));
+    let big = measured_pool(Benchmark::IpFwdL1, scale.sample(5000))
+        .expect("case-study workloads fit the machine");
     let small = big.prefix(scale.sample(1000)).expect("within pool");
     let truth_proxy = big.best_performance();
     let pot = PotAnalysis::run(small.performances(), &PotConfig::default()).expect("tail");

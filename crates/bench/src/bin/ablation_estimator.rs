@@ -3,14 +3,14 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin ablation_estimator [--scale f]`
 
-use optassign_bench::{fmt_pps, measured_pool, print_table, Scale};
+use optassign_bench::{fmt_pps, measured_pool, print_table, BenchArgs};
 use optassign_evt::fit::FitMethod;
 use optassign_evt::gpd::Gpd;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
 
     // Part 1: ground truth known — synthetic bounded tails.
     println!("Estimator ablation, part 1: synthetic data (true optimum known)\n");
@@ -44,7 +44,8 @@ fn main() {
     println!("\nEstimator ablation, part 2: measured pools\n");
     let mut rows = Vec::new();
     for bench in [Benchmark::IpFwdL1, Benchmark::Stateful] {
-        let pool = measured_pool(bench, scale.sample(2000));
+        let pool =
+            measured_pool(bench, scale.sample(2000)).expect("case-study workloads fit the machine");
         let mut upbs = Vec::new();
         for method in [
             FitMethod::MaximumLikelihood,

@@ -11,13 +11,13 @@
 
 use optassign::model::{AnalyticModel, PerformanceModel};
 use optassign::study::SampleStudy;
-use optassign_bench::{case_study_model, fmt_pps, print_table, Scale, BASE_SEED};
+use optassign_bench::{case_study_model, fmt_pps, print_table, BenchArgs, BASE_SEED};
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
 use optassign_sim::MachineConfig;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let n = scale.sample(1500);
     let mut rows = Vec::new();
     for bench in [

@@ -7,13 +7,14 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin ablation_threshold [--scale f]`
 
-use optassign_bench::{fmt_pps, measured_pool, print_table, Scale};
+use optassign_bench::{fmt_pps, measured_pool, print_table, BenchArgs};
 use optassign_evt::pot::{PotAnalysis, PotConfig, ThresholdRule};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
-    let pool = measured_pool(Benchmark::IpFwdL1, scale.sample(5000));
+    let scale = BenchArgs::from_args();
+    let pool = measured_pool(Benchmark::IpFwdL1, scale.sample(5000))
+        .expect("case-study workloads fit the machine");
 
     println!("Threshold ablation (IPFwd-L1, n = {})\n", pool.len());
     let rules: Vec<(String, ThresholdRule)> = vec![

@@ -9,13 +9,13 @@
 
 use optassign::model::SimModel;
 use optassign::study::SampleStudy;
-use optassign_bench::{fmt_pps, print_table, Scale, BASE_SEED, MEASURE_CYCLES, WARMUP_CYCLES};
+use optassign_bench::{fmt_pps, print_table, BenchArgs, BASE_SEED, MEASURE_CYCLES, WARMUP_CYCLES};
 use optassign_evt::pot::PotConfig;
 use optassign_netapps::deep::build_deep_ipfwd;
 use optassign_sim::MachineConfig;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let n = scale.sample(1500);
     let mut rows = Vec::new();
     for p_stages in [1usize, 2, 3] {

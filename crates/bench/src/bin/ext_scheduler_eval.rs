@@ -10,17 +10,18 @@
 
 use optassign::model::PerformanceModel;
 use optassign::schedulers::{best_of_sample, linux_like, local_search, naive};
-use optassign_bench::{case_study_model, fmt_pps, measured_pool, print_table, Scale};
+use optassign_bench::{case_study_model, fmt_pps, measured_pool, print_table, BenchArgs};
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let budget = scale.sample(600); // evaluations granted to each strategy
     let mut rows = Vec::new();
     for bench in [Benchmark::IpFwdL1, Benchmark::Stateful] {
         let model = case_study_model(bench);
-        let pool = measured_pool(bench, scale.sample(3000));
+        let pool =
+            measured_pool(bench, scale.sample(3000)).expect("case-study workloads fit the machine");
         let upb = PotAnalysis::run(pool.performances(), &PotConfig::default())
             .expect("bounded tail")
             .upb

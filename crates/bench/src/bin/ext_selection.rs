@@ -9,7 +9,7 @@
 //! Run: `cargo run --release -p optassign-bench --bin ext_selection [--scale f]`
 
 use optassign::selection::{SelectionModel, SelectionStudy, SmtMixModel};
-use optassign_bench::{fmt_pps, print_table, Scale};
+use optassign_bench::{fmt_pps, print_table, BenchArgs};
 use optassign_evt::pot::PotConfig;
 
 /// Enumerates all k-subsets of 0..n and returns the best performance.
@@ -41,7 +41,7 @@ fn exhaustive_best(model: &SmtMixModel) -> (Vec<usize>, f64) {
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let model = SmtMixModel::default_pool(8, 3);
     let n = scale.sample(800);
 

@@ -6,12 +6,13 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin fig10 [--scale f]`
 
-use optassign_bench::{fmt_pps, print_table, sample_size_analysis, Scale};
+use optassign_bench::{fmt_pps, print_table, sample_size_analysis, BenchArgs};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let sizes = scale.sample_sizes();
+    let obs = scale.obs();
     println!(
         "Figure 10: best-in-sample performance at n = {:?} (24 threads per benchmark)\n",
         sizes
@@ -20,7 +21,8 @@ fn main() {
     for bench in Benchmark::paper_suite() {
         // Only the per-prefix best values are needed here; the analyses
         // ride along for free.
-        let points = sample_size_analysis(bench, &sizes);
+        let points = sample_size_analysis(bench, &sizes, scale.parallelism(), &obs)
+            .expect("case-study workloads fit the machine");
         let best_small = points[0].best;
         let best_large = points[points.len() - 1].best;
         let mut row = vec![bench.name().to_string()];
@@ -36,4 +38,5 @@ fn main() {
         "\nPaper anchors: increasing the sample from 1000 to 5000 improves the best\n\
          captured assignment by at most 0.6% (IPFwd-Mem); below 0.25% for the rest."
     );
+    scale.finish(&obs);
 }

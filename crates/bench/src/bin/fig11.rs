@@ -7,19 +7,21 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin fig11 [--scale f]`
 
-use optassign_bench::{fmt_pps, print_table, sample_size_analysis, Scale};
+use optassign_bench::{fmt_pps, print_table, sample_size_analysis, BenchArgs};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let sizes = scale.sample_sizes();
+    let obs = scale.obs();
     println!(
         "Figure 11: estimated optimal performance (point [CI]) at n = {:?}\n",
         sizes
     );
     let mut rows = Vec::new();
     for bench in Benchmark::paper_suite() {
-        let points = sample_size_analysis(bench, &sizes);
+        let points = sample_size_analysis(bench, &sizes, scale.parallelism(), &obs)
+            .expect("case-study workloads fit the machine");
         let mut row = vec![bench.name().to_string()];
         for p in &points {
             row.push(match &p.analysis {
@@ -57,4 +59,5 @@ fn main() {
          narrows significantly as the sample grows (max 50/100/250 exceedances for\n\
          n = 1000/2000/5000 under the 5% threshold rule)."
     );
+    scale.finish(&obs);
 }

@@ -7,12 +7,13 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin fig12 [--scale f]`
 
-use optassign_bench::{print_table, sample_size_analysis, Scale};
+use optassign_bench::{print_table, sample_size_analysis, BenchArgs};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let sizes = scale.sample_sizes();
+    let obs = scale.obs();
     println!(
         "Figure 12: estimated improvement headroom (UPB - best)/UPB at n = {:?}\n",
         sizes
@@ -20,7 +21,8 @@ fn main() {
     let mut rows = Vec::new();
     let mut worst_large = 0.0f64;
     for bench in Benchmark::paper_suite() {
-        let points = sample_size_analysis(bench, &sizes);
+        let points = sample_size_analysis(bench, &sizes, scale.parallelism(), &obs)
+            .expect("case-study workloads fit the machine");
         let mut row = vec![bench.name().to_string()];
         for p in &points {
             row.push(match &p.analysis {
@@ -55,4 +57,5 @@ fn main() {
          16% (IPFwd-Mem), 19% (Packet analyzer), 23% (Stateful); n=2000 is below 5%\n\
          for every benchmark; n=5000 is below 2.4% (worst: IPFwd-Mem)."
     );
+    scale.finish(&obs);
 }

@@ -5,14 +5,16 @@
 //! iteration's state (sample size, best observed, estimated optimum, gap)
 //! until the customer's acceptable loss is met.
 //!
-//! Run: `cargo run --release -p optassign-bench --bin fig13 [--scale f]`
+//! Run: `cargo run --release -p optassign-bench --bin fig13
+//! [--scale f] [--metrics run.jsonl]`
 
-use optassign::iterative::{run_iterative, IterativeConfig};
-use optassign_bench::{case_study_model, fmt_pps, print_table, Scale, BASE_SEED};
+use optassign::iterative::{run_iterative_obs, IterativeConfig};
+use optassign_bench::{case_study_model, fmt_pps, print_table, BenchArgs, BASE_SEED};
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
+    let obs = scale.obs();
     let model = case_study_model(Benchmark::IpFwdL1);
     let config = IterativeConfig {
         n_init: scale.sample(1000),
@@ -31,7 +33,7 @@ fn main() {
         "[fig13] running (N_init = {}, N_delta = {}, {} workers)…",
         config.n_init, config.n_delta, config.parallelism.workers
     );
-    let result = run_iterative(&model, &config, BASE_SEED).expect("feasible case study");
+    let result = run_iterative_obs(&model, &config, BASE_SEED, &obs).expect("feasible case study");
 
     let mut rows = Vec::new();
     for step in &result.trace {
@@ -56,4 +58,5 @@ fn main() {
         result.samples_used,
         result.best_assignment.contexts()
     );
+    scale.finish(&obs);
 }

@@ -7,22 +7,42 @@
 //! a pre-measured pool — the draws are iid, so consuming pool prefixes is
 //! statistically identical to fresh sampling and avoids re-simulating.
 //!
-//! Run: `cargo run --release -p optassign-bench --bin fig14 [--scale f]`
+//! Run: `cargo run --release -p optassign-bench --bin fig14
+//! [--scale f] [--metrics run.jsonl]`
 
-use optassign_bench::{measured_pool_with, print_table, Scale};
+use optassign_bench::{measured_pool_obs, print_table, BenchArgs};
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
+use optassign_obs::{Event, Obs};
 
 /// First sample size (from `n_init` in steps of `n_delta`) at which the
-/// headroom drops below `target`, or `None` if the pool runs out.
-fn required_samples(perfs: &[f64], n_init: usize, n_delta: usize, target: f64) -> Option<usize> {
+/// headroom drops below `target`, or `None` if the pool runs out. Each
+/// replayed round leaves an `iteration` line in the journal — the same
+/// gap trace the live algorithm (fig13) records.
+fn required_samples(
+    perfs: &[f64],
+    n_init: usize,
+    n_delta: usize,
+    target: f64,
+    obs: &Obs,
+) -> Option<usize> {
     let mut n = n_init;
     let cfg = PotConfig::default();
     while n <= perfs.len() {
         // An unresolved (unbounded-fit) tail means "keep sampling", the
         // same signal as an unmet gap target.
         if let Ok(analysis) = PotAnalysis::run(&perfs[..n], &cfg) {
-            if analysis.improvement_headroom() <= target {
+            let gap = analysis.improvement_headroom();
+            obs.counter_add("fig14_rounds_total", 1);
+            obs.emit(|| {
+                Event::new("iteration")
+                    .with("samples", n)
+                    .with("best_observed", analysis.best_observed)
+                    .with("estimated_optimal", analysis.upb.point)
+                    .with("gap", gap)
+                    .with("target", target)
+            });
+            if gap <= target {
                 return Some(n);
             }
         }
@@ -32,7 +52,7 @@ fn required_samples(perfs: &[f64], n_init: usize, n_delta: usize, target: f64) -
 }
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let pool_size = scale.sample(8000);
     let n_init = scale.sample(1000).min(pool_size);
     let n_delta = 100;
@@ -41,13 +61,15 @@ fn main() {
     println!(
         "Figure 14: assignments needed for acceptable loss (N_init = {n_init}, N_delta = {n_delta})\n"
     );
+    let obs = scale.obs();
     let mut rows = Vec::new();
     for bench in Benchmark::paper_suite() {
-        let pool = measured_pool_with(bench, pool_size, scale.parallelism());
+        let pool = measured_pool_obs(bench, pool_size, scale.parallelism(), &obs)
+            .expect("case-study workloads fit the machine");
         let mut row = vec![bench.name().to_string()];
         for &t in &targets {
             row.push(
-                match required_samples(pool.performances(), n_init, n_delta, t) {
+                match required_samples(pool.performances(), n_init, n_delta, t, &obs) {
                     Some(n) => n.to_string(),
                     None => format!(">{pool_size}"),
                 },
@@ -64,4 +86,5 @@ fn main() {
          to 4500 for IPFwd-Mem); under 1300 samples suffice everywhere for 10% loss;\n\
          looser targets always need fewer samples, and the count is benchmark-specific."
     );
+    scale.finish(&obs);
 }

@@ -7,14 +7,15 @@
 //!
 //! Run: `cargo run --release -p optassign-bench --bin fig7 [--scale f]`
 
-use optassign_bench::{fmt_pps, measured_pool, print_table, Scale};
+use optassign_bench::{fmt_pps, measured_pool, print_table, BenchArgs};
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_evt::profile::ProfileLikelihood;
 use optassign_netapps::Benchmark;
 
 fn main() {
-    let scale = Scale::from_args();
-    let study = measured_pool(Benchmark::IpFwdL1, scale.sample(5000));
+    let scale = BenchArgs::from_args();
+    let study = measured_pool(Benchmark::IpFwdL1, scale.sample(5000))
+        .expect("case-study workloads fit the machine");
     let analysis = PotAnalysis::run(study.performances(), &PotConfig::default())
         .expect("large, bounded sample");
 

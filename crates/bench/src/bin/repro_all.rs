@@ -13,7 +13,7 @@ use optassign::schedulers::{linux_like, naive};
 use optassign::space::{enumerate_assignments, table1_row};
 use optassign::Topology;
 use optassign_bench::{
-    case_study_model_small, fmt_pps, measured_pool_with, print_table, Scale, BASE_SEED,
+    case_study_model_small, fmt_pps, measured_pool_with, print_table, BenchArgs, BASE_SEED,
 };
 use optassign_evt::mean_excess::MeanExcessPlot;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
@@ -21,7 +21,7 @@ use optassign_netapps::Benchmark;
 use optassign_stats::ecdf::Ecdf;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let t_start = std::time::Instant::now();
     println!("================================================================");
     println!(
@@ -43,7 +43,8 @@ fn main() {
     for bench in Benchmark::paper_suite() {
         pools.push((
             bench,
-            measured_pool_with(bench, pool_size, scale.parallelism()),
+            measured_pool_with(bench, pool_size, scale.parallelism())
+                .expect("case-study workloads fit the machine"),
         ));
     }
 
@@ -247,7 +248,7 @@ fn fig10_11_12(pools: &[(Benchmark, optassign::study::SampleStudy)], sizes: &[us
     println!();
 }
 
-fn fig14(pools: &[(Benchmark, optassign::study::SampleStudy)], scale: &Scale) {
+fn fig14(pools: &[(Benchmark, optassign::study::SampleStudy)], scale: &BenchArgs) {
     println!("---- Figure 14: iterative algorithm ------------------------------\n");
     let n_init = scale.sample(1000);
     let n_delta = 100;

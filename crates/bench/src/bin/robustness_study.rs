@@ -21,7 +21,7 @@
 
 use optassign::fault::{FaultPlan, FaultyModel};
 use optassign::study::SampleStudy;
-use optassign_bench::{case_study_model, fmt_pps, print_table, seed_tag, Scale, BASE_SEED};
+use optassign_bench::{case_study_model, fmt_pps, print_table, seed_tag, BenchArgs, BASE_SEED};
 use optassign_evt::pot::PotConfig;
 use optassign_evt::resilient::{FallbackPolicy, ResilientConfig};
 use optassign_netapps::Benchmark;
@@ -29,7 +29,7 @@ use optassign_netapps::Benchmark;
 const MAX_RETRIES: usize = 3;
 
 fn main() {
-    let scale = Scale::from_args();
+    let scale = BenchArgs::from_args();
     let n = scale.sample(1000);
     let par = scale.parallelism();
     let policies = [

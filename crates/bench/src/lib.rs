@@ -14,9 +14,11 @@ pub mod microbench;
 
 use optassign::model::SimModel;
 use optassign::study::SampleStudy;
-use optassign::Parallelism;
+use optassign::{CoreError, Parallelism};
 use optassign_netapps::Benchmark;
+use optassign_obs::{Event, JsonlRecorder, MonotonicClock, Obs, Recorder, StderrProgress, Tee};
 use optassign_sim::MachineConfig;
+use std::path::PathBuf;
 
 /// Base RNG seed for every experiment.
 pub const BASE_SEED: u64 = 0x0A5F_2012;
@@ -32,25 +34,37 @@ pub const WARMUP_CYCLES: u64 = 20_000;
 /// Measurement window (cycles).
 pub const MEASURE_CYCLES: u64 = 80_000;
 
-/// Experiment scale parsed from the command line.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Scale {
+/// Shared command-line arguments of the experiment binaries: sample
+/// scaling, worker policy, and the observability sink.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchArgs {
     /// Multiplier on sample sizes (1.0 = the paper's sizes).
     pub factor: f64,
     /// Explicit worker count from `--workers`; `None` defers to
     /// `OPTASSIGN_WORKERS` and then to all available cores.
     pub workers: Option<usize>,
+    /// Destination of the JSONL event journal (`--metrics <path>` or
+    /// `OPTASSIGN_METRICS`); `None` keeps stderr progress only.
+    pub metrics: Option<PathBuf>,
 }
 
-impl Scale {
-    /// Parses `--scale <f>` and `--workers <n>` from the process
-    /// arguments; scale defaults to 1.0 and also honours a bare
-    /// positional float for convenience.
-    pub fn from_args() -> Scale {
-        let args: Vec<String> = std::env::args().collect();
+impl BenchArgs {
+    /// Parses `--scale <f>`, `--workers <n>`, and `--metrics <path>`
+    /// from the process arguments; scale defaults to 1.0 and also
+    /// honours a bare positional float for convenience, and the metrics
+    /// path falls back to the `OPTASSIGN_METRICS` environment variable.
+    pub fn from_args() -> BenchArgs {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// [`BenchArgs::from_args`] over an explicit argument list
+    /// (testable; `std::env::args().skip(1)`-shaped).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> BenchArgs {
+        let args: Vec<String> = args.into_iter().collect();
         let mut factor = 1.0f64;
         let mut workers = None;
-        let mut i = 1;
+        let mut metrics: Option<PathBuf> = None;
+        let mut i = 0;
         while i < args.len() {
             if args[i] == "--scale" && i + 1 < args.len() {
                 factor = args[i + 1].parse().unwrap_or(1.0);
@@ -62,14 +76,25 @@ impl Scale {
                 i += 2;
                 continue;
             }
+            if args[i] == "--metrics" && i + 1 < args.len() {
+                metrics = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+                continue;
+            }
             if let Ok(v) = args[i].parse::<f64>() {
                 factor = v;
             }
             i += 1;
         }
-        Scale {
+        if metrics.is_none() {
+            metrics = std::env::var_os("OPTASSIGN_METRICS")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from);
+        }
+        BenchArgs {
             factor: factor.clamp(0.01, 10.0),
             workers,
+            metrics,
         }
     }
 
@@ -93,6 +118,57 @@ impl Scale {
     pub fn sample_sizes(&self) -> [usize; 3] {
         PAPER_SAMPLE_SIZES.map(|n| self.sample(n))
     }
+
+    /// Builds this run's observability handle: stderr progress always,
+    /// plus the JSONL journal when `--metrics` (or `OPTASSIGN_METRICS`)
+    /// was given. A journal file that cannot be created degrades to
+    /// stderr-only with a warning rather than aborting the experiment.
+    pub fn obs(&self) -> Obs {
+        let progress: Box<dyn Recorder> = Box::new(StderrProgress);
+        let recorder: Box<dyn Recorder> = match &self.metrics {
+            Some(path) => match JsonlRecorder::create(path) {
+                Ok(journal) => Box::new(Tee(progress, Box::new(journal))),
+                Err(e) => {
+                    eprintln!(
+                        "[obs] cannot create {}: {e}; continuing without a journal",
+                        path.display()
+                    );
+                    progress
+                }
+            },
+            None => progress,
+        };
+        Obs::new(recorder, Box::<MonotonicClock>::default())
+    }
+
+    /// Finishes an observed run: records a final `metrics_snapshot`
+    /// event into the journal, writes a Prometheus-text sidecar next to
+    /// it (`<path>.prom`), and flushes. A no-op without `--metrics`.
+    pub fn finish(&self, obs: &Obs) {
+        obs.record_metrics_snapshot();
+        obs.flush();
+        if let Some(path) = &self.metrics {
+            let mut sidecar = path.clone().into_os_string();
+            sidecar.push(".prom");
+            let sidecar = PathBuf::from(sidecar);
+            match std::fs::write(&sidecar, obs.metrics().to_prometheus()) {
+                Ok(()) => eprintln!(
+                    "[obs] journal: {}; metrics: {}",
+                    path.display(),
+                    sidecar.display()
+                ),
+                Err(e) => eprintln!("[obs] cannot write {}: {e}", sidecar.display()),
+            }
+        }
+    }
+}
+
+/// Builds a `progress` event ([`StderrProgress`] renders these as
+/// `[stage] message` on stderr; the JSONL journal keeps them too).
+pub fn progress(stage: &'static str, message: String) -> Event {
+    Event::new("progress")
+        .with("stage", stage)
+        .with("message", message)
 }
 
 /// Builds the simulator-backed model for one benchmark of the case study
@@ -116,28 +192,72 @@ pub fn case_study_model_small(bench: Benchmark, instances: usize) -> SimModel {
 /// Measures a pool of `n` random assignments for one benchmark, printing
 /// progress to stderr. Uses every available core (or `OPTASSIGN_WORKERS`)
 /// — the pool is bit-identical to a serial run either way.
-pub fn measured_pool(bench: Benchmark, n: usize) -> SampleStudy {
+///
+/// # Errors
+///
+/// Returns [`CoreError::Infeasible`] when the case-study workload does
+/// not fit the machine (a build misconfiguration, not a runtime hazard).
+pub fn measured_pool(bench: Benchmark, n: usize) -> Result<SampleStudy, CoreError> {
     measured_pool_with(bench, n, Parallelism::max_available())
 }
 
 /// [`measured_pool`] with an explicit worker policy.
-pub fn measured_pool_with(bench: Benchmark, n: usize, parallelism: Parallelism) -> SampleStudy {
+///
+/// # Errors
+///
+/// As [`measured_pool`].
+pub fn measured_pool_with(
+    bench: Benchmark,
+    n: usize,
+    parallelism: Parallelism,
+) -> Result<SampleStudy, CoreError> {
+    measured_pool_obs(bench, n, parallelism, &stderr_obs())
+}
+
+/// [`measured_pool`] reporting through an explicit observability handle:
+/// progress events replace the old ad-hoc stderr prints, pool wall time
+/// lands in the `pool_ns` histogram, and the underlying campaign runs
+/// through [`SampleStudy::run_with_obs`]. The pool itself is
+/// bit-identical however it is observed.
+///
+/// # Errors
+///
+/// As [`measured_pool`].
+pub fn measured_pool_obs(
+    bench: Benchmark,
+    n: usize,
+    parallelism: Parallelism,
+    obs: &Obs,
+) -> Result<SampleStudy, CoreError> {
     let model = case_study_model(bench);
-    eprintln!(
-        "[pool] {}: measuring {} random assignments ({} workers)…",
-        bench.name(),
-        n,
-        parallelism.workers
-    );
-    let t0 = std::time::Instant::now();
-    let study = SampleStudy::run_with(&model, n, BASE_SEED ^ seed_tag(bench), parallelism)
-        .expect("case-study workloads fit the machine");
-    eprintln!(
-        "[pool] {}: done in {:.1}s",
-        bench.name(),
-        t0.elapsed().as_secs_f64()
-    );
-    study
+    obs.emit(|| {
+        progress(
+            "pool",
+            format!(
+                "{}: measuring {} random assignments ({} workers)…",
+                bench.name(),
+                n,
+                parallelism.workers
+            ),
+        )
+    });
+    let span = obs.span("pool_ns");
+    let study =
+        SampleStudy::run_with_obs(&model, n, BASE_SEED ^ seed_tag(bench), parallelism, obs)?;
+    let elapsed = span.finish();
+    obs.emit(|| {
+        progress(
+            "pool",
+            format!("{}: done in {:.1}s", bench.name(), elapsed as f64 / 1.0e9),
+        )
+    });
+    Ok(study)
+}
+
+/// A stderr-progress-only observability handle, for binaries that did
+/// not opt into a journal.
+fn stderr_obs() -> Obs {
+    Obs::new(Box::new(StderrProgress), Box::<MonotonicClock>::default())
 }
 
 /// One benchmark's Figure-10/11/12 numbers at one sample size.
@@ -155,21 +275,34 @@ pub struct SizePoint {
 
 /// Measures one 24-thread pool per benchmark and analyzes its prefixes at
 /// the given sample sizes (iid prefixes of one pool are statistically
-/// equivalent to the paper's independent draws; see DESIGN.md §7).
-pub fn sample_size_analysis(bench: Benchmark, sizes: &[usize]) -> Vec<SizePoint> {
+/// equivalent to the paper's independent draws; see DESIGN.md §8).
+///
+/// # Errors
+///
+/// Returns [`CoreError::Domain`] for an empty or zero-containing `sizes`
+/// list and propagates pool-measurement failures.
+pub fn sample_size_analysis(
+    bench: Benchmark,
+    sizes: &[usize],
+    parallelism: Parallelism,
+    obs: &Obs,
+) -> Result<Vec<SizePoint>, CoreError> {
     use optassign_evt::pot::{PotAnalysis, PotConfig};
-    let max = *sizes.iter().max().expect("non-empty sizes");
-    let pool = measured_pool(bench, max);
+    let max = *sizes
+        .iter()
+        .max()
+        .ok_or_else(|| CoreError::Domain("sample_size_analysis needs at least one size".into()))?;
+    let pool = measured_pool_obs(bench, max, parallelism, obs)?;
     sizes
         .iter()
         .map(|&n| {
-            let study = pool.prefix(n).expect("sizes are within the pool");
+            let study = pool.prefix(n)?;
             let analysis = PotAnalysis::run(study.performances(), &PotConfig::default()).ok();
-            SizePoint {
+            Ok(SizePoint {
                 n,
                 best: study.best_performance(),
                 analysis,
-            }
+            })
         })
         .collect()
 }
@@ -224,32 +357,58 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
 mod tests {
     use super::*;
 
+    fn plain(factor: f64, workers: Option<usize>) -> BenchArgs {
+        BenchArgs {
+            factor,
+            workers,
+            metrics: None,
+        }
+    }
+
     #[test]
     fn scale_floors_small_samples() {
-        let s = Scale {
-            factor: 0.01,
-            workers: None,
-        };
-        assert_eq!(s.sample(1000), 300);
-        let s = Scale {
-            factor: 1.0,
-            workers: None,
-        };
-        assert_eq!(s.sample_sizes(), [1000, 2000, 5000]);
+        assert_eq!(plain(0.01, None).sample(1000), 300);
+        assert_eq!(plain(1.0, None).sample_sizes(), [1000, 2000, 5000]);
     }
 
     #[test]
     fn explicit_workers_win_over_defaults() {
-        let s = Scale {
-            factor: 1.0,
-            workers: Some(3),
-        };
-        assert_eq!(s.parallelism(), Parallelism::new(3));
-        let s = Scale {
-            factor: 1.0,
-            workers: None,
-        };
-        assert!(s.parallelism().workers >= 1);
+        assert_eq!(plain(1.0, Some(3)).parallelism(), Parallelism::new(3));
+        assert!(plain(1.0, None).parallelism().workers >= 1);
+    }
+
+    #[test]
+    fn parse_handles_all_flags() {
+        let args = BenchArgs::parse(
+            [
+                "--scale",
+                "0.5",
+                "--workers",
+                "2",
+                "--metrics",
+                "/tmp/run.jsonl",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(args.factor, 0.5);
+        assert_eq!(args.workers, Some(2));
+        assert_eq!(args.metrics, Some(PathBuf::from("/tmp/run.jsonl")));
+        // Bare positional float still works; bad worker counts are ignored.
+        let args = BenchArgs::parse(["2.0", "--workers", "0"].map(String::from));
+        assert_eq!(args.factor, 2.0);
+        assert_eq!(args.workers, None);
+    }
+
+    #[test]
+    fn scale_factor_is_clamped() {
+        assert_eq!(
+            BenchArgs::parse(["--scale", "1000"].map(String::from)).factor,
+            10.0
+        );
+        assert_eq!(
+            BenchArgs::parse(["--scale", "0.000001"].map(String::from)).factor,
+            0.01
+        );
     }
 
     #[test]

@@ -32,7 +32,8 @@ use crate::study::SampleStudy;
 use crate::{Assignment, CoreError};
 use optassign_evt::pot::PotConfig;
 use optassign_evt::resilient::{EstimateReport, FallbackPolicy, ResilientConfig};
-use optassign_exec::{split_seed, try_parallel_map, Parallelism};
+use optassign_exec::{split_seed, try_parallel_map_obs, Parallelism};
+use optassign_obs::{Event, Obs};
 use optassign_stats::rng::{Rng, StdRng};
 
 /// Salt deriving each round's batch stream from the campaign seed.
@@ -117,6 +118,19 @@ pub enum StopReason {
     RelativeImprovement,
 }
 
+impl StopReason {
+    /// Stable snake_case name for journals and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            StopReason::TargetMet => "target_met",
+            StopReason::MaxSamples => "max_samples",
+            StopReason::EvalBudget => "eval_budget",
+            StopReason::Stalled => "stalled",
+            StopReason::RelativeImprovement => "relative_improvement",
+        }
+    }
+}
+
 /// A departure from the clean measure-estimate-extend path.
 #[derive(Debug, Clone, PartialEq)]
 pub enum DegradationEvent {
@@ -163,6 +177,39 @@ pub enum DegradationEvent {
     },
 }
 
+impl DegradationEvent {
+    /// Structured-journal rendering: kind `"degradation"` with a `what`
+    /// discriminant naming the variant.
+    pub fn to_event(&self) -> Event {
+        let e = Event::new("degradation");
+        match self {
+            DegradationEvent::MeasurementRetried { samples, retries } => e
+                .with("what", "measurement_retried")
+                .with("samples", *samples)
+                .with("retries", *retries),
+            DegradationEvent::AssignmentRedrawn { samples, redrawn } => e
+                .with("what", "assignment_redrawn")
+                .with("samples", *samples)
+                .with("redrawn", *redrawn),
+            DegradationEvent::EstimateFellBack { samples, method } => e
+                .with("what", "estimate_fell_back")
+                .with("samples", *samples)
+                .with("method", *method),
+            DegradationEvent::EstimateUnusable { samples, error } => e
+                .with("what", "estimate_unusable")
+                .with("samples", *samples)
+                .with("error", error.clone()),
+            DegradationEvent::StoppingRuleDegraded { samples } => e
+                .with("what", "stopping_rule_degraded")
+                .with("samples", *samples),
+            DegradationEvent::EvalBudgetExhausted { samples, attempts } => e
+                .with("what", "eval_budget_exhausted")
+                .with("samples", *samples)
+                .with("attempts", *attempts),
+        }
+    }
+}
+
 /// One iteration's bookkeeping.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IterationTrace {
@@ -176,6 +223,19 @@ pub struct IterationTrace {
     pub gap: f64,
     /// Which estimator rung produced the estimate.
     pub method: &'static str,
+}
+
+impl IterationTrace {
+    /// Structured-journal rendering: one `"iteration"` line per round,
+    /// the Figure 14 gap trace.
+    pub fn to_event(&self) -> Event {
+        Event::new("iteration")
+            .with("samples", self.samples)
+            .with("best_observed", self.best_observed)
+            .with("estimated_optimal", self.estimated_optimal)
+            .with("gap", self.gap)
+            .with("method", self.method)
+    }
 }
 
 /// Result of the iterative algorithm.
@@ -275,6 +335,7 @@ fn measure_batch_slot<M: PerformanceModel>(
 /// attempts fit, and the first slot that would overflow truncates the
 /// batch — for any worker count, the same slots are kept and
 /// `attempts <= budget` holds exactly.
+#[allow(clippy::too_many_arguments)]
 fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
     model: &M,
     want: usize,
@@ -283,6 +344,7 @@ fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
     rng: &mut R,
     batch_salt: u64,
     parallelism: Parallelism,
+    obs: &Obs,
 ) -> Result<Batch, CoreError> {
     let mut b = Batch {
         assignments: Vec::with_capacity(want),
@@ -304,7 +366,7 @@ fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
     // campaign's four draws per slot.
     let per_slot_attempts = want.max(1) * (1 + max_retries);
     let draw_cap = 4usize.max(budget.div_ceil(per_slot_attempts));
-    let slots = try_parallel_map(parallelism, want, |i| {
+    let slots = try_parallel_map_obs(parallelism, want, obs, |i| {
         measure_batch_slot(model, &primaries[i], batch_salt, i, max_retries, draw_cap)
     })?;
     for slot in slots {
@@ -361,6 +423,30 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
     config: &IterativeConfig,
     seed: u64,
 ) -> Result<IterativeResult, CoreError> {
+    run_iterative_obs(model, config, seed, &Obs::disabled())
+}
+
+/// [`run_iterative`] with observability: each round records an
+/// `iteration` event (the Figure 14 gap trace), every
+/// [`DegradationEvent`] is mirrored to the journal as it occurs,
+/// measurement batches report through the exec-layer instrumentation,
+/// estimation runs through
+/// [`SampleStudy::estimate_resilient_obs`], round wall time lands in the
+/// `iter_round_ns` histogram, and the loop is bracketed by
+/// `iterative_start`/`iterative_done` events. The returned result is
+/// **bit-identical** to the unobserved run for every worker count — the
+/// journal and metrics are derived from the computation, never fed back
+/// into it.
+///
+/// # Errors
+///
+/// As [`run_iterative`].
+pub fn run_iterative_obs<M: PerformanceModel + Sync>(
+    model: &M,
+    config: &IterativeConfig,
+    seed: u64,
+    obs: &Obs,
+) -> Result<IterativeResult, CoreError> {
     if !(config.acceptable_loss > 0.0 && config.acceptable_loss < 1.0) {
         return Err(CoreError::Domain(format!(
             "acceptable_loss must be in (0, 1), got {}",
@@ -393,6 +479,14 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
         ..ResilientConfig::default()
     };
 
+    obs.emit(|| {
+        Event::new("iterative_start")
+            .with("n_init", config.n_init)
+            .with("n_delta", config.n_delta)
+            .with("acceptable_loss", config.acceptable_loss)
+            .with("seed", seed)
+            .with("workers", config.parallelism.workers)
+    });
     let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
     let mut events: Vec<DegradationEvent> = Vec::new();
     let mut trace: Vec<IterationTrace> = Vec::new();
@@ -408,9 +502,11 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
         &mut rng,
         split_seed(seed ^ BATCH_SALT, 0),
         config.parallelism,
+        obs,
     )?;
     attempts_total += batch.attempts;
-    record_batch_events(&mut events, &batch, batch.assignments.len());
+    note_batch_metrics(obs, &batch);
+    record_batch_events(&mut events, obs, &batch, batch.assignments.len());
     budget_exhausted |= batch.budget_exhausted;
     if batch.assignments.is_empty() {
         return Err(CoreError::Measurement(MeasureError::Failed(format!(
@@ -427,19 +523,27 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
     let mut round: u64 = 1;
 
     loop {
+        // Dropped at the end of each round (continue or return alike),
+        // recording the round's wall time.
+        let _round_span = obs.span("iter_round_ns");
+        obs.counter_add("iter_rounds_total", 1);
         // Step 2: estimate the optimal system performance through the
         // fallback ladder. A sample whose upper tail does not (yet)
         // support a profile-grade fit is not a failure of the algorithm —
         // it is the signal to keep sampling, so degraded and failed
         // estimates feed back into Step 4 like an unmet target.
-        let report = match study.estimate_resilient(&resilient_cfg) {
+        let report = match study.estimate_resilient_obs(&resilient_cfg, obs) {
             Ok(r) => {
                 if r.is_degraded() {
                     consecutive_bad_estimates += 1;
-                    events.push(DegradationEvent::EstimateFellBack {
-                        samples: study.len(),
-                        method: r.method.name(),
-                    });
+                    note(
+                        &mut events,
+                        obs,
+                        DegradationEvent::EstimateFellBack {
+                            samples: study.len(),
+                            method: r.method.name(),
+                        },
+                    );
                 } else {
                     consecutive_bad_estimates = 0;
                 }
@@ -447,10 +551,14 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
             }
             Err(e) => {
                 consecutive_bad_estimates += 1;
-                events.push(DegradationEvent::EstimateUnusable {
-                    samples: study.len(),
-                    error: e.to_string(),
-                });
+                note(
+                    &mut events,
+                    obs,
+                    DegradationEvent::EstimateUnusable {
+                        samples: study.len(),
+                        error: e.to_string(),
+                    },
+                );
                 None
             }
         };
@@ -459,20 +567,26 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
             .filter(|r| !r.is_degraded())
             .map(|r| r.improvement_headroom());
         if let Some(r) = &report {
-            trace.push(IterationTrace {
+            let entry = IterationTrace {
                 samples: study.len(),
                 best_observed: study.best_performance(),
                 estimated_optimal: r.upb.point,
                 gap: r.improvement_headroom(),
                 method: r.method.name(),
-            });
+            };
+            obs.emit(|| entry.to_event());
+            trace.push(entry);
         }
 
         if !degraded_stopping && consecutive_bad_estimates >= config.estimate_failure_limit {
             degraded_stopping = true;
-            events.push(DegradationEvent::StoppingRuleDegraded {
-                samples: study.len(),
-            });
+            note(
+                &mut events,
+                obs,
+                DegradationEvent::StoppingRuleDegraded {
+                    samples: study.len(),
+                },
+            );
         }
 
         // Step 3: accept or iterate.
@@ -501,6 +615,17 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
             };
             let best_assignment = study.best_assignment().clone();
             let best_performance = study.best_performance();
+            obs.emit(|| {
+                Event::new("iterative_done")
+                    .with("stop", stop.name())
+                    .with("converged", stop == StopReason::TargetMet)
+                    .with("samples_used", study.len())
+                    .with("evaluations", attempts_total)
+                    .with("best_performance", best_performance)
+                    .with("estimated_optimal", final_estimate.upb.point)
+                    .with("method", final_estimate.method.name())
+                    .with("degradations", events.len())
+            });
             return Ok(IterativeResult {
                 best_assignment,
                 best_performance,
@@ -523,17 +648,28 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
             &mut rng,
             split_seed(seed ^ BATCH_SALT, round),
             config.parallelism,
+            obs,
         )?;
         round += 1;
         attempts_total += batch.attempts;
+        note_batch_metrics(obs, &batch);
         budget_exhausted |= batch.budget_exhausted;
         if budget_exhausted {
-            events.push(DegradationEvent::EvalBudgetExhausted {
-                samples: study.len() + batch.assignments.len(),
-                attempts: attempts_total,
-            });
+            note(
+                &mut events,
+                obs,
+                DegradationEvent::EvalBudgetExhausted {
+                    samples: study.len() + batch.assignments.len(),
+                    attempts: attempts_total,
+                },
+            );
         }
-        record_batch_events(&mut events, &batch, study.len() + batch.assignments.len());
+        record_batch_events(
+            &mut events,
+            obs,
+            &batch,
+            study.len() + batch.assignments.len(),
+        );
         study.extend_measured(batch.assignments, batch.performances)?;
 
         let best_now = study.best_performance();
@@ -546,18 +682,47 @@ pub fn run_iterative<M: PerformanceModel + Sync>(
     }
 }
 
-fn record_batch_events(events: &mut Vec<DegradationEvent>, batch: &Batch, samples: usize) {
+/// Appends a degradation event to the result's log and mirrors it to
+/// the journal.
+fn note(events: &mut Vec<DegradationEvent>, obs: &Obs, ev: DegradationEvent) {
+    obs.emit(|| ev.to_event());
+    events.push(ev);
+}
+
+/// Accumulates one batch's attempt/retry/redraw bookkeeping into the
+/// iterative-loop counters.
+fn note_batch_metrics(obs: &Obs, batch: &Batch) {
+    obs.counter_add("iter_samples_total", batch.assignments.len() as u64);
+    obs.counter_add("iter_attempts_total", batch.attempts as u64);
+    obs.counter_add("iter_retries_total", batch.retries as u64);
+    obs.counter_add("iter_redrawn_total", batch.redrawn as u64);
+}
+
+fn record_batch_events(
+    events: &mut Vec<DegradationEvent>,
+    obs: &Obs,
+    batch: &Batch,
+    samples: usize,
+) {
     if batch.retries > 0 {
-        events.push(DegradationEvent::MeasurementRetried {
-            samples,
-            retries: batch.retries,
-        });
+        note(
+            events,
+            obs,
+            DegradationEvent::MeasurementRetried {
+                samples,
+                retries: batch.retries,
+            },
+        );
     }
     if batch.redrawn > 0 {
-        events.push(DegradationEvent::AssignmentRedrawn {
-            samples,
-            redrawn: batch.redrawn,
-        });
+        note(
+            events,
+            obs,
+            DegradationEvent::AssignmentRedrawn {
+                samples,
+                redrawn: batch.redrawn,
+            },
+        );
     }
 }
 
@@ -737,6 +902,82 @@ mod tests {
             assert_eq!(par.trace, serial.trace, "workers={workers}");
             assert_eq!(par.events, serial.events, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn observed_run_is_bit_identical_and_journals_each_round() {
+        use optassign_obs::{FakeClock, MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let faulty = FaultyModel::new(model(), FaultPlan::light(55));
+        let mk = |workers: usize| IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 0.05,
+            parallelism: Parallelism::new(workers),
+            ..IterativeConfig::default()
+        };
+        let plain = run_iterative(&faulty, &mk(1), 19).unwrap();
+        for workers in [1, 4] {
+            let recorder = Arc::new(MemoryRecorder::default());
+            let obs = Obs::new(
+                Box::new(Arc::clone(&recorder)),
+                Box::new(Arc::new(FakeClock::new(0))),
+            );
+            let observed = run_iterative_obs(&faulty, &mk(workers), 19, &obs).unwrap();
+            assert_eq!(observed.samples_used, plain.samples_used);
+            assert_eq!(observed.evaluations, plain.evaluations);
+            assert_eq!(observed.best_performance, plain.best_performance);
+            assert_eq!(observed.trace, plain.trace);
+            assert_eq!(observed.events, plain.events);
+
+            let lines = recorder.lines();
+            let iterations = lines
+                .iter()
+                .filter(|l| l.contains("\"kind\":\"iteration\""))
+                .count();
+            assert_eq!(iterations, plain.trace.len(), "one journal line per round");
+            let degradations = lines
+                .iter()
+                .filter(|l| l.contains("\"kind\":\"degradation\""))
+                .count();
+            assert_eq!(degradations, plain.events.len());
+            assert!(lines.iter().any(|l| l.contains("\"iterative_done\"")));
+
+            let metrics = obs.metrics();
+            assert_eq!(
+                metrics.counter("iter_attempts_total"),
+                plain.evaluations as u64
+            );
+            assert_eq!(
+                metrics.counter("iter_rounds_total"),
+                plain.trace.len() as u64
+            );
+        }
+    }
+
+    #[test]
+    fn stop_reason_names_are_stable() {
+        let names: Vec<&str> = [
+            StopReason::TargetMet,
+            StopReason::MaxSamples,
+            StopReason::EvalBudget,
+            StopReason::Stalled,
+            StopReason::RelativeImprovement,
+        ]
+        .iter()
+        .map(|s| s.name())
+        .collect();
+        assert_eq!(
+            names,
+            [
+                "target_met",
+                "max_samples",
+                "eval_budget",
+                "stalled",
+                "relative_improvement"
+            ]
+        );
     }
 
     #[test]

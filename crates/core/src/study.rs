@@ -12,8 +12,11 @@ use crate::model::{MeasureError, PerformanceModel};
 use crate::sampling::{random_assignment, sample_assignments};
 use crate::CoreError;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
-use optassign_evt::resilient::{estimate_resilient, EstimateReport, ResilientConfig};
-use optassign_exec::{parallel_map, split_seed, try_parallel_map, Parallelism};
+use optassign_evt::resilient::{
+    estimate_resilient, estimate_resilient_obs, EstimateReport, ResilientConfig,
+};
+use optassign_exec::{parallel_map_obs, split_seed, try_parallel_map_obs, Parallelism};
+use optassign_obs::{Event, Obs};
 use optassign_stats::rng::StdRng;
 
 /// Salt separating a slot's measurement stream from every other use of
@@ -96,15 +99,51 @@ impl SampleStudy {
         seed: u64,
         parallelism: Parallelism,
     ) -> Result<Self, CoreError> {
+        Self::run_with_obs(model, n, seed, parallelism, &Obs::disabled())
+    }
+
+    /// [`SampleStudy::run_with`] with observability: the measurement
+    /// fan-out reports per-task latency and worker utilization through
+    /// `obs` (see [`optassign_exec::parallel_map_obs`]), the campaign is
+    /// bracketed by `study_start`/`study_done` events, and the total
+    /// measurement count lands in `study_measurements_total`. Results
+    /// are bit-identical to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// As [`SampleStudy::run_with`].
+    pub fn run_with_obs<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        parallelism: Parallelism,
+        obs: &Obs,
+    ) -> Result<Self, CoreError> {
+        let span = obs.span("study_run_ns");
+        obs.emit(|| {
+            Event::new("study_start")
+                .with("n", n)
+                .with("seed", seed)
+                .with("workers", parallelism.workers)
+        });
         let mut rng = StdRng::seed_from_u64(seed);
         let assignments = sample_assignments(n, model.tasks(), model.topology(), &mut rng)?;
-        let performances = parallel_map(parallelism, assignments.len(), |i| {
+        let performances = parallel_map_obs(parallelism, assignments.len(), obs, |i| {
             model.evaluate(&assignments[i])
         });
-        Ok(SampleStudy {
+        obs.counter_add("study_measurements_total", performances.len() as u64);
+        let study = SampleStudy {
             assignments,
             performances,
-        })
+        };
+        let elapsed = span.finish();
+        obs.emit(|| {
+            Event::new("study_done")
+                .with("n", study.len())
+                .with("best", study.best_performance())
+                .with("wall_ns", elapsed)
+        });
+        Ok(study)
     }
 
     /// Measures `n` assignments through the fallible
@@ -160,13 +199,45 @@ impl SampleStudy {
         max_retries: usize,
         parallelism: Parallelism,
     ) -> Result<(Self, MeasurementLog), CoreError> {
+        Self::run_resilient_with_obs(model, n, seed, max_retries, parallelism, &Obs::disabled())
+    }
+
+    /// [`SampleStudy::run_resilient_with`] with observability: beyond the
+    /// fan-out instrumentation of [`SampleStudy::run_with_obs`], the
+    /// aggregated [`MeasurementLog`] is recorded as a `measurement_log`
+    /// event and accumulated into the `study_attempts_total`,
+    /// `study_retries_total`, and `study_redrawn_total` counters; a
+    /// campaign that rejects a non-finite measurement at ingestion bumps
+    /// `study_rejected_total` and records a `measurement_rejected` event.
+    /// Results are bit-identical to the unobserved run.
+    ///
+    /// # Errors
+    ///
+    /// As [`SampleStudy::run_resilient_with`].
+    pub fn run_resilient_with_obs<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        max_retries: usize,
+        parallelism: Parallelism,
+        obs: &Obs,
+    ) -> Result<(Self, MeasurementLog), CoreError> {
+        let span = obs.span("study_resilient_ns");
+        obs.emit(|| {
+            Event::new("study_start")
+                .with("n", n)
+                .with("seed", seed)
+                .with("workers", parallelism.workers)
+                .with("max_retries", max_retries)
+                .with("resilient", true)
+        });
         let mut rng = StdRng::seed_from_u64(seed);
         let primaries = sample_assignments(n, model.tasks(), model.topology(), &mut rng)?;
         // Per-slot share of the legacy campaign budget
         // 4·n·(1+max_retries) attempts, floored at 64 campaign-wide.
         let per_slot_attempts = n.max(1) * (1 + max_retries);
         let draw_cap = 4usize.max(64usize.div_ceil(per_slot_attempts));
-        let slots = try_parallel_map(parallelism, n, |i| {
+        let slots = try_parallel_map_obs(parallelism, n, obs, |i| {
             measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap)
         })?;
 
@@ -180,7 +251,29 @@ impl SampleStudy {
             assignments.push(slot.assignment);
             performances.push(slot.value);
         }
-        let study = SampleStudy::from_measurements(assignments, performances)?;
+        let study = match SampleStudy::from_measurements(assignments, performances) {
+            Ok(study) => study,
+            Err(e) => {
+                obs.counter_add("study_rejected_total", 1);
+                obs.emit(|| Event::new("measurement_rejected").with("error", e.to_string()));
+                return Err(e);
+            }
+        };
+        obs.counter_add("study_measurements_total", study.len() as u64);
+        obs.counter_add("study_attempts_total", log.attempts as u64);
+        obs.counter_add("study_retries_total", log.retries as u64);
+        obs.counter_add("study_redrawn_total", log.redrawn as u64);
+        let elapsed = span.finish();
+        obs.emit(|| {
+            Event::new("measurement_log")
+                .with("n", study.len())
+                .with("attempts", log.attempts)
+                .with("retries", log.retries)
+                .with("redrawn", log.redrawn)
+                .with("extra_attempts", log.extra_attempts(n))
+                .with("best", study.best_performance())
+                .with("wall_ns", elapsed)
+        });
         Ok((study, log))
     }
 
@@ -338,6 +431,23 @@ impl SampleStudy {
         config: &ResilientConfig,
     ) -> Result<EstimateReport, CoreError> {
         estimate_resilient(&self.performances, config).map_err(CoreError::from)
+    }
+
+    /// [`SampleStudy::estimate_resilient`] with observability: rung
+    /// attempts, degradations, and the final estimate are recorded
+    /// through `obs` (see
+    /// [`optassign_evt::resilient::estimate_resilient_obs`]). The
+    /// returned report is bit-identical to the unobserved call.
+    ///
+    /// # Errors
+    ///
+    /// As [`SampleStudy::estimate_resilient`].
+    pub fn estimate_resilient_obs(
+        &self,
+        config: &ResilientConfig,
+        obs: &Obs,
+    ) -> Result<EstimateReport, CoreError> {
+        estimate_resilient_obs(&self.performances, config, obs).map_err(CoreError::from)
     }
 
     /// The paper's Figure 12 metric for this study: estimated headroom
@@ -656,6 +766,39 @@ mod tests {
             );
             assert_eq!(par.assignments(), serial.assignments(), "workers={workers}");
             assert_eq!(par_log, serial_log, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn observed_runs_are_bit_identical_and_record_measurements() {
+        use optassign_obs::{FakeClock, MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let m = model();
+        let plain = SampleStudy::run_with(&m, 120, 31, Parallelism::serial()).unwrap();
+        let (plain_res, plain_log) =
+            SampleStudy::run_resilient_with(&m, 120, 31, 2, Parallelism::serial()).unwrap();
+        for workers in [1, 4] {
+            let recorder = Arc::new(MemoryRecorder::default());
+            let obs = Obs::new(
+                Box::new(Arc::clone(&recorder)),
+                Box::new(Arc::new(FakeClock::new(0))),
+            );
+            let par = Parallelism::new(workers);
+            let observed = SampleStudy::run_with_obs(&m, 120, 31, par, &obs).unwrap();
+            assert_eq!(observed.performances(), plain.performances());
+
+            let (obs_res, obs_log) =
+                SampleStudy::run_resilient_with_obs(&m, 120, 31, 2, par, &obs).unwrap();
+            assert_eq!(obs_res.performances(), plain_res.performances());
+            assert_eq!(obs_log, plain_log);
+
+            let metrics = obs.metrics();
+            assert_eq!(metrics.counter("study_measurements_total"), 240);
+            assert_eq!(metrics.counter("study_attempts_total"), 120);
+            let lines = recorder.lines();
+            assert!(lines.iter().any(|l| l.contains("\"measurement_log\"")));
+            assert!(lines.iter().any(|l| l.contains("\"study_done\"")));
         }
     }
 

@@ -48,7 +48,9 @@ pub mod resilient;
 
 pub use gpd::Gpd;
 pub use pot::{PotAnalysis, PotConfig};
-pub use resilient::{estimate_resilient, EstimateReport, FallbackPolicy, ResilientConfig};
+pub use resilient::{
+    estimate_resilient, estimate_resilient_obs, EstimateReport, FallbackPolicy, ResilientConfig,
+};
 
 /// Errors produced by the EVT routines.
 #[derive(Debug, Clone, PartialEq)]

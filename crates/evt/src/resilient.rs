@@ -37,6 +37,7 @@ use crate::fit::{self, FitMethod};
 use crate::pot::{PotAnalysis, PotConfig, ThresholdRule};
 use crate::profile::{estimate_upb, UpbEstimate};
 use crate::EvtError;
+use optassign_obs::{Event, Obs};
 
 /// How far down the fallback ladder the resilient estimator may descend.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,6 +191,28 @@ impl EstimateReport {
             return 0.0;
         }
         ((self.upb.point - self.best_observed) / self.upb.point).max(0.0)
+    }
+
+    /// Renders this report as a structured journal event (kind
+    /// `estimate`), carrying the winning rung, the UPB, the gap, and
+    /// the ladder's provenance counters.
+    pub fn to_event(&self) -> Event {
+        let mut e = Event::new("estimate")
+            .with("method", self.method.name())
+            .with("degraded", self.is_degraded())
+            .with("upb", self.upb.point)
+            .with("ci_low", self.upb.ci_low)
+            .with("best_observed", self.best_observed)
+            .with("gap", self.improvement_headroom())
+            .with("n_used", self.n_used)
+            .with("discarded", self.discarded)
+            .with("rung_failures", self.retries());
+        if let EstimateMethod::ThresholdRescan { fraction } | EstimateMethod::Pwm { fraction } =
+            self.method
+        {
+            e = e.with("fraction", fraction);
+        }
+        e
     }
 }
 
@@ -345,6 +368,51 @@ pub fn estimate_resilient(
         max_log_likelihood: f64::NAN,
     };
     Ok(report(upb, EstimateMethod::BootstrapMax, attempts, None))
+}
+
+/// [`estimate_resilient`] with observability: each failed rung becomes
+/// an `estimate_attempt` event (threshold scans carry their fraction in
+/// the error text), the accepted estimate an `estimate` event, and the
+/// ladder's outcome lands in the `evt_*` counters plus the
+/// `evt_estimate_ns` span histogram.
+///
+/// The returned report — and every numeric inside it — is bit-identical
+/// to the unobserved call: the estimator runs first, untouched, and the
+/// recording happens after the fact from its provenance trail.
+///
+/// # Errors
+///
+/// As [`estimate_resilient`].
+pub fn estimate_resilient_obs(
+    sample: &[f64],
+    cfg: &ResilientConfig,
+    obs: &Obs,
+) -> Result<EstimateReport, EvtError> {
+    let span = obs.span("evt_estimate_ns");
+    let result = estimate_resilient(sample, cfg);
+    span.finish();
+    match &result {
+        Ok(report) => {
+            for attempt in &report.attempts {
+                obs.counter_add("evt_rung_failures_total", 1);
+                obs.emit(|| {
+                    Event::new("estimate_attempt")
+                        .with("stage", attempt.stage)
+                        .with("error", attempt.error.as_str())
+                });
+            }
+            obs.counter_add("evt_estimates_total", 1);
+            if report.is_degraded() {
+                obs.counter_add("evt_degraded_total", 1);
+            }
+            obs.emit(|| report.to_event());
+        }
+        Err(e) => {
+            obs.counter_add("evt_estimate_errors_total", 1);
+            obs.emit(|| Event::new("estimate_failed").with("error", e.to_string()));
+        }
+    }
+    result
 }
 
 fn diagnostics_of(a: &PotAnalysis) -> GofDiagnostics {
@@ -592,6 +660,44 @@ mod tests {
         let b = estimate_resilient(&sample, &ResilientConfig::default()).unwrap();
         assert_eq!(a.upb, b.upb);
         assert_eq!(a.method, b.method);
+    }
+
+    #[test]
+    fn observed_estimate_is_bit_identical_and_journals_provenance() {
+        use optassign_obs::{MemoryRecorder, MonotonicClock, Obs};
+        use std::sync::Arc;
+        let mut sample = bounded_sample(1500, 52);
+        sample[9] = f64::NAN;
+        let plain = estimate_resilient(&sample, &ResilientConfig::default()).unwrap();
+        let rec = Arc::new(MemoryRecorder::default());
+        let obs = Obs::new(Box::new(Arc::clone(&rec)), Box::new(MonotonicClock::new()));
+        let observed = estimate_resilient_obs(&sample, &ResilientConfig::default(), &obs).unwrap();
+        assert_eq!(observed.upb, plain.upb);
+        assert_eq!(observed.method, plain.method);
+        assert_eq!(observed.attempts, plain.attempts);
+        let lines = rec.lines();
+        assert!(
+            lines.iter().any(|l| l.contains("\"kind\":\"estimate\"")),
+            "journal: {lines:?}"
+        );
+        let snap = obs.metrics();
+        assert_eq!(snap.counter("evt_estimates_total"), 1);
+        assert!(snap.histogram("evt_estimate_ns").is_some());
+    }
+
+    #[test]
+    fn observed_estimate_records_failures() {
+        use optassign_obs::{MemoryRecorder, MonotonicClock, Obs};
+        use std::sync::Arc;
+        let rec = Arc::new(MemoryRecorder::default());
+        let obs = Obs::new(Box::new(Arc::clone(&rec)), Box::new(MonotonicClock::new()));
+        let tiny = bounded_sample(5, 53);
+        assert!(estimate_resilient_obs(&tiny, &ResilientConfig::default(), &obs).is_err());
+        assert_eq!(obs.metrics().counter("evt_estimate_errors_total"), 1);
+        assert!(rec
+            .lines()
+            .iter()
+            .any(|l| l.contains("\"kind\":\"estimate_failed\"")));
     }
 
     #[test]

@@ -21,10 +21,22 @@
 //!    [`try_parallel_map`] always reports the error of the *smallest*
 //!    failing index.
 //!
-//! The engine is dependency-free (`std::thread::scope` only) and the
-//! `workers == 1` path is a plain sequential loop, so serial callers
-//! pay nothing.
+//! The engine is dependency-free beyond the workspace's observability
+//! crate (`std::thread::scope` only) and the `workers == 1` path is a
+//! plain sequential loop, so serial callers pay nothing.
+//!
+//! ## Observability
+//!
+//! [`parallel_map_obs`] and [`try_parallel_map_obs`] accept an
+//! [`Obs`] handle and report per-task latency, queue occupancy, and
+//! worker utilization. Instrumentation follows the crate's own rules:
+//! each worker accumulates into a thread-local
+//! [`MetricsRegistry`] (integer-valued, so totals are exact and
+//! commutative) and the locals merge in spawn order after the join —
+//! recording never touches task inputs or reduction order, so the
+//! determinism contract holds with any recorder attached.
 
+use optassign_obs::{Event, MetricsRegistry, Obs, VALUE_BUCKETS};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -117,6 +129,91 @@ fn chunk_size(n: usize, workers: usize) -> usize {
     (n / (workers * 4)).clamp(1, MAX_CHUNK)
 }
 
+/// Per-worker instrumentation accumulator: times each task through the
+/// shared clock into a worker-local [`MetricsRegistry`]. Everything it
+/// records is integer-valued (exact, commutative accumulation) and the
+/// locals merge in spawn order after the join, so recording never
+/// depends on — or influences — scheduling.
+struct WorkerStats<'a> {
+    obs: &'a Obs,
+    local: MetricsRegistry,
+}
+
+impl<'a> WorkerStats<'a> {
+    fn new(obs: &'a Obs) -> Self {
+        WorkerStats {
+            obs,
+            local: MetricsRegistry::default(),
+        }
+    }
+
+    /// Runs one task, recording its latency. Pure pass-through when the
+    /// handle is disabled.
+    fn time<T>(&mut self, task: impl FnOnce() -> T) -> T {
+        if !self.obs.enabled() {
+            return task();
+        }
+        let t0 = self.obs.now_ns();
+        let value = task();
+        let dt = self.obs.now_ns().saturating_sub(t0);
+        self.local.observe("exec_task_ns", dt);
+        self.local.counter_add("exec_tasks_total", 1);
+        self.local.counter_add("exec_busy_ns_total", dt);
+        value
+    }
+
+    /// Records the queue occupancy (unclaimed indices) seen at a chunk
+    /// claim.
+    fn queue_depth(&mut self, remaining: usize) {
+        if self.obs.enabled() {
+            self.local
+                .observe_with("exec_queue_depth", remaining as u64, &VALUE_BUCKETS);
+        }
+    }
+
+    /// Counts one failed task.
+    fn task_error(&mut self) {
+        if self.obs.enabled() {
+            self.local.counter_add("exec_task_errors_total", 1);
+        }
+    }
+}
+
+/// Region-level summary: merges the worker-local registries in spawn
+/// order, updates region metrics, and records one `exec_region` event
+/// (with the busy/wall worker-utilization ratio).
+fn finish_region(obs: &Obs, n: usize, workers: usize, t0: u64, locals: &[MetricsRegistry]) {
+    if !obs.enabled() {
+        return;
+    }
+    let wall_ns = obs.now_ns().saturating_sub(t0);
+    let mut busy_ns = 0u64;
+    let mut tasks = 0u64;
+    for local in locals {
+        busy_ns = busy_ns.saturating_add(local.counter("exec_busy_ns_total"));
+        tasks += local.counter("exec_tasks_total");
+        obs.merge_metrics(local);
+    }
+    obs.counter_add("exec_regions_total", 1);
+    obs.observe("exec_region_ns", wall_ns);
+    obs.gauge_set("exec_workers", workers as f64);
+    let denom = wall_ns.saturating_mul(workers as u64);
+    let utilization = if denom == 0 {
+        0.0
+    } else {
+        busy_ns as f64 / denom as f64
+    };
+    obs.emit(|| {
+        Event::new("exec_region")
+            .with("n", n)
+            .with("workers", workers)
+            .with("tasks", tasks)
+            .with("wall_ns", wall_ns)
+            .with("busy_ns", busy_ns)
+            .with("utilization", utilization)
+    });
+}
+
 /// Maps `f` over `0..n` and returns the results in index order.
 ///
 /// With `workers == 1` this is a plain loop. Otherwise `f` runs on
@@ -134,38 +231,65 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    parallel_map_obs(par, n, &Obs::disabled(), f)
+}
+
+/// [`parallel_map`] with observability: per-task latency, queue
+/// occupancy, and worker utilization land in `obs`. The results are
+/// bit-identical to the unobserved call — instrumentation only reads
+/// the clock and appends to worker-local registries.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn parallel_map_obs<T, F>(par: Parallelism, n: usize, obs: &Obs, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
     let workers = par.workers.min(n.max(1));
+    let t0 = obs.now_ns();
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let mut stats = WorkerStats::new(obs);
+        let out = (0..n).map(|i| stats.time(|| f(i))).collect();
+        finish_region(obs, n, 1, t0, &[stats.local]);
+        return out;
     }
 
     let next = AtomicUsize::new(0);
     let chunk = chunk_size(n, workers);
     let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut locals: Vec<MetricsRegistry> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| {
+                let mut stats = WorkerStats::new(obs);
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
                     }
+                    stats.queue_depth(n - start);
                     for i in start..(start + chunk).min(n) {
-                        local.push((i, f(i)));
+                        local.push((i, stats.time(|| f(i))));
                     }
                 }
-                local
+                (local, stats.local)
             }));
         }
         for handle in handles {
             match handle.join() {
-                Ok(local) => collected.extend(local),
+                Ok((local, stats)) => {
+                    collected.extend(local);
+                    locals.push(stats);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    finish_region(obs, n, workers, t0, &locals);
 
     // Order-fixed reduction: sort by index, independent of which worker
     // produced what and when.
@@ -197,14 +321,50 @@ where
     E: Send,
     F: Fn(usize) -> Result<T, E> + Sync,
 {
+    try_parallel_map_obs(par, n, &Obs::disabled(), f)
+}
+
+/// [`try_parallel_map`] with observability: per-task latency, queue
+/// occupancy, worker utilization, and failed-task counts land in `obs`.
+/// Results — including which error is reported — are bit-identical to
+/// the unobserved call.
+///
+/// # Errors
+///
+/// Returns the error of the smallest index at which `f` failed.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn try_parallel_map_obs<T, E, F>(
+    par: Parallelism,
+    n: usize,
+    obs: &Obs,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
     let workers = par.workers.min(n.max(1));
+    let t0 = obs.now_ns();
     if workers <= 1 {
         // Sequential early exit: first error wins, which is also the
         // smallest-index error.
+        let mut stats = WorkerStats::new(obs);
         let mut out = Vec::with_capacity(n);
         for i in 0..n {
-            out.push(f(i)?);
+            match stats.time(|| f(i)) {
+                Ok(value) => out.push(value),
+                Err(e) => {
+                    stats.task_error();
+                    finish_region(obs, n, 1, t0, &[stats.local]);
+                    return Err(e);
+                }
+            }
         }
+        finish_region(obs, n, 1, t0, &[stats.local]);
         return Ok(out);
     }
 
@@ -213,18 +373,21 @@ where
     let first_failure = AtomicUsize::new(usize::MAX);
     let chunk = chunk_size(n, workers);
     let mut oks: Vec<(usize, T)> = Vec::with_capacity(n);
+    let mut locals: Vec<MetricsRegistry> = Vec::with_capacity(workers);
     let errs: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             handles.push(scope.spawn(|| {
+                let mut stats = WorkerStats::new(obs);
                 let mut local: Vec<(usize, T)> = Vec::new();
                 loop {
                     let start = next.fetch_add(chunk, Ordering::Relaxed);
                     if start >= n {
                         break;
                     }
+                    stats.queue_depth(n - start);
                     for i in start..(start + chunk).min(n) {
                         // An index above the smallest known failure can
                         // never be observed — skip it. Indices below it
@@ -233,9 +396,10 @@ where
                         if i > first_failure.load(Ordering::Relaxed) {
                             continue;
                         }
-                        match f(i) {
+                        match stats.time(|| f(i)) {
                             Ok(value) => local.push((i, value)),
                             Err(e) => {
+                                stats.task_error();
                                 first_failure.fetch_min(i, Ordering::Relaxed);
                                 let mut guard = errs
                                     .lock()
@@ -245,16 +409,20 @@ where
                         }
                     }
                 }
-                local
+                (local, stats.local)
             }));
         }
         for handle in handles {
             match handle.join() {
-                Ok(local) => oks.extend(local),
+                Ok((local, stats)) => {
+                    oks.extend(local);
+                    locals.push(stats);
+                }
                 Err(payload) => std::panic::resume_unwind(payload),
             }
         }
     });
+    finish_region(obs, n, workers, t0, &locals);
 
     let mut errors = errs
         .into_inner()
@@ -344,6 +512,58 @@ mod tests {
         for workers in [2, 4, 7] {
             assert_eq!(try_parallel_map(Parallelism::new(workers), 100, f), serial);
         }
+    }
+
+    #[test]
+    fn observed_map_is_bit_identical_and_counts_every_task() {
+        use optassign_obs::{FakeClock, NullRecorder};
+        let f = |i: usize| (i as u64).wrapping_mul(0xABCD).rotate_left(11);
+        let plain = parallel_map(Parallelism::serial(), 100, f);
+        for workers in [1, 4] {
+            let clock = std::sync::Arc::new(FakeClock::new(0));
+            let obs = Obs::new(
+                Box::new(NullRecorder),
+                Box::new(std::sync::Arc::clone(&clock)),
+            );
+            let observed = parallel_map_obs(Parallelism::new(workers), 100, &obs, |i| {
+                clock.advance(10);
+                f(i)
+            });
+            assert_eq!(observed, plain, "workers={workers}");
+            let snap = obs.metrics();
+            assert_eq!(snap.counter("exec_tasks_total"), 100, "workers={workers}");
+            assert_eq!(snap.counter("exec_regions_total"), 1);
+            assert!(snap.histogram("exec_task_ns").is_some());
+            assert!(snap.histogram("exec_region_ns").is_some());
+        }
+    }
+
+    #[test]
+    fn observed_try_map_counts_errors_and_keeps_error_selection() {
+        use optassign_obs::{MonotonicClock, NullRecorder};
+        let f = |i: usize| -> Result<usize, String> {
+            if i == 9 {
+                Err("boom at 9".into())
+            } else {
+                Ok(i)
+            }
+        };
+        for workers in [1, 4] {
+            let obs = Obs::new(Box::new(NullRecorder), Box::new(MonotonicClock::new()));
+            let err = try_parallel_map_obs(Parallelism::new(workers), 64, &obs, f)
+                .expect_err("must fail");
+            assert_eq!(err, "boom at 9", "workers={workers}");
+            let snap = obs.metrics();
+            assert!(snap.counter("exec_task_errors_total") >= 1);
+        }
+    }
+
+    #[test]
+    fn disabled_obs_map_records_nothing() {
+        let obs = Obs::disabled();
+        let out = parallel_map_obs(Parallelism::new(4), 50, &obs, |i| i + 1);
+        assert_eq!(out.len(), 50);
+        assert!(obs.metrics().is_empty());
     }
 
     #[test]

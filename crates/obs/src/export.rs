@@ -1,0 +1,125 @@
+//! Text exporters: Prometheus exposition format and a JSON summary.
+//!
+//! Both renderings iterate the registry's `BTreeMap`s, so output is in
+//! deterministic name order — two registries with equal contents render
+//! byte-identically, which is what the golden tests pin down.
+
+use crate::event::{push_json_f64, push_json_string};
+use crate::metrics::{Histogram, MetricsRegistry};
+use std::fmt::Write as _;
+
+impl MetricsRegistry {
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4): counters, gauges, then histograms with
+    /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in self.counters() {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        for (name, value) in self.gauges() {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", fmt_f64(value));
+        }
+        for (name, hist) in self.histograms() {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (bound, count) in hist.bounds().iter().zip(hist.bucket_counts()) {
+                cumulative += count;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
+            let _ = writeln!(out, "{name}_sum {}", hist.sum());
+            let _ = writeln!(out, "{name}_count {}", hist.count());
+        }
+        out
+    }
+
+    /// Renders the registry as one JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, with each
+    /// histogram carrying bounds, per-bucket counts, and exact
+    /// aggregates.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            let _ = write!(out, ":{value}");
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            push_json_f64(&mut out, value);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, hist)) in self.histograms().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_string(&mut out, name);
+            out.push(':');
+            push_histogram_json(&mut out, hist);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_histogram_json(out: &mut String, hist: &Histogram) {
+    out.push_str("{\"bounds\":[");
+    for (i, bound) in hist.bounds().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{bound}");
+    }
+    out.push_str("],\"counts\":[");
+    for (i, count) in hist.bucket_counts().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{count}");
+    }
+    let _ = write!(out, "],\"count\":{},\"sum\":{}", hist.count(), hist.sum());
+    match (hist.min(), hist.max()) {
+        (Some(min), Some(max)) => {
+            let _ = write!(out, ",\"min\":{min},\"max\":{max}");
+        }
+        _ => out.push_str(",\"min\":null,\"max\":null"),
+    }
+    out.push('}');
+}
+
+/// Prometheus-compatible float rendering (`Display`, non-finite as
+/// `NaN`/`+Inf`/`-Inf` per the exposition format).
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_format_special_floats() {
+        assert_eq!(fmt_f64(f64::NAN), "NaN");
+        assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(fmt_f64(2.5), "2.5");
+    }
+}

@@ -1,0 +1,361 @@
+//! Deterministic observability: metrics, spans, and a structured event
+//! journal for the optassign pipeline.
+//!
+//! The iterative algorithm (paper §5.3) and the resilient estimation
+//! ladder succeed or fail based on runtime behavior the numeric results
+//! alone cannot show: how long measurements take per worker slot, how
+//! often faults force retries and redraws, which fallback rung an
+//! estimate landed on, and how the best-in-sample converges toward the
+//! UPB. This crate makes all of that visible under one non-negotiable
+//! contract:
+//!
+//! > **Observation never perturbs results.** With any [`Recorder`]
+//! > attached, every pipeline output is bit-identical to the unobserved
+//! > run, at every worker count.
+//!
+//! Three design rules enforce the contract:
+//!
+//! 1. **No feedback.** Nothing in the pipeline ever branches on recorded
+//!    state; instrumentation only appends to it.
+//! 2. **Clock abstraction.** Wall time is read through the [`Clock`]
+//!    trait ([`MonotonicClock`] in production, [`FakeClock`] in tests),
+//!    so `Instant::now` never reaches computation code, and timing can
+//!    be made fully deterministic under test.
+//! 3. **Order-fixed aggregation.** Metric values are integers wherever
+//!    parallel workers contribute (u64 counters, u64-valued histograms),
+//!    so accumulation is exact and commutative; float gauges are only
+//!    written from sequential orchestration code, and
+//!    [`MetricsRegistry::merge_from`] lets per-worker local registries
+//!    merge in a fixed (spawn) order.
+//!
+//! The crate is dependency-free (`std` only) and panic-free outside
+//! tests; recording failures (e.g. a full disk under a JSONL journal)
+//! are counted and swallowed, never propagated into the pipeline.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use optassign_obs::{Event, MemoryRecorder, MonotonicClock, Obs};
+//!
+//! let obs = Obs::new(
+//!     Box::new(MemoryRecorder::default()),
+//!     Box::new(MonotonicClock::new()),
+//! );
+//! obs.counter_add("measurements_total", 3);
+//! {
+//!     let _span = obs.span("fit_ns");
+//!     // ... timed work ...
+//! }
+//! obs.record(Event::new("estimate").with("method", "profile-mle"));
+//! let snapshot = obs.metrics();
+//! assert_eq!(snapshot.counter("measurements_total"), 3);
+//! assert!(snapshot.to_prometheus().contains("measurements_total 3"));
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod export;
+pub mod metrics;
+pub mod recorder;
+
+pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use event::{Event, Value};
+pub use metrics::{Histogram, MetricsRegistry, LATENCY_BUCKETS_NS, VALUE_BUCKETS};
+pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, StderrProgress, Tee};
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Shared observability handle: a metrics registry, an event recorder,
+/// and a clock, bundled behind one cheaply clonable façade.
+///
+/// The [`Obs::disabled`] handle carries no state at all — every call on
+/// it is a branch on `None` and nothing else — so library code can
+/// thread an `&Obs` unconditionally and pay (almost) nothing when
+/// nobody is watching.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+struct ObsInner {
+    metrics: Mutex<MetricsRegistry>,
+    recorder: Box<dyn Recorder>,
+    clock: Box<dyn Clock>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Obs {
+    /// The inert handle: records nothing, reads no clock.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Obs { inner: None }
+    }
+
+    /// An observing handle with the given recorder and clock.
+    #[must_use]
+    pub fn new(recorder: Box<dyn Recorder>, clock: Box<dyn Clock>) -> Self {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                metrics: Mutex::new(MetricsRegistry::default()),
+                recorder,
+                clock,
+            })),
+        }
+    }
+
+    /// Metrics-only handle: a real clock and registry, no event journal.
+    #[must_use]
+    pub fn metrics_only() -> Self {
+        Self::new(Box::new(NullRecorder), Box::new(MonotonicClock::new()))
+    }
+
+    /// Whether this handle observes anything at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Sends one structured event to the recorder. No-op when disabled.
+    pub fn record(&self, event: Event) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(&event);
+        }
+    }
+
+    /// Builds and records an event only when the handle is enabled —
+    /// use for events whose construction is not free.
+    pub fn emit<F: FnOnce() -> Event>(&self, build: F) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(&build());
+        }
+    }
+
+    /// Current clock reading in nanoseconds; `0` when disabled.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.clock.now_ns())
+    }
+
+    /// Adds `delta` to the named counter.
+    pub fn counter_add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).counter_add(name, delta);
+        }
+    }
+
+    /// Sets the named gauge. Gauges are last-write-wins and must only be
+    /// written from sequential (orchestration) code — see the module
+    /// docs' order-fixed aggregation rule.
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).gauge_set(name, value);
+        }
+    }
+
+    /// Records one observation into the named histogram with the default
+    /// latency buckets.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).observe(name, value);
+        }
+    }
+
+    /// Records one observation into the named histogram with explicit
+    /// bucket bounds (used on first touch of the name).
+    pub fn observe_with(&self, name: &str, value: u64, bounds: &[u64]) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).observe_with(name, value, bounds);
+        }
+    }
+
+    /// Merges a worker-local registry into the shared one. Call in a
+    /// fixed order (e.g. worker spawn order) after a parallel region.
+    pub fn merge_metrics(&self, local: &MetricsRegistry) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.metrics).merge_from(local);
+        }
+    }
+
+    /// A snapshot (clone) of the current metrics registry.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsRegistry {
+        self.inner
+            .as_ref()
+            .map_or_else(MetricsRegistry::default, |i| lock(&i.metrics).clone())
+    }
+
+    /// Starts a span that records its elapsed time into the histogram
+    /// `name` when dropped (or when [`SpanGuard::finish`] is called).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard {
+            obs: self,
+            name,
+            start_ns: self.now_ns(),
+            done: false,
+        }
+    }
+
+    /// Records a `metrics_snapshot` event embedding the JSON rendering
+    /// of the current registry, then flushes the recorder. Typically the
+    /// last call of a binary's run.
+    pub fn record_metrics_snapshot(&self) {
+        if let Some(inner) = &self.inner {
+            let json = lock(&inner.metrics).to_json();
+            inner
+                .recorder
+                .record(&Event::new("metrics_snapshot").with_raw_json("metrics", json));
+            inner.recorder.flush();
+        }
+    }
+
+    /// Flushes the recorder (no-op for recorders without buffering).
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.flush();
+        }
+    }
+}
+
+fn lock(m: &Mutex<MetricsRegistry>) -> std::sync::MutexGuard<'_, MetricsRegistry> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RAII span: measures the time between [`Obs::span`] and drop through
+/// the handle's [`Clock`], recording it into a histogram. On a disabled
+/// handle the guard does nothing and reads no clock.
+#[must_use = "a span records on drop; binding it to `_` drops it immediately"]
+pub struct SpanGuard<'a> {
+    obs: &'a Obs,
+    name: &'static str,
+    start_ns: u64,
+    done: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now and returns the elapsed nanoseconds
+    /// (`0` on a disabled handle).
+    pub fn finish(mut self) -> u64 {
+        self.record()
+    }
+
+    fn record(&mut self) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.done = true;
+        if !self.obs.enabled() {
+            return 0;
+        }
+        let elapsed = self.obs.now_ns().saturating_sub(self.start_ns);
+        self.obs.observe(self.name, elapsed);
+        elapsed
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        obs.counter_add("c", 5);
+        obs.observe("h", 10);
+        obs.gauge_set("g", 1.5);
+        obs.record(Event::new("x"));
+        assert_eq!(obs.now_ns(), 0);
+        let snap = obs.metrics();
+        assert_eq!(snap.counter("c"), 0);
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn fake_clock_spans_land_in_histogram() {
+        let clock = Arc::new(FakeClock::new(0));
+        let obs = Obs::new(Box::new(NullRecorder), Box::new(Arc::clone(&clock)));
+        {
+            let span = obs.span("work_ns");
+            clock.advance(1_500);
+            assert_eq!(span.finish(), 1_500);
+        }
+        {
+            let _span = obs.span("work_ns");
+            clock.advance(250_000);
+            // drop records
+        }
+        let snap = obs.metrics();
+        let h = snap.histogram("work_ns").expect("histogram exists");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 251_500);
+        assert_eq!(h.min(), Some(1_500));
+        assert_eq!(h.max(), Some(250_000));
+    }
+
+    #[test]
+    fn span_finish_is_idempotent_with_drop() {
+        let clock = Arc::new(FakeClock::new(7));
+        let obs = Obs::new(Box::new(NullRecorder), Box::new(Arc::clone(&clock)));
+        let span = obs.span("once_ns");
+        clock.advance(10);
+        let elapsed = span.finish(); // drop after finish must not double-record
+        assert_eq!(elapsed, 10);
+        let snap = obs.metrics();
+        assert_eq!(snap.histogram("once_ns").map(Histogram::count), Some(1));
+    }
+
+    #[test]
+    fn events_reach_the_recorder() {
+        let rec = Arc::new(MemoryRecorder::default());
+        let obs = Obs::new(Box::new(Arc::clone(&rec)), Box::new(FakeClock::new(0)));
+        obs.record(Event::new("alpha").with("k", 1u64));
+        obs.emit(|| Event::new("beta").with("v", 2.5));
+        let lines = rec.lines();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"alpha\""));
+        assert!(lines[1].contains("\"kind\":\"beta\""));
+    }
+
+    #[test]
+    fn snapshot_event_embeds_metrics_json() {
+        let rec = Arc::new(MemoryRecorder::default());
+        let obs = Obs::new(Box::new(Arc::clone(&rec)), Box::new(FakeClock::new(0)));
+        obs.counter_add("n", 4);
+        obs.record_metrics_snapshot();
+        let lines = rec.lines();
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"kind\":\"metrics_snapshot\""));
+        assert!(lines[0].contains("\"n\":4"));
+    }
+
+    #[test]
+    fn merge_metrics_accumulates_local_registries() {
+        let obs = Obs::metrics_only();
+        let mut a = MetricsRegistry::default();
+        a.counter_add("tasks", 3);
+        a.observe("lat_ns", 100);
+        let mut b = MetricsRegistry::default();
+        b.counter_add("tasks", 4);
+        b.observe("lat_ns", 900);
+        obs.merge_metrics(&a);
+        obs.merge_metrics(&b);
+        let snap = obs.metrics();
+        assert_eq!(snap.counter("tasks"), 7);
+        assert_eq!(snap.histogram("lat_ns").map(Histogram::count), Some(2));
+        assert_eq!(snap.histogram("lat_ns").map(Histogram::sum), Some(1_000));
+    }
+}

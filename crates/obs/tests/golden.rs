@@ -1,0 +1,71 @@
+//! Golden tests for the text exporters: exact expected output for a
+//! fixed registry, so any formatting drift is an explicit diff here.
+
+use optassign_obs::MetricsRegistry;
+
+fn fixed_registry() -> MetricsRegistry {
+    let mut r = MetricsRegistry::default();
+    r.counter_add("exec_tasks_total", 12);
+    r.counter_add("study_retries_total", 3);
+    r.gauge_set("exec_workers", 4.0);
+    r.gauge_set("scale_factor", 0.5);
+    for v in [500, 1_000, 90_000, 2_000_000] {
+        r.observe_with("exec_task_ns", v, &[1_000, 100_000, 1_000_000]);
+    }
+    r
+}
+
+#[test]
+fn prometheus_exposition_golden() {
+    let expected = "\
+# TYPE exec_tasks_total counter
+exec_tasks_total 12
+# TYPE study_retries_total counter
+study_retries_total 3
+# TYPE exec_workers gauge
+exec_workers 4
+# TYPE scale_factor gauge
+scale_factor 0.5
+# TYPE exec_task_ns histogram
+exec_task_ns_bucket{le=\"1000\"} 2
+exec_task_ns_bucket{le=\"100000\"} 3
+exec_task_ns_bucket{le=\"1000000\"} 3
+exec_task_ns_bucket{le=\"+Inf\"} 4
+exec_task_ns_sum 2091500
+exec_task_ns_count 4
+";
+    assert_eq!(fixed_registry().to_prometheus(), expected);
+}
+
+#[test]
+fn json_summary_golden() {
+    let expected = concat!(
+        "{\"counters\":{\"exec_tasks_total\":12,\"study_retries_total\":3},",
+        "\"gauges\":{\"exec_workers\":4,\"scale_factor\":0.5},",
+        "\"histograms\":{\"exec_task_ns\":{\"bounds\":[1000,100000,1000000],",
+        "\"counts\":[2,1,0,1],\"count\":4,\"sum\":2091500,",
+        "\"min\":500,\"max\":2000000}}}",
+    );
+    assert_eq!(fixed_registry().to_json(), expected);
+}
+
+#[test]
+fn empty_registry_renders_empty_sections() {
+    let r = MetricsRegistry::default();
+    assert_eq!(r.to_prometheus(), "");
+    assert_eq!(
+        r.to_json(),
+        "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+    );
+}
+
+#[test]
+fn empty_histogram_min_max_are_null() {
+    let mut r = MetricsRegistry::default();
+    // An empty histogram cannot be created through observe(); merge one in.
+    let empty = MetricsRegistry::default();
+    r.merge_from(&empty);
+    r.observe_with("h", 5, &[10]);
+    let json = r.to_json();
+    assert!(json.contains("\"min\":5,\"max\":5"), "{json}");
+}

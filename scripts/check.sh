@@ -18,7 +18,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 # Library crates: panic-free discipline on top of the standard lints.
-LIB_CRATES=(optassign-exec optassign-stats optassign-sim optassign-evt optassign-netapps optassign)
+LIB_CRATES=(optassign-obs optassign-exec optassign-stats optassign-sim optassign-evt optassign-netapps optassign)
 for crate in "${LIB_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} --lib (deny warnings, unwrap_used, expect_used)"
     cargo clippy -q -p "${crate}" --lib -- \
@@ -39,6 +39,17 @@ if [[ "${FAST}" == "0" ]]; then
     OPTASSIGN_WORKERS=1 cargo test -q --workspace
     echo "==> cargo test --workspace (OPTASSIGN_WORKERS=4)"
     OPTASSIGN_WORKERS=4 cargo test -q --workspace
+
+    # Metrics-enabled smoke: fig13 at minimal scale must emit a parseable
+    # JSONL journal with per-round gap traces and a final metrics snapshot.
+    echo "==> fig13 --metrics smoke"
+    METRICS_TMP="$(mktemp -d)"
+    trap 'rm -rf "${METRICS_TMP}"' EXIT
+    cargo run -q --release -p optassign-bench --bin fig13 -- \
+        --scale 0.01 --workers 2 --metrics "${METRICS_TMP}/fig13.jsonl" >/dev/null
+    grep -q '"kind":"iteration"' "${METRICS_TMP}/fig13.jsonl"
+    grep -q '"kind":"metrics_snapshot"' "${METRICS_TMP}/fig13.jsonl"
+    grep -q '_bucket{le=' "${METRICS_TMP}/fig13.jsonl.prom"
 fi
 
 echo "==> all checks passed"

@@ -1,0 +1,182 @@
+//! The observability contract, end to end: attaching a recorder — any
+//! recorder — to a pipeline must not change a single bit of its output,
+//! at any worker count. The journal is derived *from* the computation
+//! and never feeds back into it.
+
+use optassign::fault::{FaultPlan, FaultyModel};
+use optassign::iterative::{run_iterative, run_iterative_obs, IterativeConfig};
+use optassign::model::SyntheticModel;
+use optassign::study::SampleStudy;
+use optassign::{Parallelism, Topology};
+use optassign_evt::ResilientConfig;
+use optassign_obs::{FakeClock, JsonlRecorder, MemoryRecorder, NullRecorder, Obs};
+use std::sync::Arc;
+
+fn model() -> SyntheticModel {
+    SyntheticModel::new(Topology::ultrasparc_t2(), 8, 2.0e6)
+}
+
+/// A full recorder + fake clock, with a handle on the captured lines.
+fn recording_obs() -> (Obs, Arc<MemoryRecorder>) {
+    let recorder = Arc::new(MemoryRecorder::default());
+    let obs = Obs::new(
+        Box::new(Arc::clone(&recorder)),
+        Box::new(Arc::new(FakeClock::new(0))),
+    );
+    (obs, recorder)
+}
+
+#[test]
+fn run_resilient_is_bit_identical_with_recording_on_and_off() {
+    let faulty = FaultyModel::new(model(), FaultPlan::light(41));
+    let (base, base_log) =
+        SampleStudy::run_resilient_with(&faulty, 200, 41, 3, Parallelism::serial()).unwrap();
+    let base_report = base
+        .estimate_resilient(&ResilientConfig::default())
+        .unwrap();
+
+    for workers in [1, 4] {
+        let par = Parallelism::new(workers);
+        // NullRecorder: enabled metrics, discarded events.
+        faulty.reset();
+        let null_obs = Obs::new(
+            Box::new(NullRecorder),
+            Box::new(Arc::new(FakeClock::new(0))),
+        );
+        let (null_study, null_log) =
+            SampleStudy::run_resilient_with_obs(&faulty, 200, 41, 3, par, &null_obs).unwrap();
+        // Full recorder capturing every event.
+        faulty.reset();
+        let (full_obs, recorder) = recording_obs();
+        let (full_study, full_log) =
+            SampleStudy::run_resilient_with_obs(&faulty, 200, 41, 3, par, &full_obs).unwrap();
+
+        for (study, log) in [(&null_study, null_log), (&full_study, full_log)] {
+            assert_eq!(
+                study.performances(),
+                base.performances(),
+                "workers={workers}"
+            );
+            assert_eq!(study.assignments(), base.assignments(), "workers={workers}");
+            assert_eq!(log, base_log, "workers={workers}");
+        }
+        let report = full_study
+            .estimate_resilient_obs(&ResilientConfig::default(), &full_obs)
+            .unwrap();
+        assert_eq!(report.upb.point, base_report.upb.point);
+        assert_eq!(report.method, base_report.method);
+        assert!(!recorder.lines().is_empty(), "recorder captured nothing");
+    }
+}
+
+#[test]
+fn run_iterative_is_bit_identical_with_recording_on_and_off() {
+    let faulty = FaultyModel::new(model(), FaultPlan::light(43));
+    let mk = |workers: usize| IterativeConfig {
+        n_init: 300,
+        n_delta: 100,
+        acceptable_loss: 0.05,
+        parallelism: Parallelism::new(workers),
+        ..IterativeConfig::default()
+    };
+    let base = run_iterative(&faulty, &mk(1), 43).unwrap();
+
+    for workers in [1, 4] {
+        let null_obs = Obs::new(
+            Box::new(NullRecorder),
+            Box::new(Arc::new(FakeClock::new(0))),
+        );
+        let (full_obs, recorder) = recording_obs();
+        for obs in [&null_obs, &full_obs] {
+            let run = run_iterative_obs(&faulty, &mk(workers), 43, obs).unwrap();
+            assert_eq!(run.samples_used, base.samples_used, "workers={workers}");
+            assert_eq!(run.evaluations, base.evaluations, "workers={workers}");
+            assert_eq!(run.best_performance, base.best_performance);
+            assert_eq!(run.final_estimate.upb.point, base.final_estimate.upb.point);
+            assert_eq!(run.trace, base.trace, "workers={workers}");
+            assert_eq!(run.events, base.events, "workers={workers}");
+            assert_eq!(run.stop, base.stop, "workers={workers}");
+        }
+        // The journal mirrors the run: one iteration line per round.
+        let lines = recorder.lines();
+        let rounds = lines
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"iteration\""))
+            .count();
+        assert_eq!(rounds, base.trace.len(), "workers={workers}");
+    }
+}
+
+#[test]
+fn journal_lines_are_parseable_jsonl() {
+    let (obs, recorder) = recording_obs();
+    let m = model();
+    let cfg = IterativeConfig {
+        n_init: 300,
+        n_delta: 100,
+        acceptable_loss: 0.10,
+        parallelism: Parallelism::new(2),
+        ..IterativeConfig::default()
+    };
+    run_iterative_obs(&m, &cfg, 47, &obs).unwrap();
+    obs.record_metrics_snapshot();
+
+    let lines = recorder.lines();
+    assert!(!lines.is_empty());
+    for line in &lines {
+        // Minimal JSONL sanity without a JSON dependency: one object per
+        // line, no embedded newlines, balanced braces and quotes outside
+        // of strings.
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(!line.contains('\n'));
+        let mut depth = 0i32;
+        let mut in_str = false;
+        let mut esc = false;
+        for c in line.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => depth += 1,
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON in {line}");
+        assert!(!in_str, "unterminated string in {line}");
+        assert!(
+            line.contains("\"kind\":"),
+            "journal line lacks kind: {line}"
+        );
+    }
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"kind\":\"metrics_snapshot\"")));
+    assert!(lines
+        .iter()
+        .any(|l| l.contains("\"kind\":\"iterative_done\"")));
+}
+
+#[test]
+fn jsonl_recorder_file_round_trip() {
+    let dir = std::env::temp_dir().join(format!("optassign-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    {
+        let journal = JsonlRecorder::create(&path).unwrap();
+        let obs = Obs::new(Box::new(journal), Box::new(Arc::new(FakeClock::new(0))));
+        let study = SampleStudy::run_with_obs(&model(), 200, 7, Parallelism::new(2), &obs).unwrap();
+        assert_eq!(study.len(), 200);
+        obs.record_metrics_snapshot();
+        obs.flush();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.lines().any(|l| l.contains("\"kind\":\"study_done\"")));
+    assert!(text
+        .lines()
+        .any(|l| l.contains("\"kind\":\"metrics_snapshot\"")));
+    std::fs::remove_dir_all(&dir).ok();
+}
