@@ -6,10 +6,15 @@
 //! until the customer's acceptable loss is met.
 //!
 //! Run: `cargo run --release -p optassign-bench --bin fig13
-//! [--scale f] [--metrics run.jsonl]`
+//! [--scale f] [--metrics run.jsonl] [--checkpoint dir] [--resume]`
+//!
+//! With `--checkpoint`, every measurement journals into a durable
+//! [`optassign::persist::CampaignStore`]; a killed run re-invoked with
+//! the same arguments resumes bit-identically, and a completed run
+//! replays without touching the simulator.
 
-use optassign::iterative::{run_iterative_obs, IterativeConfig};
-use optassign_bench::{case_study_model, fmt_pps, print_table, BenchArgs, BASE_SEED};
+use optassign::iterative::{run_iterative_obs, run_iterative_persistent_obs, IterativeConfig};
+use optassign_bench::{case_study_model, fmt_pps, print_table, report_store, BenchArgs, BASE_SEED};
 use optassign_netapps::Benchmark;
 
 fn main() {
@@ -33,7 +38,15 @@ fn main() {
         "[fig13] running (N_init = {}, N_delta = {}, {} workers)…",
         config.n_init, config.n_delta, config.parallelism.workers
     );
-    let result = run_iterative_obs(&model, &config, BASE_SEED, &obs).expect("feasible case study");
+    let store = scale.store("fig13-ipfwd-l1");
+    let result = match &store {
+        Some(store) => run_iterative_persistent_obs(&model, &config, BASE_SEED, store, &obs),
+        None => run_iterative_obs(&model, &config, BASE_SEED, &obs),
+    }
+    .expect("feasible case study");
+    if let Some(store) = &store {
+        report_store(store);
+    }
 
     let mut rows = Vec::new();
     for step in &result.trace {

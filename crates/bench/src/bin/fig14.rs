@@ -8,9 +8,9 @@
 //! statistically identical to fresh sampling and avoids re-simulating.
 //!
 //! Run: `cargo run --release -p optassign-bench --bin fig14
-//! [--scale f] [--metrics run.jsonl]`
+//! [--scale f] [--metrics run.jsonl] [--checkpoint dir] [--resume]`
 
-use optassign_bench::{measured_pool_obs, print_table, BenchArgs};
+use optassign_bench::{measured_pool_persistent, print_table, report_store, BenchArgs};
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_netapps::Benchmark;
 use optassign_obs::{Event, Obs};
@@ -64,8 +64,15 @@ fn main() {
     let obs = scale.obs();
     let mut rows = Vec::new();
     for bench in Benchmark::paper_suite() {
-        let pool = measured_pool_obs(bench, pool_size, scale.parallelism(), &obs)
-            .expect("case-study workloads fit the machine");
+        // One store per benchmark: the campaign identity cannot cover the
+        // model, so distinct workloads must not share cache entries.
+        let store = scale.store(&format!("fig14-{}", bench.name()));
+        let pool =
+            measured_pool_persistent(bench, pool_size, scale.parallelism(), store.as_ref(), &obs)
+                .expect("case-study workloads fit the machine");
+        if let Some(store) = &store {
+            report_store(store);
+        }
         let mut row = vec![bench.name().to_string()];
         for &t in &targets {
             row.push(

@@ -5,7 +5,8 @@
 //! their own pools; this runner shares them). Output is the text that
 //! EXPERIMENTS.md records.
 //!
-//! Run: `cargo run --release -p optassign-bench --bin repro_all [--scale f]`
+//! Run: `cargo run --release -p optassign-bench --bin repro_all
+//! [--scale f] [--checkpoint dir] [--resume]`
 
 use optassign::model::PerformanceModel;
 use optassign::probability::capture_probability;
@@ -13,7 +14,8 @@ use optassign::schedulers::{linux_like, naive};
 use optassign::space::{enumerate_assignments, table1_row};
 use optassign::Topology;
 use optassign_bench::{
-    case_study_model_small, fmt_pps, measured_pool_with, print_table, BenchArgs, BASE_SEED,
+    case_study_model_small, fmt_pps, measured_pool_persistent, print_table, report_store,
+    stderr_obs, BenchArgs, BASE_SEED,
 };
 use optassign_evt::mean_excess::MeanExcessPlot;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
@@ -41,11 +43,22 @@ fn main() {
     let pool_size = scale.sample(8000);
     let mut pools = Vec::new();
     for bench in Benchmark::paper_suite() {
-        pools.push((
+        // Per-benchmark store scope: campaign identities cannot cover the
+        // model, so distinct workloads must not share cache entries. The
+        // scope matches fig14's, so both binaries reuse one checkpoint.
+        let store = scale.store(&format!("fig14-{}", bench.name()));
+        let pool = measured_pool_persistent(
             bench,
-            measured_pool_with(bench, pool_size, scale.parallelism())
-                .expect("case-study workloads fit the machine"),
-        ));
+            pool_size,
+            scale.parallelism(),
+            store.as_ref(),
+            &stderr_obs(),
+        )
+        .expect("case-study workloads fit the machine");
+        if let Some(store) = &store {
+            report_store(store);
+        }
+        pools.push((bench, pool));
     }
 
     fig6_and_7(&pools[0].1);

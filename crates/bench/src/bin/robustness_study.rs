@@ -17,11 +17,19 @@
 //!   retry/redraw cost of faulty infrastructure).
 //!
 //! Run: `cargo run --release -p optassign-bench --bin robustness_study
-//! [--scale f]`
+//! [--scale f] [--checkpoint dir] [--resume]`
+//!
+//! With `--checkpoint`, each benchmark × fault-profile cell journals its
+//! resilient campaign into its own store subdirectory (campaign
+//! identities cannot cover the fault plan, so cells must not share
+//! stores) and resumes bit-identically after an interruption.
 
 use optassign::fault::{FaultPlan, FaultyModel};
 use optassign::study::SampleStudy;
-use optassign_bench::{case_study_model, fmt_pps, print_table, seed_tag, BenchArgs, BASE_SEED};
+use optassign_bench::{
+    case_study_model, fmt_pps, print_table, report_store, seed_tag, stderr_obs, BenchArgs,
+    BASE_SEED,
+};
 use optassign_evt::pot::PotConfig;
 use optassign_evt::resilient::{FallbackPolicy, ResilientConfig};
 use optassign_netapps::Benchmark;
@@ -62,25 +70,40 @@ fn main() {
         ] {
             eprintln!("[robustness] {}: {fault_name} faults…", bench.name());
             let faulty = FaultyModel::new(case_study_model(bench), plan);
-            let (study, log) =
-                match SampleStudy::run_resilient_with(&faulty, n, seed, MAX_RETRIES, par) {
-                    Ok(ok) => ok,
-                    Err(e) => {
-                        for (policy_name, _) in policies {
-                            rows.push(vec![
-                                bench.name().to_string(),
-                                fault_name.to_string(),
-                                policy_name.to_string(),
-                                format!("campaign failed: {e}"),
-                                "-".into(),
-                                "-".into(),
-                                "-".into(),
-                                "-".into(),
-                            ]);
-                        }
-                        continue;
+            let store = scale.store(&format!("robustness-{}-{fault_name}", bench.name()));
+            let campaign = match &store {
+                Some(store) => SampleStudy::run_resilient_persistent_with_obs(
+                    &faulty,
+                    n,
+                    seed,
+                    MAX_RETRIES,
+                    par,
+                    store,
+                    &stderr_obs(),
+                ),
+                None => SampleStudy::run_resilient_with(&faulty, n, seed, MAX_RETRIES, par),
+            };
+            if let Some(store) = &store {
+                report_store(store);
+            }
+            let (study, log) = match campaign {
+                Ok(ok) => ok,
+                Err(e) => {
+                    for (policy_name, _) in policies {
+                        rows.push(vec![
+                            bench.name().to_string(),
+                            fault_name.to_string(),
+                            policy_name.to_string(),
+                            format!("campaign failed: {e}"),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                        ]);
                     }
-                };
+                    continue;
+                }
+            };
             for (policy_name, policy) in policies {
                 let cfg = ResilientConfig {
                     policy,

@@ -13,6 +13,7 @@ pub mod ascii;
 pub mod microbench;
 
 use optassign::model::SimModel;
+use optassign::persist::CampaignStore;
 use optassign::study::SampleStudy;
 use optassign::{CoreError, Parallelism};
 use optassign_netapps::Benchmark;
@@ -46,13 +47,22 @@ pub struct BenchArgs {
     /// Destination of the JSONL event journal (`--metrics <path>` or
     /// `OPTASSIGN_METRICS`); `None` keeps stderr progress only.
     pub metrics: Option<PathBuf>,
+    /// Root of the durable campaign store (`--checkpoint <dir>` or
+    /// `OPTASSIGN_CHECKPOINT`); `None` runs without persistence.
+    pub checkpoint: Option<PathBuf>,
+    /// `--resume`: the run expects checkpoint state to already exist and
+    /// warns loudly when it does not. Replay itself is automatic — any
+    /// run with `--checkpoint` picks up whatever the store holds.
+    pub resume: bool,
 }
 
 impl BenchArgs {
-    /// Parses `--scale <f>`, `--workers <n>`, and `--metrics <path>`
-    /// from the process arguments; scale defaults to 1.0 and also
-    /// honours a bare positional float for convenience, and the metrics
-    /// path falls back to the `OPTASSIGN_METRICS` environment variable.
+    /// Parses `--scale <f>`, `--workers <n>`, `--metrics <path>`,
+    /// `--checkpoint <dir>`, and `--resume` from the process arguments;
+    /// scale defaults to 1.0 and also honours a bare positional float
+    /// for convenience, the metrics path falls back to the
+    /// `OPTASSIGN_METRICS` environment variable, and the checkpoint
+    /// directory to `OPTASSIGN_CHECKPOINT`.
     pub fn from_args() -> BenchArgs {
         Self::parse(std::env::args().skip(1))
     }
@@ -64,6 +74,8 @@ impl BenchArgs {
         let mut factor = 1.0f64;
         let mut workers = None;
         let mut metrics: Option<PathBuf> = None;
+        let mut checkpoint: Option<PathBuf> = None;
+        let mut resume = false;
         let mut i = 0;
         while i < args.len() {
             if args[i] == "--scale" && i + 1 < args.len() {
@@ -81,6 +93,16 @@ impl BenchArgs {
                 i += 2;
                 continue;
             }
+            if args[i] == "--checkpoint" && i + 1 < args.len() {
+                checkpoint = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+                continue;
+            }
+            if args[i] == "--resume" {
+                resume = true;
+                i += 1;
+                continue;
+            }
             if let Ok(v) = args[i].parse::<f64>() {
                 factor = v;
             }
@@ -91,10 +113,20 @@ impl BenchArgs {
                 .filter(|v| !v.is_empty())
                 .map(PathBuf::from);
         }
+        if checkpoint.is_none() {
+            checkpoint = std::env::var_os("OPTASSIGN_CHECKPOINT")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from);
+        }
+        if resume && checkpoint.is_none() {
+            eprintln!("[store] --resume without --checkpoint (or OPTASSIGN_CHECKPOINT); nothing to resume from");
+        }
         BenchArgs {
             factor: factor.clamp(0.01, 10.0),
             workers,
             metrics,
+            checkpoint,
+            resume,
         }
     }
 
@@ -139,6 +171,44 @@ impl BenchArgs {
             None => progress,
         };
         Obs::new(recorder, Box::<MonotonicClock>::default())
+    }
+
+    /// Opens this run's durable campaign store under the `--checkpoint`
+    /// root, scoped to `scope` (experiments with distinct models must not
+    /// share a store — campaign identities cannot cover the model itself,
+    /// so each benchmark/fault-plan cell gets its own subdirectory).
+    ///
+    /// `None` when no checkpoint root was configured, and on open
+    /// failure — a broken store degrades to a non-persistent run with a
+    /// warning, never an abort. With `--resume`, a missing store
+    /// directory warns that there is nothing to resume.
+    pub fn store(&self, scope: &str) -> Option<CampaignStore> {
+        let root = self.checkpoint.as_ref()?;
+        let dir = root.join(scope);
+        if self.resume && !dir.is_dir() {
+            eprintln!(
+                "[store] --resume: no checkpoint at {}; starting fresh",
+                dir.display()
+            );
+        }
+        match CampaignStore::open(&dir) {
+            Ok(store) => {
+                eprintln!(
+                    "[store] {}: {} journaled measurements, {} cached evaluations",
+                    dir.display(),
+                    store.journaled_measurements(),
+                    store.cache_stats().entries
+                );
+                Some(store)
+            }
+            Err(e) => {
+                eprintln!(
+                    "[store] cannot open {}: {e}; continuing without persistence",
+                    dir.display()
+                );
+                None
+            }
+        }
     }
 
     /// Finishes an observed run: records a final `metrics_snapshot`
@@ -229,6 +299,25 @@ pub fn measured_pool_obs(
     parallelism: Parallelism,
     obs: &Obs,
 ) -> Result<SampleStudy, CoreError> {
+    measured_pool_persistent(bench, n, parallelism, None, obs)
+}
+
+/// [`measured_pool_obs`] journaled through a durable [`CampaignStore`]
+/// when one is given: measurements append to the store's write-ahead log,
+/// an interrupted pool resumes bit-identically, and a repeated pool
+/// replays without touching the simulator. `store: None` is exactly
+/// [`measured_pool_obs`].
+///
+/// # Errors
+///
+/// As [`measured_pool`].
+pub fn measured_pool_persistent(
+    bench: Benchmark,
+    n: usize,
+    parallelism: Parallelism,
+    store: Option<&CampaignStore>,
+    obs: &Obs,
+) -> Result<SampleStudy, CoreError> {
     let model = case_study_model(bench);
     obs.emit(|| {
         progress(
@@ -242,8 +331,13 @@ pub fn measured_pool_obs(
         )
     });
     let span = obs.span("pool_ns");
-    let study =
-        SampleStudy::run_with_obs(&model, n, BASE_SEED ^ seed_tag(bench), parallelism, obs)?;
+    let seed = BASE_SEED ^ seed_tag(bench);
+    let study = match store {
+        Some(store) => {
+            SampleStudy::run_persistent_with_obs(&model, n, seed, parallelism, store, obs)?
+        }
+        None => SampleStudy::run_with_obs(&model, n, seed, parallelism, obs)?,
+    };
     let elapsed = span.finish();
     obs.emit(|| {
         progress(
@@ -254,9 +348,25 @@ pub fn measured_pool_obs(
     Ok(study)
 }
 
+/// Prints a one-line store summary to stderr (stdout stays reserved for
+/// the experiment's deterministic table output, so interrupted-vs-clean
+/// runs can be diffed on stdout alone).
+pub fn report_store(store: &CampaignStore) {
+    let stats = store.cache_stats();
+    store.sync();
+    eprintln!(
+        "[store] cache: {} hits, {} misses, {} entries; {} journaled measurements; {} I/O errors",
+        stats.hits,
+        stats.misses,
+        stats.entries,
+        store.journaled_measurements(),
+        store.io_errors()
+    );
+}
+
 /// A stderr-progress-only observability handle, for binaries that did
 /// not opt into a journal.
-fn stderr_obs() -> Obs {
+pub fn stderr_obs() -> Obs {
     Obs::new(Box::new(StderrProgress), Box::<MonotonicClock>::default())
 }
 
@@ -275,7 +385,7 @@ pub struct SizePoint {
 
 /// Measures one 24-thread pool per benchmark and analyzes its prefixes at
 /// the given sample sizes (iid prefixes of one pool are statistically
-/// equivalent to the paper's independent draws; see DESIGN.md §8).
+/// equivalent to the paper's independent draws; see DESIGN.md §9).
 ///
 /// # Errors
 ///
@@ -362,6 +472,8 @@ mod tests {
             factor,
             workers,
             metrics: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 
@@ -397,6 +509,36 @@ mod tests {
         let args = BenchArgs::parse(["2.0", "--workers", "0"].map(String::from));
         assert_eq!(args.factor, 2.0);
         assert_eq!(args.workers, None);
+    }
+
+    #[test]
+    fn parse_checkpoint_and_resume() {
+        let args = BenchArgs::parse(["--checkpoint", "/tmp/ckpt", "--resume"].map(String::from));
+        assert_eq!(args.checkpoint, Some(PathBuf::from("/tmp/ckpt")));
+        assert!(args.resume);
+        let args = BenchArgs::parse(["--scale", "0.5"].map(String::from));
+        assert!(!args.resume);
+        // No checkpoint root configured: no store, regardless of scope.
+        if std::env::var_os("OPTASSIGN_CHECKPOINT").is_none() {
+            assert!(args.store("fig13").is_none());
+        }
+    }
+
+    #[test]
+    fn store_scopes_are_separate_directories() {
+        let root =
+            std::env::temp_dir().join(format!("optassign-bench-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let args = BenchArgs {
+            checkpoint: Some(root.clone()),
+            ..plain(1.0, None)
+        };
+        let a = args.store("cell-a").expect("store opens");
+        let b = args.store("cell-b").expect("store opens");
+        drop((a, b));
+        assert!(root.join("cell-a").is_dir());
+        assert!(root.join("cell-b").is_dir());
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

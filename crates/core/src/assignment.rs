@@ -120,6 +120,43 @@ impl Assignment {
     pub fn is_equivalent(&self, other: &Assignment) -> bool {
         self.topology == other.topology && self.canonical_key() == other.canonical_key()
     }
+
+    /// A stable 64-bit content address for the assignment's equivalence
+    /// class: equivalent assignments (same topology, same
+    /// [`canonical_key`](Assignment::canonical_key)) hash identically,
+    /// across processes and releases.
+    ///
+    /// The hash is FNV-1a 64 over a fixed serialization — topology
+    /// dimensions, then the canonical key with every list length-prefixed
+    /// — so it does not depend on `std`'s hasher internals. It keys the
+    /// durable evaluation cache in `optassign-store`; changing the
+    /// serialization invalidates every cache on disk.
+    pub fn canonical_hash(&self) -> u64 {
+        const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET_BASIS;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.topology.cores as u64);
+        mix(self.topology.pipes_per_core as u64);
+        mix(self.topology.strands_per_pipe as u64);
+        let key = self.canonical_key();
+        mix(key.len() as u64);
+        for core in &key {
+            mix(core.len() as u64);
+            for pipe in core {
+                mix(pipe.len() as u64);
+                for &task in pipe {
+                    mix(task as u64);
+                }
+            }
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -237,6 +274,44 @@ mod tests {
                 .collect();
             let b = Assignment::new(permuted, topo).unwrap();
             assert!(a.is_equivalent(&b), "seed {seed}");
+            assert_eq!(a.canonical_hash(), b.canonical_hash(), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn canonical_hash_separates_classes() {
+        // The three 2-task classes of distinct_classes_are_not_equivalent
+        // plus task-identity variants must all hash differently.
+        let classes = [
+            Assignment::new(vec![0, 1], t2()).unwrap(),
+            Assignment::new(vec![0, 4], t2()).unwrap(),
+            Assignment::new(vec![0, 8], t2()).unwrap(),
+            Assignment::new(vec![0, 1, 4], t2()).unwrap(),
+            Assignment::new(vec![0, 4, 1], t2()).unwrap(),
+        ];
+        for (i, a) in classes.iter().enumerate() {
+            for (j, b) in classes.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a.canonical_hash(), b.canonical_hash(), "{i} vs {j}");
+                }
+            }
+        }
+        // And the topology is part of the address: the same placement on
+        // a different machine is a different cache entry.
+        let small = Topology::new(2, 2, 4);
+        let on_t2 = Assignment::new(vec![0, 1], t2()).unwrap();
+        let on_small = Assignment::new(vec![0, 1], small).unwrap();
+        assert_ne!(on_t2.canonical_hash(), on_small.canonical_hash());
+    }
+
+    /// The hash is a durable on-disk cache key, so its exact values are
+    /// part of the store format. This pins one vector; if it ever changes,
+    /// bump the store magic as well.
+    #[test]
+    fn canonical_hash_is_stable_across_releases() {
+        let a = Assignment::new(vec![0, 1, 8], t2()).unwrap();
+        assert_eq!(a.canonical_hash(), 0xF2DF_875E_4932_EC29);
+        let b = Assignment::new(vec![40, 41, 16], t2()).unwrap();
+        assert_eq!(a.canonical_hash(), b.canonical_hash());
     }
 }

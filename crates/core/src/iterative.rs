@@ -27,14 +27,16 @@
 //!   [`DegradationEvent`] in the result.
 
 use crate::model::{MeasureError, PerformanceModel};
+use crate::persist;
 use crate::sampling::random_assignment;
 use crate::study::SampleStudy;
 use crate::{Assignment, CoreError};
 use optassign_evt::pot::PotConfig;
 use optassign_evt::resilient::{EstimateReport, FallbackPolicy, ResilientConfig};
-use optassign_exec::{split_seed, try_parallel_map_obs, Parallelism};
+use optassign_exec::{split_seed, try_parallel_map_cached, try_parallel_map_obs, Parallelism};
 use optassign_obs::{Event, Obs};
 use optassign_stats::rng::{Rng, StdRng};
+use optassign_store::CampaignStore;
 
 /// Salt deriving each round's batch stream from the campaign seed.
 const BATCH_SALT: u64 = 0x4954_4552_4241_5443;
@@ -345,6 +347,7 @@ fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
     batch_salt: u64,
     parallelism: Parallelism,
     obs: &Obs,
+    persist: Option<(&CampaignStore, u64, u64)>,
 ) -> Result<Batch, CoreError> {
     let mut b = Batch {
         assignments: Vec::with_capacity(want),
@@ -366,9 +369,73 @@ fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
     // campaign's four draws per slot.
     let per_slot_attempts = want.max(1) * (1 + max_retries);
     let draw_cap = 4usize.max(budget.div_ceil(per_slot_attempts));
-    let slots = try_parallel_map_obs(parallelism, want, obs, |i| {
-        measure_batch_slot(model, &primaries[i], batch_salt, i, max_retries, draw_cap)
-    })?;
+    let slots = match persist {
+        None => try_parallel_map_obs(parallelism, want, obs, |i| {
+            measure_batch_slot(model, &primaries[i], batch_salt, i, max_retries, draw_cap)
+        })?,
+        Some((store, campaign, sequence)) => {
+            // Resolve before the parallel region: journal replay first,
+            // then the evaluation cache. Cache entries become visible
+            // only at batch boundaries (end_batch), so what a slot sees
+            // is independent of worker scheduling.
+            let mut replayed = vec![false; want];
+            let mut resolved: Vec<Option<BatchSlot>> = Vec::with_capacity(want);
+            for (i, primary) in primaries.iter().enumerate() {
+                let journaled = store
+                    .lookup_slot(campaign, sequence, i as u64)
+                    .and_then(|rec| {
+                        persist::assignment_from_record(&rec, model.topology()).map(|a| BatchSlot {
+                            measured: Some((a, rec.value)),
+                            attempts: rec.attempts as usize,
+                            retries: rec.retries as usize,
+                            redrawn: rec.redrawn as usize,
+                        })
+                    });
+                if journaled.is_some() {
+                    replayed[i] = true;
+                    resolved.push(journaled);
+                } else if let Some(v) = store.cache_lookup(primary.canonical_hash()) {
+                    // Cache hit: value known, zero attempts consumed,
+                    // fault stream never touched.
+                    resolved.push(Some(BatchSlot {
+                        measured: Some((primary.clone(), v)),
+                        attempts: 0,
+                        retries: 0,
+                        redrawn: 0,
+                    }));
+                } else {
+                    resolved.push(None);
+                }
+            }
+            let slots = try_parallel_map_cached(parallelism, resolved, obs, |i| {
+                measure_batch_slot(model, &primaries[i], batch_salt, i, max_retries, draw_cap)
+            })?;
+            // Journal every freshly resolved, measured slot — including
+            // ones the budget reduction below may truncate; replaying a
+            // truncated slot re-applies the same reduction. Abandoned
+            // slots (no measurement) are not journaled: they re-measure
+            // deterministically on resume.
+            for (i, slot) in slots.iter().enumerate() {
+                if replayed[i] {
+                    continue;
+                }
+                if let Some((a, v)) = &slot.measured {
+                    store.append_measurement(&persist::slot_record(
+                        campaign,
+                        sequence,
+                        i,
+                        a,
+                        *v,
+                        slot.attempts,
+                        slot.retries,
+                        slot.redrawn,
+                    ));
+                }
+            }
+            store.end_batch(campaign, sequence, want as u64);
+            slots
+        }
+    };
     for slot in slots {
         if b.attempts + slot.attempts > budget {
             // The budget runs out inside this slot: count the attempts
@@ -447,6 +514,64 @@ pub fn run_iterative_obs<M: PerformanceModel + Sync>(
     seed: u64,
     obs: &Obs,
 ) -> Result<IterativeResult, CoreError> {
+    run_iterative_impl(model, config, seed, obs, None)
+}
+
+/// [`run_iterative`] journaled through a durable [`CampaignStore`]:
+/// every batch measurement is written to the store's write-ahead log as
+/// it completes, and a campaign whose records are already (partially)
+/// journaled — an interrupted run, or the same call repeated — replays
+/// them instead of re-measuring, continuing mid-round from wherever the
+/// log ends. Unjournaled slots consult the store's content-addressed
+/// evaluation cache before touching the model.
+///
+/// **Resume contract:** a campaign killed at any record boundary and
+/// re-invoked with the same model, config (ignoring
+/// [`IterativeConfig::parallelism`]) and seed produces exactly the
+/// [`IterativeResult`] of an uninterrupted run — samples, evaluations,
+/// trace, degradation events and all — at any worker count, with or
+/// without a recorder attached. A cache hit consumes zero evaluation
+/// attempts, so a warm-cache campaign can finish cheaper than a cold
+/// one, deterministically.
+///
+/// # Errors
+///
+/// As [`run_iterative`]. Store I/O failures never fail the campaign —
+/// they are counted on the store handle ([`CampaignStore::io_errors`]).
+pub fn run_iterative_persistent<M: PerformanceModel + Sync>(
+    model: &M,
+    config: &IterativeConfig,
+    seed: u64,
+    store: &CampaignStore,
+) -> Result<IterativeResult, CoreError> {
+    run_iterative_impl(model, config, seed, &Obs::disabled(), Some(store))
+}
+
+/// [`run_iterative_persistent`] with observability (see
+/// [`run_iterative_obs`] for what is recorded; cache hits and misses
+/// additionally land in `exec_cache_hits_total` /
+/// `exec_cache_misses_total`).
+///
+/// # Errors
+///
+/// As [`run_iterative`].
+pub fn run_iterative_persistent_obs<M: PerformanceModel + Sync>(
+    model: &M,
+    config: &IterativeConfig,
+    seed: u64,
+    store: &CampaignStore,
+    obs: &Obs,
+) -> Result<IterativeResult, CoreError> {
+    run_iterative_impl(model, config, seed, obs, Some(store))
+}
+
+fn run_iterative_impl<M: PerformanceModel + Sync>(
+    model: &M,
+    config: &IterativeConfig,
+    seed: u64,
+    obs: &Obs,
+    persist: Option<&CampaignStore>,
+) -> Result<IterativeResult, CoreError> {
     if !(config.acceptable_loss > 0.0 && config.acceptable_loss < 1.0) {
         return Err(CoreError::Domain(format!(
             "acceptable_loss must be in (0, 1), got {}",
@@ -492,8 +617,14 @@ pub fn run_iterative_obs<M: PerformanceModel + Sync>(
     let mut trace: Vec<IterationTrace> = Vec::new();
     let mut attempts_total = 0usize;
     let mut budget_exhausted = false;
+    let campaign = persist.map(|store| {
+        (
+            store,
+            persist::iterative_campaign_id(seed, config, model.tasks(), model.topology()),
+        )
+    });
 
-    // Step 1: initial sample.
+    // Step 1: initial sample (batch sequence 0).
     let batch = measure_batch(
         model,
         config.n_init,
@@ -503,6 +634,7 @@ pub fn run_iterative_obs<M: PerformanceModel + Sync>(
         split_seed(seed ^ BATCH_SALT, 0),
         config.parallelism,
         obs,
+        campaign.map(|(store, id)| (store, id, 0)),
     )?;
     attempts_total += batch.attempts;
     note_batch_metrics(obs, &batch);
@@ -639,7 +771,8 @@ pub fn run_iterative_obs<M: PerformanceModel + Sync>(
             });
         }
 
-        // Step 4: extend the sample by N_delta and re-analyze.
+        // Step 4: extend the sample by N_delta and re-analyze. The
+        // round index doubles as the batch's journal sequence number.
         let batch = measure_batch(
             model,
             config.n_delta,
@@ -649,6 +782,7 @@ pub fn run_iterative_obs<M: PerformanceModel + Sync>(
             split_seed(seed ^ BATCH_SALT, round),
             config.parallelism,
             obs,
+            campaign.map(|(store, id)| (store, id, round)),
         )?;
         round += 1;
         attempts_total += batch.attempts;

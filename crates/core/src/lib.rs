@@ -50,6 +50,7 @@ pub mod assignment;
 pub mod fault;
 pub mod iterative;
 pub mod model;
+pub mod persist;
 pub mod probability;
 pub mod sampling;
 pub mod schedulers;

@@ -9,15 +9,20 @@
 
 use crate::assignment::Assignment;
 use crate::model::{MeasureError, PerformanceModel};
+use crate::persist;
 use crate::sampling::{random_assignment, sample_assignments};
 use crate::CoreError;
 use optassign_evt::pot::{PotAnalysis, PotConfig};
 use optassign_evt::resilient::{
     estimate_resilient, estimate_resilient_obs, EstimateReport, ResilientConfig,
 };
-use optassign_exec::{parallel_map_obs, split_seed, try_parallel_map_obs, Parallelism};
+use optassign_exec::{
+    parallel_map_cached, parallel_map_obs, split_seed, try_parallel_map_cached,
+    try_parallel_map_obs, Parallelism,
+};
 use optassign_obs::{Event, Obs};
 use optassign_stats::rng::StdRng;
+use optassign_store::CampaignStore;
 
 /// Salt separating a slot's measurement stream from every other use of
 /// the campaign seed.
@@ -119,6 +124,72 @@ impl SampleStudy {
         parallelism: Parallelism,
         obs: &Obs,
     ) -> Result<Self, CoreError> {
+        Self::run_study_impl(model, n, seed, parallelism, obs, None)
+    }
+
+    /// [`SampleStudy::run`] journaled through a durable
+    /// [`CampaignStore`]: every measurement is written to the store's
+    /// write-ahead log as it completes, and a study whose records are
+    /// already (partially) journaled — an interrupted run, or the same
+    /// call repeated — replays them instead of re-measuring. Slots with
+    /// no journal record consult the store's content-addressed
+    /// evaluation cache (keyed by [`Assignment::canonical_hash`]) before
+    /// evaluating the model.
+    ///
+    /// **Resume contract:** a run killed at any point and re-invoked with
+    /// the same arguments produces the study an uninterrupted run would
+    /// have, bit for bit, at any worker count. Cache hits may substitute
+    /// the measurement of an *equivalent* assignment recorded earlier in
+    /// the same store; use a fresh store directory per model if the model
+    /// is not invariant under hardware symmetry.
+    ///
+    /// # Errors
+    ///
+    /// As [`SampleStudy::run`]. Store I/O failures never fail the study —
+    /// they are counted on the store handle
+    /// ([`CampaignStore::io_errors`]).
+    pub fn run_persistent<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        store: &CampaignStore,
+    ) -> Result<Self, CoreError> {
+        Self::run_persistent_with_obs(
+            model,
+            n,
+            seed,
+            Parallelism::default(),
+            store,
+            &Obs::disabled(),
+        )
+    }
+
+    /// [`SampleStudy::run_persistent`] with an explicit worker count and
+    /// observability. Cache hits and misses land in the
+    /// `exec_cache_hits_total` / `exec_cache_misses_total` counters.
+    ///
+    /// # Errors
+    ///
+    /// As [`SampleStudy::run_persistent`].
+    pub fn run_persistent_with_obs<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        parallelism: Parallelism,
+        store: &CampaignStore,
+        obs: &Obs,
+    ) -> Result<Self, CoreError> {
+        Self::run_study_impl(model, n, seed, parallelism, obs, Some(store))
+    }
+
+    fn run_study_impl<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        parallelism: Parallelism,
+        obs: &Obs,
+        persist: Option<&CampaignStore>,
+    ) -> Result<Self, CoreError> {
         let span = obs.span("study_run_ns");
         obs.emit(|| {
             Event::new("study_start")
@@ -128,9 +199,53 @@ impl SampleStudy {
         });
         let mut rng = StdRng::seed_from_u64(seed);
         let assignments = sample_assignments(n, model.tasks(), model.topology(), &mut rng)?;
-        let performances = parallel_map_obs(parallelism, assignments.len(), obs, |i| {
-            model.evaluate(&assignments[i])
-        });
+        let performances = match persist {
+            None => parallel_map_obs(parallelism, assignments.len(), obs, |i| {
+                model.evaluate(&assignments[i])
+            }),
+            Some(store) => {
+                let campaign = persist::study_campaign_id(seed, n, model.tasks(), model.topology());
+                // Resolve every slot before the parallel region: journal
+                // replay first, then the evaluation cache. All lookups
+                // precede all inserts (which happen at end_batch), so
+                // what a slot can see never depends on scheduling.
+                let keys: Vec<u64> = assignments.iter().map(Assignment::canonical_hash).collect();
+                let mut replayed = vec![false; assignments.len()];
+                let mut cache_hit = vec![false; assignments.len()];
+                let mut resolved: Vec<Option<f64>> = vec![None; assignments.len()];
+                for i in 0..assignments.len() {
+                    if let Some(rec) = store.lookup_slot(campaign, 0, i as u64) {
+                        resolved[i] = Some(rec.value);
+                        replayed[i] = true;
+                    } else if let Some(v) = store.cache_lookup(keys[i]) {
+                        resolved[i] = Some(v);
+                        cache_hit[i] = true;
+                    }
+                }
+                let performances = parallel_map_cached(parallelism, resolved, obs, |i| {
+                    model.evaluate(&assignments[i])
+                });
+                for (i, assignment) in assignments.iter().enumerate() {
+                    if replayed[i] {
+                        continue;
+                    }
+                    // A cache hit consumed no measurement attempt.
+                    let attempts = usize::from(!cache_hit[i]);
+                    store.append_measurement(&persist::slot_record(
+                        campaign,
+                        0,
+                        i,
+                        assignment,
+                        performances[i],
+                        attempts,
+                        0,
+                        0,
+                    ));
+                }
+                store.end_batch(campaign, 0, assignments.len() as u64);
+                performances
+            }
+        };
         obs.counter_add("study_measurements_total", performances.len() as u64);
         let study = SampleStudy {
             assignments,
@@ -222,6 +337,67 @@ impl SampleStudy {
         parallelism: Parallelism,
         obs: &Obs,
     ) -> Result<(Self, MeasurementLog), CoreError> {
+        Self::run_resilient_impl(model, n, seed, max_retries, parallelism, obs, None)
+    }
+
+    /// [`SampleStudy::run_resilient`] journaled through a durable
+    /// [`CampaignStore`], with the same replay/resume semantics as
+    /// [`SampleStudy::run_persistent`]. The journal records each slot's
+    /// attempt/retry/redraw bookkeeping, so a resumed campaign's
+    /// [`MeasurementLog`] is bit-identical too. A slot resolved from the
+    /// evaluation cache consumes **zero** attempts (it skips its fault
+    /// stream entirely), so a warm-cache run can report fewer attempts
+    /// than a cold one — deterministically.
+    ///
+    /// # Errors
+    ///
+    /// As [`SampleStudy::run_resilient`].
+    pub fn run_resilient_persistent<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        max_retries: usize,
+        store: &CampaignStore,
+    ) -> Result<(Self, MeasurementLog), CoreError> {
+        Self::run_resilient_persistent_with_obs(
+            model,
+            n,
+            seed,
+            max_retries,
+            Parallelism::default(),
+            store,
+            &Obs::disabled(),
+        )
+    }
+
+    /// [`SampleStudy::run_resilient_persistent`] with an explicit worker
+    /// count and observability.
+    ///
+    /// # Errors
+    ///
+    /// As [`SampleStudy::run_resilient`].
+    pub fn run_resilient_persistent_with_obs<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        max_retries: usize,
+        parallelism: Parallelism,
+        store: &CampaignStore,
+        obs: &Obs,
+    ) -> Result<(Self, MeasurementLog), CoreError> {
+        Self::run_resilient_impl(model, n, seed, max_retries, parallelism, obs, Some(store))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_resilient_impl<M: PerformanceModel + Sync>(
+        model: &M,
+        n: usize,
+        seed: u64,
+        max_retries: usize,
+        parallelism: Parallelism,
+        obs: &Obs,
+        persist: Option<&CampaignStore>,
+    ) -> Result<(Self, MeasurementLog), CoreError> {
         let span = obs.span("study_resilient_ns");
         obs.emit(|| {
             Event::new("study_start")
@@ -237,9 +413,71 @@ impl SampleStudy {
         // 4·n·(1+max_retries) attempts, floored at 64 campaign-wide.
         let per_slot_attempts = n.max(1) * (1 + max_retries);
         let draw_cap = 4usize.max(64usize.div_ceil(per_slot_attempts));
-        let slots = try_parallel_map_obs(parallelism, n, obs, |i| {
-            measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap)
-        })?;
+        let slots = match persist {
+            None => try_parallel_map_obs(parallelism, n, obs, |i| {
+                measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap)
+            })?,
+            Some(store) => {
+                let campaign = persist::resilient_campaign_id(
+                    seed,
+                    n,
+                    max_retries,
+                    model.tasks(),
+                    model.topology(),
+                );
+                let mut replayed = vec![false; n];
+                let mut resolved: Vec<Option<MeasuredSlot>> = Vec::with_capacity(n);
+                for (i, primary) in primaries.iter().enumerate() {
+                    let journaled = store.lookup_slot(campaign, 0, i as u64).and_then(|rec| {
+                        persist::assignment_from_record(&rec, model.topology()).map(|a| {
+                            MeasuredSlot {
+                                assignment: a,
+                                value: rec.value,
+                                attempts: rec.attempts as usize,
+                                retries: rec.retries as usize,
+                                redrawn: rec.redrawn as usize,
+                            }
+                        })
+                    });
+                    if journaled.is_some() {
+                        replayed[i] = true;
+                        resolved.push(journaled);
+                    } else if let Some(v) = store.cache_lookup(primary.canonical_hash()) {
+                        // Cache hit: the value is known, no attempt is
+                        // consumed and the fault stream is never touched.
+                        resolved.push(Some(MeasuredSlot {
+                            assignment: primary.clone(),
+                            value: v,
+                            attempts: 0,
+                            retries: 0,
+                            redrawn: 0,
+                        }));
+                    } else {
+                        resolved.push(None);
+                    }
+                }
+                let slots = try_parallel_map_cached(parallelism, resolved, obs, |i| {
+                    measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap)
+                })?;
+                for (i, slot) in slots.iter().enumerate() {
+                    if replayed[i] {
+                        continue;
+                    }
+                    store.append_measurement(&persist::slot_record(
+                        campaign,
+                        0,
+                        i,
+                        &slot.assignment,
+                        slot.value,
+                        slot.attempts,
+                        slot.retries,
+                        slot.redrawn,
+                    ));
+                }
+                store.end_batch(campaign, 0, n as u64);
+                slots
+            }
+        };
 
         let mut log = MeasurementLog::default();
         let mut assignments = Vec::with_capacity(n);
@@ -728,6 +966,97 @@ mod tests {
             other => panic!("expected NonFinite rejection, got {other:?}"),
         }
         assert_eq!(s.len(), 20, "failed extension must not mutate the study");
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("optassign-study-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn persistent_run_matches_plain_and_warm_rerun_skips_evaluation() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        /// Counts evaluations so the warm-cache contract is checkable.
+        struct Counting<'a> {
+            inner: &'a SyntheticModel,
+            evals: AtomicUsize,
+        }
+        impl PerformanceModel for Counting<'_> {
+            fn tasks(&self) -> usize {
+                self.inner.tasks()
+            }
+            fn topology(&self) -> optassign_sim::Topology {
+                self.inner.topology()
+            }
+            fn evaluate(&self, a: &Assignment) -> f64 {
+                self.evals.fetch_add(1, Ordering::Relaxed);
+                self.inner.evaluate(a)
+            }
+        }
+
+        let dir = store_dir("plain");
+        // Zero jitter makes the model canonical-invariant, so
+        // cross-campaign cache hits are exact (see the cache-key note on
+        // [`SampleStudy::run_persistent`]).
+        let mut m = model();
+        m.jitter = 0.0;
+        let plain = SampleStudy::run(&m, 80, 21).unwrap();
+        let store = CampaignStore::open(&dir).unwrap();
+        let counting = Counting {
+            inner: &m,
+            evals: AtomicUsize::new(0),
+        };
+        let cold = SampleStudy::run_persistent(&counting, 80, 21, &store).unwrap();
+        assert_eq!(cold.performances(), plain.performances());
+        assert_eq!(counting.evals.load(Ordering::Relaxed), 80);
+
+        // Same campaign on the same store: full replay, zero evaluations —
+        // both on the live handle and on a fresh open.
+        let warm = SampleStudy::run_persistent(&counting, 80, 21, &store).unwrap();
+        assert_eq!(warm.performances(), plain.performances());
+        assert_eq!(counting.evals.load(Ordering::Relaxed), 80);
+        drop(store);
+        let reopened = CampaignStore::open(&dir).unwrap();
+        let resumed = SampleStudy::run_persistent(&counting, 80, 21, &reopened).unwrap();
+        assert_eq!(resumed.performances(), plain.performances());
+        assert_eq!(counting.evals.load(Ordering::Relaxed), 80);
+
+        // A different seed is a different campaign but shares the
+        // evaluation cache: only assignments never seen before evaluate.
+        let fresh_plain = SampleStudy::run(&m, 80, 22).unwrap();
+        let fresh = SampleStudy::run_persistent(&counting, 80, 22, &reopened).unwrap();
+        assert_eq!(fresh.performances(), fresh_plain.performances());
+        assert!(counting.evals.load(Ordering::Relaxed) <= 160);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persistent_resilient_run_matches_plain_with_log() {
+        use crate::fault::{FaultPlan, FaultyModel};
+        let dir = store_dir("resilient");
+        let m = FaultyModel::new(model(), FaultPlan::light(29));
+        let (plain, plain_log) = SampleStudy::run_resilient(&m, 90, 29, 3).unwrap();
+        let store = CampaignStore::open(&dir).unwrap();
+        m.reset();
+        let (cold, cold_log) =
+            SampleStudy::run_resilient_persistent(&m, 90, 29, 3, &store).unwrap();
+        assert_eq!(cold.performances(), plain.performances());
+        assert_eq!(cold.assignments(), plain.assignments());
+        assert_eq!(cold_log, plain_log);
+
+        // Replay restores the full bookkeeping, not just the values.
+        drop(store);
+        let reopened = CampaignStore::open(&dir).unwrap();
+        m.reset();
+        let (warm, warm_log) =
+            SampleStudy::run_resilient_persistent(&m, 90, 29, 3, &reopened).unwrap();
+        assert_eq!(warm.performances(), plain.performances());
+        assert_eq!(warm.assignments(), plain.assignments());
+        assert_eq!(warm_log, plain_log);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

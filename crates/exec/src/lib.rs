@@ -440,6 +440,96 @@ where
     Ok(oks.into_iter().map(|(_, v)| v).collect())
 }
 
+/// Cache-aware [`parallel_map_obs`]: `resolved[i]` is `Some(v)` when
+/// slot `i` is already known (a durable-cache hit or a checkpoint
+/// replay), `None` when it must be computed. Only the misses run through
+/// the parallel engine — with zero misses no parallel region is entered
+/// and `f` is never called — and the output is in index order, exactly
+/// as if every slot had been computed fresh.
+///
+/// Hits and misses are counted (`exec_cache_hits_total` /
+/// `exec_cache_misses_total`). Because miss indices ascend and the
+/// reduction is order-fixed, results are bit-identical at every worker
+/// count.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn parallel_map_cached<T, F>(
+    par: Parallelism,
+    resolved: Vec<Option<T>>,
+    obs: &Obs,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let n = resolved.len();
+    let miss_idx: Vec<usize> = resolved
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    obs.counter_add("exec_cache_hits_total", (n - miss_idx.len()) as u64);
+    obs.counter_add("exec_cache_misses_total", miss_idx.len() as u64);
+    let mut slots = resolved;
+    if !miss_idx.is_empty() {
+        let computed = parallel_map_obs(par, miss_idx.len(), obs, |j| f(miss_idx[j]));
+        for (j, value) in computed.into_iter().enumerate() {
+            slots[miss_idx[j]] = Some(value);
+        }
+    }
+    let out: Vec<T> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Fallible [`parallel_map_cached`]: pre-resolved slots never fail, and
+/// the error reported for the misses is the one at the smallest failing
+/// *original* index (miss indices ascend, so the engine's
+/// smallest-failing-index contract carries over directly).
+///
+/// # Errors
+///
+/// Returns the error of the smallest original index at which `f` failed.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread.
+pub fn try_parallel_map_cached<T, E, F>(
+    par: Parallelism,
+    resolved: Vec<Option<T>>,
+    obs: &Obs,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(usize) -> Result<T, E> + Sync,
+{
+    let n = resolved.len();
+    let miss_idx: Vec<usize> = resolved
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    obs.counter_add("exec_cache_hits_total", (n - miss_idx.len()) as u64);
+    obs.counter_add("exec_cache_misses_total", miss_idx.len() as u64);
+    let mut slots = resolved;
+    if !miss_idx.is_empty() {
+        let computed = try_parallel_map_obs(par, miss_idx.len(), obs, |j| f(miss_idx[j]))?;
+        for (j, value) in computed.into_iter().enumerate() {
+            slots[miss_idx[j]] = Some(value);
+        }
+    }
+    let out: Vec<T> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), n);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,6 +654,70 @@ mod tests {
         let out = parallel_map_obs(Parallelism::new(4), 50, &obs, |i| i + 1);
         assert_eq!(out.len(), 50);
         assert!(obs.metrics().is_empty());
+    }
+
+    #[test]
+    fn cached_map_matches_fresh_map_for_any_hit_pattern() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x517C_C1B7).rotate_left(13);
+        let fresh: Vec<u64> = (0..100).map(f).collect();
+        for workers in [1, 4] {
+            for pattern in 0..4u64 {
+                // Pre-resolve a deterministic, pattern-dependent subset.
+                let resolved: Vec<Option<u64>> = (0..100)
+                    .map(|i| {
+                        split_seed(pattern, i as u64)
+                            .is_multiple_of(3)
+                            .then(|| f(i))
+                    })
+                    .collect();
+                let obs = Obs::metrics_only();
+                let out = parallel_map_cached(Parallelism::new(workers), resolved, &obs, f);
+                assert_eq!(out, fresh, "workers={workers} pattern={pattern}");
+                let snap = obs.metrics();
+                assert_eq!(
+                    snap.counter("exec_cache_hits_total") + snap.counter("exec_cache_misses_total"),
+                    100
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_resolved_cached_map_never_calls_f() {
+        let resolved: Vec<Option<usize>> = (0..50).map(Some).collect();
+        let obs = Obs::metrics_only();
+        let out = parallel_map_cached(Parallelism::new(4), resolved, &obs, |_| {
+            panic!("no slot should be computed")
+        });
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        let snap = obs.metrics();
+        assert_eq!(snap.counter("exec_cache_hits_total"), 50);
+        assert_eq!(snap.counter("exec_cache_misses_total"), 0);
+        assert_eq!(snap.counter("exec_regions_total"), 0);
+    }
+
+    #[test]
+    fn try_cached_map_reports_smallest_failing_original_index() {
+        let f = |i: usize| -> Result<usize, String> {
+            if i == 30 || i == 70 {
+                Err(format!("boom at {i}"))
+            } else {
+                Ok(i)
+            }
+        };
+        for workers in [1, 4] {
+            // Slot 30 pre-resolved: only 70 can fail now.
+            let resolved: Vec<Option<usize>> = (0..100).map(|i| (i == 30).then_some(i)).collect();
+            let err =
+                try_parallel_map_cached(Parallelism::new(workers), resolved, &Obs::disabled(), f)
+                    .expect_err("must fail");
+            assert_eq!(err, "boom at 70", "workers={workers}");
+            // Nothing pre-resolved: 30 wins.
+            let none: Vec<Option<usize>> = vec![None; 100];
+            let err = try_parallel_map_cached(Parallelism::new(workers), none, &Obs::disabled(), f)
+                .expect_err("must fail");
+            assert_eq!(err, "boom at 30", "workers={workers}");
+        }
     }
 
     #[test]

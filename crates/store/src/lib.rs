@@ -1,0 +1,523 @@
+//! # optassign-store — durable campaign store
+//!
+//! Measurement campaigns on real hardware are expensive: each sample
+//! costs seconds to minutes of machine time, and the iterative algorithm
+//! of the paper's §5.3 runs many rounds of them. This crate makes those
+//! campaigns durable with three pieces, all dependency-free:
+//!
+//! 1. **A crash-safe write-ahead measurement log** ([`wal`]). Every
+//!    measurement is journaled as one checksummed frame the moment it
+//!    completes. The only mutation is appending whole frames, so the only
+//!    crash artifact is a torn tail, which reopening truncates.
+//! 2. **Checkpoint/resume** ([`CampaignStore::lookup_slot`]). The core
+//!    layer's `_persistent` entry points re-run a campaign from its seed
+//!    and substitute journaled results for slots already measured —
+//!    deterministic replay, so a resumed campaign is bit-identical to an
+//!    uninterrupted one at any worker count.
+//! 3. **A content-addressed evaluation cache** ([`cache`]), keyed by the
+//!    canonical-form assignment hash, with snapshot-segment compaction
+//!    ([`CampaignStore::compact`]).
+//!
+//! ## Batch-boundary cache visibility
+//!
+//! Cache entries become visible only when the batch that produced them
+//! completes (its `BatchEnd` record is journaled): [`CampaignStore::end_batch`]
+//! folds the batch's measurements into the cache in slot order,
+//! first-wins, and rebuilding on open folds only completed batches the
+//! same way. Lookups for a batch all happen before its parallel region
+//! runs, so what a slot can see never depends on worker scheduling —
+//! the property the resume contract rests on.
+//!
+//! ## Failure policy
+//!
+//! The store is a pure accelerator: losing a journaled record costs a
+//! deterministic re-measurement, never a wrong answer. Runtime I/O
+//! failures are therefore swallowed and counted ([`CampaignStore::io_errors`])
+//! rather than propagated into campaign control flow, mirroring how the
+//! observability layer treats recorder failures.
+
+pub mod cache;
+pub mod record;
+pub mod wal;
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+
+use cache::{CacheStats, EvalCache};
+use record::{MeasurementRecord, StoreRecord};
+use wal::Wal;
+
+/// Errors surfaced by store setup and maintenance operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A filesystem operation failed.
+    Io(String),
+    /// On-disk bytes are not a valid store artifact.
+    Corrupt(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "store I/O error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "store corruption: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// FNV-1a 64-bit hash — the store's checksum and the basis of campaign
+/// fingerprints. Not cryptographic; it only needs to catch torn writes
+/// and give campaign shapes distinct identities.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Hashes a sequence of words into one fingerprint (order-sensitive).
+/// Callers fold campaign shape parameters through this to derive a
+/// campaign identity.
+#[must_use]
+pub fn fingerprint(parts: &[u64]) -> u64 {
+    let mut bytes = Vec::with_capacity(parts.len() * 8);
+    for &p in parts {
+        bytes.extend_from_slice(&p.to_le_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Name of the write-ahead log inside a store directory (public so crash
+/// tests can truncate it and tooling can find it; everything else goes
+/// through [`CampaignStore`]).
+pub const WAL_FILE: &str = "campaign.wal";
+
+fn segment_name(id: u64) -> String {
+    format!("snap-{id:06}.seg")
+}
+
+struct StoreInner {
+    dir: PathBuf,
+    wal: Wal,
+    /// Every journaled measurement, keyed for slot replay.
+    measurements: HashMap<(u64, u64, u64), MeasurementRecord>,
+    /// Measurements of batches whose `BatchEnd` has not been journaled
+    /// yet, staged for cache folding.
+    staged: HashMap<(u64, u64), Vec<MeasurementRecord>>,
+    /// Batches whose `BatchEnd` is journaled; `end_batch` is a no-op for
+    /// these, which makes replay idempotent.
+    completed: HashSet<(u64, u64)>,
+    cache: EvalCache,
+    next_segment: u64,
+    io_errors: u64,
+}
+
+impl StoreInner {
+    fn fold_batch_into_cache(&mut self, batch: (u64, u64)) {
+        if let Some(mut records) = self.staged.remove(&batch) {
+            records.sort_by_key(|r| r.slot);
+            for r in records {
+                self.cache.insert_if_absent(r.key, r.value);
+            }
+        }
+        self.completed.insert(batch);
+    }
+}
+
+/// A durable campaign store rooted at one directory, holding one
+/// write-ahead log plus zero or more immutable snapshot segments.
+///
+/// The store is `Sync`; the core layer shares one handle across a
+/// campaign's workers. All journaling happens outside parallel regions
+/// (lookups before, appends after), so the lock is uncontended in
+/// practice.
+pub struct CampaignStore {
+    inner: Mutex<StoreInner>,
+}
+
+impl CampaignStore {
+    /// Opens the store at `dir`, creating the directory and an empty log
+    /// as needed, loading snapshot segments, replaying the log's intact
+    /// prefix, and truncating any torn tail.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure and
+    /// [`StoreError::Corrupt`] if an existing file is not a valid store
+    /// artifact.
+    pub fn open(dir: &Path) -> Result<CampaignStore, StoreError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StoreError::Io(format!("creating store dir: {e}")))?;
+
+        let mut cache = EvalCache::new();
+        let mut next_segment = 1u64;
+        let mut segment_paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .map_err(|e| StoreError::Io(format!("listing store dir: {e}")))?
+            .filter_map(Result::ok)
+            .map(|entry| entry.path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("snap-") && n.ends_with(".seg"))
+            })
+            .collect();
+        segment_paths.sort();
+        for path in &segment_paths {
+            if let Some(id) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_prefix("snap-"))
+                .and_then(|n| n.strip_suffix(".seg"))
+                .and_then(|n| n.parse::<u64>().ok())
+            {
+                next_segment = next_segment.max(id + 1);
+            }
+            for record in wal::read_segment(path)? {
+                if let StoreRecord::CacheEntry { key, value } = record {
+                    cache.insert_if_absent(key, value);
+                }
+            }
+        }
+
+        let (wal, records) = wal::open_log(&dir.join(WAL_FILE))?;
+        let mut inner = StoreInner {
+            dir: dir.to_path_buf(),
+            wal,
+            measurements: HashMap::new(),
+            staged: HashMap::new(),
+            completed: HashSet::new(),
+            cache,
+            next_segment,
+            io_errors: 0,
+        };
+        for record in records {
+            match record {
+                StoreRecord::Measurement(m) => {
+                    let slot_key = (m.campaign, m.sequence, m.slot);
+                    inner
+                        .staged
+                        .entry((m.campaign, m.sequence))
+                        .or_default()
+                        .push(m.clone());
+                    inner.measurements.entry(slot_key).or_insert(m);
+                }
+                StoreRecord::BatchEnd {
+                    campaign, sequence, ..
+                } => {
+                    inner.fold_batch_into_cache((campaign, sequence));
+                }
+                StoreRecord::CacheEntry { key, value } => {
+                    inner.cache.insert_if_absent(key, value);
+                }
+            }
+        }
+        Ok(CampaignStore {
+            inner: Mutex::new(inner),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Returns the journaled record for a campaign slot, if any — the
+    /// replay primitive behind checkpoint/resume.
+    #[must_use]
+    pub fn lookup_slot(
+        &self,
+        campaign: u64,
+        sequence: u64,
+        slot: u64,
+    ) -> Option<MeasurementRecord> {
+        self.lock()
+            .measurements
+            .get(&(campaign, sequence, slot))
+            .cloned()
+    }
+
+    /// Looks up a content-addressed evaluation, counting the hit or miss.
+    /// Callers must do all of a batch's lookups before journaling any of
+    /// its measurements (the visibility rule documented at crate level).
+    #[must_use]
+    pub fn cache_lookup(&self, key: u64) -> Option<f64> {
+        self.lock().cache.lookup(key)
+    }
+
+    /// Journals one measurement. Idempotent per `(campaign, sequence,
+    /// slot)`: a record for an already-journaled slot is dropped, which
+    /// keeps replayed campaigns from rewriting their history. I/O
+    /// failures are counted, not raised.
+    pub fn append_measurement(&self, record: &MeasurementRecord) {
+        let mut inner = self.lock();
+        let slot_key = (record.campaign, record.sequence, record.slot);
+        if inner.measurements.contains_key(&slot_key) {
+            return;
+        }
+        if inner
+            .wal
+            .append(&StoreRecord::Measurement(record.clone()))
+            .is_err()
+        {
+            inner.io_errors += 1;
+            return;
+        }
+        inner
+            .staged
+            .entry((record.campaign, record.sequence))
+            .or_default()
+            .push(record.clone());
+        inner.measurements.insert(slot_key, record.clone());
+    }
+
+    /// Journals a batch-completion marker and folds the batch's staged
+    /// measurements into the evaluation cache (slot order, first-wins).
+    /// No-op for a batch already marked complete. Syncs the log so a
+    /// completed batch survives power loss. I/O failures are counted,
+    /// not raised.
+    pub fn end_batch(&self, campaign: u64, sequence: u64, len: u64) {
+        let mut inner = self.lock();
+        if inner.completed.contains(&(campaign, sequence)) {
+            return;
+        }
+        if inner
+            .wal
+            .append(&StoreRecord::BatchEnd {
+                campaign,
+                sequence,
+                len,
+            })
+            .is_err()
+        {
+            inner.io_errors += 1;
+            // The batch still completes in memory: the running campaign
+            // must behave identically whether or not the disk cooperates.
+        }
+        if inner.wal.sync().is_err() {
+            inner.io_errors += 1;
+        }
+        inner.fold_batch_into_cache((campaign, sequence));
+    }
+
+    /// Compacts the store: writes the entire evaluation cache into one
+    /// new immutable snapshot segment (entries sorted by key), truncates
+    /// the write-ahead log, and deletes superseded segments.
+    ///
+    /// Compaction keeps every cached *value* but drops per-slot resume
+    /// state for campaigns that were in flight, so run it between
+    /// campaigns, not mid-run. (A campaign resumed after an ill-timed
+    /// compaction still finishes correctly — it re-measures through the
+    /// cache — it just can no longer skip its incomplete batch.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the segment cannot be written or the
+    /// log cannot be reset; the store is left valid either way (the new
+    /// segment is published atomically via rename).
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut inner = self.lock();
+        let records: Vec<StoreRecord> = inner
+            .cache
+            .sorted_entries()
+            .into_iter()
+            .map(|(key, value)| StoreRecord::CacheEntry { key, value })
+            .collect();
+        let id = inner.next_segment;
+        let final_path = inner.dir.join(segment_name(id));
+        let tmp_path = inner.dir.join(format!("{}.tmp", segment_name(id)));
+        wal::write_segment(&tmp_path, &records)?;
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| StoreError::Io(format!("publishing segment: {e}")))?;
+        inner.next_segment = id + 1;
+
+        // The segment now owns every cache entry; reset the log and drop
+        // superseded segments. Failures past this point leave a store
+        // that still opens correctly (extra segments / stale WAL records
+        // are merged idempotently), so they are maintenance errors, not
+        // corruption.
+        let (wal, _) = wal::open_log_truncated(&inner.dir.join(WAL_FILE))?;
+        inner.wal = wal;
+        inner.measurements.clear();
+        inner.staged.clear();
+        inner.completed.clear();
+        for old in 0..id {
+            let path = inner.dir.join(segment_name(old));
+            if path.exists() {
+                std::fs::remove_file(&path)
+                    .map_err(|e| StoreError::Io(format!("removing old segment: {e}")))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces journaled frames to durable storage. I/O failures are
+    /// counted, not raised.
+    pub fn sync(&self) {
+        let mut inner = self.lock();
+        if inner.wal.sync().is_err() {
+            inner.io_errors += 1;
+        }
+    }
+
+    /// Evaluation-cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.lock().cache.stats()
+    }
+
+    /// Runtime I/O failures swallowed so far.
+    #[must_use]
+    pub fn io_errors(&self) -> u64 {
+        self.lock().io_errors
+    }
+
+    /// Number of journaled measurements currently replayable.
+    #[must_use]
+    pub fn journaled_measurements(&self) -> usize {
+        self.lock().measurements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("optassign-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn measurement(
+        campaign: u64,
+        sequence: u64,
+        slot: u64,
+        key: u64,
+        value: f64,
+    ) -> MeasurementRecord {
+        MeasurementRecord {
+            campaign,
+            sequence,
+            slot,
+            key,
+            value,
+            attempts: 1,
+            retries: 0,
+            redrawn: 0,
+            contexts: vec![slot as u32],
+        }
+    }
+
+    #[test]
+    fn slot_replay_survives_reopen() {
+        let dir = temp_dir("replay");
+        {
+            let store = CampaignStore::open(&dir).unwrap();
+            store.append_measurement(&measurement(1, 0, 0, 100, 5.0));
+            store.append_measurement(&measurement(1, 0, 1, 101, 6.0));
+            store.sync();
+        }
+        let store = CampaignStore::open(&dir).unwrap();
+        assert_eq!(store.lookup_slot(1, 0, 0).unwrap().value, 5.0);
+        assert_eq!(store.lookup_slot(1, 0, 1).unwrap().key, 101);
+        assert!(store.lookup_slot(1, 0, 2).is_none());
+        assert!(store.lookup_slot(2, 0, 0).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cache_sees_only_completed_batches() {
+        let dir = temp_dir("visibility");
+        let store = CampaignStore::open(&dir).unwrap();
+        store.append_measurement(&measurement(1, 0, 0, 100, 5.0));
+        assert_eq!(store.cache_lookup(100), None);
+        store.end_batch(1, 0, 1);
+        assert_eq!(store.cache_lookup(100), Some(5.0));
+        // The incomplete-batch rule also holds across a reopen.
+        store.append_measurement(&measurement(1, 1, 0, 200, 7.0));
+        drop(store);
+        let store = CampaignStore::open(&dir).unwrap();
+        assert_eq!(store.cache_lookup(100), Some(5.0));
+        assert_eq!(store.cache_lookup(200), None);
+        // …but the incomplete batch's slot still replays.
+        assert_eq!(store.lookup_slot(1, 1, 0).unwrap().value, 7.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn first_record_wins_within_a_batch() {
+        let dir = temp_dir("firstwins");
+        let store = CampaignStore::open(&dir).unwrap();
+        store.append_measurement(&measurement(1, 0, 0, 100, 5.0));
+        store.append_measurement(&measurement(1, 0, 1, 100, 9.0));
+        store.end_batch(1, 0, 2);
+        // Slot order decides: slot 0's value wins the shared key.
+        assert_eq!(store.cache_lookup(100), Some(5.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_and_end_batch_are_idempotent() {
+        let dir = temp_dir("idempotent");
+        let store = CampaignStore::open(&dir).unwrap();
+        store.append_measurement(&measurement(1, 0, 0, 100, 5.0));
+        store.append_measurement(&measurement(1, 0, 0, 100, 99.0));
+        assert_eq!(store.lookup_slot(1, 0, 0).unwrap().value, 5.0);
+        store.end_batch(1, 0, 1);
+        store.end_batch(1, 0, 1);
+        assert_eq!(store.journaled_measurements(), 1);
+        drop(store);
+        let store = CampaignStore::open(&dir).unwrap();
+        assert_eq!(store.cache_lookup(100), Some(5.0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_preserves_cache_and_resets_log() {
+        let dir = temp_dir("compact");
+        let store = CampaignStore::open(&dir).unwrap();
+        for slot in 0..10u64 {
+            store.append_measurement(&measurement(1, 0, slot, 100 + slot, slot as f64));
+        }
+        store.end_batch(1, 0, 10);
+        store.compact().unwrap();
+        assert_eq!(store.journaled_measurements(), 0);
+        assert_eq!(store.cache_stats().entries, 10);
+        drop(store);
+
+        let store = CampaignStore::open(&dir).unwrap();
+        for slot in 0..10u64 {
+            assert_eq!(store.cache_lookup(100 + slot), Some(slot as f64));
+        }
+        // A second compaction supersedes the first segment.
+        store.compact().unwrap();
+        drop(store);
+        let segments: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.ends_with(".seg"))
+            .collect();
+        assert_eq!(segments, vec!["snap-000002.seg".to_string()]);
+        let store = CampaignStore::open(&dir).unwrap();
+        assert_eq!(store.cache_stats().entries, 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_order_sensitive() {
+        assert_eq!(fingerprint(&[1, 2, 3]), fingerprint(&[1, 2, 3]));
+        assert_ne!(fingerprint(&[1, 2, 3]), fingerprint(&[3, 2, 1]));
+        assert_ne!(fingerprint(&[]), fingerprint(&[0]));
+        // Known FNV-1a vector: hash of the empty string is the offset basis.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -1,0 +1,387 @@
+//! Crash-safe append-only log framing.
+//!
+//! A log file is an 8-byte magic followed by a sequence of frames:
+//!
+//! ```text
+//! [len: u32 LE] [crc: u64 LE] [payload: len bytes]
+//! ```
+//!
+//! `crc` is FNV-1a 64 over the payload. The only mutation ever applied to
+//! a live log is appending whole frames, so the sole corruption mode a
+//! crash can produce is a torn tail: a final frame whose header or payload
+//! was only partially written. [`open_log`] truncates the file back to
+//! the last frame boundary before the first damaged frame. Damage before
+//! the tail (bit rot, manual editing) is handled the same way — the scan
+//! keeps the intact prefix and drops the rest. That is safe here because
+//! the log is a pure accelerator: campaigns re-derive any lost
+//! measurement deterministically, so discarding suspect frames can slow a
+//! resume down but never change its result.
+//!
+//! Snapshot segments produced by compaction reuse the same framing with a
+//! different magic; segments are immutable, so a bad frame anywhere in a
+//! segment is an error, never a truncation.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use crate::record::StoreRecord;
+use crate::{fnv1a64, StoreError};
+
+/// Magic prefix of the mutable write-ahead log.
+pub const WAL_MAGIC: &[u8; 8] = b"OASTWAL1";
+/// Magic prefix of an immutable snapshot segment.
+pub const SEG_MAGIC: &[u8; 8] = b"OASTSEG1";
+
+/// Bytes of frame overhead preceding each payload (u32 length + u64 crc).
+pub const FRAME_HEADER_LEN: usize = 12;
+
+/// Refuse frames above this size; the largest legitimate record is a
+/// measurement with a few thousand contexts, well under a mebibyte.
+const MAX_FRAME_LEN: usize = 1 << 20;
+
+fn io_err(context: &str, err: &std::io::Error) -> StoreError {
+    StoreError::Io(format!("{context}: {err}"))
+}
+
+/// Encodes one record as a complete frame (header + payload), ready to be
+/// appended with a single write.
+#[must_use]
+pub fn encode_frame(record: &StoreRecord) -> Vec<u8> {
+    let payload = record.encode();
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a64(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Splits a byte buffer (already stripped of its magic) into frame
+/// payloads. Returns the decoded records plus the byte offset (relative to
+/// the start of `bytes`) just past the last intact frame. A torn or
+/// corrupt frame stops the scan; `strict` decides whether what remains is
+/// an error (segments) or a tail to truncate (the WAL).
+fn scan_frames(bytes: &[u8], strict: bool) -> Result<(Vec<StoreRecord>, usize), StoreError> {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let intact = frame_at(bytes, pos);
+        match intact {
+            Some((record, next)) => {
+                records.push(record?);
+                pos = next;
+            }
+            None => {
+                if strict {
+                    return Err(StoreError::Corrupt(format!(
+                        "torn or corrupt frame at offset {pos} of immutable segment"
+                    )));
+                }
+                break;
+            }
+        }
+    }
+    Ok((records, pos))
+}
+
+/// Tries to read one intact frame at `pos`. Returns `None` if the frame is
+/// torn (short header, short payload, or checksum mismatch) — the caller
+/// decides whether that is recoverable. Returns `Some(Err)` when the frame
+/// is intact at the transport level but its payload fails to decode.
+#[allow(clippy::type_complexity)]
+fn frame_at(bytes: &[u8], pos: usize) -> Option<(Result<StoreRecord, StoreError>, usize)> {
+    let header = bytes.get(pos..pos + FRAME_HEADER_LEN)?;
+    let mut len_buf = [0u8; 4];
+    len_buf.copy_from_slice(&header[..4]);
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return None;
+    }
+    let mut crc_buf = [0u8; 8];
+    crc_buf.copy_from_slice(&header[4..12]);
+    let crc = u64::from_le_bytes(crc_buf);
+    let start = pos + FRAME_HEADER_LEN;
+    let payload = bytes.get(start..start + len)?;
+    if fnv1a64(payload) != crc {
+        return None;
+    }
+    Some((StoreRecord::decode(payload), start + len))
+}
+
+/// An open, append-only log file.
+pub struct Wal {
+    file: File,
+}
+
+impl Wal {
+    /// Appends one record as a single frame write.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the write fails; the file is left
+    /// with at worst a torn tail, which the next open truncates.
+    pub fn append(&mut self, record: &StoreRecord) -> Result<(), StoreError> {
+        let frame = encode_frame(record);
+        self.file
+            .write_all(&frame)
+            .map_err(|e| io_err("appending log frame", &e))
+    }
+
+    /// Flushes appended frames to the OS and asks it to reach durable
+    /// storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] if the sync fails.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.file.sync_data().map_err(|e| io_err("syncing log", &e))
+    }
+}
+
+/// Opens (creating if absent) the write-ahead log at `path`, replaying its
+/// intact prefix and truncating the file at the first damaged frame (a
+/// torn tail left by a crash, or anything worse).
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure and
+/// [`StoreError::Corrupt`] if the file exists but is not a log (bad
+/// magic) or an intact frame holds an undecodable record.
+pub fn open_log(path: &Path) -> Result<(Wal, Vec<StoreRecord>), StoreError> {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(false)
+        .open(path)
+        .map_err(|e| io_err("opening log", &e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| io_err("reading log", &e))?;
+
+    if bytes.is_empty() {
+        file.write_all(WAL_MAGIC)
+            .map_err(|e| io_err("writing log magic", &e))?;
+        return Ok((Wal { file }, Vec::new()));
+    }
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        // A torn write of the magic itself can only happen to an empty
+        // log, so nothing is lost by starting over; anything else with a
+        // wrong prefix is not our file.
+        if bytes.len() < WAL_MAGIC.len() && WAL_MAGIC.starts_with(&bytes) {
+            file.set_len(0).map_err(|e| io_err("resetting log", &e))?;
+            file.seek(SeekFrom::Start(0))
+                .map_err(|e| io_err("seeking log", &e))?;
+            file.write_all(WAL_MAGIC)
+                .map_err(|e| io_err("writing log magic", &e))?;
+            return Ok((Wal { file }, Vec::new()));
+        }
+        return Err(StoreError::Corrupt(format!(
+            "{} is not a campaign log (bad magic)",
+            path.display()
+        )));
+    }
+
+    let body = &bytes[WAL_MAGIC.len()..];
+    let (records, intact_len) = scan_frames(body, false)?;
+    let keep = (WAL_MAGIC.len() + intact_len) as u64;
+    if keep < bytes.len() as u64 {
+        file.set_len(keep)
+            .map_err(|e| io_err("truncating torn log tail", &e))?;
+    }
+    file.seek(SeekFrom::Start(keep))
+        .map_err(|e| io_err("seeking log end", &e))?;
+    Ok((Wal { file }, records))
+}
+
+/// Opens the write-ahead log at `path` reset to empty (magic only),
+/// discarding any previous contents — used after compaction has published
+/// the log's information into a snapshot segment.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn open_log_truncated(path: &Path) -> Result<(Wal, Vec<StoreRecord>), StoreError> {
+    let mut file = OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)
+        .map_err(|e| io_err("resetting log", &e))?;
+    file.write_all(WAL_MAGIC)
+        .map_err(|e| io_err("writing log magic", &e))?;
+    file.sync_data().map_err(|e| io_err("syncing log", &e))?;
+    Ok((Wal { file }, Vec::new()))
+}
+
+/// Reads an immutable snapshot segment in full. Any framing defect is an
+/// error: segments are written once and never appended to, so a torn tail
+/// cannot be crash debris.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure and
+/// [`StoreError::Corrupt`] on bad magic or any damaged frame.
+pub fn read_segment(path: &Path) -> Result<Vec<StoreRecord>, StoreError> {
+    let bytes = std::fs::read(path).map_err(|e| io_err("reading segment", &e))?;
+    if bytes.len() < SEG_MAGIC.len() || &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "{} is not a snapshot segment (bad magic)",
+            path.display()
+        )));
+    }
+    let (records, _) = scan_frames(&bytes[SEG_MAGIC.len()..], true)?;
+    Ok(records)
+}
+
+/// Writes a complete snapshot segment: magic, then one frame per record,
+/// then a data sync. Written to `path` directly; callers use a temp-name +
+/// rename dance for atomicity.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] if any write or the final sync fails.
+pub fn write_segment(path: &Path, records: &[StoreRecord]) -> Result<(), StoreError> {
+    let mut file = File::create(path).map_err(|e| io_err("creating segment", &e))?;
+    let mut buf = Vec::with_capacity(SEG_MAGIC.len() + records.len() * 32);
+    buf.extend_from_slice(SEG_MAGIC);
+    for record in records {
+        buf.extend_from_slice(&encode_frame(record));
+    }
+    file.write_all(&buf)
+        .map_err(|e| io_err("writing segment", &e))?;
+    file.sync_data().map_err(|e| io_err("syncing segment", &e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MeasurementRecord;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("optassign-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_records(n: usize) -> Vec<StoreRecord> {
+        (0..n)
+            .map(|i| {
+                StoreRecord::Measurement(MeasurementRecord {
+                    campaign: 7,
+                    sequence: 0,
+                    slot: i as u64,
+                    key: 0x9E37_79B9 ^ i as u64,
+                    value: i as f64 * 1.5e6,
+                    attempts: 1,
+                    retries: 0,
+                    redrawn: 0,
+                    contexts: vec![i as u32, i as u32 + 1],
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_and_reopen() {
+        let dir = temp_dir("roundtrip");
+        let path = dir.join("campaign.wal");
+        let records = sample_records(5);
+        {
+            let (mut wal, existing) = open_log(&path).unwrap();
+            assert!(existing.is_empty());
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let (_, replayed) = open_log(&path).unwrap();
+        assert_eq!(replayed, records);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncated_at_every_byte() {
+        let dir = temp_dir("torn");
+        let path = dir.join("campaign.wal");
+        let records = sample_records(3);
+        {
+            let (mut wal, _) = open_log(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let full = std::fs::read(&path).unwrap();
+        let last_frame = encode_frame(&records[2]);
+        let boundary = full.len() - last_frame.len();
+        // Every cut inside the final frame must recover the first two
+        // records; a cut at the boundary recovers them trivially.
+        for cut in boundary..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let (_, replayed) = open_log(&path).unwrap();
+            assert_eq!(replayed, records[..2], "cut at byte {cut}");
+            let len_after = std::fs::metadata(&path).unwrap().len();
+            assert_eq!(len_after as usize, boundary, "cut at byte {cut}");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_magic_resets_cleanly() {
+        let dir = temp_dir("magic");
+        let path = dir.join("campaign.wal");
+        std::fs::write(&path, &WAL_MAGIC[..3]).unwrap();
+        let (_, replayed) = open_log(&path).unwrap();
+        assert!(replayed.is_empty());
+        // And a non-log file is rejected rather than clobbered.
+        let other = dir.join("not-a-log");
+        std::fs::write(&other, b"hello world, this is text").unwrap();
+        assert!(open_log(&other).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_interior_frame_drops_the_suffix() {
+        let dir = temp_dir("interior");
+        let path = dir.join("campaign.wal");
+        let records = sample_records(3);
+        {
+            let (mut wal, _) = open_log(&path).unwrap();
+            for r in &records {
+                wal.append(r).unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a payload byte of the first frame: checksum now fails, and
+        // the scan stops there — everything after is dropped as a "tail".
+        // That silently loses two good records, which is exactly why the
+        // recovered prefix is what replay sees: the algorithm re-measures
+        // the lost slots deterministically.
+        let flip_at = WAL_MAGIC.len() + FRAME_HEADER_LEN + 2;
+        bytes[flip_at] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed) = open_log(&path).unwrap();
+        assert!(replayed.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_are_strict() {
+        let dir = temp_dir("segment");
+        let path = dir.join("snap-000001.seg");
+        let records = vec![
+            StoreRecord::CacheEntry { key: 1, value: 2.0 },
+            StoreRecord::CacheEntry { key: 3, value: 4.0 },
+        ];
+        write_segment(&path, &records).unwrap();
+        assert_eq!(read_segment(&path).unwrap(), records);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 1]).unwrap();
+        assert!(read_segment(&path).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

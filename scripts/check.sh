@@ -18,7 +18,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 # Library crates: panic-free discipline on top of the standard lints.
-LIB_CRATES=(optassign-obs optassign-exec optassign-stats optassign-sim optassign-evt optassign-netapps optassign)
+LIB_CRATES=(optassign-obs optassign-exec optassign-store optassign-stats optassign-sim optassign-evt optassign-netapps optassign)
 for crate in "${LIB_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} --lib (deny warnings, unwrap_used, expect_used)"
     cargo clippy -q -p "${crate}" --lib -- \
@@ -50,6 +50,29 @@ if [[ "${FAST}" == "0" ]]; then
     grep -q '"kind":"iteration"' "${METRICS_TMP}/fig13.jsonl"
     grep -q '"kind":"metrics_snapshot"' "${METRICS_TMP}/fig13.jsonl"
     grep -q '_bucket{le=' "${METRICS_TMP}/fig13.jsonl.prom"
+
+    # Kill-and-resume smoke: fig13 with a checkpoint, SIGKILLed mid-run,
+    # must resume to the exact stdout of an uninterrupted run.
+    echo "==> fig13 kill-and-resume smoke"
+    cargo run -q --release -p optassign-bench --bin fig13 -- \
+        --scale 0.01 --workers 2 --checkpoint "${METRICS_TMP}/ckpt-clean" \
+        >"${METRICS_TMP}/clean.out"
+    # Run the binary directly — SIGKILLing a `cargo run` wrapper would
+    # orphan the experiment, leaving it racing the resumed run below.
+    target/release/fig13 \
+        --scale 0.01 --workers 2 --checkpoint "${METRICS_TMP}/ckpt-killed" \
+        >"${METRICS_TMP}/killed.out" 2>/dev/null &
+    FIG13_PID=$!
+    # Let it journal part of the campaign, then kill it hard. A too-early
+    # kill (empty log) and a too-late one (complete log) both still
+    # exercise valid resume points, so the timing need not be exact.
+    sleep 2
+    kill -9 "${FIG13_PID}" 2>/dev/null || true
+    wait "${FIG13_PID}" 2>/dev/null || true
+    cargo run -q --release -p optassign-bench --bin fig13 -- \
+        --scale 0.01 --workers 4 --checkpoint "${METRICS_TMP}/ckpt-killed" --resume \
+        >"${METRICS_TMP}/resumed.out"
+    diff "${METRICS_TMP}/clean.out" "${METRICS_TMP}/resumed.out"
 fi
 
 echo "==> all checks passed"
