@@ -707,6 +707,13 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
                 method: r.method.name(),
             };
             obs.emit(|| entry.to_event());
+            // Live-progress gauges: the latest round's convergence state,
+            // served by the telemetry endpoint's `/progress` view.
+            obs.gauge_set("iter_round", round as f64);
+            obs.gauge_set("iter_samples", entry.samples as f64);
+            obs.gauge_set("iter_best_observed", entry.best_observed);
+            obs.gauge_set("iter_estimated_optimal", entry.estimated_optimal);
+            obs.gauge_set("iter_gap", entry.gap);
             trace.push(entry);
         }
 

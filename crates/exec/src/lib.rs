@@ -36,7 +36,7 @@
 //! recording never touches task inputs or reduction order, so the
 //! determinism contract holds with any recorder attached.
 
-use optassign_obs::{Event, MetricsRegistry, Obs, VALUE_BUCKETS};
+use optassign_obs::{lane_span_id, Event, MetricsRegistry, Obs, SpanGuard, VALUE_BUCKETS};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -137,6 +137,11 @@ fn chunk_size(n: usize, workers: usize) -> usize {
 struct WorkerStats<'a> {
     obs: &'a Obs,
     local: MetricsRegistry,
+    /// Clock reading when this worker timed its first task (`None` if it
+    /// never ran one) and when its last task finished — the bounds of
+    /// the worker's lane span in the trace timeline.
+    first_ns: Option<u64>,
+    last_ns: u64,
 }
 
 impl<'a> WorkerStats<'a> {
@@ -144,6 +149,8 @@ impl<'a> WorkerStats<'a> {
         WorkerStats {
             obs,
             local: MetricsRegistry::default(),
+            first_ns: None,
+            last_ns: 0,
         }
     }
 
@@ -155,7 +162,12 @@ impl<'a> WorkerStats<'a> {
         }
         let t0 = self.obs.now_ns();
         let value = task();
-        let dt = self.obs.now_ns().saturating_sub(t0);
+        let end_ns = self.obs.now_ns();
+        let dt = end_ns.saturating_sub(t0);
+        if self.first_ns.is_none() {
+            self.first_ns = Some(t0);
+        }
+        self.last_ns = end_ns;
         self.local.observe("exec_task_ns", dt);
         self.local.counter_add("exec_tasks_total", 1);
         self.local.counter_add("exec_busy_ns_total", dt);
@@ -180,22 +192,46 @@ impl<'a> WorkerStats<'a> {
 }
 
 /// Region-level summary: merges the worker-local registries in spawn
-/// order, updates region metrics, and records one `exec_region` event
-/// (with the busy/wall worker-utilization ratio).
-fn finish_region(obs: &Obs, n: usize, workers: usize, t0: u64, locals: &[MetricsRegistry]) {
+/// order, emits each worker's lane span (spawn order again, so the
+/// journal is deterministic), closes the region span, and records one
+/// `exec_region` event (with the busy/wall worker-utilization ratio).
+///
+/// Lane spans carry derived ids ([`lane_span_id`] over the region span's
+/// id and the worker index) with the region span as parent, and render
+/// on `tid = 1 + worker_index` in the Chrome trace — track 0 stays the
+/// orchestration timeline. All of this happens after the join, outside
+/// the parallel region, so tracing cannot perturb scheduling.
+fn finish_region(
+    obs: &Obs,
+    region: SpanGuard<'_>,
+    n: usize,
+    workers: usize,
+    stats: &[WorkerStats],
+) {
     if !obs.enabled() {
+        drop(region);
         return;
     }
-    let wall_ns = obs.now_ns().saturating_sub(t0);
+    let region_id = region.id();
     let mut busy_ns = 0u64;
     let mut tasks = 0u64;
-    for local in locals {
-        busy_ns = busy_ns.saturating_add(local.counter("exec_busy_ns_total"));
-        tasks += local.counter("exec_tasks_total");
-        obs.merge_metrics(local);
+    for (worker, s) in stats.iter().enumerate() {
+        busy_ns = busy_ns.saturating_add(s.local.counter("exec_busy_ns_total"));
+        tasks += s.local.counter("exec_tasks_total");
+        obs.merge_metrics(&s.local);
+        if let Some(first_ns) = s.first_ns {
+            obs.record_lane_span(
+                "exec_lane_ns",
+                lane_span_id(region_id, worker as u64),
+                region_id,
+                1 + worker as u64,
+                first_ns,
+                s.last_ns,
+            );
+        }
     }
+    let wall_ns = region.finish();
     obs.counter_add("exec_regions_total", 1);
-    obs.observe("exec_region_ns", wall_ns);
     obs.gauge_set("exec_workers", workers as f64);
     let denom = wall_ns.saturating_mul(workers as u64);
     let utilization = if denom == 0 {
@@ -248,18 +284,18 @@ where
     F: Fn(usize) -> T + Sync,
 {
     let workers = par.workers.min(n.max(1));
-    let t0 = obs.now_ns();
+    let region = obs.span("exec_region_ns");
     if workers <= 1 {
         let mut stats = WorkerStats::new(obs);
         let out = (0..n).map(|i| stats.time(|| f(i))).collect();
-        finish_region(obs, n, 1, t0, &[stats.local]);
+        finish_region(obs, region, n, 1, std::slice::from_ref(&stats));
         return out;
     }
 
     let next = AtomicUsize::new(0);
     let chunk = chunk_size(n, workers);
     let mut collected: Vec<(usize, T)> = Vec::with_capacity(n);
-    let mut locals: Vec<MetricsRegistry> = Vec::with_capacity(workers);
+    let mut locals: Vec<WorkerStats> = Vec::with_capacity(workers);
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
@@ -276,7 +312,7 @@ where
                         local.push((i, stats.time(|| f(i))));
                     }
                 }
-                (local, stats.local)
+                (local, stats)
             }));
         }
         for handle in handles {
@@ -289,7 +325,7 @@ where
             }
         }
     });
-    finish_region(obs, n, workers, t0, &locals);
+    finish_region(obs, region, n, workers, &locals);
 
     // Order-fixed reduction: sort by index, independent of which worker
     // produced what and when.
@@ -348,7 +384,7 @@ where
     F: Fn(usize) -> Result<T, E> + Sync,
 {
     let workers = par.workers.min(n.max(1));
-    let t0 = obs.now_ns();
+    let region = obs.span("exec_region_ns");
     if workers <= 1 {
         // Sequential early exit: first error wins, which is also the
         // smallest-index error.
@@ -359,12 +395,12 @@ where
                 Ok(value) => out.push(value),
                 Err(e) => {
                     stats.task_error();
-                    finish_region(obs, n, 1, t0, &[stats.local]);
+                    finish_region(obs, region, n, 1, std::slice::from_ref(&stats));
                     return Err(e);
                 }
             }
         }
-        finish_region(obs, n, 1, t0, &[stats.local]);
+        finish_region(obs, region, n, 1, std::slice::from_ref(&stats));
         return Ok(out);
     }
 
@@ -373,7 +409,7 @@ where
     let first_failure = AtomicUsize::new(usize::MAX);
     let chunk = chunk_size(n, workers);
     let mut oks: Vec<(usize, T)> = Vec::with_capacity(n);
-    let mut locals: Vec<MetricsRegistry> = Vec::with_capacity(workers);
+    let mut locals: Vec<WorkerStats> = Vec::with_capacity(workers);
     let errs: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
 
     std::thread::scope(|scope| {
@@ -409,7 +445,7 @@ where
                         }
                     }
                 }
-                (local, stats.local)
+                (local, stats)
             }));
         }
         for handle in handles {
@@ -422,7 +458,7 @@ where
             }
         }
     });
-    finish_region(obs, n, workers, t0, &locals);
+    finish_region(obs, region, n, workers, &locals);
 
     let mut errors = errs
         .into_inner()

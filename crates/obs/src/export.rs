@@ -11,7 +11,9 @@ use std::fmt::Write as _;
 impl MetricsRegistry {
     /// Renders the registry in the Prometheus text exposition format
     /// (version 0.0.4): counters, gauges, then histograms with
-    /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`.
+    /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`,
+    /// followed by interpolated `_p50`/`_p95`/`_p99` summary gauges
+    /// (see [`Histogram::quantile`]).
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
@@ -31,6 +33,12 @@ impl MetricsRegistry {
             let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
             let _ = writeln!(out, "{name}_sum {}", hist.sum());
             let _ = writeln!(out, "{name}_count {}", hist.count());
+            for (suffix, q) in QUANTILE_SUMMARY {
+                if let Some(v) = hist.quantile(q) {
+                    let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
+                    let _ = writeln!(out, "{name}_{suffix} {}", fmt_f64(v));
+                }
+            }
         }
         out
     }
@@ -72,6 +80,9 @@ impl MetricsRegistry {
     }
 }
 
+/// The summary quantiles both exporters render for every histogram.
+const QUANTILE_SUMMARY: [(&str, f64); 3] = [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)];
+
 fn push_histogram_json(out: &mut String, hist: &Histogram) {
     out.push_str("{\"bounds\":[");
     for (i, bound) in hist.bounds().iter().enumerate() {
@@ -93,6 +104,13 @@ fn push_histogram_json(out: &mut String, hist: &Histogram) {
             let _ = write!(out, ",\"min\":{min},\"max\":{max}");
         }
         _ => out.push_str(",\"min\":null,\"max\":null"),
+    }
+    for (suffix, q) in QUANTILE_SUMMARY {
+        let _ = write!(out, ",\"{suffix}\":");
+        match hist.quantile(q) {
+            Some(v) => push_json_f64(out, v),
+            None => out.push_str("null"),
+        }
     }
     out.push('}');
 }

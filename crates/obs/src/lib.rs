@@ -55,15 +55,34 @@
 pub mod clock;
 pub mod event;
 pub mod export;
+pub mod journal;
 pub mod metrics;
 pub mod recorder;
+pub mod trace;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
 pub use event::{Event, Value};
+pub use journal::Json;
 pub use metrics::{Histogram, MetricsRegistry, LATENCY_BUCKETS_NS, VALUE_BUCKETS};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, StderrProgress, Tee};
+pub use trace::TraceSpan;
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
+
+/// Derives a deterministic span id for an auxiliary lane under `parent`
+/// (e.g. one worker of a parallel region). FNV-1a over the pair, with
+/// the high bit forced so lane ids can never collide with the sequential
+/// ids the orchestration counter hands out.
+#[must_use]
+pub const fn lane_span_id(parent: u64, lane: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    h ^= parent;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    h ^= lane;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    h | (1 << 63)
+}
 
 /// Shared observability handle: a metrics registry, an event recorder,
 /// and a clock, bundled behind one cheaply clonable façade.
@@ -81,6 +100,23 @@ struct ObsInner {
     metrics: Mutex<MetricsRegistry>,
     recorder: Box<dyn Recorder>,
     clock: Box<dyn Clock>,
+    /// Open-span stack and id counter. Spans are only opened from
+    /// sequential orchestration code (parallel regions get derived lane
+    /// ids instead — see [`lane_span_id`]), so the allocation order, and
+    /// with it every span id, is identical at every worker count.
+    spans: Mutex<SpanStack>,
+    /// Whether finished spans are mirrored to the journal as `span`
+    /// events (off by default; see [`Obs::enable_span_events`]).
+    span_events: AtomicBool,
+    /// High-water mark of recorder I/O errors already reported through a
+    /// `recorder_io_errors` warning event.
+    io_errors_reported: AtomicU64,
+}
+
+#[derive(Default)]
+struct SpanStack {
+    next_id: u64,
+    open: Vec<u64>,
 }
 
 impl std::fmt::Debug for Obs {
@@ -106,8 +142,31 @@ impl Obs {
                 metrics: Mutex::new(MetricsRegistry::default()),
                 recorder,
                 clock,
+                spans: Mutex::new(SpanStack::default()),
+                span_events: AtomicBool::new(false),
+                io_errors_reported: AtomicU64::new(0),
             })),
         }
+    }
+
+    /// Turns on span tracing: every finished [`SpanGuard`] additionally
+    /// records a `span` journal event carrying its deterministic id,
+    /// parent id, lane, and start/end clock readings. Off by default so
+    /// existing journals keep their exact shape; tracing obeys the
+    /// never-perturbs contract either way (span ids are allocated
+    /// whether or not events are emitted).
+    pub fn enable_span_events(&self) {
+        if let Some(inner) = &self.inner {
+            inner.span_events.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether finished spans are mirrored to the journal.
+    #[must_use]
+    pub fn span_events_enabled(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.span_events.load(Ordering::Relaxed))
     }
 
     /// Metrics-only handle: a real clock and registry, no event journal.
@@ -193,34 +252,124 @@ impl Obs {
 
     /// Starts a span that records its elapsed time into the histogram
     /// `name` when dropped (or when [`SpanGuard::finish`] is called).
+    ///
+    /// Spans are hierarchical: each one gets a deterministic id from a
+    /// sequential counter and remembers the innermost span still open at
+    /// its creation as its parent. Open spans from orchestration code
+    /// only (one thread at a time) — parallel regions report per-worker
+    /// lanes through derived ids (see [`lane_span_id`]) instead of
+    /// opening guards inside workers.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let (id, parent) = match &self.inner {
+            None => (0, 0),
+            Some(inner) => {
+                let mut stack = inner.spans.lock().unwrap_or_else(PoisonError::into_inner);
+                stack.next_id += 1;
+                let id = stack.next_id;
+                let parent = stack.open.last().copied().unwrap_or(0);
+                stack.open.push(id);
+                (id, parent)
+            }
+        };
         SpanGuard {
             obs: self,
             name,
             start_ns: self.now_ns(),
             done: false,
+            id,
+            parent,
+        }
+    }
+
+    /// Records one already-timed span as a `span` journal event without
+    /// opening a guard — how parallel regions report per-worker lanes
+    /// with deterministic, schedule-independent ids. No-op unless
+    /// [`Obs::enable_span_events`] was called.
+    pub fn record_lane_span(
+        &self,
+        name: &'static str,
+        id: u64,
+        parent: u64,
+        lane: u64,
+        start_ns: u64,
+        end_ns: u64,
+    ) {
+        if self.span_events_enabled() {
+            self.record(span_event(name, id, parent, lane, start_ns, end_ns));
         }
     }
 
     /// Records a `metrics_snapshot` event embedding the JSON rendering
     /// of the current registry, then flushes the recorder. Typically the
     /// last call of a binary's run.
+    ///
+    /// Recorder write failures swallowed so far surface here as the
+    /// `obs_recorder_io_errors_total` counter, so silent journal loss is
+    /// visible in the snapshot itself (and in the Prometheus sidecar)
+    /// without polling [`JsonlRecorder::io_errors`].
     pub fn record_metrics_snapshot(&self) {
         if let Some(inner) = &self.inner {
-            let json = lock(&inner.metrics).to_json();
+            let io_errors = inner.recorder.io_errors();
+            let json = {
+                let mut metrics = lock(&inner.metrics);
+                if io_errors > 0 {
+                    let seen = metrics.counter("obs_recorder_io_errors_total");
+                    metrics.counter_add(
+                        "obs_recorder_io_errors_total",
+                        io_errors.saturating_sub(seen),
+                    );
+                }
+                metrics.to_json()
+            };
             inner
                 .recorder
                 .record(&Event::new("metrics_snapshot").with_raw_json("metrics", json));
-            inner.recorder.flush();
         }
+        self.flush();
     }
 
     /// Flushes the recorder (no-op for recorders without buffering).
+    ///
+    /// When the recorder has swallowed I/O errors since the last flush, a
+    /// final `recorder_io_errors` warning event is recorded first — a
+    /// journal that lost lines says so in its own tail.
     pub fn flush(&self) {
         if let Some(inner) = &self.inner {
+            let io_errors = inner.recorder.io_errors();
+            let reported = inner
+                .io_errors_reported
+                .fetch_max(io_errors, Ordering::Relaxed);
+            if io_errors > reported {
+                inner.recorder.record(
+                    &Event::new("recorder_io_errors")
+                        .with("count", io_errors)
+                        .with(
+                            "message",
+                            "journal writes were lost; counts are a lower bound",
+                        ),
+                );
+            }
             inner.recorder.flush();
         }
     }
+}
+
+/// Builds the journal rendering of one finished span.
+fn span_event(
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    lane: u64,
+    start_ns: u64,
+    end_ns: u64,
+) -> Event {
+    Event::new("span")
+        .with("name", name)
+        .with("id", id)
+        .with("parent", parent)
+        .with("lane", lane)
+        .with("start_ns", start_ns)
+        .with("end_ns", end_ns)
 }
 
 fn lock(m: &Mutex<MetricsRegistry>) -> std::sync::MutexGuard<'_, MetricsRegistry> {
@@ -230,12 +379,19 @@ fn lock(m: &Mutex<MetricsRegistry>) -> std::sync::MutexGuard<'_, MetricsRegistry
 /// RAII span: measures the time between [`Obs::span`] and drop through
 /// the handle's [`Clock`], recording it into a histogram. On a disabled
 /// handle the guard does nothing and reads no clock.
+///
+/// Every guard carries a deterministic span id and the id of the span
+/// that was innermost when it opened (`0` for a root span); with
+/// [`Obs::enable_span_events`] the finished span is mirrored to the
+/// journal, from which [`trace`] reconstructs a Chrome-trace timeline.
 #[must_use = "a span records on drop; binding it to `_` drops it immediately"]
 pub struct SpanGuard<'a> {
     obs: &'a Obs,
     name: &'static str,
     start_ns: u64,
     done: bool,
+    id: u64,
+    parent: u64,
 }
 
 impl SpanGuard<'_> {
@@ -245,16 +401,51 @@ impl SpanGuard<'_> {
         self.record()
     }
 
+    /// This span's deterministic id (`0` on a disabled handle).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The id of the span this one nests under (`0` for a root span).
+    #[must_use]
+    pub fn parent(&self) -> u64 {
+        self.parent
+    }
+
+    /// The clock reading when the span opened.
+    #[must_use]
+    pub fn start_ns(&self) -> u64 {
+        self.start_ns
+    }
+
     fn record(&mut self) -> u64 {
         if self.done {
             return 0;
         }
         self.done = true;
-        if !self.obs.enabled() {
+        let Some(inner) = &self.obs.inner else {
             return 0;
+        };
+        {
+            let mut stack = inner.spans.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(pos) = stack.open.iter().rposition(|&open| open == self.id) {
+                stack.open.remove(pos);
+            }
         }
-        let elapsed = self.obs.now_ns().saturating_sub(self.start_ns);
+        let end_ns = self.obs.now_ns();
+        let elapsed = end_ns.saturating_sub(self.start_ns);
         self.obs.observe(self.name, elapsed);
+        if inner.span_events.load(Ordering::Relaxed) {
+            inner.recorder.record(&span_event(
+                self.name,
+                self.id,
+                self.parent,
+                0,
+                self.start_ns,
+                end_ns,
+            ));
+        }
         elapsed
     }
 }
@@ -340,6 +531,117 @@ mod tests {
         assert_eq!(lines.len(), 1);
         assert!(lines[0].contains("\"kind\":\"metrics_snapshot\""));
         assert!(lines[0].contains("\"n\":4"));
+    }
+
+    #[test]
+    fn span_ids_and_parents_nest_deterministically() {
+        let clock = Arc::new(FakeClock::new(0));
+        let rec = Arc::new(MemoryRecorder::default());
+        let obs = Obs::new(Box::new(Arc::clone(&rec)), Box::new(Arc::clone(&clock)));
+        obs.enable_span_events();
+        assert!(obs.span_events_enabled());
+        {
+            let outer = obs.span("outer_ns");
+            assert_eq!(outer.id(), 1);
+            assert_eq!(outer.parent(), 0);
+            clock.advance(10);
+            {
+                let inner = obs.span("inner_ns");
+                assert_eq!(inner.id(), 2);
+                assert_eq!(inner.parent(), 1);
+                clock.advance(5);
+            }
+            let sibling = obs.span("sibling_ns");
+            assert_eq!(sibling.id(), 3);
+            assert_eq!(sibling.parent(), 1);
+        }
+        let next = obs.span("next_root_ns");
+        assert_eq!(next.id(), 4);
+        assert_eq!(next.parent(), 0);
+        drop(next);
+        let lines = rec.lines();
+        // Spans journal at close: inner, sibling, outer, next_root.
+        assert_eq!(lines.len(), 4);
+        assert_eq!(
+            lines[0],
+            r#"{"kind":"span","name":"inner_ns","id":2,"parent":1,"lane":0,"start_ns":10,"end_ns":15}"#
+        );
+        assert!(lines[2].contains("\"name\":\"outer_ns\",\"id\":1,\"parent\":0"));
+    }
+
+    #[test]
+    fn span_events_are_off_by_default() {
+        let rec = Arc::new(MemoryRecorder::default());
+        let obs = Obs::new(Box::new(Arc::clone(&rec)), Box::new(FakeClock::new(0)));
+        {
+            let _span = obs.span("quiet_ns");
+        }
+        obs.record_lane_span("lane_ns", 7, 1, 2, 0, 5);
+        assert!(rec.is_empty(), "no span events without enable_span_events");
+        // The histogram still records.
+        assert_eq!(
+            obs.metrics().histogram("quiet_ns").map(Histogram::count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn lane_span_ids_are_deterministic_and_disjoint_from_counter_ids() {
+        let a = lane_span_id(3, 0);
+        assert_eq!(a, lane_span_id(3, 0));
+        assert_ne!(a, lane_span_id(3, 1));
+        assert_ne!(a, lane_span_id(4, 0));
+        // Counter ids are small sequential integers; lane ids keep the
+        // high bit set.
+        assert!(a >= 1 << 63);
+    }
+
+    #[test]
+    fn recorder_io_errors_surface_in_snapshot_and_flush_warning() {
+        use std::io::Write;
+        /// Fails the first write, then recovers — one swallowed line.
+        struct FlakyWriter {
+            failures_left: u64,
+        }
+        impl Write for FlakyWriter {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.failures_left > 0 {
+                    self.failures_left -= 1;
+                    Err(std::io::Error::other("disk full"))
+                } else {
+                    Ok(buf.len())
+                }
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let memory = Arc::new(MemoryRecorder::default());
+        let tee = Tee(
+            Box::new(Arc::clone(&memory)),
+            Box::new(JsonlRecorder::new(FlakyWriter { failures_left: 1 })),
+        );
+        let obs = Obs::new(Box::new(tee), Box::new(FakeClock::new(0)));
+        obs.record(Event::new("lost"));
+        obs.record_metrics_snapshot();
+        assert_eq!(obs.metrics().counter("obs_recorder_io_errors_total"), 1);
+        let lines = memory.lines();
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"kind\":\"recorder_io_errors\"")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"obs_recorder_io_errors_total\":1")));
+        // A second flush without new failures must not repeat the warning.
+        let warnings = |lines: &[String]| {
+            lines
+                .iter()
+                .filter(|l| l.contains("\"kind\":\"recorder_io_errors\""))
+                .count()
+        };
+        assert_eq!(warnings(&memory.lines()), 1);
+        obs.flush();
+        assert_eq!(warnings(&memory.lines()), 1);
     }
 
     #[test]

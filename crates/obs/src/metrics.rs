@@ -136,6 +136,78 @@ impl Histogram {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
+
+    /// Estimates the `q`-quantile (`0 ≤ q ≤ 1`) by linear interpolation
+    /// within the bucket holding the target rank, Prometheus
+    /// `histogram_quantile`-style: a bucket spans `(previous bound,
+    /// bound]` (the first starts at 0) and observations are assumed
+    /// uniform inside it. The estimate is clamped to the exact observed
+    /// `[min, max]`, so `quantile(0.0)` is the minimum, `quantile(1.0)`
+    /// the maximum, and a rank landing in the `+Inf` overflow bucket
+    /// reports the maximum. `None` when empty or `q` is out of range.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let (min, max) = (self.min as f64, self.max as f64);
+        let target = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, &in_bucket) in self.counts.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            let next = cumulative + in_bucket;
+            if next as f64 >= target {
+                if i == self.bounds.len() {
+                    // Overflow bucket: no finite upper edge to
+                    // interpolate against, but the exact max is known.
+                    return Some(max);
+                }
+                let lower = if i == 0 {
+                    0.0
+                } else {
+                    self.bounds[i - 1] as f64
+                };
+                let upper = self.bounds[i] as f64;
+                let into = (target - cumulative as f64) / in_bucket as f64;
+                let estimate = lower + (upper - lower) * into;
+                return Some(estimate.clamp(min, max));
+            }
+            cumulative = next;
+        }
+        Some(max)
+    }
+
+    /// Rebuilds a histogram from exported parts (the shape
+    /// [`MetricsRegistry::to_json`] renders), for offline analysis of a
+    /// journal's `metrics_snapshot`. `None` when the parts are not
+    /// mutually consistent (`counts` must have one slot more than
+    /// `bounds` and sum to `count`).
+    #[must_use]
+    pub fn from_parts(
+        bounds: Vec<u64>,
+        counts: Vec<u64>,
+        sum: u64,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Option<Self> {
+        if counts.len() != bounds.len() + 1 {
+            return None;
+        }
+        let count: u64 = counts.iter().try_fold(0u64, |a, &c| a.checked_add(c))?;
+        if (count == 0) != (min.is_none() && max.is_none()) {
+            return None;
+        }
+        Some(Histogram {
+            bounds,
+            counts,
+            sum,
+            count,
+            min: min.unwrap_or(u64::MAX),
+            max: max.unwrap_or(0),
+        })
+    }
 }
 
 /// A set of named counters, gauges, and histograms.
@@ -280,6 +352,80 @@ mod tests {
         assert_eq!(h.min(), None);
         assert_eq!(h.max(), None);
         assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_distribution() {
+        // 1..=100 into decade buckets: every quantile is exactly its
+        // rank, because the interpolation assumption holds exactly.
+        let bounds: Vec<u64> = (1..=10).map(|i| i * 10).collect();
+        let mut h = Histogram::new(&bounds);
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        for (q, expected) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0), (0.1, 10.0)] {
+            let got = h.quantile(q).expect("non-empty");
+            assert!((got - expected).abs() < 1e-9, "q={q}: {got} != {expected}");
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0)); // clamped to exact min
+        assert_eq!(h.quantile(1.0), Some(100.0));
+        assert_eq!(h.quantile(1.5), None);
+    }
+
+    #[test]
+    fn quantiles_of_a_skewed_distribution() {
+        // 90 fast observations and 10 slow ones: p50 interpolates inside
+        // the first bucket, p95 and p99 land in the slow bucket.
+        let mut h = Histogram::new(&[100, 10_000]);
+        for _ in 0..90 {
+            h.observe(50);
+        }
+        for _ in 0..10 {
+            h.observe(9_000);
+        }
+        let p50 = h.quantile(0.5).expect("non-empty");
+        assert!((p50 - 55.555).abs() < 0.01, "p50={p50}"); // 100 * 50/90
+        let p95 = h.quantile(0.95).expect("non-empty");
+        assert!((p95 - 5_050.0).abs() < 1e-6, "p95={p95}"); // midway into (100, 10000]
+        let p99 = h.quantile(0.99).expect("non-empty");
+        assert!(
+            (p99 - 9_000.0).abs() < 1e-6,
+            "p99 clamped to max, got {p99}"
+        );
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_reports_max() {
+        let mut h = Histogram::new(&[10]);
+        h.observe(5);
+        h.observe(1_000);
+        h.observe(2_000);
+        assert_eq!(h.quantile(0.99), Some(2_000.0));
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_rejects_inconsistency() {
+        let mut h = Histogram::new(&[10, 100]);
+        for v in [5, 50, 500] {
+            h.observe(v);
+        }
+        let rebuilt = Histogram::from_parts(
+            h.bounds().to_vec(),
+            h.bucket_counts().to_vec(),
+            h.sum(),
+            h.min(),
+            h.max(),
+        )
+        .expect("consistent parts");
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.quantile(0.5), h.quantile(0.5));
+        // counts length must be bounds + 1.
+        assert!(Histogram::from_parts(vec![10], vec![1], 1, Some(1), Some(1)).is_none());
+        // an empty histogram cannot carry extremes.
+        assert!(Histogram::from_parts(vec![10], vec![0, 0], 0, Some(1), None).is_none());
+        let empty = Histogram::from_parts(vec![10], vec![0, 0], 0, None, None).expect("empty ok");
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

@@ -20,6 +20,14 @@ pub trait Recorder: Send + Sync {
 
     /// Flushes buffered output, if any.
     fn flush(&self) {}
+
+    /// I/O failures swallowed so far (zero for recorders that cannot
+    /// fail). [`crate::Obs`] reads this to surface silent journal loss
+    /// as the `obs_recorder_io_errors_total` counter and a final
+    /// `recorder_io_errors` warning event.
+    fn io_errors(&self) -> u64 {
+        0
+    }
 }
 
 /// The default recorder: discards everything.
@@ -75,11 +83,20 @@ impl Recorder for MemoryRecorder {
     }
 }
 
-/// `Arc<MemoryRecorder>` forwards, so tests can keep a reading handle
-/// while `Obs` owns the boxed trait object.
-impl Recorder for Arc<MemoryRecorder> {
+/// `Arc<R>` of any recorder forwards, so a sink can be shared between
+/// `Obs` and an out-of-band reader (tests keep a handle on a
+/// [`MemoryRecorder`], a telemetry server on its event ring).
+impl<R: Recorder> Recorder for Arc<R> {
     fn record(&self, event: &Event) {
         self.as_ref().record(event);
+    }
+
+    fn flush(&self) {
+        self.as_ref().flush();
+    }
+
+    fn io_errors(&self) -> u64 {
+        self.as_ref().io_errors()
     }
 }
 
@@ -135,6 +152,10 @@ impl<W: Write + Send> Recorder for JsonlRecorder<W> {
             self.io_errors.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    fn io_errors(&self) -> u64 {
+        JsonlRecorder::io_errors(self)
+    }
 }
 
 /// Renders `progress` events to stderr for humans and ignores everything
@@ -171,6 +192,10 @@ impl Recorder for Tee {
     fn flush(&self) {
         self.0.flush();
         self.1.flush();
+    }
+
+    fn io_errors(&self) -> u64 {
+        self.0.io_errors().saturating_add(self.1.io_errors())
     }
 }
 

@@ -1,7 +1,9 @@
 //! Golden tests for the text exporters: exact expected output for a
-//! fixed registry, so any formatting drift is an explicit diff here.
+//! fixed registry (and a fixed FakeClock-driven journal), so any
+//! formatting drift is an explicit diff here.
 
-use optassign_obs::MetricsRegistry;
+use optassign_obs::{trace, FakeClock, MemoryRecorder, MetricsRegistry, Obs};
+use std::sync::Arc;
 
 fn fixed_registry() -> MetricsRegistry {
     let mut r = MetricsRegistry::default();
@@ -33,6 +35,12 @@ exec_task_ns_bucket{le=\"1000000\"} 3
 exec_task_ns_bucket{le=\"+Inf\"} 4
 exec_task_ns_sum 2091500
 exec_task_ns_count 4
+# TYPE exec_task_ns_p50 gauge
+exec_task_ns_p50 1000
+# TYPE exec_task_ns_p95 gauge
+exec_task_ns_p95 2000000
+# TYPE exec_task_ns_p99 gauge
+exec_task_ns_p99 2000000
 ";
     assert_eq!(fixed_registry().to_prometheus(), expected);
 }
@@ -44,9 +52,58 @@ fn json_summary_golden() {
         "\"gauges\":{\"exec_workers\":4,\"scale_factor\":0.5},",
         "\"histograms\":{\"exec_task_ns\":{\"bounds\":[1000,100000,1000000],",
         "\"counts\":[2,1,0,1],\"count\":4,\"sum\":2091500,",
-        "\"min\":500,\"max\":2000000}}}",
+        "\"min\":500,\"max\":2000000,",
+        "\"p50\":1000,\"p95\":2000000,\"p99\":2000000}}}",
     );
     assert_eq!(fixed_registry().to_json(), expected);
+}
+
+#[test]
+fn chrome_trace_golden() {
+    // A fixed FakeClock schedule produces a fixed journal, which must
+    // render to byte-exact Chrome trace JSON.
+    let rec = Arc::new(MemoryRecorder::default());
+    let clock = Arc::new(FakeClock::new(1_000));
+    let obs = Obs::new(Box::new(Arc::clone(&rec)), Box::new(Arc::clone(&clock)));
+    obs.enable_span_events();
+    {
+        let outer = obs.span("study_run_ns");
+        clock.advance(500);
+        {
+            let _inner = obs.span("evt_estimate_ns");
+            clock.advance(2_750);
+        }
+        clock.advance(250);
+        obs.record_lane_span(
+            "exec_lane_ns",
+            optassign_obs::lane_span_id(outer.id(), 0),
+            outer.id(),
+            1,
+            1_600,
+            4_100,
+        );
+    }
+    let lines = rec.lines();
+    let (json, malformed) = trace::chrome_trace_from_journal(lines.iter().map(String::as_str));
+    assert_eq!(malformed, 0);
+    let lane_id = optassign_obs::lane_span_id(1, 0);
+    let expected = format!(
+        concat!(
+            "{{\"traceEvents\":[",
+            "{{\"name\":\"evt_estimate_ns\",\"cat\":\"span\",\"ph\":\"X\",",
+            "\"ts\":1.500,\"dur\":2.750,\"pid\":1,\"tid\":0,",
+            "\"args\":{{\"id\":2,\"parent\":1}}}},",
+            "{{\"name\":\"exec_lane_ns\",\"cat\":\"span\",\"ph\":\"X\",",
+            "\"ts\":1.600,\"dur\":2.500,\"pid\":1,\"tid\":1,",
+            "\"args\":{{\"id\":{lane_id},\"parent\":1}}}},",
+            "{{\"name\":\"study_run_ns\",\"cat\":\"span\",\"ph\":\"X\",",
+            "\"ts\":1.000,\"dur\":3.500,\"pid\":1,\"tid\":0,",
+            "\"args\":{{\"id\":1,\"parent\":0}}}}",
+            "],\"displayTimeUnit\":\"ns\"}}"
+        ),
+        lane_id = lane_id
+    );
+    assert_eq!(json, expected);
 }
 
 #[test]

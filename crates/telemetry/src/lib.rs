@@ -1,0 +1,162 @@
+//! Live telemetry for optassign runs: watch a campaign converge without
+//! touching its results.
+//!
+//! The workspace's observability layer ([`optassign_obs`]) journals
+//! events and aggregates metrics under a strict never-perturbs contract.
+//! This crate adds the *serving* half: a [`TelemetryHub`] recorder that
+//! keeps bounded snapshots of the stream (tee it next to the journal),
+//! and a [`TelemetryServer`] — a std-only HTTP/1.1 endpoint over
+//! `TcpListener` — that serves those snapshots to `curl`, Prometheus,
+//! or a browser while the run is still going:
+//!
+//! ```text
+//! pipeline ── events ──> Tee ──> JsonlRecorder (journal on disk)
+//!                          └───> TelemetryHub ──> TelemetryServer
+//!                                                  /healthz /metrics
+//!                                                  /metrics.json
+//!                                                  /progress /trace
+//! ```
+//!
+//! Everything served is derived from snapshots taken under short-hold
+//! locks; nothing ever flows from a client request back into the
+//! pipeline, so results stay bit-identical with the server on or off
+//! (the `check.sh` serve smoke diffs exactly that). Bench binaries wire
+//! this up behind `--serve <addr>` / `OPTASSIGN_SERVE`, off by default.
+
+pub mod hub;
+pub mod server;
+
+pub use hub::TelemetryHub;
+pub use server::TelemetryServer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use optassign_obs::{Event, FakeClock, Json, Obs, Tee};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Issues one HTTP request against the server and returns
+    /// `(status_line, body)`.
+    fn http_get(addr: std::net::SocketAddr, request: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        stream.write_all(request.as_bytes()).expect("write");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        let status = head.lines().next().expect("status line").to_string();
+        (status, body.to_string())
+    }
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+        http_get(
+            addr,
+            &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        )
+    }
+
+    #[test]
+    fn serves_all_routes_from_live_observability_state() {
+        let hub = Arc::new(TelemetryHub::new());
+        let clock = Arc::new(FakeClock::new(0));
+        let obs = Obs::new(
+            Box::new(Tee(
+                Box::new(optassign_obs::NullRecorder),
+                Box::new(Arc::clone(&hub)),
+            )),
+            Box::new(Arc::clone(&clock)),
+        );
+        obs.enable_span_events();
+        obs.counter_add("exec_tasks_total", 7);
+        {
+            let _span = obs.span("iter_round_ns");
+            clock.advance(2_000);
+        }
+        obs.record(
+            Event::new("iteration")
+                .with("samples", 200u64)
+                .with("best_observed", 41.5)
+                .with("estimated_optimal", 50.0)
+                .with("gap", 0.17)
+                .with("method", "pot"),
+        );
+
+        let server =
+            TelemetryServer::start("127.0.0.1:0", obs.clone(), Arc::clone(&hub)).expect("bind");
+        let addr = server.addr();
+
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok\n");
+
+        let (status, body) = get(addr, "/metrics");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("exec_tasks_total 7"), "{body}");
+        assert!(body.contains("iter_round_ns_count 1"), "{body}");
+
+        let (status, body) = get(addr, "/metrics.json");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let v = Json::parse(&body).expect("valid json");
+        assert_eq!(
+            v.get("counters")
+                .and_then(|c| c.get("exec_tasks_total"))
+                .and_then(Json::as_u64),
+            Some(7)
+        );
+
+        let (status, body) = get(addr, "/progress");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let v = Json::parse(&body).expect("valid json");
+        assert_eq!(v.get("round").and_then(Json::as_u64), Some(1));
+        assert_eq!(v.get("gap").and_then(Json::as_f64), Some(0.17));
+
+        let (status, body) = get(addr, "/trace");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert!(body.contains("\"name\":\"iter_round_ns\""), "{body}");
+        assert!(body.ends_with("\"displayTimeUnit\":\"ns\"}"), "{body}");
+
+        // Metrics recorded after startup show up on the next scrape.
+        obs.counter_add("exec_tasks_total", 1);
+        let (_, body) = get(addr, "/metrics");
+        assert!(body.contains("exec_tasks_total 8"), "{body}");
+    }
+
+    #[test]
+    fn rejects_unknown_paths_and_methods() {
+        let hub = Arc::new(TelemetryHub::new());
+        let server = TelemetryServer::start("127.0.0.1:0", Obs::metrics_only(), hub).expect("bind");
+        let addr = server.addr();
+
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+
+        let (status, _) = http_get(
+            addr,
+            "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+
+        // Query strings are ignored for routing.
+        let (status, body) = get(addr, "/healthz?probe=1");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(body, "ok\n");
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_frees_the_port() {
+        let hub = Arc::new(TelemetryHub::new());
+        let mut server =
+            TelemetryServer::start("127.0.0.1:0", Obs::metrics_only(), hub).expect("bind");
+        let addr = server.addr();
+        server.shutdown();
+        server.shutdown();
+        drop(server);
+        // The port is reusable once the accept thread has exited.
+        std::net::TcpListener::bind(addr).expect("rebind after shutdown");
+    }
+}

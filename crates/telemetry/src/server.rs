@@ -1,0 +1,190 @@
+//! A minimal HTTP/1.1 server over `std::net::TcpListener`.
+//!
+//! Five read-only routes, one accept thread, one connection at a time,
+//! `Connection: close` on every response — deliberately the smallest
+//! server that `curl`, Prometheus scrapers, and a browser can talk to.
+//! Everything it serves is a snapshot: [`Obs::metrics`] clones the
+//! registry under its own lock, and the hub's ring and progress digest
+//! are copied out under short-hold mutexes. Serving never blocks the
+//! pipeline and never writes anything back into it.
+//!
+//! | route           | payload                                         |
+//! |-----------------|-------------------------------------------------|
+//! | `/healthz`      | `ok` (liveness probe)                           |
+//! | `/metrics`      | Prometheus text exposition of the registry      |
+//! | `/metrics.json` | the registry's JSON rendering                   |
+//! | `/progress`     | latest iterative round + stop reason, JSON      |
+//! | `/trace`        | Chrome trace JSON over recent span events       |
+
+use crate::hub::TelemetryHub;
+use optassign_obs::Obs;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Largest request head we accept; telemetry requests are a GET line
+/// plus a handful of headers.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// How long a single connection may dawdle before we drop it.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Handle to a running telemetry server. Shuts down on [`Drop`] (or an
+/// explicit [`TelemetryServer::shutdown`]); the accept thread never
+/// outlives the handle.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and
+    /// starts the accept thread. `obs` supplies metric snapshots, `hub`
+    /// the event ring and progress digest — pass the same hub that is
+    /// teed into the `Obs` recorder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/spawn failures; the caller decides whether a run
+    /// without telemetry should proceed.
+    pub fn start(addr: &str, obs: Obs, hub: Arc<TelemetryHub>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("optassign-telemetry".into())
+            .spawn(move || serve(&listener, &obs, &hub, &stop_flag))?;
+        Ok(TelemetryServer {
+            addr: local_addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of `:0` binds).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept thread and waits for it to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept() call; an error just means the listener is
+        // already gone, which is the outcome we want.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve(listener: &TcpListener, obs: &Obs, hub: &TelemetryHub, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        handle_connection(stream, obs, hub);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, obs: &Obs, hub: &TelemetryHub) {
+    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+    let Some(request_line) = read_request_line(&mut stream) else {
+        return;
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        respond(
+            &mut stream,
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            "bad request\n",
+        );
+        return;
+    };
+    if method != "GET" {
+        respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "method not allowed\n",
+        );
+        return;
+    }
+    let path = target.split('?').next().unwrap_or(target);
+    match path {
+        "/healthz" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
+        "/metrics" => respond(
+            &mut stream,
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            &obs.metrics().to_prometheus(),
+        ),
+        "/metrics.json" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &obs.metrics().to_json(),
+        ),
+        "/progress" => respond(
+            &mut stream,
+            "200 OK",
+            "application/json",
+            &hub.progress_json(),
+        ),
+        "/trace" => respond(&mut stream, "200 OK", "application/json", &hub.trace_json()),
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found\n",
+        ),
+    }
+}
+
+/// Reads until the end of the request head (or EOF / size cap) and
+/// returns the request line.
+fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream.read(&mut chunk).ok()?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
+            break;
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let line = head.lines().next()?;
+    (!line.is_empty()).then(|| line.to_string())
+}
+
+/// Writes one complete `Connection: close` response; write failures are
+/// the client's problem, not the pipeline's.
+fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .and_then(|()| stream.flush());
+}

@@ -18,7 +18,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 # Library crates: panic-free discipline on top of the standard lints.
-LIB_CRATES=(optassign-obs optassign-exec optassign-store optassign-stats optassign-sim optassign-evt optassign-netapps optassign)
+LIB_CRATES=(optassign-obs optassign-exec optassign-store optassign-stats optassign-sim optassign-evt optassign-netapps optassign-telemetry optassign)
 for crate in "${LIB_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} --lib (deny warnings, unwrap_used, expect_used)"
     cargo clippy -q -p "${crate}" --lib -- \
@@ -73,6 +73,53 @@ if [[ "${FAST}" == "0" ]]; then
         --scale 0.01 --workers 4 --checkpoint "${METRICS_TMP}/ckpt-killed" --resume \
         >"${METRICS_TMP}/resumed.out"
     diff "${METRICS_TMP}/clean.out" "${METRICS_TMP}/resumed.out"
+
+    # Live-telemetry smoke: fig13 with --serve (plus tracing via
+    # --metrics) must answer /healthz, /metrics, and /progress mid-run,
+    # and its stdout must be bit-identical to a plain serve-off run —
+    # the never-perturbs contract, end to end.
+    echo "==> fig13 --serve telemetry smoke"
+    cargo run -q --release -p optassign-bench --bin fig13 -- \
+        --scale 0.01 --workers 2 >"${METRICS_TMP}/serve-off.out"
+    target/release/fig13 \
+        --scale 0.01 --workers 2 --serve 127.0.0.1:0 \
+        --metrics "${METRICS_TMP}/serve.jsonl" \
+        >"${METRICS_TMP}/serve-on.out" 2>"${METRICS_TMP}/serve.err" &
+    SERVE_PID=$!
+    # The endpoint comes up before the measurement campaign; poll briefly
+    # for the bound address on stderr.
+    SERVE_ADDR=""
+    for _ in $(seq 1 50); do
+        SERVE_ADDR="$(sed -n 's/^\[telemetry\] listening on //p' "${METRICS_TMP}/serve.err" | head -n1)"
+        [[ -n "${SERVE_ADDR}" ]] && break
+        sleep 0.1
+    done
+    [[ -n "${SERVE_ADDR}" ]] || { echo "telemetry endpoint never came up"; exit 1; }
+    # Mid-run scrapes: the measurement campaign runs for seconds, so the
+    # endpoint must be answering right now, while work is in flight.
+    curl -fsS "http://${SERVE_ADDR}/healthz" | grep -qx 'ok'
+    curl -fsS "http://${SERVE_ADDR}/metrics" >"${METRICS_TMP}/mid.prom"
+    curl -fsS "http://${SERVE_ADDR}/progress" | grep -q '"round":'
+    wait "${SERVE_PID}"
+    # The iteration gauge: live if round 1 had completed by scrape time,
+    # and always in the final Prometheus sidecar.
+    grep -q '^iter_round ' "${METRICS_TMP}/mid.prom" "${METRICS_TMP}/serve.jsonl.prom"
+    diff "${METRICS_TMP}/serve-off.out" "${METRICS_TMP}/serve-on.out"
+
+    # obs_report smoke: deterministic tables from the serve run's journal,
+    # tolerant of its exact content; chrome trace export parses as JSON.
+    echo "==> obs_report smoke"
+    cargo run -q --release -p optassign-bench --bin obs_report -- \
+        "${METRICS_TMP}/serve.jsonl" --chrome-trace "${METRICS_TMP}/serve.trace.json" \
+        >"${METRICS_TMP}/report.out"
+    grep -q '== convergence ==' "${METRICS_TMP}/report.out"
+    grep -q '== phase latency (ns) ==' "${METRICS_TMP}/report.out"
+    grep -q 'iter_round_ns' "${METRICS_TMP}/report.out"
+    grep -q '"traceEvents":\[' "${METRICS_TMP}/serve.trace.json"
+    # Same journal, same report: the analysis itself is deterministic.
+    cargo run -q --release -p optassign-bench --bin obs_report -- \
+        "${METRICS_TMP}/serve.jsonl" >"${METRICS_TMP}/report2.out"
+    diff "${METRICS_TMP}/report.out" "${METRICS_TMP}/report2.out"
 fi
 
 echo "==> all checks passed"

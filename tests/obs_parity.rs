@@ -9,7 +9,7 @@ use optassign::model::SyntheticModel;
 use optassign::study::SampleStudy;
 use optassign::{Parallelism, Topology};
 use optassign_evt::ResilientConfig;
-use optassign_obs::{FakeClock, JsonlRecorder, MemoryRecorder, NullRecorder, Obs};
+use optassign_obs::{FakeClock, Json, JsonlRecorder, MemoryRecorder, NullRecorder, Obs};
 use std::sync::Arc;
 
 fn model() -> SyntheticModel {
@@ -104,6 +104,82 @@ fn run_iterative_is_bit_identical_with_recording_on_and_off() {
             .filter(|l| l.contains("\"kind\":\"iteration\""))
             .count();
         assert_eq!(rounds, base.trace.len(), "workers={workers}");
+    }
+}
+
+#[test]
+fn span_lineage_is_identical_at_one_and_four_workers() {
+    // Span ids are allocated by a sequential counter in orchestration
+    // code, so the span hierarchy — ids, parents, names, in journal
+    // order — must be worker-count independent. Worker-lane spans (lane
+    // > 0) are the one legitimately worker-dependent part: they get
+    // derived hash ids and are excluded from the lineage comparison.
+    let run = |workers: usize| -> Vec<String> {
+        let (obs, recorder) = recording_obs();
+        obs.enable_span_events();
+        let cfg = IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 0.10,
+            parallelism: Parallelism::new(workers),
+            ..IterativeConfig::default()
+        };
+        run_iterative_obs(&model(), &cfg, 47, &obs).unwrap();
+        recorder.lines()
+    };
+    let spans = |lines: &[String]| -> Vec<(String, u64, u64)> {
+        lines
+            .iter()
+            .filter_map(|l| Json::parse(l))
+            .filter(|v| v.kind() == Some("span"))
+            .filter(|v| v.get("lane").and_then(Json::as_u64) == Some(0))
+            .map(|v| {
+                (
+                    v.get("name").and_then(Json::as_str).unwrap().to_string(),
+                    v.get("id").and_then(Json::as_u64).unwrap(),
+                    v.get("parent").and_then(Json::as_u64).unwrap(),
+                )
+            })
+            .collect()
+    };
+
+    let serial_lines = run(1);
+    let parallel_lines = run(4);
+    let serial = spans(&serial_lines);
+    let parallel = spans(&parallel_lines);
+    assert!(!serial.is_empty(), "no span events recorded");
+    assert_eq!(
+        serial, parallel,
+        "span lineage differs across worker counts"
+    );
+    // Nesting is real: at least one span has a nonzero parent that is
+    // itself a recorded span id.
+    let ids: std::collections::HashSet<u64> = serial.iter().map(|(_, id, _)| *id).collect();
+    assert!(
+        serial
+            .iter()
+            .any(|(_, _, parent)| *parent != 0 && ids.contains(parent)),
+        "no nested spans in {serial:?}"
+    );
+
+    // Worker-lane spans exist at 4 workers, carry high-bit hash ids
+    // (disjoint from counter ids), and parent onto a real region span.
+    let lanes: Vec<Json> = parallel_lines
+        .iter()
+        .filter_map(|l| Json::parse(l))
+        .filter(|v| v.kind() == Some("span"))
+        .filter(|v| v.get("lane").and_then(Json::as_u64) > Some(0))
+        .collect();
+    assert!(!lanes.is_empty(), "no lane spans at 4 workers");
+    for lane in &lanes {
+        let id = lane.get("id").and_then(Json::as_u64).unwrap();
+        let parent = lane.get("parent").and_then(Json::as_u64).unwrap();
+        assert!(id >= 1 << 63, "lane id {id} collides with counter ids");
+        assert!(ids.contains(&parent), "lane span orphaned from {parent}");
+        assert_eq!(
+            lane.get("name").and_then(Json::as_str),
+            Some("exec_lane_ns")
+        );
     }
 }
 
