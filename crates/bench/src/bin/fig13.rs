@@ -38,7 +38,7 @@ fn main() {
         "[fig13] running (N_init = {}, N_delta = {}, {} workers)…",
         config.n_init, config.n_delta, config.parallelism.workers
     );
-    let store = scale.store("fig13-ipfwd-l1");
+    let store = scale.store("fig13-ipfwd-l1", &obs);
     let result = match &store {
         Some(store) => run_iterative_persistent_obs(&model, &config, BASE_SEED, store, &obs),
         None => run_iterative_obs(&model, &config, BASE_SEED, &obs),

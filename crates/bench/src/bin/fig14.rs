@@ -66,7 +66,7 @@ fn main() {
     for bench in Benchmark::paper_suite() {
         // One store per benchmark: the campaign identity cannot cover the
         // model, so distinct workloads must not share cache entries.
-        let store = scale.store(&format!("fig14-{}", bench.name()));
+        let store = scale.store(&format!("fig14-{}", bench.name()), &obs);
         let pool =
             measured_pool_persistent(bench, pool_size, scale.parallelism(), store.as_ref(), &obs)
                 .expect("case-study workloads fit the machine");

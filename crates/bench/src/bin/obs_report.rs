@@ -306,6 +306,21 @@ fn degradation_section(events: &[Json]) {
                     event.get("count").and_then(Json::as_u64).unwrap_or(0)
                 ),
             ]),
+            // Storage damage found (and repaired) while opening the
+            // campaign store: torn tails and quarantined frames.
+            Some(kind @ ("store_tail_truncated" | "store_frames_quarantined")) => {
+                let mut detail = vec![format!(
+                    "bytes={}",
+                    event.get("bytes").and_then(Json::as_u64).unwrap_or(0)
+                )];
+                if let Some(frames) = event.get("frames").and_then(Json::as_u64) {
+                    detail.push(format!("frames={frames}"));
+                }
+                if let Some(path) = event.get("path").and_then(Json::as_str) {
+                    detail.push(format!("path={path}"));
+                }
+                rows.push(vec![kind.to_string(), "-".to_string(), detail.join(" ")]);
+            }
             _ => {}
         }
     }

@@ -46,7 +46,7 @@ fn main() {
         // Per-benchmark store scope: campaign identities cannot cover the
         // model, so distinct workloads must not share cache entries. The
         // scope matches fig14's, so both binaries reuse one checkpoint.
-        let store = scale.store(&format!("fig14-{}", bench.name()));
+        let store = scale.store(&format!("fig14-{}", bench.name()), &stderr_obs());
         let pool = measured_pool_persistent(
             bench,
             pool_size,

@@ -70,7 +70,10 @@ fn main() {
         ] {
             eprintln!("[robustness] {}: {fault_name} faults…", bench.name());
             let faulty = FaultyModel::new(case_study_model(bench), plan);
-            let store = scale.store(&format!("robustness-{}-{fault_name}", bench.name()));
+            let store = scale.store(
+                &format!("robustness-{}-{fault_name}", bench.name()),
+                &stderr_obs(),
+            );
             let campaign = match &store {
                 Some(store) => SampleStudy::run_resilient_persistent_with_obs(
                     &faulty,

@@ -19,6 +19,7 @@ use optassign::{CoreError, Parallelism};
 use optassign_netapps::Benchmark;
 use optassign_obs::{Event, JsonlRecorder, MonotonicClock, Obs, Recorder, StderrProgress, Tee};
 use optassign_sim::MachineConfig;
+use optassign_store::io::RealIo;
 use optassign_telemetry::{TelemetryHub, TelemetryServer};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -229,8 +230,11 @@ impl BenchArgs {
     /// `None` when no checkpoint root was configured, and on open
     /// failure — a broken store degrades to a non-persistent run with a
     /// warning, never an abort. With `--resume`, a missing store
-    /// directory warns that there is nothing to resume.
-    pub fn store(&self, scope: &str) -> Option<CampaignStore> {
+    /// directory warns that there is nothing to resume. Damage found on
+    /// open (torn tail, quarantined frames) is reported through `obs` —
+    /// the `store_tail_truncated_total` / `store_frames_quarantined_total`
+    /// counters plus warning events — and as a stderr warning.
+    pub fn store(&self, scope: &str, obs: &Obs) -> Option<CampaignStore> {
         let root = self.checkpoint.as_ref()?;
         let dir = root.join(scope);
         if self.resume && !dir.is_dir() {
@@ -239,7 +243,7 @@ impl BenchArgs {
                 dir.display()
             );
         }
-        match CampaignStore::open(&dir) {
+        match CampaignStore::open_with(&dir, std::sync::Arc::new(RealIo), obs) {
             Ok(store) => {
                 eprintln!(
                     "[store] {}: {} journaled measurements, {} cached evaluations",
@@ -247,6 +251,15 @@ impl BenchArgs {
                     store.journaled_measurements(),
                     store.cache_stats().entries
                 );
+                let report = store.open_report();
+                if !report.is_clean() {
+                    eprintln!(
+                        "[store] {}: repaired on open ({} frames quarantined, {} torn-tail bytes truncated)",
+                        dir.display(),
+                        report.quarantined_frames,
+                        report.tail_truncated_bytes
+                    );
+                }
                 Some(store)
             }
             Err(e) => {
@@ -433,7 +446,7 @@ pub struct SizePoint {
 
 /// Measures one 24-thread pool per benchmark and analyzes its prefixes at
 /// the given sample sizes (iid prefixes of one pool are statistically
-/// equivalent to the paper's independent draws; see DESIGN.md §9).
+/// equivalent to the paper's independent draws; see DESIGN.md §10).
 ///
 /// # Errors
 ///
@@ -594,7 +607,7 @@ mod tests {
         assert!(!args.resume);
         // No checkpoint root configured: no store, regardless of scope.
         if std::env::var_os("OPTASSIGN_CHECKPOINT").is_none() {
-            assert!(args.store("fig13").is_none());
+            assert!(args.store("fig13", &Obs::disabled()).is_none());
         }
     }
 
@@ -607,8 +620,8 @@ mod tests {
             checkpoint: Some(root.clone()),
             ..plain(1.0, None)
         };
-        let a = args.store("cell-a").expect("store opens");
-        let b = args.store("cell-b").expect("store opens");
+        let a = args.store("cell-a", &Obs::disabled()).expect("store opens");
+        let b = args.store("cell-b", &Obs::disabled()).expect("store opens");
         drop((a, b));
         assert!(root.join("cell-a").is_dir());
         assert!(root.join("cell-b").is_dir());

@@ -25,7 +25,9 @@ use optassign_sim::Topology;
 use optassign_store::fingerprint;
 use optassign_store::record::MeasurementRecord;
 
-pub use optassign_store::CampaignStore;
+pub use optassign_store::io::{FaultyIo, IoFaultPlan, RealIo, StoreIo};
+pub use optassign_store::merge::{merge_campaigns, MergeReport};
+pub use optassign_store::{fsck, CampaignStore, FsckReport};
 
 /// Salt separating plain-study campaigns from every other campaign kind.
 const STUDY_SALT: u64 = 0x5354_5544_5943_4D50;

@@ -7,8 +7,10 @@
 //!
 //! 1. **A crash-safe write-ahead measurement log** ([`wal`]). Every
 //!    measurement is journaled as one checksummed frame the moment it
-//!    completes. The only mutation is appending whole frames, so the only
-//!    crash artifact is a torn tail, which reopening truncates.
+//!    completes. The only mutation is appending whole frames; a torn
+//!    tail is truncated on reopen, and interior damage (bit rot, a
+//!    corrupted write) is moved to a quarantine sidecar while every
+//!    intact frame — before *and after* the damage — is kept.
 //! 2. **Checkpoint/resume** ([`CampaignStore::lookup_slot`]). The core
 //!    layer's `_persistent` entry points re-run a campaign from its seed
 //!    and substitute journaled results for slots already measured —
@@ -17,6 +19,17 @@
 //! 3. **A content-addressed evaluation cache** ([`cache`]), keyed by the
 //!    canonical-form assignment hash, with snapshot-segment compaction
 //!    ([`CampaignStore::compact`]).
+//!
+//! Two more pieces make failure a first-class citizen:
+//!
+//! 4. **Injectable I/O** ([`io`]). Every byte the store persists flows
+//!    through a [`io::StoreIo`] handle; [`io::FaultyIo`] injects a
+//!    seeded, deterministic schedule of storage faults so each recovery
+//!    path above is exercised reproducibly (see `chaos_soak`).
+//! 5. **Fault-tolerant shard merge** ([`merge`]). Campaign logs written
+//!    on different nodes are combined with
+//!    [`merge::merge_campaigns`] — order-invariant, idempotent, and
+//!    tolerant of torn or quarantined shards.
 //!
 //! ## Batch-boundary cache visibility
 //!
@@ -34,20 +47,27 @@
 //! deterministic re-measurement, never a wrong answer. Runtime I/O
 //! failures are therefore swallowed and counted ([`CampaignStore::io_errors`])
 //! rather than propagated into campaign control flow, mirroring how the
-//! observability layer treats recorder failures.
+//! observability layer treats recorder failures. Damage found on open is
+//! likewise repaired and *reported* — through [`CampaignStore::open_report`]
+//! and the obs counters `store_tail_truncated_total` /
+//! `store_frames_quarantined_total` — never silently ignored.
 
 pub mod cache;
+pub mod io;
+pub mod merge;
 pub mod record;
 pub mod wal;
 
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::path::{Path, PathBuf};
-use std::sync::{Mutex, PoisonError};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use cache::{CacheStats, EvalCache};
+use io::{RealIo, StoreIo};
+use optassign_obs::{Event, Obs};
 use record::{MeasurementRecord, StoreRecord};
-use wal::Wal;
+use wal::{OpenReport, Wal};
 
 /// Errors surfaced by store setup and maintenance operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -99,12 +119,21 @@ pub fn fingerprint(parts: &[u64]) -> u64 {
 /// through [`CampaignStore`]).
 pub const WAL_FILE: &str = "campaign.wal";
 
+/// Name of the quarantine sidecar inside a store directory.
+pub const QUARANTINE_FILE: &str = "campaign.quarantine";
+
 fn segment_name(id: u64) -> String {
     format!("snap-{id:06}.seg")
 }
 
+fn is_segment_name(name: &str) -> bool {
+    name.starts_with("snap-") && name.ends_with(".seg")
+}
+
 struct StoreInner {
     dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+    obs: Obs,
     wal: Wal,
     /// Every journaled measurement, keyed for slot replay.
     measurements: HashMap<(u64, u64, u64), MeasurementRecord>,
@@ -117,6 +146,7 @@ struct StoreInner {
     cache: EvalCache,
     next_segment: u64,
     io_errors: u64,
+    open_report: OpenReport,
 }
 
 impl StoreInner {
@@ -128,6 +158,11 @@ impl StoreInner {
             }
         }
         self.completed.insert(batch);
+    }
+
+    fn count_io_error(&mut self) {
+        self.io_errors += 1;
+        self.obs.counter_add("store_io_errors_total", 1);
     }
 }
 
@@ -143,9 +178,8 @@ pub struct CampaignStore {
 }
 
 impl CampaignStore {
-    /// Opens the store at `dir`, creating the directory and an empty log
-    /// as needed, loading snapshot segments, replaying the log's intact
-    /// prefix, and truncating any torn tail.
+    /// Opens the store at `dir` on the real filesystem with observability
+    /// disabled — the convenience form of [`CampaignStore::open_with`].
     ///
     /// # Errors
     ///
@@ -153,19 +187,39 @@ impl CampaignStore {
     /// [`StoreError::Corrupt`] if an existing file is not a valid store
     /// artifact.
     pub fn open(dir: &Path) -> Result<CampaignStore, StoreError> {
-        std::fs::create_dir_all(dir)
+        CampaignStore::open_with(dir, Arc::new(RealIo), &Obs::disabled())
+    }
+
+    /// Opens the store at `dir` through `io`, creating the directory and
+    /// an empty log as needed, loading snapshot segments, replaying every
+    /// intact log frame, and repairing damage (truncating a torn tail,
+    /// quarantining interior corruption). Repairs are reported through
+    /// `obs` — `store_tail_truncated_total` / `store_frames_quarantined_total`
+    /// counters plus warning events — and via [`CampaignStore::open_report`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failure and
+    /// [`StoreError::Corrupt`] if an existing file is not a valid store
+    /// artifact.
+    pub fn open_with(
+        dir: &Path,
+        io: Arc<dyn StoreIo>,
+        obs: &Obs,
+    ) -> Result<CampaignStore, StoreError> {
+        io.create_dir_all(dir)
             .map_err(|e| StoreError::Io(format!("creating store dir: {e}")))?;
 
         let mut cache = EvalCache::new();
         let mut next_segment = 1u64;
-        let mut segment_paths: Vec<PathBuf> = std::fs::read_dir(dir)
+        let mut segment_paths: Vec<PathBuf> = io
+            .list_dir(dir)
             .map_err(|e| StoreError::Io(format!("listing store dir: {e}")))?
-            .filter_map(Result::ok)
-            .map(|entry| entry.path())
+            .into_iter()
             .filter(|p| {
                 p.file_name()
                     .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("snap-") && n.ends_with(".seg"))
+                    .is_some_and(is_segment_name)
             })
             .collect();
         segment_paths.sort();
@@ -179,16 +233,21 @@ impl CampaignStore {
             {
                 next_segment = next_segment.max(id + 1);
             }
-            for record in wal::read_segment(path)? {
+            for record in wal::read_segment(io.as_ref(), path)? {
                 if let StoreRecord::CacheEntry { key, value } = record {
                     cache.insert_if_absent(key, value);
                 }
             }
         }
 
-        let (wal, records) = wal::open_log(&dir.join(WAL_FILE))?;
+        let wal_path = dir.join(WAL_FILE);
+        let (wal, records, open_report) = wal::open_log(io.as_ref(), &wal_path)?;
+        report_open_damage(obs, &wal_path, &open_report);
+
         let mut inner = StoreInner {
             dir: dir.to_path_buf(),
+            io,
+            obs: obs.clone(),
             wal,
             measurements: HashMap::new(),
             staged: HashMap::new(),
@@ -196,6 +255,7 @@ impl CampaignStore {
             cache,
             next_segment,
             io_errors: 0,
+            open_report,
         };
         for record in records {
             match record {
@@ -265,7 +325,7 @@ impl CampaignStore {
             .append(&StoreRecord::Measurement(record.clone()))
             .is_err()
         {
-            inner.io_errors += 1;
+            inner.count_io_error();
             return;
         }
         inner
@@ -295,12 +355,12 @@ impl CampaignStore {
             })
             .is_err()
         {
-            inner.io_errors += 1;
+            inner.count_io_error();
             // The batch still completes in memory: the running campaign
             // must behave identically whether or not the disk cooperates.
         }
         if inner.wal.sync().is_err() {
-            inner.io_errors += 1;
+            inner.count_io_error();
         }
         inner.fold_batch_into_cache((campaign, sequence));
     }
@@ -331,8 +391,9 @@ impl CampaignStore {
         let id = inner.next_segment;
         let final_path = inner.dir.join(segment_name(id));
         let tmp_path = inner.dir.join(format!("{}.tmp", segment_name(id)));
-        wal::write_segment(&tmp_path, &records)?;
-        std::fs::rename(&tmp_path, &final_path)
+        let io = Arc::clone(&inner.io);
+        wal::write_segment(io.as_ref(), &tmp_path, &records)?;
+        io.rename(&tmp_path, &final_path)
             .map_err(|e| StoreError::Io(format!("publishing segment: {e}")))?;
         inner.next_segment = id + 1;
 
@@ -341,15 +402,14 @@ impl CampaignStore {
         // that still opens correctly (extra segments / stale WAL records
         // are merged idempotently), so they are maintenance errors, not
         // corruption.
-        let (wal, _) = wal::open_log_truncated(&inner.dir.join(WAL_FILE))?;
-        inner.wal = wal;
+        inner.wal = wal::open_log_truncated(io.as_ref(), &inner.dir.join(WAL_FILE))?;
         inner.measurements.clear();
         inner.staged.clear();
         inner.completed.clear();
         for old in 0..id {
             let path = inner.dir.join(segment_name(old));
-            if path.exists() {
-                std::fs::remove_file(&path)
+            if io.exists(&path) {
+                io.remove_file(&path)
                     .map_err(|e| StoreError::Io(format!("removing old segment: {e}")))?;
             }
         }
@@ -361,7 +421,7 @@ impl CampaignStore {
     pub fn sync(&self) {
         let mut inner = self.lock();
         if inner.wal.sync().is_err() {
-            inner.io_errors += 1;
+            inner.count_io_error();
         }
     }
 
@@ -377,11 +437,151 @@ impl CampaignStore {
         self.lock().io_errors
     }
 
+    /// What the open-time scan found and repaired.
+    #[must_use]
+    pub fn open_report(&self) -> OpenReport {
+        self.lock().open_report
+    }
+
     /// Number of journaled measurements currently replayable.
     #[must_use]
     pub fn journaled_measurements(&self) -> usize {
         self.lock().measurements.len()
     }
+}
+
+/// Reports open-time repairs through the obs counters and warning
+/// events shared by [`CampaignStore::open_with`] and [`fsck`].
+fn report_open_damage(obs: &Obs, wal_path: &Path, report: &OpenReport) {
+    if report.tail_truncated_bytes > 0 {
+        obs.counter_add("store_tail_truncated_total", 1);
+        obs.counter_add(
+            "store_tail_truncated_bytes_total",
+            report.tail_truncated_bytes,
+        );
+        obs.emit(|| {
+            Event::new("store_tail_truncated")
+                .with("path", wal_path.display().to_string())
+                .with("bytes", report.tail_truncated_bytes)
+        });
+    }
+    if report.quarantined_frames > 0 {
+        obs.counter_add("store_frames_quarantined_total", report.quarantined_frames);
+        obs.counter_add("store_quarantined_bytes_total", report.quarantined_bytes);
+        obs.emit(|| {
+            Event::new("store_frames_quarantined")
+                .with("path", wal_path.display().to_string())
+                .with("frames", report.quarantined_frames)
+                .with("bytes", report.quarantined_bytes)
+        });
+    }
+}
+
+/// What [`fsck`] found (and, with `repair`, fixed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// Intact records currently replayable from the log.
+    pub wal_records: u64,
+    /// Damaged interior frames in the log (moved to the sidecar when
+    /// repairing).
+    pub quarantined_frames: u64,
+    /// Bytes those frames occupy.
+    pub quarantined_bytes: u64,
+    /// Torn-tail bytes past the last recoverable frame.
+    pub tail_truncated_bytes: u64,
+    /// Snapshot segments that parse completely.
+    pub segments_ok: u64,
+    /// Snapshot segments with bad magic or damaged frames. Segments are
+    /// immutable, so damage in one is data loss fsck can report but not
+    /// repair; the shard merge salvages their intact frames.
+    pub segments_damaged: u64,
+    /// Entries already in the quarantine sidecar before this check.
+    pub sidecar_entries: u64,
+    /// Whether a repair pass rewrote the log.
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// Whether the store shows no damage at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_frames == 0 && self.tail_truncated_bytes == 0 && self.segments_damaged == 0
+    }
+}
+
+/// Checks the store at `dir` for damage. With `repair == false` this is
+/// a pure read-only scan; with `repair == true` the write-ahead log is
+/// additionally run through the normal open path, which quarantines
+/// interior damage and truncates any torn tail (damaged segments are
+/// reported either way but never rewritten). Damage found is also
+/// reported through `obs` exactly as [`CampaignStore::open_with`] would.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure and
+/// [`StoreError::Corrupt`] when the log file exists but is not a
+/// campaign log at all (wrong magic).
+pub fn fsck(
+    dir: &Path,
+    io: &dyn StoreIo,
+    repair: bool,
+    obs: &Obs,
+) -> Result<FsckReport, StoreError> {
+    let mut report = FsckReport::default();
+    let wal_path = dir.join(WAL_FILE);
+    report.sidecar_entries =
+        wal::read_quarantine(io, &wal::quarantine_path(&wal_path)).len() as u64;
+
+    match io.read(&wal_path) {
+        Ok(bytes) => {
+            if bytes.len() < wal::WAL_MAGIC.len()
+                || &bytes[..wal::WAL_MAGIC.len()] != wal::WAL_MAGIC
+            {
+                if !(bytes.len() < wal::WAL_MAGIC.len() && wal::WAL_MAGIC.starts_with(&bytes)) {
+                    return Err(StoreError::Corrupt(format!(
+                        "{} is not a campaign log (bad magic)",
+                        wal_path.display()
+                    )));
+                }
+                report.tail_truncated_bytes = bytes.len() as u64;
+            } else {
+                let scan = wal::scan_body(&bytes[wal::WAL_MAGIC.len()..]);
+                report.wal_records = scan.records.len() as u64;
+                report.quarantined_frames = scan.quarantined.len() as u64;
+                report.quarantined_bytes = scan.quarantined_bytes();
+                report.tail_truncated_bytes = scan.tail_discarded as u64;
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::Io(format!("reading log: {e}"))),
+    }
+
+    let mut segment_paths: Vec<PathBuf> = io
+        .list_dir(dir)
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(is_segment_name)
+        })
+        .collect();
+    segment_paths.sort();
+    for path in &segment_paths {
+        match wal::scan_segment_lenient(io, path)? {
+            Some(scan) if scan.is_clean() => report.segments_ok += 1,
+            _ => report.segments_damaged += 1,
+        }
+    }
+
+    if repair && (report.quarantined_frames > 0 || report.tail_truncated_bytes > 0) {
+        // The normal open path *is* the repair: it quarantines interior
+        // damage, rebuilds the log, and truncates the torn tail.
+        let (_wal, _records, open_report) = wal::open_log(io, &wal_path)?;
+        report_open_damage(obs, &wal_path, &open_report);
+        report.repaired = !open_report.is_clean();
+    }
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -429,6 +629,7 @@ mod tests {
         assert_eq!(store.lookup_slot(1, 0, 1).unwrap().key, 101);
         assert!(store.lookup_slot(1, 0, 2).is_none());
         assert!(store.lookup_slot(2, 0, 0).is_none());
+        assert!(store.open_report().is_clean());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -519,5 +720,95 @@ mod tests {
         // Known FNV-1a vector: hash of the empty string is the offset basis.
         assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
         assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn quarantined_damage_is_counted_and_survivors_replay() {
+        let dir = temp_dir("quarcount");
+        {
+            let store = CampaignStore::open(&dir).unwrap();
+            for slot in 0..4u64 {
+                store.append_measurement(&measurement(1, 0, slot, 100 + slot, slot as f64));
+            }
+            store.end_batch(1, 0, 4);
+        }
+        // Corrupt the second frame's payload.
+        let wal_path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        let first_frame =
+            wal::encode_frame(&StoreRecord::Measurement(measurement(1, 0, 0, 100, 0.0))).len();
+        bytes[wal::WAL_MAGIC.len() + first_frame + wal::FRAME_HEADER_LEN + 3] ^= 0x10;
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        let obs = Obs::metrics_only();
+        let store = CampaignStore::open_with(&dir, Arc::new(RealIo), &obs).unwrap();
+        assert_eq!(store.open_report().quarantined_frames, 1);
+        assert_eq!(obs.metrics().counter("store_frames_quarantined_total"), 1);
+        // Slots 0, 2, 3 survive; slot 1 was quarantined away.
+        assert!(store.lookup_slot(1, 0, 0).is_some());
+        assert!(store.lookup_slot(1, 0, 1).is_none());
+        assert!(store.lookup_slot(1, 0, 2).is_some());
+        assert!(store.lookup_slot(1, 0, 3).is_some());
+        // Sidecar exists and holds the damaged frame.
+        assert!(dir.join(QUARANTINE_FILE).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tail_truncation_is_counted() {
+        let dir = temp_dir("tailcount");
+        {
+            let store = CampaignStore::open(&dir).unwrap();
+            store.append_measurement(&measurement(1, 0, 0, 100, 5.0));
+            store.sync();
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let bytes = std::fs::read(&wal_path).unwrap();
+        std::fs::write(&wal_path, &bytes[..bytes.len() - 3]).unwrap();
+        // The whole partial frame is the torn tail, not just the 3 bytes
+        // chopped off.
+        let torn = (bytes.len() - 3 - wal::WAL_MAGIC.len()) as u64;
+        let obs = Obs::metrics_only();
+        let store = CampaignStore::open_with(&dir, Arc::new(RealIo), &obs).unwrap();
+        assert_eq!(store.open_report().tail_truncated_bytes, torn);
+        assert_eq!(obs.metrics().counter("store_tail_truncated_total"), 1);
+        assert_eq!(
+            obs.metrics().counter("store_tail_truncated_bytes_total"),
+            torn
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fsck_reports_and_repairs() {
+        let dir = temp_dir("fsck");
+        {
+            let store = CampaignStore::open(&dir).unwrap();
+            for slot in 0..3u64 {
+                store.append_measurement(&measurement(1, 0, slot, 100 + slot, slot as f64));
+            }
+            store.end_batch(1, 0, 3);
+        }
+        let wal_path = dir.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal_path).unwrap();
+        bytes[wal::WAL_MAGIC.len() + wal::FRAME_HEADER_LEN + 1] ^= 0x08;
+        std::fs::write(&wal_path, &bytes).unwrap();
+
+        // Report mode finds the damage and mutates nothing.
+        let before = std::fs::read(&wal_path).unwrap();
+        let report = fsck(&dir, &RealIo, false, &Obs::disabled()).unwrap();
+        assert_eq!(report.quarantined_frames, 1);
+        assert!(!report.is_clean());
+        assert!(!report.repaired);
+        assert_eq!(std::fs::read(&wal_path).unwrap(), before);
+
+        // Repair mode quarantines and leaves a clean store behind.
+        let report = fsck(&dir, &RealIo, true, &Obs::disabled()).unwrap();
+        assert!(report.repaired);
+        let report = fsck(&dir, &RealIo, false, &Obs::disabled()).unwrap();
+        assert!(report.is_clean());
+        assert_eq!(report.wal_records, 3); // 2 measurements + 1 batch end
+        assert_eq!(report.sidecar_entries, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

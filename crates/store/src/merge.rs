@@ -1,0 +1,487 @@
+//! Fault-tolerant multi-shard campaign merge.
+//!
+//! The distributed campaign fabric splits one campaign's slots across
+//! nodes; each node journals its measurements into its own store
+//! directory (a *shard*). [`merge_campaigns`] combines any number of
+//! shards into one fresh store that replays exactly as if a single node
+//! had measured every record, with three contractual properties:
+//!
+//! * **Order-invariant** — the merged log is written in one canonical
+//!   order (measurements sorted by `(campaign, sequence, slot)`, then
+//!   batch markers, then cache entries), so permuting the shard list
+//!   yields byte-identical output.
+//! * **Idempotent** — a shard merged twice, or a merged store re-merged
+//!   with its own inputs, contributes nothing new: identical records
+//!   dedup by key, and the count is reported, not duplicated.
+//! * **Damage-tolerant** — shards are read with the same lenient scan
+//!   the write-ahead log uses on open ([`crate::wal::scan_body`]), so a
+//!   torn tail or a quarantined frame in any subset of shards reduces
+//!   coverage (those slots get re-measured) without failing the merge.
+//!   Shards are never mutated; all salvage happens in memory.
+//!
+//! What the merge *refuses* is disagreement between intact records: two
+//! shards claiming different results for the same `(campaign, sequence,
+//! slot)`, different lengths for the same batch, or a campaign
+//! fingerprint outside the expected one. Those are not storage damage —
+//! checksummed frames survived — but evidence the inputs are not shards
+//! of the same deterministic campaign, and silently picking a winner
+//! would forfeit the bit-identical replay guarantee.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::io::{RealIo, StoreIo};
+use crate::record::StoreRecord;
+use crate::wal;
+use crate::{StoreError, WAL_FILE};
+
+/// What a lenient, read-only scan of one shard found.
+#[derive(Debug, Default)]
+pub struct ShardScan {
+    /// Every intact record, log order (write-ahead log first, then
+    /// segments in name order).
+    pub records: Vec<StoreRecord>,
+    /// Damaged interior spans skipped in the shard's log.
+    pub quarantined_frames: u64,
+    /// Torn-tail bytes ignored at the end of the shard's log.
+    pub tail_truncated_bytes: u64,
+    /// Snapshot segments that were damaged (their intact frames are
+    /// still salvaged).
+    pub damaged_segments: u64,
+}
+
+impl ShardScan {
+    /// Whether the shard read back without any damage.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_frames == 0 && self.tail_truncated_bytes == 0 && self.damaged_segments == 0
+    }
+}
+
+/// Reads one shard directory leniently and without mutating it: intact
+/// frames are returned, damage is counted. The write-ahead log may be
+/// absent (a segments-only shard) or torn; segments with bad frames
+/// contribute their intact prefix.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure and
+/// [`StoreError::Corrupt`] when the log file exists but was never a
+/// campaign log at all (wrong magic) — that is a caller error, not
+/// crash damage.
+pub fn read_shard(dir: &Path, io: &dyn StoreIo) -> Result<ShardScan, StoreError> {
+    let mut scan = ShardScan::default();
+    let wal_path = dir.join(WAL_FILE);
+    match io.read(&wal_path) {
+        Ok(bytes) => {
+            if bytes.len() >= wal::WAL_MAGIC.len()
+                && &bytes[..wal::WAL_MAGIC.len()] == wal::WAL_MAGIC
+            {
+                let body = wal::scan_body(&bytes[wal::WAL_MAGIC.len()..]);
+                scan.quarantined_frames = body.quarantined.len() as u64;
+                scan.tail_truncated_bytes = body.tail_discarded as u64;
+                scan.records = body.records;
+            } else if bytes.len() < wal::WAL_MAGIC.len() && wal::WAL_MAGIC.starts_with(&bytes) {
+                // Torn magic: an empty shard that crashed at birth.
+                scan.tail_truncated_bytes = bytes.len() as u64;
+            } else {
+                return Err(StoreError::Corrupt(format!(
+                    "{} is not a campaign log (bad magic)",
+                    wal_path.display()
+                )));
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+        Err(e) => return Err(StoreError::Io(format!("reading shard log: {e}"))),
+    }
+
+    let mut segment_paths: Vec<PathBuf> = io
+        .list_dir(dir)
+        .map_err(|e| StoreError::Io(format!("listing shard dir: {e}")))?
+        .into_iter()
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("snap-") && n.ends_with(".seg"))
+        })
+        .collect();
+    segment_paths.sort();
+    for path in &segment_paths {
+        match wal::scan_segment_lenient(io, path)? {
+            Some(body) => {
+                if !body.is_clean() {
+                    scan.damaged_segments += 1;
+                }
+                scan.records.extend(body.records);
+            }
+            None => scan.damaged_segments += 1,
+        }
+    }
+    Ok(scan)
+}
+
+/// Summary of one merge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MergeReport {
+    /// Shards read.
+    pub shards: u64,
+    /// Distinct measurements in the merged store.
+    pub measurements: u64,
+    /// Distinct completed-batch markers in the merged store.
+    pub batch_ends: u64,
+    /// Distinct bare cache entries in the merged store.
+    pub cache_entries: u64,
+    /// Records dropped because an identical record was already merged.
+    pub duplicates: u64,
+    /// Cache entries that collided on a key with different values; the
+    /// smaller value-bits win deterministically (see module docs).
+    pub cache_conflicts: u64,
+    /// Shards that showed damage (torn, quarantined, or bad segments).
+    pub damaged_shards: u64,
+    /// Damaged interior frames skipped across all shards.
+    pub quarantined_frames: u64,
+    /// Torn-tail bytes ignored across all shards.
+    pub tail_truncated_bytes: u64,
+}
+
+/// Merges shard stores into a fresh store at `dest` using the real
+/// filesystem — the convenience form of [`merge_campaigns_with`].
+///
+/// # Errors
+///
+/// See [`merge_campaigns_with`].
+pub fn merge_campaigns(shards: &[PathBuf], dest: &Path) -> Result<MergeReport, StoreError> {
+    merge_campaigns_with(shards, dest, &RealIo, None)
+}
+
+/// Merges shard stores into a fresh store at `dest`.
+///
+/// Records are dedup-merged keyed by `(campaign, sequence, slot)` (and
+/// batch / cache-key identity), written in one canonical order so the
+/// output is invariant under shard permutation and re-merge. With
+/// `expect_campaign`, any measurement or batch marker for a different
+/// campaign fingerprint is rejected. Shards are only read; `dest` must
+/// not already contain a campaign log.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure and
+/// [`StoreError::Corrupt`] when `dest` already holds a log, a shard is
+/// not a store at all, intact records disagree, or a campaign
+/// fingerprint falls outside `expect_campaign`.
+pub fn merge_campaigns_with(
+    shards: &[PathBuf],
+    dest: &Path,
+    io: &dyn StoreIo,
+    expect_campaign: Option<u64>,
+) -> Result<MergeReport, StoreError> {
+    let dest_wal = dest.join(WAL_FILE);
+    if io.exists(&dest_wal) {
+        return Err(StoreError::Corrupt(format!(
+            "merge destination {} already holds a campaign log",
+            dest.display()
+        )));
+    }
+
+    let mut report = MergeReport {
+        shards: shards.len() as u64,
+        ..MergeReport::default()
+    };
+    let mut measurements: BTreeMap<(u64, u64, u64), StoreRecord> = BTreeMap::new();
+    let mut batch_ends: BTreeMap<(u64, u64), StoreRecord> = BTreeMap::new();
+    let mut cache_entries: BTreeMap<u64, u64> = BTreeMap::new();
+
+    for shard in shards {
+        let scan = read_shard(shard, io)?;
+        if !scan.is_clean() {
+            report.damaged_shards += 1;
+        }
+        report.quarantined_frames += scan.quarantined_frames;
+        report.tail_truncated_bytes += scan.tail_truncated_bytes;
+        for record in scan.records {
+            match record {
+                StoreRecord::Measurement(ref m) => {
+                    if let Some(expected) = expect_campaign {
+                        if m.campaign != expected {
+                            return Err(StoreError::Corrupt(format!(
+                                "shard {} holds campaign {:016x}, expected {:016x}",
+                                shard.display(),
+                                m.campaign,
+                                expected
+                            )));
+                        }
+                    }
+                    let key = (m.campaign, m.sequence, m.slot);
+                    match measurements.get(&key) {
+                        None => {
+                            measurements.insert(key, record);
+                        }
+                        Some(existing) if *existing == record => report.duplicates += 1,
+                        Some(_) => {
+                            return Err(StoreError::Corrupt(format!(
+                                "shard {} disagrees on campaign {:016x} batch {} slot {}",
+                                shard.display(),
+                                key.0,
+                                key.1,
+                                key.2
+                            )));
+                        }
+                    }
+                }
+                StoreRecord::BatchEnd {
+                    campaign, sequence, ..
+                } => {
+                    if let Some(expected) = expect_campaign {
+                        if campaign != expected {
+                            return Err(StoreError::Corrupt(format!(
+                                "shard {} holds campaign {campaign:016x}, expected {expected:016x}",
+                                shard.display()
+                            )));
+                        }
+                    }
+                    match batch_ends.get(&(campaign, sequence)) {
+                        None => {
+                            batch_ends.insert((campaign, sequence), record);
+                        }
+                        Some(existing) if *existing == record => report.duplicates += 1,
+                        Some(_) => {
+                            return Err(StoreError::Corrupt(format!(
+                                "shard {} disagrees on batch ({campaign:016x}, {sequence}) length",
+                                shard.display()
+                            )));
+                        }
+                    }
+                }
+                StoreRecord::CacheEntry { key, value } => {
+                    let bits = value.to_bits();
+                    match cache_entries.get(&key) {
+                        None => {
+                            cache_entries.insert(key, bits);
+                        }
+                        Some(&existing) if existing == bits => report.duplicates += 1,
+                        Some(&existing) => {
+                            // Two independently compacted shards can cache
+                            // the same canonical key from different slots;
+                            // keep the smaller bits so the choice does not
+                            // depend on shard order.
+                            report.cache_conflicts += 1;
+                            cache_entries.insert(key, existing.min(bits));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    report.measurements = measurements.len() as u64;
+    report.batch_ends = batch_ends.len() as u64;
+    report.cache_entries = cache_entries.len() as u64;
+
+    // One canonical byte stream: measurements first so every batch's
+    // slots are staged before its BatchEnd folds them into the cache on
+    // replay, then bare cache entries. BTreeMap iteration fixes the
+    // order regardless of input permutation.
+    io.create_dir_all(dest)
+        .map_err(|e| StoreError::Io(format!("creating merge destination: {e}")))?;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(wal::WAL_MAGIC);
+    for record in measurements.values() {
+        buf.extend_from_slice(&wal::encode_frame(record));
+    }
+    for record in batch_ends.values() {
+        buf.extend_from_slice(&wal::encode_frame(record));
+    }
+    for (&key, &bits) in &cache_entries {
+        buf.extend_from_slice(&wal::encode_frame(&StoreRecord::CacheEntry {
+            key,
+            value: f64::from_bits(bits),
+        }));
+    }
+    let tmp = dest.join("campaign.wal.tmp");
+    io.write(&tmp, &buf)
+        .map_err(|e| StoreError::Io(format!("writing merged log: {e}")))?;
+    io.rename(&tmp, &dest_wal)
+        .map_err(|e| StoreError::Io(format!("publishing merged log: {e}")))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::MeasurementRecord;
+    use crate::CampaignStore;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("optassign-merge-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn measurement(campaign: u64, slot: u64, key: u64, value: f64) -> MeasurementRecord {
+        MeasurementRecord {
+            campaign,
+            sequence: 0,
+            slot,
+            key,
+            value,
+            attempts: 1,
+            retries: 0,
+            redrawn: 0,
+            contexts: vec![slot as u32],
+        }
+    }
+
+    fn build_shard(dir: &Path, campaign: u64, slots: &[u64]) {
+        let store = CampaignStore::open(dir).unwrap();
+        for &slot in slots {
+            store.append_measurement(&measurement(campaign, slot, 1000 + slot, slot as f64));
+        }
+        store.sync();
+    }
+
+    #[test]
+    fn merge_is_permutation_invariant_and_idempotent() {
+        let root = temp_dir("perm");
+        let a = root.join("a");
+        let b = root.join("b");
+        let c = root.join("c");
+        build_shard(&a, 7, &[0, 1]);
+        build_shard(&b, 7, &[2, 3]);
+        build_shard(&c, 7, &[1, 4]); // overlaps shard a on slot 1
+
+        let out1 = root.join("m1");
+        let out2 = root.join("m2");
+        let r1 = merge_campaigns(&[a.clone(), b.clone(), c.clone()], &out1).unwrap();
+        let r2 = merge_campaigns(&[c.clone(), a.clone(), b.clone()], &out2).unwrap();
+        let bytes1 = std::fs::read(out1.join(WAL_FILE)).unwrap();
+        let bytes2 = std::fs::read(out2.join(WAL_FILE)).unwrap();
+        assert_eq!(bytes1, bytes2);
+        assert_eq!(r1.measurements, 5);
+        assert_eq!(r1.duplicates, 1);
+        assert_eq!(r1.measurements, r2.measurements);
+
+        // Re-merging the merged store with its own inputs adds nothing.
+        let out3 = root.join("m3");
+        let r3 = merge_campaigns(&[out1.clone(), a, b, c], &out3).unwrap();
+        assert_eq!(std::fs::read(out3.join(WAL_FILE)).unwrap(), bytes1);
+        assert_eq!(r3.measurements, 5);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merged_store_replays_all_shards() {
+        let root = temp_dir("replay");
+        let a = root.join("a");
+        let b = root.join("b");
+        build_shard(&a, 9, &[0, 2]);
+        build_shard(&b, 9, &[1]);
+        let out = root.join("merged");
+        merge_campaigns(&[a, b], &out).unwrap();
+        let store = CampaignStore::open(&out).unwrap();
+        for slot in 0..3u64 {
+            assert_eq!(store.lookup_slot(9, 0, slot).unwrap().value, slot as f64);
+        }
+        assert!(store.open_report().is_clean());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn damaged_shards_are_tolerated_without_mutation() {
+        let root = temp_dir("damage");
+        let a = root.join("a");
+        let b = root.join("b");
+        build_shard(&a, 3, &[0, 1, 2]);
+        build_shard(&b, 3, &[3, 4]);
+        // Corrupt shard a's middle frame and tear shard b's tail.
+        let wal_a = a.join(WAL_FILE);
+        let mut bytes = std::fs::read(&wal_a).unwrap();
+        let frame = wal::encode_frame(&StoreRecord::Measurement(measurement(3, 0, 1000, 0.0)));
+        bytes[wal::WAL_MAGIC.len() + frame.len() + wal::FRAME_HEADER_LEN + 1] ^= 0x20;
+        std::fs::write(&wal_a, &bytes).unwrap();
+        let shard_a_damaged = std::fs::read(&wal_a).unwrap();
+        let wal_b = b.join(WAL_FILE);
+        let full = std::fs::read(&wal_b).unwrap();
+        std::fs::write(&wal_b, &full[..full.len() - 5]).unwrap();
+        // Shard b's entire partial last frame becomes the torn tail.
+        let torn = (frame.len() - 5) as u64;
+
+        let out = root.join("merged");
+        let report = merge_campaigns(&[a.clone(), b.clone()], &out).unwrap();
+        assert_eq!(report.damaged_shards, 2);
+        assert_eq!(report.quarantined_frames, 1);
+        assert_eq!(report.tail_truncated_bytes, torn);
+        // Slots 0 and 2 of shard a survive (1 was corrupted); slot 3 of
+        // shard b survives (4 was torn off).
+        assert_eq!(report.measurements, 3);
+        let store = CampaignStore::open(&out).unwrap();
+        assert!(store.lookup_slot(3, 0, 0).is_some());
+        assert!(store.lookup_slot(3, 0, 1).is_none());
+        assert!(store.lookup_slot(3, 0, 2).is_some());
+        assert!(store.lookup_slot(3, 0, 3).is_some());
+        assert!(store.lookup_slot(3, 0, 4).is_none());
+        // The damaged shards themselves were not touched.
+        assert_eq!(std::fs::read(&wal_a).unwrap(), shard_a_damaged);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn campaign_mismatch_and_conflicts_are_rejected() {
+        let root = temp_dir("reject");
+        let a = root.join("a");
+        let b = root.join("b");
+        build_shard(&a, 1, &[0]);
+        build_shard(&b, 2, &[0]);
+        let out = root.join("merged");
+        let err =
+            merge_campaigns_with(&[a.clone(), b.clone()], &out, &RealIo, Some(1)).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+
+        // Two shards disagreeing on the same slot are refused outright.
+        let c = root.join("c");
+        let store = CampaignStore::open(&c).unwrap();
+        store.append_measurement(&measurement(1, 0, 1000, 99.0));
+        store.sync();
+        drop(store);
+        let out2 = root.join("merged2");
+        let err = merge_campaigns(&[a.clone(), c], &out2).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+
+        // A destination that already holds a log is refused.
+        let out3 = root.join("merged3");
+        merge_campaigns(std::slice::from_ref(&a), &out3).unwrap();
+        let err = merge_campaigns(&[a], &out3).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt(_)));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn batch_ends_and_cache_entries_merge_canonically() {
+        let root = temp_dir("batches");
+        let a = root.join("a");
+        let b = root.join("b");
+        {
+            let store = CampaignStore::open(&a).unwrap();
+            store.append_measurement(&measurement(5, 0, 1000, 1.0));
+            store.append_measurement(&measurement(5, 1, 1001, 2.0));
+            store.end_batch(5, 0, 2);
+        }
+        {
+            let store = CampaignStore::open(&b).unwrap();
+            store.append_measurement(&measurement(5, 0, 1000, 1.0));
+            store.append_measurement(&measurement(5, 1, 1001, 2.0));
+            store.end_batch(5, 0, 2);
+            store.compact().unwrap();
+        }
+        let out = root.join("merged");
+        let report = merge_campaigns(&[a, b], &out).unwrap();
+        assert_eq!(report.batch_ends, 1);
+        assert_eq!(report.cache_entries, 2);
+        let store = CampaignStore::open(&out).unwrap();
+        // The completed batch is visible in the cache after replay.
+        assert_eq!(store.cache_lookup(1000), Some(1.0));
+        assert_eq!(store.cache_lookup(1001), Some(2.0));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,4 +1,4 @@
-//! Crash-safe append-only log framing.
+//! Crash-safe append-only log framing, with quarantine-based repair.
 //!
 //! A log file is an 8-byte magic followed by a sequence of frames:
 //!
@@ -6,25 +6,29 @@
 //! [len: u32 LE] [crc: u64 LE] [payload: len bytes]
 //! ```
 //!
-//! `crc` is FNV-1a 64 over the payload. The only mutation ever applied to
-//! a live log is appending whole frames, so the sole corruption mode a
-//! crash can produce is a torn tail: a final frame whose header or payload
-//! was only partially written. [`open_log`] truncates the file back to
-//! the last frame boundary before the first damaged frame. Damage before
-//! the tail (bit rot, manual editing) is handled the same way — the scan
-//! keeps the intact prefix and drops the rest. That is safe here because
-//! the log is a pure accelerator: campaigns re-derive any lost
-//! measurement deterministically, so discarding suspect frames can slow a
-//! resume down but never change its result.
+//! `crc` is FNV-1a 64 over the payload. The only mutation ever applied
+//! to a live log is appending whole frames, so a *crash* can only leave
+//! a torn tail — but disks also rot and writes can be silently
+//! corrupted (see [`crate::io::FaultyIo`]), so [`open_log`] no longer
+//! assumes damage implies tail. The scan walks frame by frame; on a bad
+//! frame it searches forward for the next position that parses as an
+//! intact frame (the checksum makes a false resync astronomically
+//! unlikely) and **quarantines** the damaged span into a
+//! `campaign.quarantine` sidecar instead of discarding everything after
+//! it. Only when no resync point exists is the remainder treated as a
+//! torn tail and truncated. Either repair is safe because the log is a
+//! pure accelerator: campaigns re-derive any lost measurement
+//! deterministically, so a quarantined frame costs a re-measurement,
+//! never a wrong answer.
 //!
-//! Snapshot segments produced by compaction reuse the same framing with a
-//! different magic; segments are immutable, so a bad frame anywhere in a
-//! segment is an error, never a truncation.
+//! Snapshot segments produced by compaction reuse the same framing with
+//! a different magic; segments are immutable, so a bad frame anywhere in
+//! a segment is an error under [`read_segment`], while fsck and the
+//! shard merge use [`scan_body`] to salvage what is intact.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
+use crate::io::{StoreFile, StoreIo};
 use crate::record::StoreRecord;
 use crate::{fnv1a64, StoreError};
 
@@ -32,6 +36,8 @@ use crate::{fnv1a64, StoreError};
 pub const WAL_MAGIC: &[u8; 8] = b"OASTWAL1";
 /// Magic prefix of an immutable snapshot segment.
 pub const SEG_MAGIC: &[u8; 8] = b"OASTSEG1";
+/// Magic prefix of the quarantine sidecar.
+pub const QUARANTINE_MAGIC: &[u8; 8] = b"OASTQAR1";
 
 /// Bytes of frame overhead preceding each payload (u32 length + u64 crc).
 pub const FRAME_HEADER_LEN: usize = 12;
@@ -56,32 +62,102 @@ pub fn encode_frame(record: &StoreRecord) -> Vec<u8> {
     frame
 }
 
-/// Splits a byte buffer (already stripped of its magic) into frame
-/// payloads. Returns the decoded records plus the byte offset (relative to
-/// the start of `bytes`) just past the last intact frame. A torn or
-/// corrupt frame stops the scan; `strict` decides whether what remains is
-/// an error (segments) or a tail to truncate (the WAL).
-fn scan_frames(bytes: &[u8], strict: bool) -> Result<(Vec<StoreRecord>, usize), StoreError> {
+/// Outcome of a lenient frame scan over a log body (magic stripped).
+///
+/// Byte ranges are offsets into the scanned body. `kept` and
+/// `quarantined` partition the prefix before `tail_discarded`; records
+/// appear in log order.
+#[derive(Debug, Default)]
+pub struct BodyScan {
+    /// Records decoded from intact frames, in log order.
+    pub records: Vec<StoreRecord>,
+    /// Byte ranges of the intact frames backing `records`.
+    pub kept: Vec<(usize, usize)>,
+    /// Byte ranges of damaged-but-bounded spans: corrupt frames the scan
+    /// skipped by resyncing on a later intact frame, plus intact frames
+    /// whose payloads do not decode.
+    pub quarantined: Vec<(usize, usize)>,
+    /// Bytes past the last recoverable frame — a torn tail with no
+    /// resync point after it.
+    pub tail_discarded: usize,
+}
+
+impl BodyScan {
+    /// Total bytes in quarantined spans.
+    #[must_use]
+    pub fn quarantined_bytes(&self) -> u64 {
+        self.quarantined
+            .iter()
+            .map(|&(start, end)| (end - start) as u64)
+            .sum()
+    }
+
+    /// Whether the body parsed without any damage.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined.is_empty() && self.tail_discarded == 0
+    }
+}
+
+/// Leniently scans a log body: keeps every intact frame, quarantines
+/// damaged spans it can bound by resyncing on a later intact frame, and
+/// reports the unrecoverable tail. Never fails — damage becomes data.
+#[must_use]
+pub fn scan_body(bytes: &[u8]) -> BodyScan {
+    let mut scan = BodyScan::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match frame_at(bytes, pos) {
+            Some((Ok(record), next)) => {
+                scan.records.push(record);
+                scan.kept.push((pos, next));
+                pos = next;
+            }
+            Some((Err(_), next)) => {
+                // Transport-intact but undecodable: the checksum passed,
+                // the record layout did not. Quarantine just this frame.
+                scan.quarantined.push((pos, next));
+                pos = next;
+            }
+            None => {
+                // Damaged here. Search forward for the next offset that
+                // parses as an intact frame; a 64-bit checksum makes a
+                // false resync on garbage astronomically unlikely.
+                let resync = (pos + 1..bytes.len()).find(|&cand| frame_at(bytes, cand).is_some());
+                match resync {
+                    Some(cand) => {
+                        scan.quarantined.push((pos, cand));
+                        pos = cand;
+                    }
+                    None => {
+                        scan.tail_discarded = bytes.len() - pos;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    scan
+}
+
+/// Strictly scans a log body: any damage is an error (segments).
+fn scan_strict(bytes: &[u8]) -> Result<Vec<StoreRecord>, StoreError> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     while pos < bytes.len() {
-        let intact = frame_at(bytes, pos);
-        match intact {
+        match frame_at(bytes, pos) {
             Some((record, next)) => {
                 records.push(record?);
                 pos = next;
             }
             None => {
-                if strict {
-                    return Err(StoreError::Corrupt(format!(
-                        "torn or corrupt frame at offset {pos} of immutable segment"
-                    )));
-                }
-                break;
+                return Err(StoreError::Corrupt(format!(
+                    "torn or corrupt frame at offset {pos} of immutable segment"
+                )));
             }
         }
     }
-    Ok((records, pos))
+    Ok(records)
 }
 
 /// Tries to read one intact frame at `pos`. Returns `None` if the frame is
@@ -110,7 +186,7 @@ fn frame_at(bytes: &[u8], pos: usize) -> Option<(Result<StoreRecord, StoreError>
 
 /// An open, append-only log file.
 pub struct Wal {
-    file: File,
+    file: Box<dyn StoreFile>,
 }
 
 impl Wal {
@@ -123,7 +199,7 @@ impl Wal {
     pub fn append(&mut self, record: &StoreRecord) -> Result<(), StoreError> {
         let frame = encode_frame(record);
         self.file
-            .write_all(&frame)
+            .append(&frame)
             .map_err(|e| io_err("appending log frame", &e))
     }
 
@@ -134,47 +210,142 @@ impl Wal {
     ///
     /// Returns [`StoreError::Io`] if the sync fails.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.file.sync_data().map_err(|e| io_err("syncing log", &e))
+        self.file.sync().map_err(|e| io_err("syncing log", &e))
     }
 }
 
-/// Opens (creating if absent) the write-ahead log at `path`, replaying its
-/// intact prefix and truncating the file at the first damaged frame (a
-/// torn tail left by a crash, or anything worse).
+/// What [`open_log`] found and did about damage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Damaged frames moved to the quarantine sidecar.
+    pub quarantined_frames: u64,
+    /// Bytes those frames occupied.
+    pub quarantined_bytes: u64,
+    /// Torn-tail bytes truncated off the end.
+    pub tail_truncated_bytes: u64,
+}
+
+impl OpenReport {
+    /// Whether the open found no damage at all.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.quarantined_frames == 0 && self.tail_truncated_bytes == 0
+    }
+}
+
+/// Sidecar path for a log: `campaign.wal` → `campaign.quarantine`.
+#[must_use]
+pub fn quarantine_path(log_path: &Path) -> std::path::PathBuf {
+    log_path.with_extension("quarantine")
+}
+
+/// Appends damaged spans to the quarantine sidecar, creating it (with
+/// magic) on first use. Each entry is `[offset: u64 LE] [len: u32 LE]
+/// [bytes]` where `offset` is the absolute file offset the span occupied
+/// *before* repair — forensic provenance, deliberately unchecksummed
+/// because the bytes are known-bad.
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] if the sidecar cannot be written.
+pub fn append_quarantine(
+    io: &dyn StoreIo,
+    path: &Path,
+    entries: &[(u64, &[u8])],
+) -> Result<(), StoreError> {
+    if entries.is_empty() {
+        return Ok(());
+    }
+    let fresh = !io.exists(path);
+    let mut file = io
+        .open_append(path)
+        .map_err(|e| io_err("opening quarantine sidecar", &e))?;
+    let mut buf = Vec::new();
+    if fresh {
+        buf.extend_from_slice(QUARANTINE_MAGIC);
+    }
+    for &(offset, bytes) in entries {
+        buf.extend_from_slice(&offset.to_le_bytes());
+        buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(bytes);
+    }
+    file.append(&buf)
+        .map_err(|e| io_err("appending quarantine entry", &e))?;
+    file.sync()
+        .map_err(|e| io_err("syncing quarantine sidecar", &e))
+}
+
+/// Reads the quarantine sidecar leniently: entries up to the first
+/// damage (the sidecar is itself append-only and forensic — a torn
+/// sidecar tail just means less provenance). Returns `(offset, bytes)`
+/// pairs; an absent sidecar is an empty list.
+#[must_use]
+pub fn read_quarantine(io: &dyn StoreIo, path: &Path) -> Vec<(u64, Vec<u8>)> {
+    let Ok(bytes) = io.read(path) else {
+        return Vec::new();
+    };
+    if bytes.len() < QUARANTINE_MAGIC.len() || &bytes[..QUARANTINE_MAGIC.len()] != QUARANTINE_MAGIC
+    {
+        return Vec::new();
+    }
+    let mut entries = Vec::new();
+    let mut pos = QUARANTINE_MAGIC.len();
+    while pos + 12 <= bytes.len() {
+        let mut off_buf = [0u8; 8];
+        off_buf.copy_from_slice(&bytes[pos..pos + 8]);
+        let mut len_buf = [0u8; 4];
+        len_buf.copy_from_slice(&bytes[pos + 8..pos + 12]);
+        let len = u32::from_le_bytes(len_buf) as usize;
+        let start = pos + 12;
+        let Some(slice) = bytes.get(start..start + len) else {
+            break;
+        };
+        entries.push((u64::from_le_bytes(off_buf), slice.to_vec()));
+        pos = start + len;
+    }
+    entries
+}
+
+/// Opens (creating if absent) the write-ahead log at `path`, replaying
+/// every intact frame. Damage bounded by a later intact frame is moved
+/// to the quarantine sidecar and the log is rebuilt without it (tmp +
+/// rename, so a crash mid-repair leaves the original log); a torn tail
+/// with no later frame is truncated as before. The report says which.
 ///
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] on filesystem failure and
 /// [`StoreError::Corrupt`] if the file exists but is not a log (bad
-/// magic) or an intact frame holds an undecodable record.
-pub fn open_log(path: &Path) -> Result<(Wal, Vec<StoreRecord>), StoreError> {
-    let mut file = OpenOptions::new()
-        .read(true)
-        .write(true)
-        .create(true)
-        .truncate(false)
-        .open(path)
-        .map_err(|e| io_err("opening log", &e))?;
-    let mut bytes = Vec::new();
-    file.read_to_end(&mut bytes)
-        .map_err(|e| io_err("reading log", &e))?;
+/// magic).
+pub fn open_log(
+    io: &dyn StoreIo,
+    path: &Path,
+) -> Result<(Wal, Vec<StoreRecord>, OpenReport), StoreError> {
+    let bytes = match io.read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(io_err("reading log", &e)),
+    };
 
     if bytes.is_empty() {
-        file.write_all(WAL_MAGIC)
+        let mut file = io
+            .open_append(path)
+            .map_err(|e| io_err("creating log", &e))?;
+        file.append(WAL_MAGIC)
             .map_err(|e| io_err("writing log magic", &e))?;
-        return Ok((Wal { file }, Vec::new()));
+        return Ok((Wal { file }, Vec::new(), OpenReport::default()));
     }
     if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
         // A torn write of the magic itself can only happen to an empty
         // log, so nothing is lost by starting over; anything else with a
         // wrong prefix is not our file.
         if bytes.len() < WAL_MAGIC.len() && WAL_MAGIC.starts_with(&bytes) {
-            file.set_len(0).map_err(|e| io_err("resetting log", &e))?;
-            file.seek(SeekFrom::Start(0))
-                .map_err(|e| io_err("seeking log", &e))?;
-            file.write_all(WAL_MAGIC)
-                .map_err(|e| io_err("writing log magic", &e))?;
-            return Ok((Wal { file }, Vec::new()));
+            io.write(path, WAL_MAGIC)
+                .map_err(|e| io_err("resetting log", &e))?;
+            let file = io
+                .open_append(path)
+                .map_err(|e| io_err("reopening log", &e))?;
+            return Ok((Wal { file }, Vec::new(), OpenReport::default()));
         }
         return Err(StoreError::Corrupt(format!(
             "{} is not a campaign log (bad magic)",
@@ -183,15 +354,44 @@ pub fn open_log(path: &Path) -> Result<(Wal, Vec<StoreRecord>), StoreError> {
     }
 
     let body = &bytes[WAL_MAGIC.len()..];
-    let (records, intact_len) = scan_frames(body, false)?;
-    let keep = (WAL_MAGIC.len() + intact_len) as u64;
-    if keep < bytes.len() as u64 {
-        file.set_len(keep)
+    let scan = scan_body(body);
+    let report = OpenReport {
+        quarantined_frames: scan.quarantined.len() as u64,
+        quarantined_bytes: scan.quarantined_bytes(),
+        tail_truncated_bytes: scan.tail_discarded as u64,
+    };
+
+    if !scan.quarantined.is_empty() {
+        // Sidecar first: if the rebuild below is interrupted the original
+        // log is still in place and the next open re-quarantines (the
+        // sidecar may then hold duplicate entries, which is acceptable
+        // for a forensic artifact).
+        let entries: Vec<(u64, &[u8])> = scan
+            .quarantined
+            .iter()
+            .map(|&(start, end)| ((WAL_MAGIC.len() + start) as u64, &body[start..end]))
+            .collect();
+        append_quarantine(io, &quarantine_path(path), &entries)?;
+        let mut rebuilt = Vec::with_capacity(bytes.len());
+        rebuilt.extend_from_slice(WAL_MAGIC);
+        for &(start, end) in &scan.kept {
+            rebuilt.extend_from_slice(&body[start..end]);
+        }
+        let tmp = path.with_extension("wal.tmp");
+        io.write(&tmp, &rebuilt)
+            .map_err(|e| io_err("writing repaired log", &e))?;
+        io.rename(&tmp, path)
+            .map_err(|e| io_err("publishing repaired log", &e))?;
+    } else if scan.tail_discarded > 0 {
+        let keep = (bytes.len() - scan.tail_discarded) as u64;
+        io.set_len(path, keep)
             .map_err(|e| io_err("truncating torn log tail", &e))?;
     }
-    file.seek(SeekFrom::Start(keep))
-        .map_err(|e| io_err("seeking log end", &e))?;
-    Ok((Wal { file }, records))
+
+    let file = io
+        .open_append(path)
+        .map_err(|e| io_err("reopening log", &e))?;
+    Ok((Wal { file }, scan.records, report))
 }
 
 /// Opens the write-ahead log at `path` reset to empty (magic only),
@@ -201,38 +401,48 @@ pub fn open_log(path: &Path) -> Result<(Wal, Vec<StoreRecord>), StoreError> {
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] on filesystem failure.
-pub fn open_log_truncated(path: &Path) -> Result<(Wal, Vec<StoreRecord>), StoreError> {
-    let mut file = OpenOptions::new()
-        .read(true)
-        .write(true)
-        .create(true)
-        .truncate(true)
-        .open(path)
+pub fn open_log_truncated(io: &dyn StoreIo, path: &Path) -> Result<Wal, StoreError> {
+    io.write(path, WAL_MAGIC)
         .map_err(|e| io_err("resetting log", &e))?;
-    file.write_all(WAL_MAGIC)
-        .map_err(|e| io_err("writing log magic", &e))?;
-    file.sync_data().map_err(|e| io_err("syncing log", &e))?;
-    Ok((Wal { file }, Vec::new()))
+    let file = io
+        .open_append(path)
+        .map_err(|e| io_err("reopening log", &e))?;
+    Ok(Wal { file })
 }
 
 /// Reads an immutable snapshot segment in full. Any framing defect is an
 /// error: segments are written once and never appended to, so a torn tail
-/// cannot be crash debris.
+/// cannot be crash debris. (Fsck and the shard merge use
+/// [`scan_segment_lenient`] to salvage intact frames instead.)
 ///
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] on filesystem failure and
 /// [`StoreError::Corrupt`] on bad magic or any damaged frame.
-pub fn read_segment(path: &Path) -> Result<Vec<StoreRecord>, StoreError> {
-    let bytes = std::fs::read(path).map_err(|e| io_err("reading segment", &e))?;
+pub fn read_segment(io: &dyn StoreIo, path: &Path) -> Result<Vec<StoreRecord>, StoreError> {
+    let bytes = io.read(path).map_err(|e| io_err("reading segment", &e))?;
     if bytes.len() < SEG_MAGIC.len() || &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
         return Err(StoreError::Corrupt(format!(
             "{} is not a snapshot segment (bad magic)",
             path.display()
         )));
     }
-    let (records, _) = scan_frames(&bytes[SEG_MAGIC.len()..], true)?;
-    Ok(records)
+    scan_strict(&bytes[SEG_MAGIC.len()..])
+}
+
+/// Leniently reads a snapshot segment: intact frames are returned, damage
+/// is reported in the scan rather than raised. A file with the wrong
+/// magic yields `None` (it is not a segment at all).
+///
+/// # Errors
+///
+/// Returns [`StoreError::Io`] on filesystem failure.
+pub fn scan_segment_lenient(io: &dyn StoreIo, path: &Path) -> Result<Option<BodyScan>, StoreError> {
+    let bytes = io.read(path).map_err(|e| io_err("reading segment", &e))?;
+    if bytes.len() < SEG_MAGIC.len() || &bytes[..SEG_MAGIC.len()] != SEG_MAGIC {
+        return Ok(None);
+    }
+    Ok(Some(scan_body(&bytes[SEG_MAGIC.len()..])))
 }
 
 /// Writes a complete snapshot segment: magic, then one frame per record,
@@ -242,21 +452,24 @@ pub fn read_segment(path: &Path) -> Result<Vec<StoreRecord>, StoreError> {
 /// # Errors
 ///
 /// Returns [`StoreError::Io`] if any write or the final sync fails.
-pub fn write_segment(path: &Path, records: &[StoreRecord]) -> Result<(), StoreError> {
-    let mut file = File::create(path).map_err(|e| io_err("creating segment", &e))?;
+pub fn write_segment(
+    io: &dyn StoreIo,
+    path: &Path,
+    records: &[StoreRecord],
+) -> Result<(), StoreError> {
     let mut buf = Vec::with_capacity(SEG_MAGIC.len() + records.len() * 32);
     buf.extend_from_slice(SEG_MAGIC);
     for record in records {
         buf.extend_from_slice(&encode_frame(record));
     }
-    file.write_all(&buf)
-        .map_err(|e| io_err("writing segment", &e))?;
-    file.sync_data().map_err(|e| io_err("syncing segment", &e))
+    io.write(path, &buf)
+        .map_err(|e| io_err("writing segment", &e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::RealIo;
     use crate::record::MeasurementRecord;
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
@@ -284,21 +497,25 @@ mod tests {
             .collect()
     }
 
+    fn write_log(path: &std::path::Path, records: &[StoreRecord]) {
+        let (mut wal, existing, report) = open_log(&RealIo, path).unwrap();
+        assert!(existing.is_empty());
+        assert!(report.is_clean());
+        for r in records {
+            wal.append(r).unwrap();
+        }
+        wal.sync().unwrap();
+    }
+
     #[test]
     fn roundtrip_and_reopen() {
         let dir = temp_dir("roundtrip");
         let path = dir.join("campaign.wal");
         let records = sample_records(5);
-        {
-            let (mut wal, existing) = open_log(&path).unwrap();
-            assert!(existing.is_empty());
-            for r in &records {
-                wal.append(r).unwrap();
-            }
-            wal.sync().unwrap();
-        }
-        let (_, replayed) = open_log(&path).unwrap();
+        write_log(&path, &records);
+        let (_, replayed, report) = open_log(&RealIo, &path).unwrap();
         assert_eq!(replayed, records);
+        assert!(report.is_clean());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -307,13 +524,7 @@ mod tests {
         let dir = temp_dir("torn");
         let path = dir.join("campaign.wal");
         let records = sample_records(3);
-        {
-            let (mut wal, _) = open_log(&path).unwrap();
-            for r in &records {
-                wal.append(r).unwrap();
-            }
-            wal.sync().unwrap();
-        }
+        write_log(&path, &records);
         let full = std::fs::read(&path).unwrap();
         let last_frame = encode_frame(&records[2]);
         let boundary = full.len() - last_frame.len();
@@ -321,8 +532,10 @@ mod tests {
         // records; a cut at the boundary recovers them trivially.
         for cut in boundary..full.len() {
             std::fs::write(&path, &full[..cut]).unwrap();
-            let (_, replayed) = open_log(&path).unwrap();
+            let (_, replayed, report) = open_log(&RealIo, &path).unwrap();
             assert_eq!(replayed, records[..2], "cut at byte {cut}");
+            assert_eq!(report.quarantined_frames, 0, "cut at byte {cut}");
+            assert_eq!(report.tail_truncated_bytes as usize, cut - boundary);
             let len_after = std::fs::metadata(&path).unwrap().len();
             assert_eq!(len_after as usize, boundary, "cut at byte {cut}");
         }
@@ -334,54 +547,109 @@ mod tests {
         let dir = temp_dir("magic");
         let path = dir.join("campaign.wal");
         std::fs::write(&path, &WAL_MAGIC[..3]).unwrap();
-        let (_, replayed) = open_log(&path).unwrap();
+        let (_, replayed, _) = open_log(&RealIo, &path).unwrap();
         assert!(replayed.is_empty());
         // And a non-log file is rejected rather than clobbered.
         let other = dir.join("not-a-log");
         std::fs::write(&other, b"hello world, this is text").unwrap();
-        assert!(open_log(&other).is_err());
+        assert!(open_log(&RealIo, &other).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn corrupt_interior_frame_drops_the_suffix() {
+    fn corrupt_interior_frame_is_quarantined_not_fatal() {
         let dir = temp_dir("interior");
         let path = dir.join("campaign.wal");
         let records = sample_records(3);
-        {
-            let (mut wal, _) = open_log(&path).unwrap();
-            for r in &records {
-                wal.append(r).unwrap();
-            }
-            wal.sync().unwrap();
-        }
+        write_log(&path, &records);
         let mut bytes = std::fs::read(&path).unwrap();
-        // Flip a payload byte of the first frame: checksum now fails, and
-        // the scan stops there — everything after is dropped as a "tail".
-        // That silently loses two good records, which is exactly why the
-        // recovered prefix is what replay sees: the algorithm re-measures
-        // the lost slots deterministically.
+        // Flip a payload byte of the first frame: its checksum fails, the
+        // scan resyncs on frame 2, and the damaged span is quarantined —
+        // the two later records survive where the old truncate-at-first-
+        // damage policy would have dropped them.
         let flip_at = WAL_MAGIC.len() + FRAME_HEADER_LEN + 2;
         bytes[flip_at] ^= 0xFF;
         std::fs::write(&path, &bytes).unwrap();
-        let (_, replayed) = open_log(&path).unwrap();
-        assert!(replayed.is_empty());
+        let (_, replayed, report) = open_log(&RealIo, &path).unwrap();
+        assert_eq!(replayed, records[1..]);
+        assert_eq!(report.quarantined_frames, 1);
+        assert_eq!(
+            report.quarantined_bytes as usize,
+            encode_frame(&records[0]).len()
+        );
+        // The sidecar holds the damaged bytes at their original offset.
+        let entries = read_quarantine(&RealIo, &quarantine_path(&path));
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].0, WAL_MAGIC.len() as u64);
+        assert_eq!(entries[0].1.len(), encode_frame(&records[0]).len());
+        // The repaired log reopens clean with the same records.
+        let (_, replayed, report) = open_log(&RealIo, &path).unwrap();
+        assert_eq!(replayed, records[1..]);
+        assert!(report.is_clean());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
-    fn segments_are_strict() {
+    fn quarantine_repair_is_idempotent_and_appends_new_damage() {
+        let dir = temp_dir("requar");
+        let path = dir.join("campaign.wal");
+        let records = sample_records(4);
+        write_log(&path, &records);
+        let frame_len = encode_frame(&records[0]).len();
+        // Damage frame 1, repair, then damage (new) frame 2, repair again.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[WAL_MAGIC.len() + frame_len + FRAME_HEADER_LEN + 1] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed, _) = open_log(&RealIo, &path).unwrap();
+        assert_eq!(replayed.len(), 3);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[WAL_MAGIC.len() + frame_len + FRAME_HEADER_LEN + 1] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed, _) = open_log(&RealIo, &path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(read_quarantine(&RealIo, &quarantine_path(&path)).len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn undecodable_record_in_intact_frame_is_quarantined() {
+        let dir = temp_dir("undecodable");
+        let path = dir.join("campaign.wal");
+        let good = sample_records(1);
+        // A checksum-valid frame whose payload has an unknown tag.
+        let bogus_payload = vec![0xEEu8, 1, 2, 3];
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(bogus_payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(&bogus_payload).to_le_bytes());
+        frame.extend_from_slice(&bogus_payload);
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(WAL_MAGIC);
+        bytes.extend_from_slice(&frame);
+        bytes.extend_from_slice(&encode_frame(&good[0]));
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, replayed, report) = open_log(&RealIo, &path).unwrap();
+        assert_eq!(replayed, good);
+        assert_eq!(report.quarantined_frames, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_are_strict_but_lenient_scan_salvages() {
         let dir = temp_dir("segment");
         let path = dir.join("snap-000001.seg");
         let records = vec![
             StoreRecord::CacheEntry { key: 1, value: 2.0 },
             StoreRecord::CacheEntry { key: 3, value: 4.0 },
         ];
-        write_segment(&path, &records).unwrap();
-        assert_eq!(read_segment(&path).unwrap(), records);
+        write_segment(&RealIo, &path, &records).unwrap();
+        assert_eq!(read_segment(&RealIo, &path).unwrap(), records);
         let full = std::fs::read(&path).unwrap();
         std::fs::write(&path, &full[..full.len() - 1]).unwrap();
-        assert!(read_segment(&path).is_err());
+        assert!(read_segment(&RealIo, &path).is_err());
+        let scan = scan_segment_lenient(&RealIo, &path).unwrap().unwrap();
+        assert_eq!(scan.records, records[..1]);
+        assert!(!scan.is_clean());
+        assert!(scan_segment_lenient(&RealIo, &dir.join("missing")).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -148,6 +148,45 @@ mod tests {
     }
 
     #[test]
+    fn rejections_are_counted_but_not_found_is_not() {
+        let hub = Arc::new(TelemetryHub::new());
+        let obs = Obs::metrics_only();
+        let server = TelemetryServer::start("127.0.0.1:0", obs.clone(), hub).expect("bind");
+        let addr = server.addr();
+        let rejected = |obs: &Obs| obs.metrics().counter(server::REJECTED_COUNTER);
+
+        // Oversized request line: answered 431 and counted.
+        let long_target = "x".repeat(4 * 1024);
+        let (status, _) = http_get(
+            addr,
+            &format!("GET /{long_target} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+        );
+        assert_eq!(status, "HTTP/1.1 431 Request Header Fields Too Large");
+        assert_eq!(rejected(&obs), 1);
+
+        // Malformed request line: counted.
+        let (status, _) = http_get(addr, "GARBAGE\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 400 Bad Request");
+        assert_eq!(rejected(&obs), 2);
+
+        // Wrong method: counted.
+        let (status, _) = http_get(
+            addr,
+            "POST /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        );
+        assert_eq!(status, "HTTP/1.1 405 Method Not Allowed");
+        assert_eq!(rejected(&obs), 3);
+
+        // A well-formed GET for an unknown path is a 404, not a
+        // rejection, and a good request leaves the counter alone too.
+        let (status, _) = get(addr, "/nope");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(rejected(&obs), 3);
+    }
+
+    #[test]
     fn shutdown_is_idempotent_and_frees_the_port() {
         let hub = Arc::new(TelemetryHub::new());
         let mut server =

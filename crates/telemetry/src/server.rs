@@ -22,14 +22,30 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Largest request head we accept; telemetry requests are a GET line
 /// plus a handful of headers.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
-/// How long a single connection may dawdle before we drop it.
+/// Largest request *line* we accept. Routes are a dozen bytes; anything
+/// approaching this cap is garbage or abuse and is answered with `431`.
+const MAX_REQUEST_LINE_BYTES: usize = 1024;
+
+/// How long a single read or write may dawdle before we drop it.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Total wall-clock budget for reading one request head. A drip-feeding
+/// client can reset per-read timeouts forever; this deadline cannot be
+/// reset, so one connection stalls the single-threaded server for at
+/// most this long.
+const CONNECTION_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Counter bumped for every rejected request (malformed line, bad
+/// method, oversized request line, or head-read timeout). Unknown paths
+/// are *not* rejections — a `404` is the correct answer to a well-formed
+/// question — and neither is the zero-byte connect used by shutdown.
+pub const REJECTED_COUNTER: &str = "telemetry_requests_rejected_total";
 
 /// Handle to a running telemetry server. Shuts down on [`Drop`] (or an
 /// explicit [`TelemetryServer::shutdown`]); the accept thread never
@@ -101,13 +117,37 @@ fn serve(listener: &TcpListener, obs: &Obs, hub: &TelemetryHub, stop: &AtomicBoo
 }
 
 fn handle_connection(mut stream: TcpStream, obs: &Obs, hub: &TelemetryHub) {
-    let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let Some(request_line) = read_request_line(&mut stream) else {
-        return;
+    let request_line = match read_request_line(&mut stream) {
+        Head::Line(line) => line,
+        // Zero bytes sent: the shutdown self-connect (or a port probe).
+        // Nothing to answer and nothing worth counting.
+        Head::Silent => return,
+        Head::TooLong => {
+            obs.counter_add(REJECTED_COUNTER, 1);
+            drain(&mut stream);
+            respond(
+                &mut stream,
+                "431 Request Header Fields Too Large",
+                "text/plain; charset=utf-8",
+                "request line too long\n",
+            );
+            return;
+        }
+        Head::TimedOut => {
+            obs.counter_add(REJECTED_COUNTER, 1);
+            respond(
+                &mut stream,
+                "408 Request Timeout",
+                "text/plain; charset=utf-8",
+                "request timeout\n",
+            );
+            return;
+        }
     };
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
+        obs.counter_add(REJECTED_COUNTER, 1);
         respond(
             &mut stream,
             "400 Bad Request",
@@ -117,6 +157,7 @@ fn handle_connection(mut stream: TcpStream, obs: &Obs, hub: &TelemetryHub) {
         return;
     };
     if method != "GET" {
+        obs.counter_add(REJECTED_COUNTER, 1);
         respond(
             &mut stream,
             "405 Method Not Allowed",
@@ -156,24 +197,73 @@ fn handle_connection(mut stream: TcpStream, obs: &Obs, hub: &TelemetryHub) {
     }
 }
 
-/// Reads until the end of the request head (or EOF / size cap) and
-/// returns the request line.
-fn read_request_line(stream: &mut TcpStream) -> Option<String> {
+/// Discards whatever request bytes are still in flight, briefly. Closing
+/// a socket with unread input provokes a TCP reset that can destroy the
+/// rejection response before the peer reads it; consuming the leftovers
+/// first (bounded, so an abuser cannot hold the thread) keeps the close
+/// orderly.
+fn drain(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 512];
+    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+}
+
+/// Outcome of reading one request head.
+enum Head {
+    /// A complete request line arrived in time.
+    Line(String),
+    /// The peer closed (or never spoke) without sending anything.
+    Silent,
+    /// The request line outgrew [`MAX_REQUEST_LINE_BYTES`].
+    TooLong,
+    /// The head did not complete within [`CONNECTION_DEADLINE`].
+    TimedOut,
+}
+
+/// Reads until the end of the request head (or EOF / size cap / the
+/// connection deadline) and classifies what arrived.
+fn read_request_line(stream: &mut TcpStream) -> Head {
+    let start = Instant::now();
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
     loop {
-        let n = stream.read(&mut chunk).ok()?;
-        if n == 0 {
-            break;
-        }
+        // Per-read timeout shrinks toward the overall deadline so a
+        // drip-feeding client cannot extend its stay read by read.
+        let Some(remaining) = CONNECTION_DEADLINE.checked_sub(start.elapsed()) else {
+            return if buf.is_empty() {
+                Head::Silent
+            } else {
+                Head::TimedOut
+            };
+        };
+        let _ = stream.set_read_timeout(Some(remaining.min(IO_TIMEOUT)));
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(_) => {
+                return if buf.is_empty() {
+                    Head::Silent
+                } else {
+                    Head::TimedOut
+                };
+            }
+        };
         buf.extend_from_slice(&chunk[..n]);
+        if !buf[..buf.len().min(MAX_REQUEST_LINE_BYTES + 1)].contains(&b'\n')
+            && buf.len() > MAX_REQUEST_LINE_BYTES
+        {
+            return Head::TooLong;
+        }
         if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
             break;
         }
     }
     let head = String::from_utf8_lossy(&buf);
-    let line = head.lines().next()?;
-    (!line.is_empty()).then(|| line.to_string())
+    match head.lines().next() {
+        Some(line) if line.len() > MAX_REQUEST_LINE_BYTES => Head::TooLong,
+        Some(line) if !line.is_empty() => Head::Line(line.to_string()),
+        _ => Head::Silent,
+    }
 }
 
 /// Writes one complete `Connection: close` response; write failures are

@@ -120,6 +120,30 @@ if [[ "${FAST}" == "0" ]]; then
     cargo run -q --release -p optassign-bench --bin obs_report -- \
         "${METRICS_TMP}/serve.jsonl" >"${METRICS_TMP}/report2.out"
     diff "${METRICS_TMP}/report.out" "${METRICS_TMP}/report2.out"
+
+    # Chaos-fabric soak: seeded kill/corrupt/repair/merge loops under
+    # injected storage faults; the final campaign must be bit-identical
+    # to a fault-free run and the shard merge order-invariant.
+    echo "==> chaos_soak --scale smoke"
+    cargo run -q --release -p optassign-bench --bin chaos_soak -- --scale smoke \
+        2>/dev/null | grep -q '^chaos_soak: OK'
+
+    # Corrupt-then-fsck-then-resume smoke: flip one byte inside the clean
+    # checkpoint's log, repair it with store_fsck (which must quarantine
+    # the damaged frame), and resume — stdout must still match the
+    # uninterrupted run exactly.
+    echo "==> store_fsck corrupt-and-repair smoke"
+    WAL="${METRICS_TMP}/ckpt-clean/fig13-ipfwd-l1/campaign.wal"
+    printf '\xff' | dd of="${WAL}" bs=1 seek=200 count=1 conv=notrunc status=none
+    cargo run -q --release -p optassign-bench --bin store_fsck -- \
+        "${METRICS_TMP}/ckpt-clean/fig13-ipfwd-l1" --repair \
+        >"${METRICS_TMP}/fsck.out"
+    grep -q 'quarantined frames  : 1' "${METRICS_TMP}/fsck.out"
+    grep -q 'store_fsck: OK' "${METRICS_TMP}/fsck.out"
+    cargo run -q --release -p optassign-bench --bin fig13 -- \
+        --scale 0.01 --workers 2 --checkpoint "${METRICS_TMP}/ckpt-clean" --resume \
+        >"${METRICS_TMP}/repaired.out"
+    diff "${METRICS_TMP}/clean.out" "${METRICS_TMP}/repaired.out"
 fi
 
 echo "==> all checks passed"
