@@ -1,0 +1,160 @@
+//! Perf-trajectory gate over `BENCH_*.json` reports.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate <current.json> [<baseline.json>] [--threshold 0.10]
+//!            [--floor 1.0] [--strict]
+//! ```
+//!
+//! Two checks, both over the scalar-vs-batch entries a bench run emits:
+//!
+//! 1. **Floor** — every entry's batch/scalar speedup must be at least
+//!    `--floor` (default 1.0): the batched path may never be slower than
+//!    the scalar path it replaces. The speedup is measured within one
+//!    process, so it is meaningful even on noisy or throttled hosts.
+//! 2. **Trajectory** (with a baseline) — every entry's speedup must not
+//!    regress more than `--threshold` (default 0.10, i.e. 10%) below the
+//!    committed baseline's. With `--strict`, the raw `batch_ns_per_eval`
+//!    medians are held to the same threshold too; raw nanoseconds only
+//!    compare meaningfully on the machine that produced the baseline, so
+//!    strict mode is opt-in.
+//!
+//! Exits non-zero listing every violated entry.
+
+use optassign_obs::Json;
+use std::process::ExitCode;
+
+struct Entry {
+    name: String,
+    batch_ns: f64,
+    speedup: f64,
+}
+
+fn load(path: &str) -> Result<Vec<Entry>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let doc = Json::parse(&text).ok_or_else(|| format!("{path}: not valid JSON"))?;
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("{path}: missing \"entries\" array"))?;
+    entries
+        .iter()
+        .map(|e| {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("{path}: entry missing numeric \"{k}\""))
+            };
+            Ok(Entry {
+                name: e
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("{path}: entry missing \"name\""))?
+                    .to_string(),
+                batch_ns: field("batch_ns_per_eval")?,
+                speedup: field("speedup")?,
+            })
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold = 0.10f64;
+    let mut floor = 1.0f64;
+    let mut strict = false;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threshold" => {
+                threshold = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threshold needs a number");
+            }
+            "--floor" => {
+                floor = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--floor needs a number");
+            }
+            "--strict" => strict = true,
+            _ => paths.push(a),
+        }
+    }
+    if paths.is_empty() || paths.len() > 2 {
+        eprintln!("usage: bench_gate <current.json> [<baseline.json>] [--threshold 0.10] [--floor 1.0] [--strict]");
+        return ExitCode::FAILURE;
+    }
+
+    let current = match load(&paths[0]) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline = match paths.get(1).map(|p| load(p)) {
+        None => None,
+        Some(Ok(b)) => Some(b),
+        Some(Err(e)) => {
+            eprintln!("bench_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = Vec::new();
+    for cur in &current {
+        if cur.speedup < floor {
+            violations.push(format!(
+                "{}: batch speedup {:.3}x below floor {floor:.2}x",
+                cur.name, cur.speedup
+            ));
+        }
+        if let Some(base) = &baseline {
+            let Some(b) = base.iter().find(|b| b.name == cur.name) else {
+                violations.push(format!("{}: entry missing from baseline", cur.name));
+                continue;
+            };
+            if cur.speedup < b.speedup * (1.0 - threshold) {
+                violations.push(format!(
+                    "{}: speedup {:.3}x regressed >{:.0}% from baseline {:.3}x",
+                    cur.name,
+                    cur.speedup,
+                    threshold * 100.0,
+                    b.speedup
+                ));
+            }
+            if strict && cur.batch_ns > b.batch_ns * (1.0 + threshold) {
+                violations.push(format!(
+                    "{}: batch {:.1} ns/eval regressed >{:.0}% from baseline {:.1} ns/eval",
+                    cur.name,
+                    cur.batch_ns,
+                    threshold * 100.0,
+                    b.batch_ns
+                ));
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!(
+            "bench_gate: OK ({} entr{} checked{})",
+            current.len(),
+            if current.len() == 1 { "y" } else { "ies" },
+            if baseline.is_some() {
+                ", baseline compared"
+            } else {
+                ", floor only"
+            }
+        );
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("bench_gate: FAIL {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -14,6 +14,26 @@ const TARGET_MEASURE_NANOS: u128 = 200_000_000; // 200 ms
 /// Number of timed batches the target window is split into.
 const BATCHES: usize = 10;
 
+/// The measurement window, allowing `OPTASSIGN_BENCH_WINDOW_MS` to
+/// shrink it for smoke runs (CI gates that only sanity-check the
+/// numbers) or stretch it for low-noise baseline captures.
+fn target_measure_nanos() -> u128 {
+    std::env::var("OPTASSIGN_BENCH_WINDOW_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u128>().ok())
+        .map_or(TARGET_MEASURE_NANOS, |ms| ms.max(1) * 1_000_000)
+}
+
+/// Number of timed batches, allowing `OPTASSIGN_BENCH_BATCHES` to raise
+/// it for baseline captures — a median over more batches is what the
+/// perf gate diffs against, so the baseline deserves the extra runtime.
+fn batch_count() -> usize {
+    std::env::var("OPTASSIGN_BENCH_BATCHES")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(BATCHES, |n| n.clamp(3, 100))
+}
+
 /// Runs `f` repeatedly and prints a one-line timing report; returns the
 /// median per-iteration time in nanoseconds.
 ///
@@ -23,8 +43,9 @@ const BATCHES: usize = 10;
 pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> f64 {
     // Calibration: grow the batch size until one batch fills 1/BATCHES of
     // the target window (or the batch is already enormous).
+    let batches = batch_count();
     let mut iters_per_batch: u64 = 1;
-    let batch_budget = TARGET_MEASURE_NANOS / BATCHES as u128;
+    let batch_budget = target_measure_nanos() / batches as u128;
     loop {
         let start = Instant::now();
         for _ in 0..iters_per_batch {
@@ -40,7 +61,7 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> f64 {
         iters_per_batch = iters_per_batch.saturating_mul(scale);
     }
 
-    let mut per_iter: Vec<f64> = (0..BATCHES)
+    let mut per_iter: Vec<f64> = (0..batches)
         .map(|_| {
             let start = Instant::now();
             for _ in 0..iters_per_batch {
@@ -50,8 +71,8 @@ pub fn bench<R, F: FnMut() -> R>(name: &str, mut f: F) -> f64 {
         })
         .collect();
     per_iter.sort_by(|a, b| a.total_cmp(b));
-    let median = per_iter[BATCHES / 2];
-    let (lo, hi) = (per_iter[0], per_iter[BATCHES - 1]);
+    let median = per_iter[batches / 2];
+    let (lo, hi) = (per_iter[0], per_iter[batches - 1]);
     println!(
         "{name:<44} {:>12}/iter  (spread {} .. {}, {iters_per_batch} iters/batch)",
         fmt_nanos(median),
@@ -74,6 +95,51 @@ pub fn bench_throughput<R, F: FnMut() -> R>(name: &str, bytes: u64, f: F) {
 /// Prints a section header separating benchmark groups.
 pub fn group(title: &str) {
     println!("\n== {title} ==");
+}
+
+/// One scalar-vs-batch comparison row of a bench report.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Benchmark name (stable across runs; the gate matches on it).
+    pub name: String,
+    /// Median scalar-path cost, ns per evaluation.
+    pub scalar_ns_per_eval: f64,
+    /// Median batched-path cost, ns per evaluation.
+    pub batch_ns_per_eval: f64,
+}
+
+impl BenchEntry {
+    /// Scalar-over-batch speedup (> 1 means the batched path is faster).
+    /// This ratio is measured within one process on one machine, so —
+    /// unlike the raw nanosecond medians — it transfers across hosts and
+    /// is what the perf gate primarily enforces.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.scalar_ns_per_eval / self.batch_ns_per_eval.max(1e-9)
+    }
+}
+
+/// Renders a bench report as the JSON document the perf gate consumes
+/// (`BENCH_<name>.json`): a `bench` tag, the batch size the batched
+/// variants ran at, and one entry per benchmark.
+#[must_use]
+pub fn bench_report_json(bench: &str, batch: usize, entries: &[BenchEntry]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\n  \"bench\": \"{bench}\",\n  \"batch\": {batch},\n  \"entries\": [\n"
+    ));
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"scalar_ns_per_eval\": {:.1}, \"batch_ns_per_eval\": {:.1}, \"speedup\": {:.3}}}{comma}\n",
+            e.name,
+            e.scalar_ns_per_eval,
+            e.batch_ns_per_eval,
+            e.speedup(),
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// Renders a nanosecond count with an adaptive unit.

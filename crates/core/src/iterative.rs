@@ -33,7 +33,10 @@ use crate::study::SampleStudy;
 use crate::{Assignment, CoreError};
 use optassign_evt::pot::PotConfig;
 use optassign_evt::resilient::{EstimateReport, FallbackPolicy, ResilientConfig};
-use optassign_exec::{split_seed, try_parallel_map_cached, try_parallel_map_obs, Parallelism};
+use optassign_exec::{
+    split_seed, try_parallel_map_batched, try_parallel_map_cached, try_parallel_map_obs,
+    Parallelism,
+};
 use optassign_obs::{Event, Obs};
 use optassign_stats::rng::{Rng, StdRng};
 use optassign_store::CampaignStore;
@@ -288,6 +291,10 @@ struct BatchSlot {
 /// from the slot's private redraw stream, up to `draw_cap` draws. The
 /// whole slot is a pure function of `(batch_salt, slot)` — independent
 /// of every other slot and of scheduling order.
+/// `first`, when supplied, is the precomputed outcome of the slot's
+/// first attempt (key 0 on the primary) from the batched prefetch —
+/// bit-identical to the keyed call it replaces.
+#[allow(clippy::too_many_arguments)]
 fn measure_batch_slot<M: PerformanceModel>(
     model: &M,
     primary: &Assignment,
@@ -295,6 +302,7 @@ fn measure_batch_slot<M: PerformanceModel>(
     slot: usize,
     max_retries: usize,
     draw_cap: usize,
+    first: Option<Result<f64, MeasureError>>,
 ) -> Result<BatchSlot, CoreError> {
     let stream = split_seed(batch_salt, slot as u64);
     let mut redraw_rng: Option<StdRng> = None;
@@ -305,11 +313,18 @@ fn measure_batch_slot<M: PerformanceModel>(
         retries: 0,
         redrawn: 0,
     };
+    // Consumed by the first iteration (draw 0, attempt 0) — the attempt
+    // the prefetch covered.
+    let mut prefetched = first;
     for draw in 0..draw_cap {
         for attempt in 0..=max_retries {
             out.attempts += 1;
             let key = (draw * (max_retries + 1) + attempt) as u32;
-            if let Ok(v) = model.try_evaluate_at(&current, stream, key) {
+            let outcome = match prefetched.take() {
+                Some(r) => r,
+                None => model.try_evaluate_at(&current, stream, key),
+            };
+            if let Ok(v) = outcome {
                 out.retries += attempt;
                 out.measured = Some((current, v));
                 return Ok(out);
@@ -369,10 +384,51 @@ fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
     // campaign's four draws per slot.
     let per_slot_attempts = want.max(1) * (1 + max_retries);
     let draw_cap = 4usize.max(budget.div_ceil(per_slot_attempts));
+    // Batched hot path: prefetch every chunk slot's first attempt
+    // through the model's keyed batch entry point, then finish each
+    // slot's retry/redraw ladder on the scalar keyed path (see
+    // `SampleStudy::run_resilient_*` for the identical pattern).
+    let measure_chunk = |idxs: &[usize]| -> Vec<Result<BatchSlot, CoreError>> {
+        let chunk: Vec<Assignment> = idxs.iter().map(|&i| primaries[i].clone()).collect();
+        let keys: Vec<(u64, u32)> = idxs
+            .iter()
+            .map(|&i| (split_seed(batch_salt, i as u64), 0))
+            .collect();
+        let first = model.try_evaluate_batch_at(&chunk, &keys);
+        idxs.iter()
+            .zip(first)
+            .map(|(&i, f)| {
+                measure_batch_slot(
+                    model,
+                    &primaries[i],
+                    batch_salt,
+                    i,
+                    max_retries,
+                    draw_cap,
+                    Some(f),
+                )
+            })
+            .collect()
+    };
     let slots = match persist {
-        None => try_parallel_map_obs(parallelism, want, obs, |i| {
-            measure_batch_slot(model, &primaries[i], batch_salt, i, max_retries, draw_cap)
-        })?,
+        None => {
+            if parallelism.batch == 0 {
+                try_parallel_map_obs(parallelism, want, obs, |i| {
+                    measure_batch_slot(
+                        model,
+                        &primaries[i],
+                        batch_salt,
+                        i,
+                        max_retries,
+                        draw_cap,
+                        None,
+                    )
+                })?
+            } else {
+                let fresh: Vec<Option<BatchSlot>> = (0..want).map(|_| None).collect();
+                try_parallel_map_batched(parallelism, fresh, obs, measure_chunk)?
+            }
+        }
         Some((store, campaign, sequence)) => {
             // Resolve before the parallel region: journal replay first,
             // then the evaluation cache. Cache entries become visible
@@ -407,9 +463,21 @@ fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
                     resolved.push(None);
                 }
             }
-            let slots = try_parallel_map_cached(parallelism, resolved, obs, |i| {
-                measure_batch_slot(model, &primaries[i], batch_salt, i, max_retries, draw_cap)
-            })?;
+            let slots = if parallelism.batch == 0 {
+                try_parallel_map_cached(parallelism, resolved, obs, |i| {
+                    measure_batch_slot(
+                        model,
+                        &primaries[i],
+                        batch_salt,
+                        i,
+                        max_retries,
+                        draw_cap,
+                        None,
+                    )
+                })?
+            } else {
+                try_parallel_map_batched(parallelism, resolved, obs, measure_chunk)?
+            };
             // Journal every freshly resolved, measured slot — including
             // ones the budget reduction below may truncate; replaying a
             // truncated slot re-applies the same reduction. Abandoned

@@ -16,7 +16,7 @@
 
 use crate::assignment::Assignment;
 use optassign_sim::program::Op;
-use optassign_sim::{MachineConfig, Simulator, Topology, WorkloadSpec};
+use optassign_sim::{BatchSimulator, MachineConfig, Simulator, Topology, WorkloadSpec};
 
 /// Why a single measurement attempt failed.
 ///
@@ -123,6 +123,59 @@ pub trait PerformanceModel {
         let _ = (stream, attempt);
         self.try_evaluate(assignment)
     }
+
+    /// Performance of several assignments at once.
+    ///
+    /// The contract is strict: the returned vector is **bit-identical** to
+    /// evaluating each assignment through [`PerformanceModel::evaluate`]
+    /// in order, at any batch size. Batching is purely a throughput
+    /// optimization — models that can amortize per-evaluation setup
+    /// (decode tables, cache images, allocation) across the batch override
+    /// this (see [`SimModel`]); the default is the scalar loop itself, so
+    /// the contract holds trivially.
+    ///
+    /// # Panics
+    ///
+    /// As [`PerformanceModel::evaluate`], for the first offending
+    /// assignment in order.
+    fn evaluate_batch(&self, assignments: &[Assignment]) -> Vec<f64> {
+        assignments.iter().map(|a| self.evaluate(a)).collect()
+    }
+
+    /// Fallible [`PerformanceModel::evaluate_batch`]: per-slot results,
+    /// bit-identical (values *and* errors) to calling
+    /// [`PerformanceModel::try_evaluate`] per assignment in order.
+    fn try_evaluate_batch(&self, assignments: &[Assignment]) -> Vec<Result<f64, MeasureError>> {
+        assignments.iter().map(|a| self.try_evaluate(a)).collect()
+    }
+
+    /// Keyed fallible batch evaluation: slot `i` is evaluated under key
+    /// `keys[i] = (stream, attempt)`, bit-identical to calling
+    /// [`PerformanceModel::try_evaluate_at`] per slot in order. Because
+    /// the keyed path is order-free by contract, a batch boundary is
+    /// invisible: parallel runners may prefetch whole chunks of first
+    /// attempts through this method and fall back to the per-slot path
+    /// for retries without changing a single bit of the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `keys.len() != assignments.len()`.
+    fn try_evaluate_batch_at(
+        &self,
+        assignments: &[Assignment],
+        keys: &[(u64, u32)],
+    ) -> Vec<Result<f64, MeasureError>> {
+        assert_eq!(
+            assignments.len(),
+            keys.len(),
+            "one (stream, attempt) key per assignment"
+        );
+        assignments
+            .iter()
+            .zip(keys)
+            .map(|(a, &(stream, attempt))| self.try_evaluate_at(a, stream, attempt))
+            .collect()
+    }
 }
 
 /// Simulator-backed model: every evaluation runs the cycle-approximate
@@ -184,6 +237,63 @@ impl PerformanceModel for SimModel {
             Err(e) => panic!("assignment incompatible with this model: {e}"),
         };
         sim.run(self.warmup_cycles, self.measure_cycles).pps()
+    }
+
+    /// Batched hot path: one [`BatchSimulator`] decodes the workload and
+    /// builds the shared L2 image once, then every assignment in the
+    /// batch reuses them. Bit-identical to the scalar path by the
+    /// simulator's replay contract (`BatchSimulator` reproduces
+    /// `Simulator::run` draw for draw), which
+    /// `crates/core/tests/batch_parity.rs` enforces.
+    fn evaluate_batch(&self, assignments: &[Assignment]) -> Vec<f64> {
+        if assignments.is_empty() {
+            return Vec::new();
+        }
+        let mut sim = match BatchSimulator::new(&self.machine, &self.workload) {
+            Ok(sim) => sim,
+            Err(e) => panic!("assignment incompatible with this model: {e}"),
+        };
+        assignments
+            .iter()
+            .map(|a| {
+                match sim.run_one(a.contexts(), self.warmup_cycles, self.measure_cycles) {
+                    Ok(report) => report.pps(),
+                    // Same panic the scalar path raises for this slot.
+                    Err(e) => panic!("assignment incompatible with this model: {e}"),
+                }
+            })
+            .collect()
+    }
+
+    fn try_evaluate_batch(&self, assignments: &[Assignment]) -> Vec<Result<f64, MeasureError>> {
+        // The scalar `try_evaluate` wraps `evaluate`, which panics on an
+        // incompatible assignment — so the batched path must too, and the
+        // only per-slot error left is a non-finite reading.
+        self.evaluate_batch(assignments)
+            .into_iter()
+            .map(|v| {
+                if v.is_finite() {
+                    Ok(v)
+                } else {
+                    Err(MeasureError::NonFinite(v))
+                }
+            })
+            .collect()
+    }
+
+    fn try_evaluate_batch_at(
+        &self,
+        assignments: &[Assignment],
+        keys: &[(u64, u32)],
+    ) -> Vec<Result<f64, MeasureError>> {
+        assert_eq!(
+            assignments.len(),
+            keys.len(),
+            "one (stream, attempt) key per assignment"
+        );
+        // Deterministic model: the key is irrelevant, as in
+        // `try_evaluate_at`'s default.
+        self.try_evaluate_batch(assignments)
     }
 }
 
@@ -518,6 +628,26 @@ mod tests {
         let a = random_assignment(3, model.topology(), &mut rng).unwrap();
         assert_eq!(model.evaluate(&a), model.evaluate(&a));
         assert!(model.evaluate(&a) > 0.0);
+    }
+
+    #[test]
+    fn sim_model_batch_is_bit_identical_to_scalar() {
+        let machine = MachineConfig::ultrasparc_t2();
+        let w = Benchmark::IpFwdMem.build_workload(2, 3);
+        let model = SimModel::new(machine, w).with_windows(2_000, 10_000);
+        let mut rng = optassign_stats::rng::StdRng::seed_from_u64(5);
+        let xs: Vec<Assignment> = (0..6)
+            .map(|_| random_assignment(6, model.topology(), &mut rng).unwrap())
+            .collect();
+        let scalar: Vec<u64> = xs.iter().map(|a| model.evaluate(a).to_bits()).collect();
+        for chunk in [1usize, 3, 16] {
+            let batched: Vec<u64> = xs
+                .chunks(chunk)
+                .flat_map(|c| model.evaluate_batch(c))
+                .map(f64::to_bits)
+                .collect();
+            assert_eq!(batched, scalar, "chunk={chunk}");
+        }
     }
 
     #[test]

@@ -17,8 +17,8 @@ use optassign_evt::resilient::{
     estimate_resilient, estimate_resilient_obs, EstimateReport, ResilientConfig,
 };
 use optassign_exec::{
-    parallel_map_cached, parallel_map_obs, split_seed, try_parallel_map_cached,
-    try_parallel_map_obs, Parallelism,
+    parallel_map_batched, parallel_map_cached, parallel_map_obs, split_seed,
+    try_parallel_map_batched, try_parallel_map_cached, try_parallel_map_obs, Parallelism,
 };
 use optassign_obs::{Event, Obs};
 use optassign_stats::rng::StdRng;
@@ -199,10 +199,31 @@ impl SampleStudy {
         });
         let mut rng = StdRng::seed_from_u64(seed);
         let assignments = sample_assignments(n, model.tasks(), model.topology(), &mut rng)?;
+        // Batched hot path: hand the engine ascending runs of slot
+        // indices so the model can amortize per-evaluation setup. The
+        // model's `evaluate_batch` contract (bit-identical to the scalar
+        // loop) plus the engine's order-fixed scatter make this
+        // invisible to every downstream bit; `batch == 0` keeps the
+        // legacy per-item path.
+        let evaluate_chunk = |idxs: &[usize]| -> Vec<f64> {
+            let chunk: Vec<Assignment> = idxs.iter().map(|&i| assignments[i].clone()).collect();
+            model.evaluate_batch(&chunk)
+        };
         let performances = match persist {
-            None => parallel_map_obs(parallelism, assignments.len(), obs, |i| {
-                model.evaluate(&assignments[i])
-            }),
+            None => {
+                if parallelism.batch == 0 {
+                    parallel_map_obs(parallelism, assignments.len(), obs, |i| {
+                        model.evaluate(&assignments[i])
+                    })
+                } else {
+                    parallel_map_batched(
+                        parallelism,
+                        vec![None; assignments.len()],
+                        obs,
+                        evaluate_chunk,
+                    )
+                }
+            }
             Some(store) => {
                 let campaign = persist::study_campaign_id(seed, n, model.tasks(), model.topology());
                 // Resolve every slot before the parallel region: journal
@@ -222,9 +243,13 @@ impl SampleStudy {
                         cache_hit[i] = true;
                     }
                 }
-                let performances = parallel_map_cached(parallelism, resolved, obs, |i| {
-                    model.evaluate(&assignments[i])
-                });
+                let performances = if parallelism.batch == 0 {
+                    parallel_map_cached(parallelism, resolved, obs, |i| {
+                        model.evaluate(&assignments[i])
+                    })
+                } else {
+                    parallel_map_batched(parallelism, resolved, obs, evaluate_chunk)
+                };
                 for (i, assignment) in assignments.iter().enumerate() {
                     if replayed[i] {
                         continue;
@@ -413,10 +438,45 @@ impl SampleStudy {
         // 4·n·(1+max_retries) attempts, floored at 64 campaign-wide.
         let per_slot_attempts = n.max(1) * (1 + max_retries);
         let draw_cap = 4usize.max(64usize.div_ceil(per_slot_attempts));
+        // Batched hot path: the first attempt of every slot in a chunk
+        // is prefetched through the model's keyed batch entry point
+        // (amortizing per-evaluation setup), then each slot finishes its
+        // retry/redraw ladder on the scalar keyed path. The keyed
+        // contract makes the prefetch invisible: `(stream, attempt)`
+        // addresses the same outcome either way.
+        let measure_chunk = |idxs: &[usize]| -> Vec<Result<MeasuredSlot, CoreError>> {
+            let chunk: Vec<Assignment> = idxs.iter().map(|&i| primaries[i].clone()).collect();
+            let keys: Vec<(u64, u32)> = idxs
+                .iter()
+                .map(|&i| (split_seed(seed ^ MEASURE_SALT, i as u64), 0))
+                .collect();
+            let first = model.try_evaluate_batch_at(&chunk, &keys);
+            idxs.iter()
+                .zip(first)
+                .map(|(&i, f)| {
+                    measure_slot(
+                        model,
+                        &primaries[i],
+                        seed,
+                        i,
+                        max_retries,
+                        draw_cap,
+                        Some(f),
+                    )
+                })
+                .collect()
+        };
         let slots = match persist {
-            None => try_parallel_map_obs(parallelism, n, obs, |i| {
-                measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap)
-            })?,
+            None => {
+                if parallelism.batch == 0 {
+                    try_parallel_map_obs(parallelism, n, obs, |i| {
+                        measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap, None)
+                    })?
+                } else {
+                    let fresh: Vec<Option<MeasuredSlot>> = (0..n).map(|_| None).collect();
+                    try_parallel_map_batched(parallelism, fresh, obs, measure_chunk)?
+                }
+            }
             Some(store) => {
                 let campaign = persist::resilient_campaign_id(
                     seed,
@@ -456,9 +516,13 @@ impl SampleStudy {
                         resolved.push(None);
                     }
                 }
-                let slots = try_parallel_map_cached(parallelism, resolved, obs, |i| {
-                    measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap)
-                })?;
+                let slots = if parallelism.batch == 0 {
+                    try_parallel_map_cached(parallelism, resolved, obs, |i| {
+                        measure_slot(model, &primaries[i], seed, i, max_retries, draw_cap, None)
+                    })?
+                } else {
+                    try_parallel_map_batched(parallelism, resolved, obs, measure_chunk)?
+                };
                 for (i, slot) in slots.iter().enumerate() {
                     if replayed[i] {
                         continue;
@@ -713,6 +777,14 @@ struct MeasuredSlot {
 /// from the slot's private redraw stream, up to `draw_cap` draws.
 /// Everything the slot does is keyed by `(seed, slot)` — independent of
 /// every other slot and of scheduling order.
+///
+/// `first`, when supplied, is the already-computed outcome of the
+/// slot's very first attempt (key 0 on the primary assignment) — the
+/// batched runners prefetch it through
+/// [`PerformanceModel::try_evaluate_batch_at`]. Because that attempt is
+/// keyed, the supplied value is exactly what the call here would have
+/// produced, and the bookkeeping (attempt counts, error selection) is
+/// unchanged.
 fn measure_slot<M: PerformanceModel>(
     model: &M,
     primary: &Assignment,
@@ -720,6 +792,7 @@ fn measure_slot<M: PerformanceModel>(
     slot: usize,
     max_retries: usize,
     draw_cap: usize,
+    first: Option<Result<f64, MeasureError>>,
 ) -> Result<MeasuredSlot, CoreError> {
     let stream = split_seed(seed ^ MEASURE_SALT, slot as u64);
     let mut redraw_rng: Option<StdRng> = None;
@@ -727,11 +800,18 @@ fn measure_slot<M: PerformanceModel>(
     let mut attempts = 0usize;
     let mut retries = 0usize;
     let mut last_err = MeasureError::Failed("no measurement attempted".into());
+    // Consumed by the first loop iteration (draw 0, attempt 0), which is
+    // precisely the attempt the prefetch covered.
+    let mut prefetched = first;
     for draw in 0..draw_cap {
         for attempt in 0..=max_retries {
             attempts += 1;
             let key = (draw * (max_retries + 1) + attempt) as u32;
-            match model.try_evaluate_at(&current, stream, key) {
+            let outcome = match prefetched.take() {
+                Some(r) => r,
+                None => model.try_evaluate_at(&current, stream, key),
+            };
+            match outcome {
                 Ok(v) => {
                     retries += attempt;
                     return Ok(MeasuredSlot {

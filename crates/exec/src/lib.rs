@@ -65,6 +65,13 @@ pub const fn split_seed(seed: u64, index: u64) -> u64 {
 pub struct Parallelism {
     /// Number of worker threads to use (at least 1).
     pub workers: usize,
+    /// Preferred chunk size for batched evaluation paths
+    /// ([`parallel_map_batched`]): how many items one `evaluate_batch`
+    /// call covers. `0` disables batching (callers fall back to their
+    /// per-item path). Like `workers`, this is purely a throughput knob —
+    /// every batched path in the workspace is bit-identical at every
+    /// batch size, including 0.
+    pub batch: usize,
 }
 
 impl Parallelism {
@@ -72,10 +79,22 @@ impl Parallelism {
     /// [`Parallelism::max_available`].
     pub const ENV_VAR: &'static str = "OPTASSIGN_WORKERS";
 
+    /// Environment variable overriding the batch size in the non-const
+    /// constructors (`0` disables batching).
+    pub const BATCH_ENV_VAR: &'static str = "OPTASSIGN_BATCH";
+
+    /// Default batch size: large enough to amortize per-batch setup
+    /// (shared decode tables, cache prefill images), small enough that
+    /// chunk-level work stealing still load-balances.
+    pub const DEFAULT_BATCH: usize = 32;
+
     /// Sequential execution: one worker, no threads spawned.
     #[must_use]
     pub const fn serial() -> Self {
-        Self { workers: 1 }
+        Self {
+            workers: 1,
+            batch: Self::DEFAULT_BATCH,
+        }
     }
 
     /// Exactly `workers` workers (floored at 1).
@@ -83,6 +102,32 @@ impl Parallelism {
     pub const fn new(workers: usize) -> Self {
         Self {
             workers: if workers == 0 { 1 } else { workers },
+            batch: Self::DEFAULT_BATCH,
+        }
+    }
+
+    /// Returns `self` with the given batch size (`0` disables batching).
+    #[must_use]
+    pub const fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Batch size requested through `OPTASSIGN_BATCH`, if set to a
+    /// non-negative integer (`0` disables batching).
+    #[must_use]
+    pub fn batch_from_env() -> Option<usize> {
+        std::env::var(Self::BATCH_ENV_VAR)
+            .ok()
+            .and_then(|raw| raw.trim().parse().ok())
+    }
+
+    /// Applies the `OPTASSIGN_BATCH` override, when present.
+    #[must_use]
+    fn with_env_batch(self) -> Self {
+        match Self::batch_from_env() {
+            Some(batch) => self.with_batch(batch),
+            None => self,
         }
     }
 
@@ -90,7 +135,7 @@ impl Parallelism {
     #[must_use]
     pub fn available() -> Self {
         let workers = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        Self { workers }
+        Self::new(workers).with_env_batch()
     }
 
     /// Worker count requested through `OPTASSIGN_WORKERS`, if the
@@ -99,7 +144,7 @@ impl Parallelism {
     pub fn from_env() -> Option<Self> {
         let raw = std::env::var(Self::ENV_VAR).ok()?;
         let workers: usize = raw.trim().parse().ok()?;
-        (workers > 0).then(|| Self::new(workers))
+        (workers > 0).then(|| Self::new(workers).with_env_batch())
     }
 
     /// Throughput-oriented default for experiment binaries:
@@ -566,6 +611,137 @@ where
     Ok(out)
 }
 
+/// Splits ascending miss indices into runs of `par.batch` (floored at 1)
+/// for the batched engines below.
+fn batch_chunks(par: Parallelism, miss_idx: &[usize]) -> Vec<Vec<usize>> {
+    let size = par.batch.max(1);
+    miss_idx.chunks(size).map(<[usize]>::to_vec).collect()
+}
+
+/// Batched [`parallel_map_cached`]: identical cache-key semantics
+/// (`resolved[i]` is `Some` for a hit, `None` for a miss; hits and
+/// misses feed the same `exec_cache_hits_total` /
+/// `exec_cache_misses_total` counters), but the misses are handed to `f`
+/// in ascending runs of `par.batch` indices at a time so the callee can
+/// amortize per-call setup across the run.
+///
+/// `f` receives a slice of original indices and must return exactly one
+/// value per index, in order. Chunks are distributed over the workers by
+/// the same split-seed deterministic engine as [`parallel_map_obs`], so
+/// results are bit-identical at every worker count and every batch size
+/// — provided `f` itself is pure per index, which is the whole contract.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread, and panics if `f`
+/// returns a vector of the wrong length.
+pub fn parallel_map_batched<T, F>(
+    par: Parallelism,
+    resolved: Vec<Option<T>>,
+    obs: &Obs,
+    f: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&[usize]) -> Vec<T> + Sync,
+{
+    let n = resolved.len();
+    let miss_idx: Vec<usize> = resolved
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    obs.counter_add("exec_cache_hits_total", (n - miss_idx.len()) as u64);
+    obs.counter_add("exec_cache_misses_total", miss_idx.len() as u64);
+    let mut slots = resolved;
+    if !miss_idx.is_empty() {
+        let chunks = batch_chunks(par, &miss_idx);
+        obs.counter_add("exec_batches_total", chunks.len() as u64);
+        let computed = parallel_map_obs(par, chunks.len(), obs, |c| {
+            let out = f(&chunks[c]);
+            assert_eq!(
+                out.len(),
+                chunks[c].len(),
+                "batch fn must return one value per index"
+            );
+            out
+        });
+        for (chunk, values) in chunks.iter().zip(computed) {
+            for (&i, value) in chunk.iter().zip(values) {
+                slots[i] = Some(value);
+            }
+        }
+    }
+    let out: Vec<T> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
+/// Fallible [`parallel_map_batched`]: `f` returns a per-index
+/// `Result`, and the call reports the error at the smallest failing
+/// *original* index — the same contract as [`try_parallel_map_cached`].
+///
+/// Unlike the per-item engine this cannot skip work past the first
+/// failure (a chunk is an indivisible unit for `f`), so on the failure
+/// path it may compute more than the scalar engine would — but the
+/// returned error, and the success-path output, are identical.
+///
+/// # Errors
+///
+/// Returns the error of the smallest original index at which `f` failed.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` on the calling thread, and panics if `f`
+/// returns a vector of the wrong length.
+pub fn try_parallel_map_batched<T, E, F>(
+    par: Parallelism,
+    resolved: Vec<Option<T>>,
+    obs: &Obs,
+    f: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(&[usize]) -> Vec<Result<T, E>> + Sync,
+{
+    let n = resolved.len();
+    let miss_idx: Vec<usize> = resolved
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.is_none())
+        .map(|(i, _)| i)
+        .collect();
+    obs.counter_add("exec_cache_hits_total", (n - miss_idx.len()) as u64);
+    obs.counter_add("exec_cache_misses_total", miss_idx.len() as u64);
+    let mut slots = resolved;
+    if !miss_idx.is_empty() {
+        let chunks = batch_chunks(par, &miss_idx);
+        obs.counter_add("exec_batches_total", chunks.len() as u64);
+        let computed = parallel_map_obs(par, chunks.len(), obs, |c| {
+            let out = f(&chunks[c]);
+            assert_eq!(
+                out.len(),
+                chunks[c].len(),
+                "batch fn must return one value per index"
+            );
+            out
+        });
+        // Order-fixed error reduction: chunks ascend and indices ascend
+        // within a chunk, so the first Err seen in this scan is the one
+        // at the smallest original index.
+        for (chunk, values) in chunks.iter().zip(computed) {
+            for (&i, value) in chunk.iter().zip(values) {
+                slots[i] = Some(value?);
+            }
+        }
+    }
+    let out: Vec<T> = slots.into_iter().flatten().collect();
+    debug_assert_eq!(out.len(), n);
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -754,6 +930,94 @@ mod tests {
                 .expect_err("must fail");
             assert_eq!(err, "boom at 30", "workers={workers}");
         }
+    }
+
+    #[test]
+    fn batched_map_matches_cached_at_every_batch_size_and_worker_count() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x517C_C1B7).rotate_left(11);
+        let fresh: Vec<u64> = (0..203).map(f).collect();
+        for workers in [1, 2, 4, 7] {
+            for batch in [1, 3, 16, 1000] {
+                // Pre-resolve a deterministic subset so the hit/miss
+                // scatter path is exercised too.
+                let resolved: Vec<Option<u64>> = (0..203)
+                    .map(|i| split_seed(7, i as u64).is_multiple_of(4).then(|| f(i)))
+                    .collect();
+                let obs = Obs::metrics_only();
+                let par = Parallelism::new(workers).with_batch(batch);
+                let out = parallel_map_batched(par, resolved, &obs, |idxs| {
+                    assert!(idxs.len() <= batch, "chunk larger than batch size");
+                    idxs.iter().map(|&i| f(i)).collect()
+                });
+                assert_eq!(out, fresh, "workers={workers} batch={batch}");
+                let snap = obs.metrics();
+                assert_eq!(
+                    snap.counter("exec_cache_hits_total") + snap.counter("exec_cache_misses_total"),
+                    203
+                );
+                assert_eq!(
+                    snap.counter("exec_batches_total"),
+                    (snap.counter("exec_cache_misses_total") as usize).div_ceil(batch) as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fully_resolved_batched_map_never_calls_f() {
+        let resolved: Vec<Option<usize>> = (0..50).map(Some).collect();
+        let obs = Obs::metrics_only();
+        let out = parallel_map_batched(Parallelism::new(4), resolved, &obs, |_| {
+            panic!("no chunk should be computed")
+        });
+        assert_eq!(out, (0..50).collect::<Vec<_>>());
+        let snap = obs.metrics();
+        assert_eq!(snap.counter("exec_cache_hits_total"), 50);
+        assert_eq!(snap.counter("exec_batches_total"), 0);
+    }
+
+    #[test]
+    fn try_batched_map_reports_smallest_failing_original_index() {
+        let f = |i: usize| -> Result<usize, String> {
+            if i == 30 || i == 70 {
+                Err(format!("boom at {i}"))
+            } else {
+                Ok(i)
+            }
+        };
+        let chunked =
+            |idxs: &[usize]| -> Vec<Result<usize, String>> { idxs.iter().map(|&i| f(i)).collect() };
+        for workers in [1, 4] {
+            for batch in [1, 3, 16, 1000] {
+                let par = Parallelism::new(workers).with_batch(batch);
+                // Slot 30 pre-resolved: only 70 can fail now.
+                let resolved: Vec<Option<usize>> =
+                    (0..100).map(|i| (i == 30).then_some(i)).collect();
+                let err = try_parallel_map_batched(par, resolved, &Obs::disabled(), chunked)
+                    .expect_err("must fail");
+                assert_eq!(err, "boom at 70", "workers={workers} batch={batch}");
+                // Nothing pre-resolved: 30 wins.
+                let none: Vec<Option<usize>> = vec![None; 100];
+                let err = try_parallel_map_batched(par, none, &Obs::disabled(), chunked)
+                    .expect_err("must fail");
+                assert_eq!(err, "boom at 30", "workers={workers} batch={batch}");
+                // Success path matches the per-item engine.
+                let clean: Vec<Option<usize>> = vec![None; 100];
+                let ok = try_parallel_map_batched(par, clean, &Obs::disabled(), |idxs| {
+                    idxs.iter().map(|&i| Ok::<_, String>(i * 3)).collect()
+                })
+                .expect("must succeed");
+                assert_eq!(ok, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_knob_constructors_and_env() {
+        assert_eq!(Parallelism::serial().batch, Parallelism::DEFAULT_BATCH);
+        assert_eq!(Parallelism::new(3).batch, Parallelism::DEFAULT_BATCH);
+        assert_eq!(Parallelism::new(3).with_batch(0).batch, 0);
+        assert_eq!(Parallelism::new(3).with_batch(7).batch, 7);
     }
 
     #[test]

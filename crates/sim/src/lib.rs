@@ -48,6 +48,7 @@
 //! assert!(report.packets_transmitted > 0);
 //! ```
 
+pub mod batch;
 pub mod cache;
 pub mod engine;
 pub mod machine;
@@ -56,6 +57,7 @@ pub mod report;
 pub mod rng;
 pub mod topology;
 
+pub use batch::BatchSimulator;
 pub use engine::Simulator;
 pub use machine::MachineConfig;
 pub use program::{ProgramBuilder, StageProgram, WorkloadSpec};

@@ -76,6 +76,54 @@ impl XorShift64 {
     }
 }
 
+/// A Bernoulli draw with the probability folded into an integer threshold.
+///
+/// Produces, draw for draw, exactly the booleans [`XorShift64::chance`]
+/// produces for the same `p` — including consuming no RNG output at the
+/// `p <= 0` / `p >= 1` extremes — but the hot path is a shift and an
+/// integer compare instead of float conversion and multiplication. Used
+/// by the batched engine, which evaluates the same probability millions
+/// of times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bernoulli {
+    /// `p <= 0`: always `false`, no RNG draw.
+    Never,
+    /// `p >= 1`: always `true`, no RNG draw.
+    Always,
+    /// `0 < p < 1`: one draw, compared against `ceil(p * 2^53)`.
+    Threshold(u64),
+}
+
+impl Bernoulli {
+    /// Precomputes the draw for probability `p`.
+    pub fn new(p: f64) -> Self {
+        if p <= 0.0 {
+            Bernoulli::Never
+        } else if p >= 1.0 {
+            Bernoulli::Always
+        } else {
+            // `chance` tests `((x >> 11) as f64) * 2^-53 < p`. Both sides
+            // are exact: `x >> 11 < 2^53` converts to f64 without rounding,
+            // and scaling by the power of two only shifts the exponent. So
+            // the test equals `x >> 11 < p * 2^53` over the reals, and
+            // `p * 2^53` is itself computed exactly (another pure exponent
+            // shift), making the integer form `x >> 11 < ceil(p * 2^53)`.
+            Bernoulli::Threshold((p * (1u64 << 53) as f64).ceil() as u64)
+        }
+    }
+
+    /// Draws from `rng` (when the probability is not degenerate) and
+    /// returns the Bernoulli outcome.
+    #[inline]
+    pub fn sample(self, rng: &mut XorShift64) -> bool {
+        match self {
+            Bernoulli::Never => false,
+            Bernoulli::Always => true,
+            Bernoulli::Threshold(t) => (rng.next_u64() >> 11) < t,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,6 +169,41 @@ mod tests {
                 (c as i64 - expected as i64).abs() < (expected / 10) as i64,
                 "bucket {i}: {c}"
             );
+        }
+    }
+
+    #[test]
+    fn bernoulli_matches_chance_draw_for_draw() {
+        // Grid of probabilities spanning the extremes, tiny values, values
+        // near 1, and awkward dyadic boundaries, plus pseudo-random ones.
+        let mut ps = vec![
+            -0.5,
+            0.0,
+            1e-300,
+            1e-18,
+            0.002,
+            0.0625,
+            0.25,
+            0.5,
+            0.75,
+            0.999_999,
+            1.0 - f64::EPSILON,
+            1.0,
+            1.5,
+        ];
+        let mut seeder = XorShift64::new(0xBEEF);
+        for _ in 0..20 {
+            ps.push((seeder.next_u64() >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        for p in ps {
+            let mut a = XorShift64::new(42);
+            let mut b = XorShift64::new(42);
+            let d = Bernoulli::new(p);
+            for i in 0..20_000 {
+                assert_eq!(a.chance(p), d.sample(&mut b), "p = {p}, draw {i}");
+            }
+            // Same number of draws consumed: states must agree afterwards.
+            assert_eq!(a, b, "state diverged for p = {p}");
         }
     }
 

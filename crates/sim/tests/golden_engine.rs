@@ -1,0 +1,141 @@
+//! Golden-value regression tests for the simulation engine.
+//!
+//! Pinned workloads, pinned assignments, pinned windows — the reports
+//! below were captured from the engine at the point the batched hot path
+//! landed and are asserted bit-for-bit. Any change to instruction
+//! accounting, cache behaviour, arbitration, or the address-stream RNG
+//! shows up here as a diff against a known-good trace, for both the
+//! scalar [`Simulator`] and the SoA [`BatchSimulator`].
+//!
+//! If a deliberate engine change invalidates these values, re-capture
+//! them by running this test with `--nocapture` (each case prints its
+//! actual summary on failure) and update the `GOLDEN` table — in the
+//! same change, with the reason in the commit message.
+
+use optassign_sim::machine::MachineConfig;
+use optassign_sim::program::{AccessPattern, ProgramBuilder, WorkloadSpec};
+use optassign_sim::report::SimReport;
+use optassign_sim::{BatchSimulator, Simulator};
+
+const WARMUP: u64 = 2_000;
+const MEASURE: u64 = 30_000;
+
+/// A fixed 4-task workload spanning the engine's behaviours: an
+/// int-heavy task on a tiny L1-resident table, a memory-bound task on a
+/// region far larger than the L2, a mul-heavy task, and a streaming task
+/// with sequential loads.
+fn golden_workload() -> WorkloadSpec {
+    let mut w = WorkloadSpec::new(4242);
+    let small = w.add_region("small", 1 << 13, AccessPattern::Uniform);
+    let huge = w.add_region("huge", 1 << 27, AccessPattern::Uniform);
+    let stream = w.add_region("stream", 1 << 20, AccessPattern::Sequential { stride: 64 });
+    w.add_task(
+        "int-l1",
+        ProgramBuilder::new()
+            .niu_rx()
+            .int(40)
+            .loads(small, 4)
+            .transmit()
+            .build(),
+        2_048,
+    );
+    w.add_task(
+        "membound",
+        ProgramBuilder::new()
+            .niu_rx()
+            .int(6)
+            .loads(huge, 5)
+            .transmit()
+            .build(),
+        2_048,
+    );
+    w.add_task(
+        "mul-heavy",
+        ProgramBuilder::new()
+            .niu_rx()
+            .int(8)
+            .mul(12)
+            .loads(small, 2)
+            .transmit()
+            .build(),
+        4_096,
+    );
+    w.add_task(
+        "streamer",
+        ProgramBuilder::new()
+            .niu_rx()
+            .int(10)
+            .loads(stream, 3)
+            .transmit()
+            .build(),
+        2_048,
+    );
+    w
+}
+
+/// The pinned assignments: same core, spread across cores, and an
+/// asymmetric placement sharing one pipe.
+const ASSIGNMENTS: [[usize; 4]; 3] = [[0, 1, 2, 3], [0, 8, 16, 24], [5, 13, 21, 22]];
+
+/// A compact, bit-exact summary of a report: every field that the
+/// estimator pipeline consumes, with floats rendered as raw bits.
+fn summarize(r: &SimReport) -> String {
+    format!(
+        "cycles={} pkts={} tx={:?} iters={:?} l2={:016x} pps={:016x}",
+        r.measured_cycles,
+        r.packets_transmitted,
+        r.per_task_transmits,
+        r.per_task_iterations,
+        r.l2_hit_rate.to_bits(),
+        r.pps().to_bits(),
+    )
+}
+
+const GOLDEN: [&str; 3] = [
+    "cycles=30000 pkts=338 tx=[114, 29, 150, 45] iters=[114, 29, 150, 45] \
+     l2=3fdc1ab68a0473c2 pps=416e1cd80fa00e41",
+    "cycles=30000 pkts=329 tx=[116, 29, 139, 45] iters=[116, 29, 139, 45] \
+     l2=3fe090149539e3b3 pps=416d43b04c3abef8",
+    "cycles=30000 pkts=322 tx=[109, 29, 139, 45] iters=[109, 29, 139, 45] \
+     l2=3fe04ddee7aa579b pps=416cb639663b5fae",
+];
+
+#[test]
+fn pinned_engine_runs_match_goldens() {
+    let machine = MachineConfig::ultrasparc_t2();
+    let workload = golden_workload();
+    let mut batch = BatchSimulator::new(&machine, &workload).unwrap();
+    let scalars: Vec<SimReport> = ASSIGNMENTS
+        .iter()
+        .map(|assignment| {
+            Simulator::new(&machine, &workload, assignment)
+                .unwrap()
+                .run(WARMUP, MEASURE)
+        })
+        .collect();
+    for (i, scalar) in scalars.iter().enumerate() {
+        println!("case {i}: {}", summarize(scalar));
+    }
+    for (i, scalar) in scalars.iter().enumerate() {
+        assert_eq!(
+            summarize(scalar),
+            GOLDEN[i],
+            "scalar engine drifted on case {i}"
+        );
+
+        // The batched engine must reproduce the scalar report exactly —
+        // the golden doubles as a batch-parity check at the engine level.
+        let batched = batch.run_one(&ASSIGNMENTS[i], WARMUP, MEASURE).unwrap();
+        assert_eq!(&batched, scalar, "batch engine diverged on case {i}");
+    }
+
+    // All three assignments through one batched run: still the same
+    // reports, independent of lane packing.
+    let reports = batch.run_batch(&ASSIGNMENTS, WARMUP, MEASURE).unwrap();
+    for (i, (r, assignment)) in reports.iter().zip(&ASSIGNMENTS).enumerate() {
+        let scalar = Simulator::new(&machine, &workload, assignment)
+            .unwrap()
+            .run(WARMUP, MEASURE);
+        assert_eq!(r, &scalar, "run_batch diverged on case {i}");
+    }
+}

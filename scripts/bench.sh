@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Batched-vs-scalar perf benchmark runner.
+#
+# Runs the pinned-seed simulator and sampling benches and writes their
+# machine-readable reports (BENCH_simulator.json / BENCH_sampling.json)
+# to the repo root, then gates them against the committed baselines via
+# bench_gate: the batch/scalar speedup ratio must not regress more than
+# 10% (the raw ns/eval medians are recorded for reference but only the
+# within-run ratio transfers across machines — see DESIGN.md §10).
+#
+# Usage: scripts/bench.sh [--smoke] [--update-baseline] [--no-gate]
+#   --smoke            tiny measurement window (~25ms/bench point):
+#                      fast sanity pass for CI, noisier numbers
+#   --update-baseline  overwrite the committed BENCH_*.json baselines
+#                      with this run's reports (run on a quiet machine)
+#   --no-gate          produce reports only, skip the baseline diff
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+UPDATE=0
+GATE=1
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        --update-baseline) UPDATE=1 ;;
+        --no-gate) GATE=0 ;;
+        *) echo "usage: scripts/bench.sh [--smoke] [--update-baseline] [--no-gate]"; exit 1 ;;
+    esac
+done
+
+if [[ "${SMOKE}" == "1" ]]; then
+    export OPTASSIGN_BENCH_WINDOW_MS=25
+fi
+if [[ "${UPDATE}" == "1" ]]; then
+    # Baselines deserve a low-noise median: triple the timed batches.
+    export OPTASSIGN_BENCH_BATCHES=30
+fi
+
+OUT_DIR="$(mktemp -d)"
+trap 'rm -rf "${OUT_DIR}"' EXIT
+
+echo "==> cargo bench --bench simulator"
+cargo bench -q -p optassign-bench --bench simulator -- \
+    --json "${OUT_DIR}/BENCH_simulator.json"
+echo "==> cargo bench --bench sampling"
+cargo bench -q -p optassign-bench --bench sampling -- \
+    --json "${OUT_DIR}/BENCH_sampling.json"
+
+cargo build -q --release -p optassign-bench --bin bench_gate
+
+STATUS=0
+for name in simulator sampling; do
+    CURRENT="${OUT_DIR}/BENCH_${name}.json"
+    BASELINE="BENCH_${name}.json"
+    if [[ "${UPDATE}" == "1" ]]; then
+        cp "${CURRENT}" "${BASELINE}"
+        echo "==> baseline ${BASELINE} updated"
+        continue
+    fi
+    if [[ "${GATE}" == "0" ]]; then
+        cat "${CURRENT}"
+        continue
+    fi
+    echo "==> bench_gate ${name}"
+    # Floor 1.1x: the batched path must beat scalar by a clear margin
+    # even under VM noise (measured speedups sit at 1.25-1.5x).
+    if [[ -f "${BASELINE}" ]]; then
+        target/release/bench_gate "${CURRENT}" "${BASELINE}" \
+            --threshold 0.10 --floor 1.1 || STATUS=1
+    else
+        echo "    (no committed ${BASELINE}; floor check only)"
+        target/release/bench_gate "${CURRENT}" --floor 1.1 || STATUS=1
+    fi
+done
+
+exit "${STATUS}"

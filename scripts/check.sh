@@ -144,6 +144,12 @@ if [[ "${FAST}" == "0" ]]; then
         --scale 0.01 --workers 2 --checkpoint "${METRICS_TMP}/ckpt-clean" --resume \
         >"${METRICS_TMP}/repaired.out"
     diff "${METRICS_TMP}/clean.out" "${METRICS_TMP}/repaired.out"
+
+    # Perf-trajectory smoke: the batched evaluation hot path, measured at
+    # a tiny window and diffed against the committed BENCH_*.json
+    # baselines (>10% speedup-ratio regression fails; see DESIGN.md §10).
+    echo "==> bench.sh --smoke perf gate"
+    scripts/bench.sh --smoke
 fi
 
 echo "==> all checks passed"

@@ -143,6 +143,92 @@ fn iterative_algorithm_is_bit_identical_across_worker_counts() {
     }
 }
 
+/// Batch sizes exercised by the batched-variant tests below: degenerate,
+/// prime (misaligned with every worker count), the default-ish 16, and
+/// far larger than any study here (a single chunk).
+const BATCH_SIZES: [usize; 4] = [1, 3, 16, 1000];
+
+#[test]
+fn plain_study_is_bit_identical_across_batch_sizes() {
+    let machine = MachineConfig::ultrasparc_t2();
+    let workload = Benchmark::IpFwdL1.build_workload(2, 9);
+    let model = SimModel::new(machine, workload).with_windows(2_000, 8_000);
+    // Batch 0 disables batching entirely: the legacy scalar fan-out.
+    let scalar =
+        SampleStudy::run_with(&model, 60, 31, Parallelism::serial().with_batch(0)).unwrap();
+    for workers in [1usize, 4] {
+        for batch in BATCH_SIZES {
+            let par = Parallelism::new(workers).with_batch(batch);
+            let study = SampleStudy::run_with(&model, 60, 31, par).unwrap();
+            assert_eq!(
+                scalar.performances(),
+                study.performances(),
+                "{workers} workers, batch {batch}"
+            );
+            assert_eq!(scalar.assignments(), study.assignments());
+        }
+    }
+}
+
+#[test]
+fn resilient_study_is_bit_identical_across_batch_sizes() {
+    let build = || {
+        let model = SyntheticModel::new(Topology::ultrasparc_t2(), 8, 1.5e6);
+        FaultyModel::new(model, FaultPlan::harsh(41))
+    };
+    let (s_study, s_log) =
+        SampleStudy::run_resilient_with(&build(), 120, 13, 3, Parallelism::serial().with_batch(0))
+            .unwrap();
+    for workers in [1usize, 4] {
+        for batch in BATCH_SIZES {
+            let par = Parallelism::new(workers).with_batch(batch);
+            let (study, log) = SampleStudy::run_resilient_with(&build(), 120, 13, 3, par).unwrap();
+            assert_eq!(
+                s_study.performances(),
+                study.performances(),
+                "{workers} workers, batch {batch}"
+            );
+            assert_eq!(s_study.assignments(), study.assignments());
+            assert_eq!(s_log, log, "{workers} workers, batch {batch}");
+        }
+    }
+}
+
+#[test]
+fn iterative_algorithm_is_bit_identical_across_batch_sizes() {
+    let run = |par: Parallelism| {
+        let model = FaultyModel::new(
+            SyntheticModel::new(Topology::ultrasparc_t2(), 6, 1.0e6),
+            FaultPlan::light(77),
+        );
+        let cfg = IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 0.08,
+            parallelism: par,
+            ..IterativeConfig::default()
+        };
+        run_iterative(&model, &cfg, 21).unwrap()
+    };
+    let scalar = run(Parallelism::serial().with_batch(0));
+    for workers in [1usize, 4] {
+        for batch in BATCH_SIZES {
+            let par = run(Parallelism::new(workers).with_batch(batch));
+            assert_eq!(
+                scalar.samples_used, par.samples_used,
+                "{workers} workers, batch {batch}"
+            );
+            assert_eq!(scalar.evaluations, par.evaluations);
+            assert_eq!(scalar.best_performance, par.best_performance);
+            assert_eq!(scalar.trace, par.trace, "{workers} workers, batch {batch}");
+            assert_eq!(
+                scalar.best_assignment.contexts(),
+                par.best_assignment.contexts()
+            );
+        }
+    }
+}
+
 #[test]
 fn bootstrap_is_bit_identical_across_worker_counts() {
     let mut rng = optassign_stats::rng::StdRng::seed_from_u64(3);
