@@ -640,91 +640,267 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
     obs: &Obs,
     persist: Option<&CampaignStore>,
 ) -> Result<IterativeResult, CoreError> {
-    if !(config.acceptable_loss > 0.0 && config.acceptable_loss < 1.0) {
-        return Err(CoreError::Domain(format!(
-            "acceptable_loss must be in (0, 1), got {}",
-            config.acceptable_loss
-        )));
-    }
-    if config.n_init < 100 || config.n_delta == 0 {
-        return Err(CoreError::Domain(
-            "n_init must be >= 100 and n_delta >= 1".into(),
-        ));
-    }
-    if config.eval_budget < config.n_init {
-        return Err(CoreError::Domain(format!(
-            "eval_budget {} cannot even cover n_init {}",
-            config.eval_budget, config.n_init
-        )));
-    }
-    if config.stall_rounds == 0 || config.estimate_failure_limit == 0 {
-        return Err(CoreError::Domain(
-            "stall_rounds and estimate_failure_limit must be >= 1".into(),
-        ));
-    }
-    let resilient_cfg = ResilientConfig {
-        base: PotConfig {
-            confidence: config.confidence,
-            ..PotConfig::default()
-        },
-        policy: config.fallback,
-        seed: seed ^ 0xE57,
-        ..ResilientConfig::default()
-    };
-
-    obs.emit(|| {
-        Event::new("iterative_start")
-            .with("n_init", config.n_init)
-            .with("n_delta", config.n_delta)
-            .with("acceptable_loss", config.acceptable_loss)
-            .with("seed", seed)
-            .with("workers", config.parallelism.workers)
-    });
-    let mut rng = optassign_stats::rng::StdRng::seed_from_u64(seed);
-    let mut events: Vec<DegradationEvent> = Vec::new();
-    let mut trace: Vec<IterationTrace> = Vec::new();
-    let mut attempts_total = 0usize;
-    let mut budget_exhausted = false;
-    let campaign = persist.map(|store| {
-        (
-            store,
-            persist::iterative_campaign_id(seed, config, model.tasks(), model.topology()),
-        )
-    });
-
-    // Step 1: initial sample (batch sequence 0).
-    let batch = measure_batch(
-        model,
-        config.n_init,
-        config.max_eval_retries,
-        config.eval_budget,
-        &mut rng,
-        split_seed(seed ^ BATCH_SALT, 0),
-        config.parallelism,
-        obs,
-        campaign.map(|(store, id)| (store, id, 0)),
-    )?;
-    attempts_total += batch.attempts;
-    note_batch_metrics(obs, &batch);
-    record_batch_events(&mut events, obs, &batch, batch.assignments.len());
-    budget_exhausted |= batch.budget_exhausted;
-    if batch.assignments.is_empty() {
-        return Err(CoreError::Measurement(MeasureError::Failed(format!(
-            "evaluation budget of {} attempts produced no successful measurement",
-            config.eval_budget
-        ))));
-    }
-    let mut study = SampleStudy::from_measurements(batch.assignments, batch.performances)?;
-
-    let mut best_seen = study.best_performance();
-    let mut rounds_without_improvement = 0usize;
-    let mut consecutive_bad_estimates = 0usize;
-    let mut degraded_stopping = false;
-    let mut round: u64 = 1;
-
+    let mut session = IterativeSession::new(config, seed)?;
     loop {
-        // Dropped at the end of each round (continue or return alike),
-        // recording the round's wall time.
+        if let StepOutcome::Finished(result) = session.step(model, obs, persist)? {
+            return Ok(*result);
+        }
+    }
+}
+
+/// Outcome of one [`IterativeSession::step`].
+#[derive(Debug, Clone)]
+pub enum StepOutcome {
+    /// The stopping rule has not fired; call [`IterativeSession::step`]
+    /// again to keep sampling.
+    Running,
+    /// The campaign is over. Further `step` calls are no-ops that return
+    /// this same result again. (Boxed so the running variant stays
+    /// word-sized.)
+    Finished(Box<IterativeResult>),
+}
+
+/// A point-in-time view of a session's progress, cheap to take between
+/// steps — the payload an online service returns for "best assignment so
+/// far" queries without touching the model.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    /// Rounds completed so far (0 until the first step finishes).
+    pub rounds: u64,
+    /// Assignments measured so far.
+    pub samples: usize,
+    /// Measurement attempts consumed so far (successes and failures).
+    pub evaluations: usize,
+    /// Best assignment observed so far (`None` before the initial batch).
+    pub best_assignment: Option<Assignment>,
+    /// Its measured performance.
+    pub best_performance: Option<f64>,
+    /// Latest UPB point estimate, if any round has produced one.
+    pub estimated_optimal: Option<f64>,
+    /// Latest certified-or-degraded gap `(UPB − best)/UPB`.
+    pub gap: Option<f64>,
+    /// Estimator rung behind the latest estimate.
+    pub method: Option<&'static str>,
+    /// Degradation events recorded so far.
+    pub degradations: usize,
+    /// Whether the evaluation budget has run out.
+    pub budget_exhausted: bool,
+    /// Stop reason, once the session has finished.
+    pub stop: Option<StopReason>,
+    /// Whether the finished session certified its gap target.
+    pub converged: bool,
+}
+
+/// The iterative algorithm as a resumable state machine.
+///
+/// [`run_iterative`] and friends are thin drivers over this type: they
+/// construct a session and call [`IterativeSession::step`] until it
+/// returns [`StepOutcome::Finished`]. Driving the session manually
+/// produces **bit-identical** results, journals, and campaign stores —
+/// the step boundary only decides *when* work happens, never *what*
+/// happens — which is what lets an online service interleave many
+/// campaigns on one thread and still match the offline runs byte for
+/// byte.
+///
+/// Step anatomy: the first step emits `iterative_start` and measures the
+/// initial `n_init` batch (journal sequence 0); every step then runs one
+/// round — re-estimate the EVT tail on the sample so far, check the
+/// stopping rule, and either finalize or measure one `n_delta` extension
+/// batch (journal sequence = round index). Concatenating the steps
+/// reproduces the original loop's event order exactly.
+///
+/// A step that returns an error poisons the session: the underlying rng
+/// has advanced, so the campaign cannot be resumed in place. Callers
+/// should surface the error and discard the session (a persistent
+/// campaign can be re-created and will replay its journal).
+pub struct IterativeSession {
+    config: IterativeConfig,
+    seed: u64,
+    resilient_cfg: ResilientConfig,
+    rng: StdRng,
+    study: Option<SampleStudy>,
+    events: Vec<DegradationEvent>,
+    trace: Vec<IterationTrace>,
+    attempts_total: usize,
+    budget_exhausted: bool,
+    best_seen: f64,
+    rounds_without_improvement: usize,
+    consecutive_bad_estimates: usize,
+    degraded_stopping: bool,
+    round: u64,
+    finished: Option<IterativeResult>,
+}
+
+impl IterativeSession {
+    /// Validates `config` and prepares a session. No measurement happens
+    /// until the first [`IterativeSession::step`]; the model is supplied
+    /// per step, so a session owns no model reference and is `Send`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Domain`] on a nonsensical configuration (the same
+    /// checks [`run_iterative`] applies).
+    pub fn new(config: &IterativeConfig, seed: u64) -> Result<IterativeSession, CoreError> {
+        if !(config.acceptable_loss > 0.0 && config.acceptable_loss < 1.0) {
+            return Err(CoreError::Domain(format!(
+                "acceptable_loss must be in (0, 1), got {}",
+                config.acceptable_loss
+            )));
+        }
+        if config.n_init < 100 || config.n_delta == 0 {
+            return Err(CoreError::Domain(
+                "n_init must be >= 100 and n_delta >= 1".into(),
+            ));
+        }
+        if config.eval_budget < config.n_init {
+            return Err(CoreError::Domain(format!(
+                "eval_budget {} cannot even cover n_init {}",
+                config.eval_budget, config.n_init
+            )));
+        }
+        if config.stall_rounds == 0 || config.estimate_failure_limit == 0 {
+            return Err(CoreError::Domain(
+                "stall_rounds and estimate_failure_limit must be >= 1".into(),
+            ));
+        }
+        let resilient_cfg = ResilientConfig {
+            base: PotConfig {
+                confidence: config.confidence,
+                ..PotConfig::default()
+            },
+            policy: config.fallback,
+            seed: seed ^ 0xE57,
+            ..ResilientConfig::default()
+        };
+        Ok(IterativeSession {
+            config: config.clone(),
+            seed,
+            resilient_cfg,
+            rng: StdRng::seed_from_u64(seed),
+            study: None,
+            events: Vec::new(),
+            trace: Vec::new(),
+            attempts_total: 0,
+            budget_exhausted: false,
+            best_seen: 0.0,
+            rounds_without_improvement: 0,
+            consecutive_bad_estimates: 0,
+            degraded_stopping: false,
+            round: 1,
+            finished: None,
+        })
+    }
+
+    /// The campaign seed this session was created with.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The (validated) configuration this session runs under.
+    #[must_use]
+    pub fn config(&self) -> &IterativeConfig {
+        &self.config
+    }
+
+    /// The final result, once a step has returned
+    /// [`StepOutcome::Finished`].
+    #[must_use]
+    pub fn result(&self) -> Option<&IterativeResult> {
+        self.finished.as_ref()
+    }
+
+    /// Cheap progress view for online "best so far" queries. Reflects
+    /// the state as of the last completed step; never touches the model.
+    #[must_use]
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let last = self.trace.last();
+        SessionSnapshot {
+            rounds: self.trace.len() as u64,
+            samples: self.study.as_ref().map_or(0, SampleStudy::len),
+            evaluations: self.attempts_total,
+            best_assignment: self.study.as_ref().map(|s| s.best_assignment().clone()),
+            best_performance: self.study.as_ref().map(SampleStudy::best_performance),
+            estimated_optimal: last.map(|t| t.estimated_optimal),
+            gap: last.map(|t| t.gap),
+            method: last.map(|t| t.method),
+            degradations: self.events.len(),
+            budget_exhausted: self.budget_exhausted,
+            stop: self.finished.as_ref().map(|r| r.stop),
+            converged: self.finished.as_ref().is_some_and(|r| r.converged),
+        }
+    }
+
+    /// Runs one bounded unit of the campaign: the first call measures
+    /// the initial `n_init` batch, and every call runs one
+    /// estimate-check-extend round (see the type docs for the exact
+    /// anatomy). Pass `persist` to journal measurements through a
+    /// durable [`CampaignStore`] with the same replay semantics as
+    /// [`run_iterative_persistent`].
+    ///
+    /// # Errors
+    ///
+    /// As [`run_iterative`]; an error poisons the session.
+    pub fn step<M: PerformanceModel + Sync>(
+        &mut self,
+        model: &M,
+        obs: &Obs,
+        persist: Option<&CampaignStore>,
+    ) -> Result<StepOutcome, CoreError> {
+        if let Some(result) = &self.finished {
+            return Ok(StepOutcome::Finished(Box::new(result.clone())));
+        }
+        let config = &self.config;
+        let campaign = persist.map(|store| {
+            (
+                store,
+                persist::iterative_campaign_id(self.seed, config, model.tasks(), model.topology()),
+            )
+        });
+
+        // Step 1 (first call only): initial sample (batch sequence 0).
+        if self.study.is_none() {
+            obs.emit(|| {
+                Event::new("iterative_start")
+                    .with("n_init", config.n_init)
+                    .with("n_delta", config.n_delta)
+                    .with("acceptable_loss", config.acceptable_loss)
+                    .with("seed", self.seed)
+                    .with("workers", config.parallelism.workers)
+            });
+            let batch = measure_batch(
+                model,
+                config.n_init,
+                config.max_eval_retries,
+                config.eval_budget,
+                &mut self.rng,
+                split_seed(self.seed ^ BATCH_SALT, 0),
+                config.parallelism,
+                obs,
+                campaign.map(|(store, id)| (store, id, 0)),
+            )?;
+            self.attempts_total += batch.attempts;
+            note_batch_metrics(obs, &batch);
+            record_batch_events(&mut self.events, obs, &batch, batch.assignments.len());
+            self.budget_exhausted |= batch.budget_exhausted;
+            if batch.assignments.is_empty() {
+                return Err(CoreError::Measurement(MeasureError::Failed(format!(
+                    "evaluation budget of {} attempts produced no successful measurement",
+                    config.eval_budget
+                ))));
+            }
+            let study = SampleStudy::from_measurements(batch.assignments, batch.performances)?;
+            self.best_seen = study.best_performance();
+            self.study = Some(study);
+        }
+        let Some(study) = self.study.as_mut() else {
+            return Err(CoreError::Domain(
+                "iterative session lost its sample study".into(),
+            ));
+        };
+
+        // One round. The span is dropped at the end of the step
+        // (finish and extend alike), recording the round's wall time.
         let _round_span = obs.span("iter_round_ns");
         obs.counter_add("iter_rounds_total", 1);
         // Step 2: estimate the optimal system performance through the
@@ -732,12 +908,12 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
         // support a profile-grade fit is not a failure of the algorithm —
         // it is the signal to keep sampling, so degraded and failed
         // estimates feed back into Step 4 like an unmet target.
-        let report = match study.estimate_resilient_obs(&resilient_cfg, obs) {
+        let report = match study.estimate_resilient_obs(&self.resilient_cfg, obs) {
             Ok(r) => {
                 if r.is_degraded() {
-                    consecutive_bad_estimates += 1;
+                    self.consecutive_bad_estimates += 1;
                     note(
-                        &mut events,
+                        &mut self.events,
                         obs,
                         DegradationEvent::EstimateFellBack {
                             samples: study.len(),
@@ -745,14 +921,14 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
                         },
                     );
                 } else {
-                    consecutive_bad_estimates = 0;
+                    self.consecutive_bad_estimates = 0;
                 }
                 Some(r)
             }
             Err(e) => {
-                consecutive_bad_estimates += 1;
+                self.consecutive_bad_estimates += 1;
                 note(
-                    &mut events,
+                    &mut self.events,
                     obs,
                     DegradationEvent::EstimateUnusable {
                         samples: study.len(),
@@ -777,18 +953,20 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
             obs.emit(|| entry.to_event());
             // Live-progress gauges: the latest round's convergence state,
             // served by the telemetry endpoint's `/progress` view.
-            obs.gauge_set("iter_round", round as f64);
+            obs.gauge_set("iter_round", self.round as f64);
             obs.gauge_set("iter_samples", entry.samples as f64);
             obs.gauge_set("iter_best_observed", entry.best_observed);
             obs.gauge_set("iter_estimated_optimal", entry.estimated_optimal);
             obs.gauge_set("iter_gap", entry.gap);
-            trace.push(entry);
+            self.trace.push(entry);
         }
 
-        if !degraded_stopping && consecutive_bad_estimates >= config.estimate_failure_limit {
-            degraded_stopping = true;
+        if !self.degraded_stopping
+            && self.consecutive_bad_estimates >= config.estimate_failure_limit
+        {
+            self.degraded_stopping = true;
             note(
-                &mut events,
+                &mut self.events,
                 obs,
                 DegradationEvent::StoppingRuleDegraded {
                     samples: study.len(),
@@ -799,12 +977,12 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
         // Step 3: accept or iterate.
         let stop = if certified_gap.map(|g| g <= config.acceptable_loss) == Some(true) {
             Some(StopReason::TargetMet)
-        } else if budget_exhausted {
+        } else if self.budget_exhausted {
             Some(StopReason::EvalBudget)
         } else if study.len() + config.n_delta > config.max_samples {
             Some(StopReason::MaxSamples)
-        } else if rounds_without_improvement >= config.stall_rounds {
-            Some(if degraded_stopping {
+        } else if self.rounds_without_improvement >= config.stall_rounds {
+            Some(if self.degraded_stopping {
                 StopReason::RelativeImprovement
             } else {
                 StopReason::Stalled
@@ -818,7 +996,7 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
             // failure to the caller, like the strict algorithm did.
             let final_estimate = match report {
                 Some(r) => r,
-                None => study.estimate_resilient(&resilient_cfg)?,
+                None => study.estimate_resilient(&self.resilient_cfg)?,
             };
             let best_assignment = study.best_assignment().clone();
             let best_performance = study.best_performance();
@@ -827,23 +1005,25 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
                     .with("stop", stop.name())
                     .with("converged", stop == StopReason::TargetMet)
                     .with("samples_used", study.len())
-                    .with("evaluations", attempts_total)
+                    .with("evaluations", self.attempts_total)
                     .with("best_performance", best_performance)
                     .with("estimated_optimal", final_estimate.upb.point)
                     .with("method", final_estimate.method.name())
-                    .with("degradations", events.len())
+                    .with("degradations", self.events.len())
             });
-            return Ok(IterativeResult {
+            let result = IterativeResult {
                 best_assignment,
                 best_performance,
                 final_estimate,
                 samples_used: study.len(),
-                evaluations: attempts_total,
+                evaluations: self.attempts_total,
                 converged: stop == StopReason::TargetMet,
                 stop,
-                trace,
-                events,
-            });
+                trace: self.trace.clone(),
+                events: self.events.clone(),
+            };
+            self.finished = Some(result.clone());
+            return Ok(StepOutcome::Finished(Box::new(result)));
         }
 
         // Step 4: extend the sample by N_delta and re-analyze. The
@@ -852,29 +1032,29 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
             model,
             config.n_delta,
             config.max_eval_retries,
-            config.eval_budget - attempts_total,
-            &mut rng,
-            split_seed(seed ^ BATCH_SALT, round),
+            config.eval_budget - self.attempts_total,
+            &mut self.rng,
+            split_seed(self.seed ^ BATCH_SALT, self.round),
             config.parallelism,
             obs,
-            campaign.map(|(store, id)| (store, id, round)),
+            campaign.map(|(store, id)| (store, id, self.round)),
         )?;
-        round += 1;
-        attempts_total += batch.attempts;
+        self.round += 1;
+        self.attempts_total += batch.attempts;
         note_batch_metrics(obs, &batch);
-        budget_exhausted |= batch.budget_exhausted;
-        if budget_exhausted {
+        self.budget_exhausted |= batch.budget_exhausted;
+        if self.budget_exhausted {
             note(
-                &mut events,
+                &mut self.events,
                 obs,
                 DegradationEvent::EvalBudgetExhausted {
                     samples: study.len() + batch.assignments.len(),
-                    attempts: attempts_total,
+                    attempts: self.attempts_total,
                 },
             );
         }
         record_batch_events(
-            &mut events,
+            &mut self.events,
             obs,
             &batch,
             study.len() + batch.assignments.len(),
@@ -882,12 +1062,13 @@ fn run_iterative_impl<M: PerformanceModel + Sync>(
         study.extend_measured(batch.assignments, batch.performances)?;
 
         let best_now = study.best_performance();
-        if best_now > best_seen * (1.0 + config.min_rel_improvement) {
-            best_seen = best_now;
-            rounds_without_improvement = 0;
+        if best_now > self.best_seen * (1.0 + config.min_rel_improvement) {
+            self.best_seen = best_now;
+            self.rounds_without_improvement = 0;
         } else {
-            rounds_without_improvement += 1;
+            self.rounds_without_improvement += 1;
         }
+        Ok(StepOutcome::Running)
     }
 }
 
@@ -1163,6 +1344,108 @@ mod tests {
                 plain.trace.len() as u64
             );
         }
+    }
+
+    #[test]
+    fn manual_stepping_matches_driver_loop() {
+        use optassign_obs::{FakeClock, MemoryRecorder, Obs};
+        use std::sync::Arc;
+
+        let faulty = FaultyModel::new(model(), FaultPlan::light(55));
+        let cfg = IterativeConfig {
+            n_init: 300,
+            n_delta: 100,
+            acceptable_loss: 0.05,
+            ..IterativeConfig::default()
+        };
+        let journal = |obs_run: &dyn Fn(&Obs) -> IterativeResult| {
+            let recorder = Arc::new(MemoryRecorder::default());
+            let obs = Obs::new(
+                Box::new(Arc::clone(&recorder)),
+                Box::new(Arc::new(FakeClock::new(0))),
+            );
+            let r = obs_run(&obs);
+            (r, recorder.lines())
+        };
+        let (driver, driver_lines) =
+            journal(&|obs| run_iterative_obs(&faulty, &cfg, 19, obs).unwrap());
+        let (stepped, stepped_lines) = journal(&|obs| {
+            let mut session = IterativeSession::new(&cfg, 19).unwrap();
+            let mut steps = 0usize;
+            loop {
+                steps += 1;
+                assert!(steps < 10_000, "session failed to terminate");
+                match session.step(&faulty, obs, None).unwrap() {
+                    StepOutcome::Running => {
+                        let snap = session.snapshot();
+                        assert!(snap.samples >= cfg.n_init);
+                        assert!(snap.best_performance.is_some());
+                        assert!(snap.stop.is_none());
+                    }
+                    StepOutcome::Finished(r) => return *r,
+                }
+            }
+        });
+        assert_eq!(stepped.samples_used, driver.samples_used);
+        assert_eq!(stepped.evaluations, driver.evaluations);
+        assert_eq!(stepped.best_performance, driver.best_performance);
+        assert_eq!(
+            stepped.final_estimate.upb.point,
+            driver.final_estimate.upb.point
+        );
+        assert_eq!(stepped.stop, driver.stop);
+        assert_eq!(stepped.trace, driver.trace);
+        assert_eq!(stepped.events, driver.events);
+        // The step boundary must not reorder or drop a single journal
+        // line: the concatenated steps are byte-identical to the loop.
+        assert_eq!(stepped_lines, driver_lines);
+    }
+
+    #[test]
+    fn step_after_finish_returns_same_result() {
+        let cfg = IterativeConfig {
+            n_init: 300,
+            acceptable_loss: 0.10,
+            ..IterativeConfig::default()
+        };
+        let m = model();
+        let obs = Obs::disabled();
+        let mut session = IterativeSession::new(&cfg, 7).unwrap();
+        let first = loop {
+            if let StepOutcome::Finished(r) = session.step(&m, &obs, None).unwrap() {
+                break r;
+            }
+        };
+        // The session is terminal: stepping again re-serves the result
+        // without touching the model, and the snapshot agrees.
+        let StepOutcome::Finished(again) = session.step(&m, &obs, None).unwrap() else {
+            panic!("finished session resumed running");
+        };
+        assert_eq!(again.samples_used, first.samples_used);
+        assert_eq!(again.best_performance, first.best_performance);
+        let snap = session.snapshot();
+        assert_eq!(snap.stop, Some(first.stop));
+        assert_eq!(snap.converged, first.converged);
+        assert_eq!(snap.samples, first.samples_used);
+        assert_eq!(snap.evaluations, first.evaluations);
+        assert_eq!(
+            session.result().map(|r| r.samples_used),
+            Some(first.samples_used)
+        );
+    }
+
+    #[test]
+    fn snapshot_before_first_step_is_empty() {
+        let session = IterativeSession::new(&IterativeConfig::default(), 3).unwrap();
+        let snap = session.snapshot();
+        assert_eq!(snap.samples, 0);
+        assert_eq!(snap.rounds, 0);
+        assert!(snap.best_assignment.is_none());
+        assert!(snap.gap.is_none());
+        assert!(snap.stop.is_none());
+        assert_eq!(session.seed(), 3);
+        assert_eq!(session.config(), &IterativeConfig::default());
+        assert!(session.result().is_none());
     }
 
     #[test]

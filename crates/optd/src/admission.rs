@@ -1,0 +1,201 @@
+//! SLO-aware admission control.
+//!
+//! The paper's capture-probability identity gives a closed-form
+//! feasibility check before any evaluation is spent: `n` independent
+//! random samples land at least one assignment in the top `f` fraction
+//! with probability `1 - (1 - f)^n`. A campaign asking for gap target
+//! `acceptable_loss = f` at confidence `c` under an evaluation budget
+//! `n` is therefore *statistically infeasible* when that probability
+//! falls short of `c` — no amount of EVT post-processing can certify a
+//! target the sample budget cannot reach. (This is the sampling bound;
+//! the iterative loop usually does better because it extends adaptively,
+//! so admission is a necessary-condition filter, not a promise.)
+//!
+//! Policy on infeasibility is the tenant's choice:
+//! - [`InfeasiblePolicy::Reject`]: structured refusal carrying the
+//!   predicted capture probability and the sample size that *would* be
+//!   required.
+//! - [`InfeasiblePolicy::Degrade`]: admit with the tightest gap target
+//!   the budget can certify, `g = 1 - (1 - c)^(1/n)` (the inverse of the
+//!   capture identity), and record the original target in
+//!   `degraded_from`.
+
+use crate::spec::{CampaignSpec, InfeasiblePolicy};
+use optassign::probability::{capture_probability, required_sample_size};
+use optassign::CoreError;
+
+/// The admission math for one campaign request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionReview {
+    /// Requested gap target (top fraction).
+    pub acceptable_loss: f64,
+    /// Requested confidence.
+    pub confidence: f64,
+    /// Evaluation budget the tenant granted.
+    pub eval_budget: usize,
+    /// `capture_probability(eval_budget, acceptable_loss)`.
+    pub predicted_capture: f64,
+    /// Samples needed to reach `confidence` at `acceptable_loss`.
+    pub required_evaluations: usize,
+    /// What admission decided.
+    pub decision: AdmissionDecision,
+}
+
+/// Outcome of the admission rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionDecision {
+    /// SLO feasible within budget: admit as requested.
+    Admit,
+    /// SLO infeasible, tenant opted into degradation: admit with this
+    /// loosened gap target.
+    Degrade {
+        /// The tightest feasible gap target at the requested confidence.
+        granted_loss: f64,
+    },
+    /// SLO infeasible and the tenant wants a refusal.
+    Reject,
+}
+
+/// Runs the admission rule for a spec.
+///
+/// # Errors
+///
+/// [`CoreError::Domain`] when `acceptable_loss` or `confidence` are
+/// outside `(0, 1)` — those are spec bugs, not infeasibility.
+pub fn review(spec: &CampaignSpec) -> Result<AdmissionReview, CoreError> {
+    let loss = spec.config.acceptable_loss;
+    let confidence = spec.config.confidence;
+    let budget = spec.config.eval_budget;
+    let predicted = capture_probability(budget, loss)?;
+    let required = required_sample_size(confidence, loss)?;
+    let decision = if predicted >= confidence {
+        AdmissionDecision::Admit
+    } else {
+        match spec.on_infeasible {
+            InfeasiblePolicy::Reject => AdmissionDecision::Reject,
+            InfeasiblePolicy::Degrade => {
+                // Invert 1 - (1 - g)^n >= c for the smallest certifiable g.
+                let granted = 1.0 - (1.0 - confidence).powf(1.0 / budget as f64);
+                if granted > loss && granted < 1.0 {
+                    AdmissionDecision::Degrade {
+                        granted_loss: granted,
+                    }
+                } else {
+                    AdmissionDecision::Reject
+                }
+            }
+        }
+    };
+    Ok(AdmissionReview {
+        acceptable_loss: loss,
+        confidence,
+        eval_budget: budget,
+        predicted_capture: predicted,
+        required_evaluations: required,
+        decision,
+    })
+}
+
+/// Applies the admission decision to the spec, producing the *effective*
+/// spec the session will actually run (the one persisted to
+/// `spec.json`). Both the daemon and the offline driver route through
+/// this, so online and offline campaigns agree byte-for-byte on the
+/// effective configuration.
+///
+/// Returns `None` when the campaign is rejected.
+///
+/// # Errors
+///
+/// Propagates domain errors from [`review`].
+pub fn admit(spec: &CampaignSpec) -> Result<Option<(CampaignSpec, AdmissionReview)>, CoreError> {
+    let rev = review(spec)?;
+    match rev.decision {
+        AdmissionDecision::Reject => Ok(None),
+        AdmissionDecision::Admit => Ok(Some((spec.clone(), rev))),
+        AdmissionDecision::Degrade { granted_loss } => {
+            let mut effective = spec.clone();
+            effective.degraded_from = Some(effective.config.acceptable_loss);
+            effective.config.acceptable_loss = granted_loss;
+            Ok(Some((effective, rev)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ModelSpec;
+    use optassign::iterative::IterativeConfig;
+
+    fn spec(loss: f64, confidence: f64, budget: usize, policy: InfeasiblePolicy) -> CampaignSpec {
+        CampaignSpec {
+            tenant: "t".into(),
+            seed: 1,
+            model: ModelSpec::Synthetic {
+                tasks: 8,
+                base_pps: 1.0e6,
+            },
+            config: IterativeConfig {
+                acceptable_loss: loss,
+                confidence,
+                eval_budget: budget,
+                ..IterativeConfig::default()
+            },
+            on_infeasible: policy,
+            degraded_from: None,
+        }
+    }
+
+    #[test]
+    fn generous_budget_is_admitted() {
+        let rev = review(&spec(0.01, 0.95, 1_000, InfeasiblePolicy::Reject)).unwrap();
+        assert_eq!(rev.decision, AdmissionDecision::Admit);
+        assert_eq!(rev.required_evaluations, 299);
+        assert!(rev.predicted_capture > 0.95);
+    }
+
+    #[test]
+    fn starved_budget_is_rejected_with_the_required_size() {
+        // 120 samples at f=0.01 capture with p ~= 0.70 < 0.95; the rule
+        // must also report the paper's 299-sample requirement.
+        let rev = review(&spec(0.01, 0.95, 120, InfeasiblePolicy::Reject)).unwrap();
+        assert_eq!(rev.decision, AdmissionDecision::Reject);
+        assert_eq!(rev.required_evaluations, 299);
+        assert!(rev.predicted_capture < 0.75, "{}", rev.predicted_capture);
+    }
+
+    #[test]
+    fn degrade_grants_the_tightest_feasible_loss() {
+        let s = spec(0.01, 0.95, 120, InfeasiblePolicy::Degrade);
+        let rev = review(&s).unwrap();
+        let AdmissionDecision::Degrade { granted_loss } = rev.decision else {
+            panic!("expected degrade, got {:?}", rev.decision);
+        };
+        // g = 1 - 0.05^(1/120) ~= 0.0247, and the grant is exactly
+        // feasible: capture_probability(120, g) == 0.95 up to rounding.
+        assert!((granted_loss - 0.024_651).abs() < 1e-4, "{granted_loss}");
+        let p = capture_probability(120, granted_loss).unwrap();
+        assert!((p - 0.95).abs() < 1e-9);
+
+        let (effective, _) = admit(&s).unwrap().unwrap();
+        assert_eq!(effective.degraded_from, Some(0.01));
+        assert!((effective.config.acceptable_loss - granted_loss).abs() < 1e-15);
+    }
+
+    #[test]
+    fn admit_passes_feasible_specs_through_unchanged() {
+        let s = spec(0.05, 0.95, 10_000, InfeasiblePolicy::Reject);
+        let (effective, rev) = admit(&s).unwrap().unwrap();
+        assert_eq!(effective, s);
+        assert_eq!(rev.decision, AdmissionDecision::Admit);
+        assert!(admit(&spec(0.01, 0.95, 120, InfeasiblePolicy::Reject))
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn invalid_fractions_are_domain_errors() {
+        assert!(review(&spec(0.0, 0.95, 100, InfeasiblePolicy::Reject)).is_err());
+        assert!(review(&spec(0.05, 1.0, 100, InfeasiblePolicy::Reject)).is_err());
+    }
+}

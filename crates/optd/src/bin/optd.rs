@@ -1,0 +1,171 @@
+//! `optd` — the assignment service daemon.
+//!
+//! ```text
+//! optd serve   --data DIR [--addr HOST:PORT] [--addr-file PATH] [--step-delay-ms N]
+//! optd offline --spec FILE --data DIR
+//! ```
+//!
+//! `serve` runs the daemon until killed. `offline` runs one campaign
+//! spec to completion through the same admission path and the offline
+//! `run_iterative_persistent` driver — its store bytes are the reference
+//! the smoke script diffs the daemon's campaign store against.
+
+use optassign::iterative::run_iterative_persistent;
+use optassign::persist::CampaignStore;
+use optassign_httpd::{HttpConfig, HttpServer};
+use optassign_obs::Obs;
+use optassign_optd::api;
+use optassign_optd::daemon::{Daemon, DaemonConfig};
+use optassign_optd::spec::CampaignSpec;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage:
+  optd serve   --data DIR [--addr HOST:PORT] [--addr-file PATH] [--step-delay-ms N] [--workers N]
+  optd offline --spec FILE --data DIR [--workers N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match mode.as_str() {
+        "serve" => serve(&args[1..]),
+        "offline" => offline(&args[1..]),
+        _ => {
+            eprintln!("unknown mode {mode}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("optd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parse_workers(args: &[String]) -> Result<Option<usize>, String> {
+    match flag(args, "--workers") {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<usize>()
+            .map(Some)
+            .map_err(|_| format!("--workers needs an integer, got {raw}")),
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let data = flag(args, "--data").ok_or_else(|| format!("--data is required\n{USAGE}"))?;
+    let addr = flag(args, "--addr").unwrap_or("127.0.0.1:0");
+    let step_delay_ms = match flag(args, "--step-delay-ms") {
+        None => 0,
+        Some(raw) => raw
+            .parse::<u64>()
+            .map_err(|_| format!("--step-delay-ms needs an integer, got {raw}"))?,
+    };
+
+    let obs = Obs::metrics_only();
+    let config = DaemonConfig {
+        data_dir: PathBuf::from(data),
+        step_delay: Duration::from_millis(step_delay_ms),
+        workers: parse_workers(args)?,
+    };
+    let daemon = Daemon::start(config, obs.clone()).map_err(|e| e.to_string())?;
+    let http_config = HttpConfig {
+        thread_name: "optd-http",
+        rejected_counter: api::REJECTED_COUNTER,
+        allowed_methods: &["GET", "POST", "DELETE"],
+        max_body_bytes: 64 * 1024,
+    };
+    let server = HttpServer::start(
+        addr,
+        obs.clone(),
+        http_config,
+        api::handler(daemon.handle(), obs),
+    )
+    .map_err(|e| format!("binding {addr}: {e}"))?;
+
+    println!("optd listening on {}", server.addr());
+    let _ = std::io::stdout().flush();
+    if let Some(path) = flag(args, "--addr-file") {
+        std::fs::write(path, server.addr().to_string())
+            .map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    // Serve until killed; campaign durability does not depend on a
+    // graceful exit.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+fn offline(args: &[String]) -> Result<(), String> {
+    let spec_path = flag(args, "--spec").ok_or_else(|| format!("--spec is required\n{USAGE}"))?;
+    let data = flag(args, "--data").ok_or_else(|| format!("--data is required\n{USAGE}"))?;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = CampaignSpec::from_json(&text).map_err(|e| format!("{spec_path}: {e}"))?;
+
+    // Same admission path as the daemon, so the effective config (and
+    // therefore the campaign bytes) match an online submission exactly.
+    let admitted = optassign_optd::admission::admit(&spec).map_err(|e| e.to_string())?;
+    let Some((mut effective, _review)) = admitted else {
+        let review = optassign_optd::admission::review(&spec).map_err(|e| e.to_string())?;
+        return Err(format!(
+            "infeasible SLO: budget {} captures top-{} with probability {:.4} < confidence {} \
+             ({} evaluations required)",
+            review.eval_budget,
+            review.acceptable_loss,
+            review.predicted_capture,
+            review.confidence,
+            review.required_evaluations
+        ));
+    };
+    if let Some(original) = effective.degraded_from {
+        println!(
+            "admission degraded acceptable_loss {original} -> {}",
+            effective.config.acceptable_loss
+        );
+    }
+    if let Some(workers) = parse_workers(args)? {
+        effective.config.parallelism.workers = workers.max(1);
+    }
+
+    std::fs::create_dir_all(data).map_err(|e| format!("{data}: {e}"))?;
+    let store = CampaignStore::open(Path::new(data)).map_err(|e| format!("{data}: {e}"))?;
+    let model = effective.model.build();
+    let result = run_iterative_persistent(&model, &effective.config, effective.seed, &store)
+        .map_err(|e| e.to_string())?;
+    store.sync();
+
+    let upb = result.final_estimate.upb.point;
+    let gap = if upb > 0.0 {
+        (upb - result.best_performance) / upb
+    } else {
+        0.0
+    };
+    println!(
+        "campaign finished: stop={} converged={} samples={} evaluations={}",
+        result.stop.name(),
+        result.converged,
+        result.samples_used,
+        result.evaluations
+    );
+    println!("best assignment: {:?}", result.best_assignment.contexts());
+    println!(
+        "best performance: {} estimated optimal: {upb} gap: {gap}",
+        result.best_performance
+    );
+    Ok(())
+}

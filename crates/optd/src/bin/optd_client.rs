@@ -1,0 +1,130 @@
+//! `optd_client` — submit a campaign and poll it to completion.
+//!
+//! ```text
+//! optd_client --addr HOST:PORT --spec FILE [--poll-ms N] [--timeout-s N]
+//! ```
+//!
+//! Posts the spec, then polls `GET /v1/campaigns/{id}` until the
+//! campaign leaves the running state, printing progress, and finally
+//! prints the best assignment. Exit codes: `0` finished, `1` failed or
+//! timed out, `2` rejected/invalid spec.
+
+use optassign_obs::Json;
+use optassign_optd::client::http_call;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const USAGE: &str = "usage: optd_client --addr HOST:PORT --spec FILE [--poll-ms N] [--timeout-s N]";
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("optd_client: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let addr = flag(args, "--addr").ok_or_else(|| format!("--addr is required\n{USAGE}"))?;
+    let spec_path = flag(args, "--spec").ok_or_else(|| format!("--spec is required\n{USAGE}"))?;
+    let poll_ms = flag(args, "--poll-ms")
+        .map_or(Ok(50), str::parse::<u64>)
+        .map_err(|_| "--poll-ms needs an integer".to_string())?;
+    let timeout_s = flag(args, "--timeout-s")
+        .map_or(Ok(300), str::parse::<u64>)
+        .map_err(|_| "--timeout-s needs an integer".to_string())?;
+
+    let spec = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let (status, body) = http_call(addr, "POST", "/v1/campaigns", Some(&spec))
+        .map_err(|e| format!("POST {addr}: {e}"))?;
+    if status != 201 {
+        eprintln!("submission refused ({status}): {body}");
+        return Ok(ExitCode::from(2));
+    }
+    let doc = Json::parse(&body).ok_or("unparsable submission response")?;
+    let id = doc
+        .get("campaign")
+        .and_then(|c| c.get("id"))
+        .and_then(Json::as_str)
+        .ok_or("submission response carries no campaign id")?
+        .to_string();
+    println!("campaign {id} admitted");
+
+    let deadline = Instant::now() + Duration::from_secs(timeout_s);
+    let mut last_rounds = u64::MAX;
+    loop {
+        if Instant::now() > deadline {
+            eprintln!("campaign {id} still running after {timeout_s}s");
+            return Ok(ExitCode::FAILURE);
+        }
+        let (status, body) = http_call(addr, "GET", &format!("/v1/campaigns/{id}"), None)
+            .map_err(|e| format!("GET {addr}: {e}"))?;
+        if status != 200 {
+            return Err(format!("poll failed ({status}): {body}"));
+        }
+        let doc = Json::parse(&body).ok_or("unparsable campaign view")?;
+        let state = doc.get("state").and_then(Json::as_str).unwrap_or("unknown");
+        let rounds = doc.get("rounds").and_then(Json::as_u64).unwrap_or(0);
+        if rounds != last_rounds {
+            last_rounds = rounds;
+            let gap = doc.get("gap").and_then(Json::as_f64);
+            let slo = doc.get("slo").and_then(Json::as_str).unwrap_or("?");
+            match gap {
+                Some(gap) => println!("  round {rounds}: gap {gap:.6} slo {slo}"),
+                None => println!("  round {rounds}: no estimate yet, slo {slo}"),
+            }
+        }
+        match state {
+            "finished" => break,
+            "failed" => {
+                let reason = doc.get("error").and_then(Json::as_str).unwrap_or("unknown");
+                eprintln!("campaign {id} failed: {reason}");
+                return Ok(ExitCode::FAILURE);
+            }
+            _ => std::thread::sleep(Duration::from_millis(poll_ms)),
+        }
+    }
+
+    let (status, body) = http_call(addr, "GET", &format!("/v1/campaigns/{id}/best"), None)
+        .map_err(|e| format!("GET {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("best query failed ({status}): {body}"));
+    }
+    let doc = Json::parse(&body).ok_or("unparsable best response")?;
+    let assignment: Vec<String> = doc
+        .get("assignment")
+        .and_then(Json::as_array)
+        .map(|items| {
+            items
+                .iter()
+                .filter_map(Json::as_u64)
+                .map(|v| v.to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    println!("campaign {id} finished");
+    println!("best assignment: [{}]", assignment.join(", "));
+    println!(
+        "best performance: {} estimated optimal: {} gap: {} method: {} converged: {}",
+        doc.get("performance").and_then(Json::as_f64).unwrap_or(0.0),
+        doc.get("estimated_optimal")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0),
+        doc.get("gap").and_then(Json::as_f64).unwrap_or(0.0),
+        doc.get("method").and_then(Json::as_str).unwrap_or("?"),
+        doc.get("converged")
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
+    );
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,74 @@
+//! Minimal std-only HTTP/1.1 client for the daemon's API.
+//!
+//! The server closes the connection after every response
+//! (`Connection: close`), so a request is: write the head and body, read
+//! to EOF, split the head off at the blank line. No keep-alive, no
+//! chunked encoding — exactly what the `optd_client` binary, the
+//! integration tests, and the smoke script need, with zero dependencies.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Per-request socket timeout.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Issues one HTTP request and returns `(status, body)`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures; a response without a valid
+/// status line is [`std::io::ErrorKind::InvalidData`].
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    let payload = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+         Content-Length: {}\r\n\r\n{payload}",
+        payload.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<(u16, String)> {
+    let text = String::from_utf8_lossy(raw);
+    let invalid =
+        || std::io::Error::new(std::io::ErrorKind::InvalidData, "malformed HTTP response");
+    let (head, body) = text.split_once("\r\n\r\n").ok_or_else(invalid)?;
+    let status_line = head.lines().next().ok_or_else(invalid)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(invalid)?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_response() {
+        let raw = b"HTTP/1.1 201 Created\r\nContent-Type: application/json\r\n\r\n{\"ok\":true}";
+        let (status, body) = parse_response(raw).unwrap();
+        assert_eq!(status, 201);
+        assert_eq!(body, "{\"ok\":true}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http at all").is_err());
+        assert!(parse_response(b"HTTP/1.1 banana\r\n\r\nbody").is_err());
+    }
+}

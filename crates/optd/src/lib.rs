@@ -1,0 +1,40 @@
+//! optassign-optd: an online multi-tenant assignment service.
+//!
+//! The offline pipeline answers "what is the best task assignment" as a
+//! batch job. This crate turns it into a *service*: a long-running
+//! daemon that accepts workload descriptions over HTTP, runs many
+//! tenants' sampling/EVT campaigns concurrently as incremental
+//! [`optassign::iterative::IterativeSession`] steps, and can answer
+//! "best assignment so far, UPB gap, and confidence" at any moment.
+//!
+//! Layers:
+//!
+//! - [`spec`] — the wire/persistence format for campaign requests and
+//!   the [`spec::TenantModel`] enum that dispatches to concrete models.
+//! - [`admission`] — SLO-aware admission from the paper's
+//!   capture-probability identity: reject (or degrade) campaigns whose
+//!   gap target is statistically unreachable within their budget.
+//! - [`daemon`] — stride scheduler interleaving sessions
+//!   budget-weighted, each journaling to its own `optassign-store` WAL;
+//!   restart resumes every campaign bit-identically.
+//! - [`api`] — the HTTP surface on the shared `optassign-httpd` core.
+//! - [`client`] — a std-only HTTP client for the CLI, tests, and
+//!   scripts.
+//!
+//! The determinism contract carries over unchanged from the offline
+//! drivers: campaign state (the WAL bytes) depends only on seed, config,
+//! and workload — never on worker count, pacing, request timing, or
+//! daemon restarts.
+
+pub mod admission;
+pub mod api;
+pub mod client;
+pub mod daemon;
+pub mod spec;
+
+pub use admission::{AdmissionDecision, AdmissionReview};
+pub use daemon::{
+    CampaignState, CampaignView, Daemon, DaemonConfig, DaemonHandle, SloState, SubmitError,
+    SubmitOutcome,
+};
+pub use spec::{CampaignSpec, InfeasiblePolicy, ModelSpec, TenantModel};

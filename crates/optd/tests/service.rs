@@ -1,0 +1,330 @@
+//! End-to-end service tests against the real `optd` and `optd_client`
+//! binaries: SIGKILL mid-campaign + restart resume, multi-tenant
+//! concurrency, worker-count independence, and structured SLO
+//! rejection — all verified down to the campaign WAL bytes.
+
+use optassign_obs::Json;
+use optassign_optd::client::http_call;
+use optassign_store::WAL_FILE;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// A spec that needs many rounds (bounded by `max_samples`) so a kill
+/// reliably lands mid-campaign, yet passes admission (required ~6k
+/// evaluations < 20k budget).
+const SLOW_SPEC: &str = r#"{"tenant":"kill-me","seed":113,
+  "model":{"kind":"synthetic","tasks":8,"base_pps":2000000},
+  "config":{"n_init":300,"n_delta":100,"acceptable_loss":0.0005,
+            "max_samples":2000,"eval_budget":20000}}"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "optd-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+struct Service {
+    child: Child,
+    addr: String,
+}
+
+impl Service {
+    /// Spawns `optd serve` and waits for its address file.
+    fn start(data: &Path, extra: &[&str]) -> Service {
+        let addr_file = data.join("addr.txt");
+        let _ = std::fs::remove_file(&addr_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_optd"))
+            .arg("serve")
+            .arg("--data")
+            .arg(data)
+            .arg("--addr-file")
+            .arg(&addr_file)
+            .args(extra)
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawning optd");
+        let deadline = Instant::now() + Duration::from_secs(30);
+        let addr = loop {
+            if let Ok(addr) = std::fs::read_to_string(&addr_file) {
+                if !addr.is_empty() {
+                    break addr;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "optd never published its address"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        };
+        Service { child, addr }
+    }
+
+    fn submit(&self, spec: &str) -> (u16, String) {
+        http_call(&self.addr, "POST", "/v1/campaigns", Some(spec)).expect("POST /v1/campaigns")
+    }
+
+    fn view(&self, id: &str) -> Json {
+        let (status, body) =
+            http_call(&self.addr, "GET", &format!("/v1/campaigns/{id}"), None).expect("GET view");
+        assert_eq!(status, 200, "{body}");
+        Json::parse(&body).expect("view JSON")
+    }
+
+    fn wait_finished(&self, id: &str) {
+        let deadline = Instant::now() + Duration::from_secs(120);
+        loop {
+            let view = self.view(id);
+            match view.get("state").and_then(Json::as_str) {
+                Some("finished") => return,
+                Some("failed") => panic!(
+                    "campaign {id} failed: {:?}",
+                    view.get("error").and_then(Json::as_str)
+                ),
+                _ => {
+                    assert!(Instant::now() < deadline, "campaign {id} never finished");
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn submitted_id(body: &str) -> String {
+    Json::parse(body)
+        .and_then(|doc| {
+            doc.get("campaign")
+                .and_then(|c| c.get("id"))
+                .and_then(Json::as_str)
+                .map(str::to_string)
+        })
+        .unwrap_or_else(|| panic!("no campaign id in {body}"))
+}
+
+fn wal_bytes(dir: &Path) -> Vec<u8> {
+    let bytes = std::fs::read(dir.join(WAL_FILE)).expect("campaign WAL");
+    assert!(!bytes.is_empty(), "empty WAL at {}", dir.display());
+    bytes
+}
+
+fn run_offline(spec_path: &Path, data: &Path, extra: &[&str]) {
+    let status = Command::new(env!("CARGO_BIN_EXE_optd"))
+        .arg("offline")
+        .arg("--spec")
+        .arg(spec_path)
+        .arg("--data")
+        .arg(data)
+        .args(extra)
+        .status()
+        .expect("running optd offline");
+    assert!(status.success(), "optd offline failed");
+}
+
+#[test]
+fn sigkill_restart_matches_uninterrupted_and_offline_at_1_and_4_workers() {
+    // Reference: uninterrupted daemon run at the default worker count.
+    let clean = temp_dir("clean");
+    let service = Service::start(&clean, &[]);
+    let (status, body) = service.submit(SLOW_SPEC);
+    assert_eq!(status, 201, "{body}");
+    let id = submitted_id(&body);
+    service.wait_finished(&id);
+    service.kill();
+    let reference = wal_bytes(&clean.join(&id));
+
+    // Interrupted: paced daemon at 4 workers, SIGKILLed mid-campaign,
+    // restarted (again 4 workers), drained to completion.
+    let killed = temp_dir("killed");
+    let service = Service::start(&killed, &["--step-delay-ms", "40", "--workers", "4"]);
+    let (status, body) = service.submit(SLOW_SPEC);
+    assert_eq!(status, 201, "{body}");
+    let id2 = submitted_id(&body);
+    assert_eq!(id2, id);
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let view = service.view(&id);
+        let rounds = view.get("rounds").and_then(Json::as_u64).unwrap_or(0);
+        let state = view.get("state").and_then(Json::as_str).unwrap_or("");
+        if rounds >= 3 || state != "running" {
+            assert_eq!(state, "running", "campaign finished before the kill");
+            break;
+        }
+        assert!(Instant::now() < deadline, "campaign never progressed");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    service.kill(); // SIGKILL: no flush, no graceful shutdown.
+
+    let service = Service::start(&killed, &["--workers", "4"]);
+    let resumed = service.view(&id);
+    assert_eq!(
+        resumed.get("state").and_then(Json::as_str),
+        Some("running"),
+        "killed campaign should resume as running"
+    );
+    service.wait_finished(&id);
+    service.kill();
+    let restarted = wal_bytes(&killed.join(&id));
+    assert_eq!(
+        restarted, reference,
+        "kill -9 + restart at 4 workers diverged from the uninterrupted 1-worker run"
+    );
+
+    // Offline driver over the same spec: same bytes again.
+    let offline = temp_dir("offline");
+    let spec_path = offline.join("spec.json");
+    std::fs::write(&spec_path, SLOW_SPEC).unwrap();
+    let offline_data = offline.join("campaign");
+    run_offline(&spec_path, &offline_data, &[]);
+    assert_eq!(
+        wal_bytes(&offline_data),
+        reference,
+        "offline run_iterative_persistent diverged from the daemon"
+    );
+
+    let _ = std::fs::remove_dir_all(&clean);
+    let _ = std::fs::remove_dir_all(&killed);
+    let _ = std::fs::remove_dir_all(&offline);
+}
+
+#[test]
+fn two_tenants_with_different_budgets_run_concurrently() {
+    let data = temp_dir("tenants");
+    let service = Service::start(&data, &[]);
+
+    let heavy = r#"{"tenant":"heavy","seed":7,
+      "model":{"kind":"synthetic","tasks":8},
+      "config":{"n_init":300,"n_delta":100,"acceptable_loss":0.001,
+                "max_samples":1500,"eval_budget":40000}}"#;
+    let light = r#"{"tenant":"light","seed":8,
+      "model":{"kind":"synthetic","tasks":8},
+      "config":{"n_init":300,"n_delta":100,"acceptable_loss":0.05,
+                "eval_budget":4000}}"#;
+    let (status, body) = service.submit(heavy);
+    assert_eq!(status, 201, "{body}");
+    let heavy_id = submitted_id(&body);
+    let (status, body) = service.submit(light);
+    assert_eq!(status, 201, "{body}");
+    let light_id = submitted_id(&body);
+    assert_ne!(heavy_id, light_id);
+
+    service.wait_finished(&heavy_id);
+    service.wait_finished(&light_id);
+
+    let (status, body) = http_call(&service.addr, "GET", "/v1/campaigns", None).unwrap();
+    assert_eq!(status, 200);
+    let doc = Json::parse(&body).unwrap();
+    let campaigns = doc.get("campaigns").and_then(Json::as_array).unwrap();
+    assert_eq!(campaigns.len(), 2);
+    for c in campaigns {
+        assert_eq!(c.get("state").and_then(Json::as_str), Some("finished"));
+        assert!(c.get("best_performance").and_then(Json::as_f64).unwrap() > 0.0);
+    }
+    service.kill();
+
+    // Each tenant's WAL matches its own offline reference run.
+    for (id, spec) in [(heavy_id, heavy), (light_id, light)] {
+        let offline = temp_dir(&format!("tenants-offline-{id}"));
+        let spec_path = offline.join("spec.json");
+        std::fs::write(&spec_path, spec).unwrap();
+        let offline_data = offline.join("campaign");
+        run_offline(&spec_path, &offline_data, &[]);
+        assert_eq!(
+            wal_bytes(&data.join(&id)),
+            wal_bytes(&offline_data),
+            "tenant {id} diverged from its offline run"
+        );
+        let _ = std::fs::remove_dir_all(&offline);
+    }
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn client_binary_drives_a_campaign_to_completion() {
+    let data = temp_dir("client");
+    let service = Service::start(&data, &[]);
+    let spec_path = data.join("spec.json");
+    std::fs::write(
+        &spec_path,
+        r#"{"tenant":"cli","seed":21,"model":{"kind":"synthetic","tasks":8},
+           "config":{"n_init":300,"n_delta":100,"acceptable_loss":0.05,"eval_budget":20000}}"#,
+    )
+    .unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_optd_client"))
+        .args(["--addr", &service.addr, "--spec"])
+        .arg(&spec_path)
+        .args(["--poll-ms", "20", "--timeout-s", "120"])
+        .output()
+        .expect("running optd_client");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        output.status.success(),
+        "optd_client failed: {stdout}\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    assert!(stdout.contains("campaign c000001 finished"), "{stdout}");
+    assert!(stdout.contains("best assignment: ["), "{stdout}");
+    service.kill();
+    let _ = std::fs::remove_dir_all(&data);
+}
+
+#[test]
+fn infeasible_slo_gets_a_structured_rejection() {
+    let data = temp_dir("infeasible");
+    let service = Service::start(&data, &[]);
+    let spec = r#"{"tenant":"greedy","seed":1,"model":{"kind":"synthetic","tasks":8},
+      "config":{"n_init":100,"acceptable_loss":0.01,"eval_budget":120}}"#;
+    let (status, body) = service.submit(spec);
+    assert_eq!(status, 422, "{body}");
+    let doc = Json::parse(&body).unwrap();
+    assert_eq!(
+        doc.get("error").and_then(Json::as_str),
+        Some("infeasible_slo")
+    );
+    let admission = doc.get("admission").unwrap();
+    assert_eq!(
+        admission.get("required_evaluations").and_then(Json::as_u64),
+        Some(299)
+    );
+    assert_eq!(
+        admission.get("eval_budget").and_then(Json::as_u64),
+        Some(120)
+    );
+    assert!(
+        admission
+            .get("predicted_capture")
+            .and_then(Json::as_f64)
+            .unwrap()
+            < 0.75
+    );
+
+    // The client binary surfaces the refusal with exit code 2.
+    let spec_path = data.join("greedy.json");
+    std::fs::write(&spec_path, spec).unwrap();
+    let output = Command::new(env!("CARGO_BIN_EXE_optd_client"))
+        .args(["--addr", &service.addr, "--spec"])
+        .arg(&spec_path)
+        .output()
+        .expect("running optd_client");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("infeasible_slo"));
+    service.kill();
+    let _ = std::fs::remove_dir_all(&data);
+}

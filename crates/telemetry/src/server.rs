@@ -1,12 +1,13 @@
-//! A minimal HTTP/1.1 server over `std::net::TcpListener`.
+//! The telemetry endpoint: five read-only routes over the workspace's
+//! shared HTTP core ([`optassign_httpd`]).
 //!
-//! Five read-only routes, one accept thread, one connection at a time,
-//! `Connection: close` on every response — deliberately the smallest
-//! server that `curl`, Prometheus scrapers, and a browser can talk to.
 //! Everything it serves is a snapshot: [`Obs::metrics`] clones the
 //! registry under its own lock, and the hub's ring and progress digest
 //! are copied out under short-hold mutexes. Serving never blocks the
-//! pipeline and never writes anything back into it.
+//! pipeline and never writes anything back into it. The transport
+//! hardening — `431` on oversized request lines, `408` head deadline,
+//! drain-before-reject, the rejected-request counter — lives in the
+//! shared core and is configured here with this crate's counter name.
 //!
 //! | route           | payload                                         |
 //! |-----------------|-------------------------------------------------|
@@ -17,29 +18,10 @@
 //! | `/trace`        | Chrome trace JSON over recent span events       |
 
 use crate::hub::TelemetryHub;
+use optassign_httpd::{Handler, HttpConfig, HttpServer, Request, Response};
 use optassign_obs::Obs;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::SocketAddr;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
-
-/// Largest request head we accept; telemetry requests are a GET line
-/// plus a handful of headers.
-const MAX_REQUEST_BYTES: usize = 8 * 1024;
-
-/// Largest request *line* we accept. Routes are a dozen bytes; anything
-/// approaching this cap is garbage or abuse and is answered with `431`.
-const MAX_REQUEST_LINE_BYTES: usize = 1024;
-
-/// How long a single read or write may dawdle before we drop it.
-const IO_TIMEOUT: Duration = Duration::from_secs(2);
-
-/// Total wall-clock budget for reading one request head. A drip-feeding
-/// client can reset per-read timeouts forever; this deadline cannot be
-/// reset, so one connection stalls the single-threaded server for at
-/// most this long.
-const CONNECTION_DEADLINE: Duration = Duration::from_secs(5);
 
 /// Counter bumped for every rejected request (malformed line, bad
 /// method, oversized request line, or head-read timeout). Unknown paths
@@ -52,9 +34,7 @@ pub const REJECTED_COUNTER: &str = "telemetry_requests_rejected_total";
 /// outlives the handle.
 #[derive(Debug)]
 pub struct TelemetryServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl TelemetryServer {
@@ -68,213 +48,39 @@ impl TelemetryServer {
     /// Propagates bind/spawn failures; the caller decides whether a run
     /// without telemetry should proceed.
     pub fn start(addr: &str, obs: Obs, hub: Arc<TelemetryHub>) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let stop_flag = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("optassign-telemetry".into())
-            .spawn(move || serve(&listener, &obs, &hub, &stop_flag))?;
-        Ok(TelemetryServer {
-            addr: local_addr,
-            stop,
-            handle: Some(handle),
-        })
+        let routes_obs = obs.clone();
+        let handler: Arc<Handler> = Arc::new(move |req: &Request| route(req, &routes_obs, &hub));
+        let inner = HttpServer::start(
+            addr,
+            obs,
+            HttpConfig::read_only("optassign-telemetry", REJECTED_COUNTER),
+            handler,
+        )?;
+        Ok(TelemetryServer { inner })
     }
 
     /// The bound address (resolves the ephemeral port of `:0` binds).
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
     /// Stops the accept thread and waits for it to exit. Idempotent.
     pub fn shutdown(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the accept() call; an error just means the listener is
-        // already gone, which is the outcome we want.
-        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+        self.inner.shutdown();
     }
 }
 
-impl Drop for TelemetryServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn serve(listener: &TcpListener, obs: &Obs, hub: &TelemetryHub, stop: &AtomicBool) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        handle_connection(stream, obs, hub);
-    }
-}
-
-fn handle_connection(mut stream: TcpStream, obs: &Obs, hub: &TelemetryHub) {
-    let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
-    let request_line = match read_request_line(&mut stream) {
-        Head::Line(line) => line,
-        // Zero bytes sent: the shutdown self-connect (or a port probe).
-        // Nothing to answer and nothing worth counting.
-        Head::Silent => return,
-        Head::TooLong => {
-            obs.counter_add(REJECTED_COUNTER, 1);
-            drain(&mut stream);
-            respond(
-                &mut stream,
-                "431 Request Header Fields Too Large",
-                "text/plain; charset=utf-8",
-                "request line too long\n",
-            );
-            return;
-        }
-        Head::TimedOut => {
-            obs.counter_add(REJECTED_COUNTER, 1);
-            respond(
-                &mut stream,
-                "408 Request Timeout",
-                "text/plain; charset=utf-8",
-                "request timeout\n",
-            );
-            return;
-        }
-    };
-    let mut parts = request_line.split_whitespace();
-    let (Some(method), Some(target)) = (parts.next(), parts.next()) else {
-        obs.counter_add(REJECTED_COUNTER, 1);
-        respond(
-            &mut stream,
-            "400 Bad Request",
-            "text/plain; charset=utf-8",
-            "bad request\n",
-        );
-        return;
-    };
-    if method != "GET" {
-        obs.counter_add(REJECTED_COUNTER, 1);
-        respond(
-            &mut stream,
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "method not allowed\n",
-        );
-        return;
-    }
-    let path = target.split('?').next().unwrap_or(target);
-    match path {
-        "/healthz" => respond(&mut stream, "200 OK", "text/plain; charset=utf-8", "ok\n"),
-        "/metrics" => respond(
-            &mut stream,
-            "200 OK",
+fn route(req: &Request, obs: &Obs, hub: &TelemetryHub) -> Response {
+    match req.path.as_str() {
+        "/healthz" => Response::ok("text/plain; charset=utf-8", "ok\n"),
+        "/metrics" => Response::ok(
             "text/plain; version=0.0.4; charset=utf-8",
-            &obs.metrics().to_prometheus(),
+            obs.metrics().to_prometheus(),
         ),
-        "/metrics.json" => respond(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &obs.metrics().to_json(),
-        ),
-        "/progress" => respond(
-            &mut stream,
-            "200 OK",
-            "application/json",
-            &hub.progress_json(),
-        ),
-        "/trace" => respond(&mut stream, "200 OK", "application/json", &hub.trace_json()),
-        _ => respond(
-            &mut stream,
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found\n",
-        ),
+        "/metrics.json" => Response::json(200, obs.metrics().to_json()),
+        "/progress" => Response::json(200, hub.progress_json()),
+        "/trace" => Response::json(200, hub.trace_json()),
+        _ => Response::not_found(),
     }
-}
-
-/// Discards whatever request bytes are still in flight, briefly. Closing
-/// a socket with unread input provokes a TCP reset that can destroy the
-/// rejection response before the peer reads it; consuming the leftovers
-/// first (bounded, so an abuser cannot hold the thread) keeps the close
-/// orderly.
-fn drain(stream: &mut TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let mut sink = [0u8; 512];
-    while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
-}
-
-/// Outcome of reading one request head.
-enum Head {
-    /// A complete request line arrived in time.
-    Line(String),
-    /// The peer closed (or never spoke) without sending anything.
-    Silent,
-    /// The request line outgrew [`MAX_REQUEST_LINE_BYTES`].
-    TooLong,
-    /// The head did not complete within [`CONNECTION_DEADLINE`].
-    TimedOut,
-}
-
-/// Reads until the end of the request head (or EOF / size cap / the
-/// connection deadline) and classifies what arrived.
-fn read_request_line(stream: &mut TcpStream) -> Head {
-    let start = Instant::now();
-    let mut buf = Vec::new();
-    let mut chunk = [0u8; 512];
-    loop {
-        // Per-read timeout shrinks toward the overall deadline so a
-        // drip-feeding client cannot extend its stay read by read.
-        let Some(remaining) = CONNECTION_DEADLINE.checked_sub(start.elapsed()) else {
-            return if buf.is_empty() {
-                Head::Silent
-            } else {
-                Head::TimedOut
-            };
-        };
-        let _ = stream.set_read_timeout(Some(remaining.min(IO_TIMEOUT)));
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(_) => {
-                return if buf.is_empty() {
-                    Head::Silent
-                } else {
-                    Head::TimedOut
-                };
-            }
-        };
-        buf.extend_from_slice(&chunk[..n]);
-        if !buf[..buf.len().min(MAX_REQUEST_LINE_BYTES + 1)].contains(&b'\n')
-            && buf.len() > MAX_REQUEST_LINE_BYTES
-        {
-            return Head::TooLong;
-        }
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() >= MAX_REQUEST_BYTES {
-            break;
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    match head.lines().next() {
-        Some(line) if line.len() > MAX_REQUEST_LINE_BYTES => Head::TooLong,
-        Some(line) if !line.is_empty() => Head::Line(line.to_string()),
-        _ => Head::Silent,
-    }
-}
-
-/// Writes one complete `Connection: close` response; write failures are
-/// the client's problem, not the pipeline's.
-fn respond(stream: &mut TcpStream, status: &str, content_type: &str, body: &str) {
-    let head = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    let _ = stream
-        .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(body.as_bytes()))
-        .and_then(|()| stream.flush());
 }

@@ -18,7 +18,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 # Library crates: panic-free discipline on top of the standard lints.
-LIB_CRATES=(optassign-obs optassign-exec optassign-store optassign-stats optassign-sim optassign-evt optassign-netapps optassign-telemetry optassign)
+LIB_CRATES=(optassign-obs optassign-exec optassign-store optassign-stats optassign-sim optassign-evt optassign-netapps optassign-telemetry optassign-httpd optassign-optd optassign)
 for crate in "${LIB_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} --lib (deny warnings, unwrap_used, expect_used)"
     cargo clippy -q -p "${crate}" --lib -- \
@@ -144,6 +144,39 @@ if [[ "${FAST}" == "0" ]]; then
         --scale 0.01 --workers 2 --checkpoint "${METRICS_TMP}/ckpt-clean" --resume \
         >"${METRICS_TMP}/repaired.out"
     diff "${METRICS_TMP}/clean.out" "${METRICS_TMP}/repaired.out"
+
+    # Online-service smoke: start the optd daemon, drive a small
+    # fig13-style netapps campaign through the optd_client binary, then
+    # check the daemon's campaign WAL is byte-identical to the offline
+    # driver's (`optd offline` runs run_iterative_persistent through the
+    # same admission path).
+    echo "==> optd online-service smoke"
+    cargo build -q --release -p optassign-optd
+    OPTD_DATA="${METRICS_TMP}/optd-data"
+    cat >"${METRICS_TMP}/optd-spec.json" <<'EOF'
+{"tenant":"smoke","seed":20120301,
+ "model":{"kind":"netapps","benchmark":"IPFwd-L1","instances":8,
+          "warmup_cycles":2000,"measure_cycles":4000},
+ "config":{"n_init":100,"n_delta":50,"acceptable_loss":0.05,
+           "max_samples":400,"eval_budget":2000}}
+EOF
+    target/release/optd serve --data "${OPTD_DATA}" \
+        --addr-file "${METRICS_TMP}/optd-addr" --workers 2 >/dev/null &
+    OPTD_PID=$!
+    for _ in $(seq 1 50); do
+        [[ -s "${METRICS_TMP}/optd-addr" ]] && break
+        sleep 0.1
+    done
+    [[ -s "${METRICS_TMP}/optd-addr" ]] || { echo "optd never came up"; exit 1; }
+    target/release/optd_client --addr "$(cat "${METRICS_TMP}/optd-addr")" \
+        --spec "${METRICS_TMP}/optd-spec.json" --timeout-s 120 \
+        >"${METRICS_TMP}/optd-client.out"
+    grep -q 'finished' "${METRICS_TMP}/optd-client.out"
+    kill "${OPTD_PID}" 2>/dev/null || true
+    wait "${OPTD_PID}" 2>/dev/null || true
+    target/release/optd offline --spec "${METRICS_TMP}/optd-spec.json" \
+        --data "${OPTD_DATA}-offline" >/dev/null
+    cmp "${OPTD_DATA}/c000001/campaign.wal" "${OPTD_DATA}-offline/campaign.wal"
 
     # Perf-trajectory smoke: the batched evaluation hot path, measured at
     # a tiny window and diffed against the committed BENCH_*.json
