@@ -9,17 +9,28 @@
 //! the repair a resuming run would perform, made explicit and
 //! inspectable.
 //!
-//! Exit status: 0 when the store is clean (or was just repaired),
-//! 2 when damage was found and `--repair` was not given, 1 on usage or
-//! I/O errors. The report is deterministic for given store bytes.
+//! With `--merge`, instead merges the given shard stores into a fresh
+//! destination store (the same canonical merge the fleet coordinator
+//! performs) and prints the per-shard contribution report.
 //!
-//! Usage: `store_fsck <dir> [--repair]`
+//! Exit status: 0 when the store is clean (or was just repaired, or the
+//! merge found no damaged shard), 2 when damage was found without
+//! `--repair` (or a merge input was damaged), 1 on usage or I/O errors.
+//! The report is deterministic for given store bytes.
+//!
+//! Usage:
+//! `store_fsck <dir> [--repair]`
+//! `store_fsck --merge <dest> <shard> [<shard> ...]`
 
 use optassign_obs::Obs;
 use optassign_store::io::RealIo;
+use optassign_store::merge::merge_campaigns;
 use optassign_store::{fsck, FsckReport};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: store_fsck <dir> [--repair]
+       store_fsck --merge <dest> <shard> [<shard> ...]";
 
 fn print_report(dir: &std::path::Path, report: &FsckReport) {
     println!("store_fsck: {}", dir.display());
@@ -33,8 +44,47 @@ fn print_report(dir: &std::path::Path, report: &FsckReport) {
     println!("  repaired            : {}", report.repaired);
 }
 
+fn merge(args: &[String]) -> ExitCode {
+    let [dest, shards @ ..] = args else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if shards.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    }
+    let dest = PathBuf::from(dest);
+    let shards: Vec<PathBuf> = shards.iter().map(PathBuf::from).collect();
+    match merge_campaigns(&shards, &dest) {
+        Ok(report) => {
+            println!(
+                "store_fsck: merged {} shard(s) into {}",
+                report.shards,
+                dest.display()
+            );
+            print!("{}", report.render_per_shard());
+            if report.damaged_shards == 0 {
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "store_fsck: {} damaged shard(s) salvaged",
+                    report.damaged_shards
+                );
+                ExitCode::from(2)
+            }
+        }
+        Err(e) => {
+            eprintln!("store_fsck: merge into {}: {e}", dest.display());
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--merge") {
+        return merge(&args[1..]);
+    }
     let mut dir: Option<PathBuf> = None;
     let mut repair = false;
     for arg in &args {
@@ -43,12 +93,12 @@ fn main() -> ExitCode {
         } else if !arg.starts_with("--") && dir.is_none() {
             dir = Some(PathBuf::from(arg));
         } else {
-            eprintln!("usage: store_fsck <dir> [--repair]");
+            eprintln!("{USAGE}");
             return ExitCode::FAILURE;
         }
     }
     let Some(dir) = dir else {
-        eprintln!("usage: store_fsck <dir> [--repair]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
 

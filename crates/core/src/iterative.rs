@@ -38,6 +38,7 @@ use optassign_exec::{
     Parallelism,
 };
 use optassign_obs::{Event, Obs};
+use optassign_sim::Topology;
 use optassign_stats::rng::{Rng, StdRng};
 use optassign_store::CampaignStore;
 
@@ -279,11 +280,64 @@ struct Batch {
 
 /// Outcome of one slot of a measurement batch: either a measured
 /// assignment or an abandoned slot, plus the attempts it consumed.
-struct BatchSlot {
-    measured: Option<(Assignment, f64)>,
-    attempts: usize,
-    retries: usize,
-    redrawn: usize,
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotOutcome {
+    /// The measured assignment and its performance; `None` when every
+    /// draw exhausted its retry budget and the slot was abandoned.
+    pub measured: Option<(Assignment, f64)>,
+    /// Measurement attempts the slot consumed (successes and failures).
+    pub attempts: usize,
+    /// Retries among those attempts.
+    pub retries: usize,
+    /// Primary/replacement assignments abandoned and redrawn.
+    pub redrawn: usize,
+}
+
+/// One batch of slot measurements as handed to a [`BatchBackend`]: the
+/// deterministic inputs that make each slot a pure function of
+/// `(batch_salt, slot)`, independent of where it executes.
+#[derive(Debug)]
+pub struct BatchRequest<'a> {
+    /// Journal sequence number of the batch (0 for the initial sample,
+    /// the round index for extension batches).
+    pub sequence: u64,
+    /// The batch's fault/redraw stream salt.
+    pub batch_salt: u64,
+    /// Retries per assignment before it is abandoned and redrawn.
+    pub max_retries: usize,
+    /// Replacement draws per slot.
+    pub draw_cap: usize,
+    /// The slots' primary assignments, drawn from the campaign stream.
+    pub primaries: &'a [Assignment],
+}
+
+/// Where a session's measurement batches execute.
+///
+/// [`IterativeSession::step`] wraps the model in the in-process backend
+/// (evaluate on this node's threads, optionally journaling through a
+/// [`CampaignStore`]); the distributed fleet supplies a coordinator
+/// backend that farms slots out to workers over HTTP. The contract that
+/// keeps every backend bit-identical: slot `i` must return exactly what
+/// the keyed retry/redraw ladder for `primaries[i]` under
+/// `(batch_salt, i)` returns, with already-journaled or cached slots
+/// resolved to their recorded value at zero attempts. The backend sees
+/// batches in journal order, one call per batch.
+pub trait BatchBackend {
+    /// Task count of the campaign's model.
+    fn tasks(&self) -> usize;
+    /// Topology of the campaign's model.
+    fn topology(&self) -> Topology;
+    /// Measures one batch, returning exactly one outcome per primary.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CoreError`]; an error poisons the session that issued the
+    /// request.
+    fn measure(
+        &mut self,
+        request: &BatchRequest<'_>,
+        obs: &Obs,
+    ) -> Result<Vec<SlotOutcome>, CoreError>;
 }
 
 /// Measures one batch slot. The slot's primary assignment gets
@@ -303,11 +357,11 @@ fn measure_batch_slot<M: PerformanceModel>(
     max_retries: usize,
     draw_cap: usize,
     first: Option<Result<f64, MeasureError>>,
-) -> Result<BatchSlot, CoreError> {
+) -> Result<SlotOutcome, CoreError> {
     let stream = split_seed(batch_salt, slot as u64);
     let mut redraw_rng: Option<StdRng> = None;
     let mut current = primary.clone();
-    let mut out = BatchSlot {
+    let mut out = SlotOutcome {
         measured: None,
         attempts: 0,
         retries: 0,
@@ -341,28 +395,185 @@ fn measure_batch_slot<M: PerformanceModel>(
     Ok(out)
 }
 
-/// Measures up to `want` assignments through the fallible keyed path,
-/// spending at most `budget` attempts.
+/// The in-process [`BatchBackend`]: slots evaluate against a model on
+/// this node's threads, optionally journaling through a campaign store
+/// — verbatim the pre-fabric measurement path.
+struct LocalBackend<'a, M> {
+    model: &'a M,
+    parallelism: Parallelism,
+    persist: Option<(&'a CampaignStore, u64)>,
+}
+
+impl<M: PerformanceModel + Sync> BatchBackend for LocalBackend<'_, M> {
+    fn tasks(&self) -> usize {
+        self.model.tasks()
+    }
+
+    fn topology(&self) -> Topology {
+        self.model.topology()
+    }
+
+    fn measure(
+        &mut self,
+        request: &BatchRequest<'_>,
+        obs: &Obs,
+    ) -> Result<Vec<SlotOutcome>, CoreError> {
+        let model = self.model;
+        let parallelism = self.parallelism;
+        let primaries = request.primaries;
+        let want = primaries.len();
+        let batch_salt = request.batch_salt;
+        let max_retries = request.max_retries;
+        let draw_cap = request.draw_cap;
+        // Batched hot path: prefetch every chunk slot's first attempt
+        // through the model's keyed batch entry point, then finish each
+        // slot's retry/redraw ladder on the scalar keyed path (see
+        // `SampleStudy::run_resilient_*` for the identical pattern).
+        let measure_chunk = |idxs: &[usize]| -> Vec<Result<SlotOutcome, CoreError>> {
+            let chunk: Vec<Assignment> = idxs.iter().map(|&i| primaries[i].clone()).collect();
+            let keys: Vec<(u64, u32)> = idxs
+                .iter()
+                .map(|&i| (split_seed(batch_salt, i as u64), 0))
+                .collect();
+            let first = model.try_evaluate_batch_at(&chunk, &keys);
+            idxs.iter()
+                .zip(first)
+                .map(|(&i, f)| {
+                    measure_batch_slot(
+                        model,
+                        &primaries[i],
+                        batch_salt,
+                        i,
+                        max_retries,
+                        draw_cap,
+                        Some(f),
+                    )
+                })
+                .collect()
+        };
+        match self.persist {
+            None => {
+                if parallelism.batch == 0 {
+                    try_parallel_map_obs(parallelism, want, obs, |i| {
+                        measure_batch_slot(
+                            model,
+                            &primaries[i],
+                            batch_salt,
+                            i,
+                            max_retries,
+                            draw_cap,
+                            None,
+                        )
+                    })
+                } else {
+                    let fresh: Vec<Option<SlotOutcome>> = (0..want).map(|_| None).collect();
+                    try_parallel_map_batched(parallelism, fresh, obs, measure_chunk)
+                }
+            }
+            Some((store, campaign)) => {
+                let sequence = request.sequence;
+                // Resolve before the parallel region: journal replay
+                // first, then the evaluation cache. Cache entries become
+                // visible only at batch boundaries (end_batch), so what
+                // a slot sees is independent of worker scheduling.
+                let mut replayed = vec![false; want];
+                let mut resolved: Vec<Option<SlotOutcome>> = Vec::with_capacity(want);
+                for (i, primary) in primaries.iter().enumerate() {
+                    let journaled =
+                        store
+                            .lookup_slot(campaign, sequence, i as u64)
+                            .and_then(|rec| {
+                                persist::assignment_from_record(&rec, model.topology()).map(|a| {
+                                    SlotOutcome {
+                                        measured: Some((a, rec.value)),
+                                        attempts: rec.attempts as usize,
+                                        retries: rec.retries as usize,
+                                        redrawn: rec.redrawn as usize,
+                                    }
+                                })
+                            });
+                    if journaled.is_some() {
+                        replayed[i] = true;
+                        resolved.push(journaled);
+                    } else if let Some(v) = store.cache_lookup(primary.canonical_hash()) {
+                        // Cache hit: value known, zero attempts consumed,
+                        // fault stream never touched.
+                        resolved.push(Some(SlotOutcome {
+                            measured: Some((primary.clone(), v)),
+                            attempts: 0,
+                            retries: 0,
+                            redrawn: 0,
+                        }));
+                    } else {
+                        resolved.push(None);
+                    }
+                }
+                let slots = if parallelism.batch == 0 {
+                    try_parallel_map_cached(parallelism, resolved, obs, |i| {
+                        measure_batch_slot(
+                            model,
+                            &primaries[i],
+                            batch_salt,
+                            i,
+                            max_retries,
+                            draw_cap,
+                            None,
+                        )
+                    })?
+                } else {
+                    try_parallel_map_batched(parallelism, resolved, obs, measure_chunk)?
+                };
+                // Journal every freshly resolved, measured slot —
+                // including ones the budget reduction may truncate;
+                // replaying a truncated slot re-applies the same
+                // reduction. Abandoned slots (no measurement) are not
+                // journaled: they re-measure deterministically on
+                // resume.
+                for (i, slot) in slots.iter().enumerate() {
+                    if replayed[i] {
+                        continue;
+                    }
+                    if let Some((a, v)) = &slot.measured {
+                        store.append_measurement(&persist::slot_record(
+                            campaign,
+                            sequence,
+                            i,
+                            a,
+                            *v,
+                            slot.attempts,
+                            slot.retries,
+                            slot.redrawn,
+                        ));
+                    }
+                }
+                store.end_batch(campaign, sequence, want as u64);
+                Ok(slots)
+            }
+        }
+    }
+}
+
+/// Measures up to `want` assignments through a backend, spending at
+/// most `budget` attempts.
 ///
 /// The `want` primary assignments are drawn sequentially from the main
 /// campaign stream (so the clean path is identical to the sequential
-/// algorithm); the slots then measure in parallel, each keyed by
-/// `(batch_salt, slot)`. The budget is enforced by an order-fixed
-/// reduction: slots are accepted in index order while their cumulative
-/// attempts fit, and the first slot that would overflow truncates the
-/// batch — for any worker count, the same slots are kept and
-/// `attempts <= budget` holds exactly.
+/// algorithm); the slots then measure wherever the backend runs them,
+/// each keyed by `(batch_salt, slot)`. The budget is enforced by an
+/// order-fixed reduction: slots are accepted in index order while their
+/// cumulative attempts fit, and the first slot that would overflow
+/// truncates the batch — for any worker count, the same slots are kept
+/// and `attempts <= budget` holds exactly.
 #[allow(clippy::too_many_arguments)]
-fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
-    model: &M,
+fn measure_with_backend<B: BatchBackend + ?Sized, R: Rng + ?Sized>(
+    backend: &mut B,
     want: usize,
     max_retries: usize,
     budget: usize,
     rng: &mut R,
     batch_salt: u64,
-    parallelism: Parallelism,
+    sequence: u64,
     obs: &Obs,
-    persist: Option<(&CampaignStore, u64, u64)>,
 ) -> Result<Batch, CoreError> {
     let mut b = Batch {
         assignments: Vec::with_capacity(want),
@@ -378,132 +589,26 @@ fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
     }
     let mut primaries = Vec::with_capacity(want);
     for _ in 0..want {
-        primaries.push(random_assignment(model.tasks(), model.topology(), rng)?);
+        primaries.push(random_assignment(backend.tasks(), backend.topology(), rng)?);
     }
     // Per-slot share of the batch budget, floored at the resilient
     // campaign's four draws per slot.
     let per_slot_attempts = want.max(1) * (1 + max_retries);
     let draw_cap = 4usize.max(budget.div_ceil(per_slot_attempts));
-    // Batched hot path: prefetch every chunk slot's first attempt
-    // through the model's keyed batch entry point, then finish each
-    // slot's retry/redraw ladder on the scalar keyed path (see
-    // `SampleStudy::run_resilient_*` for the identical pattern).
-    let measure_chunk = |idxs: &[usize]| -> Vec<Result<BatchSlot, CoreError>> {
-        let chunk: Vec<Assignment> = idxs.iter().map(|&i| primaries[i].clone()).collect();
-        let keys: Vec<(u64, u32)> = idxs
-            .iter()
-            .map(|&i| (split_seed(batch_salt, i as u64), 0))
-            .collect();
-        let first = model.try_evaluate_batch_at(&chunk, &keys);
-        idxs.iter()
-            .zip(first)
-            .map(|(&i, f)| {
-                measure_batch_slot(
-                    model,
-                    &primaries[i],
-                    batch_salt,
-                    i,
-                    max_retries,
-                    draw_cap,
-                    Some(f),
-                )
-            })
-            .collect()
+    let request = BatchRequest {
+        sequence,
+        batch_salt,
+        max_retries,
+        draw_cap,
+        primaries: &primaries,
     };
-    let slots = match persist {
-        None => {
-            if parallelism.batch == 0 {
-                try_parallel_map_obs(parallelism, want, obs, |i| {
-                    measure_batch_slot(
-                        model,
-                        &primaries[i],
-                        batch_salt,
-                        i,
-                        max_retries,
-                        draw_cap,
-                        None,
-                    )
-                })?
-            } else {
-                let fresh: Vec<Option<BatchSlot>> = (0..want).map(|_| None).collect();
-                try_parallel_map_batched(parallelism, fresh, obs, measure_chunk)?
-            }
-        }
-        Some((store, campaign, sequence)) => {
-            // Resolve before the parallel region: journal replay first,
-            // then the evaluation cache. Cache entries become visible
-            // only at batch boundaries (end_batch), so what a slot sees
-            // is independent of worker scheduling.
-            let mut replayed = vec![false; want];
-            let mut resolved: Vec<Option<BatchSlot>> = Vec::with_capacity(want);
-            for (i, primary) in primaries.iter().enumerate() {
-                let journaled = store
-                    .lookup_slot(campaign, sequence, i as u64)
-                    .and_then(|rec| {
-                        persist::assignment_from_record(&rec, model.topology()).map(|a| BatchSlot {
-                            measured: Some((a, rec.value)),
-                            attempts: rec.attempts as usize,
-                            retries: rec.retries as usize,
-                            redrawn: rec.redrawn as usize,
-                        })
-                    });
-                if journaled.is_some() {
-                    replayed[i] = true;
-                    resolved.push(journaled);
-                } else if let Some(v) = store.cache_lookup(primary.canonical_hash()) {
-                    // Cache hit: value known, zero attempts consumed,
-                    // fault stream never touched.
-                    resolved.push(Some(BatchSlot {
-                        measured: Some((primary.clone(), v)),
-                        attempts: 0,
-                        retries: 0,
-                        redrawn: 0,
-                    }));
-                } else {
-                    resolved.push(None);
-                }
-            }
-            let slots = if parallelism.batch == 0 {
-                try_parallel_map_cached(parallelism, resolved, obs, |i| {
-                    measure_batch_slot(
-                        model,
-                        &primaries[i],
-                        batch_salt,
-                        i,
-                        max_retries,
-                        draw_cap,
-                        None,
-                    )
-                })?
-            } else {
-                try_parallel_map_batched(parallelism, resolved, obs, measure_chunk)?
-            };
-            // Journal every freshly resolved, measured slot — including
-            // ones the budget reduction below may truncate; replaying a
-            // truncated slot re-applies the same reduction. Abandoned
-            // slots (no measurement) are not journaled: they re-measure
-            // deterministically on resume.
-            for (i, slot) in slots.iter().enumerate() {
-                if replayed[i] {
-                    continue;
-                }
-                if let Some((a, v)) = &slot.measured {
-                    store.append_measurement(&persist::slot_record(
-                        campaign,
-                        sequence,
-                        i,
-                        a,
-                        *v,
-                        slot.attempts,
-                        slot.retries,
-                        slot.redrawn,
-                    ));
-                }
-            }
-            store.end_batch(campaign, sequence, want as u64);
-            slots
-        }
-    };
+    let slots = backend.measure(&request, obs)?;
+    if slots.len() != want {
+        return Err(CoreError::Measurement(MeasureError::Failed(format!(
+            "backend returned {} outcomes for a {want}-slot batch",
+            slots.len()
+        ))));
+    }
     for slot in slots {
         if b.attempts + slot.attempts > budget {
             // The budget runs out inside this slot: count the attempts
@@ -522,6 +627,263 @@ fn measure_batch<M: PerformanceModel + Sync, R: Rng + ?Sized>(
         }
     }
     Ok(b)
+}
+
+/// A read-only source of already-measured values keyed by canonical
+/// assignment hash — the federation interface a fleet worker consults
+/// before spending model evaluations on a leased slot. Lookup order is
+/// fixed (own journal, own cache, peers), so for a given peer
+/// configuration the journaled bytes are deterministic; with no peers
+/// (or none that answer) the worker journals exactly what a single node
+/// would.
+pub trait PeerCache {
+    /// The measured value for a canonical assignment hash, if any peer
+    /// knows it. Must be cheap to call serially per miss slot.
+    fn lookup(&self, key: u64) -> Option<f64>;
+}
+
+/// The empty federation: every lookup misses.
+pub struct NoPeers;
+
+impl PeerCache for NoPeers {
+    fn lookup(&self, _key: u64) -> Option<f64> {
+        None
+    }
+}
+
+/// One slot of a lease: its global batch index and the primary
+/// assignment the coordinator drew for it from the campaign stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeasedSlot {
+    /// Global slot index within the batch (keys the fault stream).
+    pub slot: u64,
+    /// The slot's primary assignment.
+    pub primary: Assignment,
+}
+
+/// Parameters of one slot-range lease, as dispatched by the fleet
+/// coordinator: a subset of one batch's slots plus the deterministic
+/// inputs ([`BatchRequest`]-equivalent) that make each slot a pure
+/// function of `(batch_salt, slot)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseRequest {
+    /// Campaign fingerprint the records journal under.
+    pub campaign: u64,
+    /// Journal sequence number of the batch the slots belong to.
+    pub sequence: u64,
+    /// The batch's fault/redraw stream salt.
+    pub batch_salt: u64,
+    /// Full batch width, journaled in the batch marker so shards from
+    /// partial leases fold identically to a whole-batch journal.
+    pub want: u64,
+    /// Retries per assignment before it is abandoned and redrawn.
+    pub max_retries: usize,
+    /// Replacement draws per slot.
+    pub draw_cap: usize,
+    /// The leased slots.
+    pub slots: Vec<LeasedSlot>,
+}
+
+/// How a leased slot was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseResolution {
+    /// Already journaled in this worker's shard; replayed, not re-run.
+    Replayed,
+    /// Served from this worker's own evaluation cache at zero attempts.
+    CacheHit,
+    /// Served from a federated peer cache at zero attempts.
+    PeerHit,
+    /// Evaluated against the model through the retry/redraw ladder.
+    Evaluated,
+    /// Evaluated, but every draw failed; nothing was journaled.
+    Abandoned,
+}
+
+impl LeaseResolution {
+    /// Stable snake_case name for wire formats and journals.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            LeaseResolution::Replayed => "replayed",
+            LeaseResolution::CacheHit => "cache_hit",
+            LeaseResolution::PeerHit => "peer_hit",
+            LeaseResolution::Evaluated => "evaluated",
+            LeaseResolution::Abandoned => "abandoned",
+        }
+    }
+}
+
+/// Outcome of one leased slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaseOutcome {
+    /// The slot's global batch index.
+    pub slot: u64,
+    /// The measurement outcome, identical to what the in-process batch
+    /// path would produce for this slot.
+    pub outcome: SlotOutcome,
+    /// How the value was obtained.
+    pub resolution: LeaseResolution,
+}
+
+/// Measures a leased subset of one batch's slots on this node — the
+/// fleet worker's entry into the persistent measurement path.
+///
+/// Each slot resolves in a fixed ladder: this worker's own journal
+/// (replay, nothing re-journaled), its evaluation cache, the federated
+/// peer caches, and only then the model via the same keyed retry/redraw
+/// ladder the in-process batch path uses. Freshly measured slots are
+/// journaled in lease order through the store (identical records to a
+/// single-node run of the same batch), followed by the batch marker at
+/// the *full* batch width, so independently leased shards of one batch
+/// merge into exactly the single-node journal.
+///
+/// Metrics: `fleet_slot_evals_total` counts slots that reached the
+/// model, `fleet_peer_hits_total` peer-cache resolutions,
+/// `fleet_replayed_total` journal replays.
+///
+/// # Errors
+///
+/// As [`run_iterative`] for measurement failures; store I/O failures
+/// are counted on the store handle, never raised.
+pub fn measure_leased_slots<M: PerformanceModel + Sync>(
+    model: &M,
+    lease: &LeaseRequest,
+    store: &CampaignStore,
+    peers: &dyn PeerCache,
+    parallelism: Parallelism,
+    obs: &Obs,
+) -> Result<Vec<LeaseOutcome>, CoreError> {
+    let n = lease.slots.len();
+    let mut resolutions = vec![LeaseResolution::Evaluated; n];
+    let mut replayed = vec![false; n];
+    let mut resolved: Vec<Option<SlotOutcome>> = Vec::with_capacity(n);
+    for (i, leased) in lease.slots.iter().enumerate() {
+        let journaled = store
+            .lookup_slot(lease.campaign, lease.sequence, leased.slot)
+            .and_then(|rec| {
+                persist::assignment_from_record(&rec, model.topology()).map(|a| SlotOutcome {
+                    measured: Some((a, rec.value)),
+                    attempts: rec.attempts as usize,
+                    retries: rec.retries as usize,
+                    redrawn: rec.redrawn as usize,
+                })
+            });
+        if journaled.is_some() {
+            replayed[i] = true;
+            resolutions[i] = LeaseResolution::Replayed;
+            resolved.push(journaled);
+            continue;
+        }
+        let key = leased.primary.canonical_hash();
+        if let Some(v) = store.cache_lookup(key) {
+            resolutions[i] = LeaseResolution::CacheHit;
+            resolved.push(Some(SlotOutcome {
+                measured: Some((leased.primary.clone(), v)),
+                attempts: 0,
+                retries: 0,
+                redrawn: 0,
+            }));
+        } else if let Some(v) = peers.lookup(key) {
+            resolutions[i] = LeaseResolution::PeerHit;
+            resolved.push(Some(SlotOutcome {
+                measured: Some((leased.primary.clone(), v)),
+                attempts: 0,
+                retries: 0,
+                redrawn: 0,
+            }));
+        } else {
+            resolved.push(None);
+        }
+    }
+    let evals = resolved.iter().filter(|s| s.is_none()).count() as u64;
+    obs.counter_add(optassign_obs::fleet_counters::SLOT_EVALS, evals);
+    obs.counter_add(
+        optassign_obs::fleet_counters::PEER_HITS,
+        resolutions
+            .iter()
+            .filter(|r| **r == LeaseResolution::PeerHit)
+            .count() as u64,
+    );
+    obs.counter_add(
+        optassign_obs::fleet_counters::REPLAYED,
+        replayed.iter().filter(|r| **r).count() as u64,
+    );
+
+    let measure_chunk = |idxs: &[usize]| -> Vec<Result<SlotOutcome, CoreError>> {
+        let chunk: Vec<Assignment> = idxs
+            .iter()
+            .map(|&i| lease.slots[i].primary.clone())
+            .collect();
+        let keys: Vec<(u64, u32)> = idxs
+            .iter()
+            .map(|&i| (split_seed(lease.batch_salt, lease.slots[i].slot), 0))
+            .collect();
+        let first = model.try_evaluate_batch_at(&chunk, &keys);
+        idxs.iter()
+            .zip(first)
+            .map(|(&i, f)| {
+                measure_batch_slot(
+                    model,
+                    &lease.slots[i].primary,
+                    lease.batch_salt,
+                    lease.slots[i].slot as usize,
+                    lease.max_retries,
+                    lease.draw_cap,
+                    Some(f),
+                )
+            })
+            .collect()
+    };
+    let outcomes = if parallelism.batch == 0 {
+        try_parallel_map_cached(parallelism, resolved, obs, |i| {
+            measure_batch_slot(
+                model,
+                &lease.slots[i].primary,
+                lease.batch_salt,
+                lease.slots[i].slot as usize,
+                lease.max_retries,
+                lease.draw_cap,
+                None,
+            )
+        })?
+    } else {
+        try_parallel_map_batched(parallelism, resolved, obs, measure_chunk)?
+    };
+
+    // Journal freshly measured slots in lease order, then the batch
+    // marker at full width; replays are never re-journaled, and
+    // abandoned slots re-measure deterministically if re-leased.
+    for (i, slot) in outcomes.iter().enumerate() {
+        if replayed[i] {
+            continue;
+        }
+        match &slot.measured {
+            Some((a, v)) => {
+                store.append_measurement(&persist::slot_record(
+                    lease.campaign,
+                    lease.sequence,
+                    lease.slots[i].slot as usize,
+                    a,
+                    *v,
+                    slot.attempts,
+                    slot.retries,
+                    slot.redrawn,
+                ));
+            }
+            None => resolutions[i] = LeaseResolution::Abandoned,
+        }
+    }
+    store.end_batch(lease.campaign, lease.sequence, lease.want);
+    Ok(outcomes
+        .into_iter()
+        .zip(resolutions)
+        .enumerate()
+        .map(|(i, (outcome, resolution))| LeaseOutcome {
+            slot: lease.slots[i].slot,
+            outcome,
+            resolution,
+        })
+        .collect())
 }
 
 /// Runs the iterative algorithm against a performance model.
@@ -847,16 +1209,45 @@ impl IterativeSession {
         obs: &Obs,
         persist: Option<&CampaignStore>,
     ) -> Result<StepOutcome, CoreError> {
+        let persist = persist.map(|store| {
+            (
+                store,
+                persist::iterative_campaign_id(
+                    self.seed,
+                    &self.config,
+                    model.tasks(),
+                    model.topology(),
+                ),
+            )
+        });
+        let mut backend = LocalBackend {
+            model,
+            parallelism: self.config.parallelism,
+            persist,
+        };
+        self.step_with_backend(&mut backend, obs)
+    }
+
+    /// [`IterativeSession::step`] against an explicit [`BatchBackend`]
+    /// — the seam the distributed fleet coordinator drives. The session
+    /// supplies the deterministic batch inputs (primaries, salt,
+    /// sequence, draw cap); the backend decides where the slots
+    /// evaluate. A conforming backend (see [`BatchBackend`]) produces
+    /// results, journals, and metrics bit-identical to the in-process
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// As [`run_iterative`]; an error poisons the session.
+    pub fn step_with_backend<B: BatchBackend + ?Sized>(
+        &mut self,
+        backend: &mut B,
+        obs: &Obs,
+    ) -> Result<StepOutcome, CoreError> {
         if let Some(result) = &self.finished {
             return Ok(StepOutcome::Finished(Box::new(result.clone())));
         }
         let config = &self.config;
-        let campaign = persist.map(|store| {
-            (
-                store,
-                persist::iterative_campaign_id(self.seed, config, model.tasks(), model.topology()),
-            )
-        });
 
         // Step 1 (first call only): initial sample (batch sequence 0).
         if self.study.is_none() {
@@ -868,16 +1259,15 @@ impl IterativeSession {
                     .with("seed", self.seed)
                     .with("workers", config.parallelism.workers)
             });
-            let batch = measure_batch(
-                model,
+            let batch = measure_with_backend(
+                backend,
                 config.n_init,
                 config.max_eval_retries,
                 config.eval_budget,
                 &mut self.rng,
                 split_seed(self.seed ^ BATCH_SALT, 0),
-                config.parallelism,
+                0,
                 obs,
-                campaign.map(|(store, id)| (store, id, 0)),
             )?;
             self.attempts_total += batch.attempts;
             note_batch_metrics(obs, &batch);
@@ -1028,16 +1418,15 @@ impl IterativeSession {
 
         // Step 4: extend the sample by N_delta and re-analyze. The
         // round index doubles as the batch's journal sequence number.
-        let batch = measure_batch(
-            model,
+        let batch = measure_with_backend(
+            backend,
             config.n_delta,
             config.max_eval_retries,
             config.eval_budget - self.attempts_total,
             &mut self.rng,
             split_seed(self.seed ^ BATCH_SALT, self.round),
-            config.parallelism,
+            self.round,
             obs,
-            campaign.map(|(store, id)| (store, id, self.round)),
         )?;
         self.round += 1;
         self.attempts_total += batch.attempts;
@@ -1446,6 +1835,138 @@ mod tests {
         assert_eq!(session.seed(), 3);
         assert_eq!(session.config(), &IterativeConfig::default());
         assert!(session.result().is_none());
+    }
+
+    #[test]
+    fn leased_slots_journal_identically_to_local_batch() {
+        use optassign_store::merge::merge_campaigns;
+        use optassign_store::WAL_FILE;
+
+        let m = model();
+        let cfg = IterativeConfig {
+            n_init: 120,
+            acceptable_loss: 0.5,
+            ..IterativeConfig::default()
+        };
+        let seed = 21;
+        let root = std::env::temp_dir().join(format!("optassign-lease-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+
+        // Reference: the initial batch journaled by the local path.
+        let local_dir = root.join("local");
+        let local = CampaignStore::open(&local_dir).unwrap();
+        let mut session = IterativeSession::new(&cfg, seed).unwrap();
+        session.step(&m, &Obs::disabled(), Some(&local)).unwrap();
+        local.sync();
+        drop(local);
+
+        // Reproduce the same batch as two disjoint leases into two
+        // shards, exactly as the fleet coordinator would dispatch them.
+        let campaign = persist::iterative_campaign_id(seed, &cfg, m.tasks(), m.topology());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let primaries: Vec<Assignment> = (0..cfg.n_init)
+            .map(|_| random_assignment(m.tasks(), m.topology(), &mut rng).unwrap())
+            .collect();
+        let batch_salt = split_seed(seed ^ BATCH_SALT, 0);
+        let draw_cap = 4usize.max(
+            cfg.eval_budget
+                .div_ceil(cfg.n_init * (1 + cfg.max_eval_retries)),
+        );
+        let slots: Vec<LeasedSlot> = primaries
+            .iter()
+            .enumerate()
+            .map(|(i, p)| LeasedSlot {
+                slot: i as u64,
+                primary: p.clone(),
+            })
+            .collect();
+        let (front, back) = slots.split_at(70);
+        let shard_dirs = [root.join("s0"), root.join("s1")];
+        for (dir, part) in shard_dirs.iter().zip([front, back]) {
+            let store = CampaignStore::open(dir).unwrap();
+            let lease = LeaseRequest {
+                campaign,
+                sequence: 0,
+                batch_salt,
+                want: cfg.n_init as u64,
+                max_retries: cfg.max_eval_retries,
+                draw_cap,
+                slots: part.to_vec(),
+            };
+            let out = measure_leased_slots(
+                &m,
+                &lease,
+                &store,
+                &NoPeers,
+                Parallelism::default(),
+                &Obs::disabled(),
+            )
+            .unwrap();
+            assert_eq!(out.len(), part.len());
+            assert!(out
+                .iter()
+                .all(|o| o.resolution == LeaseResolution::Evaluated));
+            store.sync();
+        }
+        let merged = root.join("merged");
+        merge_campaigns(&[shard_dirs[0].clone(), shard_dirs[1].clone()], &merged).unwrap();
+        assert_eq!(
+            std::fs::read(merged.join(WAL_FILE)).unwrap(),
+            std::fs::read(local_dir.join(WAL_FILE)).unwrap(),
+            "two leased shards must merge to the single-node journal"
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn peer_cache_hits_skip_the_model_and_journal_zero_attempts() {
+        struct MapPeer(std::collections::HashMap<u64, f64>);
+        impl PeerCache for MapPeer {
+            fn lookup(&self, key: u64) -> Option<f64> {
+                self.0.get(&key).copied()
+            }
+        }
+
+        let m = model();
+        let root = std::env::temp_dir().join(format!("optassign-peer-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let mut rng = StdRng::seed_from_u64(77);
+        let slots: Vec<LeasedSlot> = (0..4u64)
+            .map(|slot| LeasedSlot {
+                slot,
+                primary: random_assignment(m.tasks(), m.topology(), &mut rng).unwrap(),
+            })
+            .collect();
+        let peers = MapPeer(
+            slots
+                .iter()
+                .map(|s| (s.primary.canonical_hash(), 42.0 + s.slot as f64))
+                .collect(),
+        );
+        let store = CampaignStore::open(&root.join("shard")).unwrap();
+        let lease = LeaseRequest {
+            campaign: 9,
+            sequence: 0,
+            batch_salt: 1,
+            want: 4,
+            max_retries: 2,
+            draw_cap: 4,
+            slots,
+        };
+        let obs = Obs::metrics_only();
+        let out =
+            measure_leased_slots(&m, &lease, &store, &peers, Parallelism::default(), &obs).unwrap();
+        assert!(out.iter().all(|o| o.resolution == LeaseResolution::PeerHit));
+        assert!(out.iter().all(|o| o.outcome.attempts == 0));
+        assert_eq!(obs.metrics().counter("fleet_slot_evals_total"), 0);
+        assert_eq!(obs.metrics().counter("fleet_peer_hits_total"), 4);
+        // The peer-sourced values were journaled for this shard.
+        let rec = store.lookup_slot(9, 0, 2).unwrap();
+        assert_eq!(rec.value, 44.0);
+        assert_eq!(rec.attempts, 0);
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]

@@ -115,10 +115,13 @@ pub fn iterative_campaign_id(
     ])
 }
 
-/// Builds the journal record for one resolved campaign slot.
+/// Builds the journal record for one resolved campaign slot. This is
+/// the one encoding both the in-process batch path and a fleet worker's
+/// leased-slot path use, so shards journaled on different nodes carry
+/// byte-identical records for the same slot.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn slot_record(
+pub fn slot_record(
     campaign: u64,
     sequence: u64,
     slot: usize,
@@ -150,10 +153,7 @@ pub(crate) fn slot_record(
 /// describe a feasible assignment for this topology — the caller treats
 /// that as a cache miss and re-measures.
 #[must_use]
-pub(crate) fn assignment_from_record(
-    record: &MeasurementRecord,
-    topo: Topology,
-) -> Option<Assignment> {
+pub fn assignment_from_record(record: &MeasurementRecord, topo: Topology) -> Option<Assignment> {
     let contexts: Vec<usize> = record.contexts.iter().map(|&c| c as usize).collect();
     Assignment::new(contexts, topo).ok()
 }

@@ -1,0 +1,626 @@
+//! The fleet coordinator: drives one iterative campaign across a fleet
+//! of workers and merges their shards into a single-node-identical
+//! resume point.
+//!
+//! The coordinator owns the session loop (so the campaign stream, batch
+//! salts, and stopping rule are exactly the single-node ones) and
+//! supplies a [`BatchBackend`] that, per batch:
+//!
+//! 1. resolves every slot whose primary is already in the campaign's
+//!    evaluation-cache mirror (`prior`) — the coordinator journals those
+//!    hits into its own shard, exactly as the in-process path journals
+//!    cache hits;
+//! 2. partitions the remaining slots into contiguous leases, one per
+//!    live worker, and dispatches them concurrently;
+//! 3. re-leases the slots of any worker that fails to answer (connect
+//!    error, timeout, malformed response) among the survivors — a dead
+//!    worker only *moves* slots, it cannot change their values, because
+//!    every slot is a pure function of `(batch_salt, slot)`;
+//! 4. folds the batch's measured values into `prior` in slot order,
+//!    first-wins — mirroring [`CampaignStore::end_batch`]'s fold, so
+//!    the next batch's cache hits are exactly the single-node ones.
+//!
+//! After the session finishes, the coordinator pulls every reachable
+//! worker's shard journal, merges `[own shard, pulled shards…]` with
+//! [`merge_campaigns_with`], and closes the one remaining gap: a worker
+//! that answered a lease but died before its shard could be pulled. The
+//! coordinator kept every lease response in an in-memory ledger, so it
+//! journals the missing records into a repair shard and re-merges —
+//! bounded, because after one repair pass every ledgered slot is on
+//! disk locally.
+
+use optassign::iterative::{
+    BatchBackend, BatchRequest, IterativeResult, IterativeSession, LeaseOutcome, LeaseRequest,
+    LeasedSlot, SlotOutcome, StepOutcome,
+};
+use optassign::model::MeasureError;
+use optassign::persist::{iterative_campaign_id, slot_record, CampaignStore};
+use optassign::{Assignment, CoreError, PerformanceModel, Topology};
+use optassign_obs::{fleet_counters, Event, Json, Obs};
+use optassign_optd::client::{http_call_bytes_with, http_call_with, CallOptions};
+use optassign_optd::spec::{CampaignSpec, TenantModel};
+use optassign_store::io::RealIo;
+use optassign_store::merge::{merge_campaigns_with, MergeReport};
+use optassign_store::{wal, StoreError};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::wire;
+
+/// How long the coordinator waits for a worker to answer one lease.
+/// This is the lease *deadline*: a worker that has not answered by then
+/// is declared dead and its slots are re-leased.
+pub const LEASE_DEADLINE: Duration = Duration::from_secs(120);
+
+/// Connect budget for the initial worker probe (workers may still be
+/// binding when the coordinator starts).
+const PROBE_BUDGET: Duration = Duration::from_secs(10);
+
+/// Timeout for pulling one shard journal.
+const PULL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Repair passes before the coordinator gives up on completeness. One
+/// pass suffices by construction (after it, every ledgered slot is in a
+/// local shard); the second run is the verification.
+const MAX_MERGE_PASSES: usize = 2;
+
+/// Everything that can end a fleet campaign early.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The campaign itself failed (validation, measurement, budget).
+    Core(CoreError),
+    /// A store operation failed.
+    Store(StoreError),
+    /// Worker probe/install/protocol failure.
+    Fleet(String),
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::Core(e) => write!(f, "campaign error: {e}"),
+            FleetError::Store(e) => write!(f, "store error: {e}"),
+            FleetError::Fleet(m) => write!(f, "fleet error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<CoreError> for FleetError {
+    fn from(e: CoreError) -> FleetError {
+        FleetError::Core(e)
+    }
+}
+
+impl From<StoreError> for FleetError {
+    fn from(e: StoreError) -> FleetError {
+        FleetError::Store(e)
+    }
+}
+
+/// Coordinator-side shape of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Coordinator data directory; the run writes `coord/` (the
+    /// coordinator's own shard), `pull-<i>/` (pulled worker shards),
+    /// `repair/` (ledger repairs, only on worker loss), and `merged/`
+    /// (the final single-node-identical store).
+    pub data_dir: PathBuf,
+    /// Control addresses of the workers to lease to.
+    pub workers: Vec<String>,
+    /// Per-lease deadline.
+    pub lease_deadline: Duration,
+}
+
+impl FleetConfig {
+    /// A fleet over `workers` rooted at `data_dir`, default deadline.
+    #[must_use]
+    pub fn new(data_dir: impl Into<PathBuf>, workers: Vec<String>) -> FleetConfig {
+        FleetConfig {
+            data_dir: data_dir.into(),
+            workers,
+            lease_deadline: LEASE_DEADLINE,
+        }
+    }
+}
+
+/// What a finished fleet campaign hands back.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    /// The campaign result — bit-identical to a single-node run.
+    pub result: IterativeResult,
+    /// The campaign fingerprint everything journaled under.
+    pub campaign: u64,
+    /// The merged store directory (a valid single-node resume point).
+    pub merged_dir: PathBuf,
+    /// Per-shard merge accounting.
+    pub report: MergeReport,
+    /// Slots the coordinator had to repair from its ledger because the
+    /// worker that measured them died before its shard was pulled.
+    pub repaired_slots: u64,
+}
+
+/// One measured slot the coordinator remembers from a lease response —
+/// enough to re-journal the record if the measuring worker's shard is
+/// never pulled.
+struct LedgerSlot {
+    slot: u64,
+    assignment: Assignment,
+    value: f64,
+    attempts: usize,
+    retries: usize,
+    redrawn: usize,
+}
+
+struct LedgerBatch {
+    sequence: u64,
+    want: u64,
+    slots: Vec<LedgerSlot>,
+}
+
+struct WorkerHandle {
+    ctrl: String,
+    /// Federation address the worker reported at install — where its
+    /// shard journal and evaluation cache are served.
+    peer: String,
+    alive: bool,
+}
+
+/// The coordinator's [`BatchBackend`]: prior-cache resolution locally,
+/// everything else leased out.
+struct FleetBackend<'a> {
+    model: &'a TenantModel,
+    campaign: u64,
+    store: &'a CampaignStore,
+    workers: Vec<WorkerHandle>,
+    /// Mirror of the single-node evaluation cache: measured values
+    /// folded in slot order at each batch boundary, first-wins.
+    prior: HashMap<u64, f64>,
+    ledger: Vec<LedgerBatch>,
+    lease_options: CallOptions,
+}
+
+impl FleetBackend<'_> {
+    fn live_workers(&self) -> Vec<usize> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.alive)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Dispatches `slots` of one batch across the live workers,
+    /// re-leasing on failure, and writes each outcome into
+    /// `out[slot index]`. `reassigned` marks a re-dispatch round (for
+    /// the counter split).
+    fn lease_round(
+        &mut self,
+        request: &BatchRequest<'_>,
+        mut pending: Vec<(u64, Assignment)>,
+        out: &mut [Option<SlotOutcome>],
+        obs: &Obs,
+    ) -> Result<(), CoreError> {
+        let topo = self.model.topology();
+        let mut reassigned = false;
+        while !pending.is_empty() {
+            let live = self.live_workers();
+            if live.is_empty() {
+                return Err(CoreError::Measurement(MeasureError::Failed(
+                    "no live workers left to lease to".into(),
+                )));
+            }
+            // Contiguous partition: worker k gets the k-th chunk of the
+            // pending run. Which worker measures a slot never affects
+            // its value, only where the record initially lands.
+            let chunk_len = pending.len().div_ceil(live.len());
+            let mut chunks: Vec<(usize, Vec<(u64, Assignment)>)> = Vec::new();
+            for (k, chunk) in pending.chunks(chunk_len).enumerate() {
+                chunks.push((live[k], chunk.to_vec()));
+            }
+            obs.counter_add(fleet_counters::LEASES_ISSUED, chunks.len() as u64);
+            if reassigned {
+                obs.counter_add(fleet_counters::LEASES_REASSIGNED, chunks.len() as u64);
+            }
+            let options = &self.lease_options;
+            let campaign = self.campaign;
+            let workers = &self.workers;
+            type LeaseAnswer = (
+                usize,
+                Vec<(u64, Assignment)>,
+                Result<Vec<LeaseOutcome>, String>,
+            );
+            let results: Vec<LeaseAnswer> = std::thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|(widx, chunk)| {
+                        let addr = workers[widx].ctrl.clone();
+                        scope.spawn(move || {
+                            let answer =
+                                dispatch_lease(&addr, campaign, request, &chunk, topo, options);
+                            (widx, chunk, answer)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| {
+                        h.join().unwrap_or_else(|_| {
+                            (
+                                usize::MAX,
+                                Vec::new(),
+                                Err("dispatch thread panicked".into()),
+                            )
+                        })
+                    })
+                    .collect()
+            });
+            pending = Vec::new();
+            for (widx, chunk, answer) in results {
+                match answer {
+                    Ok(outcomes) => {
+                        obs.emit(|| {
+                            Event::new("fleet_lease")
+                                .with("worker", self.workers[widx].ctrl.as_str())
+                                .with("sequence", request.sequence)
+                                .with("slots", outcomes.len() as u64)
+                        });
+                        for o in outcomes {
+                            let idx = o.slot as usize;
+                            out[idx] = Some(o.outcome);
+                        }
+                    }
+                    Err(reason) => {
+                        if let Some(worker) = self.workers.get_mut(widx) {
+                            worker.alive = false;
+                            obs.counter_add(fleet_counters::WORKERS_LOST, 1);
+                            obs.counter_add(fleet_counters::LEASES_EXPIRED, 1);
+                            let addr = worker.ctrl.clone();
+                            obs.emit(|| {
+                                Event::new("fleet_worker_lost")
+                                    .with("worker", addr.as_str())
+                                    .with("reason", reason.as_str())
+                            });
+                        }
+                        pending.extend(chunk);
+                        reassigned = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl BatchBackend for FleetBackend<'_> {
+    fn tasks(&self) -> usize {
+        self.model.tasks()
+    }
+
+    fn topology(&self) -> Topology {
+        self.model.topology()
+    }
+
+    fn measure(
+        &mut self,
+        request: &BatchRequest<'_>,
+        obs: &Obs,
+    ) -> Result<Vec<SlotOutcome>, CoreError> {
+        let want = request.primaries.len();
+        let mut out: Vec<Option<SlotOutcome>> = vec![None; want];
+        let mut pending: Vec<(u64, Assignment)> = Vec::new();
+        for (i, primary) in request.primaries.iter().enumerate() {
+            // Mirror of the in-process cache hit: value known, zero
+            // attempts, fault stream untouched, journaled with the
+            // primary's contexts.
+            if let Some(&v) = self.prior.get(&primary.canonical_hash()) {
+                self.store.append_measurement(&slot_record(
+                    self.campaign,
+                    request.sequence,
+                    i,
+                    primary,
+                    v,
+                    0,
+                    0,
+                    0,
+                ));
+                out[i] = Some(SlotOutcome {
+                    measured: Some((primary.clone(), v)),
+                    attempts: 0,
+                    retries: 0,
+                    redrawn: 0,
+                });
+            } else {
+                pending.push((i as u64, primary.clone()));
+            }
+        }
+        self.lease_round(request, pending, &mut out, obs)?;
+        self.store
+            .end_batch(self.campaign, request.sequence, want as u64);
+
+        let mut slots = Vec::with_capacity(want);
+        for (i, slot) in out.into_iter().enumerate() {
+            match slot {
+                Some(s) => slots.push(s),
+                None => {
+                    return Err(CoreError::Measurement(MeasureError::Failed(format!(
+                        "lease round left slot {i} of sequence {} unresolved",
+                        request.sequence
+                    ))))
+                }
+            }
+        }
+
+        // Ledger + prior fold, both in slot order. The fold mirrors
+        // `CampaignStore::end_batch` (first-wins on the measured
+        // assignment's canonical hash), so the next batch's prior hits
+        // are exactly the single-node cache hits.
+        let mut batch = LedgerBatch {
+            sequence: request.sequence,
+            want: want as u64,
+            slots: Vec::new(),
+        };
+        for (i, slot) in slots.iter().enumerate() {
+            if let Some((a, v)) = &slot.measured {
+                batch.slots.push(LedgerSlot {
+                    slot: i as u64,
+                    assignment: a.clone(),
+                    value: *v,
+                    attempts: slot.attempts,
+                    retries: slot.retries,
+                    redrawn: slot.redrawn,
+                });
+                self.prior.entry(a.canonical_hash()).or_insert(*v);
+            }
+        }
+        self.ledger.push(batch);
+        Ok(slots)
+    }
+}
+
+/// Sends one lease to one worker and validates the answer covers
+/// exactly the leased slots.
+fn dispatch_lease(
+    addr: &str,
+    campaign: u64,
+    request: &BatchRequest<'_>,
+    chunk: &[(u64, Assignment)],
+    topo: Topology,
+    options: &CallOptions,
+) -> Result<Vec<optassign::iterative::LeaseOutcome>, String> {
+    let lease = LeaseRequest {
+        campaign,
+        sequence: request.sequence,
+        batch_salt: request.batch_salt,
+        want: request.primaries.len() as u64,
+        max_retries: request.max_retries,
+        draw_cap: request.draw_cap,
+        slots: chunk
+            .iter()
+            .map(|(slot, primary)| LeasedSlot {
+                slot: *slot,
+                primary: primary.clone(),
+            })
+            .collect(),
+    };
+    let body = wire::encode_lease(&lease);
+    let (status, answer) = http_call_with(addr, "POST", "/v1/lease", Some(&body), options)
+        .map_err(|e| format!("lease call failed: {e}"))?;
+    if status != 200 {
+        return Err(format!("lease answered {status}: {answer}"));
+    }
+    let outcomes = wire::decode_outcomes(&answer, topo)?;
+    if outcomes.len() != chunk.len() {
+        return Err(format!(
+            "lease answered {} outcomes for {} slots",
+            outcomes.len(),
+            chunk.len()
+        ));
+    }
+    for (o, (slot, _)) in outcomes.iter().zip(chunk) {
+        if o.slot != *slot {
+            return Err(format!("lease answered slot {}, leased {slot}", o.slot));
+        }
+    }
+    Ok(outcomes)
+}
+
+/// Probes and installs the campaign on every worker. All workers must
+/// be reachable at start; losing them later is survivable, starting
+/// without them is a configuration error.
+fn install_on_workers(
+    spec: &CampaignSpec,
+    campaign: u64,
+    addrs: &[String],
+) -> Result<Vec<WorkerHandle>, FleetError> {
+    let probe = CallOptions::with_connect_budget(PROBE_BUDGET);
+    let mut workers = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        let (status, _) = http_call_with(addr, "GET", "/healthz", None, &probe)
+            .map_err(|e| FleetError::Fleet(format!("worker {addr} unreachable: {e}")))?;
+        if status != 200 {
+            return Err(FleetError::Fleet(format!(
+                "worker {addr} answered {status} to the probe"
+            )));
+        }
+        let path = format!("/v1/campaigns?campaign={campaign}");
+        let (status, answer) =
+            http_call_with(addr, "POST", &path, Some(&spec.to_json()), &probe)
+                .map_err(|e| FleetError::Fleet(format!("installing on {addr}: {e}")))?;
+        if status != 201 {
+            return Err(FleetError::Fleet(format!(
+                "worker {addr} refused the campaign ({status}): {answer}"
+            )));
+        }
+        let peer = Json::parse(&answer)
+            .as_ref()
+            .and_then(|d| d.get("peer_addr"))
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                FleetError::Fleet(format!(
+                    "worker {addr} answered the install without a peer_addr: {answer}"
+                ))
+            })?;
+        workers.push(WorkerHandle {
+            ctrl: addr.clone(),
+            peer,
+            alive: true,
+        });
+    }
+    Ok(workers)
+}
+
+/// Pulls one worker's shard journal for `campaign` into `dest`, best
+/// effort: a dead worker yields `None`, never an error.
+fn pull_shard(addr: &str, campaign: u64, dest: &Path) -> Option<PathBuf> {
+    let options = CallOptions {
+        io_timeout: PULL_TIMEOUT,
+        connect_timeout: Duration::from_secs(2),
+        connect_budget: None,
+    };
+    let path = format!("/v1/shard/wal?campaign={campaign}");
+    let (status, bytes) = http_call_bytes_with(addr, "GET", &path, None, &options).ok()?;
+    if status != 200 || !bytes.starts_with(wal::WAL_MAGIC) {
+        return None;
+    }
+    std::fs::create_dir_all(dest).ok()?;
+    std::fs::write(dest.join("campaign.wal"), &bytes).ok()?;
+    Some(dest.to_path_buf())
+}
+
+/// Runs one campaign across a fleet of workers; see the module docs.
+///
+/// `spec` must be the *effective* (post-admission) spec — the same one
+/// `optd offline` would run — and every worker must be reachable at
+/// start. The returned merged store is byte-identical to the store a
+/// single-node `run_iterative_persistent` of the same spec writes.
+///
+/// # Errors
+///
+/// [`FleetError::Fleet`] when a worker cannot be probed or installed,
+/// when every worker dies mid-campaign, or when the merged store is
+/// incomplete after repair; [`FleetError::Core`] / [`FleetError::Store`]
+/// for campaign and store failures.
+pub fn run_fleet_campaign(
+    spec: &CampaignSpec,
+    config: &FleetConfig,
+    obs: &Obs,
+) -> Result<FleetOutcome, FleetError> {
+    if config.workers.is_empty() {
+        return Err(FleetError::Fleet("no workers configured".into()));
+    }
+    let model = spec.model.build();
+    let campaign = iterative_campaign_id(spec.seed, &spec.config, model.tasks(), model.topology());
+    let coord_dir = config.data_dir.join("coord");
+    if coord_dir.join("campaign.wal").exists() {
+        return Err(FleetError::Fleet(format!(
+            "{} already holds a coordinator shard; use a fresh data dir",
+            coord_dir.display()
+        )));
+    }
+
+    let workers = install_on_workers(spec, campaign, &config.workers)?;
+    let store = CampaignStore::open_with(&coord_dir, Arc::new(RealIo), obs)?;
+    let mut backend = FleetBackend {
+        model: &model,
+        campaign,
+        store: &store,
+        workers,
+        prior: HashMap::new(),
+        ledger: Vec::new(),
+        lease_options: CallOptions {
+            io_timeout: config.lease_deadline,
+            connect_timeout: Duration::from_secs(2),
+            connect_budget: None,
+        },
+    };
+
+    let mut session = IterativeSession::new(&spec.config, spec.seed)?;
+    let result = loop {
+        if let StepOutcome::Finished(result) = session.step_with_backend(&mut backend, obs)? {
+            break *result;
+        }
+    };
+    store.sync();
+
+    // Pull every worker's shard (from its federation endpoint), best
+    // effort — a worker that died holds only records the ledger can
+    // reconstruct.
+    let mut shard_dirs = vec![coord_dir.clone()];
+    for (i, worker) in backend.workers.iter().enumerate() {
+        let dest = config.data_dir.join(format!("pull-{i}"));
+        if let Some(dir) = pull_shard(&worker.peer, campaign, &dest) {
+            shard_dirs.push(dir);
+        }
+    }
+
+    // Merge, check completeness against the ledger, repair, re-merge.
+    let merged_dir = config.data_dir.join("merged");
+    let mut repaired_total = 0u64;
+    let mut repair_store: Option<CampaignStore> = None;
+    for pass in 0..MAX_MERGE_PASSES {
+        if merged_dir.exists() {
+            std::fs::remove_dir_all(&merged_dir)
+                .map_err(|e| FleetError::Fleet(format!("clearing merge dir: {e}")))?;
+        }
+        let report = merge_campaigns_with(&shard_dirs, &merged_dir, &RealIo, Some(campaign))?;
+        let merged = CampaignStore::open(&merged_dir)?;
+        let missing: Vec<(&LedgerBatch, &LedgerSlot)> = backend
+            .ledger
+            .iter()
+            .flat_map(|b| b.slots.iter().map(move |s| (b, s)))
+            .filter(|(b, s)| merged.lookup_slot(campaign, b.sequence, s.slot).is_none())
+            .collect();
+        if missing.is_empty() {
+            return Ok(FleetOutcome {
+                result,
+                campaign,
+                merged_dir,
+                report,
+                repaired_slots: repaired_total,
+            });
+        }
+        if pass + 1 == MAX_MERGE_PASSES {
+            return Err(FleetError::Fleet(format!(
+                "merged store is missing {} ledgered slots after repair",
+                missing.len()
+            )));
+        }
+        // A worker answered leases, then died before the pull. Its
+        // records exist only in the ledger — journal them into a repair
+        // shard and merge again.
+        let repair_dir = config.data_dir.join("repair");
+        let repair = CampaignStore::open_with(&repair_dir, Arc::new(RealIo), obs)?;
+        let mut sequences: Vec<(u64, u64)> = Vec::new();
+        for (b, s) in &missing {
+            repair.append_measurement(&slot_record(
+                campaign,
+                b.sequence,
+                s.slot as usize,
+                &s.assignment,
+                s.value,
+                s.attempts,
+                s.retries,
+                s.redrawn,
+            ));
+            if !sequences.contains(&(b.sequence, b.want)) {
+                sequences.push((b.sequence, b.want));
+            }
+        }
+        repaired_total += missing.len() as u64;
+        for (sequence, want) in sequences {
+            repair.end_batch(campaign, sequence, want);
+        }
+        repair.sync();
+        repair_store = Some(repair);
+        shard_dirs.push(repair_dir);
+    }
+    drop(repair_store);
+    Err(FleetError::Fleet(
+        "merge loop exited without a verdict".into(),
+    ))
+}

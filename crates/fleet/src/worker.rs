@@ -1,0 +1,398 @@
+//! The fleet worker: a node that measures leased slot ranges and serves
+//! its shard.
+//!
+//! One worker runs two single-threaded HTTP endpoints over one campaign
+//! store (its *shard*):
+//!
+//! * the **control** endpoint takes campaign installs and synchronous
+//!   slot-range leases (`POST /v1/campaigns`, `POST /v1/lease`) — a
+//!   lease occupies the accept thread for the duration of the
+//!   measurement, which is exactly the backpressure a coordinator
+//!   wants from a node it leases to; and
+//! * the **federation** endpoint stays responsive while a lease runs,
+//!   serving the worker's evaluation cache (`GET /v1/cache/{key}`), its
+//!   shard journal (`GET /v1/shard/wal`), liveness (`GET /healthz`),
+//!   and counters (`GET /v1/stats`) — everything a peer or coordinator
+//!   reads, nothing that feeds back into measurement.
+//!
+//! Leased slots journal through [`measure_leased_slots`], so a worker's
+//! shard carries records byte-identical to the slice of a single-node
+//! journal it was leased — the property the coordinator's merge turns
+//! into a bit-identical resume point.
+
+use optassign::iterative::{measure_leased_slots, PeerCache};
+use optassign::persist::{iterative_campaign_id, CampaignStore};
+use optassign::{Parallelism, PerformanceModel};
+use optassign_httpd::{HttpConfig, HttpServer, Request, Response};
+use optassign_obs::{Json, Obs};
+use optassign_optd::client::{http_call_with, CallOptions};
+use optassign_optd::spec::{CampaignSpec, TenantModel};
+use optassign_store::merge::read_shard;
+use optassign_store::record::StoreRecord;
+use optassign_store::{io::RealIo, wal, StoreError};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+use crate::wire;
+
+/// Rejected-request counter of the control endpoint.
+pub const CTRL_REJECTED_COUNTER: &str = "fleet_ctrl_rejected_total";
+
+/// Rejected-request counter of the federation endpoint.
+pub const PEER_REJECTED_COUNTER: &str = "fleet_peer_rejected_total";
+
+/// Largest lease/install body the control endpoint accepts. A lease of a
+/// whole `n_init` batch at 64 tasks is well under 1 MiB; 4 MiB leaves
+/// headroom without inviting abuse.
+pub const MAX_CONTROL_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// Shape of one worker process.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// The worker's shard store directory.
+    pub data_dir: PathBuf,
+    /// Bind address of the control endpoint (`127.0.0.1:0` for an
+    /// ephemeral port).
+    pub ctrl_addr: String,
+    /// Bind address of the federation endpoint.
+    pub peer_addr: String,
+    /// Federation peers (other workers' federation addresses) consulted
+    /// before evaluating a leased slot. Peer hits journal at zero
+    /// attempts, so cold runs that must stay byte-identical to a
+    /// single node run with no peers; federation is for warm reruns and
+    /// concurrent experiments sharing measured values.
+    pub peers: Vec<String>,
+    /// Thread/batch shape for leased-slot evaluation (a throughput knob;
+    /// results are bit-identical at any setting).
+    pub parallelism: Parallelism,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> WorkerConfig {
+        WorkerConfig {
+            data_dir: PathBuf::from("fleet-worker-data"),
+            ctrl_addr: "127.0.0.1:0".into(),
+            peer_addr: "127.0.0.1:0".into(),
+            peers: Vec::new(),
+            parallelism: Parallelism::default(),
+        }
+    }
+}
+
+/// Consults other workers' federation endpoints, first hit wins. Lookup
+/// misses on any transport error — a dead peer degrades hit rate, never
+/// a campaign.
+pub struct HttpPeers {
+    peers: Vec<String>,
+    options: CallOptions,
+}
+
+impl HttpPeers {
+    /// A federation over `peers` with short per-call timeouts.
+    #[must_use]
+    pub fn new(peers: Vec<String>) -> HttpPeers {
+        HttpPeers {
+            peers,
+            options: CallOptions {
+                io_timeout: Duration::from_secs(2),
+                connect_timeout: Duration::from_secs(2),
+                connect_budget: None,
+            },
+        }
+    }
+}
+
+impl PeerCache for HttpPeers {
+    fn lookup(&self, key: u64) -> Option<f64> {
+        for addr in &self.peers {
+            let Ok((200, body)) = http_call_with(
+                addr,
+                "GET",
+                &format!("/v1/cache/{key}"),
+                None,
+                &self.options,
+            ) else {
+                continue;
+            };
+            if let Some(bits) = Json::parse(&body)
+                .as_ref()
+                .and_then(|d| d.get("value_bits"))
+                .and_then(Json::as_u64)
+            {
+                return Some(f64::from_bits(bits));
+            }
+        }
+        None
+    }
+}
+
+struct WorkerState {
+    dir: PathBuf,
+    store: Arc<CampaignStore>,
+    /// Installed campaigns by fingerprint. The model is rebuilt from the
+    /// effective spec at install time, so every worker measures the
+    /// exact workload the coordinator fingerprinted.
+    campaigns: Mutex<HashMap<u64, Arc<TenantModel>>>,
+    peers: HttpPeers,
+    parallelism: Parallelism,
+    obs: Obs,
+    peer_addr: String,
+}
+
+/// A running fleet worker: two HTTP endpoints over one shard store.
+/// Shuts down on drop.
+pub struct Worker {
+    state: Arc<WorkerState>,
+    ctrl: HttpServer,
+    peer: HttpServer,
+}
+
+impl Worker {
+    /// Opens (or creates) the shard store and binds both endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Bind/spawn failures and a shard directory that is not a valid
+    /// store, as [`std::io::Error`].
+    pub fn start(config: &WorkerConfig, obs: &Obs) -> std::io::Result<Worker> {
+        let store = CampaignStore::open_with(&config.data_dir, Arc::new(RealIo), obs)
+            .map_err(|e| std::io::Error::other(format!("opening shard store: {e}")))?;
+        let peer_http = HttpConfig::read_only("fleet-peer", PEER_REJECTED_COUNTER);
+        // Bind the federation endpoint first: installs answer with its
+        // resolved address.
+        let placeholder = Arc::new(WorkerState {
+            dir: config.data_dir.clone(),
+            store: Arc::new(store),
+            campaigns: Mutex::new(HashMap::new()),
+            peers: HttpPeers::new(config.peers.clone()),
+            parallelism: config.parallelism,
+            obs: obs.clone(),
+            peer_addr: String::new(),
+        });
+        let peer_state = Arc::clone(&placeholder);
+        let peer = HttpServer::start(
+            &config.peer_addr,
+            obs.clone(),
+            peer_http,
+            Arc::new(move |req: &Request| peer_route(&peer_state, req)),
+        )?;
+        let state = Arc::new(WorkerState {
+            dir: placeholder.dir.clone(),
+            store: Arc::clone(&placeholder.store),
+            campaigns: Mutex::new(HashMap::new()),
+            peers: HttpPeers::new(config.peers.clone()),
+            parallelism: config.parallelism,
+            obs: obs.clone(),
+            peer_addr: peer.addr().to_string(),
+        });
+        let ctrl_state = Arc::clone(&state);
+        let ctrl_http = HttpConfig {
+            thread_name: "fleet-ctrl",
+            rejected_counter: CTRL_REJECTED_COUNTER,
+            allowed_methods: &["GET", "POST"],
+            max_body_bytes: MAX_CONTROL_BODY_BYTES,
+        };
+        let ctrl = HttpServer::start(
+            &config.ctrl_addr,
+            obs.clone(),
+            ctrl_http,
+            Arc::new(move |req: &Request| ctrl_route(&ctrl_state, req)),
+        )?;
+        Ok(Worker { state, ctrl, peer })
+    }
+
+    /// The control endpoint's bound address.
+    #[must_use]
+    pub fn ctrl_addr(&self) -> String {
+        self.ctrl.addr().to_string()
+    }
+
+    /// The federation endpoint's bound address.
+    #[must_use]
+    pub fn peer_addr(&self) -> String {
+        self.peer.addr().to_string()
+    }
+
+    /// The worker's shard store (for tests and in-process harnesses).
+    #[must_use]
+    pub fn store(&self) -> Arc<CampaignStore> {
+        Arc::clone(&self.state.store)
+    }
+
+    /// Stops both endpoints. Idempotent; also runs on drop.
+    pub fn shutdown(&mut self) {
+        self.ctrl.shutdown();
+        self.peer.shutdown();
+    }
+}
+
+/// Parses `key=value` out of a query string, exact-match on the key.
+fn query_param(query: Option<&str>, key: &str) -> Option<String> {
+    query?
+        .split('&')
+        .find_map(|pair| pair.strip_prefix(key)?.strip_prefix('=').map(String::from))
+}
+
+fn ctrl_route(state: &WorkerState, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"ok\":true,\"role\":\"fleet-worker\"}"),
+        ("POST", "/v1/campaigns") => install_campaign(state, req),
+        ("POST", "/v1/lease") => serve_lease(state, req),
+        _ => Response::not_found(),
+    }
+}
+
+fn install_campaign(state: &WorkerState, req: &Request) -> Response {
+    let Some(claimed) =
+        query_param(req.query.as_deref(), "campaign").and_then(|raw| raw.parse::<u64>().ok())
+    else {
+        return Response::json(400, "{\"error\":\"?campaign=<fingerprint> is required\"}");
+    };
+    let spec = match CampaignSpec::from_json(&req.body_str()) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return Response::json(
+                422,
+                format!("{{\"error\":{}}}", optassign_optd::spec::json_string(&e.0)),
+            )
+        }
+    };
+    let model = spec.model.build();
+    let fingerprint =
+        iterative_campaign_id(spec.seed, &spec.config, model.tasks(), model.topology());
+    if fingerprint != claimed {
+        // The coordinator and this worker disagree on what the spec
+        // *is* — refusing beats journaling under the wrong identity.
+        return Response::json(
+            409,
+            format!(
+                "{{\"error\":\"spec fingerprints to {fingerprint}, not {claimed}\",\
+                 \"campaign\":{fingerprint}}}"
+            ),
+        );
+    }
+    state
+        .campaigns
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .entry(fingerprint)
+        .or_insert_with(|| Arc::new(model));
+    Response::json(
+        201,
+        format!(
+            "{{\"campaign\":{fingerprint},\"peer_addr\":{}}}",
+            optassign_optd::spec::json_string(&state.peer_addr)
+        ),
+    )
+}
+
+fn serve_lease(state: &WorkerState, req: &Request) -> Response {
+    let body = req.body_str();
+    let Some(campaign) = Json::parse(&body)
+        .as_ref()
+        .and_then(|d| d.get("campaign"))
+        .and_then(Json::as_u64)
+    else {
+        return Response::json(400, "{\"error\":\"lease carries no campaign\"}");
+    };
+    let model = {
+        let campaigns = state
+            .campaigns
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        campaigns.get(&campaign).cloned()
+    };
+    let Some(model) = model else {
+        return Response::json(
+            404,
+            format!("{{\"error\":\"campaign {campaign} is not installed on this worker\"}}"),
+        );
+    };
+    let lease = match wire::decode_lease(&body, model.topology()) {
+        Ok(lease) => lease,
+        Err(e) => {
+            return Response::json(
+                400,
+                format!("{{\"error\":{}}}", optassign_optd::spec::json_string(&e)),
+            )
+        }
+    };
+    let outcomes = match measure_leased_slots(
+        model.as_ref(),
+        &lease,
+        &state.store,
+        &state.peers,
+        state.parallelism,
+        &state.obs,
+    ) {
+        Ok(outcomes) => outcomes,
+        Err(e) => {
+            return Response::json(
+                500,
+                format!(
+                    "{{\"error\":{}}}",
+                    optassign_optd::spec::json_string(&e.to_string())
+                ),
+            )
+        }
+    };
+    // The lease's records must be on disk before the coordinator can
+    // count this lease complete — a worker killed after responding must
+    // never have claimed slots it did not durably journal.
+    state.store.sync();
+    Response::json(200, wire::encode_outcomes(&outcomes))
+}
+
+fn peer_route(state: &WorkerState, req: &Request) -> Response {
+    if req.method != "GET" {
+        return Response::not_found();
+    }
+    match req.path.as_str() {
+        "/healthz" => Response::json(200, "{\"ok\":true,\"role\":\"fleet-worker-peer\"}"),
+        "/v1/stats" => Response::json(200, state.obs.metrics().to_json()),
+        "/v1/shard/wal" => {
+            let campaign = query_param(req.query.as_deref(), "campaign")
+                .and_then(|raw| raw.parse::<u64>().ok());
+            state.store.sync();
+            match shard_bytes(&state.dir, campaign) {
+                Ok(bytes) => Response::octets(bytes),
+                Err(e) => Response::text(500, format!("shard scan failed: {e}\n")),
+            }
+        }
+        path => match path.strip_prefix("/v1/cache/").map(str::parse::<u64>) {
+            Some(Ok(key)) => match state.store.cache_lookup(key) {
+                Some(value) => Response::json(
+                    200,
+                    format!("{{\"key\":{key},\"value_bits\":{}}}", value.to_bits()),
+                ),
+                None => Response::not_found(),
+            },
+            _ => Response::not_found(),
+        },
+    }
+}
+
+/// Re-encodes this shard's journal as one log byte stream a merge can
+/// read: the records of `campaign` (or all records without a filter),
+/// framed behind the standard magic. Bare cache entries are dropped
+/// under a campaign filter — they are cache state, not campaign journal,
+/// and every value of a completed batch replays from its measurements.
+fn shard_bytes(dir: &Path, campaign: Option<u64>) -> Result<Vec<u8>, StoreError> {
+    let scan = read_shard(dir, &RealIo)?;
+    let mut buf = Vec::with_capacity(64 + scan.records.len() * 64);
+    buf.extend_from_slice(wal::WAL_MAGIC);
+    for record in &scan.records {
+        let keep = match (campaign, record) {
+            (None, _) => true,
+            (Some(c), StoreRecord::Measurement(m)) => m.campaign == c,
+            (Some(c), StoreRecord::BatchEnd { campaign, .. }) => *campaign == c,
+            (Some(_), StoreRecord::CacheEntry { .. }) => false,
+        };
+        if keep {
+            buf.extend_from_slice(&wal::encode_frame(record));
+        }
+    }
+    Ok(buf)
+}

@@ -1,0 +1,194 @@
+//! End-to-end fleet fabric tests, in process: a coordinator and three
+//! loopback workers, one of which dies mid-campaign, must merge to a
+//! store byte-identical to the single-node run — at any worker thread
+//! count — and a warm rerun against federated peer caches must perform
+//! zero model evaluations.
+
+use optassign::iterative::run_iterative_persistent;
+use optassign::persist::CampaignStore;
+use optassign::Parallelism;
+use optassign_fleet::{run_fleet_campaign, FleetConfig, Worker, WorkerConfig};
+use optassign_obs::{fleet_counters, Obs};
+use optassign_optd::spec::CampaignSpec;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Small enough to finish in seconds, but with enough rounds (the tight
+/// loss target pins the stop at `max_samples`) that killing a worker
+/// once leases are flowing reliably lands mid-campaign, with plenty of
+/// batches left to exercise re-leasing among the survivors.
+const SPEC: &str = r#"{"tenant":"fleet-e2e","seed":411,
+  "model":{"kind":"synthetic","tasks":16,"base_pps":2000000},
+  "config":{"n_init":300,"n_delta":60,"acceptable_loss":0.0005,
+            "max_samples":2400,"eval_budget":20000}}"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fleet-e2e-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::from_json(SPEC).unwrap()
+}
+
+fn wal_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("campaign.wal")).unwrap()
+}
+
+fn counter(obs: &Obs, name: &str) -> u64 {
+    obs.metrics()
+        .counters()
+        .find(|(n, _)| *n == name)
+        .map_or(0, |(_, v)| v)
+}
+
+fn start_worker(dir: &Path, threads: usize, peers: Vec<String>, obs: &Obs) -> Worker {
+    let config = WorkerConfig {
+        data_dir: dir.to_path_buf(),
+        ctrl_addr: "127.0.0.1:0".into(),
+        peer_addr: "127.0.0.1:0".into(),
+        peers,
+        parallelism: Parallelism::new(threads),
+    };
+    Worker::start(&config, obs).unwrap()
+}
+
+/// The single-node reference journal for [`SPEC`].
+fn reference_wal(root: &Path) -> Vec<u8> {
+    let spec = spec();
+    let model = spec.model.build();
+    let dir = root.join("ref");
+    let store = CampaignStore::open(&dir).unwrap();
+    run_iterative_persistent(&model, &spec.config, spec.seed, &store).unwrap();
+    store.sync();
+    wal_bytes(&dir)
+}
+
+/// Runs the fleet campaign over three workers, killing one once leases
+/// are flowing, and returns the merged WAL bytes.
+fn fleet_wal_with_death(root: &Path, tag: &str, threads: usize) -> Vec<u8> {
+    let spec = spec();
+    let obs = Obs::metrics_only();
+    let w0 = start_worker(&root.join(format!("{tag}-w0")), threads, Vec::new(), &obs);
+    let w1 = start_worker(&root.join(format!("{tag}-w1")), threads, Vec::new(), &obs);
+    let w2 = start_worker(&root.join(format!("{tag}-w2")), threads, Vec::new(), &obs);
+    let addrs = vec![w0.ctrl_addr(), w1.ctrl_addr(), w2.ctrl_addr()];
+
+    // Kill worker 1 once the campaign is under way: wait until at least
+    // one full batch of leases has been issued, then shut it down. Its
+    // shard can then never be pulled, forcing the coordinator down the
+    // re-lease *and* ledger-repair paths.
+    let victim = Arc::new(Mutex::new(Some(w1)));
+    let killer_victim = Arc::clone(&victim);
+    let killer_obs = obs.clone();
+    let killer = std::thread::spawn(move || {
+        let deadline = Instant::now() + Duration::from_secs(20);
+        while counter(&killer_obs, fleet_counters::LEASES_ISSUED) < 4 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        if let Some(mut w) = killer_victim.lock().unwrap().take() {
+            w.shutdown();
+        }
+    });
+
+    let fleet_dir = root.join(format!("{tag}-fleet"));
+    let config = FleetConfig::new(&fleet_dir, addrs);
+    let outcome = run_fleet_campaign(&spec, &config, &obs).unwrap();
+    killer.join().unwrap();
+    drop(victim);
+    drop(w0);
+    drop(w2);
+
+    assert!(
+        counter(&obs, fleet_counters::WORKERS_LOST) >= 1,
+        "the victim worker should have been declared dead mid-campaign"
+    );
+    assert!(
+        outcome.repaired_slots > 0,
+        "the dead worker's unpulled records should repair from the ledger"
+    );
+    wal_bytes(&outcome.merged_dir)
+}
+
+#[test]
+fn merged_wal_is_byte_identical_to_single_node_despite_worker_death() {
+    let root = temp_dir("identity");
+    let reference = reference_wal(&root);
+    assert!(!reference.is_empty());
+    for threads in [1usize, 4] {
+        let merged = fleet_wal_with_death(&root, &format!("par{threads}"), threads);
+        assert_eq!(
+            merged, reference,
+            "merged WAL diverged from the single-node journal at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn warm_rerun_against_federated_peers_performs_zero_evaluations() {
+    let root = temp_dir("warm");
+    let spec = spec();
+
+    // Cold run, no failures, to produce a complete merged store.
+    let cold_obs = Obs::metrics_only();
+    let cw0 = start_worker(&root.join("cold-w0"), 1, Vec::new(), &cold_obs);
+    let cw1 = start_worker(&root.join("cold-w1"), 1, Vec::new(), &cold_obs);
+    let cold = run_fleet_campaign(
+        &spec,
+        &FleetConfig::new(root.join("cold"), vec![cw0.ctrl_addr(), cw1.ctrl_addr()]),
+        &cold_obs,
+    )
+    .unwrap();
+    drop(cw0);
+    drop(cw1);
+    assert!(counter(&cold_obs, fleet_counters::SLOT_EVALS) > 0);
+
+    // A federation source serving the merged store's evaluation cache
+    // (copied, so the comparison artifact stays untouched).
+    let source_dir = root.join("source");
+    std::fs::create_dir_all(&source_dir).unwrap();
+    std::fs::copy(
+        cold.merged_dir.join("campaign.wal"),
+        source_dir.join("campaign.wal"),
+    )
+    .unwrap();
+    let source_obs = Obs::metrics_only();
+    let source = start_worker(&source_dir, 1, Vec::new(), &source_obs);
+
+    // Warm rerun: fresh worker stores, fresh coordinator, peers pointed
+    // at the source. Every slot must resolve without touching the model.
+    let warm_obs = Obs::metrics_only();
+    let peers = vec![source.peer_addr()];
+    let ww0 = start_worker(&root.join("warm-w0"), 1, peers.clone(), &warm_obs);
+    let ww1 = start_worker(&root.join("warm-w1"), 1, peers, &warm_obs);
+    let warm = run_fleet_campaign(
+        &spec,
+        &FleetConfig::new(root.join("warm"), vec![ww0.ctrl_addr(), ww1.ctrl_addr()]),
+        &warm_obs,
+    )
+    .unwrap();
+    drop(ww0);
+    drop(ww1);
+    drop(source);
+
+    assert_eq!(
+        counter(&warm_obs, fleet_counters::SLOT_EVALS),
+        0,
+        "a warm rerun must serve every slot from replay, cache, or peers"
+    );
+    assert!(counter(&warm_obs, fleet_counters::PEER_HITS) > 0);
+    // The warm trajectory is value-equivalent, not value-identical: a
+    // batch holding two same-class placements measures both cold (cache
+    // folds only at batch boundaries) but serves both from the class
+    // representative warm. Both runs still pin the stop at the sample
+    // cap, so the shape of the campaign matches exactly.
+    assert_eq!(warm.result.samples_used, cold.result.samples_used);
+    assert_eq!(warm.result.stop.name(), cold.result.stop.name());
+}

@@ -109,14 +109,15 @@ pub struct Response {
     pub status: u16,
     /// `Content-Type` header value.
     pub content_type: &'static str,
-    /// Response body.
-    pub body: String,
+    /// Response body. Text responses are plain UTF-8; binary endpoints
+    /// (the fleet's shard-log pull, segment fetches) put raw bytes here.
+    pub body: Vec<u8>,
 }
 
 impl Response {
     /// A `200 OK` response with the given content type.
     #[must_use]
-    pub fn ok(content_type: &'static str, body: impl Into<String>) -> Response {
+    pub fn ok(content_type: &'static str, body: impl Into<Vec<u8>>) -> Response {
         Response {
             status: 200,
             content_type,
@@ -126,7 +127,7 @@ impl Response {
 
     /// A plain-text response with an arbitrary status code.
     #[must_use]
-    pub fn text(status: u16, body: impl Into<String>) -> Response {
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
         Response {
             status,
             content_type: "text/plain; charset=utf-8",
@@ -136,11 +137,21 @@ impl Response {
 
     /// A JSON response with an arbitrary status code.
     #[must_use]
-    pub fn json(status: u16, body: impl Into<String>) -> Response {
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
         Response {
             status,
             content_type: "application/json",
             body: body.into(),
+        }
+    }
+
+    /// A `200 OK` binary response (`application/octet-stream`).
+    #[must_use]
+    pub fn octets(body: Vec<u8>) -> Response {
+        Response {
+            status: 200,
+            content_type: "application/octet-stream",
+            body,
         }
     }
 
@@ -455,7 +466,7 @@ fn respond(stream: &mut TcpStream, response: &Response) {
     );
     let _ = stream
         .write_all(head.as_bytes())
-        .and_then(|()| stream.write_all(response.body.as_bytes()))
+        .and_then(|()| stream.write_all(&response.body))
         .and_then(|()| stream.flush());
 }
 

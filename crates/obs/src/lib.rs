@@ -70,6 +70,27 @@ pub use trace::TraceSpan;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 
+/// Canonical counter names of the distributed campaign fabric, shared by
+/// the core leased-slot path, the fleet coordinator/worker, and their
+/// dashboards, so every layer increments (and every scrape reads) the
+/// same series.
+pub mod fleet_counters {
+    /// Leased slots that reached the model (cold evaluations).
+    pub const SLOT_EVALS: &str = "fleet_slot_evals_total";
+    /// Leased slots served from a federated peer cache.
+    pub const PEER_HITS: &str = "fleet_peer_hits_total";
+    /// Leased slots replayed from the worker's own journal.
+    pub const REPLAYED: &str = "fleet_replayed_total";
+    /// Slot-range leases the coordinator dispatched.
+    pub const LEASES_ISSUED: &str = "fleet_leases_issued_total";
+    /// Leases whose worker missed the deadline.
+    pub const LEASES_EXPIRED: &str = "fleet_leases_expired_total";
+    /// Slot ranges re-leased after a worker died or expired.
+    pub const LEASES_REASSIGNED: &str = "fleet_leases_reassigned_total";
+    /// Workers the coordinator declared dead during a campaign.
+    pub const WORKERS_LOST: &str = "fleet_workers_lost_total";
+}
+
 /// Derives a deterministic span id for an auxiliary lane under `parent`
 /// (e.g. one worker of a parallel region). FNV-1a over the pair, with
 /// the high bit forced so lane ids can never collide with the sequential

@@ -39,7 +39,7 @@ fn route(daemon: &DaemonHandle, obs: &Obs, req: &Request) -> Response {
         ("GET", "/metrics") => Response {
             status: 200,
             content_type: "text/plain; version=0.0.4",
-            body: obs.metrics().to_prometheus(),
+            body: obs.metrics().to_prometheus().into(),
         },
         ("GET", "/v1/campaigns") => list_campaigns(daemon),
         ("POST", "/v1/campaigns") => submit_campaign(daemon, req),

@@ -2,19 +2,23 @@
 //!
 //! ```text
 //! optd_client --addr HOST:PORT --spec FILE [--poll-ms N] [--timeout-s N]
+//!             [--connect-timeout S]
 //! ```
 //!
 //! Posts the spec, then polls `GET /v1/campaigns/{id}` until the
 //! campaign leaves the running state, printing progress, and finally
-//! prints the best assignment. Exit codes: `0` finished, `1` failed or
+//! prints the best assignment. `--connect-timeout` (default 10 s,
+//! `0` disables) retries refused connects with backoff for that long,
+//! so a client started alongside a still-booting daemon waits instead
+//! of exiting immediately. Exit codes: `0` finished, `1` failed or
 //! timed out, `2` rejected/invalid spec.
 
 use optassign_obs::Json;
-use optassign_optd::client::http_call;
+use optassign_optd::client::{http_call_with, CallOptions};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: optd_client --addr HOST:PORT --spec FILE [--poll-ms N] [--timeout-s N]";
+const USAGE: &str = "usage: optd_client --addr HOST:PORT --spec FILE [--poll-ms N] [--timeout-s N] [--connect-timeout S]";
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -43,9 +47,17 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let timeout_s = flag(args, "--timeout-s")
         .map_or(Ok(300), str::parse::<u64>)
         .map_err(|_| "--timeout-s needs an integer".to_string())?;
+    let connect_timeout_s = flag(args, "--connect-timeout")
+        .map_or(Ok(10), str::parse::<u64>)
+        .map_err(|_| "--connect-timeout needs an integer (seconds)".to_string())?;
+    let options = if connect_timeout_s == 0 {
+        CallOptions::default()
+    } else {
+        CallOptions::with_connect_budget(Duration::from_secs(connect_timeout_s))
+    };
 
     let spec = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
-    let (status, body) = http_call(addr, "POST", "/v1/campaigns", Some(&spec))
+    let (status, body) = http_call_with(addr, "POST", "/v1/campaigns", Some(&spec), &options)
         .map_err(|e| format!("POST {addr}: {e}"))?;
     if status != 201 {
         eprintln!("submission refused ({status}): {body}");
@@ -67,8 +79,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             eprintln!("campaign {id} still running after {timeout_s}s");
             return Ok(ExitCode::FAILURE);
         }
-        let (status, body) = http_call(addr, "GET", &format!("/v1/campaigns/{id}"), None)
-            .map_err(|e| format!("GET {addr}: {e}"))?;
+        let (status, body) =
+            http_call_with(addr, "GET", &format!("/v1/campaigns/{id}"), None, &options)
+                .map_err(|e| format!("GET {addr}: {e}"))?;
         if status != 200 {
             return Err(format!("poll failed ({status}): {body}"));
         }
@@ -95,8 +108,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let (status, body) = http_call(addr, "GET", &format!("/v1/campaigns/{id}/best"), None)
-        .map_err(|e| format!("GET {addr}: {e}"))?;
+    let (status, body) = http_call_with(
+        addr,
+        "GET",
+        &format!("/v1/campaigns/{id}/best"),
+        None,
+        &options,
+    )
+    .map_err(|e| format!("GET {addr}: {e}"))?;
     if status != 200 {
         return Err(format!("best query failed ({status}): {body}"));
     }

@@ -7,9 +7,11 @@
 //! had measured every record, with three contractual properties:
 //!
 //! * **Order-invariant** — the merged log is written in one canonical
-//!   order (measurements sorted by `(campaign, sequence, slot)`, then
-//!   batch markers, then cache entries), so permuting the shard list
-//!   yields byte-identical output.
+//!   *chronological* order: batches ascending by `(campaign, sequence)`,
+//!   each batch's measurements slot-ascending followed by its
+//!   `BatchEnd`, then any bare cache entries sorted by key. Permuting
+//!   the shard list yields byte-identical output, and a single-campaign
+//!   merge reproduces exactly the journal order a single node writes.
 //! * **Idempotent** — a shard merged twice, or a merged store re-merged
 //!   with its own inputs, contributes nothing new: identical records
 //!   dedup by key, and the count is reported, not duplicated.
@@ -120,8 +122,53 @@ pub fn read_shard(dir: &Path, io: &dyn StoreIo) -> Result<ShardScan, StoreError>
     Ok(scan)
 }
 
+/// Per-shard accounting of one merge: what each input contributed and
+/// what state it was in.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardMergeReport {
+    /// The shard directory.
+    pub shard: PathBuf,
+    /// Intact records read from the shard.
+    pub records: u64,
+    /// Records this shard newly contributed to the merged set.
+    pub kept: u64,
+    /// Records identical to one an earlier shard already contributed.
+    pub deduped: u64,
+    /// Cache entries that collided on a key with a different value.
+    pub cache_conflicts: u64,
+    /// Cache entries this shard contributed that were dropped from the
+    /// output because the key replays from a merged measurement of a
+    /// completed batch (see [`merge_campaigns_with`]).
+    pub subsumed: u64,
+    /// Damaged interior frames skipped in the shard's log.
+    pub quarantined_frames: u64,
+    /// Torn-tail bytes ignored at the end of the shard's log.
+    pub tail_truncated_bytes: u64,
+    /// Snapshot segments that were damaged.
+    pub damaged_segments: u64,
+}
+
+impl ShardMergeReport {
+    /// Whether the shard showed any storage damage.
+    #[must_use]
+    pub fn is_damaged(&self) -> bool {
+        self.quarantined_frames > 0 || self.tail_truncated_bytes > 0 || self.damaged_segments > 0
+    }
+
+    /// Intact records recovered from a damaged shard (0 for a clean
+    /// shard — nothing needed salvaging).
+    #[must_use]
+    pub fn salvaged(&self) -> u64 {
+        if self.is_damaged() {
+            self.records
+        } else {
+            0
+        }
+    }
+}
+
 /// Summary of one merge.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MergeReport {
     /// Shards read.
     pub shards: u64,
@@ -129,19 +176,64 @@ pub struct MergeReport {
     pub measurements: u64,
     /// Distinct completed-batch markers in the merged store.
     pub batch_ends: u64,
-    /// Distinct bare cache entries in the merged store.
+    /// Distinct bare cache entries in the merged store (after
+    /// subsumption).
     pub cache_entries: u64,
     /// Records dropped because an identical record was already merged.
     pub duplicates: u64,
     /// Cache entries that collided on a key with different values; the
     /// smaller value-bits win deterministically (see module docs).
     pub cache_conflicts: u64,
+    /// Cache entries dropped because their key replays from a merged
+    /// measurement of a completed batch.
+    pub subsumed: u64,
     /// Shards that showed damage (torn, quarantined, or bad segments).
     pub damaged_shards: u64,
     /// Damaged interior frames skipped across all shards.
     pub quarantined_frames: u64,
     /// Torn-tail bytes ignored across all shards.
     pub tail_truncated_bytes: u64,
+    /// What each shard contributed, in input order.
+    pub per_shard: Vec<ShardMergeReport>,
+}
+
+impl MergeReport {
+    /// Renders the per-shard breakdown as an aligned text table, one
+    /// line per shard plus a totals line — the form `store_fsck` and the
+    /// fleet coordinator print.
+    #[must_use]
+    pub fn render_per_shard(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "shard                                    records     kept  deduped salvaged  quarant\n",
+        );
+        for s in &self.per_shard {
+            let name = s.shard.display().to_string();
+            let name = if name.len() > 40 {
+                &name[name.len() - 40..]
+            } else {
+                &name
+            };
+            out.push_str(&format!(
+                "{name:<40} {:>7} {:>8} {:>8} {:>8} {:>8}\n",
+                s.records,
+                s.kept,
+                s.deduped,
+                s.salvaged(),
+                s.quarantined_frames,
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} measurements, {} batch ends, {} cache entries ({} subsumed), {} duplicates, {} damaged shard(s)\n",
+            self.measurements,
+            self.batch_ends,
+            self.cache_entries,
+            self.subsumed,
+            self.duplicates,
+            self.damaged_shards,
+        ));
+        out
+    }
 }
 
 /// Merges shard stores into a fresh store at `dest` using the real
@@ -189,15 +281,25 @@ pub fn merge_campaigns_with(
     };
     let mut measurements: BTreeMap<(u64, u64, u64), StoreRecord> = BTreeMap::new();
     let mut batch_ends: BTreeMap<(u64, u64), StoreRecord> = BTreeMap::new();
-    let mut cache_entries: BTreeMap<u64, u64> = BTreeMap::new();
+    // Value: (value bits, index of the shard that first contributed the
+    // key) — the attribution target if the entry is later subsumed.
+    let mut cache_entries: BTreeMap<u64, (u64, usize)> = BTreeMap::new();
 
-    for shard in shards {
+    for (shard_idx, shard) in shards.iter().enumerate() {
         let scan = read_shard(shard, io)?;
         if !scan.is_clean() {
             report.damaged_shards += 1;
         }
         report.quarantined_frames += scan.quarantined_frames;
         report.tail_truncated_bytes += scan.tail_truncated_bytes;
+        let mut per_shard = ShardMergeReport {
+            shard: shard.clone(),
+            records: scan.records.len() as u64,
+            quarantined_frames: scan.quarantined_frames,
+            tail_truncated_bytes: scan.tail_truncated_bytes,
+            damaged_segments: scan.damaged_segments,
+            ..ShardMergeReport::default()
+        };
         for record in scan.records {
             match record {
                 StoreRecord::Measurement(ref m) => {
@@ -215,8 +317,12 @@ pub fn merge_campaigns_with(
                     match measurements.get(&key) {
                         None => {
                             measurements.insert(key, record);
+                            per_shard.kept += 1;
                         }
-                        Some(existing) if *existing == record => report.duplicates += 1,
+                        Some(existing) if *existing == record => {
+                            report.duplicates += 1;
+                            per_shard.deduped += 1;
+                        }
                         Some(_) => {
                             return Err(StoreError::Corrupt(format!(
                                 "shard {} disagrees on campaign {:016x} batch {} slot {}",
@@ -242,8 +348,12 @@ pub fn merge_campaigns_with(
                     match batch_ends.get(&(campaign, sequence)) {
                         None => {
                             batch_ends.insert((campaign, sequence), record);
+                            per_shard.kept += 1;
                         }
-                        Some(existing) if *existing == record => report.duplicates += 1,
+                        Some(existing) if *existing == record => {
+                            report.duplicates += 1;
+                            per_shard.deduped += 1;
+                        }
                         Some(_) => {
                             return Err(StoreError::Corrupt(format!(
                                 "shard {} disagrees on batch ({campaign:016x}, {sequence}) length",
@@ -256,42 +366,80 @@ pub fn merge_campaigns_with(
                     let bits = value.to_bits();
                     match cache_entries.get(&key) {
                         None => {
-                            cache_entries.insert(key, bits);
+                            cache_entries.insert(key, (bits, shard_idx));
+                            per_shard.kept += 1;
                         }
-                        Some(&existing) if existing == bits => report.duplicates += 1,
-                        Some(&existing) => {
+                        Some(&(existing, _)) if existing == bits => {
+                            report.duplicates += 1;
+                            per_shard.deduped += 1;
+                        }
+                        Some(&(existing, owner)) => {
                             // Two independently compacted shards can cache
                             // the same canonical key from different slots;
                             // keep the smaller bits so the choice does not
                             // depend on shard order.
                             report.cache_conflicts += 1;
-                            cache_entries.insert(key, existing.min(bits));
+                            per_shard.cache_conflicts += 1;
+                            cache_entries.insert(key, (existing.min(bits), owner));
                         }
                     }
                 }
             }
         }
+        report.per_shard.push(per_shard);
     }
 
     report.measurements = measurements.len() as u64;
     report.batch_ends = batch_ends.len() as u64;
-    report.cache_entries = cache_entries.len() as u64;
 
-    // One canonical byte stream: measurements first so every batch's
-    // slots are staged before its BatchEnd folds them into the cache on
-    // replay, then bare cache entries. BTreeMap iteration fixes the
-    // order regardless of input permutation.
+    // A bare cache entry is *subsumed* — dropped from the output — when
+    // its key replays anyway: the key appears in a merged measurement of
+    // a batch whose BatchEnd is also merged, so opening the merged store
+    // folds that measurement into the cache. This makes a compacted
+    // shard and its uncompacted twin merge to identical bytes (the
+    // mid-compaction window a concurrent pull can observe), and keeps a
+    // fleet-merged campaign log free of stray cache frames.
+    let completed: std::collections::BTreeSet<(u64, u64)> = batch_ends.keys().copied().collect();
+    let mut folded_keys = std::collections::BTreeSet::new();
+    for (&(campaign, sequence, _), record) in &measurements {
+        if completed.contains(&(campaign, sequence)) {
+            if let StoreRecord::Measurement(m) = record {
+                folded_keys.insert(m.key);
+            }
+        }
+    }
+
+    // One canonical byte stream in chronological order: batches
+    // ascending by (campaign, sequence), each batch's measurements
+    // slot-ascending then its BatchEnd — exactly the order a single
+    // node journals — then surviving bare cache entries sorted by key.
+    // BTreeMap iteration fixes the order regardless of input
+    // permutation.
     io.create_dir_all(dest)
         .map_err(|e| StoreError::Io(format!("creating merge destination: {e}")))?;
     let mut buf = Vec::new();
     buf.extend_from_slice(wal::WAL_MAGIC);
-    for record in measurements.values() {
-        buf.extend_from_slice(&wal::encode_frame(record));
+    let mut batches: std::collections::BTreeSet<(u64, u64)> = measurements
+        .keys()
+        .map(|&(campaign, sequence, _)| (campaign, sequence))
+        .collect();
+    batches.extend(batch_ends.keys().copied());
+    for &(campaign, sequence) in &batches {
+        let span = (campaign, sequence, 0)..=(campaign, sequence, u64::MAX);
+        for (_, record) in measurements.range(span) {
+            buf.extend_from_slice(&wal::encode_frame(record));
+        }
+        if let Some(record) = batch_ends.get(&(campaign, sequence)) {
+            buf.extend_from_slice(&wal::encode_frame(record));
+        }
     }
-    for record in batch_ends.values() {
-        buf.extend_from_slice(&wal::encode_frame(record));
-    }
-    for (&key, &bits) in &cache_entries {
+    for (&key, &(bits, owner)) in &cache_entries {
+        if folded_keys.contains(&key) {
+            report.subsumed += 1;
+            report.per_shard[owner].subsumed += 1;
+            continue;
+        }
+        report.cache_entries += 1;
         buf.extend_from_slice(&wal::encode_frame(&StoreRecord::CacheEntry {
             key,
             value: f64::from_bits(bits),
@@ -475,13 +623,92 @@ mod tests {
             store.compact().unwrap();
         }
         let out = root.join("merged");
-        let report = merge_campaigns(&[a, b], &out).unwrap();
+        let report = merge_campaigns(&[a.clone(), b.clone()], &out).unwrap();
         assert_eq!(report.batch_ends, 1);
-        assert_eq!(report.cache_entries, 2);
+        // Shard b's compacted cache entries are subsumed: both keys
+        // replay from shard a's measurements of the completed batch.
+        assert_eq!(report.cache_entries, 0);
+        assert_eq!(report.subsumed, 2);
+        assert_eq!(report.per_shard.len(), 2);
+        assert_eq!(report.per_shard[1].subsumed, 2);
         let store = CampaignStore::open(&out).unwrap();
         // The completed batch is visible in the cache after replay.
         assert_eq!(store.cache_lookup(1000), Some(1.0));
         assert_eq!(store.cache_lookup(1001), Some(2.0));
+
+        // Subsumption makes the compacted shard contribute nothing new:
+        // merging the uncompacted shard alone yields identical bytes.
+        let solo = root.join("solo");
+        merge_campaigns(std::slice::from_ref(&a), &solo).unwrap();
+        assert_eq!(
+            std::fs::read(out.join(WAL_FILE)).unwrap(),
+            std::fs::read(solo.join(WAL_FILE)).unwrap()
+        );
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn merged_order_is_chronological_per_batch() {
+        let root = temp_dir("chrono");
+        let a = root.join("a");
+        {
+            let store = CampaignStore::open(&a).unwrap();
+            // Two completed batches, journaled the way a single node
+            // would: slots then the batch marker, sequence by sequence.
+            for sequence in 0..2u64 {
+                for slot in 0..3u64 {
+                    store.append_measurement(&MeasurementRecord {
+                        sequence,
+                        ..measurement(11, slot, 100 * sequence + slot, slot as f64)
+                    });
+                }
+                store.end_batch(11, sequence, 3);
+            }
+            store.sync();
+        }
+        let single_node = std::fs::read(a.join(WAL_FILE)).unwrap();
+        // Scatter the records across three shards in adversarial order.
+        let scan = read_shard(&a, &RealIo).unwrap();
+        let shards: Vec<PathBuf> = (0..3).map(|i| root.join(format!("s{i}"))).collect();
+        let mut logs: Vec<_> = shards
+            .iter()
+            .map(|d| {
+                std::fs::create_dir_all(d).unwrap();
+                wal::open_log(&RealIo, &d.join(WAL_FILE)).unwrap().0
+            })
+            .collect();
+        for (i, record) in scan.records.iter().rev().enumerate() {
+            logs[i % 3].append(record).unwrap();
+        }
+        drop(logs);
+        let out = root.join("merged");
+        merge_campaigns(&shards, &out).unwrap();
+        // The merge reconstitutes the single-node journal byte for byte.
+        assert_eq!(std::fs::read(out.join(WAL_FILE)).unwrap(), single_node);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn per_shard_report_accounts_for_every_record() {
+        let root = temp_dir("pershard");
+        let a = root.join("a");
+        let b = root.join("b");
+        build_shard(&a, 7, &[0, 1, 2]);
+        build_shard(&b, 7, &[2, 3]); // slot 2 duplicates shard a
+        let out = root.join("merged");
+        let report = merge_campaigns(&[a.clone(), b.clone()], &out).unwrap();
+        assert_eq!(report.per_shard.len(), 2);
+        assert_eq!(report.per_shard[0].records, 3);
+        assert_eq!(report.per_shard[0].kept, 3);
+        assert_eq!(report.per_shard[0].deduped, 0);
+        assert_eq!(report.per_shard[1].records, 2);
+        assert_eq!(report.per_shard[1].kept, 1);
+        assert_eq!(report.per_shard[1].deduped, 1);
+        assert!(!report.per_shard[0].is_damaged());
+        assert_eq!(report.per_shard[0].salvaged(), 0);
+        let rendered = report.render_per_shard();
+        assert!(rendered.contains("4 measurements"));
+        assert!(rendered.lines().count() >= 4);
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -46,6 +46,12 @@ struct Progress {
     stop: Option<String>,
     /// Degradation events seen so far.
     degradations: u64,
+    /// Slot-range leases the fleet coordinator has dispatched (0 for a
+    /// single-node run — the fields still render so scrapers need no
+    /// schema branch).
+    leases: u64,
+    /// Workers the fleet coordinator has declared dead.
+    workers_lost: u64,
 }
 
 /// Bounded, shareable telemetry state; see the module docs.
@@ -98,7 +104,11 @@ impl TelemetryHub {
         push_opt_f64(&mut out, "gap", p.gap);
         push_opt_str(&mut out, "method", p.method.as_deref());
         push_opt_str(&mut out, "stop", p.stop.as_deref());
-        let _ = write!(out, ",\"degradations\":{}}}", p.degradations);
+        let _ = write!(
+            out,
+            ",\"degradations\":{},\"leases\":{},\"workers_lost\":{}}}",
+            p.degradations, p.leases, p.workers_lost
+        );
         out
     }
 
@@ -117,6 +127,8 @@ impl TelemetryHub {
                 }
             }
             "degradation" => p.degradations += 1,
+            "fleet_lease" => p.leases += 1,
+            "fleet_worker_lost" => p.workers_lost += 1,
             "iterative_done" => {
                 if let Some(stop) = str_field(event, "stop") {
                     p.stop = Some(stop.to_string());
@@ -199,7 +211,7 @@ mod tests {
             hub.progress_json(),
             "{\"round\":0,\"samples\":0,\"best_observed\":null,\
              \"estimated_optimal\":null,\"gap\":null,\"method\":null,\
-             \"stop\":null,\"degradations\":0}"
+             \"stop\":null,\"degradations\":0,\"leases\":0,\"workers_lost\":0}"
         );
         hub.record(&Event::new("iterative_start").with("n_init", 200u64));
         hub.record(
@@ -225,6 +237,13 @@ mod tests {
         assert_eq!(v.get("gap").and_then(Json::as_f64), Some(0.05));
         assert_eq!(v.get("stop"), Some(&Json::Null));
         assert_eq!(v.get("degradations").and_then(Json::as_u64), Some(1));
+
+        hub.record(&Event::new("fleet_lease").with("worker", "127.0.0.1:9000"));
+        hub.record(&Event::new("fleet_lease").with("worker", "127.0.0.1:9001"));
+        hub.record(&Event::new("fleet_worker_lost").with("worker", "127.0.0.1:9001"));
+        let v = Json::parse(&hub.progress_json()).expect("valid json");
+        assert_eq!(v.get("leases").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("workers_lost").and_then(Json::as_u64), Some(1));
 
         hub.record(&Event::new("iterative_done").with("stop", "target_met"));
         let v = Json::parse(&hub.progress_json()).expect("valid json");

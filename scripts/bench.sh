@@ -50,6 +50,9 @@ cargo bench -q -p optassign-bench --bench sampling -- \
 echo "==> cargo bench --bench optd"
 cargo bench -q -p optassign-bench --bench optd -- \
     --json "${OUT_DIR}/BENCH_optd.json"
+echo "==> cargo bench --bench fleet"
+cargo bench -q -p optassign-bench --bench fleet -- \
+    --json "${OUT_DIR}/BENCH_fleet.json"
 
 cargo build -q --release -p optassign-bench --bin bench_gate
 
@@ -78,21 +81,26 @@ for name in simulator sampling; do
     fi
 done
 
-# The optd service bench gates on its own terms: both entries compare
-# the online service against a zero-overhead reference (offline driver,
-# idle query), so the ratios sit at or below 1.0 — a 1.1x floor would
-# never pass. Floor 0.2 catches order-of-magnitude service regressions;
-# the looser 35% trajectory threshold absorbs scheduler-timing and
-# lock-contention noise in the under-load latency entry.
-CURRENT="${OUT_DIR}/BENCH_optd.json"
-BASELINE="BENCH_optd.json"
-if [[ "${UPDATE}" == "1" ]]; then
-    cp "${CURRENT}" "${BASELINE}"
-    echo "==> baseline ${BASELINE} updated"
-elif [[ "${GATE}" == "0" ]]; then
-    cat "${CURRENT}"
-else
-    echo "==> bench_gate optd"
+# The optd and fleet benches gate on their own terms: every entry
+# compares a service path against a reference run of the same work
+# (offline driver vs daemon, 1-worker vs 3-worker fabric, cold vs
+# federated rerun), so the ratios sit around or below 1.0 — a 1.1x
+# floor would never pass. Floor 0.2 catches order-of-magnitude service
+# regressions; the looser 35% trajectory threshold absorbs
+# scheduler-timing, lock-contention, and loopback-HTTP noise.
+for name in optd fleet; do
+    CURRENT="${OUT_DIR}/BENCH_${name}.json"
+    BASELINE="BENCH_${name}.json"
+    if [[ "${UPDATE}" == "1" ]]; then
+        cp "${CURRENT}" "${BASELINE}"
+        echo "==> baseline ${BASELINE} updated"
+        continue
+    fi
+    if [[ "${GATE}" == "0" ]]; then
+        cat "${CURRENT}"
+        continue
+    fi
+    echo "==> bench_gate ${name}"
     if [[ -f "${BASELINE}" ]]; then
         target/release/bench_gate "${CURRENT}" "${BASELINE}" \
             --threshold 0.35 --floor 0.2 || STATUS=1
@@ -100,6 +108,6 @@ else
         echo "    (no committed ${BASELINE}; floor check only)"
         target/release/bench_gate "${CURRENT}" --floor 0.2 || STATUS=1
     fi
-fi
+done
 
 exit "${STATUS}"

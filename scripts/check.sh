@@ -18,7 +18,7 @@ echo "==> cargo fmt --check"
 cargo fmt --all --check
 
 # Library crates: panic-free discipline on top of the standard lints.
-LIB_CRATES=(optassign-obs optassign-exec optassign-store optassign-stats optassign-sim optassign-evt optassign-netapps optassign-telemetry optassign-httpd optassign-optd optassign)
+LIB_CRATES=(optassign-obs optassign-exec optassign-store optassign-stats optassign-sim optassign-evt optassign-netapps optassign-telemetry optassign-httpd optassign-optd optassign-fleet optassign)
 for crate in "${LIB_CRATES[@]}"; do
     echo "==> cargo clippy -p ${crate} --lib (deny warnings, unwrap_used, expect_used)"
     cargo clippy -q -p "${crate}" --lib -- \
@@ -177,6 +177,60 @@ EOF
     target/release/optd offline --spec "${METRICS_TMP}/optd-spec.json" \
         --data "${OPTD_DATA}-offline" >/dev/null
     cmp "${OPTD_DATA}/c000001/campaign.wal" "${OPTD_DATA}-offline/campaign.wal"
+
+    # Fleet-fabric smoke: a coordinator and three loopback workers, one
+    # of them SIGKILLed mid-campaign, must still merge to a WAL
+    # byte-identical to the `optd offline` single-node reference — the
+    # distributed fabric contract (DESIGN.md §12), end to end across
+    # real processes.
+    echo "==> fleet distributed-fabric smoke"
+    cargo build -q --release -p optassign-fleet
+    FLEET_DIR="${METRICS_TMP}/fleet"
+    mkdir -p "${FLEET_DIR}"
+    # A netapps (simulator-backed) model: slow enough per evaluation
+    # that the mid-campaign kill below lands while leases are flowing.
+    cat >"${FLEET_DIR}/spec.json" <<'EOF'
+{"tenant":"fleet-smoke","seed":20120301,
+ "model":{"kind":"netapps","benchmark":"IPFwd-L1","instances":8,
+          "warmup_cycles":2000,"measure_cycles":4000},
+ "config":{"n_init":100,"n_delta":50,"acceptable_loss":0.0005,
+           "max_samples":600,"eval_budget":8000}}
+EOF
+    FLEET_PIDS=()
+    for w in 0 1 2; do
+        target/release/fleet work --data "${FLEET_DIR}/w${w}" \
+            --addr-file "${FLEET_DIR}/w${w}.addr" >/dev/null &
+        FLEET_PIDS+=($!)
+    done
+    for w in 0 1 2; do
+        for _ in $(seq 1 50); do
+            [[ -s "${FLEET_DIR}/w${w}.addr" ]] && break
+            sleep 0.1
+        done
+        [[ -s "${FLEET_DIR}/w${w}.addr" ]] || { echo "fleet worker ${w} never came up"; exit 1; }
+    done
+    # Hard-kill the middle worker once the campaign is under way; the
+    # coordinator must re-lease its slots and repair its unpulled shard
+    # records from the lease ledger. An early or late kill still
+    # exercises a valid (if less interesting) schedule.
+    ( sleep 0.3; kill -9 "${FLEET_PIDS[1]}" 2>/dev/null ) &
+    KILLER_PID=$!
+    target/release/fleet run --spec "${FLEET_DIR}/spec.json" \
+        --data "${FLEET_DIR}/coordinator" \
+        --worker "$(cat "${FLEET_DIR}/w0.addr")" \
+        --worker "$(cat "${FLEET_DIR}/w1.addr")" \
+        --worker "$(cat "${FLEET_DIR}/w2.addr")" \
+        >"${FLEET_DIR}/run.out"
+    grep -q 'campaign finished' "${FLEET_DIR}/run.out"
+    wait "${KILLER_PID}" 2>/dev/null || true
+    for pid in "${FLEET_PIDS[@]}"; do
+        kill -9 "${pid}" 2>/dev/null || true
+        wait "${pid}" 2>/dev/null || true
+    done
+    target/release/optd offline --spec "${FLEET_DIR}/spec.json" \
+        --data "${FLEET_DIR}/offline" >/dev/null
+    cmp "${FLEET_DIR}/coordinator/merged/campaign.wal" \
+        "${FLEET_DIR}/offline/campaign.wal"
 
     # Perf-trajectory smoke: the batched evaluation hot path, measured at
     # a tiny window and diffed against the committed BENCH_*.json

@@ -11,6 +11,8 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use optassign::model::{PerformanceModel, SyntheticModel};
 use optassign::persist::CampaignStore;
@@ -268,4 +270,69 @@ fn a_damaged_shard_is_salvaged_and_the_merge_stays_order_invariant() {
     );
     let bits: Vec<u64> = study.performances().iter().map(|p| p.to_bits()).collect();
     assert_eq!(bits, reference_bits);
+}
+
+/// A fleet worker may compact its store while the coordinator pulls its
+/// shard. Compaction publishes the snapshot segment atomically (rename)
+/// and only then truncates the log, and `read_shard` reads the log
+/// before listing segments — so a concurrent merge must observe the
+/// shard either pre-compaction, post-compaction, or in the
+/// segment-plus-full-log window, which cache-entry subsumption collapses
+/// back to the pre-compaction bytes. Never anything torn in between.
+#[test]
+fn merge_concurrent_with_compaction_yields_pre_or_post_bytes_never_torn() {
+    let ref_dir = fresh(&scratch("cc-ref"));
+    reference_campaign(&ref_dir, &model());
+    let shards = shard(&ref_dir, "cc", 3);
+
+    // Both legitimate outcomes, computed without any concurrency. Post
+    // loses the compacted shard's measurements (its cache snapshot only
+    // keeps values), so the two differ — the assertion below cannot pass
+    // vacuously.
+    let pre_dir = fresh(&scratch("cc-pre"));
+    let pre_report = merge_campaigns(&shards, &pre_dir).expect("pre-compaction merge");
+    let pre = wal_bytes(&pre_dir);
+
+    let compacted = fresh(&scratch("cc-compacted"));
+    fs::copy(shards[1].join(WAL_FILE), compacted.join(WAL_FILE)).expect("copying shard");
+    CampaignStore::open(&compacted)
+        .expect("shard store opens")
+        .compact()
+        .expect("offline compaction");
+    let post_inputs = [shards[0].clone(), compacted, shards[2].clone()];
+    let post_dir = fresh(&scratch("cc-post"));
+    let post_report = merge_campaigns(&post_inputs, &post_dir).expect("post-compaction merge");
+    let post = wal_bytes(&post_dir);
+    assert_ne!(
+        pre, post,
+        "compaction must change what the shard contributes"
+    );
+    assert!(post_report.measurements < pre_report.measurements);
+
+    for iteration in 0..20u64 {
+        let live = fresh(&scratch(&format!("cc-live{iteration}")));
+        fs::copy(shards[1].join(WAL_FILE), live.join(WAL_FILE)).expect("copying shard");
+        let store = Arc::new(CampaignStore::open(&live).expect("shard store opens"));
+        let racer = Arc::clone(&store);
+        // The stagger sweeps the race window: early iterations let
+        // compaction win the race, later ones let the merge read first.
+        let stagger = Duration::from_micros(iteration * 60);
+        let compactor = std::thread::spawn(move || {
+            std::thread::sleep(stagger);
+            racer.compact().expect("concurrent compaction");
+        });
+        let inputs = [shards[0].clone(), live.clone(), shards[2].clone()];
+        let dest = fresh(&scratch(&format!("cc-out{iteration}")));
+        merge_campaigns(&inputs, &dest).expect("merge during compaction must not error");
+        compactor.join().expect("compactor thread");
+        let bytes = wal_bytes(&dest);
+        assert!(
+            bytes == pre || bytes == post,
+            "iteration {iteration}: merge concurrent with compaction produced torn output \
+             ({} bytes; pre is {} bytes, post is {} bytes)",
+            bytes.len(),
+            pre.len(),
+            post.len()
+        );
+    }
 }
