@@ -14,27 +14,63 @@
 //! `--chrome-trace <out.json>` additionally exports the journal's span
 //! events as a Chrome trace (load it at <https://ui.perfetto.dev>).
 //!
+//! `--fleet <dir>` switches to fleet mode: every `*.jsonl` journal in
+//! the directory (sorted by file name) is stitched into **one** merged
+//! Chrome trace — per-process tracks, request/response clock alignment,
+//! cross-process flow arrows (see `optassign_obs::stitch`) — written to
+//! the `--chrome-trace` path (default `<dir>/merged_trace.json`), with
+//! a deterministic per-process summary on stdout.
+//!
 //! Journals from killed runs end in a torn line and concurrent writers
 //! can interleave: malformed lines are skipped with a counted warning on
-//! stderr, never a crash. Given the same journal bytes, stdout is
-//! byte-identical run to run.
+//! stderr, never a crash. When the count exceeds `--max-malformed N`
+//! (default 0), the exit code is 2 — a journal can be *slightly* torn
+//! by a kill, but wholesale garbage should fail loudly. Given the same
+//! journal bytes, stdout is byte-identical run to run.
 //!
-//! Usage: `obs_report <journal.jsonl> [--chrome-trace <out.json>]`
+//! Usage: `obs_report <journal.jsonl> [--chrome-trace <out.json>] [--max-malformed N]`
+//!        `obs_report --fleet <dir> [--chrome-trace <out.json>] [--max-malformed N]`
 
 use optassign_bench::print_table;
+use optassign_obs::stitch::stitch_journals;
 use optassign_obs::trace::{chrome_trace_json, spans_from_journal};
 use optassign_obs::{Histogram, Json};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+const USAGE: &str =
+    "usage: obs_report <journal.jsonl> [--chrome-trace <out.json>] [--max-malformed N]
+       obs_report --fleet <dir> [--chrome-trace <out.json>] [--max-malformed N]";
+
+/// Exit code when malformed journal lines exceed `--max-malformed`.
+const MALFORMED_EXIT: u8 = 2;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut journal: Option<PathBuf> = None;
+    let mut fleet_dir: Option<PathBuf> = None;
     let mut chrome_out: Option<PathBuf> = None;
+    let mut max_malformed = 0u64;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--chrome-trace" && i + 1 < args.len() {
             chrome_out = Some(PathBuf::from(&args[i + 1]));
+            i += 2;
+            continue;
+        }
+        if args[i] == "--fleet" && i + 1 < args.len() {
+            fleet_dir = Some(PathBuf::from(&args[i + 1]));
+            i += 2;
+            continue;
+        }
+        if args[i] == "--max-malformed" && i + 1 < args.len() {
+            match args[i + 1].parse::<u64>() {
+                Ok(n) => max_malformed = n,
+                Err(_) => {
+                    eprintln!("obs_report: --max-malformed needs an integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            }
             i += 2;
             continue;
         }
@@ -43,8 +79,11 @@ fn main() -> ExitCode {
         }
         i += 1;
     }
+    if let Some(dir) = fleet_dir {
+        return fleet_report(&dir, chrome_out.as_deref(), max_malformed);
+    }
     let Some(path) = journal else {
-        eprintln!("usage: obs_report <journal.jsonl> [--chrome-trace <out.json>]");
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(&path) {
@@ -98,6 +137,74 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if malformed > max_malformed {
+        eprintln!(
+            "obs_report: {malformed} malformed line(s) exceed --max-malformed {max_malformed}"
+        );
+        return ExitCode::from(MALFORMED_EXIT);
+    }
+    ExitCode::SUCCESS
+}
+
+/// Fleet mode: stitch every `*.jsonl` journal in `dir` (file-name order)
+/// into one merged Chrome trace with cross-process flow arrows.
+fn fleet_report(
+    dir: &std::path::Path,
+    chrome_out: Option<&std::path::Path>,
+    max_malformed: u64,
+) -> ExitCode {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("obs_report: cannot read {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|entry| entry.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "jsonl"))
+        .collect();
+    paths.sort();
+    let mut journals: Vec<(String, String)> = Vec::new();
+    for path in &paths {
+        let name = path.file_stem().map_or_else(
+            || path.display().to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        match std::fs::read_to_string(path) {
+            Ok(text) => journals.push((name, text)),
+            Err(e) => {
+                eprintln!("obs_report: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if journals.is_empty() {
+        eprintln!("obs_report: no *.jsonl journals in {}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let report = stitch_journals(&journals);
+    println!(
+        "fleet: {} journal(s), {} span(s), {} rpc event(s), {} cross-process pair(s), {} malformed line(s)",
+        report.processes, report.spans, report.rpc_events, report.pairs, report.malformed
+    );
+    let out = chrome_out.map_or_else(
+        || dir.join("merged_trace.json"),
+        std::path::Path::to_path_buf,
+    );
+    if let Err(e) = std::fs::write(&out, &report.json) {
+        eprintln!("obs_report: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("[obs_report] wrote merged chrome trace: {}", out.display());
+    if report.malformed > max_malformed {
+        eprintln!(
+            "obs_report: {} malformed line(s) exceed --max-malformed {max_malformed}",
+            report.malformed
+        );
+        return ExitCode::from(MALFORMED_EXIT);
     }
     ExitCode::SUCCESS
 }

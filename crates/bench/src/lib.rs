@@ -446,7 +446,7 @@ pub struct SizePoint {
 
 /// Measures one 24-thread pool per benchmark and analyzes its prefixes at
 /// the given sample sizes (iid prefixes of one pool are statistically
-/// equivalent to the paper's independent draws; see DESIGN.md §13).
+/// equivalent to the paper's independent draws; see DESIGN.md §14).
 ///
 /// # Errors
 ///

@@ -745,6 +745,45 @@ pub struct LeaseOutcome {
 ///
 /// As [`run_iterative`] for measurement failures; store I/O failures
 /// are counted on the store handle, never raised.
+/// [`measure_leased_slots`] under a remote trace parent: the whole lease
+/// measurement is journaled as a `fleet_lease_measure_ns` span whose
+/// parent is `remote_parent` — the worker-side server span of the
+/// coordinator's `/v1/lease` call — and timed into the histogram of the
+/// same name. With `remote_parent == 0` (untraced lease) behavior is
+/// identical to [`measure_leased_slots`]; either way the measurement
+/// itself never observes the observer.
+///
+/// # Errors
+///
+/// As [`measure_leased_slots`].
+pub fn measure_leased_slots_traced<M: PerformanceModel + Sync>(
+    model: &M,
+    lease: &LeaseRequest,
+    store: &CampaignStore,
+    peers: &dyn PeerCache,
+    parallelism: Parallelism,
+    obs: &Obs,
+    remote_parent: u64,
+) -> Result<Vec<LeaseOutcome>, CoreError> {
+    let start_ns = obs.now_ns();
+    let outcomes = measure_leased_slots(model, lease, store, peers, parallelism, obs)?;
+    let end_ns = obs.now_ns();
+    obs.observe("fleet_lease_measure_ns", end_ns.saturating_sub(start_ns));
+    if remote_parent != 0 {
+        // Lane ids keyed by the lease sequence stay unique per campaign
+        // even when one worker measures many shards of many batches.
+        obs.record_lane_span(
+            "fleet_lease_measure_ns",
+            optassign_obs::lane_span_id(remote_parent, lease.sequence.wrapping_add(1)),
+            remote_parent,
+            0,
+            start_ns,
+            end_ns,
+        );
+    }
+    Ok(outcomes)
+}
+
 pub fn measure_leased_slots<M: PerformanceModel + Sync>(
     model: &M,
     lease: &LeaseRequest,

@@ -3,8 +3,10 @@
 //! ```text
 //! fleet work --data DIR [--addr HOST:PORT] [--peer-addr HOST:PORT]
 //!            [--addr-file PATH] [--peer-addr-file PATH]
-//!            [--peers A,B,C] [--workers N]
+//!            [--peers A,B,C] [--workers N] [--journal PATH]
 //! fleet run  --spec FILE --data DIR --worker ADDR [--worker ADDR ...]
+//!            [--journal PATH] [--serve HOST:PORT] [--serve-addr-file PATH]
+//!            [--worker-peer ADDR ...]
 //! ```
 //!
 //! `work` runs one worker until killed: a control endpoint taking
@@ -13,10 +15,26 @@
 //! campaign spec across the given workers through the same admission
 //! path as `optd offline` and merges every shard into
 //! `DATA/merged` — a store byte-identical to the single-node run.
+//!
+//! `--journal PATH` (both modes) writes the process's JSONL journal
+//! with span tracing on, so coordinator→worker leases and federation
+//! fetches carry `x-oast-trace` contexts and land in the journals as
+//! `rpc_client`/`rpc_server` events. Tracing never perturbs the
+//! campaign: the merged store stays byte-identical with it on or off.
+//!
+//! `--serve` (run mode) additionally starts the fleet observability
+//! plane — `GET /v1/fleet/metrics` (instance-labelled, fleet-merged
+//! Prometheus series) and `GET /v1/trace/merged` (one stitched Chrome
+//! trace across coordinator and workers). With `--serve` given, the
+//! process keeps serving after the campaign finishes, until killed, so
+//! the final timeline stays inspectable. `--worker-peer` names the
+//! workers' federation addresses to scrape (in worker order).
 
 use optassign::Parallelism;
-use optassign_fleet::{run_fleet_campaign, FleetConfig, Worker, WorkerConfig};
-use optassign_obs::Obs;
+use optassign_fleet::{
+    run_fleet_campaign, start_plane, FleetConfig, PlaneConfig, Worker, WorkerConfig,
+};
+use optassign_obs::{JsonlRecorder, MonotonicClock, Obs};
 use optassign_optd::spec::CampaignSpec;
 use std::io::Write;
 use std::path::PathBuf;
@@ -26,7 +44,10 @@ use std::time::Duration;
 const USAGE: &str = "usage:
   fleet work --data DIR [--addr HOST:PORT] [--peer-addr HOST:PORT]
              [--addr-file PATH] [--peer-addr-file PATH] [--peers A,B,C] [--workers N]
-  fleet run  --spec FILE --data DIR --worker ADDR [--worker ADDR ...]";
+             [--journal PATH]
+  fleet run  --spec FILE --data DIR --worker ADDR [--worker ADDR ...]
+             [--journal PATH] [--serve HOST:PORT] [--serve-addr-file PATH]
+             [--worker-peer ADDR ...]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +87,21 @@ fn flags<'a>(args: &'a [String], name: &str) -> Vec<&'a str> {
         .collect()
 }
 
+/// The mode's observability handle: a span-tracing JSONL journal at
+/// `--journal PATH`, or in-memory metrics only.
+fn build_obs(args: &[String]) -> Result<Obs, String> {
+    match flag(args, "--journal") {
+        Some(path) => {
+            let journal = JsonlRecorder::create(std::path::Path::new(path))
+                .map_err(|e| format!("creating journal {path}: {e}"))?;
+            let obs = Obs::new(Box::new(journal), Box::<MonotonicClock>::default());
+            obs.enable_span_events();
+            Ok(obs)
+        }
+        None => Ok(Obs::metrics_only()),
+    }
+}
+
 fn work(args: &[String]) -> Result<(), String> {
     let data = flag(args, "--data").ok_or_else(|| format!("--data is required\n{USAGE}"))?;
     let mut config = WorkerConfig {
@@ -91,8 +127,9 @@ fn work(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("--workers needs an integer, got {raw}"))?;
         config.parallelism = Parallelism::new(workers.max(1));
     }
+    config.journal = flag(args, "--journal").map(PathBuf::from);
 
-    let obs = Obs::metrics_only();
+    let obs = build_obs(args)?;
     let worker = Worker::start(&config, &obs).map_err(|e| e.to_string())?;
     println!(
         "fleet worker: ctrl {} peer {}",
@@ -140,7 +177,29 @@ fn run(args: &[String]) -> Result<(), String> {
         );
     }
 
-    let obs = Obs::metrics_only();
+    let obs = build_obs(args)?;
+    let plane = match flag(args, "--serve") {
+        Some(addr) => {
+            let plane_config = PlaneConfig {
+                addr: addr.to_string(),
+                journal: flag(args, "--journal").map(PathBuf::from),
+                worker_peers: flags(args, "--worker-peer")
+                    .into_iter()
+                    .map(String::from)
+                    .collect(),
+            };
+            let plane = start_plane(&plane_config, &obs)
+                .map_err(|e| format!("binding plane {addr}: {e}"))?;
+            println!("fleet plane: {}", plane.addr());
+            let _ = std::io::stdout().flush();
+            if let Some(path) = flag(args, "--serve-addr-file") {
+                std::fs::write(path, plane.addr().to_string())
+                    .map_err(|e| format!("writing {path}: {e}"))?;
+            }
+            Some(plane)
+        }
+        None => None,
+    };
     let config = FleetConfig::new(data, workers);
     let outcome = run_fleet_campaign(&effective, &config, &obs).map_err(|e| e.to_string())?;
 
@@ -163,5 +222,17 @@ fn run(args: &[String]) -> Result<(), String> {
     println!("best assignment: {:?}", result.best_assignment.contexts());
     println!("best performance: {}", result.best_performance);
     println!("merged store: {}", outcome.merged_dir.display());
+    let _ = std::io::stdout().flush();
+    obs.flush();
+    if let Some(plane) = plane {
+        // Keep the pane of glass up over the finished campaign — the
+        // merged timeline and fleet metrics stay queryable until the
+        // operator (or the smoke script) kills the process.
+        println!("fleet plane serving until killed: {}", plane.addr());
+        let _ = std::io::stdout().flush();
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
     Ok(())
 }

@@ -36,8 +36,8 @@ use optassign::iterative::{
 use optassign::model::MeasureError;
 use optassign::persist::{iterative_campaign_id, slot_record, CampaignStore};
 use optassign::{Assignment, CoreError, PerformanceModel, Topology};
-use optassign_obs::{fleet_counters, Event, Json, Obs};
-use optassign_optd::client::{http_call_bytes_with, http_call_with, CallOptions};
+use optassign_obs::{fleet_counters, Event, Json, Obs, TraceContext};
+use optassign_optd::client::{http_call_bytes_with, http_call_traced, http_call_with, CallOptions};
 use optassign_optd::spec::{CampaignSpec, TenantModel};
 use optassign_store::io::RealIo;
 use optassign_store::merge::{merge_campaigns_with, MergeReport};
@@ -239,8 +239,9 @@ impl FleetBackend<'_> {
                     .map(|(widx, chunk)| {
                         let addr = workers[widx].ctrl.clone();
                         scope.spawn(move || {
-                            let answer =
-                                dispatch_lease(&addr, campaign, request, &chunk, topo, options);
+                            let answer = dispatch_lease(
+                                &addr, campaign, request, &chunk, topo, options, obs,
+                            );
                             (widx, chunk, answer)
                         })
                     })
@@ -383,6 +384,12 @@ impl BatchBackend for FleetBackend<'_> {
 
 /// Sends one lease to one worker and validates the answer covers
 /// exactly the leased slots.
+///
+/// The call carries the campaign's trace context (trace id = campaign
+/// fingerprint, so every process observing the campaign lands in the
+/// same trace) when `obs` records spans; the header is absent otherwise
+/// and the wire bytes match the untraced coordinator exactly.
+#[allow(clippy::too_many_arguments)]
 fn dispatch_lease(
     addr: &str,
     campaign: u64,
@@ -390,6 +397,7 @@ fn dispatch_lease(
     chunk: &[(u64, Assignment)],
     topo: Topology,
     options: &CallOptions,
+    obs: &Obs,
 ) -> Result<Vec<optassign::iterative::LeaseOutcome>, String> {
     let lease = LeaseRequest {
         campaign,
@@ -407,8 +415,17 @@ fn dispatch_lease(
             .collect(),
     };
     let body = wire::encode_lease(&lease);
-    let (status, answer) = http_call_with(addr, "POST", "/v1/lease", Some(&body), options)
-        .map_err(|e| format!("lease call failed: {e}"))?;
+    let ctx = TraceContext::root(campaign);
+    let (status, answer) = http_call_traced(
+        addr,
+        "POST",
+        "/v1/lease",
+        Some(&body),
+        options,
+        obs,
+        Some(&ctx),
+    )
+    .map_err(|e| format!("lease call failed: {e}"))?;
     if status != 200 {
         return Err(format!("lease answered {status}: {answer}"));
     }

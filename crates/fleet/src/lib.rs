@@ -36,8 +36,10 @@
 //! cache and performs zero model evaluations.
 
 pub mod coordinator;
+pub mod plane;
 pub mod wire;
 pub mod worker;
 
 pub use coordinator::{run_fleet_campaign, FleetConfig, FleetError, FleetOutcome};
+pub use plane::{start_plane, PlaneConfig};
 pub use worker::{HttpPeers, Worker, WorkerConfig};

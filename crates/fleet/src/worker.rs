@@ -20,12 +20,12 @@
 //! journal it was leased — the property the coordinator's merge turns
 //! into a bit-identical resume point.
 
-use optassign::iterative::{measure_leased_slots, PeerCache};
+use optassign::iterative::{measure_leased_slots_traced, PeerCache};
 use optassign::persist::{iterative_campaign_id, CampaignStore};
 use optassign::{Parallelism, PerformanceModel};
 use optassign_httpd::{HttpConfig, HttpServer, Request, Response};
-use optassign_obs::{Json, Obs};
-use optassign_optd::client::{http_call_with, CallOptions};
+use optassign_obs::{lane_span_id, Json, Obs, TraceContext};
+use optassign_optd::client::{http_call_traced, CallOptions};
 use optassign_optd::spec::{CampaignSpec, TenantModel};
 use optassign_store::merge::read_shard;
 use optassign_store::record::StoreRecord;
@@ -67,6 +67,10 @@ pub struct WorkerConfig {
     /// Thread/batch shape for leased-slot evaluation (a throughput knob;
     /// results are bit-identical at any setting).
     pub parallelism: Parallelism,
+    /// Path of this worker's JSONL journal, when it writes one. Served
+    /// verbatim at `GET /v1/journal` on the federation endpoint so the
+    /// coordinator can stitch a fleet-wide timeline; `None` answers 404.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for WorkerConfig {
@@ -77,6 +81,7 @@ impl Default for WorkerConfig {
             peer_addr: "127.0.0.1:0".into(),
             peers: Vec::new(),
             parallelism: Parallelism::default(),
+            journal: None,
         }
     }
 }
@@ -87,12 +92,31 @@ impl Default for WorkerConfig {
 pub struct HttpPeers {
     peers: Vec<String>,
     options: CallOptions,
+    /// Observability handle the peer calls journal through, and the
+    /// trace context of the lease currently occupying the control
+    /// thread (leases are served one at a time, so one slot suffices).
+    /// Federation fetches made while a traced lease runs inherit its
+    /// context — the cache-federation hop of the causal timeline.
+    obs: Obs,
+    lease_trace: Arc<Mutex<Option<TraceContext>>>,
 }
 
 impl HttpPeers {
     /// A federation over `peers` with short per-call timeouts.
     #[must_use]
     pub fn new(peers: Vec<String>) -> HttpPeers {
+        HttpPeers::traced(peers, Obs::disabled(), Arc::new(Mutex::new(None)))
+    }
+
+    /// A federation whose lookups carry the trace context in
+    /// `lease_trace` (when set) and journal `rpc_client` events on
+    /// `obs`.
+    #[must_use]
+    pub fn traced(
+        peers: Vec<String>,
+        obs: Obs,
+        lease_trace: Arc<Mutex<Option<TraceContext>>>,
+    ) -> HttpPeers {
         HttpPeers {
             peers,
             options: CallOptions {
@@ -100,19 +124,27 @@ impl HttpPeers {
                 connect_timeout: Duration::from_secs(2),
                 connect_budget: None,
             },
+            obs,
+            lease_trace,
         }
     }
 }
 
 impl PeerCache for HttpPeers {
     fn lookup(&self, key: u64) -> Option<f64> {
+        let ctx = *self
+            .lease_trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         for addr in &self.peers {
-            let Ok((200, body)) = http_call_with(
+            let Ok((200, body)) = http_call_traced(
                 addr,
                 "GET",
                 &format!("/v1/cache/{key}"),
                 None,
                 &self.options,
+                &self.obs,
+                ctx.as_ref(),
             ) else {
                 continue;
             };
@@ -139,6 +171,11 @@ struct WorkerState {
     parallelism: Parallelism,
     obs: Obs,
     peer_addr: String,
+    /// Shared with [`HttpPeers`]: the trace context of the lease the
+    /// control thread is currently measuring.
+    lease_trace: Arc<Mutex<Option<TraceContext>>>,
+    /// This worker's own journal file, served at `GET /v1/journal`.
+    journal: Option<PathBuf>,
 }
 
 /// A running fleet worker: two HTTP endpoints over one shard store.
@@ -160,16 +197,19 @@ impl Worker {
         let store = CampaignStore::open_with(&config.data_dir, Arc::new(RealIo), obs)
             .map_err(|e| std::io::Error::other(format!("opening shard store: {e}")))?;
         let peer_http = HttpConfig::read_only("fleet-peer", PEER_REJECTED_COUNTER);
+        let lease_trace: Arc<Mutex<Option<TraceContext>>> = Arc::new(Mutex::new(None));
         // Bind the federation endpoint first: installs answer with its
         // resolved address.
         let placeholder = Arc::new(WorkerState {
             dir: config.data_dir.clone(),
             store: Arc::new(store),
             campaigns: Mutex::new(HashMap::new()),
-            peers: HttpPeers::new(config.peers.clone()),
+            peers: HttpPeers::traced(config.peers.clone(), obs.clone(), Arc::clone(&lease_trace)),
             parallelism: config.parallelism,
             obs: obs.clone(),
             peer_addr: String::new(),
+            lease_trace: Arc::clone(&lease_trace),
+            journal: config.journal.clone(),
         });
         let peer_state = Arc::clone(&placeholder);
         let peer = HttpServer::start(
@@ -182,10 +222,12 @@ impl Worker {
             dir: placeholder.dir.clone(),
             store: Arc::clone(&placeholder.store),
             campaigns: Mutex::new(HashMap::new()),
-            peers: HttpPeers::new(config.peers.clone()),
+            peers: HttpPeers::traced(config.peers.clone(), obs.clone(), Arc::clone(&lease_trace)),
             parallelism: config.parallelism,
             obs: obs.clone(),
             peer_addr: peer.addr().to_string(),
+            lease_trace,
+            journal: config.journal.clone(),
         });
         let ctrl_state = Arc::clone(&state);
         let ctrl_http = HttpConfig {
@@ -319,14 +361,30 @@ fn serve_lease(state: &WorkerState, req: &Request) -> Response {
             )
         }
     };
-    let outcomes = match measure_leased_slots(
+    // A traced lease parents everything the measurement journals —
+    // including federation fetches made through [`HttpPeers`] while it
+    // runs — under the request's server span.
+    let remote_parent = req.trace.as_ref().map_or(0, TraceContext::server_span_id);
+    if let Some(ctx) = &req.trace {
+        *state
+            .lease_trace
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(ctx.child(remote_parent));
+    }
+    let measured = measure_leased_slots_traced(
         model.as_ref(),
         &lease,
         &state.store,
         &state.peers,
         state.parallelism,
         &state.obs,
-    ) {
+        remote_parent,
+    );
+    *state
+        .lease_trace
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = None;
+    let outcomes = match measured {
         Ok(outcomes) => outcomes,
         Err(e) => {
             return Response::json(
@@ -341,7 +399,21 @@ fn serve_lease(state: &WorkerState, req: &Request) -> Response {
     // The lease's records must be on disk before the coordinator can
     // count this lease complete — a worker killed after responding must
     // never have claimed slots it did not durably journal.
+    let sync_start_ns = state.obs.now_ns();
     state.store.sync();
+    if remote_parent != 0 {
+        state.obs.record_lane_span(
+            "fleet_wal_sync_ns",
+            lane_span_id(remote_parent, u64::MAX - lease.sequence),
+            remote_parent,
+            0,
+            sync_start_ns,
+            state.obs.now_ns(),
+        );
+    }
+    // Flush after every lease so a worker killed mid-campaign leaves a
+    // journal with at most one torn tail line.
+    state.obs.flush();
     Response::json(200, wire::encode_outcomes(&outcomes))
 }
 
@@ -352,6 +424,16 @@ fn peer_route(state: &WorkerState, req: &Request) -> Response {
     match req.path.as_str() {
         "/healthz" => Response::json(200, "{\"ok\":true,\"role\":\"fleet-worker-peer\"}"),
         "/v1/stats" => Response::json(200, state.obs.metrics().to_json()),
+        "/v1/journal" => match &state.journal {
+            Some(path) => {
+                state.obs.flush();
+                match std::fs::read(path) {
+                    Ok(bytes) => Response::octets(bytes),
+                    Err(e) => Response::text(500, format!("journal read failed: {e}\n")),
+                }
+            }
+            None => Response::not_found(),
+        },
         "/v1/shard/wal" => {
             let campaign = query_param(req.query.as_deref(), "campaign")
                 .and_then(|raw| raw.parse::<u64>().ok());

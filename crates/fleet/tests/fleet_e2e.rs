@@ -56,6 +56,7 @@ fn start_worker(dir: &Path, threads: usize, peers: Vec<String>, obs: &Obs) -> Wo
         peer_addr: "127.0.0.1:0".into(),
         peers,
         parallelism: Parallelism::new(threads),
+        journal: None,
     };
     Worker::start(&config, obs).unwrap()
 }
@@ -127,6 +128,91 @@ fn merged_wal_is_byte_identical_to_single_node_despite_worker_death() {
         assert_eq!(
             merged, reference,
             "merged WAL diverged from the single-node journal at {threads} worker threads"
+        );
+    }
+}
+
+#[test]
+fn traced_fleet_run_merges_identically_and_journals_cross_process_rpcs() {
+    // Distributed tracing end to end: with span events on and every
+    // process journaling into one shared recorder, the merged WAL must
+    // stay byte-identical to the single-node reference (tracing never
+    // perturbs), and the journal must pair coordinator-side rpc_client
+    // events with worker-side rpc_server events under the campaign's
+    // trace id — at 1 and 4 worker threads.
+    use optassign_obs::{Json, MemoryRecorder, MonotonicClock};
+    let root = temp_dir("traced");
+    let reference = reference_wal(&root);
+    for threads in [1usize, 4] {
+        let recorder = Arc::new(MemoryRecorder::default());
+        let obs = Obs::new(
+            Box::new(Arc::clone(&recorder)),
+            Box::<MonotonicClock>::default(),
+        );
+        obs.enable_span_events();
+        let tag = format!("tr{threads}");
+        let w0 = start_worker(&root.join(format!("{tag}-w0")), threads, Vec::new(), &obs);
+        let w1 = start_worker(&root.join(format!("{tag}-w1")), threads, Vec::new(), &obs);
+        let outcome = run_fleet_campaign(
+            &spec(),
+            &FleetConfig::new(
+                root.join(format!("{tag}-fleet")),
+                vec![w0.ctrl_addr(), w1.ctrl_addr()],
+            ),
+            &obs,
+        )
+        .unwrap();
+        drop(w0);
+        drop(w1);
+        assert_eq!(
+            wal_bytes(&outcome.merged_dir),
+            reference,
+            "tracing perturbed the merged WAL at {threads} threads"
+        );
+
+        let lines = recorder.lines();
+        let parsed = |kind: &str| -> Vec<Json> {
+            lines
+                .iter()
+                .filter(|l| l.contains(&format!("\"kind\":\"{kind}\"")))
+                .filter_map(|l| Json::parse(l))
+                .collect()
+        };
+        let clients = parsed("rpc_client");
+        let servers = parsed("rpc_server");
+        assert!(
+            !clients.is_empty(),
+            "no rpc_client events at {threads} threads"
+        );
+        assert!(
+            !servers.is_empty(),
+            "no rpc_server events at {threads} threads"
+        );
+        // Every rpc event lives in the campaign's trace.
+        for event in clients.iter().chain(&servers) {
+            assert_eq!(
+                event.get("trace").and_then(Json::as_u64),
+                Some(outcome.campaign),
+                "rpc event outside the campaign trace"
+            );
+        }
+        // Worker-side server spans remember their coordinator-side
+        // client parents: the causal edge the stitcher pairs on.
+        let client_ids: std::collections::HashSet<u64> = clients
+            .iter()
+            .filter_map(|v| v.get("id").and_then(Json::as_u64))
+            .collect();
+        let paired = servers
+            .iter()
+            .filter_map(|v| v.get("remote_parent").and_then(Json::as_u64))
+            .filter(|p| client_ids.contains(p))
+            .count();
+        assert!(paired > 0, "no rpc_server paired with an rpc_client");
+        // The lease measurement itself parents under the lease's server
+        // span as a lane span.
+        assert!(
+            lines.iter().any(|l| l.contains("fleet_lease_measure_ns")),
+            "no worker-side lease-measure span"
         );
     }
 }

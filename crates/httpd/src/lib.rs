@@ -28,7 +28,7 @@
 //! return a [`Response`]; everything they serve should be derived from
 //! snapshots so serving never blocks or perturbs the pipeline.
 
-use optassign_obs::Obs;
+use optassign_obs::{labeled, Obs, TraceContext, TRACE_HEADER};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -92,6 +92,11 @@ pub struct Request {
     pub query: Option<String>,
     /// Request body (empty unless the client declared a `Content-Length`).
     pub body: Vec<u8>,
+    /// Remote trace context, when the client sent an `x-oast-trace`
+    /// header. The server core journals the request's `rpc_server` span
+    /// itself; handlers that start further spans parent them under
+    /// [`TraceContext::server_span_id`] of this context.
+    pub trace: Option<TraceContext>,
 }
 
 impl Request {
@@ -353,18 +358,87 @@ fn handle_connection(mut stream: TcpStream, obs: &Obs, config: &HttpConfig, hand
         path,
         query,
         body,
+        trace: header_value(&head, TRACE_HEADER).and_then(TraceContext::parse),
     };
+    let recv_ns = obs.now_ns();
     let response = handler(&request);
+    let send_ns = obs.now_ns();
+    record_request(obs, &request, &response, recv_ns, send_ns);
     respond(&mut stream, &response);
+}
+
+/// RED metrics for one answered request — rate, errors, and duration per
+/// normalized route — plus the `rpc_server` journal span when the
+/// request carried a trace context. Observation only: nothing here flows
+/// back into the response.
+fn record_request(obs: &Obs, request: &Request, response: &Response, recv_ns: u64, send_ns: u64) {
+    if !obs.enabled() {
+        return;
+    }
+    let route = route_key(&request.path);
+    let method: &str = &request.method;
+    obs.counter_add(
+        &labeled(
+            "http_requests_total",
+            &[("method", method), ("route", &route)],
+        ),
+        1,
+    );
+    if response.status >= 400 {
+        obs.counter_add(
+            &labeled(
+                "http_requests_errors_total",
+                &[("route", &route), ("status", &response.status.to_string())],
+            ),
+            1,
+        );
+    }
+    obs.observe(
+        &labeled("http_request_duration_ns", &[("route", &route)]),
+        send_ns.saturating_sub(recv_ns),
+    );
+    if let Some(ctx) = &request.trace {
+        obs.record_rpc_server(&request.path, response.status, ctx, recv_ns, send_ns);
+    }
+}
+
+/// Collapses identifier-looking path segments (`12345`, `c000017`) to
+/// `{id}` so per-route series stay bounded no matter how many campaigns
+/// or cache keys a server answers for.
+fn route_key(path: &str) -> String {
+    let mut out = String::new();
+    for segment in path.split('/').skip(1) {
+        out.push('/');
+        if is_id_segment(segment) {
+            out.push_str("{id}");
+        } else {
+            out.push_str(segment);
+        }
+    }
+    if out.is_empty() {
+        out.push('/');
+    }
+    out
+}
+
+fn is_id_segment(segment: &str) -> bool {
+    let digits = segment.strip_prefix('c').unwrap_or(segment);
+    !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit())
 }
 
 /// Parses a `Content-Length` header out of the request head,
 /// case-insensitively.
 fn content_length(head: &str) -> Option<usize> {
+    header_value(head, "content-length").and_then(|value| value.parse::<usize>().ok())
+}
+
+/// Finds a header's trimmed value in the request head,
+/// case-insensitively.
+fn header_value<'a>(head: &'a str, name: &str) -> Option<&'a str> {
     head.lines().skip(1).find_map(|line| {
-        let (name, value) = line.split_once(':')?;
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            value.trim().parse::<usize>().ok()
+        let (header, value) = line.split_once(':')?;
+        if header.trim().eq_ignore_ascii_case(name) {
+            Some(value.trim())
         } else {
             None
         }
@@ -621,5 +695,89 @@ mod tests {
         assert_eq!(reason_phrase(200), "OK");
         assert_eq!(reason_phrase(431), "Request Header Fields Too Large");
         assert_eq!(reason_phrase(777), "Response");
+    }
+
+    #[test]
+    fn routes_normalize_identifier_segments() {
+        assert_eq!(route_key("/"), "/");
+        assert_eq!(route_key("/healthz"), "/healthz");
+        assert_eq!(
+            route_key("/v1/campaigns/c000017/best"),
+            "/v1/campaigns/{id}/best"
+        );
+        assert_eq!(route_key("/v1/cache/123456789"), "/v1/cache/{id}");
+    }
+
+    #[test]
+    fn red_metrics_cover_rate_errors_and_duration() {
+        let (server, obs) = start(rw_config());
+        let addr = server.addr();
+        let (status, _) = raw(addr, "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let (status, _) = raw(addr, "GET /nope HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 404 Not Found");
+        let snap = obs.metrics();
+        assert_eq!(
+            snap.counter("http_requests_total{method=\"GET\",route=\"/ping\"}"),
+            1
+        );
+        assert_eq!(
+            snap.counter("http_requests_errors_total{route=\"/nope\",status=\"404\"}"),
+            1
+        );
+        assert!(snap
+            .histogram("http_request_duration_ns{route=\"/ping\"}")
+            .is_some());
+    }
+
+    #[test]
+    fn trace_header_reaches_the_handler_and_journals_a_server_span() {
+        use optassign_obs::{FakeClock, MemoryRecorder};
+        let rec = Arc::new(MemoryRecorder::default());
+        let obs = Obs::new(Box::new(Arc::clone(&rec)), Box::new(FakeClock::new(7)));
+        obs.enable_span_events();
+        let seen: Arc<std::sync::Mutex<Option<TraceContext>>> =
+            Arc::new(std::sync::Mutex::new(None));
+        let seen_in_handler = Arc::clone(&seen);
+        let handler: Arc<Handler> = Arc::new(move |req: &Request| {
+            *seen_in_handler.lock().unwrap() = req.trace;
+            Response::ok("text/plain; charset=utf-8", "ok\n")
+        });
+        let server =
+            HttpServer::start("127.0.0.1:0", obs.clone(), rw_config(), handler).expect("bind");
+        let ctx = TraceContext {
+            trace_id: 0xabcd,
+            parent_span_id: 0x1234,
+        };
+        let (status, _) = raw(
+            server.addr(),
+            &format!(
+                "GET /ping HTTP/1.1\r\nHost: t\r\nX-Oast-Trace: {}\r\n\r\n",
+                ctx.header_value()
+            ),
+        );
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        assert_eq!(*seen.lock().unwrap(), Some(ctx));
+        let lines = rec.lines();
+        let server_event = lines
+            .iter()
+            .find(|l| l.contains("\"kind\":\"rpc_server\""))
+            .expect("rpc_server journaled");
+        assert!(server_event.contains("\"trace\":43981"), "{server_event}");
+        assert!(
+            server_event.contains(&format!("\"id\":{}", ctx.server_span_id())),
+            "{server_event}"
+        );
+        assert!(
+            server_event.contains("\"remote_parent\":4660"),
+            "{server_event}"
+        );
+
+        // Requests without the header journal nothing.
+        let before = rec.lines().len();
+        let (status, _) = raw(server.addr(), "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        let after = rec.lines();
+        assert!(!after[before..].iter().any(|l| l.contains("rpc_server")));
     }
 }

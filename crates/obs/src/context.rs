@@ -1,0 +1,163 @@
+//! Cross-process trace context: the identity a request carries with it.
+//!
+//! A [`TraceContext`] names one trace (`trace_id`) and the span that is
+//! the caller's side of the current request (`parent_span_id`). It
+//! travels between processes as the `x-oast-trace` header rendered by
+//! [`TraceContext::header_value`] and parsed by [`TraceContext::parse`]:
+//!
+//! ```text
+//! x-oast-trace: 00000000000004d2-9f0000000000001b
+//! ```
+//!
+//! (two 16-hex-digit fields, trace id then parent span id, joined by a
+//! dash). The server side derives its own span id deterministically from
+//! the pair via [`TraceContext::server_span_id`], so a request's client
+//! and server spans agree on their kinship without a round trip.
+//!
+//! ## Determinism
+//!
+//! RPC span ids are never derived from clock readings (the stitched
+//! timeline must be byte-identical under bounded clock skew) and never
+//! drawn from the sequential orchestration counter (HTTP threads would
+//! make its order timing-dependent). Instead they are FNV-1a hashes — of
+//! `(trace_id, sequence)` on the client, `(trace_id, remote parent)` on
+//! the server — with the high bit forced, like [`lane_span_id`], so they
+//! stay disjoint from the small sequential ids. A distinct basis keeps
+//! rpc ids from colliding with lane ids for equal inputs.
+//!
+//! [`lane_span_id`]: crate::lane_span_id
+
+/// The `x-oast-trace` request header carrying a [`TraceContext`].
+pub const TRACE_HEADER: &str = "x-oast-trace";
+
+/// Identity of one in-flight request within a distributed trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Campaign- or session-scoped trace identity, shared by every span
+    /// the request touches in any process.
+    pub trace_id: u64,
+    /// The caller-side span this request hangs under (`0` for a root).
+    pub parent_span_id: u64,
+}
+
+/// FNV-1a over a pair of words with an rpc-specific basis; high bit
+/// forced so rpc ids never collide with sequential orchestration ids,
+/// basis offset so they never collide with lane ids for equal inputs.
+const fn rpc_hash(a: u64, b: u64) -> u64 {
+    // The standard FNV offset basis xor a tag that marks "rpc".
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ 0x7270_6300_0000_0000; // "rpc"
+    h ^= a;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    h ^= b;
+    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    h | (1 << 63)
+}
+
+impl TraceContext {
+    /// A context rooted directly at the trace (no parent span yet).
+    #[must_use]
+    pub const fn root(trace_id: u64) -> Self {
+        TraceContext {
+            trace_id,
+            parent_span_id: 0,
+        }
+    }
+
+    /// The same trace, re-parented under `span_id`.
+    #[must_use]
+    pub const fn child(&self, span_id: u64) -> Self {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span_id: span_id,
+        }
+    }
+
+    /// Deterministic id for the client-side span of the `sequence`-th
+    /// outbound call of this trace (sequence is per-process; ids are
+    /// opaque, only their uniqueness and linkage matter).
+    #[must_use]
+    pub const fn client_span_id(&self, sequence: u64) -> u64 {
+        rpc_hash(self.trace_id ^ 0x636c_6900_0000_0000, sequence) // "cli"
+    }
+
+    /// Deterministic id for the server-side span of the request this
+    /// context describes: a hash of `(trace_id, parent_span_id)`. Both
+    /// ends can compute it without negotiation, and it is unique as long
+    /// as client span ids are.
+    #[must_use]
+    pub const fn server_span_id(&self) -> u64 {
+        rpc_hash(self.trace_id ^ 0x7372_7600_0000_0000, self.parent_span_id) // "srv"
+    }
+
+    /// Renders the `x-oast-trace` header value.
+    #[must_use]
+    pub fn header_value(&self) -> String {
+        format!("{:016x}-{:016x}", self.trace_id, self.parent_span_id)
+    }
+
+    /// Parses a header value produced by [`TraceContext::header_value`].
+    /// Returns `None` for anything malformed rather than guessing.
+    #[must_use]
+    pub fn parse(value: &str) -> Option<Self> {
+        let value = value.trim();
+        let (trace, parent) = value.split_once('-')?;
+        if trace.len() != 16 || parent.len() != 16 {
+            return None;
+        }
+        Some(TraceContext {
+            trace_id: u64::from_str_radix(trace, 16).ok()?,
+            parent_span_id: u64::from_str_radix(parent, 16).ok()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_round_trips() {
+        let ctx = TraceContext {
+            trace_id: 0x1234,
+            parent_span_id: u64::MAX,
+        };
+        let value = ctx.header_value();
+        assert_eq!(value, "0000000000001234-ffffffffffffffff");
+        assert_eq!(TraceContext::parse(&value), Some(ctx));
+        assert_eq!(
+            TraceContext::parse(" 0000000000001234-ffffffffffffffff "),
+            Some(ctx)
+        );
+    }
+
+    #[test]
+    fn malformed_headers_parse_to_none() {
+        for bad in [
+            "",
+            "1234-5678",
+            "0000000000001234",
+            "0000000000001234-fffffffffffffff", // 15 digits
+            "000000000000123g-ffffffffffffffff",
+            "0000000000001234-ffffffffffffffff-00",
+        ] {
+            assert_eq!(TraceContext::parse(bad), None, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_distinct_and_high_bit_tagged() {
+        let ctx = TraceContext::root(42);
+        let c0 = ctx.client_span_id(0);
+        let c1 = ctx.client_span_id(1);
+        assert_eq!(c0, ctx.client_span_id(0));
+        assert_ne!(c0, c1);
+        assert!(c0 >= 1 << 63);
+        let srv = ctx.child(c0).server_span_id();
+        assert_ne!(srv, c0);
+        assert!(srv >= 1 << 63);
+        // Different traces disagree everywhere.
+        assert_ne!(TraceContext::root(43).client_span_id(0), c0);
+        // Rpc ids use a different basis than lane ids.
+        assert_ne!(crate::lane_span_id(42, 0), c0);
+    }
+}

@@ -14,29 +14,61 @@ impl MetricsRegistry {
     /// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`,
     /// followed by interpolated `_p50`/`_p95`/`_p99` summary gauges
     /// (see [`Histogram::quantile`]).
+    /// Series names may embed a Prometheus label set (see [`labeled`]):
+    /// `http_requests_total{route="/healthz"}`. Labeled series of one
+    /// base name share a single `# TYPE` line, and histogram suffixes
+    /// are spliced *before* the label set (`base_bucket{route=...,
+    /// le=...}`), so the exposition stays well-formed.
     #[must_use]
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        let mut last_base = String::new();
         for (name, value) in self.counters() {
-            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+            let (base, _) = split_labels(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} counter");
+                last_base = base.to_string();
+            }
+            let _ = writeln!(out, "{name} {value}");
         }
+        last_base.clear();
         for (name, value) in self.gauges() {
-            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {}", fmt_f64(value));
+            let (base, _) = split_labels(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} gauge");
+                last_base = base.to_string();
+            }
+            let _ = writeln!(out, "{name} {}", fmt_f64(value));
         }
+        last_base.clear();
         for (name, hist) in self.histograms() {
-            let _ = writeln!(out, "# TYPE {name} histogram");
+            let (base, labels) = split_labels(name);
+            if base != last_base {
+                let _ = writeln!(out, "# TYPE {base} histogram");
+                last_base = base.to_string();
+            }
+            // `base_bucket{<labels>,le="b"}` when labeled, the classic
+            // `base_bucket{le="b"}` otherwise.
+            let with_le = |extra: &str| match labels {
+                Some(labels) => format!("{base}_bucket{{{labels},le=\"{extra}\"}}"),
+                None => format!("{base}_bucket{{le=\"{extra}\"}}"),
+            };
+            let suffixed = |suffix: &str| match labels {
+                Some(labels) => format!("{base}_{suffix}{{{labels}}}"),
+                None => format!("{base}_{suffix}"),
+            };
             let mut cumulative = 0u64;
             for (bound, count) in hist.bounds().iter().zip(hist.bucket_counts()) {
                 cumulative += count;
-                let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                let _ = writeln!(out, "{} {cumulative}", with_le(&bound.to_string()));
             }
-            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count());
-            let _ = writeln!(out, "{name}_sum {}", hist.sum());
-            let _ = writeln!(out, "{name}_count {}", hist.count());
+            let _ = writeln!(out, "{} {}", with_le("+Inf"), hist.count());
+            let _ = writeln!(out, "{} {}", suffixed("sum"), hist.sum());
+            let _ = writeln!(out, "{} {}", suffixed("count"), hist.count());
             for (suffix, q) in QUANTILE_SUMMARY {
                 if let Some(v) = hist.quantile(q) {
-                    let _ = writeln!(out, "# TYPE {name}_{suffix} gauge");
-                    let _ = writeln!(out, "{name}_{suffix} {}", fmt_f64(v));
+                    let _ = writeln!(out, "# TYPE {base}_{suffix} gauge");
+                    let _ = writeln!(out, "{} {}", suffixed(suffix), fmt_f64(v));
                 }
             }
         }
@@ -82,6 +114,50 @@ impl MetricsRegistry {
 
 /// The summary quantiles both exporters render for every histogram.
 const QUANTILE_SUMMARY: [(&str, f64); 3] = [("p50", 0.5), ("p95", 0.95), ("p99", 0.99)];
+
+/// Splits `base{labels}` into `("base", Some("labels"))`; names without
+/// an embedded label set come back unchanged: `("base", None)`.
+fn split_labels(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((base, rest)) => (base, rest.strip_suffix('}').or(Some(rest))),
+        None => (name, None),
+    }
+}
+
+/// Builds a series name with an embedded Prometheus label set:
+/// `labeled("g", &[("t", "a")])` → `g{t="a"}`. Label values are escaped
+/// per the exposition format (backslash, quote, newline). Appending to a
+/// name that already carries labels merges into the existing set.
+#[must_use]
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let (base, existing) = split_labels(name);
+    let mut out = String::from(base);
+    out.push('{');
+    if let Some(existing) = existing {
+        out.push_str(existing);
+    }
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 || existing.is_some() {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        for ch in value.chars() {
+            match ch {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                _ => out.push(ch),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
 
 fn push_histogram_json(out: &mut String, hist: &Histogram) {
     out.push_str("{\"bounds\":[");
@@ -139,5 +215,51 @@ mod tests {
         assert_eq!(fmt_f64(f64::INFINITY), "+Inf");
         assert_eq!(fmt_f64(f64::NEG_INFINITY), "-Inf");
         assert_eq!(fmt_f64(2.5), "2.5");
+    }
+
+    #[test]
+    fn labeled_builds_and_merges_label_sets() {
+        assert_eq!(labeled("g", &[]), "g");
+        assert_eq!(labeled("g", &[("t", "a")]), "g{t=\"a\"}");
+        assert_eq!(labeled("g{t=\"a\"}", &[("i", "w0")]), "g{t=\"a\",i=\"w0\"}");
+        assert_eq!(labeled("g", &[("t", "a\"b\\c")]), "g{t=\"a\\\"b\\\\c\"}");
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line_and_valid_histogram_suffixes() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add(&labeled("http_requests_total", &[("route", "/a")]), 1);
+        r.counter_add(&labeled("http_requests_total", &[("route", "/b")]), 2);
+        r.observe_with(
+            &labeled("http_request_duration_ns", &[("route", "/a")]),
+            10,
+            &[100],
+        );
+        let text = r.to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE http_requests_total counter").count(),
+            1
+        );
+        assert!(text.contains("http_requests_total{route=\"/a\"} 1\n"));
+        assert!(text.contains("http_requests_total{route=\"/b\"} 2\n"));
+        assert!(
+            text.contains("http_request_duration_ns_bucket{route=\"/a\",le=\"100\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("http_request_duration_ns_sum{route=\"/a\"} 10\n"));
+        assert!(text.contains("http_request_duration_ns_count{route=\"/a\"} 1\n"));
+    }
+
+    #[test]
+    fn registry_round_trips_through_json() {
+        use crate::journal::Json;
+        let mut r = MetricsRegistry::default();
+        r.counter_add("c", 3);
+        r.gauge_set("g", 1.25);
+        r.observe("h_ns", 12_000);
+        let doc = Json::parse(&r.to_json()).unwrap();
+        let back = MetricsRegistry::from_json(&doc);
+        assert_eq!(back.to_json(), r.to_json());
+        assert_eq!(back.to_prometheus(), r.to_prometheus());
     }
 }

@@ -53,15 +53,19 @@
 //! ```
 
 pub mod clock;
+pub mod context;
 pub mod event;
 pub mod export;
 pub mod journal;
 pub mod metrics;
 pub mod recorder;
+pub mod stitch;
 pub mod trace;
 
 pub use clock::{Clock, FakeClock, MonotonicClock};
+pub use context::{TraceContext, TRACE_HEADER};
 pub use event::{Event, Value};
+pub use export::labeled;
 pub use journal::Json;
 pub use metrics::{Histogram, MetricsRegistry, LATENCY_BUCKETS_NS, VALUE_BUCKETS};
 pub use recorder::{JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, StderrProgress, Tee};
@@ -132,6 +136,12 @@ struct ObsInner {
     /// High-water mark of recorder I/O errors already reported through a
     /// `recorder_io_errors` warning event.
     io_errors_reported: AtomicU64,
+    /// Sequence counter behind [`Obs::next_client_span_id`]. Unlike the
+    /// orchestration span counter this one may be bumped from any thread:
+    /// rpc span ids are opaque (only their uniqueness and their linkage
+    /// through the `x-oast-trace` header matter), so a timing-dependent
+    /// allocation order perturbs nothing.
+    rpc_seq: AtomicU64,
 }
 
 #[derive(Default)]
@@ -166,6 +176,7 @@ impl Obs {
                 spans: Mutex::new(SpanStack::default()),
                 span_events: AtomicBool::new(false),
                 io_errors_reported: AtomicU64::new(0),
+                rpc_seq: AtomicU64::new(0),
             })),
         }
     }
@@ -317,6 +328,76 @@ impl Obs {
     ) {
         if self.span_events_enabled() {
             self.record(span_event(name, id, parent, lane, start_ns, end_ns));
+        }
+    }
+
+    /// Allocates the client-side span id for the next outbound traced
+    /// call of `ctx`'s trace. Ids come from a per-process sequence fed
+    /// through an FNV hash (see [`TraceContext::client_span_id`]); `0`
+    /// on a disabled handle.
+    #[must_use]
+    pub fn next_client_span_id(&self, ctx: &TraceContext) -> u64 {
+        match &self.inner {
+            None => 0,
+            Some(inner) => ctx.client_span_id(inner.rpc_seq.fetch_add(1, Ordering::Relaxed)),
+        }
+    }
+
+    /// Records the client side of one traced RPC as an `rpc_client`
+    /// journal event: the call to `path` was sent at `send_ns`, answered
+    /// with `status` at `recv_ns`, carried span id `id` (from
+    /// [`Obs::next_client_span_id`]) and hung under `ctx.parent_span_id`
+    /// locally. No-op unless span events are enabled, so journal shapes
+    /// are unchanged when tracing is off.
+    pub fn record_rpc_client(
+        &self,
+        path: &str,
+        status: u16,
+        ctx: &TraceContext,
+        id: u64,
+        send_ns: u64,
+        recv_ns: u64,
+    ) {
+        if self.span_events_enabled() {
+            self.record(
+                Event::new("rpc_client")
+                    .with("path", path.to_string())
+                    .with("status", u64::from(status))
+                    .with("trace", ctx.trace_id)
+                    .with("id", id)
+                    .with("parent", ctx.parent_span_id)
+                    .with("send_ns", send_ns)
+                    .with("recv_ns", recv_ns),
+            );
+        }
+    }
+
+    /// Records the server side of one traced RPC as an `rpc_server`
+    /// journal event: the request to `path` carrying remote context
+    /// `ctx` arrived at `recv_ns` and was answered with `status` at
+    /// `send_ns`. The span id is derived as
+    /// [`TraceContext::server_span_id`], and `ctx.parent_span_id` is
+    /// journaled as `remote_parent` — the link [`stitch`] pairs with the
+    /// matching `rpc_client` event. No-op unless span events are enabled.
+    pub fn record_rpc_server(
+        &self,
+        path: &str,
+        status: u16,
+        ctx: &TraceContext,
+        recv_ns: u64,
+        send_ns: u64,
+    ) {
+        if self.span_events_enabled() {
+            self.record(
+                Event::new("rpc_server")
+                    .with("path", path.to_string())
+                    .with("status", u64::from(status))
+                    .with("trace", ctx.trace_id)
+                    .with("id", ctx.server_span_id())
+                    .with("remote_parent", ctx.parent_span_id)
+                    .with("recv_ns", recv_ns)
+                    .with("send_ns", send_ns),
+            );
         }
     }
 

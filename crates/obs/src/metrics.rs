@@ -314,6 +314,78 @@ impl MetricsRegistry {
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histograms.iter().map(|(k, v)| (k.as_str(), v))
     }
+
+    /// Reconstructs a registry from the document produced by
+    /// [`MetricsRegistry::to_json`] — how the coordinator turns a
+    /// worker's `/v1/stats` scrape back into mergeable series. Series
+    /// that do not round-trip (malformed histograms, non-numeric values)
+    /// are skipped rather than failing the whole snapshot.
+    #[must_use]
+    pub fn from_json(doc: &crate::journal::Json) -> MetricsRegistry {
+        use crate::journal::Json;
+        let mut registry = MetricsRegistry::default();
+        if let Some(members) = doc.get("counters").and_then(Json::as_object) {
+            for (name, value) in members {
+                if let Some(value) = value.as_u64() {
+                    registry.counter_add(name, value);
+                }
+            }
+        }
+        if let Some(members) = doc.get("gauges").and_then(Json::as_object) {
+            for (name, value) in members {
+                if let Some(value) = value.as_f64() {
+                    registry.gauge_set(name, value);
+                }
+            }
+        }
+        if let Some(members) = doc.get("histograms").and_then(Json::as_object) {
+            for (name, value) in members {
+                let bounds: Option<Vec<u64>> = value
+                    .get("bounds")
+                    .and_then(Json::as_array)
+                    .map(|items| items.iter().map(Json::as_u64).collect())
+                    .unwrap_or(None);
+                let counts: Option<Vec<u64>> = value
+                    .get("counts")
+                    .and_then(Json::as_array)
+                    .map(|items| items.iter().map(Json::as_u64).collect())
+                    .unwrap_or(None);
+                let (Some(bounds), Some(counts)) = (bounds, counts) else {
+                    continue;
+                };
+                let sum = value.get("sum").and_then(Json::as_u64).unwrap_or(0);
+                let min = value.get("min").and_then(Json::as_u64);
+                let max = value.get("max").and_then(Json::as_u64);
+                if let Some(hist) = Histogram::from_parts(bounds, counts, sum, min, max) {
+                    registry.histograms.insert(name.clone(), hist);
+                }
+            }
+        }
+        registry
+    }
+
+    /// A copy of this registry with `key="value"` merged into every
+    /// series name's label set — how a fleet-wide scrape keeps the same
+    /// metric from different instances apart. Merging relabeled copies
+    /// with [`MetricsRegistry::merge_from`] never collides as long as
+    /// each instance gets a distinct value.
+    #[must_use]
+    pub fn relabeled(&self, key: &str, value: &str) -> MetricsRegistry {
+        let labels = [(key, value)];
+        let mut out = MetricsRegistry::default();
+        for (name, v) in &self.counters {
+            out.counters
+                .insert(crate::export::labeled(name, &labels), *v);
+        }
+        for (name, v) in &self.gauges {
+            out.gauges.insert(crate::export::labeled(name, &labels), *v);
+        }
+        for (name, h) in &self.histograms {
+            out.histograms
+                .insert(crate::export::labeled(name, &labels), h.clone());
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -460,6 +532,25 @@ mod tests {
         assert_eq!(a.sum(), 20);
         // The foreign observation lands in the overflow bucket.
         assert_eq!(a.bucket_counts(), &[1, 1]);
+    }
+
+    #[test]
+    fn relabeled_copies_embed_the_instance_label() {
+        let mut r = MetricsRegistry::default();
+        r.counter_add("hits", 3);
+        r.counter_add("hits{zone=\"a\"}", 1);
+        r.gauge_set("depth", 2.0);
+        r.observe("lat_ns", 7);
+        let tagged = r.relabeled("instance", "w1");
+        assert_eq!(tagged.counter("hits{instance=\"w1\"}"), 3);
+        assert_eq!(tagged.counter("hits{zone=\"a\",instance=\"w1\"}"), 1);
+        assert_eq!(tagged.gauge("depth{instance=\"w1\"}"), Some(2.0));
+        assert!(tagged.histogram("lat_ns{instance=\"w1\"}").is_some());
+        // Relabeled copies from distinct instances merge without collision.
+        let mut merged = tagged.clone();
+        merged.merge_from(&r.relabeled("instance", "w2"));
+        assert_eq!(merged.counter("hits{instance=\"w1\"}"), 3);
+        assert_eq!(merged.counter("hits{instance=\"w2\"}"), 3);
     }
 
     #[test]

@@ -1,0 +1,541 @@
+//! Journal stitching: N per-process JSONL journals merged into one
+//! causal Chrome trace.
+//!
+//! Every process in the fabric (coordinator, workers, the optd daemon,
+//! optd_client) writes its own journal against its own monotonic clock,
+//! and those clocks share no epoch. What the journals *do* share are
+//! the `rpc_client` / `rpc_server` event pairs the trace context
+//! machinery leaves behind (see [`crate::context`]): the client knows
+//! when it sent and when it heard back, the server knows when it
+//! received and when it answered, and the two events are linked by
+//! `rpc_client.id == rpc_server.remote_parent` within a trace.
+//!
+//! ## Skew alignment
+//!
+//! For one paired call with client-clock send/recv `a`/`b` and
+//! server-clock recv/send `c`/`d`, the NTP-style midpoint estimate of
+//! the server clock's offset against the client clock is
+//!
+//! ```text
+//! θ = ((c − a) + (d − b)) / 2
+//! ```
+//!
+//! All θ for the same ordered process pair are averaged (exact i128
+//! floor arithmetic), the pair graph is walked breadth-first from the
+//! root processes (those that never appear as a server), and each
+//! process's accumulated offset is subtracted from its timestamps.
+//! Every step is integer arithmetic in a fixed order, so the merged
+//! trace is **byte-identical** under (a) permutation of the input
+//! journals and (b) any constant per-process clock shift: shifting one
+//! process's clock by δ shifts its measured offset by exactly δ and
+//! cancels. (Genuine *drift* within one journal is not corrected —
+//! offsets are per-process constants, the deterministic compromise
+//! documented in DESIGN.md §13.)
+//!
+//! ## Output
+//!
+//! One Chrome trace (`chrome://tracing` / Perfetto): a `pid` per
+//! process (name metadata events first), every `span` / `rpc_client` /
+//! `rpc_server` event as a `"ph":"X"` slice on that process's track,
+//! and a `"ph":"s"` → `"ph":"f"` flow arrow from each client send to
+//! the matching server receive.
+
+use crate::journal::Json;
+use crate::trace::{push_us, TraceSpan};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// The client half of one traced RPC, as journaled by
+/// [`crate::Obs::record_rpc_client`].
+#[derive(Clone, Debug)]
+struct RpcClient {
+    path: String,
+    status: u64,
+    trace: u64,
+    id: u64,
+    parent: u64,
+    send_ns: u64,
+    recv_ns: u64,
+}
+
+/// The server half, as journaled by [`crate::Obs::record_rpc_server`].
+#[derive(Clone, Debug)]
+struct RpcServer {
+    path: String,
+    status: u64,
+    trace: u64,
+    id: u64,
+    remote_parent: u64,
+    recv_ns: u64,
+    send_ns: u64,
+}
+
+/// One process's parsed journal.
+struct Process {
+    name: String,
+    spans: Vec<TraceSpan>,
+    clients: Vec<RpcClient>,
+    servers: Vec<RpcServer>,
+    malformed: u64,
+}
+
+/// A matched client→server call: indices into the process table and
+/// into the respective event vectors.
+struct Pair {
+    client_proc: usize,
+    client_event: usize,
+    server_proc: usize,
+    server_event: usize,
+}
+
+/// What [`stitch_journals`] produced, with enough accounting for smoke
+/// checks to assert journal health.
+pub struct StitchReport {
+    /// The merged Chrome trace document.
+    pub json: String,
+    /// Number of input processes (journals).
+    pub processes: usize,
+    /// Total `span` events across all journals.
+    pub spans: usize,
+    /// Total rpc events (client + server) across all journals.
+    pub rpc_events: usize,
+    /// Matched client→server pairs (each renders one flow arrow).
+    pub pairs: usize,
+    /// Torn or unparseable journal lines, summed over all inputs.
+    pub malformed: u64,
+}
+
+/// Merges named journals into one causal Chrome trace. Each input is a
+/// `(process_name, journal_text)` pair; input order does not matter
+/// (processes are sorted by name before anything else looks at them).
+#[must_use]
+pub fn stitch_journals(journals: &[(String, String)]) -> StitchReport {
+    let mut procs: Vec<Process> = journals
+        .iter()
+        .map(|(name, text)| parse_journal(name, text))
+        .collect();
+    procs.sort_by(|a, b| a.name.cmp(&b.name));
+
+    let pairs = match_pairs(&procs);
+    let offsets = clock_offsets(&procs, &pairs);
+    let json = render(&procs, &pairs, &offsets);
+
+    StitchReport {
+        json,
+        processes: procs.len(),
+        spans: procs.iter().map(|p| p.spans.len()).sum(),
+        rpc_events: procs
+            .iter()
+            .map(|p| p.clients.len() + p.servers.len())
+            .sum(),
+        pairs: pairs.len(),
+        malformed: procs.iter().map(|p| p.malformed).sum(),
+    }
+}
+
+fn parse_journal(name: &str, text: &str) -> Process {
+    let mut process = Process {
+        name: name.to_string(),
+        spans: Vec::new(),
+        clients: Vec::new(),
+        servers: Vec::new(),
+        malformed: 0,
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Some(value) = Json::parse(line) else {
+            process.malformed += 1;
+            continue;
+        };
+        match value.get("kind").and_then(Json::as_str) {
+            Some("span") => match span_from(&value) {
+                Some(span) => process.spans.push(span),
+                None => process.malformed += 1,
+            },
+            Some("rpc_client") => match client_from(&value) {
+                Some(event) => process.clients.push(event),
+                None => process.malformed += 1,
+            },
+            Some("rpc_server") => match server_from(&value) {
+                Some(event) => process.servers.push(event),
+                None => process.malformed += 1,
+            },
+            Some(_) => {} // other event kinds are not timeline material
+            None => process.malformed += 1,
+        }
+    }
+    process
+}
+
+fn span_from(value: &Json) -> Option<TraceSpan> {
+    Some(TraceSpan {
+        name: value.get("name")?.as_str()?.to_string(),
+        id: value.get("id")?.as_u64()?,
+        parent: value.get("parent")?.as_u64()?,
+        lane: value.get("lane")?.as_u64()?,
+        start_ns: value.get("start_ns")?.as_u64()?,
+        end_ns: value.get("end_ns")?.as_u64()?,
+    })
+}
+
+fn client_from(value: &Json) -> Option<RpcClient> {
+    Some(RpcClient {
+        path: value.get("path")?.as_str()?.to_string(),
+        status: value.get("status")?.as_u64()?,
+        trace: value.get("trace")?.as_u64()?,
+        id: value.get("id")?.as_u64()?,
+        parent: value.get("parent")?.as_u64()?,
+        send_ns: value.get("send_ns")?.as_u64()?,
+        recv_ns: value.get("recv_ns")?.as_u64()?,
+    })
+}
+
+fn server_from(value: &Json) -> Option<RpcServer> {
+    Some(RpcServer {
+        path: value.get("path")?.as_str()?.to_string(),
+        status: value.get("status")?.as_u64()?,
+        trace: value.get("trace")?.as_u64()?,
+        id: value.get("id")?.as_u64()?,
+        remote_parent: value.get("remote_parent")?.as_u64()?,
+        recv_ns: value.get("recv_ns")?.as_u64()?,
+        send_ns: value.get("send_ns")?.as_u64()?,
+    })
+}
+
+/// Pairs every client event with the server event whose `remote_parent`
+/// echoes its id within the same trace. Iteration is in sorted-process,
+/// journal order on both sides, so pairing (and with it flow-arrow
+/// numbering) is independent of input permutation.
+fn match_pairs(procs: &[Process]) -> Vec<Pair> {
+    let mut by_link: HashMap<(u64, u64), (usize, usize)> = HashMap::new();
+    for (si, proc_) in procs.iter().enumerate() {
+        for (ei, server) in proc_.servers.iter().enumerate() {
+            // First server wins for a duplicated link; journals from a
+            // correct fabric never duplicate (ids embed a sequence).
+            by_link
+                .entry((server.trace, server.remote_parent))
+                .or_insert((si, ei));
+        }
+    }
+    let mut pairs = Vec::new();
+    for (ci, proc_) in procs.iter().enumerate() {
+        for (ei, client) in proc_.clients.iter().enumerate() {
+            if let Some(&(sp, se)) = by_link.get(&(client.trace, client.id)) {
+                pairs.push(Pair {
+                    client_proc: ci,
+                    client_event: ei,
+                    server_proc: sp,
+                    server_event: se,
+                });
+            }
+        }
+    }
+    pairs
+}
+
+/// Midpoint skew estimate of the server clock against the client clock
+/// for one matched pair, in nanoseconds (floor arithmetic).
+fn pair_theta(procs: &[Process], pair: &Pair) -> i128 {
+    let c = &procs[pair.client_proc].clients[pair.client_event];
+    let s = &procs[pair.server_proc].servers[pair.server_event];
+    let a = i128::from(c.send_ns);
+    let b = i128::from(c.recv_ns);
+    let recv = i128::from(s.recv_ns);
+    let send = i128::from(s.send_ns);
+    ((recv - a) + (send - b)).div_euclid(2)
+}
+
+/// Per-process clock offsets against the root process's clock.
+///
+/// Edges (averaged θ per ordered process pair) are walked breadth-first
+/// starting from processes that never serve a matched request (the
+/// coordinator / client side of the fabric), lowest sorted index first;
+/// any component left (a cycle, or a journal with no matched rpc at
+/// all) roots itself at offset 0. First visit wins, neighbors are taken
+/// in ascending index order — fully deterministic.
+fn clock_offsets(procs: &[Process], pairs: &[Pair]) -> Vec<i128> {
+    let n = procs.len();
+    // Averaged skew per ordered (client, server) process pair.
+    let mut edge_sums: HashMap<(usize, usize), (i128, i128)> = HashMap::new();
+    let mut inbound = vec![false; n];
+    for pair in pairs {
+        if pair.client_proc == pair.server_proc {
+            continue; // same clock, nothing to align
+        }
+        let theta = pair_theta(procs, pair);
+        let entry = edge_sums
+            .entry((pair.client_proc, pair.server_proc))
+            .or_insert((0, 0));
+        entry.0 += theta;
+        entry.1 += 1;
+        inbound[pair.server_proc] = true;
+    }
+    // Undirected adjacency with the signed averaged offset to apply when
+    // traversing: offset(server) = offset(client) + θ.
+    let mut adjacency: Vec<Vec<(usize, i128)>> = vec![Vec::new(); n];
+    let mut edges: Vec<((usize, usize), (i128, i128))> =
+        edge_sums.iter().map(|(k, v)| (*k, *v)).collect();
+    edges.sort_by_key(|entry| entry.0);
+    for ((client, server), (sum, count)) in edges {
+        let theta = sum.div_euclid(count);
+        adjacency[client].push((server, theta));
+        adjacency[server].push((client, -theta));
+    }
+    for list in &mut adjacency {
+        list.sort_by_key(|&(peer, _)| peer);
+    }
+
+    let mut offsets = vec![0i128; n];
+    let mut visited = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let roots_then_rest = (0..n).filter(|&i| !inbound[i]).chain(0..n);
+    for seed in roots_then_rest {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        offsets[seed] = 0;
+        queue.push_back(seed);
+        while let Some(node) = queue.pop_front() {
+            for &(peer, theta) in &adjacency[node] {
+                if !visited[peer] {
+                    visited[peer] = true;
+                    offsets[peer] = offsets[node] + theta;
+                    queue.push_back(peer);
+                }
+            }
+        }
+    }
+    offsets
+}
+
+/// A possibly-negative aligned timestamp rendered as exact integer
+/// microseconds (three ns decimals), mirroring [`push_us`].
+fn push_us_signed(out: &mut String, ns: i128) {
+    if ns < 0 {
+        out.push('-');
+    }
+    let magnitude = ns.unsigned_abs();
+    let _ = write!(out, "{}.{:03}", magnitude / 1000, magnitude % 1000);
+}
+
+fn aligned(ns: u64, offset: i128) -> i128 {
+    i128::from(ns) - offset
+}
+
+fn render(procs: &[Process], pairs: &[Pair], offsets: &[i128]) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+    };
+
+    // Track names first, one pid per process.
+    for (pid, proc_) in procs.iter().enumerate() {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"args\":{{\"name\":"
+        );
+        crate::event::push_json_string(&mut out, &proc_.name);
+        out.push_str("}}");
+    }
+
+    // Every process's slices, aligned to the root clock.
+    for (pid, proc_) in procs.iter().enumerate() {
+        let offset = offsets[pid];
+        for span in &proc_.spans {
+            sep(&mut out);
+            out.push_str("{\"name\":");
+            crate::event::push_json_string(&mut out, &span.name);
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            push_us_signed(&mut out, aligned(span.start_ns, offset));
+            out.push_str(",\"dur\":");
+            push_us(&mut out, span.end_ns.saturating_sub(span.start_ns));
+            let _ = write!(
+                out,
+                ",\"pid\":{pid},\"tid\":{},\"args\":{{\"id\":{},\"parent\":{}}}}}",
+                span.lane, span.id, span.parent
+            );
+        }
+        for client in &proc_.clients {
+            sep(&mut out);
+            out.push_str("{\"name\":");
+            crate::event::push_json_string(&mut out, &format!("rpc_client {}", client.path));
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            push_us_signed(&mut out, aligned(client.send_ns, offset));
+            out.push_str(",\"dur\":");
+            push_us(&mut out, client.recv_ns.saturating_sub(client.send_ns));
+            let _ = write!(
+                out,
+                ",\"pid\":{pid},\"tid\":0,\"args\":{{\"id\":{},\"parent\":{},\"trace\":{},\"status\":{}}}}}",
+                client.id, client.parent, client.trace, client.status
+            );
+        }
+        for server in &proc_.servers {
+            sep(&mut out);
+            out.push_str("{\"name\":");
+            crate::event::push_json_string(&mut out, &format!("rpc_server {}", server.path));
+            out.push_str(",\"ph\":\"X\",\"ts\":");
+            push_us_signed(&mut out, aligned(server.recv_ns, offset));
+            out.push_str(",\"dur\":");
+            push_us(&mut out, server.send_ns.saturating_sub(server.recv_ns));
+            let _ = write!(
+                out,
+                ",\"pid\":{pid},\"tid\":0,\"args\":{{\"id\":{},\"remote_parent\":{},\"trace\":{},\"status\":{}}}}}",
+                server.id, server.remote_parent, server.trace, server.status
+            );
+        }
+    }
+
+    // Flow arrows: client send → server receive, numbered in pair order.
+    for (flow, pair) in pairs.iter().enumerate() {
+        let client = &procs[pair.client_proc].clients[pair.client_event];
+        let server = &procs[pair.server_proc].servers[pair.server_event];
+        let flow_id = flow + 1;
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"rpc\",\"cat\":\"rpc\",\"ph\":\"s\",\"id\":{flow_id},\"pid\":{},\"tid\":0,\"ts\":",
+            pair.client_proc
+        );
+        push_us_signed(&mut out, aligned(client.send_ns, offsets[pair.client_proc]));
+        out.push('}');
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"rpc\",\"cat\":\"rpc\",\"ph\":\"f\",\"bp\":\"e\",\"id\":{flow_id},\"pid\":{},\"tid\":0,\"ts\":",
+            pair.server_proc
+        );
+        push_us_signed(&mut out, aligned(server.recv_ns, offsets[pair.server_proc]));
+        out.push('}');
+    }
+
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FakeClock, MemoryRecorder, Obs, TraceContext};
+    use std::sync::Arc;
+
+    /// Journals for a two-hop call chain client → server, with the
+    /// server clock shifted by `skew` ns.
+    fn two_process_journals(skew: u64) -> Vec<(String, String)> {
+        let client_clock = Arc::new(FakeClock::new(1_000));
+        let client_rec = Arc::new(MemoryRecorder::default());
+        let client = Obs::new(
+            Box::new(Arc::clone(&client_rec)),
+            Box::new(Arc::clone(&client_clock)),
+        );
+        client.enable_span_events();
+
+        let server_clock = Arc::new(FakeClock::new(1_000 + skew));
+        let server_rec = Arc::new(MemoryRecorder::default());
+        let server = Obs::new(
+            Box::new(Arc::clone(&server_rec)),
+            Box::new(Arc::clone(&server_clock)),
+        );
+        server.enable_span_events();
+
+        let ctx = TraceContext::root(77);
+        let id = client.next_client_span_id(&ctx);
+        let send = client.now_ns();
+        // One-way latency 50ns, server handling 100ns.
+        client_clock.advance(50);
+        server_clock.advance(50);
+        let remote = ctx.child(id);
+        let recv_srv = server.now_ns();
+        client_clock.advance(100);
+        server_clock.advance(100);
+        let send_srv = server.now_ns();
+        server.record_rpc_server("/v1/lease", 200, &remote, recv_srv, send_srv);
+        client_clock.advance(50);
+        server_clock.advance(50);
+        let recv = client.now_ns();
+        client.record_rpc_client("/v1/lease", 200, &ctx, id, send, recv);
+
+        vec![
+            ("client".to_string(), client_rec.lines().join("\n")),
+            ("server".to_string(), server_rec.lines().join("\n")),
+        ]
+    }
+
+    #[test]
+    fn stitch_pairs_and_aligns_symmetric_latency_exactly() {
+        let report = stitch_journals(&two_process_journals(1_000_000));
+        assert_eq!(report.processes, 2);
+        assert_eq!(report.pairs, 1);
+        assert_eq!(report.rpc_events, 2);
+        assert_eq!(report.malformed, 0);
+        // With symmetric latency the aligned server receive is exactly
+        // client send + 50ns = 1050ns = 1.050us.
+        assert!(report.json.contains("\"ph\":\"s\""), "{}", report.json);
+        assert!(
+            report
+                .json
+                .contains("\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"pid\":1,\"tid\":0,\"ts\":1.050}"),
+            "{}",
+            report.json
+        );
+    }
+
+    #[test]
+    fn output_is_invariant_under_permutation_and_constant_skew() {
+        let base = stitch_journals(&two_process_journals(0));
+        for skew in [1_000u64, 123_456_789, 5_000_000_000] {
+            let journals = two_process_journals(skew);
+            let forward = stitch_journals(&journals);
+            let mut reversed = journals;
+            reversed.reverse();
+            let backward = stitch_journals(&reversed);
+            assert_eq!(forward.json, base.json, "skew {skew} perturbed the trace");
+            assert_eq!(forward.json, backward.json, "permutation changed the trace");
+        }
+    }
+
+    #[test]
+    fn flow_arrows_connect_client_send_to_server_recv() {
+        // Regardless of skew, the flow start sits on the client track at
+        // the client's send instant (clock 1000 → ts 1.000µs) and the
+        // matching finish sits on the server track at the *aligned*
+        // receive instant (send + 50ns one-way latency), sharing one
+        // flow id.
+        for skew in [0u64, 40_000, 9_999_999_999] {
+            let report = stitch_journals(&two_process_journals(skew));
+            assert!(
+                report
+                    .json
+                    .contains("\"ph\":\"s\",\"id\":1,\"pid\":0,\"tid\":0,\"ts\":1.000}"),
+                "skew {skew}: {}",
+                report.json
+            );
+            assert!(
+                report.json.contains(
+                    "\"ph\":\"f\",\"bp\":\"e\",\"id\":1,\"pid\":1,\"tid\":0,\"ts\":1.050}"
+                ),
+                "skew {skew}: {}",
+                report.json
+            );
+        }
+    }
+
+    #[test]
+    fn torn_lines_are_counted_not_fatal() {
+        let mut journals = two_process_journals(500);
+        journals[1]
+            .1
+            .push_str("\n{\"kind\":\"span\",\"name\":\"torn");
+        let report = stitch_journals(&journals);
+        assert_eq!(report.malformed, 1);
+        assert_eq!(report.pairs, 1);
+    }
+}

@@ -126,7 +126,7 @@ where
 
 /// Nanoseconds rendered as microseconds with three exact decimals —
 /// integer arithmetic only, so output is bit-stable across platforms.
-fn push_us(out: &mut String, ns: u64) {
+pub(crate) fn push_us(out: &mut String, ns: u64) {
     let _ = write!(out, "{}.{:03}", ns / 1000, ns % 1000);
 }
 

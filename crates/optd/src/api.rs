@@ -102,7 +102,7 @@ fn submit_campaign(daemon: &DaemonHandle, req: &Request) -> Response {
             )
         }
     };
-    match daemon.submit(&spec) {
+    match daemon.submit_traced(&spec, req.trace) {
         Ok(SubmitOutcome::Admitted { view, review }) => Response::json(
             201,
             format!(

@@ -2,10 +2,16 @@
 //!
 //! ```text
 //! optd serve   --data DIR [--addr HOST:PORT] [--addr-file PATH] [--step-delay-ms N]
+//!              [--journal PATH]
 //! optd offline --spec FILE --data DIR
 //! ```
 //!
-//! `serve` runs the daemon until killed. `offline` runs one campaign
+//! `serve` runs the daemon until killed. `--journal PATH` writes the
+//! daemon's JSONL journal with span tracing on: traced submissions
+//! (`x-oast-trace`) land as `rpc_server` events, and the daemon's
+//! admission and scheduler steps appear as spans parented under the
+//! submitting client's span — ready for `obs_report --fleet` stitching.
+//! Tracing never perturbs a campaign's store bytes. `offline` runs one campaign
 //! spec to completion through the same admission path and the offline
 //! `run_iterative_persistent` driver — its store bytes are the reference
 //! the smoke script diffs the daemon's campaign store against.
@@ -13,7 +19,7 @@
 use optassign::iterative::run_iterative_persistent;
 use optassign::persist::CampaignStore;
 use optassign_httpd::{HttpConfig, HttpServer};
-use optassign_obs::Obs;
+use optassign_obs::{JsonlRecorder, MonotonicClock, Obs};
 use optassign_optd::api;
 use optassign_optd::daemon::{Daemon, DaemonConfig};
 use optassign_optd::spec::CampaignSpec;
@@ -24,6 +30,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage:
   optd serve   --data DIR [--addr HOST:PORT] [--addr-file PATH] [--step-delay-ms N] [--workers N]
+               [--journal PATH]
   optd offline --spec FILE --data DIR [--workers N]";
 
 fn main() -> ExitCode {
@@ -76,7 +83,16 @@ fn serve(args: &[String]) -> Result<(), String> {
             .map_err(|_| format!("--step-delay-ms needs an integer, got {raw}"))?,
     };
 
-    let obs = Obs::metrics_only();
+    let obs = match flag(args, "--journal") {
+        None => Obs::metrics_only(),
+        Some(path) => {
+            let journal = JsonlRecorder::create(Path::new(path))
+                .map_err(|e| format!("creating journal {path}: {e}"))?;
+            let obs = Obs::new(Box::new(journal), Box::<MonotonicClock>::default());
+            obs.enable_span_events();
+            obs
+        }
+    };
     let config = DaemonConfig {
         data_dir: PathBuf::from(data),
         step_delay: Duration::from_millis(step_delay_ms),

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! optd_client --addr HOST:PORT --spec FILE [--poll-ms N] [--timeout-s N]
-//!             [--connect-timeout S]
+//!             [--connect-timeout S] [--trace FILE]
 //! ```
 //!
 //! Posts the spec, then polls `GET /v1/campaigns/{id}` until the
@@ -12,13 +12,30 @@
 //! so a client started alongside a still-booting daemon waits instead
 //! of exiting immediately. Exit codes: `0` finished, `1` failed or
 //! timed out, `2` rejected/invalid spec.
+//!
+//! `--trace FILE` writes a client-side JSONL journal: every request
+//! carries an `x-oast-trace` header (trace id derived from the spec
+//! text, so the daemon's spans land in the same trace) and is journaled
+//! as an `rpc_client` event. Stitch the client journal with the
+//! daemon's via `obs_report --fleet` for the full causal timeline.
 
-use optassign_obs::Json;
-use optassign_optd::client::{http_call_with, CallOptions};
+use optassign_obs::{Json, JsonlRecorder, MonotonicClock, Obs, TraceContext};
+use optassign_optd::client::{http_call_traced, CallOptions};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: optd_client --addr HOST:PORT --spec FILE [--poll-ms N] [--timeout-s N] [--connect-timeout S]";
+const USAGE: &str = "usage: optd_client --addr HOST:PORT --spec FILE [--poll-ms N] [--timeout-s N] [--connect-timeout S] [--trace FILE]";
+
+/// FNV-1a over the spec text: the deterministic trace id every process
+/// observing this submission shares.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
     args.iter()
@@ -39,6 +56,22 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
+    let obs = match flag(args, "--trace") {
+        None => Obs::disabled(),
+        Some(path) => {
+            let journal = JsonlRecorder::create(std::path::Path::new(path))
+                .map_err(|e| format!("creating trace journal {path}: {e}"))?;
+            let obs = Obs::new(Box::new(journal), Box::<MonotonicClock>::default());
+            obs.enable_span_events();
+            obs
+        }
+    };
+    let result = run_inner(args, &obs);
+    obs.flush();
+    result
+}
+
+fn run_inner(args: &[String], obs: &Obs) -> Result<ExitCode, String> {
     let addr = flag(args, "--addr").ok_or_else(|| format!("--addr is required\n{USAGE}"))?;
     let spec_path = flag(args, "--spec").ok_or_else(|| format!("--spec is required\n{USAGE}"))?;
     let poll_ms = flag(args, "--poll-ms")
@@ -57,8 +90,12 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     };
 
     let spec = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
-    let (status, body) = http_call_with(addr, "POST", "/v1/campaigns", Some(&spec), &options)
-        .map_err(|e| format!("POST {addr}: {e}"))?;
+    let ctx = TraceContext::root(fnv64(spec.as_bytes()));
+    let call = |method: &str, path: &str, body: Option<&str>| {
+        http_call_traced(addr, method, path, body, &options, obs, Some(&ctx))
+    };
+    let (status, body) =
+        call("POST", "/v1/campaigns", Some(&spec)).map_err(|e| format!("POST {addr}: {e}"))?;
     if status != 201 {
         eprintln!("submission refused ({status}): {body}");
         return Ok(ExitCode::from(2));
@@ -79,9 +116,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             eprintln!("campaign {id} still running after {timeout_s}s");
             return Ok(ExitCode::FAILURE);
         }
-        let (status, body) =
-            http_call_with(addr, "GET", &format!("/v1/campaigns/{id}"), None, &options)
-                .map_err(|e| format!("GET {addr}: {e}"))?;
+        let (status, body) = call("GET", &format!("/v1/campaigns/{id}"), None)
+            .map_err(|e| format!("GET {addr}: {e}"))?;
         if status != 200 {
             return Err(format!("poll failed ({status}): {body}"));
         }
@@ -108,14 +144,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
     }
 
-    let (status, body) = http_call_with(
-        addr,
-        "GET",
-        &format!("/v1/campaigns/{id}/best"),
-        None,
-        &options,
-    )
-    .map_err(|e| format!("GET {addr}: {e}"))?;
+    let (status, body) = call("GET", &format!("/v1/campaigns/{id}/best"), None)
+        .map_err(|e| format!("GET {addr}: {e}"))?;
     if status != 200 {
         return Err(format!("best query failed ({status}): {body}"));
     }

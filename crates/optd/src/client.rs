@@ -14,6 +14,7 @@
 //! original client exactly (plain connect, 10 s socket timeout, no
 //! retry).
 
+use optassign_obs::{Obs, TraceContext, TRACE_HEADER};
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
@@ -140,12 +141,77 @@ pub fn http_call_bytes_with(
     body: Option<&str>,
     options: &CallOptions,
 ) -> std::io::Result<(u16, Vec<u8>)> {
+    call_inner(addr, method, path, body, options, None)
+}
+
+/// [`http_call_with`] carrying a distributed-trace context: the request
+/// gains an `x-oast-trace` header naming a fresh client span (allocated
+/// from `obs`), and the call is journaled as an `rpc_client` event with
+/// its send/receive clock readings. With a disabled `obs` or no context
+/// the request and journal are byte-identical to the untraced call.
+///
+/// # Errors
+///
+/// As [`http_call`]. Transport failures are journaled with status `0`
+/// before propagating, so the timeline shows the attempt.
+pub fn http_call_traced(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    options: &CallOptions,
+    obs: &Obs,
+    ctx: Option<&TraceContext>,
+) -> std::io::Result<(u16, String)> {
+    let (status, raw) = http_call_bytes_traced(addr, method, path, body, options, obs, ctx)?;
+    Ok((status, String::from_utf8_lossy(&raw).into_owned()))
+}
+
+/// [`http_call_traced`] returning raw body bytes.
+///
+/// # Errors
+///
+/// As [`http_call_traced`].
+pub fn http_call_bytes_traced(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    options: &CallOptions,
+    obs: &Obs,
+    ctx: Option<&TraceContext>,
+) -> std::io::Result<(u16, Vec<u8>)> {
+    let Some(ctx) = ctx.filter(|_| obs.enabled()) else {
+        return call_inner(addr, method, path, body, options, None);
+    };
+    let id = obs.next_client_span_id(ctx);
+    let header = format!("{TRACE_HEADER}: {}", ctx.child(id).header_value());
+    let send_ns = obs.now_ns();
+    let outcome = call_inner(addr, method, path, body, options, Some(&header));
+    let recv_ns = obs.now_ns();
+    let status = match &outcome {
+        Ok((status, _)) => *status,
+        Err(_) => 0,
+    };
+    obs.record_rpc_client(path, status, ctx, id, send_ns, recv_ns);
+    outcome
+}
+
+fn call_inner(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    options: &CallOptions,
+    extra_header: Option<&str>,
+) -> std::io::Result<(u16, Vec<u8>)> {
     let mut stream = connect(addr, options)?;
     stream.set_read_timeout(Some(options.io_timeout))?;
     stream.set_write_timeout(Some(options.io_timeout))?;
     let payload = body.unwrap_or("");
+    let trace_line = extra_header.map_or(String::new(), |h| format!("{h}\r\n"));
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n{trace_line}\
          Content-Length: {}\r\n\r\n{payload}",
         payload.len()
     );

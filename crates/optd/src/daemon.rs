@@ -28,7 +28,7 @@ use crate::admission::{self, AdmissionReview};
 use crate::spec::{CampaignSpec, TenantModel};
 use optassign::iterative::{IterativeSession, SessionSnapshot, StepOutcome};
 use optassign::CoreError;
-use optassign_obs::Obs;
+use optassign_obs::{labeled, lane_span_id, Obs, TraceContext};
 use optassign_store::CampaignStore;
 use std::collections::BTreeMap;
 use std::io;
@@ -164,6 +164,10 @@ struct Campaign {
     stride: u64,
     /// Trailing UPB gaps, one per estimating round.
     gap_history: Vec<f64>,
+    /// Remote trace context of the submitting request, when the client
+    /// propagated one: admission and every session step journal their
+    /// spans under its server span id.
+    trace: Option<TraceContext>,
 }
 
 struct State {
@@ -318,11 +322,56 @@ impl DaemonHandle {
     /// An infeasible SLO under a `reject` policy is *not* an error — it
     /// returns [`SubmitOutcome::Rejected`] with the admission math.
     pub fn submit(&self, spec: &CampaignSpec) -> Result<SubmitOutcome, SubmitError> {
+        self.submit_traced(spec, None)
+    }
+
+    /// [`DaemonHandle::submit`] carrying the submitting request's remote
+    /// trace context: the admission decision journals an
+    /// `optd_admission_ns` span under the request's server span, and
+    /// every subsequent session step of the admitted campaign journals
+    /// an `optd_step_ns` span there too — the daemon-side half of the
+    /// cross-process timeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`DaemonHandle::submit`].
+    pub fn submit_traced(
+        &self,
+        spec: &CampaignSpec,
+        trace: Option<TraceContext>,
+    ) -> Result<SubmitOutcome, SubmitError> {
+        let obs = &self.shared.obs;
+        let admit_start_ns = obs.now_ns();
+        let record_admission = |outcome: &str| {
+            if let Some(ctx) = &trace {
+                let parent = ctx.server_span_id();
+                obs.record_lane_span(
+                    "optd_admission_ns",
+                    lane_span_id(parent, 1),
+                    parent,
+                    0,
+                    admit_start_ns,
+                    obs.now_ns(),
+                );
+                obs.emit(|| {
+                    optassign_obs::Event::new("optd_admission")
+                        .with("trace", ctx.trace_id)
+                        .with("parent", parent)
+                        .with("tenant", spec.tenant.clone())
+                        .with("outcome", outcome)
+                });
+            }
+        };
         let Some((mut effective, review)) = admission::admit(spec)? else {
             let review = admission::review(spec)?;
             self.shared
                 .obs
                 .counter_add("optd_campaigns_rejected_total", 1);
+            self.shared.obs.counter_add(
+                &labeled("optd_tenant_rejected_total", &[("tenant", &spec.tenant)]),
+                1,
+            );
+            record_admission("rejected");
             return Ok(SubmitOutcome::Rejected { review });
         };
         if let Some(workers) = self.shared.config.workers {
@@ -358,6 +407,7 @@ impl DaemonHandle {
             pass: st.virtual_time,
             stride: stride_for(view.spec.config.eval_budget),
             gap_history: Vec::new(),
+            trace,
         };
         st.next_id = id + 1;
         st.campaigns.insert(id, campaign);
@@ -365,11 +415,23 @@ impl DaemonHandle {
         self.shared
             .obs
             .counter_add("optd_campaigns_admitted_total", 1);
-        if review.decision != crate::admission::AdmissionDecision::Admit {
+        let degraded = review.decision != crate::admission::AdmissionDecision::Admit;
+        if degraded {
             self.shared
                 .obs
                 .counter_add("optd_campaigns_degraded_total", 1);
         }
+        // Admission outcome per tenant campaign: 0 admitted as asked,
+        // 1 admitted with a degraded target. Written once per campaign
+        // (unique label set), so the single-writer gauge rule holds.
+        self.shared.obs.gauge_set(
+            &labeled(
+                "optd_tenant_admission",
+                &[("campaign", &view.name), ("tenant", &view.tenant)],
+            ),
+            if degraded { 1.0 } else { 0.0 },
+        );
+        record_admission(if degraded { "degraded" } else { "admitted" });
         self.shared.wake.notify_all();
         Ok(SubmitOutcome::Admitted {
             view: Box::new(view),
@@ -483,6 +545,7 @@ fn resume_campaigns(shared: &Arc<Shared>) -> io::Result<()> {
                         pass,
                         stride,
                         gap_history: Vec::new(),
+                        trace: None,
                     },
                 );
                 st.next_id = st.next_id.max(id + 1);
@@ -548,10 +611,24 @@ fn scheduler_loop(shared: &Arc<Shared>) {
         let store = Arc::clone(&campaign.store);
         let pass = campaign.pass;
         campaign.pass = pass.saturating_add(campaign.stride);
+        let trace = campaign.trace;
+        let step_index = campaign.view.steps;
         st.virtual_time = pass;
         drop(st);
 
+        let step_start_ns = shared.obs.now_ns();
         let outcome = session.step(model.as_ref(), &shared.obs, Some(store.as_ref()));
+        if let Some(ctx) = &trace {
+            let parent = ctx.server_span_id();
+            shared.obs.record_lane_span(
+                "optd_step_ns",
+                lane_span_id(parent, step_index.saturating_add(2)),
+                parent,
+                0,
+                step_start_ns,
+                shared.obs.now_ns(),
+            );
+        }
         shared.obs.counter_add("optd_steps_total", 1);
         if !shared.config.step_delay.is_zero() {
             thread::sleep(shared.config.step_delay);
@@ -581,9 +658,50 @@ fn scheduler_loop(shared: &Arc<Shared>) {
                 }
             }
             campaign.view.slo = slo_state(campaign);
+            publish_tenant_gauges(&shared.obs, &campaign.view);
+            // Keep the journal file current step by step, so a scrape
+            // (or an abrupt kill) sees every span recorded so far.
+            shared.obs.flush();
             campaign.session = Some(session);
         }
         // else: removed while stepping; session and store drop here.
+    }
+}
+
+/// Publishes the per-tenant service-plane gauges for one campaign view:
+/// current UPB gap, SLO trajectory state (as [`slo_code`]), and budget
+/// spent. Only the scheduler thread writes them, so last-write-wins is
+/// single-writer per series.
+fn publish_tenant_gauges(obs: &Obs, view: &CampaignView) {
+    let labels = [
+        ("campaign", view.name.as_str()),
+        ("tenant", view.tenant.as_str()),
+    ];
+    if let Some(gap) = view.snapshot.gap {
+        obs.gauge_set(&labeled("optd_tenant_gap", &labels), gap);
+    }
+    obs.gauge_set(
+        &labeled("optd_tenant_slo_state", &labels),
+        f64::from(slo_code(view.slo)),
+    );
+    obs.gauge_set(
+        &labeled("optd_tenant_budget_spent", &labels),
+        view.snapshot.evaluations as f64,
+    );
+    obs.gauge_set(&labeled("optd_tenant_steps", &labels), view.steps as f64);
+}
+
+/// Numeric encoding of [`SloState`] for the `optd_tenant_slo_state`
+/// gauge — ordered so "bigger is worse" until the terminal states.
+#[must_use]
+pub fn slo_code(state: SloState) -> u8 {
+    match state {
+        SloState::Pending => 0,
+        SloState::OnTrack => 1,
+        SloState::AtRisk => 2,
+        SloState::Unreachable => 3,
+        SloState::Met => 4,
+        SloState::Missed => 5,
     }
 }
 

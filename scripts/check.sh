@@ -145,11 +145,12 @@ if [[ "${FAST}" == "0" ]]; then
         >"${METRICS_TMP}/repaired.out"
     diff "${METRICS_TMP}/clean.out" "${METRICS_TMP}/repaired.out"
 
-    # Online-service smoke: start the optd daemon, drive a small
-    # fig13-style netapps campaign through the optd_client binary, then
-    # check the daemon's campaign WAL is byte-identical to the offline
-    # driver's (`optd offline` runs run_iterative_persistent through the
-    # same admission path).
+    # Online-service smoke: start the optd daemon (journaled, span
+    # tracing on), drive a small fig13-style netapps campaign through
+    # the optd_client binary (with a client-side trace), then check the
+    # daemon's campaign WAL is byte-identical to the offline driver's
+    # (`optd offline` runs run_iterative_persistent through the same
+    # admission path) — tracing must never perturb the campaign bytes.
     echo "==> optd online-service smoke"
     cargo build -q --release -p optassign-optd
     OPTD_DATA="${METRICS_TMP}/optd-data"
@@ -161,7 +162,8 @@ if [[ "${FAST}" == "0" ]]; then
            "max_samples":400,"eval_budget":2000}}
 EOF
     target/release/optd serve --data "${OPTD_DATA}" \
-        --addr-file "${METRICS_TMP}/optd-addr" --workers 2 >/dev/null &
+        --addr-file "${METRICS_TMP}/optd-addr" --workers 2 \
+        --journal "${METRICS_TMP}/optd.jsonl" >/dev/null &
     OPTD_PID=$!
     for _ in $(seq 1 50); do
         [[ -s "${METRICS_TMP}/optd-addr" ]] && break
@@ -170,8 +172,17 @@ EOF
     [[ -s "${METRICS_TMP}/optd-addr" ]] || { echo "optd never came up"; exit 1; }
     target/release/optd_client --addr "$(cat "${METRICS_TMP}/optd-addr")" \
         --spec "${METRICS_TMP}/optd-spec.json" --timeout-s 120 \
+        --trace "${METRICS_TMP}/optd-client.jsonl" \
         >"${METRICS_TMP}/optd-client.out"
     grep -q 'finished' "${METRICS_TMP}/optd-client.out"
+    # Per-tenant SLO gauges on the daemon's Prometheus endpoint, and the
+    # daemon-side spans carrying the client's trace context.
+    curl -fsS "http://$(cat "${METRICS_TMP}/optd-addr")/metrics" \
+        >"${METRICS_TMP}/optd.prom"
+    grep -Eq 'optd_tenant_slo_state\{[^}]*tenant="smoke"' "${METRICS_TMP}/optd.prom"
+    grep -Eq 'optd_tenant_budget_spent\{[^}]*tenant="smoke"' "${METRICS_TMP}/optd.prom"
+    grep -q '"kind":"rpc_client"' "${METRICS_TMP}/optd-client.jsonl"
+    grep -q '"kind":"rpc_server"' "${METRICS_TMP}/optd.jsonl"
     kill "${OPTD_PID}" 2>/dev/null || true
     wait "${OPTD_PID}" 2>/dev/null || true
     target/release/optd offline --spec "${METRICS_TMP}/optd-spec.json" \
@@ -199,12 +210,14 @@ EOF
     FLEET_PIDS=()
     for w in 0 1 2; do
         target/release/fleet work --data "${FLEET_DIR}/w${w}" \
-            --addr-file "${FLEET_DIR}/w${w}.addr" >/dev/null &
+            --addr-file "${FLEET_DIR}/w${w}.addr" \
+            --peer-addr-file "${FLEET_DIR}/w${w}.peer" \
+            --journal "${FLEET_DIR}/w${w}.jsonl" >/dev/null &
         FLEET_PIDS+=($!)
     done
     for w in 0 1 2; do
         for _ in $(seq 1 50); do
-            [[ -s "${FLEET_DIR}/w${w}.addr" ]] && break
+            [[ -s "${FLEET_DIR}/w${w}.addr" && -s "${FLEET_DIR}/w${w}.peer" ]] && break
             sleep 0.1
         done
         [[ -s "${FLEET_DIR}/w${w}.addr" ]] || { echo "fleet worker ${w} never came up"; exit 1; }
@@ -215,14 +228,49 @@ EOF
     # exercises a valid (if less interesting) schedule.
     ( sleep 0.3; kill -9 "${FLEET_PIDS[1]}" 2>/dev/null ) &
     KILLER_PID=$!
+    # The coordinator journals its side of every lease RPC and runs the
+    # observability plane; with --serve it keeps serving the merged
+    # timeline after the campaign, so it runs in the background here.
     target/release/fleet run --spec "${FLEET_DIR}/spec.json" \
         --data "${FLEET_DIR}/coordinator" \
         --worker "$(cat "${FLEET_DIR}/w0.addr")" \
         --worker "$(cat "${FLEET_DIR}/w1.addr")" \
         --worker "$(cat "${FLEET_DIR}/w2.addr")" \
-        >"${FLEET_DIR}/run.out"
+        --journal "${FLEET_DIR}/coordinator.jsonl" \
+        --serve 127.0.0.1:0 --serve-addr-file "${FLEET_DIR}/plane.addr" \
+        --worker-peer "$(cat "${FLEET_DIR}/w0.peer")" \
+        --worker-peer "$(cat "${FLEET_DIR}/w1.peer")" \
+        --worker-peer "$(cat "${FLEET_DIR}/w2.peer")" \
+        >"${FLEET_DIR}/run.out" &
+    RUN_PID=$!
+    # The plane binds before the campaign starts; scrape it mid-run.
+    for _ in $(seq 1 50); do
+        [[ -s "${FLEET_DIR}/plane.addr" ]] && break
+        sleep 0.1
+    done
+    [[ -s "${FLEET_DIR}/plane.addr" ]] || { echo "fleet plane never came up"; exit 1; }
+    PLANE="http://$(cat "${FLEET_DIR}/plane.addr")"
+    curl -fsS "${PLANE}/healthz" | grep -q '"role":"fleet-plane"'
+    curl -fsS "${PLANE}/v1/fleet/metrics" >/dev/null
+    # Wait for the campaign itself to finish (the process keeps serving).
+    for _ in $(seq 1 600); do
+        grep -q 'campaign finished' "${FLEET_DIR}/run.out" && break
+        kill -0 "${RUN_PID}" 2>/dev/null || break
+        sleep 0.2
+    done
     grep -q 'campaign finished' "${FLEET_DIR}/run.out"
     wait "${KILLER_PID}" 2>/dev/null || true
+    # Single pane of glass over the finished fleet: instance-labelled
+    # series from the coordinator and the surviving workers, and one
+    # stitched Chrome trace with cross-process flow arrows.
+    curl -fsS "${PLANE}/v1/fleet/metrics" >"${FLEET_DIR}/fleet.prom"
+    grep -q 'instance="coordinator"' "${FLEET_DIR}/fleet.prom"
+    grep -qF "instance=\"$(cat "${FLEET_DIR}/w0.peer")\"" "${FLEET_DIR}/fleet.prom"
+    curl -fsS "${PLANE}/v1/trace/merged" >"${FLEET_DIR}/merged-live.json"
+    grep -q '"ph":"s"' "${FLEET_DIR}/merged-live.json"
+    grep -q '"ph":"f"' "${FLEET_DIR}/merged-live.json"
+    kill "${RUN_PID}" 2>/dev/null || true
+    wait "${RUN_PID}" 2>/dev/null || true
     for pid in "${FLEET_PIDS[@]}"; do
         kill -9 "${pid}" 2>/dev/null || true
         wait "${pid}" 2>/dev/null || true
@@ -231,6 +279,14 @@ EOF
         --data "${FLEET_DIR}/offline" >/dev/null
     cmp "${FLEET_DIR}/coordinator/merged/campaign.wal" \
         "${FLEET_DIR}/offline/campaign.wal"
+    # Offline stitch over the journal files on disk — this one also sees
+    # the SIGKILLed worker's journal (unreachable over HTTP), so its
+    # possibly-torn tail must stay within the malformed-line budget.
+    echo "==> obs_report --fleet stitched-timeline smoke"
+    cargo run -q --release -p optassign-bench --bin obs_report -- \
+        --fleet "${FLEET_DIR}" --max-malformed 10 >"${FLEET_DIR}/fleet-report.out"
+    grep -Eq '[1-9][0-9]* cross-process pair\(s\)' "${FLEET_DIR}/fleet-report.out"
+    grep -q '"traceEvents":\[' "${FLEET_DIR}/merged_trace.json"
 
     # Perf-trajectory smoke: the batched evaluation hot path, measured at
     # a tiny window and diffed against the committed BENCH_*.json

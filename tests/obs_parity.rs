@@ -186,6 +186,69 @@ fn wal_bytes_are_identical_across_batch_sizes_and_worker_counts() {
 }
 
 #[test]
+fn wal_bytes_are_identical_with_tracing_on_and_off() {
+    // Distributed-tracing instrumentation (span events, rpc spans) obeys
+    // the same never-perturbs contract as plain recording: the WAL a
+    // persistent run writes is byte-identical whether span tracing is
+    // fully on or observability is disabled entirely, at any worker
+    // count.
+    let scratch = |tag: &str| {
+        std::env::temp_dir().join(format!(
+            "optassign-obs-trace-wal-{tag}-{}",
+            std::process::id()
+        ))
+    };
+    let build = || FaultyModel::new(model(), FaultPlan::light(59));
+    let mut reference: Option<(Vec<u8>, Vec<f64>)> = None;
+    for workers in [1usize, 4] {
+        for traced in [false, true] {
+            let dir = scratch(&format!("w{workers}t{traced}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let (obs, recorder) = recording_obs();
+            if traced {
+                obs.enable_span_events();
+            }
+            let effective = if traced { obs } else { Obs::disabled() };
+            let store = CampaignStore::open(&dir).unwrap();
+            let (study, _log) = SampleStudy::run_resilient_persistent_with_obs(
+                &build(),
+                120,
+                59,
+                3,
+                Parallelism::new(workers),
+                &store,
+                &effective,
+            )
+            .unwrap();
+            drop(store);
+            let wal = std::fs::read(dir.join(WAL_FILE)).unwrap();
+            assert!(!wal.is_empty());
+            if traced {
+                assert!(
+                    recorder
+                        .lines()
+                        .iter()
+                        .any(|l| l.contains("\"kind\":\"span\"")),
+                    "tracing produced no span events at workers={workers}"
+                );
+            }
+            match &reference {
+                None => reference = Some((wal, study.performances().to_vec())),
+                Some((ref_wal, ref_perf)) => {
+                    assert_eq!(
+                        &wal, ref_wal,
+                        "WAL diverged at workers={workers} traced={traced}"
+                    );
+                    assert_eq!(study.performances(), &ref_perf[..]);
+                }
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
 fn run_iterative_is_bit_identical_with_recording_on_and_off() {
     let faulty = FaultyModel::new(model(), FaultPlan::light(43));
     let mk = |workers: usize| IterativeConfig {
